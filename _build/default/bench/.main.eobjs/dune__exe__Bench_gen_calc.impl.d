@@ -1,0 +1,1 @@
+bench/bench_gen_calc.ml: Array Hashtbl List Map Printf Rats_peg Rats_support Set Span String Value

@@ -1,0 +1,16 @@
+(* Emits the generated parsers benchmarked in E2. Run by a dune rule. *)
+
+let emit path g =
+  match
+    Rats.Emit.grammar_module ~header:"bench parser" (Rats.Pipeline.optimize g)
+  with
+  | Ok code -> Out_channel.with_open_bin path (fun oc -> output_string oc code)
+  | Error (d :: _) ->
+      prerr_endline (Rats.Diagnostic.to_string d);
+      exit 1
+  | Error [] -> assert false
+
+let () =
+  emit "bench_gen_calc.ml" (Rats.Grammars.Calc.grammar ());
+  emit "bench_gen_json.ml" (Rats.Grammars.Json.grammar ());
+  emit "bench_gen_java.ml" (Rats.Grammars.Minijava.grammar ())

@@ -1,0 +1,536 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation (shape, not absolute numbers — see DESIGN.md and
+   EXPERIMENTS.md).
+
+   Usage:
+     dune exec bench/main.exe              run every experiment
+     dune exec bench/main.exe e2 e3        run selected experiments
+     dune exec bench/main.exe -- --quick   smaller corpora
+     dune exec bench/main.exe -- --micro   add a bechamel micro-benchmark
+
+   Experiments:
+     e1  grammar / module composition statistics     (Table 1 analogue)
+     e2  parser performance across implementations   (Table 2 analogue)
+     e3  cumulative impact of the optimizations      (Table 3 analogue)
+     e4  parse time vs input size; pathological case (Figure analogue)
+     e5  heap utilization: memo entries and values   (Figure analogue)
+     e6  modular extension experiment                (motivating §2) *)
+
+open Rats
+
+let quick = ref false
+let micro = ref false
+
+(* --- timing -------------------------------------------------------------- *)
+
+let now () = Unix.gettimeofday ()
+
+(* Best-of-N wall time, with one warmup run. *)
+let time_best ?(repeats = 5) f =
+  ignore (f ());
+  let best = ref infinity in
+  for _ = 1 to repeats do
+    Gc.minor ();
+    let t0 = now () in
+    ignore (f ());
+    let dt = now () -. t0 in
+    if dt < !best then best := dt
+  done;
+  !best
+
+let ms t = t *. 1000.
+let mbs bytes t = float_of_int bytes /. 1_048_576. /. t
+
+let header title =
+  Printf.printf "\n=== %s ===\n" title
+
+let row fmt = Printf.printf fmt
+
+(* --- shared corpora --------------------------------------------------------- *)
+
+let scale n = if !quick then max 1 (n / 4) else n
+
+let minic_corpus =
+  lazy (Grammars.Corpus.minic (Rng.create 2024) ~functions:(scale 60))
+
+let java_corpus =
+  lazy (Grammars.Corpus.minijava (Rng.create 2024) ~classes:(scale 25))
+
+let calc_corpus = lazy (Grammars.Corpus.arith (Rng.create 2024) ~size:(scale 2500))
+let json_corpus = lazy (Grammars.Corpus.json (Rng.create 2024) ~size:(scale 2500))
+
+let prepare ?(config = Config.optimized) g = Engine.prepare_exn ~config g
+
+let assert_ok name = function
+  | Ok _ -> ()
+  | Error (e : Parse_error.t) ->
+      failwith (Printf.sprintf "%s: unexpected parse error: %s" name (Parse_error.message e))
+
+(* ========================================================================== *)
+(* E1: composition statistics                                                 *)
+(* ========================================================================== *)
+
+let loc_of_texts texts =
+  List.fold_left
+    (fun acc text ->
+      acc
+      + List.length
+          (List.filter
+             (fun l ->
+               let l = String.trim l in
+               String.length l > 0
+               && not (String.length l >= 2 && String.sub l 0 2 = "//"))
+             (String.split_on_char '\n' text)))
+    0 texts
+
+let e1 () =
+  header "E1: grammar module statistics (Table 1 analogue)";
+  row "%-12s %8s %10s %12s %8s %6s\n" "grammar" "modules" "instances"
+    "productions" "modific." "LoC";
+  List.iter
+    (fun (name, texts, root) ->
+      let lib = Grammars.Loader.library_of_texts texts in
+      let modules = List.length (Resolve.modules lib) in
+      let g, stats = Grammars.Loader.load ~root texts in
+      let mods =
+        List.fold_left
+          (fun acc (s : Resolve.instance_stat) ->
+            acc + s.overridden + s.alternatives_added + s.alternatives_removed)
+          0 stats.instances
+      in
+      row "%-12s %8d %10d %12d %8d %6d\n" name modules
+        (List.length stats.instances)
+        (Grammar.length g) mods (loc_of_texts texts))
+    [
+      ("calc", Grammars.Calc.texts, "calc.Main");
+      ("json", Grammars.Json.texts, "json.Main");
+      ("minic", Grammars.Minic.texts, "c.Program");
+      ("minijava", Grammars.Minijava.texts, "j.Program");
+      ("rats", Grammars.Metagrammar.texts, "rats.Syntax");
+      ( "minic-ext",
+        Grammars.Minic.texts @ Grammars.Minic.extension_texts,
+        "cx.Program" );
+    ];
+  row "\nper-instance contributions for minic-ext:\n";
+  let _, stats =
+    Grammars.Loader.load ~root:"cx.Program"
+      (Grammars.Minic.texts @ Grammars.Minic.extension_texts)
+  in
+  row "%-44s %9s %8s %6s %6s %6s\n" "instance" "inherited" "defined" "over"
+    "+alts" "-alts";
+  List.iter
+    (fun (s : Resolve.instance_stat) ->
+      let label =
+        if String.length s.instance <= 44 then s.instance
+        else String.sub s.instance 0 41 ^ "..."
+      in
+      row "%-44s %9d %8d %6d %6d %6d\n" label s.inherited s.defined
+        s.overridden s.alternatives_added s.alternatives_removed)
+    stats.instances
+
+(* ========================================================================== *)
+(* E2: parser performance                                                     *)
+(* ========================================================================== *)
+
+type contender = {
+  c_name : string;
+  parse : string -> bool;  (* returns acceptance; must build values *)
+}
+
+let engine_contender name g config =
+  let eng = prepare ~config g in
+  { c_name = name; parse = (fun s -> Result.is_ok (Engine.parse eng s)) }
+
+let e2_language lang corpus contenders =
+  let bytes = String.length corpus in
+  row "\n%s corpus: %d bytes\n" lang bytes;
+  row "  %-22s %10s %10s %8s\n" "parser" "time ms" "MB/s" "rel";
+  let base = ref None in
+  List.iter
+    (fun c ->
+      if not (c.parse corpus) then
+        failwith (Printf.sprintf "%s/%s rejected its corpus" lang c.c_name);
+      let t = time_best (fun () -> c.parse corpus) in
+      let rel =
+        match !base with
+        | None ->
+            base := Some t;
+            1.0
+        | Some b -> t /. b
+      in
+      row "  %-22s %10.2f %10.2f %7.2fx\n" c.c_name (ms t) (mbs bytes t) rel)
+    contenders
+
+let e2 () =
+  header "E2: parser performance (Table 2 analogue)";
+  row "(rel = time relative to the first row: the naive-backtracking baseline)\n";
+  let calc = Grammars.Calc.grammar () in
+  let calc_opt = Pipeline.optimize calc in
+  e2_language "calc" (Lazy.force calc_corpus)
+    [
+      engine_contender "naive interpreter" calc Config.naive;
+      engine_contender "packrat interpreter" calc Config.packrat;
+      engine_contender "optimized interpreter" calc_opt Config.optimized;
+      { c_name = "generated parser"; parse = (fun s -> Result.is_ok (Bench_gen_calc.parse s)) };
+      { c_name = "hand-written"; parse = (fun s -> Result.is_ok (Grammars.Calc.parse_hand s)) };
+    ];
+  let json = Grammars.Json.grammar () in
+  let json_opt = Pipeline.optimize json in
+  e2_language "json" (Lazy.force json_corpus)
+    [
+      engine_contender "naive interpreter" json Config.naive;
+      engine_contender "packrat interpreter" json Config.packrat;
+      engine_contender "optimized interpreter" json_opt Config.optimized;
+      { c_name = "generated parser"; parse = (fun s -> Result.is_ok (Bench_gen_json.parse s)) };
+      { c_name = "hand-written"; parse = (fun s -> Result.is_ok (Grammars.Json.parse_hand s)) };
+    ];
+  let minic = Grammars.Minic.grammar () in
+  let minic_opt = Pipeline.optimize minic in
+  e2_language "minic" (Lazy.force minic_corpus)
+    [
+      engine_contender "naive interpreter" minic Config.naive;
+      engine_contender "packrat interpreter" minic Config.packrat;
+      engine_contender "optimized interpreter" minic_opt Config.optimized;
+      { c_name = "hand-written"; parse = (fun s -> Result.is_ok (Grammars.Minic.parse_hand s)) };
+    ];
+  let java = Grammars.Minijava.grammar () in
+  let java_opt = Pipeline.optimize java in
+  e2_language "minijava" (Lazy.force java_corpus)
+    [
+      engine_contender "naive interpreter" java Config.naive;
+      engine_contender "packrat interpreter" java Config.packrat;
+      engine_contender "optimized interpreter" java_opt Config.optimized;
+      { c_name = "generated parser"; parse = (fun s -> Result.is_ok (Bench_gen_java.parse s)) };
+      { c_name = "hand-written"; parse = (fun s -> Result.is_ok (Grammars.Minijava.parse_hand s)) };
+    ]
+
+(* Optional bechamel micro-benchmark of the same E2 kernels. *)
+let e2_micro () =
+  header "E2 (micro): bechamel estimates, calc corpus";
+  let open Bechamel in
+  let corpus = Grammars.Corpus.arith (Rng.create 9) ~size:200 in
+  let calc = Grammars.Calc.grammar () in
+  let mk name f = Test.make ~name (Staged.stage f) in
+  let tests =
+    Test.make_grouped ~name:"calc"
+      [
+        (let eng = prepare ~config:Config.packrat calc in
+         mk "packrat" (fun () -> Engine.parse eng corpus));
+        (let eng = prepare ~config:Config.optimized (Pipeline.optimize calc) in
+         mk "optimized" (fun () -> Engine.parse eng corpus));
+        mk "generated" (fun () -> Bench_gen_calc.parse corpus);
+        mk "hand-written" (fun () -> Grammars.Calc.parse_hand corpus);
+      ]
+  in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some (est :: _) -> row "  %-24s %12.1f ns/run\n" name est
+      | _ -> row "  %-24s (no estimate)\n" name)
+    results
+
+(* ========================================================================== *)
+(* E3: cumulative optimization impact                                         *)
+(* ========================================================================== *)
+
+let e3 () =
+  header "E3: impact of the optimizations, cumulative (Table 3 analogue)";
+  let g = Grammars.Minic.grammar () in
+  let corpus = Lazy.force minic_corpus in
+  let bytes = String.length corpus in
+  row "minic corpus: %d bytes; each rung adds one optimization\n" bytes;
+  row "  %-14s %9s %7s %9s %9s %8s %7s\n" "rung" "time ms" "ratio" "entries"
+    "hits" "invoc." "prods";
+  let baseline = ref nan in
+  List.iter
+    (fun (rung : Pipeline.rung) ->
+      let eng = prepare ~config:rung.config rung.grammar in
+      let out = Engine.run eng corpus in
+      assert_ok rung.name out.Engine.result;
+      let t = time_best (fun () -> Engine.run eng corpus) in
+      if Float.is_nan !baseline then baseline := t;
+      row "  %-14s %9.2f %6.2fx %9d %9d %8d %7d\n" rung.name (ms t)
+        (t /. !baseline)
+        (Stats.memo_entries out.stats)
+        out.stats.Stats.memo_hits out.stats.Stats.invocations
+        (Grammar.length rung.grammar))
+    (Pipeline.ladder g);
+  row "  (%s)\n"
+    "time ratio is vs. the desugared, memoize-everything baseline";
+  (* Ablation for the one cost-based heuristic: the inlining threshold. *)
+  row "\ninlining-threshold ablation (DESIGN.md: cost-based inlining):\n";
+  row "  %-10s %9s %8s\n" "threshold" "time ms" "prods";
+  let pre = Passes.mark_terminals (Passes.mark_transients g) in
+  List.iter
+    (fun threshold ->
+      let g' = Passes.prune (Passes.inline_pass ~threshold pre) in
+      let eng =
+        prepare
+          ~config:(Config.v ~memo:Config.Chunked ~honor_transient:true ())
+          g'
+      in
+      let t = time_best (fun () -> Engine.run eng corpus) in
+      row "  %-10d %9.2f %8d\n" threshold (ms t) (Grammar.length g'))
+    [ 0; 4; 8; 12; 24; 48 ]
+
+(* ========================================================================== *)
+(* E4: scalability                                                            *)
+(* ========================================================================== *)
+
+let e4 () =
+  header "E4: parse time scales linearly with input (Figure analogue)";
+  let g = Pipeline.optimize (Grammars.Minic.grammar ()) in
+  let eng = prepare g in
+  row "  %-10s %10s %10s %12s\n" "functions" "bytes" "time ms" "KB/ms";
+  List.iter
+    (fun functions ->
+      let src = Grammars.Corpus.minic (Rng.create 1) ~functions in
+      let t = time_best (fun () -> Engine.parse eng src) in
+      row "  %-10d %10d %10.2f %12.1f\n" functions (String.length src) (ms t)
+        (float_of_int (String.length src) /. 1024. /. ms t))
+    (List.map scale [ 10; 20; 40; 80; 160 ]);
+  row "\npathological input '((((...1...))))' (backtracking blow-up):\n";
+  row "  %-7s %16s %16s %18s\n" "depth" "naive ms" "packrat ms"
+    "naive invocations";
+  let path = Grammars.Path.grammar () in
+  let naive = prepare ~config:Config.naive path in
+  let packrat = prepare ~config:Config.packrat path in
+  List.iter
+    (fun depth ->
+      let input = Grammars.Corpus.pathological ~depth in
+      let tn = time_best ~repeats:3 (fun () -> Engine.parse naive input) in
+      let tp = time_best ~repeats:3 (fun () -> Engine.parse packrat input) in
+      let invs = (Engine.run naive input).Engine.stats.Stats.invocations in
+      row "  %-7d %16.3f %16.3f %18d\n" depth (ms tn) (ms tp) invs)
+    [ 8; 10; 12; 14; 16; 18 ];
+  let deep = Grammars.Corpus.pathological ~depth:3000 in
+  let tp = time_best (fun () -> Engine.parse packrat deep) in
+  row "  %-7d %16s %16.3f   (naive would not finish)\n" 3000 "-" (ms tp)
+
+(* ========================================================================== *)
+(* E5: heap utilization                                                       *)
+(* ========================================================================== *)
+
+let e5 () =
+  header "E5: heap utilization (Figure analogue)";
+  let corpus = Lazy.force minic_corpus in
+  let bytes = String.length corpus in
+  let g = Grammars.Minic.grammar () in
+  let gopt = Pipeline.optimize g in
+  row "minic corpus: %d bytes\n" bytes;
+  row "  %-26s %7s %10s %12s %14s %11s\n" "configuration" "slots" "chunks"
+    "memo entries" "entries/byte" "MB alloc";
+  List.iter
+    (fun (name, grammar, config) ->
+      let eng = prepare ~config grammar in
+      let out = Engine.run eng corpus in
+      assert_ok name out.Engine.result;
+      let entries = Stats.memo_entries out.stats in
+      (* GC-level allocation during one parse, as a cross-check on the
+         entry counts. *)
+      let before = Gc.allocated_bytes () in
+      ignore (Engine.run eng corpus);
+      let mb = (Gc.allocated_bytes () -. before) /. 1_048_576. in
+      row "  %-26s %7d %10d %12d %14.2f %11.1f\n" name
+        (Engine.memo_slots eng) out.stats.Stats.chunks_allocated entries
+        (float_of_int entries /. float_of_int bytes)
+        mb)
+    [
+      ("packrat hashtable", g, Config.packrat);
+      ("chunked, no transients", g, Config.v ~memo:Config.Chunked ());
+      ( "chunked + transients",
+        Passes.mark_transients g,
+        Config.v ~memo:Config.Chunked ~honor_transient:true () );
+      ( "chunked + terminals",
+        Passes.mark_terminals (Passes.mark_transients g),
+        Config.v ~memo:Config.Chunked ~honor_transient:true () );
+      ("fully optimized", gopt, Config.optimized);
+    ];
+  (* Value allocation: syntax-tree size per input byte. *)
+  let eng = prepare gopt in
+  match Engine.parse eng corpus with
+  | Ok v ->
+      row "\n  syntax-tree nodes: %d (%.2f per input byte)\n"
+        (Value.count_nodes v)
+        (float_of_int (Value.count_nodes v) /. float_of_int bytes)
+  | Error _ -> ()
+
+(* ========================================================================== *)
+(* E6: modular extension                                                      *)
+(* ========================================================================== *)
+
+let e6 () =
+  header "E6: extending MiniC by composition (the paper's motivation)";
+  let base_texts = Grammars.Minic.texts in
+  let ext_texts = Grammars.Minic.extension_texts in
+  row "base grammar: %d modules, %d LoC\n" (List.length base_texts)
+    (loc_of_texts base_texts);
+  row "extensions:   %d modules, %d LoC (pow %d, until %d, query %d, wiring %d)\n"
+    (List.length ext_texts) (loc_of_texts ext_texts)
+    (loc_of_texts [ List.nth ext_texts 0 ])
+    (loc_of_texts [ List.nth ext_texts 1 ])
+    (loc_of_texts [ List.nth ext_texts 2 ])
+    (loc_of_texts [ List.nth ext_texts 3 ]);
+  let t_compose_base =
+    time_best (fun () -> Grammars.Loader.load ~root:"c.Program" base_texts)
+  in
+  let t_compose_ext =
+    time_best (fun () ->
+        Grammars.Loader.load ~root:"cx.Program" (base_texts @ ext_texts))
+  in
+  let gb = Grammars.Minic.grammar () in
+  let gx = Grammars.Minic.extended_grammar () in
+  let t_pipeline =
+    time_best (fun () -> prepare (Pipeline.optimize gx))
+  in
+  row "compose base:                 %8.2f ms (%d productions)\n"
+    (ms t_compose_base) (Grammar.length gb);
+  row "compose base+extensions:      %8.2f ms (%d productions)\n"
+    (ms t_compose_ext) (Grammar.length gx);
+  row "optimize + prepare extended:  %8.2f ms\n" (ms t_pipeline);
+  let ext_corpus =
+    Grammars.Corpus.minic_extended (Rng.create 4) ~functions:(scale 30)
+  in
+  let engb = prepare (Pipeline.optimize gb) in
+  let engx = prepare (Pipeline.optimize gx) in
+  (match Engine.parse engx ext_corpus with
+  | Ok v ->
+      row "extended corpus (%d bytes): parsed, %d nodes\n"
+        (String.length ext_corpus) (Value.count_nodes v)
+  | Error e ->
+      failwith ("extended corpus rejected: " ^ Parse_error.message e));
+  row "base grammar rejects it:      %b\n"
+    (not (Engine.accepts engb ext_corpus));
+  let base_corpus = Lazy.force minic_corpus in
+  let tb = time_best (fun () -> Engine.parse engb base_corpus) in
+  let tx = time_best (fun () -> Engine.parse engx base_corpus) in
+  row "extension cost on base programs: %.2f ms -> %.2f ms (%.2fx)\n" (ms tb)
+    (ms tx) (tx /. tb);
+  (* Composition scaling: a chain of N modules, each modifying the
+     previous one, timed end to end (parse + resolve + flatten). *)
+  row "\ncomposition scaling (chain of modifying modules):\n";
+  row "  %-8s %12s %14s\n" "depth" "resolve ms" "alternatives";
+  List.iter
+    (fun depth ->
+      let buf = Buffer.create 4096 in
+      Buffer.add_string buf
+        "module Chain0; public X = <A0> 'a' ![0-9a-z];\n";
+      for i = 1 to depth do
+        Buffer.add_string buf
+          (Printf.sprintf
+             "module Chain%d; modify Chain%d as Prev; X += <A%d> 'a' \
+              \"%d\" ![0-9a-z];\n"
+             i (i - 1) i i)
+      done;
+      let text = Buffer.contents buf in
+      let root = Printf.sprintf "Chain%d" depth in
+      let t =
+        time_best ~repeats:3 (fun () ->
+            Grammars.Loader.load ~root [ text ])
+      in
+      let g, _ = Grammars.Loader.load ~root [ text ] in
+      let alts =
+        match (Grammar.find_exn g "X").Production.expr.Expr.it with
+        | Expr.Alt alts -> List.length alts
+        | _ -> 1
+      in
+      (* Sanity: the deepest alternative actually parses. *)
+      let eng = prepare g in
+      if not (Engine.accepts eng (Printf.sprintf "a%d" depth)) then
+        failwith "chain composition broken";
+      row "  %-8d %12.2f %14d\n" depth (ms t) alts)
+    (List.map scale [ 8; 16; 32; 64; 128 ])
+
+(* ========================================================================== *)
+(* E7: error-report quality (supplementary)                                   *)
+(* ========================================================================== *)
+
+let e7 () =
+  header "E7: farthest-failure error quality (supplementary)";
+  row
+    "corrupt one byte of a valid program; how far is the reported error\n\
+     from the corruption site? (300 corruptions per language)\n";
+  row "  %-10s %10s %10s %12s %12s\n" "language" "median" "mean" "within 10B"
+    "within 40B";
+  let measure name eng corpus_of =
+    let rng = Rng.create 4242 in
+    let deviations = ref [] in
+    let n = ref 0 in
+    while !n < 300 do
+      let src = corpus_of rng in
+      let pos = Rng.int rng (String.length src) in
+      (* Replace with a byte that cannot start anything: '@'. *)
+      let bad = String.mapi (fun i c -> if i = pos then '@' else c) src in
+      match Engine.parse eng bad with
+      | Ok _ -> () (* corruption landed in a comment/string: not an error *)
+      | Error e ->
+          incr n;
+          deviations := abs (e.Parse_error.position - pos) :: !deviations
+    done;
+    let ds = List.sort compare !deviations in
+    let len = List.length ds in
+    let median = List.nth ds (len / 2) in
+    let mean =
+      float_of_int (List.fold_left ( + ) 0 ds) /. float_of_int len
+    in
+    let within k =
+      100. *. float_of_int (List.length (List.filter (fun d -> d <= k) ds))
+      /. float_of_int len
+    in
+    row "  %-10s %9dB %9.1fB %11.1f%% %11.1f%%\n" name median mean (within 10)
+      (within 40)
+  in
+  measure "minic"
+    (prepare (Pipeline.optimize (Grammars.Minic.grammar ())))
+    (fun rng -> Grammars.Corpus.minic rng ~functions:3);
+  measure "minijava"
+    (prepare (Pipeline.optimize (Grammars.Minijava.grammar ())))
+    (fun rng -> Grammars.Corpus.minijava rng ~classes:2);
+  measure "json"
+    (prepare (Pipeline.optimize (Grammars.Json.grammar ())))
+    (fun rng -> Grammars.Corpus.json rng ~size:60)
+
+let experiments =
+  [
+    ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
+    ("e7", e7);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let args =
+    List.filter
+      (fun a ->
+        match a with
+        | "--quick" ->
+            quick := true;
+            false
+        | "--micro" ->
+            micro := true;
+            false
+        | _ -> true)
+      args
+  in
+  let selected =
+    match args with
+    | [] -> experiments
+    | names ->
+        List.map
+          (fun n ->
+            match List.assoc_opt n experiments with
+            | Some f -> (n, f)
+            | None ->
+                Printf.eprintf "unknown experiment %S (have: %s)\n" n
+                  (String.concat ", " (List.map fst experiments));
+                exit 2)
+          names
+  in
+  Printf.printf "rats-ml benchmark harness (quick=%b)\n" !quick;
+  List.iter (fun (_, f) -> f ()) selected;
+  if !micro then e2_micro ()

@@ -1,0 +1,400 @@
+(* rml — the rats-ml command-line driver.
+
+   Subcommands: modules, compose, analyze, parse, generate. Grammars come
+   from .rats files or from the built-in collection (--builtin). *)
+
+open Cmdliner
+
+let builtin_texts = function
+  | "calc" -> Some Rats.Grammars.Calc.texts
+  | "json" -> Some Rats.Grammars.Json.texts
+  | "minic" -> Some Rats.Grammars.Minic.texts
+  | "minic-ext" ->
+      Some (Rats.Grammars.Minic.texts @ Rats.Grammars.Minic.extension_texts)
+  | "minijava" -> Some Rats.Grammars.Minijava.texts
+  | "rats" -> Some Rats.Grammars.Metagrammar.texts
+  | "path" -> Some Rats.Grammars.Path.texts
+  | _ -> None
+
+let builtin_root = function
+  | "calc" -> Some "calc.Main"
+  | "json" -> Some "json.Main"
+  | "minic" -> Some "c.Program"
+  | "minic-ext" -> Some "cx.Program"
+  | "minijava" -> Some "j.Program"
+  | "rats" -> Some "rats.Syntax"
+  | "path" -> Some "path.Main"
+  | _ -> None
+
+let print_errors ds =
+  List.iter
+    (fun d -> Fmt.epr "%s@." (Rats.Diagnostic.to_string d))
+    ds;
+  1
+
+(* --- shared arguments ------------------------------------------------------ *)
+
+let files_arg =
+  Arg.(value & pos_all file [] & info [] ~docv:"GRAMMAR" ~doc:"Grammar module files (.rats).")
+
+let builtin_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "b"; "builtin" ] ~docv:"NAME"
+        ~doc:
+          "Use a built-in grammar collection instead of files: calc, json, \
+           minic, minic-ext, minijava, rats (the module language itself) or path.")
+
+let root_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "r"; "root" ] ~docv:"MODULE"
+        ~doc:"Root module to compose (defaults to the built-in's root).")
+
+let start_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "s"; "start" ] ~docv:"PROD" ~doc:"Start production.")
+
+let optimize_arg =
+  Arg.(
+    value & flag
+    & info [ "O"; "optimize" ]
+        ~doc:"Run the grammar optimization pipeline before use.")
+
+let config_arg =
+  let conv_config = function
+    | "naive" -> Ok Rats.Config.naive
+    | "packrat" -> Ok Rats.Config.packrat
+    | "optimized" -> Ok Rats.Config.optimized
+    | s -> Error (`Msg (Printf.sprintf "unknown configuration %S" s))
+  in
+  Arg.(
+    value
+    & opt
+        (conv ((fun s -> conv_config s), fun ppf c -> Fmt.string ppf (Rats.Config.describe c)))
+        Rats.Config.optimized
+    & info [ "c"; "config" ] ~docv:"CONFIG"
+        ~doc:"Engine configuration: naive, packrat or optimized.")
+
+let load_modules files builtin =
+  match (files, builtin) with
+  | [], None ->
+      Error [ Rats.Diagnostic.error "no grammar files and no --builtin given" ]
+  | files, builtin -> (
+      let texts =
+        match builtin with
+        | Some name -> (
+            match builtin_texts name with
+            | Some ts -> Ok ts
+            | None ->
+                Error
+                  [ Rats.Diagnostic.errorf "unknown built-in grammar %S" name ])
+        | None -> Ok []
+      in
+      match texts with
+      | Error ds -> Error ds
+      | Ok texts -> (
+          let from_texts =
+            List.concat_map
+              (fun t ->
+                match Rats.modules_of_string t with
+                | Ok ms -> ms
+                | Error ds -> raise (Rats.Diagnostic.Fail (List.hd ds)))
+              texts
+          in
+          match
+            List.fold_left
+              (fun acc f ->
+                match acc with
+                | Error _ as e -> e
+                | Ok ms -> (
+                    match Rats.modules_of_file f with
+                    | Ok more -> Ok (ms @ more)
+                    | Error ds -> Error ds))
+              (Ok from_texts) files
+          with
+          | exception Rats.Diagnostic.Fail d -> Error [ d ]
+          | r -> r))
+
+let compose_from files builtin root start =
+  match load_modules files builtin with
+  | Error ds -> Error ds
+  | Ok modules -> (
+      let root =
+        match (root, builtin) with
+        | Some r, _ -> Some r
+        | None, Some b -> builtin_root b
+        | None, None -> None
+      in
+      match root with
+      | None -> Error [ Rats.Diagnostic.error "no --root given" ]
+      | Some root -> Rats.compose ?start ~root modules)
+
+(* --- subcommands ------------------------------------------------------------ *)
+
+let modules_cmd =
+  let dot_arg =
+    Arg.(
+      value & flag
+      & info [ "dot" ]
+          ~doc:"Emit the module dependency graph in graphviz format.")
+  in
+  let run files builtin dot =
+    match load_modules files builtin with
+    | Error ds -> print_errors ds
+    | Ok modules ->
+        if dot then (
+          Fmt.pr "digraph modules {@.";
+          Fmt.pr "  rankdir=LR; node [shape=box, fontname=monospace];@.";
+          List.iter
+            (fun (m : Rats.Module_ast.t) ->
+              Fmt.pr "  %S;@." m.name;
+              List.iter
+                (fun (d : Rats.Module_ast.dependency) ->
+                  let style =
+                    match d.dep_kind with
+                    | Rats.Module_ast.Import -> ""
+                    | Rats.Module_ast.Modify ->
+                        " [style=bold, color=red, label=\"modify\"]"
+                  in
+                  (* Parameter targets are drawn as dashed placeholders. *)
+                  if List.mem d.target m.params then
+                    Fmt.pr "  %S -> %S [style=dashed, label=%S];@." m.name
+                      (m.name ^ "." ^ d.target)
+                      (match d.dep_kind with
+                      | Rats.Module_ast.Modify -> "modify param"
+                      | Rats.Module_ast.Import -> "import param")
+                  else Fmt.pr "  %S -> %S%s;@." m.name d.target style)
+                m.deps)
+            modules;
+          Fmt.pr "}@.";
+          0)
+        else (
+          List.iter
+            (fun (m : Rats.Module_ast.t) ->
+              Fmt.pr "module %s(%s)@." m.name (String.concat ", " m.params);
+              List.iter
+                (fun (d : Rats.Module_ast.dependency) ->
+                  Fmt.pr "  %s %s(%s) as %s@."
+                    (match d.dep_kind with
+                    | Rats.Module_ast.Import -> "import"
+                    | Rats.Module_ast.Modify -> "modify")
+                    d.target
+                    (String.concat ", " d.args)
+                    (Rats.Module_ast.dep_alias d))
+                m.deps;
+              Fmt.pr "  %d items@." (List.length m.items))
+            modules;
+          0)
+  in
+  Cmd.v (Cmd.info "modules" ~doc:"List the modules in the given grammars.")
+    Term.(const run $ files_arg $ builtin_arg $ dot_arg)
+
+let leftrec_arg =
+  Arg.(
+    value & flag
+    & info [ "L"; "eliminate-left-recursion" ]
+        ~doc:"Rewrite direct left recursion into iteration before use.")
+
+let compose_cmd =
+  let run files builtin root start optimize leftrec =
+    match compose_from files builtin root start with
+    | Error ds -> print_errors ds
+    | Ok g ->
+        let g = if leftrec then Rats.Passes.eliminate_left_recursion g else g in
+        let g = if optimize then Rats.Pipeline.optimize g else g in
+        Fmt.pr "%s" (Rats.Pretty.grammar_to_string g);
+        0
+  in
+  Cmd.v
+    (Cmd.info "compose"
+       ~doc:"Compose grammar modules and print the flat grammar.")
+    Term.(
+      const run $ files_arg $ builtin_arg $ root_arg $ start_arg
+      $ optimize_arg $ leftrec_arg)
+
+let fmt_cmd =
+  let run files builtin =
+    match load_modules files builtin with
+    | Error ds -> print_errors ds
+    | Ok modules ->
+        List.iter
+          (fun m -> Fmt.pr "%s@." (Rats.Meta_print.module_to_string m))
+          modules;
+        0
+  in
+  Cmd.v
+    (Cmd.info "fmt"
+       ~doc:"Parse grammar modules and print them back formatted.")
+    Term.(const run $ files_arg $ builtin_arg)
+
+let analyze_cmd =
+  let run files builtin root start =
+    match compose_from files builtin root start with
+    | Error ds -> print_errors ds
+    | Ok g ->
+        let a = Rats.Analysis.analyze g in
+        let issues = Rats.Analysis.check a in
+        Fmt.pr "productions:      %d@." (Rats.Grammar.length g);
+        Fmt.pr "grammar size:     %d IR nodes@." (Rats.Grammar.size g);
+        Fmt.pr "start symbol:     %s@." (Rats.Grammar.start g);
+        let reach = Rats.Analysis.reachable a in
+        Fmt.pr "reachable:        %d@."
+          (Rats.Analysis.StringSet.cardinal reach);
+        let terminals = Rats.Passes.terminal_set g in
+        Fmt.pr "terminal-level:   %d@."
+          (Rats.Analysis.StringSet.cardinal terminals);
+        let stateful =
+          List.length
+            (List.filter
+               (fun (p : Rats.Production.t) -> Rats.Analysis.stateful a p.name)
+               (Rats.Grammar.productions g))
+        in
+        Fmt.pr "stateful:         %d@." stateful;
+        let lints = Rats.Lint.check g in
+        Fmt.pr "lint warnings:    %d@." (List.length lints);
+        List.iter (fun d -> Fmt.pr "%s@." (Rats.Diagnostic.to_string d)) lints;
+        if issues = [] then (
+          Fmt.pr "well-formed:      yes@.";
+          0)
+        else (
+          List.iter (fun d -> Fmt.pr "%s@." (Rats.Diagnostic.to_string d)) issues;
+          1)
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Compose and report static analysis and well-formedness.")
+    Term.(const run $ files_arg $ builtin_arg $ root_arg $ start_arg)
+
+let parse_cmd =
+  let input_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "i"; "input" ] ~docv:"FILE" ~doc:"Input file to parse ('-' for stdin).")
+  in
+  let stats_arg =
+    Arg.(value & flag & info [ "stats" ] ~doc:"Print parse statistics.")
+  in
+  let quiet_arg =
+    Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Do not print the tree.")
+  in
+  let trace_arg =
+    Arg.(
+      value & flag
+      & info [ "trace" ]
+          ~doc:"Print production enter/exit events (capped at 500 lines).")
+  in
+  let run files builtin root start optimize config input stats quiet trace =
+    match compose_from files builtin root start with
+    | Error ds -> print_errors ds
+    | Ok g -> (
+        let g = if optimize then Rats.Pipeline.optimize g else g in
+        match Rats.Engine.prepare ~config g with
+        | Error ds -> print_errors ds
+        | Ok eng -> (
+            let text =
+              if input = "-" then In_channel.input_all In_channel.stdin
+              else In_channel.with_open_bin input In_channel.input_all
+            in
+            let out =
+              if trace then (
+                let shown = ref 0 in
+                let on_event (e : Rats.Engine.trace_event) =
+                  incr shown;
+                  if !shown <= 500 then
+                    Fmt.pr "%s%s %s @%d%s@."
+                      (String.make (min e.depth 40) ' ')
+                      (match e.outcome with
+                      | None -> ">"
+                      | Some p when p >= 0 -> "<"
+                      | Some _ -> "x")
+                      e.prod e.at
+                      (match e.outcome with
+                      | Some p when p >= 0 -> Printf.sprintf " -> %d" p
+                      | _ -> "")
+                  else if !shown = 501 then Fmt.pr "... (trace truncated)@."
+                in
+                match Rats.Engine.trace ~config ~on_event g text with
+                | Ok out -> out
+                | Error ds ->
+                    List.iter
+                      (fun d -> Fmt.epr "%s@." (Rats.Diagnostic.to_string d))
+                      ds;
+                    exit 1)
+              else Rats.Engine.run eng text
+            in
+            (if stats then
+               Fmt.pr "stats: %a@." Rats.Stats.pp out.stats);
+            match out.result with
+            | Ok v ->
+                if not quiet then Fmt.pr "%s@." (Rats.Value.to_string v);
+                0
+            | Error e ->
+                let source =
+                  Rats.Source.of_string
+                    ~name:(if input = "-" then "<stdin>" else input)
+                    text
+                in
+                Fmt.epr "%s@." (Rats.Parse_error.to_string ~source e);
+                1))
+  in
+  Cmd.v (Cmd.info "parse" ~doc:"Parse an input file with a composed grammar.")
+    Term.(
+      const run $ files_arg $ builtin_arg $ root_arg $ start_arg
+      $ optimize_arg $ config_arg $ input_arg $ stats_arg $ quiet_arg
+      $ trace_arg)
+
+let generate_cmd =
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the generated parser here (stdout by default).")
+  in
+  let mli_arg =
+    Arg.(
+      value & flag
+      & info [ "mli" ]
+          ~doc:"Also write the matching .mli next to the output file.")
+  in
+  let run files builtin root start optimize config out mli =
+    match compose_from files builtin root start with
+    | Error ds -> print_errors ds
+    | Ok g -> (
+        let g = if optimize then Rats.Pipeline.optimize g else g in
+        match Rats.Emit.grammar_module ~config g with
+        | Error ds -> print_errors ds
+        | Ok code ->
+            (match out with
+            | None -> print_string code
+            | Some path ->
+                Out_channel.with_open_bin path (fun oc ->
+                    Out_channel.output_string oc code);
+                if mli && Filename.check_suffix path ".ml" then
+                  Out_channel.with_open_bin (path ^ "i") (fun oc ->
+                      Out_channel.output_string oc (Rats.Emit.interface ())));
+            0)
+  in
+  Cmd.v
+    (Cmd.info "generate"
+       ~doc:"Generate a self-contained OCaml parser module for the grammar.")
+    Term.(
+      const run $ files_arg $ builtin_arg $ root_arg $ start_arg
+      $ optimize_arg $ config_arg $ out_arg $ mli_arg)
+
+let () =
+  let doc = "modular syntax for extensible parsers (after Rats!, PLDI 2006)" in
+  let info = Cmd.info "rml" ~version:Rats.version ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [
+            modules_cmd; compose_cmd; analyze_cmd; parse_cmd; generate_cmd;
+            fmt_cmd;
+          ]))

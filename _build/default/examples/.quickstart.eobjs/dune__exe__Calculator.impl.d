@@ -1,0 +1,1 @@
+examples/calculator.ml: Array Float List Printf Rats Result Sys

@@ -1,0 +1,1 @@
+examples/generate_parser.ml: List Out_channel Printf Rats String Sys

@@ -1,0 +1,1 @@
+examples/generate_parser.mli:

@@ -1,0 +1,1 @@
+examples/json_pretty.ml: Engine Fmt Grammars In_channel List Parse_error Rats Result Source String Sys Value

@@ -1,0 +1,1 @@
+examples/language_tour.ml: Engine Grammar Grammars List Parse_error Printf Rats Resolve Result String Value

@@ -1,0 +1,1 @@
+examples/language_tour.mli:

@@ -1,0 +1,1 @@
+examples/minic_typedefs.ml: Engine Grammars List Parse_error Printf Rats Result Source String Value

@@ -1,0 +1,1 @@
+examples/minic_typedefs.mli:

@@ -1,0 +1,1 @@
+examples/selfhost.ml: Engine Grammar Grammars In_channel List Meta_parser Parse_error Printf Rats Result Source String Sys Value

@@ -1,0 +1,69 @@
+(* Parse JSON with the modular grammar and re-print it formatted —
+   consuming generic syntax trees the way a downstream tool would.
+
+   Run with:  dune exec examples/json_pretty.exe            (demo input)
+              dune exec examples/json_pretty.exe -- file.json  *)
+
+open Rats
+
+let demo =
+  {|{"name":"rats-ml","versions":[1,2,3],"stable":true,
+    "meta":{"license":null,"keywords":["peg","packrat","modular"]}}|}
+
+let rec pp ?(indent = 0) ppf (v : Value.t) =
+  let pad = String.make indent ' ' in
+  match v with
+  | Value.Node { name = "Null"; _ } -> Fmt.string ppf "null"
+  | Value.Node { name = "True"; _ } -> Fmt.string ppf "true"
+  | Value.Node { name = "False"; _ } -> Fmt.string ppf "false"
+  | Value.Node { name = "Num"; children = [ (_, Value.Str s) ]; _ } ->
+      Fmt.string ppf s
+  | Value.Node { name = "Str"; children = [ (_, Value.Str s) ]; _ } ->
+      Fmt.pf ppf "\"%s\"" s
+  | Value.Node { name = "Object"; children = []; _ } -> Fmt.string ppf "{}"
+  | Value.Node
+      { name = "Object"; children = [ (_, first); (_, Value.List rest) ]; _ }
+    ->
+      Fmt.pf ppf "{";
+      List.iteri
+        (fun i m ->
+          if i > 0 then Fmt.pf ppf ",";
+          Fmt.pf ppf "\n%s  " pad;
+          member ~indent:(indent + 2) ppf m)
+        (first :: rest);
+      Fmt.pf ppf "\n%s}" pad
+  | Value.Node { name = "Array"; children = []; _ } -> Fmt.string ppf "[]"
+  | Value.Node
+      { name = "Array"; children = [ (_, first); (_, Value.List rest) ]; _ } ->
+      Fmt.pf ppf "[";
+      List.iteri
+        (fun i item ->
+          if i > 0 then Fmt.pf ppf ",";
+          Fmt.pf ppf "\n%s  " pad;
+          pp ~indent:(indent + 2) ppf item)
+        (first :: rest);
+      Fmt.pf ppf "\n%s]" pad
+  | v -> Fmt.failwith "unexpected node: %s" (Value.to_string v)
+
+and member ~indent ppf m =
+  match m with
+  | Value.Node { name = "Member"; children = [ (_, Value.Str k); (_, v) ]; _ }
+    ->
+      Fmt.pf ppf "\"%s\": %a" k (pp ~indent) v
+  | v -> Fmt.failwith "unexpected member: %s" (Value.to_string v)
+
+let () =
+  let text =
+    match Sys.argv with
+    | [| _; path |] -> In_channel.with_open_bin path In_channel.input_all
+    | _ -> demo
+  in
+  let parser =
+    Result.get_ok (Rats.parser_of (Grammars.Json.grammar ()))
+  in
+  match Engine.parse parser text with
+  | Ok tree -> Fmt.pr "%a@." (pp ~indent:0) tree
+  | Error e ->
+      Fmt.epr "%s@."
+        (Parse_error.to_string ~source:(Source.of_string ~name:"input" text) e);
+      exit 1

@@ -1,0 +1,74 @@
+(* Quickstart: write a grammar as text, compose it, parse something.
+
+   Run with:  dune exec examples/quickstart.exe  *)
+
+let grammar_text =
+  {|
+// A grammar for key=value configuration lines.
+module demo.Config;
+
+public generic File = Spacing Line* !.;
+generic Line = key:Ident void:'=' Spacing value:$( [^\n]* ) void:'\n'? Spacing;
+Ident = $( [a-zA-Z_] [a-zA-Z0-9_]* ) Blank*;
+transient void Spacing = ([ \t\n] / Comment)*;
+transient void Blank = [ \t];
+transient void Comment = '#' [^\n]*;
+|}
+
+let input = {|# database settings
+host = localhost
+port = 5432
+
+# tuning
+threads = 8
+|}
+
+let () =
+  let modules =
+    match Rats.modules_of_string grammar_text with
+    | Ok ms -> ms
+    | Error ds ->
+        List.iter (fun d -> prerr_endline (Rats.Diagnostic.to_string d)) ds;
+        exit 1
+  in
+  let grammar =
+    match Rats.compose ~root:"demo.Config" modules with
+    | Ok g -> g
+    | Error ds ->
+        List.iter (fun d -> prerr_endline (Rats.Diagnostic.to_string d)) ds;
+        exit 1
+  in
+  let parser =
+    match Rats.parser_of grammar with
+    | Ok p -> p
+    | Error _ -> failwith "grammar failed well-formedness checks"
+  in
+  (match Rats.parse parser input with
+  | Ok tree ->
+      print_endline "parsed configuration:";
+      print_endline (Rats.Value.to_string tree);
+      (* Walk the generic tree: File > [Line...] *)
+      (match tree with
+      | Rats.Value.Node { children = [ (_, Rats.Value.List lines) ]; _ } ->
+          List.iter
+            (fun line ->
+              match
+                ( Rats.Value.child line "key",
+                  Rats.Value.child line "value" )
+              with
+              | Some (Rats.Value.Str k), Some (Rats.Value.Str v) ->
+                  Printf.printf "  %-10s -> %S\n" k (String.trim v)
+              | _ -> ())
+            lines
+      | _ -> ());
+  | Error e -> print_endline (Rats.Parse_error.to_string e));
+  (* Show the error machinery on a broken input. *)
+  let bad = "host llocalhost\n" in
+  match Rats.parse parser bad with
+  | Ok _ -> ()
+  | Error e ->
+      print_endline "\nerror reporting on a broken input:";
+      print_endline
+        (Rats.Parse_error.to_string
+           ~source:(Rats.Source.of_string ~name:"demo.conf" bad)
+           e)

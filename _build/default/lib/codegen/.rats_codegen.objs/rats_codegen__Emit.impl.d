@@ -1,0 +1,1 @@
+lib/codegen/emit.ml: Analysis Array Attr Buffer Charset Expr Grammar Hashtbl List Pretty Printf Production Rats_peg Rats_runtime Rats_support String

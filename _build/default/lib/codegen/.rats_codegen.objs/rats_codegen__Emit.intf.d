@@ -1,0 +1,1 @@
+lib/codegen/emit.mli: Diagnostic Grammar Rats_peg Rats_runtime Rats_support

@@ -1,0 +1,40 @@
+(** Parser generation: a composed grammar becomes OCaml source.
+
+    This is the Rats! moment proper — where Rats! emits a Java class per
+    grammar, we emit an OCaml module exposing
+
+    {[
+      val parse : ?require_eof:bool -> string ->
+        (Rats_peg.Value.t, string) result
+      val parse_from : string -> ?require_eof:bool -> string ->
+        (Rats_peg.Value.t, string) result
+    ]}
+
+    The generated module depends only on [rats_peg] (for [Value], [Span]
+    and [Charset]), playing the role of Rats!'s small runtime library.
+    Memoization is specialized at generation time from the configuration:
+    chunked/hashtable/none, with transient productions receiving no slot,
+    and optional FIRST-set choice dispatch compiled into OCaml [match]
+    patterns over the next byte. The [lean_values] switch is an
+    interpreter micro-optimization and is ignored here.
+
+    The grammar must pass {!Rats_peg.Analysis.check}. *)
+
+open Rats_support
+open Rats_peg
+
+val grammar_module :
+  ?config:Rats_runtime.Config.t ->
+  ?header:string ->
+  Grammar.t ->
+  (string, Diagnostic.t list) result
+(** [grammar_module g] is the OCaml source text. [header] is prepended as
+    a comment line. Default configuration is
+    {!Rats_runtime.Config.optimized}. *)
+
+val interface : unit -> string
+(** The [.mli] text matching any generated parser module. *)
+
+val function_name : int -> string -> string
+(** [function_name i name] — the mangled OCaml identifier used for
+    production [name] with index [i] (exposed for golden tests). *)

@@ -1,0 +1,72 @@
+module Span = Rats_support.Span
+module Source = Rats_support.Source
+module Diagnostic = Rats_support.Diagnostic
+module Rng = Rats_support.Rng
+module Charset = Rats_peg.Charset
+module Value = Rats_peg.Value
+module Attr = Rats_peg.Attr
+module Expr = Rats_peg.Expr
+module Production = Rats_peg.Production
+module Grammar = Rats_peg.Grammar
+module Analysis = Rats_peg.Analysis
+module Pretty = Rats_peg.Pretty
+module Builder = Rats_peg.Builder
+module Lint = Rats_peg.Lint
+module Module_ast = Rats_modules.Ast
+module Resolve = Rats_modules.Resolve
+module Meta_parser = Rats_meta.Parser
+module Meta_print = Rats_meta.Print
+module Config = Rats_runtime.Config
+module Stats = Rats_runtime.Stats
+module Parse_error = Rats_runtime.Parse_error
+module Engine = Rats_runtime.Engine
+module Desugar = Rats_optimize.Desugar
+module Passes = Rats_optimize.Passes
+module Pipeline = Rats_optimize.Pipeline
+module Emit = Rats_codegen.Emit
+
+module Grammars = struct
+  module Calc = Rats_grammars.Calc
+  module Json = Rats_grammars.Json
+  module Minic = Rats_grammars.Minic
+  module Minijava = Rats_grammars.Minijava
+  module Metagrammar = Rats_grammars.Metagrammar
+  module Path = Rats_grammars.Path
+  module Corpus = Rats_grammars.Corpus
+  module Loader = Rats_grammars.Loader
+end
+
+type 'a or_errors = ('a, Diagnostic.t list) result
+
+let modules_of_string ?name text =
+  match Meta_parser.parse_modules_string ?name text with
+  | Ok ms -> Ok ms
+  | Error d -> Error [ d ]
+
+let modules_of_file path =
+  match Source.read_file path with
+  | Error msg -> Error [ Diagnostic.error msg ]
+  | Ok src -> (
+      match Meta_parser.parse_modules src with
+      | Ok ms -> Ok ms
+      | Error d -> Error [ d ])
+
+let compose ?start ?args ~root modules =
+  match Resolve.library modules with
+  | Error ds -> Error ds
+  | Ok lib -> (
+      match Resolve.resolve lib ~root ?args ?start () with
+      | Ok (g, _) -> Ok g
+      | Error ds -> Error ds)
+
+let parser_of ?(optimize = true) ?(config = Config.optimized) g =
+  let g = if optimize then Pipeline.optimize g else g in
+  Engine.prepare ~config g
+
+let parse eng ?start input = Engine.parse eng ?start input
+
+let generate ?(optimize = true) ?config g =
+  let g = if optimize then Pipeline.optimize g else g in
+  Emit.grammar_module ?config g
+
+let version = "0.9.0"

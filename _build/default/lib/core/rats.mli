@@ -1,0 +1,85 @@
+(** rats-ml: modular syntax for extensible parsers.
+
+    One-stop facade over the library stack. The typical flow:
+
+    {[
+      let modules = Rats.modules_of_string my_grammar_text |> Result.get_ok in
+      let grammar = Rats.compose modules ~root:"my.Main" |> Result.get_ok in
+      let parser = Rats.parser_of grammar |> Result.get_ok in
+      match Rats.parse parser input with
+      | Ok tree -> ...
+      | Error e -> print_endline (Rats.Parse_error.message e)
+    ]}
+
+    Every underlying component is re-exported for direct use. *)
+
+(** {1 Re-exports} *)
+
+module Span = Rats_support.Span
+module Source = Rats_support.Source
+module Diagnostic = Rats_support.Diagnostic
+module Rng = Rats_support.Rng
+module Charset = Rats_peg.Charset
+module Value = Rats_peg.Value
+module Attr = Rats_peg.Attr
+module Expr = Rats_peg.Expr
+module Production = Rats_peg.Production
+module Grammar = Rats_peg.Grammar
+module Analysis = Rats_peg.Analysis
+module Pretty = Rats_peg.Pretty
+module Builder = Rats_peg.Builder
+module Lint = Rats_peg.Lint
+module Module_ast = Rats_modules.Ast
+module Resolve = Rats_modules.Resolve
+module Meta_parser = Rats_meta.Parser
+module Meta_print = Rats_meta.Print
+module Config = Rats_runtime.Config
+module Stats = Rats_runtime.Stats
+module Parse_error = Rats_runtime.Parse_error
+module Engine = Rats_runtime.Engine
+module Desugar = Rats_optimize.Desugar
+module Passes = Rats_optimize.Passes
+module Pipeline = Rats_optimize.Pipeline
+module Emit = Rats_codegen.Emit
+
+module Grammars : sig
+  module Calc = Rats_grammars.Calc
+  module Json = Rats_grammars.Json
+  module Minic = Rats_grammars.Minic
+  module Minijava = Rats_grammars.Minijava
+  module Metagrammar = Rats_grammars.Metagrammar
+  module Path = Rats_grammars.Path
+  module Corpus = Rats_grammars.Corpus
+  module Loader = Rats_grammars.Loader
+end
+
+(** {1 Convenience pipeline} *)
+
+type 'a or_errors = ('a, Diagnostic.t list) result
+
+val modules_of_string : ?name:string -> string -> Module_ast.t list or_errors
+(** Parse grammar-module source text. *)
+
+val modules_of_file : string -> Module_ast.t list or_errors
+
+val compose :
+  ?start:string ->
+  ?args:string list ->
+  root:string ->
+  Module_ast.t list ->
+  Grammar.t or_errors
+(** Build a library from the modules and flatten it at [root]. *)
+
+val parser_of :
+  ?optimize:bool -> ?config:Config.t -> Grammar.t -> Engine.t or_errors
+(** Prepare an engine; [optimize] (default [true]) runs the grammar-side
+    pipeline first, and the default [config] is {!Config.optimized}. *)
+
+val parse :
+  Engine.t -> ?start:string -> string -> (Value.t, Parse_error.t) result
+
+val generate :
+  ?optimize:bool -> ?config:Config.t -> Grammar.t -> string or_errors
+(** Emit a self-contained OCaml parser module for the grammar. *)
+
+val version : string

@@ -1,0 +1,1 @@
+lib/grammars/calc.ml: Float List Loader Printf Rats_peg String Texts Value

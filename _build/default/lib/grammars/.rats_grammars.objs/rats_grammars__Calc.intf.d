@@ -1,0 +1,1 @@
+lib/grammars/calc.mli: Grammar Rats_peg Value

@@ -1,0 +1,1 @@
+lib/grammars/corpus.ml: Array Buffer Char List Printf Rats_support Rng String

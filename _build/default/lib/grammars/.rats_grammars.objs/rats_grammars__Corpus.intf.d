@@ -1,0 +1,1 @@
+lib/grammars/corpus.mli: Rats_support Rng

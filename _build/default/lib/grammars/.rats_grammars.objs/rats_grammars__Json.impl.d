@@ -1,0 +1,1 @@
+lib/grammars/json.ml: List Loader Printf Rats_peg String Texts Value

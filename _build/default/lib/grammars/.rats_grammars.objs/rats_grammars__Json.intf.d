@@ -1,0 +1,1 @@
+lib/grammars/json.mli: Grammar Rats_peg Value

@@ -1,0 +1,1 @@
+lib/grammars/loader.ml: Diagnostic List Rats_meta Rats_modules Rats_support

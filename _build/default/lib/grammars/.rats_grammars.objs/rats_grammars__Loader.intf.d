@@ -1,0 +1,1 @@
+lib/grammars/loader.mli: Grammar Rats_modules Rats_peg

@@ -1,0 +1,1 @@
+lib/grammars/metagrammar.ml: Loader Texts

@@ -1,0 +1,1 @@
+lib/grammars/metagrammar.mli: Rats_peg

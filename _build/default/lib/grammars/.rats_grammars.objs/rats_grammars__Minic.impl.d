@@ -1,0 +1,1 @@
+lib/grammars/minic.ml: Hashtbl List Loader Option Printf Rats_peg String Texts Value

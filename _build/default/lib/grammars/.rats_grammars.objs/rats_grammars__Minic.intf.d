@@ -1,0 +1,1 @@
+lib/grammars/minic.mli: Grammar Rats_modules Rats_peg Value

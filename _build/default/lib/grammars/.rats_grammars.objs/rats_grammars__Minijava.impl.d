@@ -1,0 +1,1 @@
+lib/grammars/minijava.ml: List Loader Option Printf Rats_peg String Texts Value

@@ -1,0 +1,1 @@
+lib/grammars/minijava.mli: Grammar Rats_modules Rats_peg

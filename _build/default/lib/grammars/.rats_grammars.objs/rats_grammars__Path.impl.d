@@ -1,0 +1,1 @@
+lib/grammars/path.ml: Loader Texts

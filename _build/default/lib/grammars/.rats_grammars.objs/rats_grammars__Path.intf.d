@@ -1,0 +1,1 @@
+lib/grammars/path.mli: Rats_peg

@@ -1,0 +1,1 @@
+lib/grammars/texts.ml:

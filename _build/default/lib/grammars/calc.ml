@@ -1,0 +1,142 @@
+open Rats_peg
+
+let texts = [ Texts.calc ]
+let grammar () = Loader.grammar ~root:"calc.Main" texts
+let core_grammar () = Loader.grammar ~args:[ "calc.Space" ] ~root:"calc.Core" texts
+
+(* --- evaluation ---------------------------------------------------------- *)
+
+let bad v = invalid_arg ("Calc.eval: unexpected value " ^ Value.to_string v)
+
+let rec eval (v : Value.t) =
+  match v with
+  | Value.Node { name = "Sum"; children = [ (_, first); (_, List tails) ]; _ }
+    ->
+      List.fold_left (apply_tail ( +. ) ( -. ) "+") (eval first) tails
+  | Value.Node { name = "Term"; children = [ (_, first); (_, List tails) ]; _ }
+    ->
+      List.fold_left (apply_tail ( *. ) ( /. ) "*") (eval first) tails
+  | Value.Node { name = "Pow"; children = [ (_, base); (_, exp) ]; _ } ->
+      Float.pow (eval base) (eval exp)
+  | Value.Node { name = "Num"; children = [ (_, Value.Str s) ]; _ } ->
+      float_of_string s
+  | v -> bad v
+
+and apply_tail plus minus plus_op acc (tail : Value.t) =
+  match tail with
+  | Value.Node { children = [ (Some "op", Value.Str op); (_, operand) ]; _ } ->
+      if String.equal op plus_op then plus acc (eval operand)
+      else minus acc (eval operand)
+  | v -> bad v
+
+(* --- hand-written comparator ---------------------------------------------- *)
+
+exception Hand_fail of string
+
+let parse_hand input =
+  let len = String.length input in
+  let pos = ref 0 in
+  let peek () = if !pos < len then Some input.[!pos] else None in
+  let fail expected =
+    raise
+      (Hand_fail
+         (Printf.sprintf "parse error at offset %d: expected %s" !pos expected))
+  in
+  let spacing () =
+    while
+      !pos < len
+      && match input.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+    do
+      incr pos
+    done
+  in
+  let number () =
+    let start = !pos in
+    while !pos < len && input.[!pos] >= '0' && input.[!pos] <= '9' do
+      incr pos
+    done;
+    if !pos = start then fail "[0-9]";
+    (if
+       !pos + 1 < len
+       && input.[!pos] = '.'
+       && input.[!pos + 1] >= '0'
+       && input.[!pos + 1] <= '9'
+     then (
+       incr pos;
+       while !pos < len && input.[!pos] >= '0' && input.[!pos] <= '9' do
+         incr pos
+       done));
+    let text = String.sub input start (!pos - start) in
+    spacing ();
+    Value.node "Num" [ (None, Value.Str text) ]
+  in
+  (* Mirrors the composed grammar: Factor tries Pow (Atom ** Factor)
+     before the base alternatives, and an Atom without ** is exactly a
+     base Factor. *)
+  let rec sum () =
+    let first = term () in
+    let tails = ref [] in
+    let rec more () =
+      match peek () with
+      | Some (('+' | '-') as op) ->
+          incr pos;
+          spacing ();
+          let operand = term () in
+          tails :=
+            Value.node "SumTail"
+              [ (Some "op", Value.Str (String.make 1 op)); (None, operand) ]
+            :: !tails;
+          more ()
+      | _ -> ()
+    in
+    more ();
+    Value.node "Sum" [ (None, first); (None, Value.List (List.rev !tails)) ]
+  and term () =
+    let first = factor () in
+    let tails = ref [] in
+    let rec more () =
+      match peek () with
+      | Some (('*' | '/') as op)
+        when not (op = '*' && !pos + 1 < len && input.[!pos + 1] = '*') ->
+          incr pos;
+          spacing ();
+          let operand = factor () in
+          tails :=
+            Value.node "TermTail"
+              [ (Some "op", Value.Str (String.make 1 op)); (None, operand) ]
+            :: !tails;
+          more ()
+      | _ -> ()
+    in
+    more ();
+    Value.node "Term" [ (None, first); (None, Value.List (List.rev !tails)) ]
+  and atom () =
+    match peek () with
+    | Some '(' ->
+        incr pos;
+        spacing ();
+        let v = sum () in
+        (match peek () with
+        | Some ')' ->
+            incr pos;
+            spacing ()
+        | _ -> fail "\")\"");
+        v
+    | _ -> number ()
+  and factor () =
+    let a = atom () in
+    if !pos + 1 < len && input.[!pos] = '*' && input.[!pos + 1] = '*' then (
+      pos := !pos + 2;
+      spacing ();
+      let f = factor () in
+      Value.node "Pow" [ (None, a); (None, f) ])
+    else a
+  in
+  match
+    spacing ();
+    let v = sum () in
+    if !pos < len then fail "end of input";
+    v
+  with
+  | v -> Ok v
+  | exception Hand_fail msg -> Error msg

@@ -1,0 +1,24 @@
+(** The calculator language: modular grammar, evaluator, and a
+    hand-written recursive-descent comparator that builds bit-identical
+    trees (the E2 baseline in miniature). *)
+
+open Rats_peg
+
+val texts : string list
+(** The grammar-module sources (one multi-module text). *)
+
+val grammar : unit -> Grammar.t
+(** Composed from [calc.Main]: spacing, numbers, core, and the [**]
+    extension. Fresh value on each call. *)
+
+val core_grammar : unit -> Grammar.t
+(** Composed without the [**] extension (root [calc.Core] wired to
+    [calc.Space]) — used to demonstrate extension by composition. *)
+
+val eval : Value.t -> float
+(** Evaluate a tree produced by any of the calculator parsers. Raises
+    [Invalid_argument] on foreign trees. *)
+
+val parse_hand : string -> (Value.t, string) result
+(** Hand-written recursive-descent parser for the same language,
+    producing structurally equal values. *)

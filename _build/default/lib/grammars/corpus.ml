@@ -1,0 +1,411 @@
+open Rats_support
+
+let buf_add = Buffer.add_string
+
+(* --- arithmetic ----------------------------------------------------------- *)
+
+let arith rng ~size =
+  let buf = Buffer.create (size * 4) in
+  let rec go n =
+    if n <= 1 then buf_add buf (string_of_int (Rng.in_range rng 0 999))
+    else
+      match Rng.int rng 6 with
+      | 0 ->
+          Buffer.add_char buf '(';
+          go (n - 1);
+          Buffer.add_char buf ')'
+      | 1 ->
+          let left = max 1 (n / 3) in
+          go left;
+          buf_add buf " ** ";
+          go (n - left - 1)
+      | k ->
+          let left = max 1 (n / 2) in
+          go left;
+          buf_add buf
+            (match k with 2 -> " + " | 3 -> " - " | 4 -> " * " | _ -> " / ");
+          go (n - left)
+  in
+  go size;
+  Buffer.contents buf
+
+(* --- JSON ------------------------------------------------------------------ *)
+
+let json_key rng i = Printf.sprintf "\"k%d_%d\"" i (Rng.int rng 100)
+
+let json rng ~size =
+  let buf = Buffer.create (size * 12) in
+  let rec value n depth =
+    if n <= 1 || depth > 6 then
+      match Rng.int rng 5 with
+      | 0 -> buf_add buf (string_of_int (Rng.in_range rng (-1000) 1000))
+      | 1 -> buf_add buf (Printf.sprintf "%d.%d" (Rng.int rng 100) (Rng.int rng 100))
+      | 2 -> buf_add buf (Printf.sprintf "\"s%d\"" (Rng.int rng 10000))
+      | 3 -> buf_add buf (if Rng.bool rng then "true" else "false")
+      | _ -> buf_add buf "null"
+    else if Rng.bool rng then (
+      (* object *)
+      let fields = min (Rng.in_range rng 1 5) n in
+      Buffer.add_char buf '{';
+      let share = max 1 ((n - 1) / fields) in
+      for i = 0 to fields - 1 do
+        if i > 0 then buf_add buf ", ";
+        buf_add buf (json_key rng i);
+        buf_add buf ": ";
+        value share (depth + 1)
+      done;
+      Buffer.add_char buf '}')
+    else (
+      let items = min (Rng.in_range rng 1 6) n in
+      Buffer.add_char buf '[';
+      let share = max 1 ((n - 1) / items) in
+      for i = 0 to items - 1 do
+        if i > 0 then buf_add buf ", ";
+        value share (depth + 1)
+      done;
+      Buffer.add_char buf ']')
+  in
+  value size 0;
+  Buffer.contents buf
+
+(* --- MiniC ------------------------------------------------------------------ *)
+
+type mc = {
+  rng : Rng.t;
+  buf : Buffer.t;
+  mutable indent : int;
+  mutable locals : string list;  (* in-scope variable names *)
+  mutable fns : string list;  (* defined function names *)
+  extended : bool;
+}
+
+let line mc s =
+  buf_add mc.buf (String.make (mc.indent * 2) ' ');
+  buf_add mc.buf s;
+  Buffer.add_char mc.buf '\n'
+
+let pick_local mc =
+  match mc.locals with
+  | [] -> string_of_int (Rng.int mc.rng 100)
+  | ls -> Rng.pick mc.rng (Array.of_list ls)
+
+let rec expr mc n =
+  if n <= 1 then
+    match Rng.int mc.rng 6 with
+    | 0 -> string_of_int (Rng.int mc.rng 1000)
+    | 1 -> Printf.sprintf "%d.%d" (Rng.int mc.rng 50) (Rng.int mc.rng 100)
+    | 2 -> pick_local mc
+    | 3 -> Printf.sprintf "\"str%d\"" (Rng.int mc.rng 100)
+    | 4 -> Printf.sprintf "'%c'" (Char.chr (Rng.in_range mc.rng 97 122))
+    | _ -> pick_local mc
+  else
+    match Rng.int mc.rng (if mc.extended then 12 else 10) with
+    | 0 -> Printf.sprintf "(%s)" (expr mc (n - 1))
+    | 1 ->
+        Printf.sprintf "%s(%s)"
+          (match mc.fns with
+          | [] -> "f0"
+          | fs -> Rng.pick mc.rng (Array.of_list fs))
+          (if n > 2 then expr mc (n / 2) else "")
+    | 2 -> Printf.sprintf "%s[%s]" (pick_local mc) (expr mc (n - 1))
+    | 3 -> Printf.sprintf "!%s" (expr mc (n - 1))
+    | 4 -> Printf.sprintf "-%s" (expr mc (n - 1))
+    | 5 ->
+        Printf.sprintf "%s %s %s" (expr mc (n / 2))
+          (Rng.pick mc.rng [| "+"; "-"; "*"; "/"; "%" |])
+          (expr mc (n - (n / 2)))
+    | 6 ->
+        Printf.sprintf "%s %s %s" (expr mc (n / 2))
+          (Rng.pick mc.rng [| "<"; ">"; "<="; ">="; "=="; "!=" |])
+          (expr mc (n - (n / 2)))
+    | 7 ->
+        Printf.sprintf "%s %s %s" (expr mc (n / 2))
+          (Rng.pick mc.rng [| "&&"; "||" |])
+          (expr mc (n - (n / 2)))
+    | 8 -> Printf.sprintf "%s++" (pick_local mc)
+    | 9 ->
+        if Rng.bool mc.rng then Printf.sprintf "sizeof(%s)" (expr mc (n - 1))
+        else
+          Printf.sprintf "(%s)%s"
+            (Rng.pick mc.rng [| "int"; "double"; "myint_t"; "unsigned long" |])
+            (expr mc (n - 1))
+    | 10 -> Printf.sprintf "%s ** %s" (expr mc (n / 2)) (expr mc (n - (n / 2)))
+    | _ ->
+        Printf.sprintf "query { select a, b from t%d where %s }"
+          (Rng.int mc.rng 10) (expr mc (n - 1))
+
+let fresh_var mc =
+  let v = Printf.sprintf "v%d" (List.length mc.locals) in
+  mc.locals <- v :: mc.locals;
+  v
+
+let rec statement mc depth =
+  match Rng.int mc.rng (if mc.extended then 11 else 10) with
+  | 0 when depth < 3 ->
+      line mc "{";
+      mc.indent <- mc.indent + 1;
+      let saved = mc.locals in
+      for _ = 1 to Rng.in_range mc.rng 1 3 do
+        statement mc (depth + 1)
+      done;
+      mc.locals <- saved;
+      mc.indent <- mc.indent - 1;
+      line mc "}"
+  | 1 when depth < 3 ->
+      line mc (Printf.sprintf "if (%s)" (expr mc 3));
+      mc.indent <- mc.indent + 1;
+      statement mc (depth + 1);
+      mc.indent <- mc.indent - 1;
+      if Rng.bool mc.rng then (
+        line mc "else";
+        mc.indent <- mc.indent + 1;
+        statement mc (depth + 1);
+        mc.indent <- mc.indent - 1)
+  | 2 when depth < 3 ->
+      line mc (Printf.sprintf "while (%s)" (expr mc 3));
+      mc.indent <- mc.indent + 1;
+      statement mc (depth + 1);
+      mc.indent <- mc.indent - 1
+  | 3 when depth < 3 ->
+      line mc "do";
+      mc.indent <- mc.indent + 1;
+      statement mc (depth + 1);
+      mc.indent <- mc.indent - 1;
+      line mc (Printf.sprintf "while (%s);" (expr mc 2))
+  | 4 when depth < 3 ->
+      let v = pick_local mc in
+      line mc
+        (Printf.sprintf "for (%s = 0; %s < %s; %s++)" v v
+           (string_of_int (Rng.in_range mc.rng 1 100))
+           v);
+      mc.indent <- mc.indent + 1;
+      statement mc (depth + 1);
+      mc.indent <- mc.indent - 1
+  | 5 -> line mc (Printf.sprintf "return %s;" (expr mc 3))
+  | 6 ->
+      let v = fresh_var mc in
+      line mc
+        (Printf.sprintf "%s %s = %s;"
+           (Rng.pick mc.rng
+              [| "int"; "long"; "unsigned int"; "char"; "double"; "myint_t" |])
+           v (expr mc 2))
+  | 7 -> line mc (Printf.sprintf "%s = %s;" (pick_local mc) (expr mc 3))
+  | 8 -> line mc (Printf.sprintf "%s;" (expr mc 4))
+  | 9 ->
+      if Rng.bool mc.rng then
+        line mc (Printf.sprintf "%s += %s;" (pick_local mc) (expr mc 2))
+      else if Rng.bool mc.rng && depth = 0 then (
+        (* Two statements; only valid where a statement list is allowed. *)
+        let l = Printf.sprintf "lbl%d" (Rng.int mc.rng 10) in
+        line mc (Printf.sprintf "%s: %s;" l (expr mc 2));
+        line mc (Printf.sprintf "goto %s;" l))
+      else (
+        line mc (Printf.sprintf "switch (%s) {" (pick_local mc));
+        mc.indent <- mc.indent + 1;
+        for k = 0 to Rng.in_range mc.rng 0 2 do
+          line mc (Printf.sprintf "case %d:" k);
+          mc.indent <- mc.indent + 1;
+          line mc (Printf.sprintf "%s = %s;" (pick_local mc) (expr mc 2));
+          line mc "break;";
+          mc.indent <- mc.indent - 1
+        done;
+        line mc "default:";
+        mc.indent <- mc.indent + 1;
+        line mc "break;";
+        mc.indent <- mc.indent - 1;
+        mc.indent <- mc.indent - 1;
+        line mc "}")
+  | 10 when depth < 3 ->
+      line mc (Printf.sprintf "until (%s)" (expr mc 2));
+      mc.indent <- mc.indent + 1;
+      statement mc (depth + 1);
+      mc.indent <- mc.indent - 1
+  | _ -> line mc (Printf.sprintf "%s;" (expr mc 3))
+
+let minic_program rng ~functions ~extended =
+  let mc =
+    { rng; buf = Buffer.create 4096; indent = 0; locals = []; fns = []; extended }
+  in
+  line mc "// synthetic MiniC program";
+  line mc "typedef unsigned int myint_t;";
+  line mc "typedef myint_t *handle_t;";
+  line mc "";
+  line mc "struct point { int x; int y; myint_t tag; };";
+  line mc "";
+  line mc "int g_counter = 0;";
+  line mc "myint_t g_limit = 100;";
+  line mc "";
+  for i = 0 to functions - 1 do
+    let name = Printf.sprintf "f%d" i in
+    mc.locals <- [ "a"; "b" ];
+    line mc
+      (Printf.sprintf "%s %s(int a, myint_t b) {"
+         (Rng.pick rng [| "int"; "myint_t"; "double"; "void" |])
+         name);
+    mc.indent <- 1;
+    for _ = 1 to Rng.in_range rng 3 8 do
+      statement mc 0
+    done;
+    line mc (Printf.sprintf "return %s;" (expr mc 2));
+    mc.indent <- 0;
+    line mc "}";
+    line mc "";
+    mc.fns <- name :: mc.fns
+  done;
+  Buffer.contents mc.buf
+
+let minic rng ~functions = minic_program rng ~functions ~extended:false
+let minic_extended rng ~functions = minic_program rng ~functions ~extended:true
+
+let pathological ~depth =
+  String.make depth '(' ^ "1" ^ String.make depth ')'
+
+(* --- MiniJava ----------------------------------------------------------------- *)
+
+type mj = {
+  jrng : Rng.t;
+  jbuf : Buffer.t;
+  mutable jindent : int;
+  mutable jlocals : string list;
+  mutable jmethods : string list;
+}
+
+let jline mj s =
+  buf_add mj.jbuf (String.make (mj.jindent * 2) ' ');
+  buf_add mj.jbuf s;
+  Buffer.add_char mj.jbuf '\n'
+
+let jpick mj =
+  match mj.jlocals with
+  | [] -> string_of_int (Rng.int mj.jrng 100)
+  | ls -> Rng.pick mj.jrng (Array.of_list ls)
+
+let jtype mj =
+  Rng.pick mj.jrng [| "int"; "boolean"; "double"; "char"; "Point"; "int[]" |]
+
+let rec jexpr mj n =
+  if n <= 1 then
+    match Rng.int mj.jrng 8 with
+    | 0 -> string_of_int (Rng.int mj.jrng 1000)
+    | 1 -> Printf.sprintf "%d.%d" (Rng.int mj.jrng 50) (Rng.int mj.jrng 100)
+    | 2 -> "true"
+    | 3 -> "false"
+    | 4 -> "null"
+    | 5 -> "this"
+    | 6 -> Printf.sprintf "\"s%d\"" (Rng.int mj.jrng 100)
+    | _ -> jpick mj
+  else
+    match Rng.int mj.jrng 10 with
+    | 0 -> Printf.sprintf "(%s)" (jexpr mj (n - 1))
+    | 1 ->
+        Printf.sprintf "%s(%s)"
+          (match mj.jmethods with
+          | [] -> "helper"
+          | ms -> Rng.pick mj.jrng (Array.of_list ms))
+          (if n > 2 then jexpr mj (n / 2) else "")
+    | 2 -> Printf.sprintf "this.%s(%s)" "size" (jexpr mj (n / 2))
+    | 3 -> Printf.sprintf "%s.%s" (jpick mj) "length"
+    | 4 -> Printf.sprintf "%s[%s]" (jpick mj) (jexpr mj (n - 1))
+    | 5 -> Printf.sprintf "new Point(%s)" (jexpr mj (n / 2))
+    | 6 -> Printf.sprintf "new int[%s]" (jexpr mj (n - 1))
+    | 7 ->
+        Printf.sprintf "%s %s %s" (jexpr mj (n / 2))
+          (Rng.pick mj.jrng [| "+"; "-"; "*"; "/"; "%" |])
+          (jexpr mj (n - (n / 2)))
+    | 8 ->
+        Printf.sprintf "%s %s %s" (jexpr mj (n / 2))
+          (Rng.pick mj.jrng [| "<"; ">"; "=="; "!="; "&&"; "||" |])
+          (jexpr mj (n - (n / 2)))
+    | _ -> Printf.sprintf "!%s" (jexpr mj (n - 1))
+
+let jfresh mj =
+  let v = Printf.sprintf "x%d" (List.length mj.jlocals) in
+  mj.jlocals <- v :: mj.jlocals;
+  v
+
+let rec jstatement mj depth =
+  match Rng.int mj.jrng 9 with
+  | 0 when depth < 3 ->
+      jline mj "{";
+      mj.jindent <- mj.jindent + 1;
+      let saved = mj.jlocals in
+      for _ = 1 to Rng.in_range mj.jrng 1 3 do
+        jstatement mj (depth + 1)
+      done;
+      mj.jlocals <- saved;
+      mj.jindent <- mj.jindent - 1;
+      jline mj "}"
+  | 1 when depth < 3 ->
+      jline mj (Printf.sprintf "if (%s)" (jexpr mj 3));
+      mj.jindent <- mj.jindent + 1;
+      jstatement mj (depth + 1);
+      mj.jindent <- mj.jindent - 1;
+      if Rng.bool mj.jrng then (
+        jline mj "else";
+        mj.jindent <- mj.jindent + 1;
+        jstatement mj (depth + 1);
+        mj.jindent <- mj.jindent - 1)
+  | 2 when depth < 3 ->
+      jline mj (Printf.sprintf "while (%s)" (jexpr mj 3));
+      mj.jindent <- mj.jindent + 1;
+      jstatement mj (depth + 1);
+      mj.jindent <- mj.jindent - 1
+  | 3 when depth < 3 ->
+      let v = jpick mj in
+      jline mj
+        (Printf.sprintf "for (int i%d = 0; i%d < %s; i%d++)"
+           depth depth v depth);
+      mj.jindent <- mj.jindent + 1;
+      jstatement mj (depth + 1);
+      mj.jindent <- mj.jindent - 1
+  | 4 -> jline mj (Printf.sprintf "return %s;" (jexpr mj 3))
+  | 5 ->
+      let v = jfresh mj in
+      jline mj (Printf.sprintf "%s %s = %s;" (jtype mj) v (jexpr mj 2))
+  | 6 -> jline mj (Printf.sprintf "%s = %s;" (jpick mj) (jexpr mj 3))
+  | 7 -> jline mj (Printf.sprintf "%s;" (jexpr mj 4))
+  | _ -> jline mj (Printf.sprintf "%s++;" (jpick mj))
+
+let minijava rng ~classes =
+  let mj =
+    { jrng = rng; jbuf = Buffer.create 4096; jindent = 0; jlocals = [];
+      jmethods = [] }
+  in
+  jline mj "// synthetic MiniJava program";
+  jline mj "class Point {";
+  mj.jindent <- 1;
+  jline mj "int x;";
+  jline mj "int y;";
+  jline mj "static int count = 0;";
+  jline mj "int size(int scale) { return this.x * scale + this.y; }";
+  mj.jindent <- 0;
+  jline mj "}";
+  jline mj "";
+  mj.jmethods <- [ "size" ];
+  for i = 0 to classes - 1 do
+    jline mj (Printf.sprintf "class C%d extends Point {" i);
+    mj.jindent <- 1;
+    for _ = 1 to Rng.in_range rng 1 3 do
+      jline mj
+        (Printf.sprintf "%s f%d = %s;" (jtype mj) (Rng.int rng 100)
+           (jexpr mj 2))
+    done;
+    for m = 0 to Rng.in_range rng 1 3 do
+      let name = Printf.sprintf "m%d_%d" i m in
+      mj.jlocals <- [ "a"; "b" ];
+      jline mj
+        (Printf.sprintf "%s %s(int a, double b) {" (jtype mj) name);
+      mj.jindent <- mj.jindent + 1;
+      for _ = 1 to Rng.in_range rng 2 6 do
+        jstatement mj 0
+      done;
+      jline mj (Printf.sprintf "return %s;" (jexpr mj 2));
+      mj.jindent <- mj.jindent - 1;
+      jline mj "}";
+      mj.jmethods <- name :: mj.jmethods
+    done;
+    mj.jindent <- 0;
+    jline mj "}";
+    jline mj ""
+  done;
+  Buffer.contents mj.jbuf

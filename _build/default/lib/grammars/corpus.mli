@@ -1,0 +1,34 @@
+(** Deterministic synthetic workloads.
+
+    The paper measures on real C and Java sources; our substitute is a
+    seeded generator per language so the benchmarks get inputs of
+    controlled size with realistic construct mix, reproducible across
+    runs and machines (see DESIGN.md, substitutions). *)
+
+open Rats_support
+
+val arith : Rng.t -> size:int -> string
+(** Arithmetic expression for the calculator grammar: numbers, the four
+    operators, parentheses and [**]. [size] is roughly the number of
+    leaf numbers. *)
+
+val json : Rng.t -> size:int -> string
+(** A JSON document with about [size] scalar leaves. *)
+
+val minic : Rng.t -> functions:int -> string
+(** A MiniC program: a couple of typedefs and a struct, then [functions]
+    function definitions with declarations, control flow and expression
+    statements. Exercises the typedef state machinery. *)
+
+val minic_extended : Rng.t -> functions:int -> string
+(** Like {!minic} but sprinkled with the E6 extension constructs:
+    [**] powers, [until] loops and [query { select ... }]. *)
+
+val pathological : depth:int -> string
+(** [depth] nested parentheses around a digit — exponential for the
+    memoless baseline on the [path.Main] grammar. *)
+
+val minijava : Rng.t -> classes:int -> string
+(** A MiniJava program: a base class plus [classes] derived classes with
+    fields and methods. Entirely stateless — the contrast case to
+    {!minic} for the memoization experiments. *)

@@ -1,0 +1,150 @@
+open Rats_peg
+
+let texts = [ Texts.json ]
+let grammar () = Loader.grammar ~root:"json.Main" texts
+
+exception Hand_fail of string
+
+let parse_hand input =
+  let len = String.length input in
+  let pos = ref 0 in
+  let fail expected =
+    raise
+      (Hand_fail
+         (Printf.sprintf "parse error at offset %d: expected %s" !pos expected))
+  in
+  let spacing () =
+    while
+      !pos < len
+      && match input.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+    do
+      incr pos
+    done
+  in
+  let lit kw =
+    let n = String.length kw in
+    if !pos + n <= len && String.sub input !pos n = kw then (
+      pos := !pos + n;
+      spacing ())
+    else fail (Printf.sprintf "%S" kw)
+  in
+  let string_lit () =
+    if !pos >= len || input.[!pos] <> '"' then fail "'\"'";
+    incr pos;
+    let start = !pos in
+    let rec go () =
+      if !pos >= len then fail "'\"'"
+      else
+        match input.[!pos] with
+        | '"' -> ()
+        | '\\' ->
+            pos := !pos + 2;
+            go ()
+        | _ ->
+            incr pos;
+            go ()
+    in
+    go ();
+    let raw = String.sub input start (!pos - start) in
+    incr pos;
+    spacing ();
+    raw
+  in
+  let number () =
+    let start = !pos in
+    if !pos < len && input.[!pos] = '-' then incr pos;
+    let digits () =
+      let d0 = !pos in
+      while !pos < len && input.[!pos] >= '0' && input.[!pos] <= '9' do
+        incr pos
+      done;
+      if !pos = d0 then fail "[0-9]"
+    in
+    (* Int = '0' / [1-9] [0-9]* *)
+    if !pos < len && input.[!pos] = '0' then incr pos
+    else digits ();
+    if !pos + 1 < len && input.[!pos] = '.' then (
+      incr pos;
+      digits ());
+    (if !pos < len && (input.[!pos] = 'e' || input.[!pos] = 'E') then (
+       incr pos;
+       if !pos < len && (input.[!pos] = '+' || input.[!pos] = '-') then
+         incr pos;
+       digits ()));
+    let raw = String.sub input start (!pos - start) in
+    if String.length raw = 0 || raw = "-" then fail "number";
+    spacing ();
+    raw
+  in
+  let rec value () =
+    if !pos >= len then fail "a JSON value"
+    else
+      match input.[!pos] with
+      | '{' ->
+          incr pos;
+          spacing ();
+          let members = ref [] in
+          if !pos < len && input.[!pos] = '}' then (
+            incr pos;
+            spacing ();
+            Value.node "Object" [])
+          else (
+            members := [ member () ];
+            while !pos < len && input.[!pos] = ',' do
+              incr pos;
+              spacing ();
+              members := member () :: !members
+            done;
+            lit "}";
+            match List.rev !members with
+            | first :: rest ->
+                Value.node "Object"
+                  [ (None, first); (None, Value.List rest) ]
+            | [] -> assert false)
+      | '[' ->
+          incr pos;
+          spacing ();
+          if !pos < len && input.[!pos] = ']' then (
+            incr pos;
+            spacing ();
+            Value.node "Array" [])
+          else
+            let items = ref [ value () ] in
+            let () =
+              while !pos < len && input.[!pos] = ',' do
+                incr pos;
+                spacing ();
+                items := value () :: !items
+              done
+            in
+            let () = lit "]" in
+            (match List.rev !items with
+            | first :: rest ->
+                Value.node "Array" [ (None, first); (None, Value.List rest) ]
+            | [] -> assert false)
+      | '"' -> Value.node "Str" [ (None, Value.Str (string_lit ())) ]
+      | 't' ->
+          lit "true";
+          Value.node "True" []
+      | 'f' ->
+          lit "false";
+          Value.node "False" []
+      | 'n' ->
+          lit "null";
+          Value.node "Null" []
+      | '-' | '0' .. '9' -> Value.node "Num" [ (None, Value.Str (number ())) ]
+      | _ -> fail "a JSON value"
+  and member () =
+    let key = string_lit () in
+    lit ":";
+    let v = value () in
+    Value.node "Member" [ (None, Value.Str key); (None, v) ]
+  in
+  match
+    spacing ();
+    let v = value () in
+    if !pos < len then fail "end of input";
+    v
+  with
+  | v -> Ok v
+  | exception Hand_fail msg -> Error msg

@@ -1,0 +1,13 @@
+(** JSON: modular grammar plus a hand-written comparator building
+    structurally equal trees. *)
+
+open Rats_peg
+
+val texts : string list
+val grammar : unit -> Grammar.t
+(** Composed from [json.Main]. *)
+
+val parse_hand : string -> (Value.t, string) result
+(** Hand-written recursive-descent JSON parser producing the same tree
+    shapes as the grammar (string contents are kept raw, not unescaped,
+    exactly as the grammar's token capture does). *)

@@ -1,0 +1,24 @@
+open Rats_support
+
+let library_of_texts texts =
+  let mods =
+    List.concat_map
+      (fun text ->
+        match Rats_meta.Parser.parse_modules_string text with
+        | Ok ms -> ms
+        | Error d -> raise (Diagnostic.Fail d))
+      texts
+  in
+  match Rats_modules.Resolve.library mods with
+  | Ok lib -> lib
+  | Error (d :: _) -> raise (Diagnostic.Fail d)
+  | Error [] -> assert false
+
+let load ?start ?args ~root texts =
+  let lib = library_of_texts texts in
+  match Rats_modules.Resolve.resolve lib ~root ?args ?start () with
+  | Ok (g, stats) -> (g, stats)
+  | Error (d :: _) -> raise (Diagnostic.Fail d)
+  | Error [] -> assert false
+
+let grammar ?start ?args ~root texts = fst (load ?start ?args ~root texts)

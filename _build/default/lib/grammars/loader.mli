@@ -1,0 +1,21 @@
+(** Convenience wrappers: grammar-module text → composed grammar. *)
+
+open Rats_peg
+
+val library_of_texts : string list -> Rats_modules.Resolve.library
+(** Parse each text (which may hold several modules) and build one
+    library. Raises {!Rats_support.Diagnostic.Fail} on any error — these
+    are the library's own grammars, so failure is a bug. *)
+
+val load :
+  ?start:string ->
+  ?args:string list ->
+  root:string ->
+  string list ->
+  Grammar.t * Rats_modules.Resolve.stats
+(** [load ~root texts] composes the modules in [texts] rooted at module
+    [root] (instantiated with [args] when it is parameterized). Raises
+    {!Rats_support.Diagnostic.Fail} on error. *)
+
+val grammar :
+  ?start:string -> ?args:string list -> root:string -> string list -> Grammar.t

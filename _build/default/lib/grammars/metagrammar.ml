@@ -1,0 +1,2 @@
+let texts = [ Texts.minic_space; Texts.rats_syntax ]
+let grammar () = Loader.grammar ~root:"rats.Syntax" texts

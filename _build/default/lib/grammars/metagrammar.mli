@@ -1,0 +1,14 @@
+(** The module language, self-hosted: a PEG grammar for `.rats` sources
+    written in the module language itself, the way Rats! bootstraps its
+    own syntax. The test suite checks acceptance agreement with the
+    hand-written front end in [Rats_meta] over every shipped grammar.
+
+    (One deliberate divergence: the PEG is slightly more permissive
+    around a malformed [+=] placement, where the hand parser commits to
+    the [before]/[after] keyword; see the tests.) *)
+
+val texts : string list
+(** Includes [c.Space], which the meta language shares with MiniC. *)
+
+val grammar : unit -> Rats_peg.Grammar.t
+(** Rooted at [rats.Syntax]. *)

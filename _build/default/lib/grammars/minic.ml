@@ -1,0 +1,733 @@
+open Rats_peg
+
+let texts = Texts.minic_modules
+let extension_texts = Texts.minic_extension_modules
+let load () = Loader.load ~root:"c.Program" texts
+let load_extended () = Loader.load ~root:"cx.Program" (texts @ extension_texts)
+let grammar () = fst (load ())
+let extended_grammar () = fst (load_extended ())
+
+(* --- hand-written parser --------------------------------------------------- *)
+
+exception Fail of int * string
+
+type hp = {
+  input : string;
+  len : int;
+  mutable pos : int;
+  typedefs : (string, unit) Hashtbl.t;
+}
+
+let fail hp expected = raise (Fail (hp.pos, expected))
+
+let keywords =
+  [
+    "break"; "case"; "char"; "continue"; "default"; "do"; "double"; "else";
+    "float"; "for"; "goto"; "if"; "int"; "long"; "return"; "short"; "signed";
+    "sizeof"; "struct"; "switch"; "typedef"; "unsigned"; "void"; "while";
+  ]
+
+let builtin_words =
+  [ "unsigned"; "signed"; "long"; "short"; "int"; "char"; "float"; "double";
+    "void" ]
+
+let is_id_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_id_char c = is_id_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let spacing hp =
+  let rec go () =
+    if hp.pos < hp.len then
+      match hp.input.[hp.pos] with
+      | ' ' | '\t' | '\n' | '\r' ->
+          hp.pos <- hp.pos + 1;
+          go ()
+      | '/' when hp.pos + 1 < hp.len && hp.input.[hp.pos + 1] = '/' ->
+          while hp.pos < hp.len && hp.input.[hp.pos] <> '\n' do
+            hp.pos <- hp.pos + 1
+          done;
+          go ()
+      | '/' when hp.pos + 1 < hp.len && hp.input.[hp.pos + 1] = '*' ->
+          hp.pos <- hp.pos + 2;
+          let rec close () =
+            if hp.pos + 1 >= hp.len then fail hp "\"*/\""
+            else if hp.input.[hp.pos] = '*' && hp.input.[hp.pos + 1] = '/' then
+              hp.pos <- hp.pos + 2
+            else (
+              hp.pos <- hp.pos + 1;
+              close ())
+          in
+          close ();
+          go ()
+      | _ -> ()
+  in
+  go ()
+
+let peek hp = if hp.pos < hp.len then Some hp.input.[hp.pos] else None
+
+(* Raw word at the cursor, without consuming. *)
+let peek_word hp =
+  if hp.pos < hp.len && is_id_start hp.input.[hp.pos] then (
+    let stop = ref (hp.pos + 1) in
+    while !stop < hp.len && is_id_char hp.input.[!stop] do
+      incr stop
+    done;
+    Some (String.sub hp.input hp.pos (!stop - hp.pos)))
+  else None
+
+let eat_kw hp kw =
+  match peek_word hp with
+  | Some w when String.equal w kw ->
+      hp.pos <- hp.pos + String.length kw;
+      spacing hp;
+      true
+  | _ -> false
+
+let expect_char hp c =
+  if hp.pos < hp.len && hp.input.[hp.pos] = c then (
+    hp.pos <- hp.pos + 1;
+    spacing hp)
+  else fail hp (Printf.sprintf "%C" c)
+
+let eat_char hp c =
+  if hp.pos < hp.len && hp.input.[hp.pos] = c then (
+    hp.pos <- hp.pos + 1;
+    spacing hp;
+    true)
+  else false
+
+(* Single-character operator that must not be the prefix of a longer
+   one: [eat_op hp c not_followed] *)
+let eat_op hp c not_followed =
+  if
+    hp.pos < hp.len
+    && hp.input.[hp.pos] = c
+    && not
+         (hp.pos + 1 < hp.len && String.contains not_followed hp.input.[hp.pos + 1])
+  then (
+    hp.pos <- hp.pos + 1;
+    spacing hp;
+    true)
+  else false
+
+let eat_str hp s =
+  let n = String.length s in
+  if hp.pos + n <= hp.len && String.sub hp.input hp.pos n = s then (
+    hp.pos <- hp.pos + n;
+    spacing hp;
+    true)
+  else false
+
+let word hp =
+  match peek_word hp with
+  | Some w when not (List.mem w keywords) ->
+      hp.pos <- hp.pos + String.length w;
+      w
+  | _ -> fail hp "identifier"
+
+let identifier hp =
+  let w = word hp in
+  spacing hp;
+  w
+
+let node = Value.node
+let leaf name children = node name (List.map (fun v -> (None, v)) children)
+
+(* --- types ------------------------------------------------------------------ *)
+
+let is_type_start hp =
+  match peek_word hp with
+  | Some w ->
+      List.mem w builtin_words || String.equal w "struct"
+      || Hashtbl.mem hp.typedefs w
+  | None -> false
+
+let type_specifier hp =
+  match peek_word hp with
+  | Some w when List.mem w builtin_words ->
+      let words = ref [] in
+      let rec go () =
+        match peek_word hp with
+        | Some w when List.mem w builtin_words ->
+            hp.pos <- hp.pos + String.length w;
+            spacing hp;
+            words := Value.Str w :: !words;
+            go ()
+        | _ -> ()
+      in
+      go ();
+      leaf "Builtin" [ Value.List (List.rev !words) ]
+  | Some "struct" ->
+      ignore (eat_kw hp "struct");
+      let name = identifier hp in
+      leaf "StructRef" [ Value.Str name ]
+  | Some w when Hashtbl.mem hp.typedefs w ->
+      hp.pos <- hp.pos + String.length w;
+      spacing hp;
+      leaf "TypedefName" [ Value.Str w ]
+  | _ -> fail hp "type specifier"
+
+let pointers hp =
+  let n = ref 0 in
+  while eat_op hp '*' "=" do
+    incr n
+  done;
+  !n
+
+(* --- expressions -------------------------------------------------------------- *)
+
+let rec expression hp = assignment hp
+
+and assignment hp =
+  (* Mirror the PEG: try Unary AssignOp Assignment, else Conditional. *)
+  let saved = hp.pos in
+  match
+    let lhs = unary hp in
+    let op =
+      if eat_op hp '=' "=" then "="
+      else if eat_str hp "+=" then "+="
+      else if eat_str hp "-=" then "-="
+      else if eat_str hp "*=" then "*="
+      else if eat_str hp "/=" then "/="
+      else if eat_str hp "%=" then "%="
+      else fail hp "assignment operator"
+    in
+    (lhs, op)
+  with
+  | lhs, op ->
+      let rhs = assignment hp in
+      leaf "Assign" [ lhs; Value.Str op; rhs ]
+  | exception Fail _ ->
+      hp.pos <- saved;
+      conditional hp
+
+and conditional hp =
+  let c = binary hp 0 in
+  if eat_op hp '?' "" then (
+    let t = expression hp in
+    expect_char hp ':';
+    let f = conditional hp in
+    leaf "Ternary" [ c; t; f ])
+  else c
+
+(* Binary levels, loosest first, mirroring the grammar's cascade. *)
+and binary hp level =
+  let try_op =
+    match level with
+    | 0 -> fun hp -> if eat_str hp "||" then Some "||" else None
+    | 1 -> fun hp -> if eat_str hp "&&" then Some "&&" else None
+    | 2 -> fun hp -> if eat_op2 hp '|' "|=" then Some "|" else None
+    | 3 -> fun hp -> if eat_op2 hp '^' "=" then Some "^" else None
+    | 4 -> fun hp -> if eat_op2 hp '&' "&=" then Some "&" else None
+    | 5 ->
+        fun hp ->
+          if eat_str hp "==" then Some "=="
+          else if eat_str hp "!=" then Some "!="
+          else None
+    | 6 ->
+        fun hp ->
+          if eat_str hp "<=" then Some "<="
+          else if eat_str hp ">=" then Some ">="
+          else if eat_op2 hp '<' "<=" then Some "<"
+          else if eat_op2 hp '>' ">=" then Some ">"
+          else None
+    | 7 ->
+        fun hp ->
+          if hp.pos + 2 < hp.len && String.sub hp.input hp.pos 2 = "<<"
+             && hp.input.[hp.pos + 2] <> '=' |> not
+          then None
+          else if eat_shift hp "<<" then Some "<<"
+          else if eat_shift hp ">>" then Some ">>"
+          else None
+    | 8 ->
+        fun hp ->
+          if eat_op2 hp '+' "+=" then Some "+"
+          else if eat_op2 hp '-' "-=>" then Some "-"
+          else None
+    | _ ->
+        fun hp ->
+          if eat_op2 hp '*' "=" then Some "*"
+          else if eat_op2 hp '/' "/*=" then Some "/"
+          else if eat_op2 hp '%' "=" then Some "%"
+          else None
+  in
+  let next hp = if level >= 9 then unary hp else binary hp (level + 1) in
+  let first = next hp in
+  let tails = ref [] in
+  let rec go () =
+    match try_op hp with
+    | Some op ->
+        let operand = next hp in
+        tails := leaf "Tail" [ Value.Str op; operand ] :: !tails;
+        go ()
+    | None -> ()
+  in
+  go ();
+  match !tails with
+  | [] -> first
+  | ts -> leaf "Binary" [ first; Value.List (List.rev ts) ]
+
+and eat_op2 hp c not_followed = eat_op hp c not_followed
+
+and eat_shift hp s =
+  if
+    hp.pos + 1 < hp.len
+    && String.sub hp.input hp.pos 2 = s
+    && not (hp.pos + 2 < hp.len && hp.input.[hp.pos + 2] = '=')
+  then (
+    hp.pos <- hp.pos + 2;
+    spacing hp;
+    true)
+  else false
+
+and unary hp =
+  (* Mirrors the grammar's alternative order: sizeof, cast, ++/--,
+     prefix operators, postfix. The cast attempt backtracks fully, like
+     the PEG alternative it mirrors. *)
+  if try_cast_follows hp then
+    let saved = hp.pos in
+    match
+      ignore (eat_char hp '(');
+      let t = type_specifier hp in
+      let _ = pointers hp in
+      expect_char hp ')';
+      let operand = unary hp in
+      leaf "Cast" [ t; operand ]
+    with
+    | v -> v
+    | exception Fail _ ->
+        hp.pos <- saved;
+        unary_nocast hp
+  else unary_nocast hp
+
+and try_cast_follows hp =
+  hp.pos < hp.len
+  && hp.input.[hp.pos] = '('
+  &&
+  let saved = hp.pos in
+  hp.pos <- hp.pos + 1;
+  spacing hp;
+  let ok = is_type_start hp in
+  hp.pos <- saved;
+  ok
+
+and unary_nocast hp =
+  if eat_kw hp "sizeof" then
+    if
+      (* sizeof(type) only when a type really follows the paren *)
+      hp.pos < hp.len && hp.input.[hp.pos] = '('
+      &&
+      let saved = hp.pos in
+      hp.pos <- hp.pos + 1;
+      spacing hp;
+      let ok = is_type_start hp in
+      hp.pos <- saved;
+      ok
+    then (
+      expect_char hp '(';
+      let t = type_specifier hp in
+      let _ = pointers hp in
+      expect_char hp ')';
+      leaf "SizeofType" [ t ])
+    else leaf "Sizeof" [ unary hp ]
+  else if eat_str hp "++" then leaf "PreInc" [ unary hp ]
+  else if eat_str hp "--" then leaf "PreDec" [ unary hp ]
+  else if eat_op hp '!' "=" then leaf "Prefix" [ Value.Str "!"; unary hp ]
+  else if eat_op hp '~' "" then leaf "Prefix" [ Value.Str "~"; unary hp ]
+  else if eat_op hp '-' "-=>" then leaf "Prefix" [ Value.Str "-"; unary hp ]
+  else if eat_op hp '+' "+=" then leaf "Prefix" [ Value.Str "+"; unary hp ]
+  else if eat_op hp '*' "=" then leaf "Prefix" [ Value.Str "*"; unary hp ]
+  else if eat_op hp '&' "&=" then leaf "Prefix" [ Value.Str "&"; unary hp ]
+  else postfix hp
+
+and postfix hp =
+  let e = ref (primary hp) in
+  let rec go () =
+    if eat_char hp '(' then (
+      let args = ref [] in
+      (if not (eat_char hp ')') then (
+         args := [ expression hp ];
+         while eat_char hp ',' do
+           args := expression hp :: !args
+         done;
+         expect_char hp ')'));
+      e := leaf "Call" [ !e; Value.List (List.rev !args) ];
+      go ())
+    else if eat_char hp '[' then (
+      let i = expression hp in
+      expect_char hp ']';
+      e := leaf "Index" [ !e; i ];
+      go ())
+    else if eat_str hp "->" then (
+      let f = identifier hp in
+      e := leaf "Arrow" [ !e; Value.Str f ];
+      go ())
+    else if
+      hp.pos < hp.len
+      && hp.input.[hp.pos] = '.'
+      && hp.pos + 1 < hp.len
+      && is_id_start hp.input.[hp.pos + 1]
+    then (
+      hp.pos <- hp.pos + 1;
+      spacing hp;
+      let f = identifier hp in
+      e := leaf "Member" [ !e; Value.Str f ];
+      go ())
+    else if eat_str hp "++" then (
+      e := leaf "PostInc" [ !e ];
+      go ())
+    else if eat_str hp "--" then (
+      e := leaf "PostDec" [ !e ];
+      go ())
+  in
+  go ();
+  !e
+
+and primary hp =
+  match peek hp with
+  | Some '(' ->
+      ignore (eat_char hp '(');
+      let e = expression hp in
+      expect_char hp ')';
+      e
+  | Some c when is_digit c ->
+      let start = hp.pos in
+      while hp.pos < hp.len && is_digit hp.input.[hp.pos] do
+        hp.pos <- hp.pos + 1
+      done;
+      let is_float =
+        hp.pos + 1 < hp.len
+        && hp.input.[hp.pos] = '.'
+        && is_digit hp.input.[hp.pos + 1]
+      in
+      if is_float then (
+        hp.pos <- hp.pos + 1;
+        while hp.pos < hp.len && is_digit hp.input.[hp.pos] do
+          hp.pos <- hp.pos + 1
+        done)
+      else if hp.pos < hp.len && hp.input.[hp.pos] = '.' then
+        fail hp "float digits";
+      let text = String.sub hp.input start (hp.pos - start) in
+      spacing hp;
+      leaf (if is_float then "FloatLit" else "IntLit") [ Value.Str text ]
+  | Some '\'' ->
+      let start = hp.pos in
+      hp.pos <- hp.pos + 1;
+      if hp.pos >= hp.len then fail hp "character";
+      (if hp.input.[hp.pos] = '\\' then hp.pos <- hp.pos + 2
+       else hp.pos <- hp.pos + 1);
+      if hp.pos >= hp.len || hp.input.[hp.pos] <> '\'' then fail hp "'";
+      hp.pos <- hp.pos + 1;
+      let text = String.sub hp.input start (hp.pos - start) in
+      spacing hp;
+      leaf "CharLit" [ Value.Str text ]
+  | Some '"' ->
+      let start = hp.pos in
+      hp.pos <- hp.pos + 1;
+      let rec go () =
+        if hp.pos >= hp.len then fail hp "'\"'"
+        else
+          match hp.input.[hp.pos] with
+          | '"' -> hp.pos <- hp.pos + 1
+          | '\\' ->
+              hp.pos <- hp.pos + 2;
+              go ()
+          | _ ->
+              hp.pos <- hp.pos + 1;
+              go ()
+      in
+      go ();
+      let text = String.sub hp.input start (hp.pos - start) in
+      spacing hp;
+      leaf "StrLit" [ Value.Str text ]
+  | _ ->
+      let name = identifier hp in
+      leaf "Var" [ Value.Str name ]
+
+(* --- declarations and statements ---------------------------------------------- *)
+
+let rec declaration hp =
+  if eat_kw hp "typedef" then (
+    let t = type_specifier hp in
+    let _ = pointers hp in
+    let name = word hp in
+    spacing hp;
+    expect_char hp ';';
+    Hashtbl.replace hp.typedefs name ();
+    leaf "Typedef" [ t; Value.Str name ])
+  else if
+    (match peek_word hp with Some "struct" -> true | _ -> false)
+    && struct_def_follows hp
+  then (
+    let s = struct_def hp in
+    expect_char hp ';';
+    s)
+  else
+    let t = type_specifier hp in
+    let ds = ref [ init_declarator hp ] in
+    while eat_char hp ',' do
+      ds := init_declarator hp :: !ds
+    done;
+    expect_char hp ';';
+    leaf "VarDecl" [ t; Value.List (List.rev !ds) ]
+
+and struct_def_follows hp =
+  (* struct W '{' starts a definition; struct W anything-else is a type. *)
+  let saved = hp.pos in
+  let result =
+    eat_kw hp "struct"
+    &&
+    match
+      let _ = identifier hp in
+      peek hp
+    with
+    | Some '{' -> true
+    | _ -> false
+    | exception Fail _ -> false
+  in
+  hp.pos <- saved;
+  result
+
+and struct_def hp =
+  ignore (eat_kw hp "struct");
+  let name = identifier hp in
+  expect_char hp '{';
+  let fields = ref [] in
+  while not (eat_char hp '}') do
+    let t = type_specifier hp in
+    let d = declarator hp in
+    expect_char hp ';';
+    fields := leaf "Field" [ t; d ] :: !fields
+  done;
+  leaf "StructDef" [ Value.Str name; Value.List (List.rev !fields) ]
+
+and declarator hp =
+  let stars = pointers hp in
+  let name = identifier hp in
+  let dims = ref [] in
+  while eat_char hp '[' do
+    (if not (eat_char hp ']') then (
+       let e = expression hp in
+       dims := e :: !dims;
+       expect_char hp ']'))
+  done;
+  leaf "Declarator"
+    [ Value.Str (String.make stars '*'); Value.Str name;
+      Value.List (List.rev !dims) ]
+
+and init_declarator hp =
+  let d = declarator hp in
+  if eat_op hp '=' "=" then
+    let init = assignment hp in
+    leaf "InitDeclarator" [ d; init ]
+  else leaf "InitDeclarator" [ d ]
+
+let rec statement hp =
+  match peek hp with
+  | Some '{' -> compound hp
+  | Some ';' ->
+      ignore (eat_char hp ';');
+      leaf "Empty" []
+  | _ -> (
+      match peek_word hp with
+      | Some "if" ->
+          ignore (eat_kw hp "if");
+          expect_char hp '(';
+          let c = expression hp in
+          expect_char hp ')';
+          let t = statement hp in
+          if eat_kw hp "else" then leaf "If" [ c; t; statement hp ]
+          else leaf "If" [ c; t ]
+      | Some "while" ->
+          ignore (eat_kw hp "while");
+          expect_char hp '(';
+          let c = expression hp in
+          expect_char hp ')';
+          leaf "While" [ c; statement hp ]
+      | Some "do" ->
+          ignore (eat_kw hp "do");
+          let b = statement hp in
+          if not (eat_kw hp "while") then fail hp "\"while\"";
+          expect_char hp '(';
+          let c = expression hp in
+          expect_char hp ')';
+          expect_char hp ';';
+          leaf "DoWhile" [ b; c ]
+      | Some "for" ->
+          ignore (eat_kw hp "for");
+          expect_char hp '(';
+          let init =
+            if peek hp = Some ';' then Value.Unit else expression hp
+          in
+          expect_char hp ';';
+          let cond =
+            if peek hp = Some ';' then Value.Unit else expression hp
+          in
+          expect_char hp ';';
+          let step =
+            if peek hp = Some ')' then Value.Unit else expression hp
+          in
+          expect_char hp ')';
+          leaf "For" [ init; cond; step; statement hp ]
+      | Some "return" ->
+          ignore (eat_kw hp "return");
+          if eat_char hp ';' then leaf "Return" []
+          else
+            let e = expression hp in
+            expect_char hp ';';
+            leaf "Return" [ e ]
+      | Some "break" ->
+          ignore (eat_kw hp "break");
+          expect_char hp ';';
+          leaf "Break" []
+      | Some "continue" ->
+          ignore (eat_kw hp "continue");
+          expect_char hp ';';
+          leaf "Continue" []
+      | Some "switch" ->
+          ignore (eat_kw hp "switch");
+          expect_char hp '(';
+          let scrut = expression hp in
+          expect_char hp ')';
+          expect_char hp '{';
+          let items = ref [] in
+          let rec stmts_until_case acc =
+            match peek_word hp with
+            | Some ("case" | "default") -> List.rev acc
+            | _ ->
+                if peek hp = Some '}' then List.rev acc
+                else stmts_until_case (statement hp :: acc)
+          in
+          while not (eat_char hp '}') do
+            if eat_kw hp "case" then (
+              let guard = expression hp in
+              expect_char hp ':';
+              items := leaf "Case" [ guard; Value.List (stmts_until_case []) ] :: !items)
+            else if eat_kw hp "default" then (
+              expect_char hp ':';
+              items := leaf "Default" [ Value.List (stmts_until_case []) ] :: !items)
+            else fail hp "\"case\" or \"default\""
+          done;
+          leaf "Switch" [ scrut; Value.List (List.rev !items) ]
+      | Some "goto" ->
+          ignore (eat_kw hp "goto");
+          let l = identifier hp in
+          expect_char hp ';';
+          leaf "Goto" [ Value.Str l ]
+      | Some w
+        when (not (List.mem w keywords)) && label_follows hp ->
+          let l = identifier hp in
+          ignore (eat_char hp ':');
+          leaf "Label" [ Value.Str l; statement hp ]
+      | Some "typedef" -> declaration hp
+      | Some w
+        when List.mem w builtin_words
+             || String.equal w "struct"
+             || Hashtbl.mem hp.typedefs w ->
+          declaration hp
+      | _ ->
+          let e = expression hp in
+          expect_char hp ';';
+          leaf "ExprStmt" [ e ])
+
+and label_follows hp =
+  let saved = hp.pos in
+  let ok =
+    match
+      let _ = identifier hp in
+      peek hp
+    with
+    | Some ':' -> true
+    | _ -> false
+    | exception Fail _ -> false
+  in
+  hp.pos <- saved;
+  ok
+
+and compound hp =
+  expect_char hp '{';
+  let stmts = ref [] in
+  while not (eat_char hp '}') do
+    stmts := statement hp :: !stmts
+  done;
+  leaf "Compound" [ Value.List (List.rev !stmts) ]
+
+let parse_hand input =
+  let hp = { input; len = String.length input; pos = 0; typedefs = Hashtbl.create 16 } in
+  match
+    spacing hp;
+    let items = ref [] in
+    while hp.pos < hp.len do
+      let item =
+        match peek_word hp with
+        | Some "typedef" -> declaration hp
+        | Some "struct" when struct_def_follows hp ->
+            let s = struct_def hp in
+            expect_char hp ';';
+            s
+        | _ ->
+            (* Shared prefix: type, pointers, name; then '(' decides. *)
+            let t = type_specifier hp in
+            let stars = pointers hp in
+            let name = identifier hp in
+            if peek hp = Some '(' then (
+              ignore (eat_char hp '(');
+              let params = ref [] in
+              (if not (eat_char hp ')') then (
+                 let param () =
+                   let pt = type_specifier hp in
+                   let ps = pointers hp in
+                   let pn =
+                     match peek_word hp with
+                     | Some w when not (List.mem w keywords) ->
+                         Some (identifier hp)
+                     | _ -> None
+                   in
+                   leaf "Param"
+                     [ pt; Value.Str (String.make ps '*');
+                       Value.Str (Option.value pn ~default:"") ]
+                 in
+                 params := [ param () ];
+                 while eat_char hp ',' do
+                   params := param () :: !params
+                 done;
+                 expect_char hp ')'));
+              let body = compound hp in
+              leaf "FunctionDef"
+                [ t; Value.Str name; Value.List (List.rev !params); body ])
+            else
+              (* Continue as a declaration whose first declarator's
+                 pointer/name we already consumed. *)
+              let dims = ref [] in
+              let () =
+                while eat_char hp '[' do
+                  if not (eat_char hp ']') then (
+                    let e = expression hp in
+                    dims := e :: !dims;
+                    expect_char hp ']')
+                done
+              in
+              let first_decl =
+                let d =
+                  leaf "Declarator"
+                    [ Value.Str (String.make stars '*'); Value.Str name;
+                      Value.List (List.rev !dims) ]
+                in
+                if eat_op hp '=' "=" then
+                  leaf "InitDeclarator" [ d; assignment hp ]
+                else leaf "InitDeclarator" [ d ]
+              in
+              let ds = ref [ first_decl ] in
+              while eat_char hp ',' do
+                ds := init_declarator hp :: !ds
+              done;
+              expect_char hp ';';
+              leaf "VarDecl" [ t; Value.List (List.rev !ds) ]
+      in
+      items := item :: !items
+    done;
+    leaf "Program" [ Value.List (List.rev !items) ]
+  with
+  | v -> Ok v
+  | exception Fail (pos, expected) ->
+      Error (Printf.sprintf "parse error at offset %d: expected %s" pos expected)

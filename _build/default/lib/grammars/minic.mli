@@ -1,0 +1,33 @@
+(** MiniC: the C-subset language assembled from eight grammar modules,
+    its three extension modules, and a hand-written recursive-descent
+    comparator.
+
+    MiniC keeps the parts of C that stress a parser's design: the
+    operator-precedence cascade, statement/declaration ambiguity resolved
+    through a {e typedef table} (context-sensitive, handled with the
+    stateful-parsing machinery), comments inside the spacing production,
+    and keyword/identifier separation done grammatically. *)
+
+open Rats_peg
+
+val texts : string list
+(** Base-language module sources. *)
+
+val extension_texts : string list
+(** The E6 extension modules ([**], [until], [query]) and the extended
+    root [cx.Program]. *)
+
+val grammar : unit -> Grammar.t
+(** Base language, rooted at [c.Program]. *)
+
+val extended_grammar : unit -> Grammar.t
+(** Extended language, rooted at [cx.Program]. *)
+
+val load : unit -> Grammar.t * Rats_modules.Resolve.stats
+val load_extended : unit -> Grammar.t * Rats_modules.Resolve.stats
+
+val parse_hand : string -> (Value.t, string) result
+(** Hand-written recursive-descent parser for the {e base} language —
+    the role the paper's hand-tuned comparator plays in E2. Accepts the
+    same programs as the grammar (validated on the corpus); tree shapes
+    are similar but not guaranteed identical. *)

@@ -1,0 +1,487 @@
+let texts = Texts.minijava_modules
+let load () = Loader.load ~root:"j.Program" texts
+let grammar () = fst (load ())
+
+(* --- hand-written parser ---------------------------------------------------- *)
+
+open Rats_peg
+
+exception Fail of int * string
+
+type hp = { input : string; len : int; mutable pos : int }
+
+let fail hp expected = raise (Fail (hp.pos, expected))
+
+let keywords =
+  [
+    "boolean"; "class"; "double"; "else"; "extends"; "false"; "for"; "if";
+    "int"; "char"; "long"; "new"; "null"; "return"; "static"; "this"; "true";
+    "void"; "while";
+  ]
+
+let prim_words = [ "boolean"; "double"; "int"; "char"; "long"; "void" ]
+let is_id_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = '$'
+let is_id_char c = is_id_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let spacing hp =
+  let rec go () =
+    if hp.pos < hp.len then
+      match hp.input.[hp.pos] with
+      | ' ' | '\t' | '\n' | '\r' ->
+          hp.pos <- hp.pos + 1;
+          go ()
+      | '/' when hp.pos + 1 < hp.len && hp.input.[hp.pos + 1] = '/' ->
+          while hp.pos < hp.len && hp.input.[hp.pos] <> '\n' do
+            hp.pos <- hp.pos + 1
+          done;
+          go ()
+      | '/' when hp.pos + 1 < hp.len && hp.input.[hp.pos + 1] = '*' ->
+          hp.pos <- hp.pos + 2;
+          let rec close () =
+            if hp.pos + 1 >= hp.len then fail hp "\"*/\""
+            else if hp.input.[hp.pos] = '*' && hp.input.[hp.pos + 1] = '/' then
+              hp.pos <- hp.pos + 2
+            else (
+              hp.pos <- hp.pos + 1;
+              close ())
+          in
+          close ();
+          go ()
+      | _ -> ()
+  in
+  go ()
+
+let peek hp = if hp.pos < hp.len then Some hp.input.[hp.pos] else None
+
+let peek_word hp =
+  if hp.pos < hp.len && is_id_start hp.input.[hp.pos] then (
+    let stop = ref (hp.pos + 1) in
+    while !stop < hp.len && is_id_char hp.input.[!stop] do
+      incr stop
+    done;
+    Some (String.sub hp.input hp.pos (!stop - hp.pos)))
+  else None
+
+let eat_kw hp kw =
+  match peek_word hp with
+  | Some w when String.equal w kw ->
+      hp.pos <- hp.pos + String.length kw;
+      spacing hp;
+      true
+  | _ -> false
+
+let expect_char hp c =
+  if hp.pos < hp.len && hp.input.[hp.pos] = c then (
+    hp.pos <- hp.pos + 1;
+    spacing hp)
+  else fail hp (Printf.sprintf "%C" c)
+
+let eat_char hp c =
+  if hp.pos < hp.len && hp.input.[hp.pos] = c then (
+    hp.pos <- hp.pos + 1;
+    spacing hp;
+    true)
+  else false
+
+let eat_op hp c not_followed =
+  if
+    hp.pos < hp.len
+    && hp.input.[hp.pos] = c
+    && not (hp.pos + 1 < hp.len && String.contains not_followed hp.input.[hp.pos + 1])
+  then (
+    hp.pos <- hp.pos + 1;
+    spacing hp;
+    true)
+  else false
+
+let eat_str hp s =
+  let n = String.length s in
+  if hp.pos + n <= hp.len && String.sub hp.input hp.pos n = s then (
+    hp.pos <- hp.pos + n;
+    spacing hp;
+    true)
+  else false
+
+let identifier hp =
+  match peek_word hp with
+  | Some w when not (List.mem w keywords) ->
+      hp.pos <- hp.pos + String.length w;
+      spacing hp;
+      w
+  | _ -> fail hp "identifier"
+
+let leaf name children = Value.node name (List.map (fun v -> (None, v)) children)
+
+(* type = (primitive | Identifier) "[]"* *)
+let is_type_start hp =
+  match peek_word hp with
+  | Some w -> List.mem w prim_words || not (List.mem w keywords)
+  | None -> false
+
+let jtype hp =
+  let base =
+    match peek_word hp with
+    | Some w when List.mem w prim_words ->
+        hp.pos <- hp.pos + String.length w;
+        spacing hp;
+        leaf "Primitive" [ Value.Str w ]
+    | _ -> leaf "ClassType" [ Value.Str (identifier hp) ]
+  in
+  let dims = ref 0 in
+  while
+    hp.pos + 1 < hp.len && hp.input.[hp.pos] = '[' && hp.input.[hp.pos + 1] = ']'
+  do
+    hp.pos <- hp.pos + 2;
+    incr dims
+  done;
+  spacing hp;
+  leaf "Type" [ base; Value.Str (String.concat "" (List.init !dims (fun _ -> "[]"))) ]
+
+let rec expression hp = assignment hp
+
+and assignment hp =
+  (* Mirror the PEG: Postfix AssignOp Assignment / LogicalOr *)
+  let saved = hp.pos in
+  match
+    let lhs = postfix hp in
+    let op =
+      if eat_op hp '=' "=" then "="
+      else if eat_str hp "+=" then "+="
+      else if eat_str hp "-=" then "-="
+      else if eat_str hp "*=" then "*="
+      else if eat_str hp "/=" then "/="
+      else if eat_str hp "%=" then "%="
+      else fail hp "assignment operator"
+    in
+    (lhs, op)
+  with
+  | lhs, op -> leaf "Assign" [ lhs; Value.Str op; assignment hp ]
+  | exception Fail _ ->
+      hp.pos <- saved;
+      binary hp 0
+
+and binary hp level =
+  let try_op =
+    match level with
+    | 0 -> fun hp -> if eat_str hp "||" then Some "||" else None
+    | 1 -> fun hp -> if eat_str hp "&&" then Some "&&" else None
+    | 2 ->
+        fun hp ->
+          if eat_str hp "==" then Some "=="
+          else if eat_str hp "!=" then Some "!="
+          else None
+    | 3 ->
+        fun hp ->
+          if eat_str hp "<=" then Some "<="
+          else if eat_str hp ">=" then Some ">="
+          else if eat_op hp '<' "<=" then Some "<"
+          else if eat_op hp '>' ">=" then Some ">"
+          else None
+    | 4 ->
+        fun hp ->
+          if eat_op hp '+' "+=" then Some "+"
+          else if eat_op hp '-' "-=>" then Some "-"
+          else None
+    | _ ->
+        fun hp ->
+          if eat_op hp '*' "=" then Some "*"
+          else if eat_op hp '/' "/*=" then Some "/"
+          else if eat_op hp '%' "=" then Some "%"
+          else None
+  in
+  let next hp = if level >= 5 then unary hp else binary hp (level + 1) in
+  let first = next hp in
+  let tails = ref [] in
+  let rec go () =
+    match try_op hp with
+    | Some op ->
+        tails := leaf "Tail" [ Value.Str op; next hp ] :: !tails;
+        go ()
+    | None -> ()
+  in
+  go ();
+  match !tails with
+  | [] -> first
+  | ts -> leaf "Binary" [ first; Value.List (List.rev ts) ]
+
+and unary hp =
+  if eat_op hp '!' "=" then leaf "Not" [ unary hp ]
+  else if eat_op hp '-' "-=>" then leaf "Neg" [ unary hp ]
+  else postfix hp
+
+and postfix hp =
+  let e = ref (primary hp) in
+  let rec go () =
+    if
+      hp.pos < hp.len
+      && hp.input.[hp.pos] = '.'
+      && hp.pos + 1 < hp.len
+      && is_id_start hp.input.[hp.pos + 1]
+    then (
+      hp.pos <- hp.pos + 1;
+      spacing hp;
+      let f = identifier hp in
+      if eat_char hp '(' then (
+        let args = arg_list hp in
+        e := leaf "Call" [ !e; Value.Str f; Value.List args ])
+      else e := leaf "Field" [ !e; Value.Str f ];
+      go ())
+    else if eat_char hp '[' then (
+      let i = expression hp in
+      expect_char hp ']';
+      e := leaf "Index" [ !e; i ];
+      go ())
+    else if eat_str hp "++" then (
+      e := leaf "Inc" [ !e ];
+      go ())
+    else if eat_str hp "--" then (
+      e := leaf "Dec" [ !e ];
+      go ())
+  in
+  go ();
+  !e
+
+and arg_list hp =
+  if eat_char hp ')' then []
+  else
+    let args = ref [ expression hp ] in
+    while eat_char hp ',' do
+      args := expression hp :: !args
+    done;
+    expect_char hp ')';
+    List.rev !args
+
+and primary hp =
+  match peek hp with
+  | Some '(' ->
+      ignore (eat_char hp '(');
+      let e = expression hp in
+      expect_char hp ')';
+      e
+  | Some c when is_digit c ->
+      let start = hp.pos in
+      while hp.pos < hp.len && is_digit hp.input.[hp.pos] do
+        hp.pos <- hp.pos + 1
+      done;
+      let is_float =
+        hp.pos + 1 < hp.len
+        && hp.input.[hp.pos] = '.'
+        && is_digit hp.input.[hp.pos + 1]
+      in
+      if is_float then (
+        hp.pos <- hp.pos + 1;
+        while hp.pos < hp.len && is_digit hp.input.[hp.pos] do
+          hp.pos <- hp.pos + 1
+        done)
+      else if hp.pos < hp.len && hp.input.[hp.pos] = '.' then
+        fail hp "float digits";
+      let text = String.sub hp.input start (hp.pos - start) in
+      spacing hp;
+      leaf (if is_float then "FloatLit" else "IntLit") [ Value.Str text ]
+  | Some '\'' ->
+      hp.pos <- hp.pos + 1;
+      if hp.pos >= hp.len then fail hp "character";
+      (if hp.input.[hp.pos] = '\\' then hp.pos <- hp.pos + 2
+       else hp.pos <- hp.pos + 1);
+      if hp.pos >= hp.len || hp.input.[hp.pos] <> '\'' then fail hp "'";
+      hp.pos <- hp.pos + 1;
+      spacing hp;
+      leaf "CharLit" []
+  | Some '"' ->
+      hp.pos <- hp.pos + 1;
+      let rec go () =
+        if hp.pos >= hp.len then fail hp "'\"'"
+        else
+          match hp.input.[hp.pos] with
+          | '"' -> hp.pos <- hp.pos + 1
+          | '\\' ->
+              hp.pos <- hp.pos + 2;
+              go ()
+          | _ ->
+              hp.pos <- hp.pos + 1;
+              go ()
+      in
+      go ();
+      spacing hp;
+      leaf "StrLit" []
+  | _ -> (
+      match peek_word hp with
+      | Some "new" ->
+          ignore (eat_kw hp "new");
+          (* NewArray: new Type [ e ]   |   New: new Ident ( args ) *)
+          let saved = hp.pos in
+          (match
+             let t = jtype hp in
+             expect_char hp '[';
+             let e = expression hp in
+             expect_char hp ']';
+             leaf "NewArray" [ t; e ]
+           with
+          | v -> v
+          | exception Fail _ ->
+              hp.pos <- saved;
+              let name = identifier hp in
+              expect_char hp '(';
+              let args = arg_list hp in
+              leaf "New" [ Value.Str name; Value.List args ])
+      | Some "this" ->
+          ignore (eat_kw hp "this");
+          leaf "This" []
+      | Some "true" ->
+          ignore (eat_kw hp "true");
+          leaf "True" []
+      | Some "false" ->
+          ignore (eat_kw hp "false");
+          leaf "False" []
+      | Some "null" ->
+          ignore (eat_kw hp "null");
+          leaf "Null" []
+      | Some w when not (List.mem w keywords) ->
+          let name = identifier hp in
+          if eat_char hp '(' then
+            leaf "LocalCall" [ Value.Str name; Value.List (arg_list hp) ]
+          else leaf "Var" [ Value.Str name ]
+      | _ -> fail hp "expression")
+
+let rec statement hp =
+  match peek hp with
+  | Some '{' -> block hp
+  | Some ';' ->
+      ignore (eat_char hp ';');
+      leaf "Empty" []
+  | _ -> (
+      match peek_word hp with
+      | Some "if" ->
+          ignore (eat_kw hp "if");
+          expect_char hp '(';
+          let c = expression hp in
+          expect_char hp ')';
+          let t = statement hp in
+          if eat_kw hp "else" then leaf "If" [ c; t; statement hp ]
+          else leaf "If" [ c; t ]
+      | Some "while" ->
+          ignore (eat_kw hp "while");
+          expect_char hp '(';
+          let c = expression hp in
+          expect_char hp ')';
+          leaf "While" [ c; statement hp ]
+      | Some "for" ->
+          ignore (eat_kw hp "for");
+          expect_char hp '(';
+          let init =
+            if peek hp = Some ';' then Value.Unit
+            else
+              (* ForInit: Type Ident = e  |  expression *)
+              let saved = hp.pos in
+              match
+                let t = jtype hp in
+                let n = identifier hp in
+                if not (eat_op hp '=' "=") then fail hp "'='";
+                (t, n)
+              with
+              | t, n -> leaf "ForDecl" [ t; Value.Str n; expression hp ]
+              | exception Fail _ ->
+                  hp.pos <- saved;
+                  expression hp
+          in
+          expect_char hp ';';
+          let cond = if peek hp = Some ';' then Value.Unit else expression hp in
+          expect_char hp ';';
+          let step = if peek hp = Some ')' then Value.Unit else expression hp in
+          expect_char hp ')';
+          leaf "For" [ init; cond; step; statement hp ]
+      | Some "return" ->
+          ignore (eat_kw hp "return");
+          if eat_char hp ';' then leaf "Return" []
+          else
+            let e = expression hp in
+            expect_char hp ';';
+            leaf "Return" [ e ]
+      | _ -> (
+          (* LocalDecl: Type Ident ('=' e)? ';'  — mirrored as a
+             backtracking attempt, like the PEG alternative. *)
+          let saved = hp.pos in
+          match
+            if not (is_type_start hp) then fail hp "type";
+            let t = jtype hp in
+            let n = identifier hp in
+            let init = if eat_op hp '=' "=" then Some (expression hp) else None in
+            expect_char hp ';';
+            (t, n, init)
+          with
+          | t, n, init ->
+              leaf "LocalDecl"
+                [ t; Value.Str n;
+                  (match init with Some e -> e | None -> Value.Unit) ]
+          | exception Fail _ ->
+              hp.pos <- saved;
+              let e = expression hp in
+              expect_char hp ';';
+              leaf "ExprStmt" [ e ]))
+
+and block hp =
+  expect_char hp '{';
+  let stmts = ref [] in
+  while not (eat_char hp '}') do
+    stmts := statement hp :: !stmts
+  done;
+  leaf "Block" [ Value.List (List.rev !stmts) ]
+
+let class_decl hp =
+  if not (eat_kw hp "class") then fail hp "\"class\"";
+  let name = identifier hp in
+  let parent = if eat_kw hp "extends" then Some (identifier hp) else None in
+  expect_char hp '{';
+  let members = ref [] in
+  while not (eat_char hp '}') do
+    let static = eat_kw hp "static" in
+    let t = jtype hp in
+    let n = identifier hp in
+    if eat_char hp '(' then (
+      (* method *)
+      let params = ref [] in
+      (if not (eat_char hp ')') then (
+         let param () =
+           let pt = jtype hp in
+           let pn = identifier hp in
+           leaf "Param" [ pt; Value.Str pn ]
+         in
+         params := [ param () ];
+         while eat_char hp ',' do
+           params := param () :: !params
+         done;
+         expect_char hp ')'));
+      let body = block hp in
+      members :=
+        leaf "Method"
+          [ Value.Str (if static then "static" else ""); t; Value.Str n;
+            Value.List (List.rev !params); body ]
+        :: !members)
+    else (
+      let init = if eat_op hp '=' "=" then Some (expression hp) else None in
+      expect_char hp ';';
+      members :=
+        leaf "Field"
+          [ Value.Str (if static then "static" else ""); t; Value.Str n;
+            (match init with Some e -> e | None -> Value.Unit) ]
+        :: !members)
+  done;
+  leaf "ClassDecl"
+    [ Value.Str name;
+      Value.Str (Option.value parent ~default:"");
+      Value.List (List.rev !members) ]
+
+let parse_hand input =
+  let hp = { input; len = String.length input; pos = 0 } in
+  match
+    spacing hp;
+    let classes = ref [] in
+    while hp.pos < hp.len do
+      classes := class_decl hp :: !classes
+    done;
+    leaf "CompilationUnit" [ Value.List (List.rev !classes) ]
+  with
+  | v -> Ok v
+  | exception Fail (pos, expected) ->
+      Error (Printf.sprintf "parse error at offset %d: expected %s" pos expected)

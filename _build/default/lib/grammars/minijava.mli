@@ -1,0 +1,21 @@
+(** MiniJava: the second language of the evaluation.
+
+    Its point is {e module reuse}: the grammar imports [c.Space] and
+    [c.Op] — the MiniC spacing and operator modules — unchanged, just as
+    Rats!'s C and Java grammars shared their foundations. Unlike MiniC
+    it is entirely stateless (Java has no typedef problem), so every
+    production is memoizable. *)
+
+open Rats_peg
+
+val texts : string list
+val grammar : unit -> Grammar.t
+(** Rooted at [j.Program]. *)
+
+val load : unit -> Grammar.t * Rats_modules.Resolve.stats
+
+val parse_hand : string -> (Rats_peg.Value.t, string) result
+(** Hand-written recursive-descent parser for the same language — the
+    E2 comparator. Accepts the same programs as the grammar (validated
+    on the corpus); tree shapes are similar but not guaranteed
+    identical. *)

@@ -1,0 +1,5 @@
+(* The pathological grammar of experiment E4: naive backtracking is
+   exponential in the nesting depth, packrat is linear. *)
+
+let texts = [ Texts.pathological ]
+let grammar () = Loader.grammar ~root:"path.Main" texts

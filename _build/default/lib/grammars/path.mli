@@ -1,0 +1,4 @@
+(** Pathological-backtracking grammar for experiment E4. *)
+
+val texts : string list
+val grammar : unit -> Rats_peg.Grammar.t

@@ -1,0 +1,715 @@
+(* Grammar-module sources, in the textual module language. Kept as string
+   constants so the library is self-contained (no data files to locate at
+   run time); the CLI can also load the same grammars from .rats files. *)
+
+(* --- calculator ---------------------------------------------------------- *)
+
+let calc =
+  {|// A four-operator calculator, split into modules the way the paper
+// advocates: spacing, literals and the expression core are separate,
+// and the exponentiation extension modifies the core without touching it.
+
+module calc.Space;
+
+public transient void Spacing = [ \t\n\r]*;
+
+module calc.Number(S);
+
+public Number = $( [0-9]+ ('.' [0-9]+)? ) S.Spacing;
+
+module calc.Core(S);
+
+import calc.Number(S) as N;
+
+public generic Sum = Term SumTail*;
+generic SumTail = op:$( [+\-] ) S.Spacing Term;
+
+generic Term = Factor TermTail*;
+generic TermTail = op:$( [*/] ) S.Spacing Factor;
+
+Factor =
+  <Paren> void:'(' S.Spacing Sum void:')' S.Spacing
+  / <Number> @Num(N.Number);
+
+module calc.Pow(S);
+
+modify calc.Core(S) as Base;
+import calc.Number(S) as N;
+
+Factor += before <Paren> <Pow> @Pow(Atom void:"**" S.Spacing Factor);
+
+Atom =
+  <Paren> void:'(' S.Spacing Sum void:')' S.Spacing
+  / <Number> @Num(N.Number);
+
+module calc.Main;
+
+import calc.Space as S;
+import calc.Pow(calc.Space) as P;
+
+public Calculation = S.Spacing P.Sum !.;
+|}
+
+(* --- JSON ---------------------------------------------------------------- *)
+
+let json =
+  {|// JSON (RFC 8259 shape, scannerless).
+
+module json.Space;
+
+public transient void Spacing = [ \t\n\r]*;
+
+module json.Lex(S);
+
+public JString = void:'"' $( Char* ) void:'"' S.Spacing;
+transient Char = '\\' . / [^"\\];
+public JNumber = $( '-'? Int Frac? Exp? ) S.Spacing;
+transient void Int = '0' / [1-9] [0-9]*;
+transient void Frac = '.' [0-9]+;
+transient void Exp = [eE] [+\-]? [0-9]+;
+
+module json.Value(S);
+
+import json.Lex(S) as L;
+
+public JValue =
+  <Object> Object
+  / <Array> Array
+  / <String> @Str(L.JString)
+  / <Number> @Num(L.JNumber)
+  / <True> @True(void:"true" S.Spacing)
+  / <False> @False(void:"false" S.Spacing)
+  / <Null> @Null(void:"null" S.Spacing);
+
+generic Object =
+  void:'{' S.Spacing (Member (void:',' S.Spacing Member)*)? void:'}' S.Spacing;
+
+generic Member = L.JString void:':' S.Spacing JValue;
+
+generic Array =
+  void:'[' S.Spacing (JValue (void:',' S.Spacing JValue)*)? void:']' S.Spacing;
+
+module json.Main;
+
+import json.Space as S;
+import json.Value(json.Space) as V;
+
+public Document = S.Spacing V.JValue !.;
+|}
+
+(* --- MiniC --------------------------------------------------------------- *)
+
+let minic_space =
+  {|module c.Space;
+
+public transient void Spacing = (Blank / LineComment / BlockComment)*;
+transient void Blank = [ \t\n\r];
+transient void LineComment = "//" [^\n]*;
+transient void BlockComment = "/*" (!"*/" .)* "*/";
+|}
+
+let minic_lex =
+  {|module c.Lex(S);
+
+// Word is the raw identifier text (no trailing spacing) so that the
+// typedef tables record and test exactly the name.
+public Word = $( !Keyword IdStart IdChar* );
+public Identifier = Word S.Spacing;
+
+transient void IdStart = [a-zA-Z_];
+transient void IdChar = [a-zA-Z0-9_];
+
+transient void Keyword =
+  ("break" / "case" / "char" / "continue" / "default" / "do" / "double"
+   / "else" / "float" / "for" / "goto" / "if" / "int" / "long" / "return"
+   / "short" / "signed" / "sizeof" / "struct" / "switch" / "typedef"
+   / "unsigned" / "void" / "while")
+  !IdChar;
+
+public FloatLit = $( [0-9]+ '.' [0-9]+ ) S.Spacing;
+public IntegerLit = $( [0-9]+ ) !'.' S.Spacing;
+public CharLit = $( '\'' ('\\' . / [^'\\]) '\'' ) S.Spacing;
+public StringLit = $( '"' ('\\' . / [^"\\])* '"' ) S.Spacing;
+|}
+
+let minic_op =
+  {|module c.Op(S);
+
+// Operator tokens yield their text; the not-predicates keep a shorter
+// operator from eating the prefix of a longer one.
+public AssignOp = $( '=' !'=' / "+=" / "-=" / "*=" / "/=" / "%=" ) S.Spacing;
+public OrOp = $( "||" ) S.Spacing;
+public AndOp = $( "&&" ) S.Spacing;
+public BitOrOp = $( '|' ![|=] ) S.Spacing;
+public BitXorOp = $( '^' !'=' ) S.Spacing;
+public BitAndOp = $( '&' ![&=] ) S.Spacing;
+public EqOp = $( "==" / "!=" ) S.Spacing;
+public RelOp = $( "<=" / ">=" / '<' ![<=] / '>' ![>=] ) S.Spacing;
+public ShiftOp = $( "<<" !'=' / ">>" !'=' ) S.Spacing;
+public AddOp = $( '+' ![+=] / '-' ![\-=>] ) S.Spacing;
+public MulOp = $( '*' !'=' / '/' ![/*=] / '%' !'=' ) S.Spacing;
+public UnaryOp = $( '!' !'=' / '~' / '-' ![\-=>] / '+' ![+=] / '*' !'=' / '&' ![&=] ) S.Spacing;
+public IncDecOp = $( "++" / "--" ) S.Spacing;
+|}
+
+let minic_type =
+  {|module c.Type(S, L);
+
+public generic TypeSpecifier =
+  <Builtin> BuiltinType
+  / <Struct> StructRef
+  / <Typedef> @TypedefName(%member(Typedefs, L.Word) S.Spacing);
+
+BuiltinType = BuiltinWord+;
+BuiltinWord =
+  $( ("unsigned" / "signed" / "long" / "short" / "int" / "char" / "float"
+      / "double" / "void")
+     ![a-zA-Z0-9_] )
+  S.Spacing;
+
+generic StructRef = void:"struct" ![a-zA-Z0-9_] S.Spacing L.Identifier;
+
+public Pointer = $( '*' !'=' ) S.Spacing;
+|}
+
+let minic_expr =
+  {|module c.Expr(S, L, T);
+
+import c.Op(S) as O;
+
+public Expression = Assignment;
+
+public generic Assignment =
+  <Assign> Unary O.AssignOp Assignment
+  / <Cond> Conditional;
+
+generic Conditional =
+  <Ternary> LogicalOr void:'?' S.Spacing Expression void:':' S.Spacing Conditional
+  / <Or> LogicalOr;
+
+generic LogicalOr = LogicalAnd (O.OrOp LogicalAnd)*;
+generic LogicalAnd = BitOr (O.AndOp BitOr)*;
+generic BitOr = BitXor (O.BitOrOp BitXor)*;
+generic BitXor = BitAnd (O.BitXorOp BitAnd)*;
+generic BitAnd = Equality (O.BitAndOp Equality)*;
+generic Equality = Relational (O.EqOp Relational)*;
+generic Relational = Shift (O.RelOp Shift)*;
+generic Shift = Additive (O.ShiftOp Additive)*;
+generic Additive = Multiplicative (O.AddOp Multiplicative)*;
+generic Multiplicative = Unary (O.MulOp Unary)*;
+
+public generic Unary =
+  <SizeofType> void:"sizeof" ![a-zA-Z0-9_] S.Spacing void:'(' S.Spacing T.TypeSpecifier T.Pointer* void:')' S.Spacing
+  / <Sizeof> void:"sizeof" ![a-zA-Z0-9_] S.Spacing Unary
+  / <Cast> @Cast(void:'(' S.Spacing T.TypeSpecifier T.Pointer* void:')' S.Spacing Unary)
+  / <PreIncDec> O.IncDecOp Unary
+  / <Prefix> O.UnaryOp Unary
+  / <Postfix> Postfix;
+
+generic Postfix = Primary PostfixTail*;
+
+generic PostfixTail =
+  <Call> void:'(' S.Spacing (Expression (void:',' S.Spacing Expression)*)? void:')' S.Spacing
+  / <Index> void:'[' S.Spacing Expression void:']' S.Spacing
+  / <Member> void:'.' S.Spacing L.Identifier
+  / <Arrow> void:"->" S.Spacing L.Identifier
+  / <PostIncDec> O.IncDecOp;
+
+public Primary =
+  <Paren> void:'(' S.Spacing Expression void:')' S.Spacing
+  / <Float> @FloatLit(L.FloatLit)
+  / <Int> @IntLit(L.IntegerLit)
+  / <Char> @CharLit(L.CharLit)
+  / <Str> @StrLit(L.StringLit)
+  / <Var> @Var(L.Identifier);
+|}
+
+let minic_decl =
+  {|module c.Decl(S, L, T, E);
+
+public generic Declaration =
+  <Typedef> void:"typedef" ![a-zA-Z0-9_] S.Spacing T.TypeSpecifier T.Pointer*
+            @NewType(%record(Typedefs, L.Word)) S.Spacing void:';' S.Spacing
+  / <Struct> StructDef void:';' S.Spacing
+  / <Var> T.TypeSpecifier InitDeclarator (void:',' S.Spacing InitDeclarator)* void:';' S.Spacing;
+
+generic InitDeclarator =
+  Declarator (void:'=' !'=' S.Spacing E.Assignment)?;
+
+generic Declarator =
+  T.Pointer* L.Identifier (void:'[' S.Spacing @Size(E.Expression)? void:']' S.Spacing)*;
+
+public generic StructDef =
+  void:"struct" ![a-zA-Z0-9_] S.Spacing L.Identifier
+  void:'{' S.Spacing (@Field(T.TypeSpecifier Declarator void:';' S.Spacing))* void:'}' S.Spacing;
+|}
+
+let minic_stmt =
+  {|module c.Stmt(S, L, T, E, D);
+
+public generic Statement =
+  <Compound> Compound
+  / <If> If
+  / <While> While
+  / <DoWhile> DoWhile
+  / <For> For
+  / <Switch> Switch
+  / <Return> Return
+  / <Break> @Break(void:"break" ![a-zA-Z0-9_] S.Spacing void:';' S.Spacing)
+  / <Continue> @Continue(void:"continue" ![a-zA-Z0-9_] S.Spacing void:';' S.Spacing)
+  / <Goto> @Goto(void:"goto" ![a-zA-Z0-9_] S.Spacing L.Identifier void:';' S.Spacing)
+  / <Label> @Label(L.Identifier void:':' S.Spacing Statement)
+  / <Decl> D.Declaration
+  / <Expr> ExprStatement
+  / <Empty> @Empty(void:';' S.Spacing);
+
+generic Switch =
+  void:"switch" ![a-zA-Z0-9_] S.Spacing void:'(' S.Spacing E.Expression void:')' S.Spacing
+  void:'{' S.Spacing SwitchItem* void:'}' S.Spacing;
+
+generic SwitchItem =
+  <Case> @Case(void:"case" ![a-zA-Z0-9_] S.Spacing E.Expression void:':' S.Spacing Statement*)
+  / <Default> @Default(void:"default" ![a-zA-Z0-9_] S.Spacing void:':' S.Spacing Statement*);
+
+public generic Compound = void:'{' S.Spacing Statement* void:'}' S.Spacing;
+
+generic If =
+  void:"if" ![a-zA-Z0-9_] S.Spacing void:'(' S.Spacing E.Expression void:')' S.Spacing
+  Statement (void:"else" ![a-zA-Z0-9_] S.Spacing Statement)?;
+
+generic While =
+  void:"while" ![a-zA-Z0-9_] S.Spacing void:'(' S.Spacing E.Expression void:')' S.Spacing Statement;
+
+generic DoWhile =
+  void:"do" ![a-zA-Z0-9_] S.Spacing Statement
+  void:"while" ![a-zA-Z0-9_] S.Spacing void:'(' S.Spacing E.Expression void:')' S.Spacing void:';' S.Spacing;
+
+generic For =
+  void:"for" ![a-zA-Z0-9_] S.Spacing void:'(' S.Spacing
+  @Init(ForInit?) void:';' S.Spacing @Cond(E.Expression?) void:';' S.Spacing @Step(E.Expression?)
+  void:')' S.Spacing Statement;
+
+ForInit = E.Expression;
+
+generic Return =
+  void:"return" ![a-zA-Z0-9_] S.Spacing E.Expression? void:';' S.Spacing;
+
+generic ExprStatement = E.Expression void:';' S.Spacing;
+|}
+
+let minic_program =
+  {|module c.Program;
+
+import c.Space as S;
+import c.Lex(c.Space) as L;
+import c.Type(c.Space, L) as T;
+import c.Expr(c.Space, L, T) as E;
+import c.Decl(c.Space, L, T, E) as D;
+import c.Stmt(c.Space, L, T, E, D) as St;
+
+public generic Program = S.Spacing TopLevel* !.;
+
+TopLevel =
+  <Function> FunctionDef
+  / <Declaration> D.Declaration;
+
+generic FunctionDef =
+  T.TypeSpecifier T.Pointer* L.Identifier
+  void:'(' S.Spacing @Params(ParamList?) void:')' S.Spacing St.Compound;
+
+ParamList = Param (void:',' S.Spacing Param)*;
+
+generic Param = T.TypeSpecifier T.Pointer* L.Identifier?;
+|}
+
+(* --- MiniC extensions (experiment E6) ------------------------------------ *)
+
+let ext_pow =
+  {|// Adds a right-associative '**' operator between unary and
+// multiplicative, touching nothing in the base modules.
+module c.ext.Pow(E, S);
+
+modify E as Base;
+
+Multiplicative := Power (MulOp Power)*;
+
+generic Power =
+  <Pow> Unary void:"**" S.Spacing Power
+  / <One> Unary;
+
+MulOp = $( '*' ![*=] / '/' ![/*=] / '%' !'=' ) S.Spacing;
+|}
+
+let ext_until =
+  {|// Adds an 'until (e) stmt' statement: loop until the condition holds.
+module c.ext.Until(St, S, E);
+
+modify St as Base;
+
+Statement += after <DoWhile>
+  <Until> @Until(void:"until" ![a-zA-Z0-9_] S.Spacing
+                 void:'(' S.Spacing E.Expression void:')' S.Spacing Statement);
+|}
+
+let ext_query =
+  {|// Embeds a query sublanguage in expressions:
+//   query { select a, b from t where a < 10 }
+// The 'where' clause is a full host-language expression - the
+// composition the paper (and Katahdin after it) motivates.
+module c.ext.Query(E, S, L);
+
+modify E as Base;
+
+Primary += before <Paren>
+  <Query> @Query(void:"query" ![a-zA-Z0-9_] S.Spacing
+                 void:'{' S.Spacing Select void:'}' S.Spacing);
+
+generic Select =
+  void:"select" ![a-zA-Z0-9_] S.Spacing @Cols(L.Identifier (void:',' S.Spacing L.Identifier)*)
+  void:"from" ![a-zA-Z0-9_] S.Spacing @Table(L.Identifier)
+  @Where(void:"where" ![a-zA-Z0-9_] S.Spacing Expression)?;
+|}
+
+let minic_extended =
+  {|// The extended-language root: the same wiring as c.Program, with the
+// three extension modules spliced into the instance graph. Note that
+// declarations and statements pick up the extended expression module
+// automatically - that is the point of parameterized modules.
+module cx.Program;
+
+import c.Space as S;
+import c.Lex(c.Space) as L;
+import c.Type(c.Space, L) as T;
+import c.Expr(c.Space, L, T) as E0;
+import c.ext.Pow(E0, c.Space) as E1;
+import c.ext.Query(E1, c.Space, L) as E;
+import c.Decl(c.Space, L, T, E) as D;
+import c.Stmt(c.Space, L, T, E, D) as St0;
+import c.ext.Until(St0, c.Space, E) as St;
+
+public generic Program = S.Spacing TopLevel* !.;
+
+TopLevel =
+  <Function> FunctionDef
+  / <Declaration> D.Declaration;
+
+generic FunctionDef =
+  T.TypeSpecifier T.Pointer* L.Identifier
+  void:'(' S.Spacing @Params(ParamList?) void:')' S.Spacing St.Compound;
+
+ParamList = Param (void:',' S.Spacing Param)*;
+
+generic Param = T.TypeSpecifier T.Pointer* L.Identifier?;
+|}
+
+let minic_modules =
+  [ minic_space; minic_lex; minic_op; minic_type; minic_expr; minic_decl;
+    minic_stmt; minic_program ]
+
+let minic_extension_modules = [ ext_pow; ext_until; ext_query; minic_extended ]
+
+(* --- pathological backtracking (experiment E4) ---------------------------- *)
+
+let pathological =
+  {|// Classic exponential case for memoless backtracking: the two
+// alternatives of Expr both begin with Term, so an unmemoized parser
+// re-parses the whole parenthesized prefix at every level.
+module path.Main;
+
+public Expr = Term '+' Expr / Term;
+Term = '(' Expr ')' / [0-9];
+|}
+
+(* --- MiniJava -------------------------------------------------------------- *)
+(* The paper's second language. The point of these modules is REUSE:
+   MiniJava imports c.Space and c.Op unchanged — the same spacing and
+   operator modules serve two languages, as Rats!'s C and Java grammars
+   shared their foundations. *)
+
+let minijava_lex =
+  {|module j.Lex(S);
+
+public Word = $( !Keyword IdStart IdChar* );
+public Identifier = Word S.Spacing;
+
+transient void IdStart = [a-zA-Z_$];
+transient void IdChar = [a-zA-Z0-9_$];
+
+transient void Keyword =
+  ("boolean" / "class" / "double" / "else" / "extends" / "false" / "for"
+   / "if" / "int" / "char" / "long" / "new" / "null" / "return" / "static"
+   / "this" / "true" / "void" / "while")
+  !IdChar;
+
+public FloatLit = $( [0-9]+ '.' [0-9]+ ) S.Spacing;
+public IntegerLit = $( [0-9]+ ) !'.' S.Spacing;
+public CharLit = $( '\'' ('\\' . / [^'\\]) '\'' ) S.Spacing;
+public StringLit = $( '"' ('\\' . / [^"\\])* '"' ) S.Spacing;
+|}
+
+let minijava_type =
+  {|module j.Type(S, L);
+
+public generic Type = @BaseType(Base) @Dims($( "[]" )* S.Spacing);
+
+Base =
+  <Primitive> @Primitive(PrimWord)
+  / <Class> @ClassType(L.Identifier);
+
+PrimWord =
+  $( ("boolean" / "double" / "int" / "char" / "long" / "void") ![a-zA-Z0-9_$] )
+  S.Spacing;
+|}
+
+let minijava_expr =
+  {|module j.Expr(S, L, T);
+
+// Reuses the C operator module verbatim - modular syntax at work.
+import c.Op(S) as O;
+
+public Expression = Assignment;
+
+public generic Assignment =
+  <Assign> Postfix O.AssignOp Assignment
+  / <Cond> LogicalOr;
+
+generic LogicalOr = LogicalAnd (O.OrOp LogicalAnd)*;
+generic LogicalAnd = Equality (O.AndOp Equality)*;
+generic Equality = Relational (O.EqOp Relational)*;
+generic Relational = Additive (O.RelOp Additive)*;
+generic Additive = Multiplicative (O.AddOp Multiplicative)*;
+generic Multiplicative = Unary (O.MulOp Unary)*;
+
+public generic Unary =
+  <Not> void:'!' !'=' S.Spacing Unary
+  / <Neg> void:'-' ![\-=>] S.Spacing Unary
+  / <Postfix> Postfix;
+
+generic Postfix = Primary PostfixTail*;
+
+generic PostfixTail =
+  <Call> void:'.' S.Spacing L.Identifier void:'(' S.Spacing @Args(ArgList?) void:')' S.Spacing
+  / <Field> void:'.' S.Spacing L.Identifier
+  / <Index> void:'[' S.Spacing Expression void:']' S.Spacing
+  / <IncDec> O.IncDecOp;
+
+ArgList = Expression (void:',' S.Spacing Expression)*;
+
+public Primary =
+  <Paren> void:'(' S.Spacing Expression void:')' S.Spacing
+  / <NewArray> @NewArray(void:"new" ![a-zA-Z0-9_$] S.Spacing T.Type void:'[' S.Spacing Expression void:']' S.Spacing)
+  / <New> @New(void:"new" ![a-zA-Z0-9_$] S.Spacing L.Identifier void:'(' S.Spacing @Args(ArgList?) void:')' S.Spacing)
+  / <This> @This(void:"this" ![a-zA-Z0-9_$] S.Spacing)
+  / <True> @True(void:"true" ![a-zA-Z0-9_$] S.Spacing)
+  / <False> @False(void:"false" ![a-zA-Z0-9_$] S.Spacing)
+  / <Null> @Null(void:"null" ![a-zA-Z0-9_$] S.Spacing)
+  / <Float> @FloatLit(L.FloatLit)
+  / <Int> @IntLit(L.IntegerLit)
+  / <Char> @CharLit(L.CharLit)
+  / <Str> @StrLit(L.StringLit)
+  / <LocalCall> @LocalCall(L.Identifier void:'(' S.Spacing @Args(ArgList?) void:')' S.Spacing)
+  / <Var> @Var(L.Identifier);
+|}
+
+let minijava_stmt =
+  {|module j.Stmt(S, L, T, E);
+
+public generic Statement =
+  <Block> Block
+  / <If> If
+  / <While> While
+  / <For> For
+  / <Return> Return
+  / <Decl> LocalDecl
+  / <Expr> ExprStatement
+  / <Empty> @Empty(void:';' S.Spacing);
+
+public generic Block = void:'{' S.Spacing Statement* void:'}' S.Spacing;
+
+generic If =
+  void:"if" ![a-zA-Z0-9_$] S.Spacing void:'(' S.Spacing E.Expression void:')' S.Spacing
+  Statement (void:"else" ![a-zA-Z0-9_$] S.Spacing Statement)?;
+
+generic While =
+  void:"while" ![a-zA-Z0-9_$] S.Spacing void:'(' S.Spacing E.Expression void:')' S.Spacing Statement;
+
+generic For =
+  void:"for" ![a-zA-Z0-9_$] S.Spacing void:'(' S.Spacing
+  @Init(ForInit?) void:';' S.Spacing @Cond(E.Expression?) void:';' S.Spacing @Step(E.Expression?)
+  void:')' S.Spacing Statement;
+
+ForInit = <Decl> T.Type L.Identifier void:'=' !'=' S.Spacing E.Expression
+        / <Expr> E.Expression;
+
+generic Return =
+  void:"return" ![a-zA-Z0-9_$] S.Spacing E.Expression? void:';' S.Spacing;
+
+generic LocalDecl =
+  T.Type L.Identifier (void:'=' !'=' S.Spacing E.Expression)? void:';' S.Spacing;
+
+generic ExprStatement = E.Expression void:';' S.Spacing;
+|}
+
+let minijava_class =
+  {|module j.Class(S, L, T, E, St);
+
+public generic ClassDecl =
+  void:"class" ![a-zA-Z0-9_$] S.Spacing L.Identifier
+  @Extends(void:"extends" ![a-zA-Z0-9_$] S.Spacing L.Identifier)?
+  void:'{' S.Spacing Member* void:'}' S.Spacing;
+
+generic Member =
+  <Method> Method
+  / <Field> Field;
+
+generic Field =
+  Static? T.Type L.Identifier (void:'=' !'=' S.Spacing E.Expression)? void:';' S.Spacing;
+
+generic Method =
+  Static? T.Type L.Identifier
+  void:'(' S.Spacing @Params(ParamList?) void:')' S.Spacing St.Block;
+
+ParamList = Param (void:',' S.Spacing Param)*;
+generic Param = T.Type L.Identifier;
+Static = @Static(void:"static" ![a-zA-Z0-9_$] S.Spacing);
+|}
+
+let minijava_program =
+  {|module j.Program;
+
+// c.Space is shared with the MiniC grammar, unchanged.
+import c.Space as S;
+import j.Lex(c.Space) as L;
+import j.Type(c.Space, L) as T;
+import j.Expr(c.Space, L, T) as E;
+import j.Stmt(c.Space, L, T, E) as St;
+import j.Class(c.Space, L, T, E, St) as C;
+
+public generic CompilationUnit = S.Spacing C.ClassDecl* !.;
+|}
+
+let minijava_modules =
+  [ minic_space; minic_op; minijava_lex; minijava_type; minijava_expr;
+    minijava_stmt; minijava_class; minijava_program ]
+
+(* --- the module language, self-hosted --------------------------------------- *)
+(* The grammar of the .rats module language, written in the module
+   language itself — Rats! bootstraps its own syntax the same way. The
+   test suite checks acceptance agreement with the hand-written meta
+   parser (lib/meta) over every shipped grammar text. Reuses c.Space:
+   the meta language shares C's comment/whitespace conventions. *)
+
+let rats_syntax =
+  {|module rats.Lex(S);
+
+public Word = $( [a-zA-Z_] [a-zA-Z0-9_]* );
+public Name = Word S.Spacing;
+
+// Dotted names glue only when the dot is immediately followed by a
+// word, mirroring the hand lexer's adjacency rule.
+public QName = $( Word ('.' Word)* ) S.Spacing;
+
+transient void IdEnd = ![a-zA-Z0-9_];
+
+public Reserved =
+  ("module" / "import" / "modify" / "instantiate" / "as" / "public"
+   / "private" / "transient" / "memoized" / "inline" / "noinline"
+   / "withLocation" / "void" / "String" / "generic" / "Value" / "before"
+   / "after" / "first")
+  IdEnd;
+
+public DefName = !Reserved Name;
+
+public CharLit = void:'\'' (Escape / [^'\\\n]) void:'\'' S.Spacing;
+public StringLit = void:'"' StrChar* void:'"' S.Spacing;
+transient StrChar = Escape / [^"\\\n];
+transient void Escape = '\\' ([ntr0'"\\] / 'x' Hex Hex);
+transient void Hex = [0-9a-fA-F];
+
+public ClassLit =
+  void:'[' ('^')? ClsItem* void:']' S.Spacing;
+transient ClsItem = ClsChar ('-' !']' ClsChar)?;
+transient ClsChar = '\\' ([ntr0'"\\^\][-] / 'x' Hex Hex) / [^\]\\];
+
+module rats.Expr(S, L);
+
+public Choice = Alternative (void:'/' S.Spacing Alternative)*;
+
+generic Alternative = Label? Sequence;
+Label = void:'<' S.Spacing L.Name void:'>' S.Spacing;
+generic Sequence = Item*;
+
+Item =
+  <And> @And(void:'&' S.Spacing Suffix)
+  / <Not> @NotP(void:'!' !'=' S.Spacing Suffix)
+  / <Bind> @Bind(L.Word void:':' !'=' S.Spacing Suffix)
+  / <Plain> Suffix;
+
+generic Suffix = Primary @Ops($( [*+?] )* ) S.Spacing;
+
+Primary =
+  <Empty> @Eps(void:'(' S.Spacing void:')' S.Spacing)
+  / <Group> void:'(' S.Spacing Choice void:')' S.Spacing
+  / <Token> @Tok(void:'$' S.Spacing void:'(' S.Spacing Choice void:')' S.Spacing)
+  / <Node> @NodeC(void:'@' S.Spacing L.Name void:'(' S.Spacing Choice void:')' S.Spacing)
+  / <Fail> @FailC(void:'%' void:"fail" S.Spacing void:'(' S.Spacing L.StringLit void:')' S.Spacing)
+  / <Splice> @SpliceC(void:'%' void:"splice" S.Spacing void:'(' S.Spacing Choice void:')' S.Spacing)
+  / <State> @StateC(void:'%' $( "record" / "member" / "absent" ) S.Spacing
+                    void:'(' S.Spacing L.Name void:',' S.Spacing Choice void:')' S.Spacing)
+  / <Str> @StrC(L.StringLit)
+  / <Chr> @ChrC(L.CharLit)
+  / <Cls> @ClsC(L.ClassLit)
+  / <Any> @AnyC(void:'.' S.Spacing)
+  / <Ref> @Ref(L.QName);
+
+module rats.Module(S, L, E);
+
+public generic ModuleDecl =
+  void:"module" KwEnd S.Spacing name:L.QName @Params(ParamList?) void:';' S.Spacing
+  @Deps(Dependency*) @Items(Item*);
+
+transient void KwEnd = ![a-zA-Z0-9_];
+
+ParamList =
+  void:'(' S.Spacing L.Word S.Spacing (void:',' S.Spacing L.Word S.Spacing)* void:')' S.Spacing;
+
+generic Dependency =
+  kind:$( "import" / "instantiate" / "modify" ) KwEnd S.Spacing
+  target:L.QName @Args(ArgList?)
+  @Alias(void:"as" KwEnd S.Spacing L.Name)? void:';' S.Spacing;
+
+ArgList =
+  void:'(' S.Spacing L.QName (void:',' S.Spacing L.QName)* void:')' S.Spacing;
+
+Item =
+  <Define> @Define(@Attrs(Attr*) L.DefName
+      op:$( ":=" / '=' !'=' ) S.Spacing E.Choice void:';' S.Spacing)
+  / <Add> @Add(L.DefName void:"+=" S.Spacing @Where(Placement?) E.Choice void:';' S.Spacing)
+  / <Remove> @Remove(L.DefName void:"-=" S.Spacing LabelRef
+      (void:',' S.Spacing LabelRef)* void:';' S.Spacing);
+
+Attr =
+  $( ("public" / "private" / "transient" / "memoized" / "inline"
+      / "noinline" / "withLocation" / "void" / "String" / "generic"
+      / "Value")
+     KwEnd )
+  S.Spacing !DefOp;
+
+transient void DefOp = "+=" / "-=" / ":=" / '=' !'=';
+
+Placement =
+  <Before> @Before(void:"before" KwEnd S.Spacing LabelRef)
+  / <After> @After(void:"after" KwEnd S.Spacing LabelRef)
+  / <First> @First(void:"first" KwEnd S.Spacing);
+
+LabelRef = void:'<' S.Spacing L.Name void:'>' S.Spacing;
+
+module rats.Syntax;
+
+import c.Space as S;
+import rats.Lex(c.Space) as L;
+import rats.Expr(c.Space, L) as E;
+import rats.Module(c.Space, L, E) as M;
+
+public generic File = S.Spacing M.ModuleDecl+ !.;
+|}

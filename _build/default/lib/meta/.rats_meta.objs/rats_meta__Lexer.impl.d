@@ -1,0 +1,1 @@
+lib/meta/lexer.ml: Array Buffer Char Charset Diagnostic Format List Rats_peg Rats_support Source Span String Token

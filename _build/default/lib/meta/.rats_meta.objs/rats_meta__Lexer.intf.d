@@ -1,0 +1,1 @@
+lib/meta/lexer.mli: Diagnostic Rats_support Source Token

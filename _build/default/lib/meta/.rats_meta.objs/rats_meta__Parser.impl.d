@@ -1,0 +1,1 @@
+lib/meta/parser.ml: Array Attr Diagnostic Expr Format Lexer List Rats_modules Rats_peg Rats_support Source String Token

@@ -1,0 +1,1 @@
+lib/meta/parser.mli: Diagnostic Expr Rats_modules Rats_peg Rats_support Source

@@ -1,0 +1,1 @@
+lib/meta/print.ml: Expr Format List Pretty Rats_modules Rats_peg String

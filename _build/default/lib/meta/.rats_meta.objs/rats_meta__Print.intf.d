@@ -1,0 +1,1 @@
+lib/meta/print.mli: Format Rats_modules

@@ -1,0 +1,1 @@
+lib/meta/token.ml: Charset Printf Rats_peg Rats_support Span

@@ -1,0 +1,1 @@
+lib/meta/token.mli: Charset Rats_peg Rats_support Span

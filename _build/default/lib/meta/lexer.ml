@@ -1,0 +1,189 @@
+open Rats_support
+open Rats_peg
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_hex c =
+  (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+
+let hex_val c =
+  if c >= '0' && c <= '9' then Char.code c - Char.code '0'
+  else if c >= 'a' && c <= 'f' then Char.code c - Char.code 'a' + 10
+  else Char.code c - Char.code 'A' + 10
+
+exception Lex_error of Diagnostic.t
+
+let err span fmt =
+  Format.kasprintf (fun m -> raise (Lex_error (Diagnostic.error ~span m))) fmt
+
+let tokenize src =
+  let text = Source.text src in
+  let len = String.length text in
+  let tokens = ref [] in
+  let emit kind start_ stop =
+    tokens := { Token.kind; span = Span.v ~start_ ~stop } :: !tokens
+  in
+  (* Returns (char, next position); handles backslash escapes. [extra]
+     lists context-specific characters that may be escaped verbatim. *)
+  let escape ~extra i =
+    if i >= len then err (Span.point i) "unterminated escape sequence";
+    match text.[i] with
+    | 'n' -> ('\n', i + 1)
+    | 't' -> ('\t', i + 1)
+    | 'r' -> ('\r', i + 1)
+    | '\\' -> ('\\', i + 1)
+    | '\'' -> ('\'', i + 1)
+    | '"' -> ('"', i + 1)
+    | '0' -> ('\000', i + 1)
+    | 'x' ->
+        if i + 2 < len && is_hex text.[i + 1] && is_hex text.[i + 2] then
+          (Char.chr ((hex_val text.[i + 1] * 16) + hex_val text.[i + 2]), i + 3)
+        else err (Span.point i) "invalid \\x escape (expected two hex digits)"
+    | c when List.mem c extra -> (c, i + 1)
+    | c -> err (Span.point i) "unknown escape sequence '\\%c'" c
+  in
+  let rec skip i =
+    if i >= len then i
+    else
+      match text.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> skip (i + 1)
+      | '/' when i + 1 < len && text.[i + 1] = '/' ->
+          let rec eol j = if j >= len || text.[j] = '\n' then j else eol (j + 1) in
+          skip (eol (i + 2))
+      | '/' when i + 1 < len && text.[i + 1] = '*' ->
+          let rec close j =
+            if j + 1 >= len then
+              err (Span.v ~start_:i ~stop:len) "unterminated block comment"
+            else if text.[j] = '*' && text.[j + 1] = '/' then j + 2
+            else close (j + 1)
+          in
+          skip (close (i + 2))
+      | _ -> i
+  in
+  let lex_string i0 =
+    let buf = Buffer.create 16 in
+    let rec go i =
+      if i >= len then err (Span.v ~start_:i0 ~stop:len) "unterminated string"
+      else
+        match text.[i] with
+        | '"' ->
+            emit (Token.String_lit (Buffer.contents buf)) i0 (i + 1);
+            i + 1
+        | '\\' ->
+            let c, j = escape ~extra:[] (i + 1) in
+            Buffer.add_char buf c;
+            go j
+        | '\n' -> err (Span.v ~start_:i0 ~stop:i) "newline in string literal"
+        | c ->
+            Buffer.add_char buf c;
+            go (i + 1)
+    in
+    go (i0 + 1)
+  in
+  let lex_char i0 =
+    let c, i =
+      if i0 + 1 >= len then err (Span.point i0) "unterminated character literal"
+      else
+        match text.[i0 + 1] with
+        | '\\' -> escape ~extra:[] (i0 + 2)
+        | '\n' -> err (Span.point i0) "newline in character literal"
+        | c -> (c, i0 + 2)
+    in
+    if i >= len || text.[i] <> '\'' then
+      err (Span.v ~start_:i0 ~stop:i) "unterminated character literal";
+    emit (Token.Char_lit c) i0 (i + 1);
+    i + 1
+  in
+  let lex_class i0 =
+    let i, complement =
+      if i0 + 1 < len && text.[i0 + 1] = '^' then (i0 + 2, true) else (i0 + 1, false)
+    in
+    let set = ref Charset.empty in
+    let rec go i =
+      if i >= len then
+        err (Span.v ~start_:i0 ~stop:len) "unterminated character class"
+      else
+        match text.[i] with
+        | ']' -> i + 1
+        | c ->
+            let c, i =
+              if c = '\\' then escape ~extra:[ ']'; '-'; '^'; '[' ] (i + 1)
+              else (c, i + 1)
+            in
+            (* Range when followed by '-' and a non-']' char. *)
+            if i + 1 < len && text.[i] = '-' && text.[i + 1] <> ']' then (
+              let hi, j =
+                if text.[i + 1] = '\\' then
+                  escape ~extra:[ ']'; '-'; '^'; '[' ] (i + 2)
+                else (text.[i + 1], i + 2)
+              in
+              if hi < c then
+                err (Span.v ~start_:i0 ~stop:j) "inverted range in class";
+              set := Charset.union !set (Charset.range c hi);
+              go j)
+            else (
+              set := Charset.add c !set;
+              go i)
+    in
+    let stop = go i in
+    let s = if complement then Charset.complement !set else !set in
+    emit (Token.Class_lit s) i0 stop;
+    stop
+  in
+  let lex_ident i0 =
+    (* Dots glue qualified names only when immediately followed by an
+       identifier start. *)
+    let rec go i =
+      if i < len && is_ident_char text.[i] then go (i + 1)
+      else if
+        i + 1 < len && text.[i] = '.' && is_ident_start text.[i + 1]
+      then go (i + 2)
+      else i
+    in
+    let stop = go i0 in
+    emit (Token.Ident (String.sub text i0 (stop - i0))) i0 stop;
+    stop
+  in
+  let rec loop i =
+    let i = skip i in
+    if i >= len then emit Token.Eof len len
+    else
+      let two tk = emit tk i (i + 2); loop (i + 2) in
+      let one tk = emit tk i (i + 1); loop (i + 1) in
+      match text.[i] with
+      | '"' -> loop (lex_string i)
+      | '\'' -> loop (lex_char i)
+      | '[' -> loop (lex_class i)
+      | '(' -> one Token.Lparen
+      | ')' -> one Token.Rparen
+      | '<' -> one Token.Langle
+      | '>' -> one Token.Rangle
+      | '/' -> one Token.Slash
+      | ';' -> one Token.Semi
+      | ',' -> one Token.Comma
+      | '*' -> one Token.Star
+      | '?' -> one Token.Question
+      | '&' -> one Token.Amp
+      | '!' -> one Token.Bang
+      | '.' -> one Token.Dot
+      | '@' -> one Token.At
+      | '$' -> one Token.Dollar
+      | '=' -> one Token.Eq
+      | '+' when i + 1 < len && text.[i + 1] = '=' -> two Token.Plus_eq
+      | '+' -> one Token.Plus
+      | '-' when i + 1 < len && text.[i + 1] = '=' -> two Token.Minus_eq
+      | ':' when i + 1 < len && text.[i + 1] = '=' -> two Token.Colon_eq
+      | ':' -> one Token.Colon
+      | '%' ->
+          if i + 1 < len && is_ident_start text.[i + 1] then (
+            let rec go j = if j < len && is_ident_char text.[j] then go (j + 1) else j in
+            let stop = go (i + 1) in
+            emit (Token.Percent (String.sub text (i + 1) (stop - i - 1))) i stop;
+            loop stop)
+          else err (Span.point i) "stray '%%'"
+      | c when is_ident_start c -> loop (lex_ident i)
+      | c -> err (Span.point i) "unexpected character %C" c
+  in
+  match loop 0 with
+  | () -> Ok (Array.of_list (List.rev !tokens))
+  | exception Lex_error d -> Error d

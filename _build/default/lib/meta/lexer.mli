@@ -1,0 +1,10 @@
+(** Hand-written lexer for the module language.
+
+    Skips [//] line comments, [/* ... */] block comments (non-nesting)
+    and whitespace. Raises no exceptions: lexical errors are returned as
+    diagnostics. *)
+
+open Rats_support
+
+val tokenize : Source.t -> (Token.t array, Diagnostic.t) result
+(** The array always ends with an [Eof] token on success. *)

@@ -1,0 +1,402 @@
+open Rats_support
+open Rats_peg
+module Ast = Rats_modules.Ast
+
+let reserved =
+  [
+    "module"; "import"; "modify"; "instantiate"; "as"; "public"; "private";
+    "transient"; "memoized"; "inline"; "noinline"; "withLocation"; "void";
+    "String"; "generic"; "Value"; "before"; "after"; "first";
+  ]
+
+let attr_words =
+  [
+    "public"; "private"; "transient"; "memoized"; "inline"; "noinline";
+    "withLocation"; "void"; "String"; "generic"; "Value";
+  ]
+
+type p = { toks : Token.t array; mutable pos : int; src : Source.t }
+
+exception Parse_fail of Diagnostic.t
+
+let fail p fmt =
+  let tok = p.toks.(p.pos) in
+  Format.kasprintf
+    (fun m -> raise (Parse_fail (Diagnostic.error ~span:tok.Token.span m)))
+    fmt
+
+let peek p = p.toks.(p.pos).Token.kind
+let peek2 p =
+  if p.pos + 1 < Array.length p.toks then p.toks.(p.pos + 1).Token.kind
+  else Token.Eof
+
+let here p = p.toks.(p.pos).Token.span
+let advance p = p.pos <- min (p.pos + 1) (Array.length p.toks - 1)
+
+let expect p kind =
+  if peek p = kind then advance p
+  else fail p "expected %s, found %s" (Token.describe kind)
+      (Token.describe (peek p))
+
+let ident p =
+  match peek p with
+  | Token.Ident s ->
+      advance p;
+      s
+  | k -> fail p "expected identifier, found %s" (Token.describe k)
+
+let ident_is p word = match peek p with Token.Ident s -> s = word | _ -> false
+
+let eat_ident p word =
+  if ident_is p word then (advance p; true) else false
+
+let production_name p =
+  let loc = here p in
+  let n = ident p in
+  if List.mem n reserved then
+    raise
+      (Parse_fail
+         (Diagnostic.errorf ~span:loc "%S is a reserved word" n))
+  else n
+
+(* --- expressions --------------------------------------------------------- *)
+
+let starts_item = function
+  | Token.Ident _ | Token.String_lit _ | Token.Char_lit _ | Token.Class_lit _
+  | Token.Dot | Token.Lparen | Token.Amp | Token.Bang | Token.Dollar
+  | Token.At | Token.Percent _ ->
+      true
+  | _ -> false
+
+let rec parse_choice p =
+  let loc = here p in
+  let alt () =
+    let label =
+      if peek p = Token.Langle then (
+        advance p;
+        let l = ident p in
+        expect p Token.Rangle;
+        Some l)
+      else None
+    in
+    { Expr.label; body = parse_sequence p }
+  in
+  let first = alt () in
+  let rec more acc =
+    if peek p = Token.Slash then (
+      advance p;
+      more (alt () :: acc))
+    else List.rev acc
+  in
+  Expr.alt_labeled ~loc (more [ first ])
+
+and parse_sequence p =
+  let loc = here p in
+  let rec go acc =
+    if starts_item (peek p) then go (parse_item p :: acc) else List.rev acc
+  in
+  Expr.seq ~loc (go [])
+
+and parse_item p =
+  let loc = here p in
+  match peek p with
+  | Token.Amp ->
+      advance p;
+      Expr.and_ ~loc (parse_suffix p)
+  | Token.Bang ->
+      advance p;
+      Expr.not_ ~loc (parse_suffix p)
+  | Token.Ident name
+    when peek2 p = Token.Colon && not (String.contains name '.') ->
+      (* Bind labels are field names: simple identifiers only. A dotted
+         name followed by ':' is a malformed reference, caught below. *)
+      advance p;
+      advance p;
+      let body = parse_suffix p in
+      if name = "void" then Expr.drop ~loc body else Expr.bind ~loc name body
+  | _ -> parse_suffix p
+
+and parse_suffix p =
+  let e = parse_primary p in
+  let rec go e =
+    match peek p with
+    | Token.Star ->
+        advance p;
+        go (Expr.star ~loc:e.Expr.loc e)
+    | Token.Plus ->
+        advance p;
+        go (Expr.plus ~loc:e.Expr.loc e)
+    | Token.Question ->
+        advance p;
+        go (Expr.opt ~loc:e.Expr.loc e)
+    | _ -> e
+  in
+  go e
+
+and parse_primary p =
+  let loc = here p in
+  match peek p with
+  | Token.Lparen ->
+      advance p;
+      if peek p = Token.Rparen then (
+        advance p;
+        Expr.mk ~loc Expr.Empty)
+      else
+        let e = parse_choice p in
+        expect p Token.Rparen;
+        e
+  | Token.String_lit s ->
+      advance p;
+      Expr.str ~loc s
+  | Token.Char_lit c ->
+      advance p;
+      Expr.chr ~loc c
+  | Token.Class_lit set ->
+      advance p;
+      Expr.cls ~loc set
+  | Token.Dot ->
+      advance p;
+      Expr.any ~loc ()
+  | Token.Dollar ->
+      advance p;
+      expect p Token.Lparen;
+      let e = parse_choice p in
+      expect p Token.Rparen;
+      Expr.token ~loc e
+  | Token.At ->
+      advance p;
+      let name = ident p in
+      expect p Token.Lparen;
+      let e = parse_choice p in
+      expect p Token.Rparen;
+      Expr.node ~loc name e
+  | Token.Percent op -> (
+      advance p;
+      expect p Token.Lparen;
+      match op with
+      | "fail" -> (
+          match peek p with
+          | Token.String_lit msg ->
+              advance p;
+              expect p Token.Rparen;
+              Expr.fail ~loc msg
+          | k -> fail p "expected string in %%fail, found %s" (Token.describe k))
+      | "splice" ->
+          let e = parse_choice p in
+          expect p Token.Rparen;
+          Expr.splice ~loc e
+      | "record" | "member" | "absent" ->
+          let table = ident p in
+          expect p Token.Comma;
+          let e = parse_choice p in
+          expect p Token.Rparen;
+          if op = "record" then Expr.record ~loc table e
+          else Expr.member ~loc table (op = "member") e
+      | op -> fail p "unknown operator %%%s" op)
+  | Token.Ident name ->
+      advance p;
+      Expr.ref_ ~loc name
+  | k -> fail p "expected an expression, found %s" (Token.describe k)
+
+(* --- attributes ----------------------------------------------------------- *)
+
+let parse_attrs p =
+  let any = ref false in
+  let attrs = ref Attr.default in
+  let set f = attrs := f !attrs; any := true in
+  let defines_next p =
+    match peek2 p with
+    | Token.Eq | Token.Colon_eq | Token.Plus_eq | Token.Minus_eq -> true
+    | _ -> false
+  in
+  let rec go () =
+    match peek p with
+    | Token.Ident w when List.mem w attr_words && not (defines_next p) ->
+        (* An attribute word directly followed by a definition operator is
+           someone trying to name a production after a keyword; leave it
+           for production_name to reject with a clear message. *)
+        advance p;
+        (match w with
+        | "public" -> set (fun a -> { a with Attr.visibility = Attr.Public })
+        | "private" -> set (fun a -> { a with Attr.visibility = Attr.Private })
+        | "transient" -> set (fun a -> { a with Attr.memo = Attr.Memo_never })
+        | "memoized" -> set (fun a -> { a with Attr.memo = Attr.Memo_always })
+        | "inline" -> set (fun a -> { a with Attr.inline = Attr.Inline_always })
+        | "noinline" -> set (fun a -> { a with Attr.inline = Attr.Inline_never })
+        | "withLocation" -> set (fun a -> { a with Attr.with_location = true })
+        | "void" -> set (fun a -> { a with Attr.kind = Attr.Void })
+        | "String" -> set (fun a -> { a with Attr.kind = Attr.Text })
+        | "generic" -> set (fun a -> { a with Attr.kind = Attr.Generic })
+        | "Value" -> set (fun a -> { a with Attr.kind = Attr.Plain })
+        | _ -> assert false);
+        go ()
+    | _ -> ()
+  in
+  go ();
+  (!attrs, !any)
+
+(* --- items ---------------------------------------------------------------- *)
+
+let parse_label p =
+  expect p Token.Langle;
+  let l = ident p in
+  expect p Token.Rangle;
+  l
+
+let parse_placement p =
+  if ident_is p "before" then (
+    advance p;
+    Ast.Before (parse_label p))
+  else if ident_is p "after" then (
+    advance p;
+    Ast.After (parse_label p))
+  else if ident_is p "first" then (
+    advance p;
+    Ast.Prepend)
+  else Ast.Append
+
+let parse_item_decl p =
+  let loc = here p in
+  let attrs, has_attrs = parse_attrs p in
+  let name = production_name p in
+  match peek p with
+  | Token.Eq ->
+      advance p;
+      let body = parse_choice p in
+      expect p Token.Semi;
+      Ast.define ~attrs ~loc name body
+  | Token.Colon_eq ->
+      advance p;
+      let body = parse_choice p in
+      expect p Token.Semi;
+      Ast.override ?attrs:(if has_attrs then Some attrs else None) ~loc name body
+  | Token.Plus_eq ->
+      if has_attrs then fail p "attributes are not allowed on '+='";
+      advance p;
+      let placement = parse_placement p in
+      let body = parse_choice p in
+      let alts =
+        match body.Expr.it with
+        | Expr.Alt alts -> alts
+        | _ -> [ { Expr.label = None; body } ]
+      in
+      expect p Token.Semi;
+      Ast.add ~placement ~loc name alts
+  | Token.Minus_eq ->
+      if has_attrs then fail p "attributes are not allowed on '-='";
+      advance p;
+      let rec labels acc =
+        let l = parse_label p in
+        if peek p = Token.Comma then (
+          advance p;
+          labels (l :: acc))
+        else List.rev (l :: acc)
+      in
+      let ls = labels [] in
+      expect p Token.Semi;
+      Ast.remove ~loc name ls
+  | k ->
+      fail p "expected '=', ':=', '+=' or '-=' after production name, found %s"
+        (Token.describe k)
+
+(* --- modules --------------------------------------------------------------- *)
+
+let parse_dep p =
+  let loc = here p in
+  let kind =
+    if eat_ident p "import" || eat_ident p "instantiate" then Ast.Import
+    else if eat_ident p "modify" then Ast.Modify
+    else assert false
+  in
+  let target = ident p in
+  let args =
+    if peek p = Token.Lparen then (
+      advance p;
+      let rec go acc =
+        let a = ident p in
+        if peek p = Token.Comma then (
+          advance p;
+          go (a :: acc))
+        else List.rev (a :: acc)
+      in
+      let args = go [] in
+      expect p Token.Rparen;
+      args)
+    else []
+  in
+  let alias = if eat_ident p "as" then Some (ident p) else None in
+  expect p Token.Semi;
+  match kind with
+  | Ast.Import -> Ast.import ?alias ~args ~loc target
+  | Ast.Modify -> Ast.modify ?alias ~args ~loc target
+
+let parse_one_module p =
+  let loc = here p in
+  if not (eat_ident p "module") then
+    fail p "expected 'module', found %s" (Token.describe (peek p));
+  let name = ident p in
+  let params =
+    if peek p = Token.Lparen then (
+      advance p;
+      let rec go acc =
+        let a = ident p in
+        if peek p = Token.Comma then (
+          advance p;
+          go (a :: acc))
+        else List.rev (a :: acc)
+      in
+      let ps = go [] in
+      expect p Token.Rparen;
+      ps)
+    else []
+  in
+  expect p Token.Semi;
+  let rec deps acc =
+    if ident_is p "import" || ident_is p "modify" || ident_is p "instantiate"
+    then deps (parse_dep p :: acc)
+    else List.rev acc
+  in
+  let deps = deps [] in
+  let rec items acc =
+    if peek p = Token.Eof || ident_is p "module" then List.rev acc
+    else items (parse_item_decl p :: acc)
+  in
+  let items = items [] in
+  Ast.v ~params ~deps ~loc ~source:p.src name items
+
+let with_tokens src f =
+  match Lexer.tokenize src with
+  | Error d -> Error d
+  | Ok toks -> (
+      let p = { toks; pos = 0; src } in
+      match f p with v -> Ok v | exception Parse_fail d -> Error d)
+
+let parse_modules src =
+  with_tokens src (fun p ->
+      let rec go acc =
+        if peek p = Token.Eof then List.rev acc
+        else go (parse_one_module p :: acc)
+      in
+      match go [] with
+      | [] -> fail p "expected at least one module"
+      | ms -> ms)
+
+let parse_module src =
+  match parse_modules src with
+  | Error d -> Error d
+  | Ok [ m ] -> Ok m
+  | Ok ms ->
+      Error
+        (Diagnostic.errorf "expected exactly one module, found %d"
+           (List.length ms))
+
+let parse_modules_string ?name text =
+  parse_modules (Source.of_string ?name text)
+
+let parse_expr text =
+  with_tokens (Source.of_string ~name:"<expr>" text) (fun p ->
+      let e = parse_choice p in
+      if peek p <> Token.Eof then
+        fail p "trailing input after expression: %s"
+          (Token.describe (peek p));
+      e)

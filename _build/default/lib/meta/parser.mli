@@ -1,0 +1,38 @@
+(** Recursive-descent parser for the module language.
+
+    The concrete syntax (flavoured after Rats!; see the README for the
+    full reference):
+
+    {v
+    module lang.Calc(Space);
+    import lang.Digits as D;
+    modify lang.Base(Space);
+
+    public generic Sum = <Plus> Prod void:'+' Sum / <Single> Prod;
+    Factor += before <Number> <Paren> '(' Sum ')';
+    Factor -= <Obsolete>;
+    Number := $( [0-9]+ );
+    v}
+
+    A file may hold several modules. Reserved words ([module], [import],
+    [modify], [instantiate], [as], attribute keywords, [before], [after],
+    [first]) cannot name productions. *)
+
+open Rats_support
+open Rats_peg
+
+val parse_modules : Source.t -> (Rats_modules.Ast.t list, Diagnostic.t) result
+(** Parse a whole source; requires at least one module. *)
+
+val parse_module : Source.t -> (Rats_modules.Ast.t, Diagnostic.t) result
+(** Requires exactly one module. *)
+
+val parse_modules_string :
+  ?name:string -> string -> (Rats_modules.Ast.t list, Diagnostic.t) result
+
+val parse_expr : string -> (Expr.t, Diagnostic.t) result
+(** Parse a standalone parsing expression (for tests and the REPL-ish
+    bits of the CLI). *)
+
+val reserved : string list
+(** Words that cannot be used as production names. *)

@@ -1,0 +1,56 @@
+open Rats_peg
+module Ast = Rats_modules.Ast
+
+let pp_args ppf = function
+  | [] -> ()
+  | args ->
+      Format.fprintf ppf "(%s)" (String.concat ", " args)
+
+let pp_dependency ppf (d : Ast.dependency) =
+  let kw = match d.dep_kind with Ast.Import -> "import" | Ast.Modify -> "modify" in
+  Format.fprintf ppf "%s %s%a" kw d.target pp_args d.args;
+  (match d.alias with
+  | Some a when a <> Ast.simple_name d.target -> Format.fprintf ppf " as %s" a
+  | Some _ | None -> ());
+  Format.fprintf ppf ";"
+
+let pp_attrs ppf attrs =
+  List.iter (fun w -> Format.fprintf ppf "%s " w) (Pretty.attr_words attrs)
+
+let pp_alts ppf alts =
+  Pretty.pp_expr ppf (Expr.mk (Expr.Alt alts))
+
+let pp_placement ppf = function
+  | Ast.Append -> ()
+  | Ast.Prepend -> Format.fprintf ppf "first "
+  | Ast.Before l -> Format.fprintf ppf "before <%s> " l
+  | Ast.After l -> Format.fprintf ppf "after <%s> " l
+
+let pp_item ppf (item : Ast.item) =
+  match item with
+  | Ast.Define { name; attrs; expr; _ } ->
+      Format.fprintf ppf "@[<hv 2>%a%s =@ %a;@]" pp_attrs attrs name
+        Pretty.pp_expr expr
+  | Ast.Override { name; attrs; expr; _ } ->
+      let pp_opt_attrs ppf = function
+        | None -> ()
+        | Some a -> pp_attrs ppf a
+      in
+      Format.fprintf ppf "@[<hv 2>%a%s :=@ %a;@]" pp_opt_attrs attrs name
+        Pretty.pp_expr expr
+  | Ast.Add { name; placement; alts; _ } ->
+      Format.fprintf ppf "@[<hv 2>%s += %a%a;@]" name pp_placement placement
+        pp_alts alts
+  | Ast.Remove { name; labels; _ } ->
+      Format.fprintf ppf "%s -= %s;" name
+        (String.concat ", " (List.map (fun l -> "<" ^ l ^ ">") labels))
+
+let pp_module ppf (m : Ast.t) =
+  Format.fprintf ppf "@[<v>module %s%a;@," m.name pp_args m.params;
+  if m.deps <> [] then (
+    Format.fprintf ppf "@,";
+    List.iter (fun d -> Format.fprintf ppf "%a@," pp_dependency d) m.deps);
+  List.iter (fun item -> Format.fprintf ppf "@,%a@," pp_item item) m.items;
+  Format.fprintf ppf "@]"
+
+let module_to_string m = Format.asprintf "%a@." pp_module m

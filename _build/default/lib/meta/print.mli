@@ -1,0 +1,9 @@
+(** Printing module ASTs back as module-language source.
+
+    [Parser.parse_module (Source.of_string (to_string m))] yields an AST
+    structurally equal to [m] — the round-trip property the tests check. *)
+
+val pp_module : Format.formatter -> Rats_modules.Ast.t -> unit
+val module_to_string : Rats_modules.Ast.t -> string
+val pp_item : Format.formatter -> Rats_modules.Ast.item -> unit
+val pp_dependency : Format.formatter -> Rats_modules.Ast.dependency -> unit

@@ -1,0 +1,60 @@
+open Rats_support
+open Rats_peg
+
+type kind =
+  | Ident of string
+  | String_lit of string
+  | Char_lit of char
+  | Class_lit of Charset.t
+  | Percent of string
+  | Lparen
+  | Rparen
+  | Langle
+  | Rangle
+  | Slash
+  | Semi
+  | Colon
+  | Comma
+  | Star
+  | Plus
+  | Question
+  | Amp
+  | Bang
+  | Dot
+  | At
+  | Dollar
+  | Eq
+  | Plus_eq
+  | Minus_eq
+  | Colon_eq
+  | Eof
+
+type t = { kind : kind; span : Span.t }
+
+let describe = function
+  | Ident s -> Printf.sprintf "identifier %S" s
+  | String_lit _ -> "string literal"
+  | Char_lit _ -> "character literal"
+  | Class_lit _ -> "character class"
+  | Percent s -> "%" ^ s
+  | Lparen -> "'('"
+  | Rparen -> "')'"
+  | Langle -> "'<'"
+  | Rangle -> "'>'"
+  | Slash -> "'/'"
+  | Semi -> "';'"
+  | Colon -> "':'"
+  | Comma -> "','"
+  | Star -> "'*'"
+  | Plus -> "'+'"
+  | Question -> "'?'"
+  | Amp -> "'&'"
+  | Bang -> "'!'"
+  | Dot -> "'.'"
+  | At -> "'@'"
+  | Dollar -> "'$'"
+  | Eq -> "'='"
+  | Plus_eq -> "'+='"
+  | Minus_eq -> "'-='"
+  | Colon_eq -> "':='"
+  | Eof -> "end of file"

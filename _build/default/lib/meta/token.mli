@@ -1,0 +1,39 @@
+(** Tokens of the grammar-module language. *)
+
+open Rats_support
+open Rats_peg
+
+type kind =
+  | Ident of string
+      (** identifier, possibly dot-qualified when the dots are adjacent:
+          [Foo.Bar] is one token, [Foo . Bar] is three *)
+  | String_lit of string
+  | Char_lit of char
+  | Class_lit of Charset.t
+  | Percent of string  (** [%record], [%member], [%absent], [%fail], [%splice] *)
+  | Lparen
+  | Rparen
+  | Langle
+  | Rangle
+  | Slash
+  | Semi
+  | Colon
+  | Comma
+  | Star
+  | Plus
+  | Question
+  | Amp
+  | Bang
+  | Dot
+  | At
+  | Dollar
+  | Eq  (** [=] *)
+  | Plus_eq  (** [+=] *)
+  | Minus_eq  (** [-=] *)
+  | Colon_eq  (** [:=] *)
+  | Eof
+
+type t = { kind : kind; span : Span.t }
+
+val describe : kind -> string
+(** Human name for error messages, e.g. ["identifier"], ["'('"]. *)

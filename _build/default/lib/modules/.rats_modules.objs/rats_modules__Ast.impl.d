@@ -1,0 +1,1 @@
+lib/modules/ast.ml: Attr Diagnostic Expr Format Hashtbl List Rats_peg Rats_support Source Span String

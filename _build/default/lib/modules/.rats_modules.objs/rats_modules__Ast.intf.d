@@ -1,0 +1,1 @@
+lib/modules/ast.mli: Attr Diagnostic Expr Rats_peg Rats_support Source Span

@@ -1,0 +1,1 @@
+lib/modules/resolve.ml: Analysis Ast Attr Diagnostic Expr Grammar Hashtbl List Map Option Printf Production Rats_peg Rats_support Span String

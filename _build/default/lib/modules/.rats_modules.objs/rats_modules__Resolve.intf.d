@@ -1,0 +1,1 @@
+lib/modules/resolve.mli: Ast Diagnostic Grammar Rats_peg Rats_support

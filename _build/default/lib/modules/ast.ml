@@ -1,0 +1,170 @@
+open Rats_support
+open Rats_peg
+
+type dep_kind = Import | Modify
+
+type dependency = {
+  dep_kind : dep_kind;
+  target : string;
+  args : string list;
+  alias : string option;
+  dep_loc : Span.t;
+}
+
+type placement = Append | Prepend | Before of string | After of string
+
+type item =
+  | Define of {
+      name : string;
+      attrs : Attr.t;
+      expr : Expr.t;
+      item_loc : Span.t;
+    }
+  | Override of {
+      name : string;
+      attrs : Attr.t option;
+      expr : Expr.t;
+      item_loc : Span.t;
+    }
+  | Add of {
+      name : string;
+      placement : placement;
+      alts : Expr.alt list;
+      item_loc : Span.t;
+    }
+  | Remove of { name : string; labels : string list; item_loc : Span.t }
+
+type t = {
+  name : string;
+  params : string list;
+  deps : dependency list;
+  items : item list;
+  loc : Span.t;
+  source : Source.t option;
+}
+
+let v ?(params = []) ?(deps = []) ?(loc = Span.dummy) ?source name items =
+  { name; params; deps; items; loc; source }
+
+let import ?alias ?(args = []) ?(loc = Span.dummy) target =
+  { dep_kind = Import; target; args; alias; dep_loc = loc }
+
+let modify ?alias ?(args = []) ?(loc = Span.dummy) target =
+  { dep_kind = Modify; target; args; alias; dep_loc = loc }
+
+let define ?(attrs = Attr.default) ?(loc = Span.dummy) name expr =
+  Define { name; attrs; expr; item_loc = loc }
+
+let override ?attrs ?(loc = Span.dummy) name expr =
+  Override { name; attrs; expr; item_loc = loc }
+
+let add ?(placement = Append) ?(loc = Span.dummy) name alts =
+  Add { name; placement; alts; item_loc = loc }
+
+let add_alt ?placement ?loc name ~label expr =
+  add ?placement ?loc name [ { Expr.label = Some label; body = expr } ]
+
+let remove ?(loc = Span.dummy) name labels = Remove { name; labels; item_loc = loc }
+
+let simple_name name =
+  match String.rindex_opt name '.' with
+  | None -> name
+  | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+
+let modify_dep m =
+  List.find_opt (fun d -> d.dep_kind = Modify) m.deps
+
+let item_name = function
+  | Define { name; _ } | Override { name; _ } | Add { name; _ }
+  | Remove { name; _ } ->
+      name
+
+let item_loc = function
+  | Define { item_loc; _ } | Override { item_loc; _ } | Add { item_loc; _ }
+  | Remove { item_loc; _ } ->
+      item_loc
+
+let dep_alias d =
+  match d.alias with Some a -> a | None -> simple_name d.target
+
+let validate m =
+  let errs = ref [] in
+  let err ?span fmt = Format.kasprintf (fun msg ->
+      errs := Diagnostic.error ?span msg :: !errs) fmt
+  in
+  (* At most one modify dependency. *)
+  (match List.filter (fun d -> d.dep_kind = Modify) m.deps with
+  | [] | [ _ ] -> ()
+  | _ :: second :: _ ->
+      err ~span:second.dep_loc
+        "module %S has more than one `modify' dependency" m.name);
+  (* Modification items require a modify dependency. *)
+  (if modify_dep m = None then
+     List.iter
+       (fun item ->
+         match item with
+         | Define _ -> ()
+         | Override _ | Add _ | Remove _ ->
+             err ~span:(item_loc item)
+               "module %S modifies production %S but has no `modify' \
+                dependency"
+               m.name (item_name item))
+       m.items);
+  (* Duplicate aliases and parameters. *)
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun p ->
+      if Hashtbl.mem seen p then
+        err "module %S declares parameter %S twice" m.name p
+      else Hashtbl.add seen p ())
+    m.params;
+  List.iter
+    (fun d ->
+      let a = dep_alias d in
+      if Hashtbl.mem seen a then
+        err ~span:d.dep_loc
+          "module %S: alias %S collides with another alias or parameter"
+          m.name a
+      else Hashtbl.add seen a ())
+    m.deps;
+  (* Duplicate Define items within the module. *)
+  let defined = Hashtbl.create 8 in
+  List.iter
+    (fun item ->
+      match item with
+      | Define { name; item_loc; _ } ->
+          if Hashtbl.mem defined name then
+            err ~span:item_loc "module %S defines production %S twice" m.name
+              name
+          else Hashtbl.add defined name ()
+      | Override _ | Add _ | Remove _ -> ())
+    m.items;
+  (* References may have at most one qualifier segment, and the qualifier
+     must be a known alias or parameter. *)
+  let quals_ok = Hashtbl.copy seen in
+  let check_expr expr =
+    List.iter
+      (fun r ->
+        match String.index_opt r '.' with
+        | None -> ()
+        | Some i ->
+            let qual = String.sub r 0 i in
+            let rest = String.sub r (i + 1) (String.length r - i - 1) in
+            if String.contains rest '.' then
+              err "module %S: reference %S has a nested qualifier" m.name r
+            else if not (Hashtbl.mem quals_ok qual) then
+              err
+                "module %S: reference %S uses unknown qualifier %S (not a \
+                 parameter or dependency alias)"
+                m.name r qual)
+      (Expr.refs expr)
+  in
+  List.iter
+    (fun item ->
+      match item with
+      | Define { expr; _ } | Override { expr; _ } -> check_expr expr
+      | Add { alts; _ } ->
+          List.iter (fun (a : Expr.alt) -> check_expr a.body) alts
+      | Remove _ -> ())
+    m.items;
+  List.rev !errs

@@ -1,0 +1,118 @@
+(** Abstract syntax of the grammar-module language.
+
+    A grammar module packages productions plus dependencies on other
+    modules, mirroring Rats!:
+
+    - [module lang.Expr(Space);] — modules are named (possibly dotted)
+      and may take {e module parameters}; inside the body a parameter
+      name qualifies production references ([Space.Spacing]).
+    - [import lang.Ident(CSpace) as Id;] — instantiate another module and
+      make its productions available under the alias.
+    - [modify lang.Expr(Space);] — at most one per module: this module's
+      items {e edit} the target's productions, producing a new module
+      value (the original is untouched, so unrelated compositions can
+      still import it).
+
+    Items are either full production definitions or modifications of
+    productions the [modify] target defines: override the body, add
+    alternatives at a labeled position, or remove labeled alternatives.
+    Alternatives are addressed by the labels of {!Rats_peg.Expr.alt}. *)
+
+open Rats_support
+open Rats_peg
+
+type dep_kind = Import | Modify
+
+type dependency = {
+  dep_kind : dep_kind;
+  target : string;  (** module name, or a parameter of this module *)
+  args : string list;  (** actual module names / parameters *)
+  alias : string option;
+      (** qualifier for references; defaults to the target's last name
+          segment *)
+  dep_loc : Span.t;
+}
+
+(** Where [+=] splices new alternatives. *)
+type placement =
+  | Append  (** after all existing alternatives *)
+  | Prepend  (** before all existing alternatives *)
+  | Before of string  (** before the alternative labeled so *)
+  | After of string  (** after the alternative labeled so *)
+
+type item =
+  | Define of {
+      name : string;
+      attrs : Attr.t;
+      expr : Expr.t;
+      item_loc : Span.t;
+    }  (** [attrs Kind Name = body;] — a brand-new production *)
+  | Override of {
+      name : string;
+      attrs : Attr.t option;  (** [None] keeps the target's attributes *)
+      expr : Expr.t;
+      item_loc : Span.t;
+    }  (** [Name := body;] — replace an inherited production's body *)
+  | Add of {
+      name : string;
+      placement : placement;
+      alts : Expr.alt list;
+      item_loc : Span.t;
+    }  (** [Name += <L> alt / ... ;] with optional [before]/[after] *)
+  | Remove of {
+      name : string;
+      labels : string list;
+      item_loc : Span.t;
+    }  (** [Name -= L1, L2;] *)
+
+type t = {
+  name : string;
+  params : string list;
+  deps : dependency list;
+  items : item list;
+  loc : Span.t;
+  source : Source.t option;
+      (** retained for diagnostics when parsed from text *)
+}
+
+val v :
+  ?params:string list ->
+  ?deps:dependency list ->
+  ?loc:Span.t ->
+  ?source:Source.t ->
+  string ->
+  item list ->
+  t
+
+val import : ?alias:string -> ?args:string list -> ?loc:Span.t -> string -> dependency
+val modify : ?alias:string -> ?args:string list -> ?loc:Span.t -> string -> dependency
+
+val define :
+  ?attrs:Attr.t -> ?loc:Span.t -> string -> Expr.t -> item
+
+val override : ?attrs:Attr.t -> ?loc:Span.t -> string -> Expr.t -> item
+val add : ?placement:placement -> ?loc:Span.t -> string -> Expr.alt list -> item
+val add_alt :
+  ?placement:placement -> ?loc:Span.t -> string -> label:string -> Expr.t -> item
+(** Convenience: add one labeled alternative. *)
+
+val remove : ?loc:Span.t -> string -> string list -> item
+
+val simple_name : string -> string
+(** Last dot-separated segment of a module name: the default alias. *)
+
+val dep_alias : dependency -> string
+(** The dependency's explicit alias, or the target's simple name. *)
+
+val modify_dep : t -> dependency option
+(** The module's [modify] dependency, if any (validation ensures at most
+    one). *)
+
+val item_name : item -> string
+val item_loc : item -> Span.t
+
+val validate : t -> Diagnostic.t list
+(** Structural checks that need no library context: several [modify]
+    dependencies, modification items without a [modify] dependency,
+    duplicate aliases, duplicate parameter names, parameters shadowing
+    aliases, references with more than one qualifier segment. *)

@@ -1,0 +1,564 @@
+open Rats_support
+open Rats_peg
+module SMap = Map.Make (String)
+
+type library = { mods : Ast.t SMap.t; order : string list }
+
+let library asts =
+  let diags =
+    List.concat_map Ast.validate asts
+    @
+    let seen = Hashtbl.create 8 in
+    List.filter_map
+      (fun (m : Ast.t) ->
+        if Hashtbl.mem seen m.Ast.name then
+          Some
+            (Diagnostic.errorf ~span:m.Ast.loc "duplicate module %S"
+               m.Ast.name)
+        else (
+          Hashtbl.add seen m.Ast.name ();
+          None))
+      asts
+  in
+  if diags <> [] then Error diags
+  else
+    Ok
+      {
+        mods =
+          List.fold_left
+            (fun acc (m : Ast.t) -> SMap.add m.Ast.name m acc)
+            SMap.empty asts;
+        order = List.map (fun (m : Ast.t) -> m.Ast.name) asts;
+      }
+
+let library_exn asts =
+  match library asts with
+  | Ok l -> l
+  | Error (d :: _) -> raise (Diagnostic.Fail d)
+  | Error [] -> assert false
+
+let modules lib =
+  List.filter_map (fun n -> SMap.find_opt n lib.mods) lib.order
+
+let find_module lib name = SMap.find_opt name lib.mods
+
+let extend lib asts =
+  match library asts with
+  | Error ds -> Error ds
+  | Ok _ ->
+      let clashes =
+        List.filter_map
+          (fun (m : Ast.t) ->
+            if SMap.mem m.Ast.name lib.mods then
+              Some
+                (Diagnostic.errorf ~span:m.Ast.loc
+                   "module %S is already defined in the library" m.Ast.name)
+            else None)
+          asts
+      in
+      if clashes <> [] then Error clashes
+      else
+        Ok
+          {
+            mods =
+              List.fold_left
+                (fun acc (m : Ast.t) -> SMap.add m.Ast.name m acc)
+                lib.mods asts;
+            order = lib.order @ List.map (fun (m : Ast.t) -> m.Ast.name) asts;
+          }
+
+(* --- resolution -------------------------------------------------------- *)
+
+type instance_stat = {
+  instance : string;
+  module_name : string;
+  inherited : int;
+  defined : int;
+  overridden : int;
+  alternatives_added : int;
+  alternatives_removed : int;
+}
+
+type stats = { instances : instance_stat list; productions : int }
+
+(* Within entry expressions a reference is either a bare local name (binds
+   to the entry's current home instance — virtual) or "key::N" (binds to a
+   fixed instance — static). "::" cannot occur in source names. *)
+let static_ref key local = key ^ "::" ^ local
+
+let split_static r =
+  match String.index_opt r ':' with
+  | Some i when i + 1 < String.length r && r.[i + 1] = ':' ->
+      Some (String.sub r 0 i, String.sub r (i + 2) (String.length r - i - 2))
+  | _ -> None
+
+type entry = {
+  local : string;
+  attrs : Attr.t;
+  expr : Expr.t;
+  origin : string;
+  e_loc : Span.t;
+}
+
+type instance = {
+  key : string;
+  label : string;
+  module_name : string;
+  mutable entries : entry list;
+  mutable st : instance_stat;
+}
+
+type binding = Self | Inst of string
+
+type ctx = {
+  lib : library;
+  instances : (string, instance) Hashtbl.t;
+  mutable inst_order : instance list;  (* reverse creation order *)
+  in_progress : (string, unit) Hashtbl.t;
+  labels : (string, int) Hashtbl.t;  (* label -> use count, for dedup *)
+}
+
+let fail = Diagnostic.fail
+let failf = Diagnostic.failf
+
+let fresh_label ctx base =
+  match Hashtbl.find_opt ctx.labels base with
+  | None ->
+      Hashtbl.add ctx.labels base 1;
+      base
+  | Some n ->
+      Hashtbl.replace ctx.labels base (n + 1);
+      Printf.sprintf "%s~%d" base (n + 1)
+
+let instance_key mname arg_keys =
+  match arg_keys with
+  | [] -> mname
+  | _ -> Printf.sprintf "%s(%s)" mname (String.concat "," arg_keys)
+
+(* Rewrite the references of an expression written in module [m] against
+   environment [env]: qualified references become static or local
+   (modify-alias), bare names stay local. *)
+let rewrite_refs ~mname env expr =
+  Expr.rename_refs
+    (fun r ->
+      match String.index_opt r '.' with
+      | None -> r
+      | Some i -> (
+          let qual = String.sub r 0 i in
+          let name = String.sub r (i + 1) (String.length r - i - 1) in
+          match SMap.find_opt qual env with
+          | Some Self -> name
+          | Some (Inst key) -> static_ref key name
+          | None ->
+              failf "module %S: reference %S uses unknown qualifier %S" mname
+                r qual))
+    expr
+
+let find_entry inst name =
+  List.find_opt (fun e -> String.equal e.local name) inst.entries
+
+let replace_entry inst name f =
+  inst.entries <-
+    List.map
+      (fun e -> if String.equal e.local name then f e else e)
+      inst.entries
+
+let alts_of_expr (e : Expr.t) =
+  match e.it with
+  | Expr.Alt alts -> alts
+  | _ -> [ { Expr.label = None; body = e } ]
+
+let alt_labels alts =
+  List.filter_map (fun (a : Expr.alt) -> a.label) alts
+
+let splice ~span ~mname ~pname placement existing fresh =
+  (* Reject label collisions up front. *)
+  let existing_labels = alt_labels existing in
+  List.iter
+    (fun l ->
+      if List.mem l existing_labels then
+        failf ~span
+          "module %S: alternative label %S already exists in production %S"
+          mname l pname)
+    (alt_labels fresh);
+  let position_of l =
+    let rec go i = function
+      | [] ->
+          failf ~span "module %S: production %S has no alternative labeled %S"
+            mname pname l
+      | (a : Expr.alt) :: rest ->
+          if a.label = Some l then i else go (i + 1) rest
+    in
+    go 0 existing
+  in
+  match placement with
+  | Ast.Append -> existing @ fresh
+  | Ast.Prepend -> fresh @ existing
+  | Ast.Before l ->
+      let i = position_of l in
+      List.filteri (fun j _ -> j < i) existing
+      @ fresh
+      @ List.filteri (fun j _ -> j >= i) existing
+  | Ast.After l ->
+      let i = position_of l in
+      List.filteri (fun j _ -> j <= i) existing
+      @ fresh
+      @ List.filteri (fun j _ -> j > i) existing
+
+let rec instantiate ctx mname arg_keys span =
+  let key = instance_key mname arg_keys in
+  match Hashtbl.find_opt ctx.instances key with
+  | Some inst -> inst
+  | None ->
+      if Hashtbl.mem ctx.in_progress key then
+        fail ~span
+          (Printf.sprintf "cyclic module instantiation involving %S" key);
+      let ast =
+        match find_module ctx.lib mname with
+        | Some m -> m
+        | None -> failf ~span "unknown module %S" mname
+      in
+      if List.length ast.Ast.params <> List.length arg_keys then
+        failf ~span "module %S expects %d argument(s), got %d" mname
+          (List.length ast.Ast.params)
+          (List.length arg_keys);
+      Hashtbl.add ctx.in_progress key ();
+      let inst = build_instance ctx key ast arg_keys in
+      Hashtbl.remove ctx.in_progress key;
+      Hashtbl.replace ctx.instances key inst;
+      ctx.inst_order <- inst :: ctx.inst_order;
+      inst
+
+and resolve_name ctx env name span =
+  (* An actual-argument or dependency-target name: a parameter / alias in
+     scope, or a module from the library (instantiated with no args). *)
+  match SMap.find_opt name env with
+  | Some (Inst key) -> key
+  | Some Self ->
+      failf ~span "the `modify' alias %S cannot be used as a module argument"
+        name
+  | None -> (instantiate ctx name [] span).key
+
+and build_instance ctx key (ast : Ast.t) arg_keys =
+  let mname = ast.Ast.name in
+  (* Environment: parameters first, then dependencies in order. *)
+  let env =
+    List.fold_left2
+      (fun env p k -> SMap.add p (Inst k) env)
+      SMap.empty ast.Ast.params arg_keys
+  in
+  let base = ref None in
+  let env =
+    List.fold_left
+      (fun env (d : Ast.dependency) ->
+        let dep_args =
+          List.map (fun a -> resolve_name ctx env a d.Ast.dep_loc) d.Ast.args
+        in
+        let target =
+          match (SMap.find_opt d.Ast.target env, dep_args) with
+          | Some (Inst k), [] -> Hashtbl.find ctx.instances k
+          | Some (Inst _), _ :: _ ->
+              failf ~span:d.Ast.dep_loc
+                "module %S: parameter %S cannot take arguments" mname
+                d.Ast.target
+          | Some Self, _ ->
+              failf ~span:d.Ast.dep_loc
+                "module %S: %S does not name a module" mname d.Ast.target
+          | None, _ -> instantiate ctx d.Ast.target dep_args d.Ast.dep_loc
+        in
+        match d.Ast.dep_kind with
+        | Ast.Import -> SMap.add (Ast.dep_alias d) (Inst target.key) env
+        | Ast.Modify ->
+            base := Some target;
+            SMap.add (Ast.dep_alias d) Self env)
+      env ast.Ast.deps
+  in
+  let st =
+    {
+      instance = key;
+      module_name = mname;
+      inherited = 0;
+      defined = 0;
+      overridden = 0;
+      alternatives_added = 0;
+      alternatives_removed = 0;
+    }
+  in
+  let inst =
+    {
+      key;
+      label = fresh_label ctx (Ast.simple_name mname);
+      module_name = mname;
+      entries = [];
+      st;
+    }
+  in
+  (match !base with
+  | None -> ()
+  | Some b ->
+      inst.entries <- b.entries;
+      inst.st <- { inst.st with inherited = List.length b.entries });
+  List.iter (apply_item ctx inst mname env) ast.Ast.items;
+  inst
+
+and apply_item ctx inst mname env item =
+  ignore ctx;
+  match item with
+  | Ast.Define { name; attrs; expr; item_loc } ->
+      (match find_entry inst name with
+      | Some prev ->
+          failf ~span:item_loc
+            "module %S defines production %S, which module %S already \
+             defines (use `:=' after a `modify' to override)"
+            mname name prev.origin
+      | None -> ());
+      let expr = rewrite_refs ~mname env expr in
+      inst.entries <-
+        inst.entries @ [ { local = name; attrs; expr; origin = mname; e_loc = item_loc } ];
+      inst.st <- { inst.st with defined = inst.st.defined + 1 }
+  | Ast.Override { name; attrs; expr; item_loc } ->
+      (match find_entry inst name with
+      | None ->
+          failf ~span:item_loc
+            "module %S overrides production %S, which is not defined by its \
+             `modify' target"
+            mname name
+      | Some _ -> ());
+      let expr = rewrite_refs ~mname env expr in
+      replace_entry inst name (fun e ->
+          {
+            e with
+            expr;
+            attrs = Option.value attrs ~default:e.attrs;
+            origin = mname;
+            e_loc = item_loc;
+          });
+      inst.st <- { inst.st with overridden = inst.st.overridden + 1 }
+  | Ast.Add { name; placement; alts; item_loc } ->
+      (match find_entry inst name with
+      | None ->
+          failf ~span:item_loc
+            "module %S adds alternatives to production %S, which is not \
+             defined by its `modify' target"
+            mname name
+      | Some entry ->
+          let fresh =
+            List.map
+              (fun (a : Expr.alt) ->
+                { a with body = rewrite_refs ~mname env a.body })
+              alts
+          in
+          let merged =
+            splice ~span:item_loc ~mname ~pname:name placement
+              (alts_of_expr entry.expr) fresh
+          in
+          replace_entry inst name (fun e ->
+              { e with expr = Expr.mk ~loc:item_loc (Expr.Alt merged) });
+          inst.st <-
+            {
+              inst.st with
+              alternatives_added =
+                inst.st.alternatives_added + List.length fresh;
+            })
+  | Ast.Remove { name; labels; item_loc } -> (
+      match find_entry inst name with
+      | None ->
+          failf ~span:item_loc
+            "module %S removes alternatives from production %S, which is \
+             not defined by its `modify' target"
+            mname name
+      | Some entry ->
+          let existing = alts_of_expr entry.expr in
+          let have = alt_labels existing in
+          List.iter
+            (fun l ->
+              if not (List.mem l have) then
+                failf ~span:item_loc
+                  "module %S: production %S has no alternative labeled %S"
+                  mname name l)
+            labels;
+          let remaining =
+            List.filter
+              (fun (a : Expr.alt) ->
+                match a.label with
+                | Some l -> not (List.mem l labels)
+                | None -> true)
+              existing
+          in
+          if remaining = [] then
+            failf ~span:item_loc
+              "module %S removes every alternative of production %S" mname
+              name;
+          replace_entry inst name (fun e ->
+              { e with expr = Expr.mk ~loc:item_loc (Expr.Alt remaining) });
+          inst.st <-
+            {
+              inst.st with
+              alternatives_removed =
+                inst.st.alternatives_removed + List.length labels;
+            })
+
+(* --- flattening --------------------------------------------------------- *)
+
+let flatten ctx root_inst start =
+  let instances = List.rev ctx.inst_order in
+  (* Move the root to the front so the grammar reads top-down. *)
+  let instances =
+    root_inst :: List.filter (fun i -> i != root_inst) instances
+  in
+  let entry_exists key local =
+    match Hashtbl.find_opt ctx.instances key with
+    | None -> false
+    | Some inst -> find_entry inst local <> None
+  in
+  let internal inst_key local = static_ref inst_key local in
+  let prods =
+    List.concat_map
+      (fun inst ->
+        List.map
+          (fun e ->
+            let expr =
+              Expr.rename_refs
+                (fun r ->
+                  match split_static r with
+                  | Some (key, local) ->
+                      if entry_exists key local then r
+                      else
+                        failf ~span:e.e_loc
+                          "production %S (module %s) references %S, which \
+                           instance %S does not define"
+                          e.local e.origin local key
+                  | None ->
+                      if find_entry inst r <> None then internal inst.key r
+                      else
+                        failf ~span:e.e_loc
+                          "production %S (module %s) references undefined \
+                           production %S"
+                          e.local e.origin r)
+                e.expr
+            in
+            let attrs =
+              if inst == root_inst then e.attrs
+              else { e.attrs with Attr.visibility = Attr.Private }
+            in
+            Production.v ~attrs ~loc:e.e_loc ~origin:e.origin
+              (internal inst.key e.local)
+              expr)
+          inst.entries)
+      instances
+  in
+  let g0 =
+    match Grammar.make ?start prods with
+    | Ok g -> g
+    | Error d -> raise (Diagnostic.Fail d)
+  in
+  (* Prune instances' productions not reachable from the start symbol or
+     the root module's public productions. *)
+  let a = Analysis.analyze g0 in
+  let roots =
+    Grammar.start g0
+    :: List.filter_map
+         (fun (p : Production.t) ->
+           if Production.is_public p then Some p.name else None)
+         (Grammar.productions g0)
+  in
+  let keep = Analysis.reachable_from a roots in
+  let g1 = Grammar.restrict g0 ~keep:(fun n -> Analysis.StringSet.mem n keep) in
+  (* Prettify: bare local name when globally unique, else label-qualified,
+     else the internal name. *)
+  let locals = Hashtbl.create 64 in
+  List.iter
+    (fun (p : Production.t) ->
+      match split_static p.name with
+      | Some (_, local) ->
+          Hashtbl.replace locals local
+            (1 + Option.value ~default:0 (Hashtbl.find_opt locals local))
+      | None -> ())
+    (Grammar.productions g1);
+  let rename = Hashtbl.create 64 in
+  let taken = Hashtbl.create 64 in
+  List.iter
+    (fun (p : Production.t) ->
+      match split_static p.name with
+      | None -> ()
+      | Some (key, local) ->
+          let label =
+            match Hashtbl.find_opt ctx.instances key with
+            | Some inst -> inst.label
+            | None -> key
+          in
+          let candidate =
+            if Hashtbl.find_opt locals local = Some 1 then local
+            else label ^ "." ^ local
+          in
+          let pretty =
+            if Hashtbl.mem taken candidate then p.name else candidate
+          in
+          Hashtbl.add taken pretty ();
+          Hashtbl.add rename p.name pretty)
+    (Grammar.productions g1);
+  let apply_rename n = Option.value ~default:n (Hashtbl.find_opt rename n) in
+  let prods =
+    List.map
+      (fun (p : Production.t) ->
+        Production.v ~attrs:p.attrs ~loc:p.loc ~origin:p.origin
+          (apply_rename p.name)
+          (Expr.rename_refs apply_rename p.expr))
+      (Grammar.productions g1)
+  in
+  match Grammar.make ~start:(apply_rename (Grammar.start g1)) prods with
+  | Ok g -> g
+  | Error d -> raise (Diagnostic.Fail d)
+
+let resolve lib ~root ?(args = []) ?start () =
+  let ctx =
+    {
+      lib;
+      instances = Hashtbl.create 16;
+      inst_order = [];
+      in_progress = Hashtbl.create 16;
+      labels = Hashtbl.create 16;
+    }
+  in
+  try
+    let arg_keys =
+      List.map (fun a -> (instantiate ctx a [] Span.dummy).key) args
+    in
+    let root_inst = instantiate ctx root arg_keys Span.dummy in
+    (* Choose the start symbol among the root's productions. *)
+    let internal_start =
+      match start with
+      | Some s -> (
+          match find_entry root_inst s with
+          | Some _ -> Some (static_ref root_inst.key s)
+          | None ->
+              failf "start symbol %S is not a production of module %S" s
+                root_inst.module_name)
+      | None -> (
+          let pick p = Some (static_ref root_inst.key p.local) in
+          match
+            List.find_opt
+              (fun e -> e.attrs.Attr.visibility = Attr.Public)
+              root_inst.entries
+          with
+          | Some e -> pick e
+          | None -> (
+              match root_inst.entries with
+              | e :: _ -> pick e
+              | [] -> failf "module %S has no productions" root))
+    in
+    let g = flatten ctx root_inst internal_start in
+    let stats =
+      {
+        instances = List.rev_map (fun i -> i.st) ctx.inst_order;
+        productions = Grammar.length g;
+      }
+    in
+    Ok (g, stats)
+  with Diagnostic.Fail d -> Error [ d ]
+
+let resolve_exn lib ~root ?args ?start () =
+  match resolve lib ~root ?args ?start () with
+  | Ok (g, _) -> g
+  | Error (d :: _) -> raise (Diagnostic.Fail d)
+  | Error [] -> assert false

@@ -1,0 +1,66 @@
+(** Composing grammar modules into a flat grammar.
+
+    Resolution instantiates modules (a module applied to actual module
+    arguments is an {e instance}; instances are shared by canonical key),
+    applies modifications, rebinds references and flattens everything
+    into one {!Rats_peg.Grammar.t}.
+
+    Reference binding follows Rats!'s virtual semantics: an unqualified
+    reference inside a production binds to the {e final modified} version
+    of that production — if module [Ext] modifies [Base], then recursion
+    inside productions copied from [Base] reaches the extended
+    definitions, which is what makes [modify] more powerful than textual
+    inclusion. Qualified references ([Alias.Prod]) bind statically to the
+    instance the alias names. *)
+
+open Rats_support
+open Rats_peg
+
+type library
+(** An immutable collection of module definitions, keyed by name. *)
+
+val library : Ast.t list -> (library, Diagnostic.t list) result
+(** Validates each module ({!Ast.validate}) and rejects duplicate module
+    names. *)
+
+val library_exn : Ast.t list -> library
+val modules : library -> Ast.t list
+val find_module : library -> string -> Ast.t option
+
+val extend : library -> Ast.t list -> (library, Diagnostic.t list) result
+(** Add modules to an existing library — how a user composes their own
+    extension modules with a published base. *)
+
+(** Per-instance composition statistics, feeding experiment E1. *)
+type instance_stat = {
+  instance : string;  (** canonical instance key, e.g. [Stmt(CExpr)] *)
+  module_name : string;
+  inherited : int;  (** productions copied from the [modify] target *)
+  defined : int;  (** new productions this module contributes *)
+  overridden : int;
+  alternatives_added : int;
+  alternatives_removed : int;
+}
+
+type stats = {
+  instances : instance_stat list;  (** in instantiation order *)
+  productions : int;  (** total productions in the flat grammar *)
+}
+
+val resolve :
+  library ->
+  root:string ->
+  ?args:string list ->
+  ?start:string ->
+  unit ->
+  (Grammar.t * stats, Diagnostic.t list) result
+(** [resolve lib ~root ()] instantiates [root] (which must take no
+    parameters unless [args] supplies concrete module names) and returns
+    the flattened grammar. [start] picks the start production by its
+    flat name; default is the root instance's first public production.
+
+    Flat production names are prettified: the bare local name when
+    globally unique, otherwise qualified by the instance label. *)
+
+val resolve_exn :
+  library -> root:string -> ?args:string list -> ?start:string -> unit -> Grammar.t

@@ -1,0 +1,1 @@
+lib/optimize/desugar.ml: Attr Expr Grammar List Printf Production Rats_peg String

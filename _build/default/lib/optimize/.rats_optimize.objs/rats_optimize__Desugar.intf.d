@@ -1,0 +1,1 @@
+lib/optimize/desugar.mli: Grammar Rats_peg

@@ -1,0 +1,1 @@
+lib/optimize/passes.ml: Analysis Attr Either Expr Grammar Hashtbl List Option Pretty Printf Production Rats_peg String

@@ -1,0 +1,1 @@
+lib/optimize/passes.mli: Analysis Grammar Rats_peg

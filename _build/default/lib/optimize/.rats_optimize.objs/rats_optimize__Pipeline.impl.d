@@ -1,0 +1,1 @@
+lib/optimize/pipeline.ml: Desugar Grammar List Passes Rats_peg Rats_runtime

@@ -1,0 +1,1 @@
+lib/optimize/pipeline.mli: Grammar Rats_peg Rats_runtime Rats_support

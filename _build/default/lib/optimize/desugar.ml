@@ -1,0 +1,68 @@
+open Rats_peg
+
+let helper_marker = "$rep"
+let placeholder = "%placeholder%"
+
+let expand_repetitions g =
+  let extra = ref [] in
+  let transform (p : Production.t) =
+    let counter = ref 0 in
+    (* Helper bodies need to reference themselves; they are created with a
+       placeholder reference that is patched to the helper's own name
+       below. *)
+    let add_helper body =
+      incr counter;
+      let name = Printf.sprintf "%s%s%d" p.name helper_marker !counter in
+      extra :=
+        Production.v
+          ~attrs:(Attr.v ~kind:Attr.Plain ~visibility:Attr.Private ())
+          ~origin:p.origin name body
+        :: !extra;
+      name
+    in
+    let star_helper x =
+      add_helper
+        (Expr.alt [ Expr.seq [ x; Expr.ref_ placeholder ]; Expr.empty ])
+    in
+    let rec go (e : Expr.t) =
+      match e.it with
+      | Expr.Star x ->
+          let x = go x in
+          Expr.ref_ ~loc:e.loc (star_helper x)
+      | Expr.Plus x ->
+          let x = go x in
+          Expr.seq ~loc:e.loc [ x; Expr.ref_ (star_helper x) ]
+      | Expr.Opt x ->
+          let x = go x in
+          Expr.alt ~loc:e.loc [ x; Expr.empty ]
+      | _ -> Expr.map_children go e
+    in
+    Production.with_expr p (go p.expr)
+  in
+  let prods = List.map transform (Grammar.productions g) in
+  let helpers =
+    List.rev_map
+      (fun (h : Production.t) ->
+        Production.with_expr h
+          (Expr.rename_refs
+             (fun n -> if n = placeholder then h.name else n)
+             h.expr))
+      !extra
+  in
+  Grammar.make_exn ~start:(Grammar.start g) (prods @ helpers)
+
+let is_helper_name name =
+  let m = helper_marker in
+  let lm = String.length m and ln = String.length name in
+  let rec find i =
+    if i + lm > ln then false
+    else if String.sub name i lm = m then true
+    else find (i + 1)
+  in
+  find 0
+
+let expanded_helpers g =
+  List.filter_map
+    (fun (p : Production.t) ->
+      if is_helper_name p.name then Some p.name else None)
+    (Grammar.productions g)

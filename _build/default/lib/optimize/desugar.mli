@@ -1,0 +1,29 @@
+(** Repetition desugaring — the {e pessimization} that reconstructs the
+    paper's true baseline.
+
+    Early packrat generators (and the paper's baseline) express [e*],
+    [e+] and [e?] through helper nonterminals so that every construct is
+    memoized:
+
+    {v  A = e A / ()        for e*  v}
+
+    Rats!'s "repetitions" optimization replaces those helpers with direct
+    iteration. Our engine iterates natively, so the optimized form is the
+    identity; this pass builds the {e desugared} grammar used as the
+    starting rung of the E3 optimization ladder.
+
+    Recognition (language) is preserved exactly; semantic value shapes of
+    the expanded constructs are not ([e*] yields nested pair nodes rather
+    than a list), so equivalence tests on desugared grammars compare
+    acceptance and consumed length, not values. *)
+
+open Rats_peg
+
+val expand_repetitions : Grammar.t -> Grammar.t
+(** Replace every [Star]/[Plus] with references to synthesized helper
+    productions (named [Prod$repN]) and every [Opt e] with [(e / ())].
+    Helpers are private, [Plain], and memoizable ([Memo_auto]). *)
+
+val expanded_helpers : Grammar.t -> string list
+(** Names of helper productions present in a grammar (for tests and
+    statistics). *)

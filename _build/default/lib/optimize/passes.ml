@@ -1,0 +1,278 @@
+open Rats_peg
+module SSet = Analysis.StringSet
+
+(* --- pruning ------------------------------------------------------------ *)
+
+let prune g =
+  let a = Analysis.analyze g in
+  let keep = Analysis.reachable a in
+  Grammar.restrict g ~keep:(fun n -> SSet.mem n keep)
+
+(* --- transient marking --------------------------------------------------- *)
+
+let mark_transients g =
+  let a = Analysis.analyze g in
+  Grammar.map
+    (fun (p : Production.t) ->
+      if p.attrs.Attr.memo = Attr.Memo_auto && Analysis.ref_count a p.name <= 1
+      then Production.with_attrs p { p.attrs with Attr.memo = Attr.Memo_never }
+      else p)
+    g
+
+(* --- terminal detection --------------------------------------------------- *)
+
+(* A production is terminal when it never builds a tree node and only
+   references other terminal productions: character-level machinery.
+   Computed as a greatest fixed point (start optimistic, knock out). *)
+let terminal_set g =
+  let prods = Grammar.productions g in
+  let tbl = Hashtbl.create 64 in
+  let locally_ok (p : Production.t) =
+    (match p.attrs.Attr.kind with
+    | Attr.Generic -> false
+    | Attr.Plain | Attr.Text | Attr.Void -> true)
+    && Expr.fold
+         (fun acc (e : Expr.t) ->
+           acc
+           && match e.it with
+              | Expr.Node _ | Expr.Record _ | Expr.Member _ -> false
+              | _ -> true)
+         true p.expr
+  in
+  List.iter (fun (p : Production.t) -> Hashtbl.replace tbl p.name (locally_ok p)) prods;
+  let lookup n = try Hashtbl.find tbl n with Not_found -> false in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (p : Production.t) ->
+        if Hashtbl.find tbl p.name then
+          if not (List.for_all lookup (Expr.refs p.expr)) then (
+            Hashtbl.replace tbl p.name false;
+            changed := true))
+      prods
+  done;
+  Hashtbl.fold (fun n ok acc -> if ok then SSet.add n acc else acc) tbl SSet.empty
+
+let mark_terminals g =
+  let terminals = terminal_set g in
+  Grammar.map
+    (fun (p : Production.t) ->
+      if p.attrs.Attr.memo = Attr.Memo_auto && SSet.mem p.name terminals then
+        Production.with_attrs p { p.attrs with Attr.memo = Attr.Memo_never }
+      else p)
+    g
+
+(* --- inlining ------------------------------------------------------------- *)
+
+let expansion_of (p : Production.t) =
+  match p.attrs.Attr.kind with
+  | Attr.Plain -> p.expr
+  | Attr.Generic -> Expr.node p.name p.expr
+  | Attr.Text -> Expr.token p.expr
+  | Attr.Void -> Expr.drop p.expr
+
+let inline_pass ?(threshold = 12) g =
+  let rec iterate g rounds =
+    if rounds = 0 then g
+    else
+      let a = Analysis.analyze g in
+      let recursive (p : Production.t) =
+        SSet.mem p.name (Analysis.reachable_from a (Expr.refs p.expr))
+      in
+      let inlinable = Hashtbl.create 16 in
+      List.iter
+        (fun (p : Production.t) ->
+          let want =
+            match p.attrs.Attr.inline with
+            | Attr.Inline_never -> false
+            | Attr.Inline_always -> true
+            | Attr.Inline_auto -> Production.size p <= threshold
+          in
+          if
+            want
+            && (not (String.equal p.name (Grammar.start g)))
+            && not (recursive p)
+          then
+            let ex = expansion_of p in
+            (* A top-level Bind would leak its label into host sequences. *)
+            match ex.Expr.it with
+            | Expr.Bind _ -> ()
+            | _ -> Hashtbl.replace inlinable p.name ex)
+        (Grammar.productions g);
+      if Hashtbl.length inlinable = 0 then g
+      else
+        let changed = ref false in
+        let rec subst (e : Expr.t) =
+          match e.it with
+          | Expr.Ref n -> (
+              match Hashtbl.find_opt inlinable n with
+              | Some ex ->
+                  changed := true;
+                  ex
+              | None -> e)
+          | _ -> Expr.map_children subst e
+        in
+        let g' =
+          Grammar.map
+            (fun (p : Production.t) ->
+              (* Do not rewrite the bodies of productions being inlined
+                 away; they get pruned. *)
+              if Hashtbl.mem inlinable p.name && not (Production.is_public p)
+              then p
+              else Production.with_expr p (subst p.expr))
+            g
+        in
+        if !changed then iterate (prune g') (rounds - 1) else g
+  in
+  iterate g 5
+
+(* --- duplicate folding ----------------------------------------------------- *)
+
+let foldable (p : Production.t) =
+  (not (Production.is_public p))
+  &&
+  match p.attrs.Attr.kind with
+  | Attr.Plain | Attr.Text | Attr.Void -> true
+  | Attr.Generic -> false
+
+let fold_duplicates g =
+  let rec iterate g rounds =
+    if rounds = 0 then g
+    else
+      let canon = Hashtbl.create 32 in
+      let redirect = Hashtbl.create 8 in
+      List.iter
+        (fun (p : Production.t) ->
+          if foldable p && not (String.equal p.name (Grammar.start g)) then
+            let key =
+              Printf.sprintf "%s|%s|%s"
+                (match p.attrs.Attr.kind with
+                | Attr.Plain -> "p"
+                | Attr.Text -> "t"
+                | Attr.Void -> "v"
+                | Attr.Generic -> assert false)
+                (match p.attrs.Attr.memo with
+                | Attr.Memo_auto -> "a"
+                | Attr.Memo_always -> "m"
+                | Attr.Memo_never -> "n")
+                (Pretty.expr_to_string p.expr)
+            in
+            match Hashtbl.find_opt canon key with
+            | Some first -> Hashtbl.replace redirect p.name first
+            | None -> Hashtbl.replace canon key p.name)
+        (Grammar.productions g);
+      if Hashtbl.length redirect = 0 then g
+      else
+        let rename n = Option.value ~default:n (Hashtbl.find_opt redirect n) in
+        let prods =
+          List.filter_map
+            (fun (p : Production.t) ->
+              if Hashtbl.mem redirect p.name then None
+              else
+                Some (Production.with_expr p (Expr.rename_refs rename p.expr)))
+            (Grammar.productions g)
+        in
+        iterate (Grammar.make_exn ~start:(Grammar.start g) prods) (rounds - 1)
+  in
+  iterate g 10
+
+(* --- prefix factoring ------------------------------------------------------ *)
+
+let head_tail (e : Expr.t) =
+  match e.it with
+  | Expr.Seq (hd :: tl) -> Some (hd, tl)
+  | Expr.Seq [] | Expr.Empty -> None
+  | _ -> Some (e, [])
+
+let tail_expr = function
+  | [] -> Expr.empty
+  | [ x ] -> x
+  | xs -> Expr.mk (Expr.Seq xs)
+
+(* Factoring is only safe when re-running the head after backtracking is
+   observably identical to keeping its first result, which holds for all
+   deterministic PEG constructs; we conservatively skip heads that touch
+   parser state, where the splice rewrite would still be correct but
+   reasoning about Record replay is subtler than it is worth. *)
+let head_ok hd = not (Expr.is_stateful hd)
+
+let rec factor_expr (e : Expr.t) =
+  let e = Expr.map_children factor_expr e in
+  match e.it with
+  | Expr.Alt alts ->
+      let rec regroup = function
+        | [] -> []
+        | (a : Expr.alt) :: rest -> (
+            match head_tail a.body with
+            | Some (hd, tl) when head_ok hd ->
+                let same, others =
+                  let rec take acc = function
+                    | (b : Expr.alt) :: more -> (
+                        match head_tail b.body with
+                        | Some (hd', tl') when Expr.equal hd hd' ->
+                            take (tl' :: acc) more
+                        | _ -> (List.rev acc, b :: more))
+                    | [] -> (List.rev acc, [])
+                  in
+                  take [] rest
+                in
+                if same = [] then a :: regroup rest
+                else
+                  let tails = List.map tail_expr (tl :: same) in
+                  let inner =
+                    factor_expr
+                      (Expr.mk
+                         (Expr.Alt
+                            (List.map
+                               (fun body -> { Expr.label = None; body })
+                               tails)))
+                  in
+                  let body = Expr.mk (Expr.Seq [ hd; Expr.splice inner ]) in
+                  { Expr.label = None; body } :: regroup others
+            | _ -> a :: regroup rest)
+      in
+      { e with it = Expr.Alt (regroup alts) }
+  | _ -> e
+
+let factor_prefixes g =
+  Grammar.map
+    (fun (p : Production.t) -> Production.with_expr p (factor_expr p.expr))
+    g
+
+(* --- direct left-recursion elimination -------------------------------------- *)
+
+let eliminate_left_recursion g =
+  Grammar.map
+    (fun (p : Production.t) ->
+      match p.expr.Expr.it with
+      | Expr.Alt alts ->
+          let split (a : Expr.alt) =
+            match a.body.Expr.it with
+            | Expr.Seq ({ Expr.it = Expr.Ref n; _ } :: rest)
+              when String.equal n p.name ->
+                Either.Left { a with body = tail_expr rest }
+            | Expr.Ref n when String.equal n p.name ->
+                (* P = P / ... : a vacuous self-alternative; dropping it
+                   preserves the language (it could never make progress). *)
+                Either.Left { a with body = Expr.empty }
+            | _ -> Either.Right a
+          in
+          let tails, bases = List.partition_map split alts in
+          if tails = [] || bases = [] then p
+          else
+            let tails =
+              (* An empty tail would loop forever; the engine's progress
+                 guard would stop it, but dropping it is cleaner. *)
+              List.filter
+                (fun (a : Expr.alt) -> a.body.Expr.it <> Expr.Empty)
+                tails
+            in
+            let base = Expr.mk (Expr.Alt bases) in
+            let expr =
+              if tails = [] then base
+              else Expr.seq [ base; Expr.star (Expr.mk (Expr.Alt tails)) ]
+            in
+            Production.with_expr p expr
+      | _ -> p)
+    g

@@ -1,0 +1,89 @@
+open Rats_peg
+module Config = Rats_runtime.Config
+
+type rung = {
+  index : int;
+  name : string;
+  detail : string;
+  grammar : Grammar.t;
+  config : Config.t;
+}
+
+let optimize ?inline_threshold g =
+  g
+  |> Passes.mark_transients
+  |> Passes.mark_terminals
+  |> Passes.inline_pass ?threshold:inline_threshold
+  |> Passes.fold_duplicates
+  |> Passes.factor_prefixes
+  |> Passes.prune
+
+let ladder g =
+  let desugared = Desugar.expand_repetitions g in
+  let steps =
+    [
+      ( "baseline",
+        "desugared repetitions, hashtable memo of every production",
+        desugared,
+        Config.packrat );
+      ( "+chunks",
+        "memoize into per-position chunks instead of a hashtable",
+        desugared,
+        Config.v ~memo:Config.Chunked () );
+      ( "+transients",
+        "single-reference productions lose their memo slots",
+        Passes.mark_transients desugared,
+        Config.v ~memo:Config.Chunked ~honor_transient:true () );
+      ( "+terminals",
+        "lexical-level productions lose their memo slots",
+        Passes.mark_terminals (Passes.mark_transients desugared),
+        Config.v ~memo:Config.Chunked ~honor_transient:true () );
+      ( "+repetitions",
+        "repetitions run as loops instead of helper productions",
+        Passes.mark_terminals (Passes.mark_transients g),
+        Config.v ~memo:Config.Chunked ~honor_transient:true () );
+      ( "+inlining",
+        "cost-based inlining of small non-recursive productions",
+        Passes.inline_pass (Passes.mark_terminals (Passes.mark_transients g)),
+        Config.v ~memo:Config.Chunked ~honor_transient:true () );
+      ( "+folding",
+        "structurally equal productions merged",
+        Passes.fold_duplicates
+          (Passes.inline_pass
+             (Passes.mark_terminals (Passes.mark_transients g))),
+        Config.v ~memo:Config.Chunked ~honor_transient:true () );
+      ( "+factoring",
+        "common prefixes of adjacent alternatives factored",
+        Passes.prune
+          (Passes.factor_prefixes
+             (Passes.fold_duplicates
+                (Passes.inline_pass
+                   (Passes.mark_terminals (Passes.mark_transients g))))),
+        Config.v ~memo:Config.Chunked ~honor_transient:true () );
+      ( "+dispatch",
+        "choice alternatives filtered by FIRST sets",
+        Passes.prune
+          (Passes.factor_prefixes
+             (Passes.fold_duplicates
+                (Passes.inline_pass
+                   (Passes.mark_terminals (Passes.mark_transients g))))),
+        Config.v ~memo:Config.Chunked ~honor_transient:true ~dispatch:true ()
+      );
+      ( "+lean-values",
+        "no semantic values in predicates, tokens, void productions",
+        Passes.prune
+          (Passes.factor_prefixes
+             (Passes.fold_duplicates
+                (Passes.inline_pass
+                   (Passes.mark_terminals (Passes.mark_transients g))))),
+        Config.optimized );
+    ]
+  in
+  List.mapi
+    (fun index (name, detail, grammar, config) ->
+      { index; name; detail; grammar; config })
+    steps
+
+let prepare_optimized ?inline_threshold g =
+  Rats_runtime.Engine.prepare ~config:Config.optimized
+    (optimize ?inline_threshold g)

@@ -1,0 +1,33 @@
+(** The optimization ladder of experiment E3, and the all-on optimizer.
+
+    Rung 0 is the paper's baseline: every construct desugared to a
+    memoized nonterminal, hashtable memoization of everything. Each
+    subsequent rung adds one optimization, cumulatively, ending in the
+    fully optimized parser the other experiments use. *)
+
+open Rats_peg
+
+type rung = {
+  index : int;
+  name : string;  (** short label for bench tables, e.g. ["+chunks"] *)
+  detail : string;
+  grammar : Grammar.t;  (** transformed grammar for this rung *)
+  config : Rats_runtime.Config.t;  (** engine switches for this rung *)
+}
+
+val ladder : Grammar.t -> rung list
+(** All rungs, in cumulative order:
+    baseline, +chunks, +transients, +terminals, +repetitions, +inlining,
+    +folding, +factoring, +dispatch, +lean-values. *)
+
+val optimize : ?inline_threshold:int -> Grammar.t -> Grammar.t
+(** The full grammar-side pipeline: transients, terminals, inlining,
+    folding, factoring, pruning. Pair with
+    {!Rats_runtime.Config.optimized}. *)
+
+val prepare_optimized :
+  ?inline_threshold:int ->
+  Grammar.t ->
+  (Rats_runtime.Engine.t, Rats_support.Diagnostic.t list) result
+(** Convenience: optimize the grammar and prepare an engine with the
+    fully optimized configuration. *)

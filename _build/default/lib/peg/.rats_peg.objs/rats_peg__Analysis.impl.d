@@ -1,0 +1,1 @@
+lib/peg/analysis.ml: Attr Charset Diagnostic Expr Grammar Hashtbl List Production Rats_support Set String

@@ -1,0 +1,1 @@
+lib/peg/analysis.mli: Charset Diagnostic Expr Grammar Rats_support Set

@@ -1,0 +1,1 @@
+lib/peg/attr.ml: Format String

@@ -1,0 +1,1 @@
+lib/peg/builder.ml: Attr Expr Grammar Production

@@ -1,0 +1,1 @@
+lib/peg/builder.mli: Attr Charset Expr Grammar Production

@@ -1,0 +1,1 @@
+lib/peg/charset.ml: Char Format Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/peg/charset.mli: Format

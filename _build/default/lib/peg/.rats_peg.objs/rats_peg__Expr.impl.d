@@ -1,0 +1,1 @@
+lib/peg/expr.ml: Char Charset Hashtbl List Rats_support Span String

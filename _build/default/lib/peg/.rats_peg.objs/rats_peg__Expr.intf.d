@@ -1,0 +1,1 @@
+lib/peg/expr.mli: Charset Rats_support Span

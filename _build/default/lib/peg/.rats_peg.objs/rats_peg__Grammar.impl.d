@@ -1,0 +1,1 @@
+lib/peg/grammar.ml: Diagnostic Expr Hashtbl List Printf Production Rats_support String

@@ -1,0 +1,1 @@
+lib/peg/grammar.mli: Diagnostic Production Rats_support

@@ -1,0 +1,1 @@
+lib/peg/lint.ml: Analysis Diagnostic Expr Format Grammar List Pretty Production Rats_support

@@ -1,0 +1,1 @@
+lib/peg/lint.mli: Diagnostic Grammar Rats_support

@@ -1,0 +1,1 @@
+lib/peg/pretty.ml: Attr Buffer Char Charset Expr Format Grammar List Printf Production String

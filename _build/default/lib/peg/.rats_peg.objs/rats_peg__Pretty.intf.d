@@ -1,0 +1,1 @@
+lib/peg/pretty.mli: Attr Expr Format Grammar Production

@@ -1,0 +1,1 @@
+lib/peg/production.ml: Attr Expr Rats_support Span String

@@ -1,0 +1,1 @@
+lib/peg/production.mli: Attr Expr Rats_support Span

@@ -1,0 +1,1 @@
+lib/peg/value.ml: Char Format List Printf Rats_support Span String

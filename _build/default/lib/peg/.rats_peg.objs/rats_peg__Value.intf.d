@@ -1,0 +1,1 @@
+lib/peg/value.mli: Format Rats_support Span

@@ -1,0 +1,357 @@
+open Rats_support
+module StringSet = Set.Make (String)
+
+type nullability = Never_empty | May_be_empty
+
+type t = {
+  grammar : Grammar.t;
+  nullable_tbl : (string, bool) Hashtbl.t;
+  first_tbl : (string, Charset.t) Hashtbl.t;
+  stateful_tbl : (string, bool) Hashtbl.t;
+  unit_tbl : (string, bool) Hashtbl.t;
+  mutable reachable_memo : StringSet.t option;
+}
+
+let grammar a = a.grammar
+
+(* --- nullability ------------------------------------------------------- *)
+
+let rec expr_nullable_env lookup (e : Expr.t) =
+  match e.it with
+  | Expr.Empty -> true
+  | Fail _ -> false
+  | Any | Chr _ | Str _ | Cls _ -> false
+  | Ref n -> lookup n
+  | Seq es -> List.for_all (expr_nullable_env lookup) es
+  | Alt alts -> List.exists (fun a -> expr_nullable_env lookup a.Expr.body) alts
+  | Star _ | Opt _ -> true
+  | Plus x -> expr_nullable_env lookup x
+  | And _ | Not _ -> true
+  | Bind (_, x) | Token x | Node (_, x) | Drop x | Splice x
+  | Record (_, x) | Member (_, _, x) ->
+      expr_nullable_env lookup x
+
+let compute_nullable g =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (p : Production.t) -> Hashtbl.replace tbl p.name false)
+    (Grammar.productions g);
+  let lookup n = try Hashtbl.find tbl n with Not_found -> false in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (p : Production.t) ->
+        let v = expr_nullable_env lookup p.expr in
+        if v && not (Hashtbl.find tbl p.name) then (
+          Hashtbl.replace tbl p.name true;
+          changed := true))
+      (Grammar.productions g)
+  done;
+  tbl
+
+(* --- FIRST sets -------------------------------------------------------- *)
+
+let rec expr_first_env ~first ~nullable (e : Expr.t) =
+  let recur = expr_first_env ~first ~nullable in
+  match e.it with
+  | Expr.Empty -> (Charset.empty, true)
+  | Fail _ -> (Charset.empty, false)
+  | Any -> (Charset.full, false)
+  | Chr c -> (Charset.singleton c, false)
+  | Str s -> (Charset.singleton s.[0], false)
+  | Cls set -> (set, false)
+  | Ref n -> (first n, nullable n)
+  | Seq es ->
+      let rec go set = function
+        | [] -> (set, true)
+        | e :: rest ->
+            let s, eps = recur e in
+            let set = Charset.union set s in
+            if eps then go set rest else (set, false)
+      in
+      go Charset.empty es
+  | Alt alts ->
+      List.fold_left
+        (fun (set, eps) a ->
+          let s, e = recur a.Expr.body in
+          (Charset.union set s, eps || e))
+        (Charset.empty, false) alts
+  | Star x ->
+      let s, _ = recur x in
+      (s, true)
+  | Plus x -> recur x
+  | Opt x ->
+      let s, _ = recur x in
+      (s, true)
+  | And _ | Not _ -> (Charset.empty, true)
+  | Bind (_, x) | Token x | Node (_, x) | Drop x | Splice x
+  | Record (_, x) | Member (_, _, x) ->
+      recur x
+
+let compute_first g nullable_tbl =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (p : Production.t) -> Hashtbl.replace tbl p.name Charset.empty)
+    (Grammar.productions g);
+  let first n = try Hashtbl.find tbl n with Not_found -> Charset.empty in
+  let nullable n = try Hashtbl.find nullable_tbl n with Not_found -> false in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (p : Production.t) ->
+        let s, _ = expr_first_env ~first ~nullable p.expr in
+        if not (Charset.equal s (first p.name)) then (
+          Hashtbl.replace tbl p.name s;
+          changed := true))
+      (Grammar.productions g)
+  done;
+  tbl
+
+(* --- statefulness ------------------------------------------------------ *)
+
+let compute_stateful g =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (p : Production.t) ->
+      Hashtbl.replace tbl p.name (Expr.is_stateful p.expr))
+    (Grammar.productions g);
+  let lookup n = try Hashtbl.find tbl n with Not_found -> false in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (p : Production.t) ->
+        if not (Hashtbl.find tbl p.name) then
+          let v = List.exists lookup (Expr.refs p.expr) in
+          if v then (
+            Hashtbl.replace tbl p.name true;
+            changed := true))
+      (Grammar.productions g)
+  done;
+  tbl
+
+(* --- construction ------------------------------------------------------ *)
+
+(* Does an expression always produce [Value.Unit] on success? Computed as
+   a greatest fixed point over productions: a [Plain] production whose
+   body is unit-valued is itself unit-valued. *)
+let rec expr_unit_env lookup (e : Expr.t) =
+  match e.it with
+  | Expr.Empty | Chr _ | Str _ | And _ | Not _ | Drop _ -> true
+  | Fail _ -> true (* never succeeds, so its value is irrelevant *)
+  | Any | Cls _ | Token _ | Node _ | Bind _ -> false
+  | Ref n -> lookup n
+  | Seq es -> List.for_all (expr_unit_env lookup) es
+  | Alt alts -> List.for_all (fun x -> expr_unit_env lookup x.Expr.body) alts
+  | Star x | Plus x | Opt x -> expr_unit_env lookup x
+  | Splice x | Record (_, x) | Member (_, _, x) -> expr_unit_env lookup x
+
+let compute_unit g =
+  let tbl = Hashtbl.create 64 in
+  (* Optimistic start: Plain and Void productions assumed unit. *)
+  List.iter
+    (fun (p : Production.t) ->
+      let init =
+        match p.attrs.Attr.kind with
+        | Attr.Void -> true
+        | Attr.Plain -> true
+        | Attr.Text | Attr.Generic -> false
+      in
+      Hashtbl.replace tbl p.name init)
+    (Grammar.productions g);
+  let lookup n = try Hashtbl.find tbl n with Not_found -> false in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (p : Production.t) ->
+        if Hashtbl.find tbl p.name && p.attrs.Attr.kind = Attr.Plain then
+          if not (expr_unit_env lookup p.expr) then (
+            Hashtbl.replace tbl p.name false;
+            changed := true))
+      (Grammar.productions g)
+  done;
+  tbl
+
+let analyze g =
+  let nullable_tbl = compute_nullable g in
+  {
+    grammar = g;
+    nullable_tbl;
+    first_tbl = compute_first g nullable_tbl;
+    stateful_tbl = compute_stateful g;
+    unit_tbl = compute_unit g;
+    reachable_memo = None;
+  }
+
+let nullable a n = try Hashtbl.find a.nullable_tbl n with Not_found -> false
+
+let expr_nullable a e =
+  expr_nullable_env (fun n -> nullable a n) e
+
+let first a n = try Hashtbl.find a.first_tbl n with Not_found -> Charset.empty
+
+let expr_first a e =
+  expr_first_env ~first:(first a) ~nullable:(nullable a) e
+
+let stateful a n = try Hashtbl.find a.stateful_tbl n with Not_found -> false
+
+let expr_yields_unit a e =
+  expr_unit_env
+    (fun n -> try Hashtbl.find a.unit_tbl n with Not_found -> false)
+    e
+
+(* --- reachability ------------------------------------------------------ *)
+
+let reachable_from a roots =
+  let seen = Hashtbl.create 64 in
+  let rec visit n =
+    if not (Hashtbl.mem seen n) then (
+      Hashtbl.add seen n ();
+      match Grammar.find a.grammar n with
+      | None -> ()
+      | Some p -> List.iter visit (Expr.refs p.expr))
+  in
+  List.iter visit roots;
+  Hashtbl.fold (fun n () acc -> StringSet.add n acc) seen StringSet.empty
+
+let reachable a =
+  match a.reachable_memo with
+  | Some s -> s
+  | None ->
+      let roots =
+        Grammar.start a.grammar
+        :: List.filter_map
+             (fun (p : Production.t) ->
+               if Production.is_public p then Some p.name else None)
+             (Grammar.productions a.grammar)
+      in
+      let s = reachable_from a roots in
+      a.reachable_memo <- Some s;
+      s
+
+let ref_count a name =
+  let count_in (p : Production.t) =
+    Expr.fold
+      (fun acc e ->
+        match e.Expr.it with
+        | Expr.Ref n when String.equal n name -> acc + 1
+        | _ -> acc)
+      0 p.expr
+  in
+  let refs =
+    List.fold_left
+      (fun acc p -> acc + count_in p)
+      0
+      (Grammar.productions a.grammar)
+  in
+  if String.equal (Grammar.start a.grammar) name then refs + 1 else refs
+
+(* --- left recursion ----------------------------------------------------- *)
+
+(* Edges of the "invocable at the same input position" relation. Predicates
+   parse at the current position, so their bodies contribute edges too. *)
+let left_edges a (p : Production.t) =
+  let acc = ref StringSet.empty in
+  (* Returns true when e may succeed without consuming input, i.e. whatever
+     follows e in a sequence is still at the start position. *)
+  let rec go (e : Expr.t) =
+    match e.it with
+    | Expr.Empty -> true
+    | Fail _ -> false
+    | Any | Chr _ | Str _ | Cls _ -> false
+    | Ref n ->
+        acc := StringSet.add n !acc;
+        nullable a n
+    | Seq es ->
+        let rec seq = function
+          | [] -> true
+          | e :: rest -> if go e then seq rest else false
+        in
+        seq es
+    | Alt alts ->
+        List.fold_left (fun eps alt -> go alt.Expr.body || eps) false alts
+    | Star x ->
+        ignore (go x);
+        true
+    | Plus x -> go x
+    | Opt x ->
+        ignore (go x);
+        true
+    | And x | Not x ->
+        ignore (go x);
+        true
+    | Bind (_, x) | Token x | Node (_, x) | Drop x | Splice x
+    | Record (_, x) | Member (_, _, x) ->
+        go x
+  in
+  ignore (go p.expr);
+  !acc
+
+let left_recursion a =
+  let edges = Hashtbl.create 64 in
+  List.iter
+    (fun (p : Production.t) -> Hashtbl.replace edges p.name (left_edges a p))
+    (Grammar.productions a.grammar);
+  let color = Hashtbl.create 64 in
+  (* 1 = on stack, 2 = done *)
+  let exception Cycle of string list in
+  let rec visit path n =
+    match Hashtbl.find_opt color n with
+    | Some 2 -> ()
+    | Some _ ->
+        let cycle =
+          let rec take = function
+            | [] -> []
+            | x :: rest -> if String.equal x n then [ x ] else x :: take rest
+          in
+          n :: List.rev (take path)
+        in
+        raise (Cycle cycle)
+    | None ->
+        Hashtbl.replace color n 1;
+        (match Hashtbl.find_opt edges n with
+        | None -> ()
+        | Some succ -> StringSet.iter (visit (n :: path)) succ);
+        Hashtbl.replace color n 2
+  in
+  try
+    List.iter
+      (fun (p : Production.t) -> visit [] p.name)
+      (Grammar.productions a.grammar);
+    None
+  with Cycle c -> Some c
+
+(* --- well-formedness ---------------------------------------------------- *)
+
+let check a =
+  let dangling = Grammar.check_closed a.grammar in
+  let left_rec =
+    match left_recursion a with
+    | None -> []
+    | Some cycle ->
+        [
+          Diagnostic.error
+            ~notes:[ "cycle: " ^ String.concat " -> " cycle ]
+            "grammar is left-recursive; packrat parsing would not terminate";
+        ]
+  in
+  let vacuous =
+    List.concat_map
+      (fun (p : Production.t) ->
+        Expr.fold
+          (fun acc (e : Expr.t) ->
+            match e.it with
+            | Expr.Star x | Expr.Plus x when expr_nullable a x ->
+                Diagnostic.errorf ~span:e.loc
+                  "repetition over a nullable expression in production %S \
+                   would loop forever"
+                  p.name
+                :: acc
+            | _ -> acc)
+          [] p.expr)
+      (Grammar.productions a.grammar)
+  in
+  dangling @ left_rec @ vacuous

@@ -1,0 +1,50 @@
+type kind = Plain | Generic | Text | Void
+type visibility = Public | Private
+type memo_hint = Memo_auto | Memo_always | Memo_never
+type inline_hint = Inline_auto | Inline_always | Inline_never
+
+type t = {
+  kind : kind;
+  visibility : visibility;
+  memo : memo_hint;
+  inline : inline_hint;
+  with_location : bool;
+}
+
+let default =
+  {
+    kind = Plain;
+    visibility = Private;
+    memo = Memo_auto;
+    inline = Inline_auto;
+    with_location = false;
+  }
+
+let v ?(kind = default.kind) ?(visibility = default.visibility)
+    ?(memo = default.memo) ?(inline = default.inline)
+    ?(with_location = default.with_location) () =
+  { kind; visibility; memo; inline; with_location }
+
+let is_transient a = a.memo = Memo_never
+
+let pp ppf a =
+  let words = ref [] in
+  let add w = words := w :: !words in
+  if a.with_location then add "withLocation";
+  (match a.inline with
+  | Inline_auto -> ()
+  | Inline_always -> add "inline"
+  | Inline_never -> add "noinline");
+  (match a.memo with
+  | Memo_auto -> ()
+  | Memo_always -> add "memoized"
+  | Memo_never -> add "transient");
+  (match a.kind with
+  | Plain -> ()
+  | Generic -> add "generic"
+  | Text -> add "text"
+  | Void -> add "void");
+  if a.visibility = Public then add "public";
+  Format.pp_print_string ppf (String.concat " " !words)
+
+let equal (a : t) (b : t) = a = b

@@ -1,0 +1,60 @@
+(** Production attributes.
+
+    Rats! annotates productions with attributes that drive both semantics
+    (what value the production yields) and the optimizer (what may be
+    inlined, folded or left unmemoized). We keep the ones that matter for
+    those two roles. *)
+
+type kind =
+  | Plain  (** pass the body's value through unchanged *)
+  | Generic  (** wrap the body's components in a node named after the
+                 production — Rats!'s [generic] productions *)
+  | Text  (** yield the matched text as a string — token productions *)
+  | Void  (** yield no value — spacing, comments, punctuation *)
+
+type visibility =
+  | Public  (** part of the grammar's interface; kept by dead-code pruning
+                and eligible as a start symbol *)
+  | Private  (** internal; may be pruned, folded or inlined away *)
+
+type memo_hint =
+  | Memo_auto  (** optimizer decides *)
+  | Memo_always  (** force memoization, Rats!'s [memoized] *)
+  | Memo_never  (** never memoize, Rats!'s [transient] *)
+
+type inline_hint =
+  | Inline_auto  (** cost-based heuristic decides *)
+  | Inline_always  (** Rats!'s [inline] *)
+  | Inline_never  (** Rats!'s [noinline] *)
+
+type t = {
+  kind : kind;
+  visibility : visibility;
+  memo : memo_hint;
+  inline : inline_hint;
+  with_location : bool;
+      (** Rats!'s [withLocation]; kept for grammar-source fidelity. The
+          interpretive engine always records spans on the nodes it
+          builds, so the attribute is informational here. *)
+}
+
+val default : t
+(** [Plain], [Private], auto memo and inline, no location. *)
+
+val v :
+  ?kind:kind ->
+  ?visibility:visibility ->
+  ?memo:memo_hint ->
+  ?inline:inline_hint ->
+  ?with_location:bool ->
+  unit ->
+  t
+
+val is_transient : t -> bool
+(** [is_transient a] is true when [a.memo = Memo_never]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints the non-default attributes as grammar-source keywords, e.g.
+    ["public transient void"]. *)
+
+val equal : t -> t -> bool

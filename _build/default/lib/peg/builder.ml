@@ -1,0 +1,40 @@
+let e name = Expr.ref_ name
+let s text = Expr.str text
+let c ch = Expr.chr ch
+let r lo hi = Expr.range lo hi
+let one_of chars = Expr.one_of chars
+let cls set = Expr.cls set
+let any = Expr.any ()
+let eps = Expr.empty
+let fail msg = Expr.fail msg
+let seq es = Expr.seq es
+let alt es = Expr.alt es
+let ( @: ) a b = Expr.seq [ a; b ]
+let ( <|> ) a b = Expr.alt [ a; b ]
+let star x = Expr.star x
+let plus x = Expr.plus x
+let opt x = Expr.opt x
+let amp x = Expr.and_ x
+let bang x = Expr.not_ x
+let ( |: ) name x = Expr.bind name x
+
+let label l body =
+  Expr.mk (Expr.Alt [ { Expr.label = Some l; body } ])
+
+let tok x = Expr.token x
+let node n x = Expr.node n x
+let void x = Expr.drop x
+let record table x = Expr.record table x
+let member table x = Expr.member table true x
+let absent table x = Expr.member table false x
+
+let prod ?(public = false) ?(kind = Attr.Plain) ?(memo = Attr.Memo_auto)
+    ?(inline = Attr.Inline_auto) ?(with_location = false) name expr =
+  let attrs =
+    Attr.v
+      ~visibility:(if public then Attr.Public else Attr.Private)
+      ~kind ~memo ~inline ~with_location ()
+  in
+  Production.v ~attrs name expr
+
+let grammar ?start prods = Grammar.make_exn ?start prods

@@ -1,0 +1,81 @@
+(** Combinator DSL for building grammars directly in OCaml.
+
+    Intended to be opened locally:
+    {[
+      let open Rats_peg.Builder in
+      prod "Sum" (e "Product" @: star (s "+" @: e "Product"))
+    ]}
+    The textual module language ({!Rats_meta}) is the primary authoring
+    surface; this DSL serves tests, examples and programmatic grammar
+    construction. *)
+
+val e : string -> Expr.t
+(** Nonterminal reference. *)
+
+val s : string -> Expr.t
+(** String literal (no value). *)
+
+val c : char -> Expr.t
+(** Character literal (no value). *)
+
+val r : char -> char -> Expr.t
+(** Inclusive character range (yields the byte). *)
+
+val one_of : string -> Expr.t
+(** Class containing the given characters. *)
+
+val cls : Charset.t -> Expr.t
+val any : Expr.t
+val eps : Expr.t
+val fail : string -> Expr.t
+val seq : Expr.t list -> Expr.t
+val alt : Expr.t list -> Expr.t
+
+val ( @: ) : Expr.t -> Expr.t -> Expr.t
+(** Sequence; associates to build one flat [Seq]. *)
+
+val ( <|> ) : Expr.t -> Expr.t -> Expr.t
+(** Ordered choice; associates to build one flat [Alt]. OCaml parses
+    [<|>] looser than [@:], so [a @: b <|> c] groups as [(a b) / c],
+    matching PEG convention. (A bare [/] would bind tighter than [@:]
+    and silently flip the grouping, which is why it is not provided.) *)
+
+val star : Expr.t -> Expr.t
+val plus : Expr.t -> Expr.t
+val opt : Expr.t -> Expr.t
+val amp : Expr.t -> Expr.t
+(** [&e] and-predicate. *)
+
+val bang : Expr.t -> Expr.t
+(** [!e] not-predicate. *)
+
+val ( |: ) : string -> Expr.t -> Expr.t
+(** [x |: e] binds [e]'s value to label [x]. *)
+
+val label : string -> Expr.t -> Expr.t
+(** Label an alternative (for modifications): wraps into a single-branch
+    labeled [Alt] that the smart constructors keep mergeable. *)
+
+val tok : Expr.t -> Expr.t
+(** Capture matched text. *)
+
+val node : string -> Expr.t -> Expr.t
+val void : Expr.t -> Expr.t
+(** Match, discard the value. *)
+
+val record : string -> Expr.t -> Expr.t
+val member : string -> Expr.t -> Expr.t
+val absent : string -> Expr.t -> Expr.t
+
+val prod :
+  ?public:bool ->
+  ?kind:Attr.kind ->
+  ?memo:Attr.memo_hint ->
+  ?inline:Attr.inline_hint ->
+  ?with_location:bool ->
+  string ->
+  Expr.t ->
+  Production.t
+
+val grammar : ?start:string -> Production.t list -> Grammar.t
+(** {!Grammar.make_exn} shorthand. *)

@@ -1,0 +1,174 @@
+open Rats_support
+
+type t = { it : desc; loc : Span.t }
+
+and desc =
+  | Empty
+  | Fail of string
+  | Any
+  | Chr of char
+  | Str of string
+  | Cls of Charset.t
+  | Ref of string
+  | Seq of t list
+  | Alt of alt list
+  | Star of t
+  | Plus of t
+  | Opt of t
+  | And of t
+  | Not of t
+  | Bind of string * t
+  | Token of t
+  | Node of string * t
+  | Drop of t
+  | Splice of t
+  | Record of string * t
+  | Member of string * bool * t
+
+and alt = { label : string option; body : t }
+
+let mk ?(loc = Span.dummy) it = { it; loc }
+let empty = mk Empty
+let fail ?loc msg = mk ?loc (Fail msg)
+let any ?loc () = mk ?loc Any
+let chr ?loc c = mk ?loc (Chr c)
+
+let str ?loc s =
+  match String.length s with
+  | 0 -> mk ?loc Empty
+  | 1 -> mk ?loc (Chr s.[0])
+  | _ -> mk ?loc (Str s)
+
+let cls ?loc set =
+  if Charset.is_empty set then mk ?loc (Fail "character class")
+  else if Charset.equal set Charset.full then mk ?loc Any
+  else mk ?loc (Cls set)
+
+let range ?loc lo hi = cls ?loc (Charset.range lo hi)
+let one_of ?loc s = cls ?loc (Charset.of_string s)
+let ref_ ?loc name = mk ?loc (Ref name)
+
+let seq ?loc es =
+  let flatten e = match e.it with Seq es -> es | Empty -> [] | _ -> [ e ] in
+  match List.concat_map flatten es with
+  | [] -> mk ?loc Empty
+  | [ e ] -> e
+  | es -> mk ?loc (Seq es)
+
+let alt_labeled ?loc alts =
+  let flatten a =
+    match (a.label, a.body.it) with
+    | None, Alt inner -> inner
+    | _ -> [ a ]
+  in
+  match List.concat_map flatten alts with
+  | [] -> mk ?loc (Fail "empty choice")
+  | [ { label = None; body } ] -> body
+  | alts -> mk ?loc (Alt alts)
+
+let alt ?loc es = alt_labeled ?loc (List.map (fun body -> { label = None; body }) es)
+let star ?loc e = mk ?loc (Star e)
+let plus ?loc e = mk ?loc (Plus e)
+let opt ?loc e = mk ?loc (Opt e)
+let and_ ?loc e = mk ?loc (And e)
+let not_ ?loc e = mk ?loc (Not e)
+let bind ?loc name e = mk ?loc (Bind (name, e))
+let token ?loc e = mk ?loc (Token e)
+let node ?loc name e = mk ?loc (Node (name, e))
+let drop ?loc e = mk ?loc (Drop e)
+let splice ?loc e = mk ?loc (Splice e)
+let record ?loc table e = mk ?loc (Record (table, e))
+let member ?loc table positive e = mk ?loc (Member (table, positive, e))
+
+let map_children f e =
+  let it =
+    match e.it with
+    | (Empty | Fail _ | Any | Chr _ | Str _ | Cls _ | Ref _) as leaf -> leaf
+    | Seq es -> Seq (List.map f es)
+    | Alt alts -> Alt (List.map (fun a -> { a with body = f a.body }) alts)
+    | Star x -> Star (f x)
+    | Plus x -> Plus (f x)
+    | Opt x -> Opt (f x)
+    | And x -> And (f x)
+    | Not x -> Not (f x)
+    | Bind (n, x) -> Bind (n, f x)
+    | Token x -> Token (f x)
+    | Node (n, x) -> Node (n, f x)
+    | Drop x -> Drop (f x)
+    | Splice x -> Splice (f x)
+    | Record (t, x) -> Record (t, f x)
+    | Member (t, p, x) -> Member (t, p, f x)
+  in
+  { e with it }
+
+let iter_children f e =
+  match e.it with
+  | Empty | Fail _ | Any | Chr _ | Str _ | Cls _ | Ref _ -> ()
+  | Seq es -> List.iter f es
+  | Alt alts -> List.iter (fun a -> f a.body) alts
+  | Star x | Plus x | Opt x | And x | Not x
+  | Bind (_, x) | Token x | Node (_, x) | Drop x | Splice x
+  | Record (_, x) | Member (_, _, x) ->
+      f x
+
+let rec fold f acc e =
+  let acc = f acc e in
+  let acc_ref = ref acc in
+  iter_children (fun c -> acc_ref := fold f !acc_ref c) e;
+  !acc_ref
+
+let refs e =
+  let seen = Hashtbl.create 16 in
+  let out =
+    fold
+      (fun acc e ->
+        match e.it with
+        | Ref n when not (Hashtbl.mem seen n) ->
+            Hashtbl.add seen n ();
+            n :: acc
+        | _ -> acc)
+      [] e
+  in
+  List.rev out
+
+let size e = fold (fun n _ -> n + 1) 0 e
+
+let rec equal a b =
+  match (a.it, b.it) with
+  | Empty, Empty | Any, Any -> true
+  | Fail a, Fail b -> String.equal a b
+  | Chr a, Chr b -> Char.equal a b
+  | Str a, Str b -> String.equal a b
+  | Cls a, Cls b -> Charset.equal a b
+  | Ref a, Ref b -> String.equal a b
+  | Seq a, Seq b -> List.length a = List.length b && List.for_all2 equal a b
+  | Alt a, Alt b ->
+      List.length a = List.length b
+      && List.for_all2
+           (fun x y -> x.label = y.label && equal x.body y.body)
+           a b
+  | Star a, Star b | Plus a, Plus b | Opt a, Opt b
+  | And a, And b | Not a, Not b
+  | Token a, Token b | Drop a, Drop b | Splice a, Splice b ->
+      equal a b
+  | Bind (n, a), Bind (m, b) | Node (n, a), Node (m, b) ->
+      String.equal n m && equal a b
+  | Record (t, a), Record (u, b) -> String.equal t u && equal a b
+  | Member (t, p, a), Member (u, q, b) ->
+      String.equal t u && p = q && equal a b
+  | ( ( Empty | Fail _ | Any | Chr _ | Str _ | Cls _ | Ref _ | Seq _ | Alt _
+      | Star _ | Plus _ | Opt _ | And _ | Not _ | Bind _ | Token _ | Node _
+      | Drop _ | Splice _ | Record _ | Member _ ),
+      _ ) ->
+      false
+
+let is_stateful e =
+  fold
+    (fun acc e ->
+      acc || match e.it with Record _ | Member _ -> true | _ -> false)
+    false e
+
+let rec rename_refs f e =
+  match e.it with
+  | Ref n -> { e with it = Ref (f n) }
+  | _ -> map_children (rename_refs f) e

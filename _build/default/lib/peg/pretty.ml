@@ -1,0 +1,115 @@
+let escape_in_string c =
+  match c with
+  | '"' -> "\\\""
+  | '\\' -> "\\\\"
+  | '\n' -> "\\n"
+  | '\t' -> "\\t"
+  | '\r' -> "\\r"
+  | c when Char.code c < 32 || Char.code c > 126 ->
+      Printf.sprintf "\\x%02x" (Char.code c)
+  | c -> String.make 1 c
+
+let escape_in_char c =
+  match c with
+  | '\'' -> "\\'"
+  | '"' -> "\""
+  | c -> escape_in_string c
+
+let quote_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter (fun c -> Buffer.add_string buf (escape_in_string c)) s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let quote_char c = Printf.sprintf "'%s'" (escape_in_char c)
+
+(* Precedence levels: 0 choice, 1 sequence, 2 prefix/bind, 3 suffix,
+   4 primary. [pp_at lvl] parenthesizes when the construct's own level is
+   below the context's. *)
+
+let rec pp_at lvl ppf (e : Expr.t) =
+  let open Expr in
+  let paren own body =
+    if own < lvl then Format.fprintf ppf "(%t)" body else body ppf
+  in
+  match e.it with
+  | Empty -> Format.pp_print_string ppf "()"
+  | Fail msg -> Format.fprintf ppf "%%fail(%s)" (quote_string msg)
+  | Any -> Format.pp_print_char ppf '.'
+  | Chr c -> Format.pp_print_string ppf (quote_char c)
+  | Str s -> Format.pp_print_string ppf (quote_string s)
+  | Cls set -> Charset.pp ppf set
+  | Ref n -> Format.pp_print_string ppf n
+  | Seq es ->
+      paren 1 (fun ppf ->
+          Format.pp_open_box ppf 2;
+          List.iteri
+            (fun i x ->
+              if i > 0 then Format.pp_print_space ppf ();
+              pp_at 2 ppf x)
+            es;
+          Format.pp_close_box ppf ())
+  | Alt alts ->
+      paren 0 (fun ppf ->
+          Format.pp_open_hvbox ppf 0;
+          List.iteri
+            (fun i (a : alt) ->
+              if i > 0 then Format.fprintf ppf "@ / ";
+              (match a.label with
+              | Some l -> Format.fprintf ppf "<%s> " l
+              | None -> ());
+              pp_at 1 ppf a.body)
+            alts;
+          Format.pp_close_box ppf ())
+  | Star x -> paren 3 (fun ppf -> Format.fprintf ppf "%a*" (pp_at 4) x)
+  | Plus x -> paren 3 (fun ppf -> Format.fprintf ppf "%a+" (pp_at 4) x)
+  | Opt x -> paren 3 (fun ppf -> Format.fprintf ppf "%a?" (pp_at 4) x)
+  | And x -> paren 2 (fun ppf -> Format.fprintf ppf "&%a" (pp_at 3) x)
+  | Not x -> paren 2 (fun ppf -> Format.fprintf ppf "!%a" (pp_at 3) x)
+  | Bind (n, x) -> paren 2 (fun ppf -> Format.fprintf ppf "%s:%a" n (pp_at 3) x)
+  | Drop x -> paren 2 (fun ppf -> Format.fprintf ppf "void:%a" (pp_at 3) x)
+  | Token x -> Format.fprintf ppf "$(%a)" (pp_at 0) x
+  | Splice x -> Format.fprintf ppf "%%splice(%a)" (pp_at 0) x
+  | Node (n, x) -> Format.fprintf ppf "@@%s(%a)" n (pp_at 0) x
+  | Record (t, x) -> Format.fprintf ppf "%%record(%s, %a)" t (pp_at 0) x
+  | Member (t, true, x) -> Format.fprintf ppf "%%member(%s, %a)" t (pp_at 0) x
+  | Member (t, false, x) -> Format.fprintf ppf "%%absent(%s, %a)" t (pp_at 0) x
+
+let pp_expr ppf e = pp_at 0 ppf e
+let expr_to_string e = Format.asprintf "@[%a@]" pp_expr e
+
+let attr_words (a : Attr.t) =
+  List.concat
+    [
+      (if a.visibility = Attr.Public then [ "public" ] else []);
+      (match a.memo with
+      | Attr.Memo_auto -> []
+      | Attr.Memo_always -> [ "memoized" ]
+      | Attr.Memo_never -> [ "transient" ]);
+      (match a.inline with
+      | Attr.Inline_auto -> []
+      | Attr.Inline_always -> [ "inline" ]
+      | Attr.Inline_never -> [ "noinline" ]);
+      (if a.with_location then [ "withLocation" ] else []);
+      (match a.kind with
+      | Attr.Plain -> []
+      | Attr.Generic -> [ "generic" ]
+      | Attr.Text -> [ "String" ]
+      | Attr.Void -> [ "void" ]);
+    ]
+
+let pp_production ppf (p : Production.t) =
+  let words = attr_words p.attrs in
+  Format.pp_open_hvbox ppf 2;
+  List.iter (fun w -> Format.fprintf ppf "%s " w) words;
+  Format.fprintf ppf "%s =@ %a;" p.name pp_expr p.expr;
+  Format.pp_close_box ppf ()
+
+let pp_grammar ppf g =
+  Format.fprintf ppf "// start: %s@." (Grammar.start g);
+  List.iter
+    (fun p -> Format.fprintf ppf "@[%a@]@.@." pp_production p)
+    (Grammar.productions g)
+
+let grammar_to_string g = Format.asprintf "%a" pp_grammar g

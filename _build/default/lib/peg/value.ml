@@ -1,0 +1,106 @@
+open Rats_support
+
+type t =
+  | Unit
+  | Chr of char
+  | Str of string
+  | List of t list
+  | Node of node
+
+and node = {
+  name : string;
+  children : (string option * t) list;
+  span : Span.t;
+}
+
+let node ?(span = Span.dummy) name children = Node { name; children; span }
+let seq_name = "#seq"
+
+let seq ?(span = Span.dummy) parts =
+  let keep = function None, Unit -> false | _ -> true in
+  match List.filter keep parts with
+  | [] -> Unit
+  | [ (None, v) ] -> v
+  | parts -> Node { name = seq_name; children = parts; span }
+
+let is_unit = function Unit -> true | _ -> false
+
+let components = function
+  | Unit -> []
+  | Node n when n.name = seq_name -> n.children
+  | v -> [ (None, v) ]
+
+let child v l =
+  match v with
+  | Node n ->
+      List.find_map
+        (fun (lbl, c) -> if lbl = Some l then Some c else None)
+        n.children
+  | _ -> None
+
+let child_exn v l =
+  match child v l with
+  | Some c -> c
+  | None -> invalid_arg (Printf.sprintf "Value.child_exn: no child %S" l)
+
+let nth_child v i =
+  match v with
+  | Node n -> ( match List.nth_opt n.children i with
+    | Some (_, c) -> Some c
+    | None -> None)
+  | _ -> None
+
+let name = function Node n -> Some n.name | _ -> None
+
+let escape s = String.concat "" (List.map (fun c ->
+    match c with
+    | '"' -> "\\\""
+    | '\\' -> "\\\\"
+    | '\n' -> "\\n"
+    | '\t' -> "\\t"
+    | '\r' -> "\\r"
+    | c when Char.code c < 32 || Char.code c > 126 ->
+        Printf.sprintf "\\x%02x" (Char.code c)
+    | c -> String.make 1 c)
+    (List.init (String.length s) (String.get s)))
+
+let rec pp ppf = function
+  | Unit -> Format.pp_print_string ppf "()"
+  | Chr c -> Format.fprintf ppf "'%s'" (escape (String.make 1 c))
+  | Str s -> Format.fprintf ppf "\"%s\"" (escape s)
+  | List vs ->
+      Format.fprintf ppf "@[<hv 1>[%a]@]"
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "@ ") pp)
+        vs
+  | Node n ->
+      Format.fprintf ppf "@[<hv 2>(%s%a)@]" n.name pp_children n.children
+
+and pp_children ppf children =
+  List.iter
+    (fun (lbl, v) ->
+      match lbl with
+      | None -> Format.fprintf ppf "@ %a" pp v
+      | Some l -> Format.fprintf ppf "@ %s:%a" l pp v)
+    children
+
+let to_string v = Format.asprintf "%a" pp v
+
+let rec equal a b =
+  match (a, b) with
+  | Unit, Unit -> true
+  | Chr a, Chr b -> a = b
+  | Str a, Str b -> String.equal a b
+  | List a, List b -> List.length a = List.length b && List.for_all2 equal a b
+  | Node a, Node b ->
+      String.equal a.name b.name
+      && List.length a.children = List.length b.children
+      && List.for_all2
+           (fun (la, va) (lb, vb) -> la = lb && equal va vb)
+           a.children b.children
+  | (Unit | Chr _ | Str _ | List _ | Node _), _ -> false
+
+let rec count_nodes = function
+  | Unit | Chr _ | Str _ -> 0
+  | List vs -> List.fold_left (fun acc v -> acc + count_nodes v) 0 vs
+  | Node n ->
+      1 + List.fold_left (fun acc (_, v) -> acc + count_nodes v) 0 n.children

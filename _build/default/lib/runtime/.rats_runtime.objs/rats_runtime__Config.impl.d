@@ -1,0 +1,1 @@
+lib/runtime/config.ml: Format List Printf String

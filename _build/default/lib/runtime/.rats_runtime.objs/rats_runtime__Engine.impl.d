@@ -1,0 +1,1 @@
+lib/runtime/engine.ml: Analysis Array Attr Charset Config Diagnostic Expr Grammar Hashtbl List Map Option Parse_error Pretty Printf Production Rats_peg Rats_support Result Set Span Stats String Value

@@ -1,0 +1,1 @@
+lib/runtime/engine.mli: Config Diagnostic Grammar Parse_error Rats_peg Rats_support Stats Value

@@ -1,0 +1,1 @@
+lib/runtime/parse_error.ml: Diagnostic Format Hashtbl List Option Rats_support Source Span

@@ -1,0 +1,1 @@
+lib/runtime/parse_error.mli: Diagnostic Format Rats_support Source

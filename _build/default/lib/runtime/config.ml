@@ -1,0 +1,41 @@
+type memo_strategy = No_memo | Hashtable | Chunked
+
+type t = {
+  memo : memo_strategy;
+  honor_transient : bool;
+  dispatch : bool;
+  lean_values : bool;
+}
+
+let naive =
+  { memo = No_memo; honor_transient = false; dispatch = false; lean_values = false }
+
+let packrat =
+  { memo = Hashtable; honor_transient = false; dispatch = false; lean_values = false }
+
+let optimized =
+  { memo = Chunked; honor_transient = true; dispatch = true; lean_values = true }
+
+let v ?(memo = Hashtable) ?(honor_transient = false) ?(dispatch = false)
+    ?(lean_values = false) () =
+  { memo; honor_transient; dispatch; lean_values }
+
+let memo_name = function
+  | No_memo -> "none"
+  | Hashtable -> "hashtable"
+  | Chunked -> "chunked"
+
+let describe c =
+  let flags =
+    List.filter_map
+      (fun (b, n) -> if b then Some n else None)
+      [
+        (c.honor_transient, "transient");
+        (c.dispatch, "dispatch");
+        (c.lean_values, "lean-values");
+      ]
+  in
+  Printf.sprintf "memo=%s%s" (memo_name c.memo)
+    (match flags with [] -> "" | fs -> " " ^ String.concat " " fs)
+
+let pp ppf c = Format.pp_print_string ppf (describe c)

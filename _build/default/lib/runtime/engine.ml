@@ -1,0 +1,788 @@
+open Rats_support
+open Rats_peg
+module SMap = Map.Make (String)
+module SSet = Set.Make (String)
+
+(* --- run-time state ----------------------------------------------------- *)
+
+type chunk = { res : int array; vals : Value.t array; vers : int array }
+(* res encoding: 0 unset, -1 memoized failure, pos'+1 memoized success.
+   vers holds the state version an entry was computed at; entries of
+   stateful productions are valid only while the version is unchanged. *)
+
+type st = {
+  input : string;
+  len : int;
+  mutable value : Value.t;
+  mutable farthest : int;
+  mutable expected : string list;
+  mutable expected_n : int;
+  mutable tables : SSet.t SMap.t;  (* stateful-parsing tables *)
+  mutable version : int;  (* bumped on every table change or rollback *)
+  stats : Stats.t;
+  table_memo : (int, int * Value.t * int) Hashtbl.t;
+  mutable chunks : chunk option array;  (* empty array when unused *)
+}
+
+type fn = st -> int -> int
+(* Returns the new position, or -1 on failure. Value-building matchers
+   additionally set [st.value]. *)
+
+type t = {
+  cfg : Config.t;
+  gram : Grammar.t;
+  ids : (string, int) Hashtbl.t;
+  full : fn array;  (* per-production value-building matchers *)
+  recs : fn array;  (* per-production recognizers *)
+  slots : int array;  (* memo slot per production; -1 = not memoized *)
+  nslots : int;
+}
+
+let max_expected = 32
+
+let record st pos desc =
+  if pos > st.farthest then (
+    st.farthest <- pos;
+    st.expected <- [ desc ];
+    st.expected_n <- 1)
+  else if pos = st.farthest && st.expected_n < max_expected then (
+    st.expected <- desc :: st.expected;
+    st.expected_n <- st.expected_n + 1)
+
+(* Restore the state tables to a snapshot; a physical change bumps the
+   version so that memo entries of stateful productions stop matching. *)
+let restore_tables st saved =
+  if st.tables != saved then (
+    st.tables <- saved;
+    st.version <- st.version + 1;
+    st.stats.Stats.state_snapshots <- st.stats.Stats.state_snapshots + 1)
+
+(* --- compilation -------------------------------------------------------- *)
+
+type compile_ctx = {
+  parser : t;
+  analysis : Analysis.t;
+  config : Config.t;
+}
+
+let truncate_desc s =
+  if String.length s <= 40 then s else String.sub s 0 37 ^ "..."
+
+(* Peel a top-level Bind to expose the label a sequence records. *)
+let peel_bind (e : Expr.t) =
+  match e.it with Expr.Bind (l, inner) -> (Some l, inner) | _ -> (None, e)
+
+(* Sequence tails produced by [compile_tail] carry their parts in a node
+   with this reserved name, so splicing never confuses "one value that
+   happens to be a tuple" with "the parts of a tail". *)
+let tail_name = "#tail"
+
+let tail_parts = function
+  | Value.Node n when String.equal n.Value.name tail_name -> n.Value.children
+  | _ -> assert false
+
+let rec compile ctx ~lean (e : Expr.t) : fn =
+  match e.it with
+  | Expr.Empty ->
+      if lean then fun _ _pos -> _pos
+      else
+        fun st pos ->
+        st.value <- Value.Unit;
+        pos
+  | Expr.Fail msg ->
+      fun st pos ->
+        record st pos msg;
+        -1
+  | Expr.Any ->
+      let desc = "any character" in
+      if lean then
+        fun st pos ->
+          if pos < st.len then pos + 1
+          else (
+            record st pos desc;
+            -1)
+      else
+        fun st pos ->
+          if pos < st.len then (
+            st.value <- Value.Chr (String.unsafe_get st.input pos);
+            pos + 1)
+          else (
+            record st pos desc;
+            -1)
+  | Expr.Chr c ->
+      let desc = Pretty.quote_char c in
+      let set_unit = not lean in
+      fun st pos ->
+        if pos < st.len && String.unsafe_get st.input pos = c then (
+          if set_unit then st.value <- Value.Unit;
+          pos + 1)
+        else (
+          record st pos desc;
+          -1)
+  | Expr.Str s ->
+      let n = String.length s in
+      let desc = Pretty.quote_string s in
+      let set_unit = not lean in
+      fun st pos ->
+        (* Record failures at the first mismatching byte, so the farthest
+           position reflects how much of the literal matched. *)
+        let rec go i =
+          if i >= n then (
+            if set_unit then st.value <- Value.Unit;
+            pos + n)
+          else if
+            pos + i < st.len
+            && String.unsafe_get st.input (pos + i) = String.unsafe_get s i
+          then go (i + 1)
+          else (
+            record st (pos + i) desc;
+            -1)
+        in
+        go 0
+  | Expr.Cls set ->
+      let desc = Charset.to_string set in
+      if lean then
+        fun st pos ->
+          if pos < st.len && Charset.mem (String.unsafe_get st.input pos) set
+          then pos + 1
+          else (
+            record st pos desc;
+            -1)
+      else
+        fun st pos ->
+          if pos < st.len then (
+            let c = String.unsafe_get st.input pos in
+            if Charset.mem c set then (
+              st.value <- Value.Chr c;
+              pos + 1)
+            else (
+              record st pos desc;
+              -1))
+          else (
+            record st pos desc;
+            -1)
+  | Expr.Ref name ->
+      let id =
+        match Hashtbl.find_opt ctx.parser.ids name with
+        | Some id -> id
+        | None -> Diagnostic.failf "engine: undefined production %S" name
+      in
+      let fns = if lean then ctx.parser.recs else ctx.parser.full in
+      fun st pos -> fns.(id) st pos
+  | Expr.Seq es -> compile_seq ctx ~lean es
+  | Expr.Alt alts -> compile_alt ctx ~lean alts
+  | Expr.Star x ->
+      if (not lean) && Analysis.expr_yields_unit ctx.analysis x then (
+        let fx = compile_star ctx ~lean:true x in
+        fun st pos ->
+          let p = fx st pos in
+          st.value <- Value.Unit;
+          p)
+      else compile_star ctx ~lean x
+  | Expr.Plus x ->
+      if (not lean) && Analysis.expr_yields_unit ctx.analysis x then (
+        let one = compile ctx ~lean:true x in
+        let star = compile_star ctx ~lean:true x in
+        fun st pos ->
+          let p = one st pos in
+          if p < 0 then -1
+          else (
+            let p' = star st p in
+            st.value <- Value.Unit;
+            p'))
+      else
+        let star = compile_star ctx ~lean x in
+        let one = compile ctx ~lean x in
+        if lean then
+          fun st pos ->
+            let p = one st pos in
+            if p < 0 then -1 else star st p
+        else
+          fun st pos ->
+            let p = one st pos in
+            if p < 0 then -1
+            else
+              let first = st.value in
+              let p' = star st p in
+              (* star in full mode always succeeds with a List *)
+              (match st.value with
+              | Value.List rest -> st.value <- Value.List (first :: rest)
+              | _ -> st.value <- Value.List [ first ]);
+              p'
+  | Expr.Opt x ->
+      let fx = compile ctx ~lean x in
+      fun st pos ->
+        let saved = st.tables in
+        let p = fx st pos in
+        if p >= 0 then p
+        else (
+          restore_tables st saved;
+          if not lean then st.value <- Value.Unit;
+          pos)
+  | Expr.And x ->
+      let fx = compile ctx ~lean:(lean || ctx.config.Config.lean_values) x in
+      fun st pos ->
+        let saved = st.tables in
+        let p = fx st pos in
+        restore_tables st saved;
+        if p < 0 then -1
+        else (
+          if not lean then st.value <- Value.Unit;
+          pos)
+  | Expr.Not x ->
+      let fx = compile ctx ~lean:(lean || ctx.config.Config.lean_values) x in
+      let desc = "not " ^ truncate_desc (Pretty.expr_to_string x) in
+      fun st pos ->
+        let saved = st.tables in
+        let p = fx st pos in
+        restore_tables st saved;
+        if p >= 0 then (
+          record st pos desc;
+          -1)
+        else (
+          if not lean then st.value <- Value.Unit;
+          pos)
+  | Expr.Bind (label, x) ->
+      let fx = compile ctx ~lean x in
+      if lean then fx
+      else
+        fun st pos ->
+          let p = fx st pos in
+          if p < 0 then -1
+          else (
+            st.value <- Value.seq [ (Some label, st.value) ];
+            p)
+  | Expr.Token x ->
+      let fx = compile ctx ~lean:(lean || ctx.config.Config.lean_values) x in
+      if lean then fx
+      else
+        fun st pos ->
+          let p = fx st pos in
+          if p < 0 then -1
+          else (
+            st.value <- Value.Str (String.sub st.input pos (p - pos));
+            p)
+  | Expr.Node (name, x) ->
+      let fx = compile ctx ~lean x in
+      if lean then fx
+      else
+        fun st pos ->
+          let p = fx st pos in
+          if p < 0 then -1
+          else (
+            st.value <-
+              Value.node ~span:(Span.v ~start_:pos ~stop:p) name
+                (Value.components st.value);
+            p)
+  | Expr.Drop x ->
+      let fx = compile ctx ~lean:(lean || ctx.config.Config.lean_values) x in
+      if lean then fx
+      else
+        fun st pos ->
+          let p = fx st pos in
+          if p < 0 then -1
+          else (
+            st.value <- Value.Unit;
+            p)
+  | Expr.Splice x ->
+      if lean then compile ctx ~lean:true x
+      else
+        (* Standalone splice: evaluate in tail mode, then collapse the
+           parts exactly as a sequence value would. *)
+        let fx = compile_tail ctx x in
+        fun st pos ->
+          let p = fx st pos in
+          if p < 0 then -1
+          else (
+            st.value <- Value.seq (tail_parts st.value);
+            p)
+  | Expr.Record (table, x) ->
+      let fx = compile ctx ~lean x in
+      fun st pos ->
+        let p = fx st pos in
+        if p < 0 then -1
+        else (
+          let text = String.sub st.input pos (p - pos) in
+          let set =
+            Option.value (SMap.find_opt table st.tables) ~default:SSet.empty
+          in
+          st.tables <- SMap.add table (SSet.add text set) st.tables;
+          st.version <- st.version + 1;
+          p)
+  | Expr.Member (table, positive, x) ->
+      let fx = compile ctx ~lean x in
+      let desc =
+        if positive then Printf.sprintf "a name recorded in %s" table
+        else Printf.sprintf "a name not recorded in %s" table
+      in
+      fun st pos ->
+        let p = fx st pos in
+        if p < 0 then -1
+        else
+          let text = String.sub st.input pos (p - pos) in
+          let set =
+            Option.value (SMap.find_opt table st.tables) ~default:SSet.empty
+          in
+          if SSet.mem text set = positive then p
+          else (
+            record st pos desc;
+            -1)
+
+and compile_seq ctx ~lean ?(tail = false) es =
+  if lean then (
+    let fns = Array.of_list (List.map (compile ctx ~lean:true) es) in
+    let n = Array.length fns in
+    fun st pos ->
+      let rec go i pos =
+        if i >= n then pos
+        else
+          let p = fns.(i) st pos in
+          if p < 0 then -1 else go (i + 1) p
+      in
+      go 0 pos)
+  else
+    let parts =
+      Array.of_list
+        (List.map
+           (fun (e : Expr.t) ->
+             match e.it with
+             | Expr.Splice inner -> (None, compile_tail ctx inner, true)
+             | _ ->
+                 let label, inner = peel_bind e in
+                 (label, compile ctx ~lean:false inner, false))
+           es)
+    in
+    let n = Array.length parts in
+    let finish =
+      if tail then fun st pos0 pos acc ->
+        st.value <-
+          Value.node ~span:(Span.v ~start_:pos0 ~stop:pos) tail_name
+            (List.rev acc)
+      else fun st pos0 pos acc ->
+        st.value <-
+          Value.seq ~span:(Span.v ~start_:pos0 ~stop:pos) (List.rev acc)
+    in
+    fun st pos0 ->
+      let rec go i pos acc =
+        if i >= n then (
+          finish st pos0 pos acc;
+          pos)
+        else
+          let label, fn, splice = parts.(i) in
+          let p = fn st pos in
+          if p < 0 then -1
+          else
+            let acc =
+              if splice then List.rev_append (tail_parts st.value) acc
+              else
+                match (label, st.value) with
+                | None, Value.Unit -> acc
+                | _ -> (label, st.value) :: acc
+            in
+            go (i + 1) p acc
+      in
+      go 0 pos0 []
+
+and compile_tail ctx (e : Expr.t) : fn =
+  (* Compile [e] as a sequence tail: the value is always a [tail_name]
+     node holding the labeled parts, with none of [Value.seq]'s
+     collapsing. Produced only by the prefix-factoring optimizer. *)
+  match e.it with
+  | Expr.Alt alts -> compile_alt ctx ~lean:false ~tail:true alts
+  | Expr.Seq es -> compile_seq ctx ~lean:false ~tail:true es
+  | Expr.Empty ->
+      fun st pos ->
+        st.value <- Value.node tail_name [];
+        pos
+  | _ ->
+      let label, inner = peel_bind e in
+      let fx = compile ctx ~lean:false inner in
+      fun st pos ->
+        let p = fx st pos in
+        if p < 0 then -1
+        else (
+          st.value <-
+            Value.node ~span:(Span.v ~start_:pos ~stop:p) tail_name
+              (match (label, st.value) with
+              | None, Value.Unit -> []
+              | _ -> [ (label, st.value) ]);
+          p)
+
+and compile_alt ctx ~lean ?(tail = false) alts =
+  let dispatch = ctx.config.Config.dispatch in
+  let compile_branch body =
+    if tail then compile_tail ctx body else compile ctx ~lean body
+  in
+  let compiled =
+    Array.of_list
+      (List.map
+         (fun (a : Expr.alt) ->
+           let first, eps = Analysis.expr_first ctx.analysis a.body in
+           let desc = Charset.to_string first in
+           (compile_branch a.body, first, eps, desc))
+         alts)
+  in
+  let n = Array.length compiled in
+  fun st pos ->
+    let saved = st.tables in
+    let rec go i =
+      if i >= n then -1
+      else
+        let fn, first, eps, desc = compiled.(i) in
+        if
+          dispatch && (not eps)
+          && (pos >= st.len
+             || not (Charset.mem (String.unsafe_get st.input pos) first))
+        then (
+          record st pos desc;
+          go (i + 1))
+        else
+          let p = fn st pos in
+          if p >= 0 then p
+          else (
+            restore_tables st saved;
+            st.stats.Stats.backtracks <- st.stats.Stats.backtracks + 1;
+            go (i + 1))
+    in
+    go 0
+
+and compile_star ctx ~lean x =
+  (* A repetition over a statically void body collects no values and
+     yields Unit — matching what a sequence would do with the units. *)
+  let lean = lean || Analysis.expr_yields_unit ctx.analysis x in
+  let fx = compile ctx ~lean x in
+  if lean then
+    fun st pos ->
+      let rec go pos =
+        let saved = st.tables in
+        let p = fx st pos in
+        if p < 0 then (
+          restore_tables st saved;
+          pos)
+        else if p = pos then pos (* no progress; stop to guarantee termination *)
+        else go p
+      in
+      go pos
+  else
+    fun st pos ->
+      let rec go pos acc =
+        let saved = st.tables in
+        let p = fx st pos in
+        if p < 0 then (
+          restore_tables st saved;
+          st.value <- Value.List (List.rev acc);
+          pos)
+        else if p = pos then (
+          st.value <- Value.List (List.rev acc);
+          pos)
+        else go p (st.value :: acc)
+      in
+      go pos []
+
+(* Shape a production's raw body value according to its kind. *)
+let shape (p : Production.t) =
+  match p.attrs.Attr.kind with
+  | Attr.Plain -> fun st _pos0 _pos1 -> ignore st
+  | Attr.Generic ->
+      let name = p.name in
+      fun st pos0 pos1 ->
+        st.value <-
+          Value.node
+            ~span:(Span.v ~start_:pos0 ~stop:pos1)
+            name
+            (Value.components st.value)
+  | Attr.Text ->
+      fun st pos0 pos1 -> st.value <- Value.Str (String.sub st.input pos0 (pos1 - pos0))
+  | Attr.Void -> fun st _pos0 _pos1 -> st.value <- Value.Unit
+
+(* --- preparation -------------------------------------------------------- *)
+
+let assign_slots cfg prods =
+  let next = ref 0 in
+  let slots =
+    Array.map
+      (fun (p : Production.t) ->
+        let memoizable =
+          match cfg.Config.memo with
+          | Config.No_memo -> false
+          | Config.Hashtable | Config.Chunked -> (
+              match p.attrs.Attr.memo with
+              | Attr.Memo_always -> true
+              | Attr.Memo_never -> not cfg.Config.honor_transient
+              | Attr.Memo_auto -> true)
+        in
+        if memoizable then (
+          let s = !next in
+          incr next;
+          s)
+        else -1)
+      prods
+  in
+  (slots, !next)
+
+let prepare_hooked ?hook ?(config = Config.optimized) gram =
+  let analysis = Analysis.analyze gram in
+  match Analysis.check analysis with
+  | _ :: _ as ds -> Error ds
+  | [] ->
+      let prods = Array.of_list (Grammar.productions gram) in
+      let nprods = Array.length prods in
+      let ids = Hashtbl.create (nprods * 2) in
+      Array.iteri
+        (fun i (p : Production.t) -> Hashtbl.replace ids p.name i)
+        prods;
+      let slots, nslots = assign_slots config prods in
+      let dummy : fn = fun _ _ -> -1 in
+      let parser =
+        {
+          cfg = config;
+          gram;
+          ids;
+          full = Array.make nprods dummy;
+          recs = Array.make nprods dummy;
+          slots;
+          nslots;
+        }
+      in
+      let ctx = { parser; analysis; config } in
+      (try
+         Array.iteri
+           (fun i (p : Production.t) ->
+             let lean_body =
+               config.Config.lean_values
+               && (p.attrs.Attr.kind = Attr.Text
+                  || p.attrs.Attr.kind = Attr.Void)
+             in
+             let body_full = compile ctx ~lean:lean_body p.expr in
+             let body_rec = compile ctx ~lean:true p.expr in
+             let shape_fn = shape p in
+             let slot = slots.(i) in
+             (* Memo entries of stateful productions are only valid at the
+                state version they were computed at. A hit can therefore
+                never hide a state change: any run that mutated the tables
+                bumped the version past its own entry stamp. *)
+             let stateful = Analysis.stateful analysis p.name in
+             let full_fn =
+               match (config.Config.memo, slot) with
+               | Config.No_memo, _ | _, -1 ->
+                   fun st pos ->
+                     st.stats.Stats.invocations <-
+                       st.stats.Stats.invocations + 1;
+                     let p' = body_full st pos in
+                     if p' >= 0 then shape_fn st pos p';
+                     p'
+               | Config.Hashtable, slot ->
+                   fun st pos ->
+                     st.stats.Stats.invocations <-
+                       st.stats.Stats.invocations + 1;
+                     let key = (pos * nslots) + slot in
+                     (match Hashtbl.find_opt st.table_memo key with
+                     | Some (p', v, ver)
+                       when (not stateful) || ver = st.version ->
+                         st.stats.Stats.memo_hits <-
+                           st.stats.Stats.memo_hits + 1;
+                         if p' >= 0 then st.value <- v;
+                         p'
+                     | _ ->
+                         st.stats.Stats.memo_misses <-
+                           st.stats.Stats.memo_misses + 1;
+                         let ver0 = st.version in
+                         let p' = body_full st pos in
+                         if p' >= 0 then shape_fn st pos p';
+                         Hashtbl.replace st.table_memo key
+                           ( p',
+                             (if p' >= 0 then st.value else Value.Unit),
+                             ver0 );
+                         st.stats.Stats.memo_stores <-
+                           st.stats.Stats.memo_stores + 1;
+                         p')
+               | Config.Chunked, slot ->
+                   fun st pos ->
+                     st.stats.Stats.invocations <-
+                       st.stats.Stats.invocations + 1;
+                     let chunk =
+                       match st.chunks.(pos) with
+                       | Some c -> c
+                       | None ->
+                           let c =
+                             {
+                               res = Array.make nslots 0;
+                               vals = Array.make nslots Value.Unit;
+                               vers = Array.make nslots 0;
+                             }
+                           in
+                           st.chunks.(pos) <- Some c;
+                           st.stats.Stats.chunks_allocated <-
+                             st.stats.Stats.chunks_allocated + 1;
+                           st.stats.Stats.chunk_slots <-
+                             st.stats.Stats.chunk_slots + nslots;
+                           c
+                     in
+                     let r = chunk.res.(slot) in
+                     if
+                       r <> 0
+                       && ((not stateful) || chunk.vers.(slot) = st.version)
+                     then (
+                       st.stats.Stats.memo_hits <- st.stats.Stats.memo_hits + 1;
+                       if r > 0 then (
+                         st.value <- chunk.vals.(slot);
+                         r - 1)
+                       else -1)
+                     else (
+                       st.stats.Stats.memo_misses <-
+                         st.stats.Stats.memo_misses + 1;
+                       let ver0 = st.version in
+                       let p' = body_full st pos in
+                       if p' >= 0 then (
+                         shape_fn st pos p';
+                         chunk.res.(slot) <- p' + 1;
+                         chunk.vals.(slot) <- st.value)
+                       else chunk.res.(slot) <- -1;
+                       chunk.vers.(slot) <- ver0;
+                       st.stats.Stats.memo_stores <-
+                         st.stats.Stats.memo_stores + 1;
+                       p')
+             in
+             let rec_fn =
+               match (config.Config.memo, slot) with
+               | Config.No_memo, _ | _, -1 ->
+                   fun st pos ->
+                     st.stats.Stats.invocations <-
+                       st.stats.Stats.invocations + 1;
+                     body_rec st pos
+               | Config.Hashtable, slot ->
+                   fun st pos ->
+                     st.stats.Stats.invocations <-
+                       st.stats.Stats.invocations + 1;
+                     let key = (pos * nslots) + slot in
+                     (match Hashtbl.find_opt st.table_memo key with
+                     | Some (p', _, ver)
+                       when (not stateful) || ver = st.version ->
+                         st.stats.Stats.memo_hits <-
+                           st.stats.Stats.memo_hits + 1;
+                         p'
+                     | _ -> body_rec st pos)
+               | Config.Chunked, slot ->
+                   fun st pos ->
+                     st.stats.Stats.invocations <-
+                       st.stats.Stats.invocations + 1;
+                     (match st.chunks.(pos) with
+                     | Some chunk
+                       when chunk.res.(slot) <> 0
+                            && ((not stateful)
+                               || chunk.vers.(slot) = st.version) ->
+                         st.stats.Stats.memo_hits <-
+                           st.stats.Stats.memo_hits + 1;
+                         let r = chunk.res.(slot) in
+                         if r > 0 then r - 1 else -1
+                     | _ -> body_rec st pos)
+             in
+             let full_fn =
+               match hook with
+               | None -> full_fn
+               | Some h -> h p.Production.name full_fn
+             in
+             parser.full.(i) <- full_fn;
+             parser.recs.(i) <- rec_fn)
+           prods;
+         Ok parser
+       with Diagnostic.Fail d -> Error [ d ])
+
+let prepare ?config gram = prepare_hooked ?config gram
+
+let prepare_exn ?config gram =
+  match prepare ?config gram with
+  | Ok t -> t
+  | Error (d :: _) -> raise (Diagnostic.Fail d)
+  | Error [] -> assert false
+
+let config t = t.cfg
+let grammar t = t.gram
+let memo_slots t = t.nslots
+
+(* --- running ------------------------------------------------------------ *)
+
+type outcome = {
+  result : (Value.t, Parse_error.t) result;
+  stats : Stats.t;
+  consumed : int;
+}
+
+let run t ?start ?(require_eof = true) input =
+  let start_id =
+    match start with
+    | None -> Hashtbl.find t.ids (Grammar.start t.gram)
+    | Some name -> (
+        match Hashtbl.find_opt t.ids name with
+        | Some id -> id
+        | None ->
+            raise
+              (Diagnostic.Fail
+                 (Diagnostic.errorf "no production named %S" name)))
+  in
+  let st =
+    {
+      input;
+      len = String.length input;
+      value = Value.Unit;
+      farthest = -1;
+      expected = [];
+      expected_n = 0;
+      tables = SMap.empty;
+      version = 0;
+      stats = Stats.create ();
+      table_memo =
+        (match t.cfg.Config.memo with
+        | Config.Hashtable -> Hashtbl.create 1024
+        | _ -> Hashtbl.create 1);
+      chunks =
+        (match t.cfg.Config.memo with
+        | Config.Chunked -> Array.make (String.length input + 1) None
+        | _ -> [||]);
+    }
+  in
+  let p = t.full.(start_id) st 0 in
+  let result =
+    if p < 0 then
+      Error
+        (Parse_error.v ~position:(max st.farthest 0)
+           ~expected:(List.rev st.expected) ())
+    else if require_eof && p < st.len then
+      if st.farthest > p then
+        Error
+          (Parse_error.v ~position:st.farthest
+             ~expected:(List.rev st.expected) ~consumed:p ())
+      else
+        Error
+          (Parse_error.v ~position:p ~expected:[ "end of input" ] ~consumed:p
+             ())
+    else Ok st.value
+  in
+  { result; stats = st.stats; consumed = p }
+
+let parse t ?start input = (run t ?start input).result
+let accepts t ?start input = Result.is_ok (parse t ?start input)
+
+(* --- tracing -------------------------------------------------------------- *)
+
+type trace_event = {
+  prod : string;
+  at : int;
+  depth : int;
+  outcome : int option;
+}
+
+let trace ?config ?start ?require_eof ~on_event gram input =
+  let depth = ref 0 in
+  let hook name fn : fn =
+   fun st pos ->
+    on_event { prod = name; at = pos; depth = !depth; outcome = None };
+    incr depth;
+    let p = fn st pos in
+    decr depth;
+    on_event { prod = name; at = pos; depth = !depth; outcome = Some p };
+    p
+  in
+  match prepare_hooked ~hook ?config gram with
+  | Error ds -> Error ds
+  | Ok eng -> Ok (run eng ?start ?require_eof input)

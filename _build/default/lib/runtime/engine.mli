@@ -1,0 +1,80 @@
+(** The packrat parsing engine.
+
+    {!prepare} compiles a closed, well-formed grammar into a network of
+    closures — one recognizer and one value-building matcher per
+    production — with memoization wrappers, choice-dispatch tables and
+    state-transaction handling chosen by the {!Config.t}. {!run} then
+    parses an input string.
+
+    The engine rejects grammars that fail {!Rats_peg.Analysis.check}
+    (left recursion, vacuous repetition, dangling references), exactly as
+    Rats! refuses to generate parsers for them.
+
+    Stateful productions (those using [Record]/[Member]) are never
+    memoized regardless of configuration: their outcome depends on the
+    state tables, and Rats! likewise exempts stateful productions from
+    memoization. State changes are transactional — rolled back when a
+    choice alternative, repetition step or predicate backtracks. *)
+
+open Rats_support
+open Rats_peg
+
+type t
+
+val prepare : ?config:Config.t -> Grammar.t -> (t, Diagnostic.t list) result
+(** Default config is {!Config.optimized}. *)
+
+val prepare_exn : ?config:Config.t -> Grammar.t -> t
+val config : t -> Config.t
+val grammar : t -> Grammar.t
+
+val memo_slots : t -> int
+(** Number of productions that received a memo slot under this
+    configuration — the chunk width of E5. *)
+
+type outcome = {
+  result : (Value.t, Parse_error.t) result;
+  stats : Stats.t;
+  consumed : int;
+      (** offset reached by the start production, or [-1] when it failed
+          outright — lets callers do longest-prefix parsing with
+          [~require_eof:false] *)
+}
+
+val run : t -> ?start:string -> ?require_eof:bool -> string -> outcome
+(** [run t input] parses [input] from the start production ([start]
+    overrides by flat production name). With [require_eof] (default
+    [true]) the start production must consume the whole input. *)
+
+val parse : t -> ?start:string -> string -> (Value.t, Parse_error.t) result
+val accepts : t -> ?start:string -> string -> bool
+
+(** {1 Tracing}
+
+    Rats!'s verbose mode: watch the parser work, production by
+    production. Tracing prepares its own engine (the normal one carries
+    no per-invocation hooks, so tracing costs nothing when unused). *)
+
+type trace_event = {
+  prod : string;  (** production being tried *)
+  at : int;  (** input offset *)
+  depth : int;  (** invocation nesting depth *)
+  outcome : int option;
+      (** [None] on entry; [Some stop] on success (the new offset);
+          [Some (-1)] on failure *)
+}
+
+val trace :
+  ?config:Config.t ->
+  ?start:string ->
+  ?require_eof:bool ->
+  on_event:(trace_event -> unit) ->
+  Grammar.t ->
+  string ->
+  (outcome, Diagnostic.t list) result
+(** [trace ~on_event g input] parses [input], calling [on_event] once on
+    entry to every value-building production invocation and once on exit
+    (memo hits included — they are invocations; recognizer-mode calls
+    inside predicates under [lean_values] are not, so a non-lean
+    [config] such as {!Config.packrat} gives the most complete view).
+    Events of one invocation share [prod], [at] and [depth]. *)

@@ -1,0 +1,47 @@
+open Rats_support
+
+type t = { position : int; expected : string list; consumed : int }
+
+let dedup xs =
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun x ->
+      if Hashtbl.mem seen x then false
+      else (
+        Hashtbl.add seen x ();
+        true))
+    xs
+
+let v ~position ~expected ?consumed () =
+  {
+    position;
+    expected = dedup expected;
+    consumed = Option.value consumed ~default:position;
+  }
+
+let message t =
+  match t.expected with
+  | [] -> "parse error"
+  | expected ->
+      let rec render = function
+        | [] -> ""
+        | [ x ] -> x
+        | [ x; y ] -> x ^ " or " ^ y
+        | x :: rest -> x ^ ", " ^ render rest
+      in
+      "expected " ^ render expected
+
+let to_diagnostic t =
+  Diagnostic.error ~span:(Span.point t.position) (message t)
+
+let pp ?source ppf t =
+  (match source with
+  | Some src -> Format.fprintf ppf "%a: " (Source.pp_location src) t.position
+  | None -> Format.fprintf ppf "offset %d: " t.position);
+  Format.fprintf ppf "%s" (message t);
+  match source with
+  | Some src ->
+      Format.fprintf ppf "@,%a" (Source.pp_excerpt src) (Span.point t.position)
+  | None -> ()
+
+let to_string ?source t = Format.asprintf "@[<v>%a@]" (pp ?source) t

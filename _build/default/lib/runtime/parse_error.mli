@@ -1,0 +1,24 @@
+(** Parse failures with farthest-failure diagnosis.
+
+    Packrat parsers report the deepest input position any expression
+    failed at, together with the set of things that were expected there —
+    the standard PEG error heuristic (Ford), which Rats! also uses. *)
+
+open Rats_support
+
+type t = {
+  position : int;  (** byte offset of the farthest failure *)
+  expected : string list;  (** deduplicated descriptions, source order *)
+  consumed : int;
+      (** how far the start production matched when the failure is
+          "expected end of input" — equals [position] otherwise *)
+}
+
+val v : position:int -> expected:string list -> ?consumed:int -> unit -> t
+
+val message : t -> string
+(** ["expected 'x', '[0-9]' or identifier"] — no location prefix. *)
+
+val to_diagnostic : t -> Diagnostic.t
+val pp : ?source:Source.t -> Format.formatter -> t -> unit
+val to_string : ?source:Source.t -> t -> string

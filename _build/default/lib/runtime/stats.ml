@@ -1,0 +1,51 @@
+type t = {
+  mutable invocations : int;
+  mutable memo_hits : int;
+  mutable memo_misses : int;
+  mutable memo_stores : int;
+  mutable chunks_allocated : int;
+  mutable chunk_slots : int;
+  mutable backtracks : int;
+  mutable state_snapshots : int;
+}
+
+let create () =
+  {
+    invocations = 0;
+    memo_hits = 0;
+    memo_misses = 0;
+    memo_stores = 0;
+    chunks_allocated = 0;
+    chunk_slots = 0;
+    backtracks = 0;
+    state_snapshots = 0;
+  }
+
+let reset t =
+  t.invocations <- 0;
+  t.memo_hits <- 0;
+  t.memo_misses <- 0;
+  t.memo_stores <- 0;
+  t.chunks_allocated <- 0;
+  t.chunk_slots <- 0;
+  t.backtracks <- 0;
+  t.state_snapshots <- 0
+
+let add acc t =
+  acc.invocations <- acc.invocations + t.invocations;
+  acc.memo_hits <- acc.memo_hits + t.memo_hits;
+  acc.memo_misses <- acc.memo_misses + t.memo_misses;
+  acc.memo_stores <- acc.memo_stores + t.memo_stores;
+  acc.chunks_allocated <- acc.chunks_allocated + t.chunks_allocated;
+  acc.chunk_slots <- acc.chunk_slots + t.chunk_slots;
+  acc.backtracks <- acc.backtracks + t.backtracks;
+  acc.state_snapshots <- acc.state_snapshots + t.state_snapshots
+
+let memo_entries t = if t.chunk_slots > 0 then t.chunk_slots else t.memo_stores
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[invocations=%d hits=%d misses=%d stores=%d chunks=%d slots=%d \
+     backtracks=%d snapshots=%d@]"
+    t.invocations t.memo_hits t.memo_misses t.memo_stores t.chunks_allocated
+    t.chunk_slots t.backtracks t.state_snapshots

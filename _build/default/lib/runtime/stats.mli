@@ -1,0 +1,26 @@
+(** Parse-run counters.
+
+    These feed experiments E2/E3/E5: throughput is wall-clock (measured
+    by the bench harness), while memory behaviour is reported here as
+    exact counts rather than GC samples, so ablations are deterministic. *)
+
+type t = {
+  mutable invocations : int;  (** nonterminal invocations, memoized or not *)
+  mutable memo_hits : int;
+  mutable memo_misses : int;
+  mutable memo_stores : int;  (** memo-table entries written *)
+  mutable chunks_allocated : int;  (** chunk records (chunked memo only) *)
+  mutable chunk_slots : int;  (** total slots across allocated chunks *)
+  mutable backtracks : int;  (** failed choice alternatives *)
+  mutable state_snapshots : int;  (** stateful-parsing table restores *)
+}
+
+val create : unit -> t
+val reset : t -> unit
+val add : t -> t -> unit
+(** [add acc t] accumulates [t] into [acc]. *)
+
+val memo_entries : t -> int
+(** Entries materialized: stores for table memo, slots for chunks. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/support/diagnostic.ml: Format List Source Span

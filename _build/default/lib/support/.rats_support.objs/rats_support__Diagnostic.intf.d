@@ -1,0 +1,1 @@
+lib/support/diagnostic.mli: Format Source Span

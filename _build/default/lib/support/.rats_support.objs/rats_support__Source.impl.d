@@ -1,0 +1,1 @@
+lib/support/source.ml: Array Format In_channel List Span String

@@ -1,0 +1,1 @@
+lib/support/source.mli: Format Span

@@ -1,0 +1,1 @@
+lib/support/span.ml: Format Int

@@ -1,0 +1,1 @@
+lib/support/span.mli: Format

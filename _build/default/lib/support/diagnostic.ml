@@ -1,0 +1,44 @@
+type severity = Error | Warning | Note
+
+type t = {
+  severity : severity;
+  span : Span.t;
+  message : string;
+  notes : string list;
+}
+
+let make severity ?(span = Span.dummy) ?(notes = []) message =
+  { severity; span; message; notes }
+
+let error ?span ?notes message = make Error ?span ?notes message
+let warning ?span ?notes message = make Warning ?span ?notes message
+let note ?span ?notes message = make Note ?span ?notes message
+
+let errorf ?span ?notes fmt =
+  Format.kasprintf (fun message -> error ?span ?notes message) fmt
+
+let is_error d = d.severity = Error
+
+let severity_label = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Note -> "note"
+
+let pp ?source ppf d =
+  let label = severity_label d.severity in
+  (match source with
+  | Some src when not (Span.is_dummy d.span) ->
+      Format.fprintf ppf "%a: %s: %s" (Source.pp_location src)
+        (Span.start d.span) label d.message;
+      Format.fprintf ppf "@,%a" (Source.pp_excerpt src) d.span
+  | _ -> Format.fprintf ppf "%s: %s" label d.message);
+  List.iter (fun n -> Format.fprintf ppf "@,  note: %s" n) d.notes
+
+let to_string ?source d = Format.asprintf "@[<v>%a@]" (pp ?source) d
+
+exception Fail of t
+
+let fail ?span ?notes message = raise (Fail (error ?span ?notes message))
+
+let failf ?span ?notes fmt =
+  Format.kasprintf (fun message -> fail ?span ?notes message) fmt

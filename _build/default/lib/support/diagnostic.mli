@@ -1,0 +1,40 @@
+(** Structured diagnostics for grammar composition, analysis and parsing.
+
+    Every user-facing failure in the pipeline — a module that imports a
+    missing module, a left-recursive production, a parse error — is
+    reported as a [Diagnostic.t] so that the CLI, the tests and the API
+    all render errors the same way. *)
+
+type severity = Error | Warning | Note
+
+type t = {
+  severity : severity;
+  span : Span.t;  (** where; {!Span.dummy} when there is no location *)
+  message : string;  (** one-line summary *)
+  notes : string list;  (** extra lines: hints, the cycle, the candidates *)
+}
+
+val error : ?span:Span.t -> ?notes:string list -> string -> t
+val warning : ?span:Span.t -> ?notes:string list -> string -> t
+val note : ?span:Span.t -> ?notes:string list -> string -> t
+
+val errorf :
+  ?span:Span.t -> ?notes:string list -> ('a, Format.formatter, unit, t) format4 -> 'a
+(** [errorf fmt ...] is [error (Format.asprintf fmt ...)]. *)
+
+val is_error : t -> bool
+
+val pp : ?source:Source.t -> Format.formatter -> t -> unit
+(** [pp ~source ppf d] renders [d]; when [source] is given and the span is
+    real, a [file:line:col] prefix and an excerpt with caret are shown. *)
+
+val to_string : ?source:Source.t -> t -> string
+
+exception Fail of t
+(** Carrier used by pipeline stages that abort on the first error. *)
+
+val fail : ?span:Span.t -> ?notes:string list -> string -> 'a
+(** [fail msg] raises {!Fail} with an error diagnostic. *)
+
+val failf :
+  ?span:Span.t -> ?notes:string list -> ('a, Format.formatter, unit, 'b) format4 -> 'a

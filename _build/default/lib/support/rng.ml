@@ -1,0 +1,35 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+let copy t = { state = t.state }
+
+(* splitmix64: fast, decent quality, trivially seedable. *)
+let next t =
+  let open Int64 in
+  t.state <- add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  let v = Int64.to_int (Int64.shift_right_logical (next t) 2) in
+  v mod bound
+
+let bool t = Int64.logand (next t) 1L = 1L
+let in_range t lo hi = lo + int t (hi - lo + 1)
+
+let pick t a =
+  if Array.length a = 0 then invalid_arg "Rng.pick: empty array";
+  a.(int t (Array.length a))
+
+let pick_weighted t choices =
+  let total = List.fold_left (fun acc (w, _) -> acc + w) 0 choices in
+  if total <= 0 then invalid_arg "Rng.pick_weighted: non-positive total";
+  let n = int t total in
+  let rec go n = function
+    | [] -> invalid_arg "Rng.pick_weighted: empty"
+    | (w, x) :: rest -> if n < w then x else go (n - w) rest
+  in
+  go n choices

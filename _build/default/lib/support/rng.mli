@@ -1,0 +1,31 @@
+(** Small deterministic PRNG (splitmix64) for reproducible workloads.
+
+    The benchmark corpora and property tests need randomness that is
+    stable across runs and machines; OCaml's [Random] state semantics are
+    version-dependent, so we carry our own. *)
+
+type t
+
+val create : int -> t
+(** [create seed] is a fresh generator; equal seeds give equal streams. *)
+
+val copy : t -> t
+
+val next : t -> int64
+(** [next t] is the next raw 64-bit value. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound). Raises [Invalid_argument] when
+    [bound <= 0]. *)
+
+val bool : t -> bool
+
+val in_range : t -> int -> int -> int
+(** [in_range t lo hi] is uniform in [lo, hi] inclusive. *)
+
+val pick : t -> 'a array -> 'a
+(** [pick t a] is a uniformly chosen element. Raises on empty arrays. *)
+
+val pick_weighted : t -> (int * 'a) list -> 'a
+(** [pick_weighted t choices] draws proportionally to the integer weights.
+    Raises [Invalid_argument] on an empty list or non-positive total. *)

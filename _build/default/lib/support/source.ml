@@ -1,0 +1,68 @@
+type t = { name : string; text : string; mutable line_starts : int array option }
+
+type location = { line : int; col : int }
+
+let of_string ?(name = "<string>") text = { name; text; line_starts = None }
+
+let read_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | text -> Ok (of_string ~name:path text)
+  | exception Sys_error msg -> Error msg
+
+let name s = s.name
+let text s = s.text
+let length s = String.length s.text
+
+(* Offsets of the first byte of every line, computed on first use. *)
+let line_starts s =
+  match s.line_starts with
+  | Some a -> a
+  | None ->
+      let acc = ref [ 0 ] in
+      String.iteri (fun i c -> if c = '\n' then acc := (i + 1) :: !acc) s.text;
+      let a = Array.of_list (List.rev !acc) in
+      s.line_starts <- Some a;
+      a
+
+let line_count s = Array.length (line_starts s)
+
+let location s off =
+  let off = max 0 (min off (String.length s.text)) in
+  let starts = line_starts s in
+  (* Binary search for the last line start <= off. *)
+  let rec go lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi + 1) / 2 in
+      if starts.(mid) <= off then go mid hi else go lo (mid - 1)
+  in
+  let line = go 0 (Array.length starts - 1) in
+  { line = line + 1; col = off - starts.(line) + 1 }
+
+let line_text s n =
+  let starts = line_starts s in
+  if n < 1 || n > Array.length starts then invalid_arg "Source.line_text";
+  let start = starts.(n - 1) in
+  let stop =
+    if n < Array.length starts then starts.(n) else String.length s.text
+  in
+  let stop = if stop > start && s.text.[stop - 1] = '\n' then stop - 1 else stop in
+  let stop = if stop > start && s.text.[stop - 1] = '\r' then stop - 1 else stop in
+  String.sub s.text start (stop - start)
+
+let slice s sp =
+  let lo = max 0 (Span.start sp) in
+  let hi = min (String.length s.text) (Span.stop sp) in
+  if hi <= lo then "" else String.sub s.text lo (hi - lo)
+
+let pp_location s ppf off =
+  let { line; col } = location s off in
+  Format.fprintf ppf "%s:%d:%d" s.name line col
+
+let pp_excerpt s ppf sp =
+  let { line; col } = location s (Span.start sp) in
+  let text = line_text s line in
+  let width = max 1 (min (Span.length sp) (String.length text - col + 1)) in
+  Format.fprintf ppf "@[<v>%s@,%s%s@]" text
+    (String.make (col - 1) ' ')
+    (String.make width '^')

@@ -1,0 +1,44 @@
+(** Named source texts with line/column resolution.
+
+    A [Source.t] wraps the raw text of a grammar file or parser input
+    together with a display name and a lazily built index of line starts,
+    so byte offsets (and {!Span.t} values) can be rendered as
+    [file:line:col] locations and quoted excerpts. *)
+
+type t
+
+type location = {
+  line : int;  (** 1-based line number *)
+  col : int;  (** 1-based column (byte) number *)
+}
+
+val of_string : ?name:string -> string -> t
+(** [of_string ~name text] is a source called [name] (default
+    ["<string>"]) holding [text]. *)
+
+val read_file : string -> (t, string) result
+(** [read_file path] reads [path] into a source named [path]. *)
+
+val name : t -> string
+val text : t -> string
+val length : t -> int
+
+val location : t -> int -> location
+(** [location src off] resolves byte offset [off] (clamped to the text) to
+    a line/column pair. *)
+
+val line_count : t -> int
+
+val line_text : t -> int -> string
+(** [line_text src n] is the text of 1-based line [n], without its
+    terminating newline. Raises [Invalid_argument] if out of range. *)
+
+val slice : t -> Span.t -> string
+(** [slice src sp] is the text covered by [sp], clamped to the source. *)
+
+val pp_location : t -> Format.formatter -> int -> unit
+(** [pp_location src ppf off] prints ["name:line:col"]. *)
+
+val pp_excerpt : t -> Format.formatter -> Span.t -> unit
+(** [pp_excerpt src ppf sp] prints the first line touched by [sp] with a
+    caret marker underneath, as compilers do. *)

@@ -1,0 +1,27 @@
+type t = { start_ : int; stop : int }
+
+let v ~start_ ~stop =
+  if start_ < 0 then invalid_arg "Span.v: negative start";
+  if stop < start_ then invalid_arg "Span.v: stop before start";
+  { start_; stop }
+
+let point i = v ~start_:i ~stop:i
+let dummy = { start_ = 0; stop = 0 }
+let start s = s.start_
+let stop s = s.stop
+let length s = s.stop - s.start_
+let is_dummy s = s.start_ = 0 && s.stop = 0
+
+let union a b =
+  if is_dummy a then b
+  else if is_dummy b then a
+  else { start_ = min a.start_ b.start_; stop = max a.stop b.stop }
+
+let contains s i = i >= s.start_ && i < s.stop
+let equal a b = a.start_ = b.start_ && a.stop = b.stop
+
+let compare a b =
+  let c = Int.compare a.start_ b.start_ in
+  if c <> 0 then c else Int.compare a.stop b.stop
+
+let pp ppf s = Format.fprintf ppf "[%d,%d)" s.start_ s.stop

@@ -1,0 +1,37 @@
+(** Half-open byte ranges into a source text.
+
+    A span [{start_; stop}] covers offsets [start_ <= i < stop]. Spans are
+    the unit of location information threaded through the module-language
+    AST, the PEG IR and diagnostics. *)
+
+type t = private { start_ : int; stop : int }
+
+val v : start_:int -> stop:int -> t
+(** [v ~start_ ~stop] is the span from [start_] (inclusive) to [stop]
+    (exclusive). Raises [Invalid_argument] if [start_ < 0] or
+    [stop < start_]. *)
+
+val point : int -> t
+(** [point i] is the empty span at offset [i]. *)
+
+val dummy : t
+(** [dummy] is the empty span at offset 0, for synthesized nodes. *)
+
+val start : t -> int
+val stop : t -> int
+
+val length : t -> int
+(** [length s] is the number of bytes covered by [s]. *)
+
+val is_dummy : t -> bool
+
+val union : t -> t -> t
+(** [union a b] is the smallest span covering both [a] and [b]; dummy spans
+    are absorbed. *)
+
+val contains : t -> int -> bool
+(** [contains s i] is true when offset [i] lies inside [s]. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Builder Config Diagnostic Emit Grammar Grammars List Pipeline Printf Production Rats String

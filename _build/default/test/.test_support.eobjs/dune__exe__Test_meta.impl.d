@@ -1,0 +1,1 @@
+test/test_meta.ml: Alcotest Attr Builder Charset Diagnostic Expr Grammar Grammars List Meta_parser Meta_print Module_ast Pretty Rats Source Span String

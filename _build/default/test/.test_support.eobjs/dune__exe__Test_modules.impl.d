@@ -1,0 +1,1 @@
+test/test_modules.ml: Alcotest Diagnostic Engine Grammar List Meta_parser Module_ast Printf Production Rats Resolve Result String Value

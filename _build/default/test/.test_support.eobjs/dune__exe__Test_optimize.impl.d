@@ -1,0 +1,1 @@
+test/test_optimize.ml: Alcotest Analysis Attr Builder Config Desugar Engine Expr Grammar Grammars List Parse_error Passes Pipeline Printf Production Rats Rng Stats Value

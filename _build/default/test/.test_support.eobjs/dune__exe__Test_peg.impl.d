@@ -1,0 +1,1 @@
+test/test_peg.ml: Alcotest Analysis Attr Builder Charset Diagnostic Expr Format Grammar Grammars Lint List Pretty Production Rats Span String Value

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Attr Builder Config Diagnostic Engine Grammar Grammars List Parse_error Printf Rats Result Span Stats String Value

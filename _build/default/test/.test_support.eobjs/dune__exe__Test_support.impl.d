@@ -1,0 +1,1 @@
+test/test_support.ml: Alcotest Diagnostic Format List Rats Rng Source Span String

@@ -1,0 +1,98 @@
+(* Black-box CLI tests: run the built rml binary the way a user would.
+   Paths are relative to the build sandbox, where dune materializes the
+   declared dependencies. *)
+
+let rml = "../../bin/rml.exe"
+let tutorial = "../../grammars/tutorial.rats"
+
+let run args =
+  let cmd = Printf.sprintf "%s %s 2>&1" rml args in
+  let ic = Unix.open_process_in cmd in
+  let buf = Buffer.create 1024 in
+  (try
+     while true do
+       Buffer.add_channel buf ic 1
+     done
+   with End_of_file -> ());
+  let status = Unix.close_process_in ic in
+  let code = match status with Unix.WEXITED n -> n | _ -> 255 in
+  (code, Buffer.contents buf)
+
+let contains s sub =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let check = Alcotest.check
+let test name f = Alcotest.test_case name `Quick f
+
+let write_temp contents =
+  let path = Filename.temp_file "rml_cli" ".txt" in
+  Out_channel.with_open_bin path (fun oc -> output_string oc contents);
+  path
+
+let tests =
+  [
+    test "analyze a grammar file" (fun () ->
+        let code, out = run (Printf.sprintf "analyze %s -r tutorial.Ini" tutorial) in
+        check Alcotest.int "exit" 0 code;
+        check Alcotest.bool "well-formed" true (contains out "well-formed:      yes"));
+    test "parse an input file" (fun () ->
+        let ini = write_temp "[a]\nx = 1\n" in
+        let code, out =
+          run (Printf.sprintf "parse %s -r tutorial.Ini -i %s" tutorial ini)
+        in
+        Sys.remove ini;
+        check Alcotest.int "exit" 0 code;
+        check Alcotest.bool "tree" true (contains out "(Pair key:\"x\""));
+    test "parse errors exit nonzero with a located message" (fun () ->
+        let ini = write_temp "[a\n" in
+        let code, out =
+          run (Printf.sprintf "parse %s -r tutorial.Ini -i %s" tutorial ini)
+        in
+        Sys.remove ini;
+        check Alcotest.int "exit" 1 code;
+        check Alcotest.bool "caret" true (String.contains out '^'));
+    test "compose prints a reparsable grammar" (fun () ->
+        let code, out =
+          run (Printf.sprintf "compose %s -r tutorial.Ini" tutorial)
+        in
+        check Alcotest.int "exit" 0 code;
+        check Alcotest.bool "start" true (contains out "// start: Ini"));
+    test "generate emits OCaml" (fun () ->
+        let code, out =
+          run (Printf.sprintf "generate %s -r tutorial.Ini -O" tutorial)
+        in
+        check Alcotest.int "exit" 0 code;
+        check Alcotest.bool "entry" true (contains out "let parse "));
+    test "builtin grammars work end to end" (fun () ->
+        let expr = write_temp "1 + 2 * 3" in
+        let code, out = run (Printf.sprintf "parse -b calc -i %s --stats" expr) in
+        Sys.remove expr;
+        check Alcotest.int "exit" 0 code;
+        check Alcotest.bool "stats" true (contains out "invocations="));
+    test "fmt round-trips the tutorial" (fun () ->
+        let code, out = run (Printf.sprintf "fmt %s" tutorial) in
+        check Alcotest.int "exit" 0 code;
+        check Alcotest.bool "modules" true (contains out "module tutorial.Ini"));
+    test "modules --dot emits graphviz" (fun () ->
+        let code, out = run "modules -b minic-ext --dot" in
+        check Alcotest.int "exit" 0 code;
+        check Alcotest.bool "digraph" true (contains out "digraph modules");
+        check Alcotest.bool "modify edge" true (contains out "modify"));
+    test "parse --trace prints nested events" (fun () ->
+        let expr = write_temp "1+2" in
+        let code, out =
+          run (Printf.sprintf "parse -b calc -i %s -q --trace -c packrat" expr)
+        in
+        Sys.remove expr;
+        check Alcotest.int "exit" 0 code;
+        check Alcotest.bool "enter" true (contains out "> Sum @0");
+        check Alcotest.bool "exit event" true (contains out "< Sum @0"));
+    test "unknown builtin is a clean error" (fun () ->
+        let code, out = run "analyze -b nonsense" in
+        check Alcotest.int "exit" 1 code;
+        check Alcotest.bool "message" true (contains out "unknown built-in"));
+  ]
+
+let () = Alcotest.run "cli" [ ("rml", tests) ]

@@ -1,0 +1,69 @@
+/* A realistic MiniC program: a singly linked list with insertion sort,
+   written the way a human writes C — mixed formatting, comments,
+   typedefs used before and after, casts, switch dispatch. */
+
+typedef unsigned long size_t;
+typedef int value_t;
+
+struct node {
+    value_t value;
+    struct node *next;
+};
+
+typedef struct node *list_t;
+
+int g_allocs = 0;
+
+list_t cons(value_t v, list_t tail) {
+    list_t cell = (list_t) alloc(sizeof(struct node));
+    g_allocs++;
+    cell->value = v;
+    cell->next = tail;
+    return cell;
+}
+
+size_t length(list_t xs) {
+    size_t n = 0;
+    while (xs) { n++; xs = xs->next; }
+    return n;
+}
+
+/* classic insertion into a sorted list */
+list_t insert_sorted(list_t xs, value_t v) {
+    if (!xs || v <= xs->value)
+        return cons(v, xs);
+    xs->next = insert_sorted(xs->next, v);
+    return xs;
+}
+
+list_t sort(list_t xs) {
+    list_t out = 0;
+    for (; xs; xs = xs->next)
+        out = insert_sorted(out, xs->value);
+    return out;
+}
+
+int classify(value_t v) {
+    switch (v % 3) {
+        case 0: return 'z';
+        case 1:
+        case 2: return 'p';
+        default: break;
+    }
+    /* unreachable, but the parser does not know that */
+    retry:
+    if (v < 0) { v = -v; goto retry; }
+    return (int) v;
+}
+
+int main() {
+    list_t xs = 0;
+    int i;
+    for (i = 0; i < 100; i++)
+        xs = cons((value_t)(i * 37 % 100), xs);
+    xs = sort(xs);
+    do {
+        g_allocs--;
+    } while (g_allocs > 0);
+    return length(xs) == 100 && classify(42) == 'z' ? 0 : 1;
+}

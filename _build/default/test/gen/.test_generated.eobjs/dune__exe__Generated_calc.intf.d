@@ -1,0 +1,1 @@
+test/gen/generated_calc.mli: Rats_peg

@@ -1,0 +1,1 @@
+test/gen/generated_java.mli: Rats_peg

@@ -1,0 +1,1 @@
+test/gen/generated_json.ml: Array Hashtbl List Map Printf Rats_peg Rats_support Set Span String Value

@@ -1,0 +1,1 @@
+test/gen/generated_json.mli: Rats_peg

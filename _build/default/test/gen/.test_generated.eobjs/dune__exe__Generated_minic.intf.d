@@ -1,0 +1,1 @@
+test/gen/generated_minic.mli: Rats_peg

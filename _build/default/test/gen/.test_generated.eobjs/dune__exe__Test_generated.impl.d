@@ -1,0 +1,1 @@
+test/gen/test_generated.ml: Alcotest Config Engine Generated_calc Generated_java Generated_json Generated_minic Grammars List Parse_error Pipeline Rats Result Rng String Value

@@ -1,0 +1,1 @@
+test/gen/test_generated.mli:

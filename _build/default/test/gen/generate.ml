@@ -1,0 +1,22 @@
+(* Emits the parsers that test_generated exercises. Run by a dune rule. *)
+
+let emit path g =
+  match
+    Rats.Emit.grammar_module ~header:"test parser" (Rats.Pipeline.optimize g)
+  with
+  | Ok code ->
+      Out_channel.with_open_bin path (fun oc -> output_string oc code);
+      (* The fixed interface must typecheck against every generated
+         module; dune compiles the pair. *)
+      Out_channel.with_open_bin (path ^ "i") (fun oc ->
+          output_string oc (Rats.Emit.interface ()))
+  | Error (d :: _) ->
+      prerr_endline (Rats.Diagnostic.to_string d);
+      exit 1
+  | Error [] -> assert false
+
+let () =
+  emit "generated_calc.ml" (Rats.Grammars.Calc.grammar ());
+  emit "generated_json.ml" (Rats.Grammars.Json.grammar ());
+  emit "generated_minic.ml" (Rats.Grammars.Minic.grammar ());
+  emit "generated_java.ml" (Rats.Grammars.Minijava.grammar ())

@@ -1,0 +1,92 @@
+(* Tests for the parser generator. Structural checks on the emitted
+   source live here; the generated-code *execution* tests are in
+   test/gen, where a dune rule compiles a generated parser and runs it
+   against the interpreter. *)
+
+open Rats
+
+let check = Alcotest.check
+let test name f = Alcotest.test_case name `Quick f
+
+let contains s sub =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let gen ?config g =
+  match Emit.grammar_module ?config g with
+  | Ok code -> code
+  | Error (d :: _) -> Alcotest.failf "codegen: %s" (Diagnostic.to_string d)
+  | Error [] -> assert false
+
+let calc () = Pipeline.optimize (Grammars.Calc.grammar ())
+
+let structure_tests =
+  let open Builder in
+  [
+    test "module exposes parse entry points" (fun () ->
+        let code = gen (calc ()) in
+        check Alcotest.bool "parse" true (contains code "let parse ");
+        check Alcotest.bool "parse_from" true (contains code "let parse_from ");
+        check Alcotest.bool "start recorded" true
+          (contains code "let start_production = \"Calculation\""));
+    test "every production becomes a function" (fun () ->
+        let g = calc () in
+        let code = gen g in
+        List.iter
+          (fun (p : Production.t) ->
+            check Alcotest.bool p.name true
+              (contains code (Printf.sprintf "(%S, " p.name)))
+          (Grammar.productions g));
+    test "function names are mangled to valid idents" (fun () ->
+        check Alcotest.string "mangled" "p_3_Pow_Atom"
+          (Emit.function_name 3 "Pow.Atom");
+        check Alcotest.string "dollar" "p_0_S_rep1"
+          (Emit.function_name 0 "S$rep1"));
+    test "chunked config emits chunks, hashtable emits table" (fun () ->
+        let g = Grammar.make_exn [ prod "S" (c 'a') ] in
+        let chunked = gen ~config:Config.optimized g in
+        check Alcotest.bool "chunks" true (contains chunked "st.chunks.(pos)");
+        let hashed = gen ~config:Config.packrat g in
+        check Alcotest.bool "table" true (contains hashed "st.table_memo"));
+    test "no_memo config emits no memo machinery in wrappers" (fun () ->
+        let g = Grammar.make_exn [ prod "S" (c 'a') ] in
+        let code = gen ~config:Config.naive g in
+        check Alcotest.bool "no lookup" false (contains code "chunk.res"));
+    test "dispatch compiles FIRST sets into match patterns" (fun () ->
+        let g =
+          Grammar.make_exn [ prod "S" (s "ax" <|> s "bx") ]
+        in
+        let with_dispatch = gen ~config:(Config.v ~dispatch:true ()) g in
+        check Alcotest.bool "pattern guard" true
+          (contains with_dispatch "-> true | _ -> false"));
+    test "class ranges become OCaml char patterns" (fun () ->
+        let g = Grammar.make_exn [ prod "S" (r 'a' 'z') ] in
+        check Alcotest.bool "range pattern" true
+          (contains (gen g) "'a' .. 'z'"));
+    test "stateful productions get version guards" (fun () ->
+        let g =
+          Grammar.make_exn ~start:"S"
+            [ prod "S" (record "T" (c 'a') @: member "T" (c 'a')) ]
+        in
+        let code = gen ~config:Config.packrat g in
+        check Alcotest.bool "guard" true (contains code "= st.version"));
+    test "left-recursive grammar rejected" (fun () ->
+        let g = Grammar.make_exn [ prod "E" (e "E" @: c '+' <|> c 'n') ] in
+        match Emit.grammar_module g with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "expected rejection");
+    test "header comment included" (fun () ->
+        let g = Grammar.make_exn [ prod "S" (c 'a') ] in
+        let code = gen ~config:Config.naive g in
+        ignore code;
+        match Emit.grammar_module ~header:"hello world" g with
+        | Ok code -> check Alcotest.bool "header" true (contains code "hello world")
+        | Error _ -> Alcotest.fail "codegen failed");
+    test "minic extended grammar generates" (fun () ->
+        let g = Pipeline.optimize (Grammars.Minic.extended_grammar ()) in
+        let code = gen g in
+        check Alcotest.bool "non-trivial" true (String.length code > 10_000));
+  ]
+
+let () = Alcotest.run "codegen" [ ("structure", structure_tests) ]

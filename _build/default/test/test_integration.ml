@@ -1,0 +1,250 @@
+(* End-to-end flows through the public facade: the paths a downstream
+   user actually takes, including the paper's headline scenario — extend
+   a published language with your own module without touching it. *)
+
+open Rats
+
+let check = Alcotest.check
+let test name f = Alcotest.test_case name `Quick f
+
+let contains s sub =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let ok = function
+  | Ok v -> v
+  | Error (d :: _) -> Alcotest.failf "unexpected error: %s" (Diagnostic.to_string d)
+  | Error [] -> Alcotest.fail "unexpected empty error"
+
+let facade_tests =
+  [
+    test "string to parse in four calls" (fun () ->
+        let modules =
+          ok
+            (modules_of_string
+               "module Greeting; public Hello = \"hello\" ' '* \"world\" !.;")
+        in
+        let grammar = ok (compose ~root:"Greeting" modules) in
+        let parser = ok (parser_of grammar) in
+        check Alcotest.bool "accepts" true
+          (Result.is_ok (parse parser "hello   world"));
+        check Alcotest.bool "rejects" true
+          (Result.is_error (parse parser "hello worlds")));
+    test "modules_of_file round trip" (fun () ->
+        let path = Filename.temp_file "rats" ".rats" in
+        Out_channel.with_open_bin path (fun oc ->
+            output_string oc "module FromDisk; public X = 'x';");
+        Fun.protect
+          ~finally:(fun () -> Sys.remove path)
+          (fun () ->
+            let modules = ok (modules_of_file path) in
+            check Alcotest.int "one module" 1 (List.length modules)));
+    test "missing file is a diagnostic, not an exception" (fun () ->
+        match modules_of_file "/no/such/file.rats" with
+        | Error (_ :: _) -> ()
+        | _ -> Alcotest.fail "expected diagnostics");
+    test "generate produces compilable-looking source" (fun () ->
+        let g = Grammars.Calc.grammar () in
+        let code = ok (generate g) in
+        check Alcotest.bool "has entry" true (contains code "let parse");
+        check Alcotest.bool "warns disabled" true (contains code "[@@@warning"));
+    test "composition errors carry spans into the source text" (fun () ->
+        let text = "module M; public X = Ghost;" in
+        let modules = ok (modules_of_string text) in
+        match compose ~root:"M" modules with
+        | Error (d :: _) ->
+            check Alcotest.bool "mentions Ghost" true
+              (contains d.Diagnostic.message "Ghost")
+        | _ -> Alcotest.fail "expected failure");
+  ]
+
+(* The user story behind experiment E6 and the paper's introduction. *)
+let extension_story_tests =
+  [
+    test "a user module extends the shipped calculator" (fun () ->
+        (* The user writes ONE module; calc.* ships with the library. *)
+        let user_module =
+          {|
+module user.Percent(S);
+modify calc.Pow(S) as Base;
+import calc.Number(S) as N;
+
+// a postfix percent operator: 50% == 0.5
+Factor += first <Percent> @Percent(@Num(N.Number) void:'%' S.Spacing);
+|}
+        in
+        let lib =
+          Resolve.library_exn
+            (ok (modules_of_string (List.hd Grammars.Calc.texts)))
+        in
+        let lib =
+          match Resolve.extend lib (ok (modules_of_string user_module)) with
+          | Ok l -> l
+          | Error _ -> Alcotest.fail "extend failed"
+        in
+        match
+          Resolve.resolve lib ~root:"user.Percent" ~args:[ "calc.Space" ] ()
+        with
+        | Error (d :: _) -> Alcotest.failf "%s" (Diagnostic.to_string d)
+        | Error [] -> assert false
+        | Ok (g, _) ->
+            let eng = Engine.prepare_exn g in
+            check Alcotest.bool "new syntax" true
+              (Engine.accepts eng ~start:"Sum" "50% * 2");
+            check Alcotest.bool "old syntax" true
+              (Engine.accepts eng ~start:"Sum" "2**3 + 1"));
+    test "base modules remain untouched by the extension" (fun () ->
+        (* Composing the original calc.Main after the extension exists
+           still yields a grammar without Percent. *)
+        let g = Grammars.Calc.grammar () in
+        check Alcotest.bool "no percent" false (Grammar.mem g "Percent"));
+    test "minic extension module line counts are small" (fun () ->
+        (* The E6 claim: each extension is a handful of lines, the base
+           is untouched. *)
+        List.iter
+          (fun text ->
+            let lines =
+              List.length
+                (List.filter
+                   (fun l ->
+                     String.trim l <> ""
+                     && not (String.length (String.trim l) > 1
+                             && String.sub (String.trim l) 0 2 = "//"))
+                   (String.split_on_char '\n' text))
+            in
+            check Alcotest.bool "under 20 lines" true (lines <= 20))
+          [ List.nth Grammars.Minic.extension_texts 0;
+            List.nth Grammars.Minic.extension_texts 1;
+            List.nth Grammars.Minic.extension_texts 2 ]);
+  ]
+
+let error_report_tests =
+  [
+    test "parse errors render with caret excerpts" (fun () ->
+        let g = Grammars.Minic.grammar () in
+        let eng = Engine.prepare_exn g in
+        let input = "int f() {\n  return 1 +;\n}\n" in
+        match Engine.parse eng input with
+        | Error e ->
+            let src = Source.of_string ~name:"bad.c" input in
+            let rendered = Parse_error.to_string ~source:src e in
+            check Alcotest.bool "file:line:col" true (contains rendered "bad.c:2");
+            check Alcotest.bool "caret" true (String.contains rendered '^')
+        | Ok _ -> Alcotest.fail "expected parse error");
+    test "error location is the farthest point, not the start" (fun () ->
+        let g = Grammars.Json.grammar () in
+        let eng = Engine.prepare_exn g in
+        match Engine.parse eng {|{"a": [1, 2, }|} with
+        | Error e ->
+            check Alcotest.bool "deep" true (e.Parse_error.position >= 13)
+        | Ok _ -> Alcotest.fail "expected parse error");
+    test "composition diagnostics point at grammar source" (fun () ->
+        let text =
+          "module Base; public X = <A> 'a';\n\
+           module Ext; modify Base;\n\
+           X += before <Missing> <B> 'b';"
+        in
+        let lib = Resolve.library_exn (ok (modules_of_string text)) in
+        match Resolve.resolve lib ~root:"Ext" () with
+        | Error (d :: _) ->
+            check Alcotest.bool "span" true (not (Span.is_dummy d.Diagnostic.span))
+        | _ -> Alcotest.fail "expected failure");
+  ]
+
+(* Cross-checks between independently implemented pipelines. *)
+let consistency_tests =
+  [
+    test "interpreter and generated-source stats agree on slot budget" (fun () ->
+        let g = Pipeline.optimize (Grammars.Minic.grammar ()) in
+        let eng = Engine.prepare_exn ~config:Config.optimized g in
+        let code =
+          match Emit.grammar_module ~config:Config.optimized g with
+          | Ok c -> c
+          | Error _ -> Alcotest.fail "codegen"
+        in
+        (* The generated chunk width must equal the engine's slot count. *)
+        check Alcotest.bool "width" true
+          (contains code
+             (Printf.sprintf "Array.make %d 0" (Engine.memo_slots eng))));
+    test "CLI builtins cover every shipped grammar" (fun () ->
+        List.iter
+          (fun texts ->
+            ignore (Resolve.library_exn (List.concat_map (fun t -> ok (modules_of_string t)) texts)))
+          [
+            Grammars.Calc.texts; Grammars.Json.texts; Grammars.Minic.texts;
+            Grammars.Minic.texts @ Grammars.Minic.extension_texts;
+            Grammars.Path.texts;
+          ]);
+    test "version string is well-formed" (fun () ->
+        check Alcotest.bool "dotted" true (String.contains version '.'));
+  ]
+
+let slow name f = Alcotest.test_case name `Slow f
+
+let roundtrip_tests =
+  [
+    test "composed grammar survives print -> reparse -> compose" (fun () ->
+        (* Serialize the flattened MiniC grammar as one module and check
+           the re-composed parser accepts the same corpus. *)
+        let g = Grammars.Minic.grammar () in
+        let text = "module Flat;\n" ^ Pretty.grammar_to_string g in
+        let modules = ok (modules_of_string text) in
+        let g' = ok (compose ~root:"Flat" modules) in
+        (match Resolve.library modules with Ok _ -> () | Error _ -> ());
+        let g' =
+          match Grammar.with_start g' (Grammar.start g) with
+          | Ok g -> g
+          | Error _ -> Alcotest.fail "start lost in round trip"
+        in
+        let e1 = Engine.prepare_exn g and e2 = Engine.prepare_exn g' in
+        for seed = 1 to 5 do
+          let src = Grammars.Corpus.minic (Rng.create seed) ~functions:2 in
+          check Alcotest.bool "same acceptance" (Engine.accepts e1 src)
+            (Engine.accepts e2 src)
+        done);
+    slow "soak: a quarter-megabyte program parses" (fun () ->
+        let g = Pipeline.optimize (Grammars.Minic.grammar ()) in
+        let eng = Engine.prepare_exn g in
+        let src = Grammars.Corpus.minic (Rng.create 99) ~functions:800 in
+        check Alcotest.bool "big" true (String.length src > 250_000);
+        match Engine.parse eng src with
+        | Ok v ->
+            check Alcotest.bool "lots of nodes" true (Value.count_nodes v > 100_000)
+        | Error e -> Alcotest.failf "soak: %s" (Parse_error.message e));
+  ]
+
+let parallel_tests =
+  [
+    test "one engine parses concurrently from four domains" (fun () ->
+        (* Prepared engines are immutable; all mutable parse state lives
+           in the per-run record, so the same engine can serve parallel
+           domains (OCaml 5). *)
+        let g = Pipeline.optimize (Grammars.Json.grammar ()) in
+        let eng = Engine.prepare_exn g in
+        let domains =
+          List.init 4 (fun i ->
+              Domain.spawn (fun () ->
+                  let rng = Rng.create (1000 + i) in
+                  let ok = ref true in
+                  for _ = 1 to 50 do
+                    let doc = Grammars.Corpus.json rng ~size:30 in
+                    if not (Engine.accepts eng doc) then ok := false
+                  done;
+                  !ok))
+        in
+        List.iter
+          (fun d -> check Alcotest.bool "domain ok" true (Domain.join d))
+          domains);
+  ]
+
+let () =
+  Alcotest.run "integration"
+    [
+      ("facade", facade_tests);
+      ("extension-story", extension_story_tests);
+      ("errors", error_report_tests);
+      ("consistency", consistency_tests);
+      ("roundtrip", roundtrip_tests);
+      ("parallel", parallel_tests);
+    ]

@@ -1,0 +1,240 @@
+(* Tests for the module-language front end: lexer, parser and the
+   print/parse round-trip. *)
+
+open Rats
+
+let check = Alcotest.check
+let test name f = Alcotest.test_case name `Quick f
+let expr_eq = Alcotest.testable (fun ppf e -> Pretty.pp_expr ppf e) Expr.equal
+
+let parse_expr_ok text =
+  match Meta_parser.parse_expr text with
+  | Ok e -> e
+  | Error d -> Alcotest.failf "parse_expr %S: %s" text (Diagnostic.to_string d)
+
+let parse_expr_err text =
+  match Meta_parser.parse_expr text with
+  | Ok _ -> Alcotest.failf "expected %S to fail" text
+  | Error d -> d.Diagnostic.message
+
+let parse_module_ok text =
+  match Meta_parser.parse_module (Source.of_string text) with
+  | Ok m -> m
+  | Error d -> Alcotest.failf "parse_module: %s" (Diagnostic.to_string d)
+
+let contains s sub =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+(* --- expressions ------------------------------------------------------------ *)
+
+let expr_tests =
+  let open Builder in
+  let roundtrips name text expected =
+    test name (fun () -> check expr_eq "parsed" expected (parse_expr_ok text))
+  in
+  [
+    roundtrips "literal char" "'a'" (c 'a');
+    roundtrips "literal string" "\"abc\"" (s "abc");
+    roundtrips "escapes in strings" {|"a\n\t\\\"b"|} (s "a\n\t\\\"b");
+    roundtrips "hex escape" {|'\x41'|} (c 'A');
+    roundtrips "class with ranges" "[a-cz]" (cls (Charset.of_string "abcz"));
+    roundtrips "negated class" "[^a]" (cls (Charset.complement (Charset.singleton 'a')));
+    roundtrips "class with escaped bracket" {|[\]\-]|} (cls (Charset.of_string "]-"));
+    roundtrips "any" "." any;
+    roundtrips "empty parens" "()" eps;
+    roundtrips "sequence" "'a' 'b'" (c 'a' @: c 'b');
+    roundtrips "choice groups sequences" "'a' 'b' / 'c'"
+      (c 'a' @: c 'b' <|> c 'c');
+    roundtrips "parens override" "'a' ('b' / 'c')" (c 'a' @: (c 'b' <|> c 'c'));
+    roundtrips "suffixes" "'a'* 'b'+ 'c'?" (star (c 'a') @: plus (c 'b') @: opt (c 'c'));
+    roundtrips "double suffix" "'a'*?" (opt (star (c 'a')));
+    roundtrips "predicates" "&'a' !'b'" (amp (c 'a') @: bang (c 'b'));
+    roundtrips "bind" "x:'a'" ("x" |: c 'a');
+    roundtrips "void drop" "void:'a'" (void (c 'a'));
+    roundtrips "token capture" "$('a' 'b')" (tok (c 'a' @: c 'b'));
+    roundtrips "node constructor" "@N('a')" (node "N" (c 'a'));
+    roundtrips "splice" "%splice('a')" (Expr.splice (c 'a'));
+    roundtrips "fail" {|%fail("nope")|} (fail "nope");
+    roundtrips "record" "%record(T, 'a')" (record "T" (c 'a'));
+    roundtrips "member and absent" "%member(T, 'a') / %absent(T, 'b')"
+      (member "T" (c 'a') <|> absent "T" (c 'b'));
+    roundtrips "labeled alternatives" "<A> 'a' / <B> 'b'"
+      (label "A" (c 'a') <|> label "B" (c 'b'));
+    roundtrips "qualified reference" "Mod.Prod" (e "Mod.Prod");
+    roundtrips "adjacent dot is qualification" "A.B" (e "A.B");
+    roundtrips "spaced dot is any" "A . B" (e "A" @: any @: e "B");
+    test "trailing garbage rejected" (fun () ->
+        ignore (parse_expr_err "'a' )"));
+    test "unterminated string rejected" (fun () ->
+        check Alcotest.bool "msg" true
+          (contains (parse_expr_err "\"abc") "unterminated"));
+    test "unterminated class rejected" (fun () ->
+        check Alcotest.bool "msg" true
+          (contains (parse_expr_err "[abc") "unterminated"));
+    test "bad escape rejected" (fun () ->
+        check Alcotest.bool "msg" true
+          (contains (parse_expr_err {|"\q"|}) "escape"));
+    test "stray percent rejected" (fun () ->
+        ignore (parse_expr_err "% 'a'"));
+    test "unknown percent operator rejected" (fun () ->
+        check Alcotest.bool "msg" true
+          (contains (parse_expr_err "%bogus('a')") "bogus"));
+  ]
+
+(* --- modules ------------------------------------------------------------------ *)
+
+let module_tests =
+  [
+    test "module header with params" (fun () ->
+        let m = parse_module_ok "module a.b.C(X, Y); P = 'p';" in
+        check Alcotest.string "name" "a.b.C" m.Module_ast.name;
+        check (Alcotest.list Alcotest.string) "params" [ "X"; "Y" ]
+          m.Module_ast.params);
+    test "dependencies parsed in order" (fun () ->
+        let m =
+          parse_module_ok
+            "module M; import A; modify B(X) as BB; instantiate C as CC; P = 'p';"
+        in
+        match m.Module_ast.deps with
+        | [ d1; d2; d3 ] ->
+            check Alcotest.bool "import" true (d1.Module_ast.dep_kind = Module_ast.Import);
+            check Alcotest.bool "modify" true (d2.Module_ast.dep_kind = Module_ast.Modify);
+            check Alcotest.string "args" "X" (List.hd d2.Module_ast.args);
+            check Alcotest.string "alias" "BB" (Module_ast.dep_alias d2);
+            check Alcotest.string "instantiate alias" "CC" (Module_ast.dep_alias d3)
+        | ds -> Alcotest.failf "expected 3 deps, got %d" (List.length ds));
+    test "attributes parsed in any order" (fun () ->
+        let m =
+          parse_module_ok "module M; transient public void Sp = ' '*;"
+        in
+        match m.Module_ast.items with
+        | [ Module_ast.Define { attrs; _ } ] ->
+            check Alcotest.bool "public" true (attrs.Attr.visibility = Attr.Public);
+            check Alcotest.bool "transient" true (attrs.Attr.memo = Attr.Memo_never);
+            check Alcotest.bool "void" true (attrs.Attr.kind = Attr.Void)
+        | _ -> Alcotest.fail "expected one Define");
+    test "String and generic kinds" (fun () ->
+        let m = parse_module_ok "module M; String A = 'a'; generic B = 'b';" in
+        match m.Module_ast.items with
+        | [ Module_ast.Define { attrs = a; _ }; Module_ast.Define { attrs = b; _ } ] ->
+            check Alcotest.bool "text" true (a.Attr.kind = Attr.Text);
+            check Alcotest.bool "generic" true (b.Attr.kind = Attr.Generic)
+        | _ -> Alcotest.fail "expected two Defines");
+    test "override item with and without attrs" (fun () ->
+        let m = parse_module_ok "module M; modify B; X := 'x'; void Y := 'y';" in
+        match m.Module_ast.items with
+        | [ Module_ast.Override { attrs = None; _ };
+            Module_ast.Override { attrs = Some a; _ } ] ->
+            check Alcotest.bool "void" true (a.Attr.kind = Attr.Void)
+        | _ -> Alcotest.fail "expected two overrides");
+    test "add item with placements" (fun () ->
+        let m =
+          parse_module_ok
+            "module M; modify B; X += <N> 'n'; X += first <F> 'f'; X += \
+             before <A> <P> 'p'; X += after <A> <Q> 'q';"
+        in
+        let placements =
+          List.filter_map
+            (function
+              | Module_ast.Add { placement; _ } -> Some placement
+              | _ -> None)
+            m.Module_ast.items
+        in
+        check Alcotest.int "four" 4 (List.length placements);
+        check Alcotest.bool "shapes" true
+          (placements
+          = [
+              Module_ast.Append; Module_ast.Prepend; Module_ast.Before "A";
+              Module_ast.After "A";
+            ]));
+    test "remove item with several labels" (fun () ->
+        let m = parse_module_ok "module M; modify B; X -= <A>, <B>;" in
+        match m.Module_ast.items with
+        | [ Module_ast.Remove { labels; _ } ] ->
+            check (Alcotest.list Alcotest.string) "labels" [ "A"; "B" ] labels
+        | _ -> Alcotest.fail "expected Remove");
+    test "attributes on += rejected" (fun () ->
+        match
+          Meta_parser.parse_module
+            (Source.of_string "module M; modify B; void X += 'x';")
+        with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "expected error");
+    test "reserved word as production name rejected" (fun () ->
+        match
+          Meta_parser.parse_module (Source.of_string "module M; import = 'x';")
+        with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "expected error");
+    test "comments are skipped" (fun () ->
+        let m =
+          parse_module_ok
+            "// leading\nmodule M; /* block\n comment */ P = 'p'; // trailing"
+        in
+        check Alcotest.int "items" 1 (List.length m.Module_ast.items));
+    test "multiple modules per source" (fun () ->
+        match Meta_parser.parse_modules_string "module A; X = 'x'; module B; Y = 'y';" with
+        | Ok ms -> check Alcotest.int "two" 2 (List.length ms)
+        | Error _ -> Alcotest.fail "parse failed");
+    test "empty source rejected" (fun () ->
+        match Meta_parser.parse_modules_string "  // nothing\n" with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "expected error");
+    test "missing semicolon diagnosed with location" (fun () ->
+        match Meta_parser.parse_modules_string "module M; P = 'p'" with
+        | Error d -> check Alcotest.bool "span" true (not (Span.is_dummy d.Diagnostic.span))
+        | Ok _ -> Alcotest.fail "expected error");
+  ]
+
+(* --- round trips --------------------------------------------------------------- *)
+
+let roundtrip_module_text text =
+  (* print (parse text) = print (parse (print (parse text))) *)
+  match Meta_parser.parse_modules_string text with
+  | Error d -> Alcotest.failf "initial parse: %s" (Diagnostic.to_string d)
+  | Ok ms ->
+      let printed = String.concat "\n" (List.map Meta_print.module_to_string ms) in
+      (match Meta_parser.parse_modules_string printed with
+      | Error d ->
+          Alcotest.failf "reparse failed: %s\n--- printed ---\n%s"
+            (Diagnostic.to_string d) printed
+      | Ok ms' ->
+          let printed' =
+            String.concat "\n" (List.map Meta_print.module_to_string ms')
+          in
+          check Alcotest.string "stable" printed printed')
+
+let roundtrip_tests =
+  [
+    test "calc grammar round-trips" (fun () ->
+        List.iter roundtrip_module_text Grammars.Calc.texts);
+    test "json grammar round-trips" (fun () ->
+        List.iter roundtrip_module_text Grammars.Json.texts);
+    test "minic grammar round-trips" (fun () ->
+        List.iter roundtrip_module_text Grammars.Minic.texts);
+    test "minic extensions round-trip" (fun () ->
+        List.iter roundtrip_module_text Grammars.Minic.extension_texts);
+    test "pathological grammar round-trips" (fun () ->
+        List.iter roundtrip_module_text Grammars.Path.texts);
+    test "composed grammar pretty output reparses" (fun () ->
+        (* Pretty.pp_grammar output is itself a single anonymous module
+           body; wrap it and reparse. *)
+        let g = Grammars.Calc.grammar () in
+        let text = "module Flat;\n" ^ Pretty.grammar_to_string g in
+        match Meta_parser.parse_modules_string text with
+        | Ok [ m ] ->
+            check Alcotest.int "same production count" (Grammar.length g)
+              (List.length m.Module_ast.items)
+        | Ok _ -> Alcotest.fail "expected one module"
+        | Error d -> Alcotest.failf "reparse: %s" (Diagnostic.to_string d));
+  ]
+
+let () =
+  Alcotest.run "meta"
+    [
+      ("expr", expr_tests);
+      ("module", module_tests);
+      ("roundtrip", roundtrip_tests);
+    ]

@@ -1,0 +1,410 @@
+(* Tests for the grammar-module system: validation, instantiation,
+   modification operators and the binding semantics of composition.
+
+   Modules are built through the textual syntax (the meta parser is the
+   natural authoring surface and is itself covered by test_meta); what is
+   under test here is the resolver. *)
+
+open Rats
+
+let check = Alcotest.check
+let test name f = Alcotest.test_case name `Quick f
+
+let modules_of text =
+  match Meta_parser.parse_modules_string text with
+  | Ok ms -> ms
+  | Error d -> Alcotest.failf "meta parse: %s" (Diagnostic.to_string d)
+
+let compose_ok ?start ?args ~root text =
+  let lib = Resolve.library_exn (modules_of text) in
+  match Resolve.resolve lib ~root ?args ?start () with
+  | Ok (g, stats) -> (g, stats)
+  | Error (d :: _) -> Alcotest.failf "resolve: %s" (Diagnostic.to_string d)
+  | Error [] -> assert false
+
+let compose_err ?args ~root text =
+  match Resolve.library (modules_of text) with
+  | Error (d :: _) -> d.Diagnostic.message
+  | Error [] -> assert false
+  | Ok lib -> (
+      match Resolve.resolve lib ~root ?args () with
+      | Error (d :: _) -> d.Diagnostic.message
+      | Error [] -> assert false
+      | Ok _ -> Alcotest.fail "expected composition to fail")
+
+let accepts g input =
+  Engine.accepts (Engine.prepare_exn g) input
+
+let contains s sub =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+(* --- structural validation ---------------------------------------------------- *)
+
+let validate_tests =
+  [
+    test "two modify deps rejected" (fun () ->
+        let ms =
+          modules_of
+            "module A; X = 'x'; module B; Y = 'y'; module C; modify A; \
+             modify B as BB; Z = 'z';"
+        in
+        let errs = List.concat_map Module_ast.validate ms in
+        check Alcotest.bool "error" true
+          (List.exists
+             (fun (d : Diagnostic.t) ->
+               contains d.message "more than one `modify'")
+             errs));
+    test "modification item without modify rejected" (fun () ->
+        let ms = modules_of "module A; X += 'x';" in
+        check Alcotest.bool "error" true
+          (List.concat_map Module_ast.validate ms <> []));
+    test "alias colliding with parameter rejected" (fun () ->
+        let ms = modules_of "module A(P); import B as P; X = 'x';" in
+        check Alcotest.bool "error" true
+          (List.concat_map Module_ast.validate ms <> []));
+    test "duplicate parameters rejected" (fun () ->
+        let ms = modules_of "module A(P, P); X = 'x';" in
+        check Alcotest.bool "error" true
+          (List.concat_map Module_ast.validate ms <> []));
+    test "unknown qualifier rejected" (fun () ->
+        let ms = modules_of "module A; X = Nowhere.Y;" in
+        check Alcotest.bool "error" true
+          (List.concat_map Module_ast.validate ms <> []));
+    test "duplicate define in one module rejected" (fun () ->
+        let ms = modules_of "module A; X = 'x'; X = 'y';" in
+        check Alcotest.bool "error" true
+          (List.concat_map Module_ast.validate ms <> []));
+    test "duplicate module names rejected by library" (fun () ->
+        match Resolve.library (modules_of "module A; X = 'x'; module A; Y = 'y';") with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "expected error");
+  ]
+
+(* --- basic composition ----------------------------------------------------------- *)
+
+let basic_tests =
+  [
+    test "single module composes" (fun () ->
+        let g, _ = compose_ok ~root:"A" "module A; public X = 'x';" in
+        check Alcotest.string "start" "X" (Grammar.start g);
+        check Alcotest.bool "accepts" true (accepts g "x"));
+    test "import with alias" (fun () ->
+        let g, _ =
+          compose_ok ~root:"M"
+            "module Lib; public D = [0-9]; module M; import Lib as L; public \
+             N = L.D L.D;"
+        in
+        check Alcotest.bool "accepts" true (accepts g "42");
+        check Alcotest.bool "rejects" false (accepts g "4"));
+    test "default alias is the simple name" (fun () ->
+        let g, _ =
+          compose_ok ~root:"M"
+            "module util.Lib; public D = [0-9]; module M; import util.Lib; \
+             public N = Lib.D;"
+        in
+        check Alcotest.bool "accepts" true (accepts g "7"));
+    test "instantiate keyword works like import" (fun () ->
+        let g, _ =
+          compose_ok ~root:"M"
+            "module Lib; public D = [0-9]; module M; instantiate Lib as L; \
+             public N = L.D;"
+        in
+        check Alcotest.bool "accepts" true (accepts g "7"));
+    test "parameterized instances are shared" (fun () ->
+        (* Two imports of Id(Sp) must create one instance, not two. *)
+        let _, stats =
+          compose_ok ~root:"M"
+            "module Sp; public void W = ' '*;\n\
+             module Id(S); public I = [a-z]+ S.W;\n\
+             module A(S); import Id(S) as I; public PA = I.I;\n\
+             module B(S); import Id(S) as I; public PB = I.I;\n\
+             module M; import A(Sp) as A; import B(Sp) as B; public P = A.PA \
+             B.PB;"
+        in
+        let ids =
+          List.filter
+            (fun (s : Resolve.instance_stat) -> s.module_name = "Id")
+            stats.instances
+        in
+        check Alcotest.int "one instance" 1 (List.length ids));
+    test "distinct arguments give distinct instances" (fun () ->
+        let _, stats =
+          compose_ok ~root:"M"
+            "module Sp1; public void W = ' '*;\n\
+             module Sp2; public void W = '\\t'*;\n\
+             module Id(S); public I = [a-z]+ S.W;\n\
+             module M; import Id(Sp1) as I1; import Id(Sp2) as I2; public P \
+             = I1.I I2.I;"
+        in
+        let ids =
+          List.filter
+            (fun (s : Resolve.instance_stat) -> s.module_name = "Id")
+            stats.instances
+        in
+        check Alcotest.int "two instances" 2 (List.length ids));
+    test "start picks first public of root" (fun () ->
+        let g, _ =
+          compose_ok ~root:"A" "module A; Helper = 'h'; public Main = Helper;"
+        in
+        check Alcotest.string "start" "Main" (Grammar.start g));
+    test "start can be chosen" (fun () ->
+        let g, _ =
+          compose_ok ~root:"A" ~start:"Other"
+            "module A; public Main = 'm'; public Other = 'o';"
+        in
+        check Alcotest.bool "accepts o" true (accepts g "o"));
+    test "unreachable helper instances are pruned" (fun () ->
+        let g, _ =
+          compose_ok ~root:"M"
+            "module Unused; public U = 'u'; module M; public X = 'x';"
+        in
+        check Alcotest.bool "no U" false (Grammar.mem g "U"));
+    test "root args instantiate parameterized roots" (fun () ->
+        let g, _ =
+          compose_ok ~root:"P" ~args:[ "Sp" ]
+            "module Sp; public void W = ' '*; module P(S); public X = 'x' S.W;"
+        in
+        check Alcotest.bool "accepts" true (accepts g "x  "));
+  ]
+
+(* --- modification operators ------------------------------------------------------- *)
+
+let base_and ext =
+  Printf.sprintf
+    "module Base; public X = <A> 'a' / <B> 'b';\nmodule Ext; modify Base;\n%s"
+    ext
+
+let modification_tests =
+  [
+    test "append alternative" (fun () ->
+        let g, _ = compose_ok ~root:"Ext" (base_and "X += <C> 'c';") in
+        check Alcotest.bool "old" true (accepts g "a");
+        check Alcotest.bool "new" true (accepts g "c"));
+    test "prepend takes priority" (fun () ->
+        (* 'first' puts the new alternative in front: for PEGs that is
+           observable through prefix behaviour. *)
+        let g, _ =
+          compose_ok ~root:"Ext"
+            "module Base; public X = <A> 'a'; module Ext; modify Base; X += \
+             first <AA> 'a' 'a';"
+        in
+        check Alcotest.bool "aa wins" true (accepts g "aa"));
+    test "before a label" (fun () ->
+        let g, _ =
+          compose_ok ~root:"Ext"
+            "module Base; public X = <A> \"ab\"; module Ext; modify Base; X += \
+             before <A> <AA> 'a';"
+        in
+        (* 'a' now shadows the longer "ab": PEG ordered choice. *)
+        check Alcotest.bool "a" true (accepts g "a");
+        check Alcotest.bool "ab dead" false (accepts g "ab"));
+    test "after a label" (fun () ->
+        let g, _ =
+          compose_ok ~root:"Ext"
+            "module Base; public X = <A> \"ab\" / <Z> 'z'; module Ext; modify \
+             Base; X += after <A> <AA> 'a';"
+        in
+        check Alcotest.bool "ab first" true (accepts g "ab");
+        check Alcotest.bool "a added" true (accepts g "a");
+        check Alcotest.bool "z kept" true (accepts g "z"));
+    test "remove an alternative" (fun () ->
+        let g, _ = compose_ok ~root:"Ext" (base_and "X -= <A>;") in
+        check Alcotest.bool "gone" false (accepts g "a");
+        check Alcotest.bool "kept" true (accepts g "b"));
+    test "override a body" (fun () ->
+        let g, _ = compose_ok ~root:"Ext" (base_and "X := 'z';") in
+        check Alcotest.bool "new" true (accepts g "z");
+        check Alcotest.bool "old gone" false (accepts g "a"));
+    test "override can change attributes" (fun () ->
+        let g, _ =
+          compose_ok ~root:"Ext"
+            "module Base; public X = 'a' 'b'; module Ext; modify Base; \
+             String X := 'a' 'b';"
+        in
+        let eng = Engine.prepare_exn g in
+        match Engine.parse eng "ab" with
+        | Ok (Value.Str "ab") -> ()
+        | Ok v -> Alcotest.failf "got %s" (Value.to_string v)
+        | Error _ -> Alcotest.fail "parse failed");
+    test "adding a new production" (fun () ->
+        let g, _ =
+          compose_ok ~root:"Ext" (base_and "public Y = X X; X += <C> 'c';")
+        in
+        check Alcotest.bool "Y" true (Grammar.mem g "Y");
+        let eng = Engine.prepare_exn g in
+        check Alcotest.bool "cc via Y" true
+          (Result.is_ok (Engine.parse eng ~start:"Y" "cc")));
+    test "unknown label reported" (fun () ->
+        let msg = compose_err ~root:"Ext" (base_and "X += before <Nope> 'c';") in
+        check Alcotest.bool "mentions label" true (contains msg "Nope"));
+    test "colliding label reported" (fun () ->
+        let msg = compose_err ~root:"Ext" (base_and "X += <A> 'c';") in
+        check Alcotest.bool "mentions label" true (contains msg "\"A\""));
+    test "removing every alternative rejected" (fun () ->
+        let msg = compose_err ~root:"Ext" (base_and "X -= <A>, <B>;") in
+        check Alcotest.bool "mentions every" true (contains msg "every"));
+    test "redefining without override rejected" (fun () ->
+        let msg = compose_err ~root:"Ext" (base_and "X = 'z';") in
+        check Alcotest.bool "suggests :=" true (contains msg ":="));
+    test "modifying an unknown production rejected" (fun () ->
+        let msg = compose_err ~root:"Ext" (base_and "Nope += <C> 'c';") in
+        check Alcotest.bool "mentions name" true (contains msg "Nope"));
+    test "stats count modifications" (fun () ->
+        let _, stats =
+          compose_ok ~root:"Ext"
+            (base_and "X += <C> 'c' / <D> 'd'; X -= <A>; public Y = 'y';")
+        in
+        let ext =
+          List.find
+            (fun (s : Resolve.instance_stat) -> s.module_name = "Ext")
+            stats.instances
+        in
+        check Alcotest.int "added" 2 ext.alternatives_added;
+        check Alcotest.int "removed" 1 ext.alternatives_removed;
+        check Alcotest.int "defined" 1 ext.defined;
+        check Alcotest.int "inherited" 1 ext.inherited);
+  ]
+
+(* --- binding semantics -------------------------------------------------------------- *)
+
+let binding_tests =
+  [
+    test "virtual rebinding: base recursion sees the extension" (fun () ->
+        (* Base: parenthesized 'x'. Ext adds digits as atoms. If the
+           recursion inside the inherited Paren alternative were bound
+           statically to the old instance, "(5)" would not parse. *)
+        let g, _ =
+          compose_ok ~root:"Ext"
+            "module Base; public E = <Paren> '(' E ')' / <X> 'x';\n\
+             module Ext; modify Base; E += <Digit> [0-9];"
+        in
+        check Alcotest.bool "new at top" true (accepts g "5");
+        check Alcotest.bool "new inside old" true (accepts g "(5)");
+        check Alcotest.bool "old inside old" true (accepts g "(x)"));
+    test "static binding: import refers to the unmodified module" (fun () ->
+        (* M imports Base directly while Ext modifies it; M's view must be
+           the original. *)
+        let g, _ =
+          compose_ok ~root:"M"
+            "module Base; public E = 'x';\n\
+             module Ext; modify Base; E := 'y';\n\
+             module M; import Base as B; import Ext as X; public P = <Old> \
+             B.E / <New> X.E;"
+        in
+        let eng = Engine.prepare_exn g in
+        check Alcotest.bool "x (original)" true (Engine.accepts eng "x");
+        check Alcotest.bool "y (modified)" true (Engine.accepts eng "y"));
+    test "modify chain composes" (fun () ->
+        let g, _ =
+          compose_ok ~root:"E2"
+            "module Base; public X = <A> 'a';\n\
+             module E1; modify Base; X += <B> 'b';\n\
+             module E2; modify E1; X += <C> 'c';"
+        in
+        List.iter
+          (fun input ->
+            check Alcotest.bool input true (accepts g input))
+          [ "a"; "b"; "c" ]);
+    test "parameterized modification (modify a parameter)" (fun () ->
+        let g, _ =
+          compose_ok ~root:"M"
+            "module Base; public X = <A> 'a';\n\
+             module AddB(T); modify T as Base; X += <B> 'b';\n\
+             module M; import Base as B0; import AddB(Base) as B1; public P \
+             = B1.X;"
+        in
+        check Alcotest.bool "extended" true (accepts g "b"));
+    test "extension graph rewires dependents (the E6 shape)" (fun () ->
+        (* Stmt is parameterized by the expression module; wiring the
+           extended expressions through makes statements accept the new
+           operator with no change to Stmt. *)
+        let g, _ =
+          compose_ok ~root:"M"
+            "module Expr; public E = [0-9];\n\
+             module AddPlus(X); modify X as Base; E += first <Plus> [0-9] '+' E;\n\
+             module Stmt(E); public S = E.E ';';\n\
+             module M; import Expr as E0; import AddPlus(Expr) as E1; import \
+             Stmt(E1) as St; public P = St.S;"
+        in
+        check Alcotest.bool "base stmt" true (accepts g "1;");
+        check Alcotest.bool "extended stmt" true (accepts g "1+2;"));
+    test "cycle detection" (fun () ->
+        let msg =
+          compose_err ~root:"A"
+            "module A; import B; public X = B.Y; module B; import A; public \
+             Y = A.X;"
+        in
+        check Alcotest.bool "cyclic" true (contains msg "cyclic"));
+    test "arity mismatch" (fun () ->
+        let msg =
+          compose_err ~root:"M" "module P(A); X = 'x'; module M; import P; Y = 'y';"
+        in
+        check Alcotest.bool "arity" true (contains msg "argument"));
+    test "unknown module" (fun () ->
+        let msg = compose_err ~root:"M" "module M; import Ghost; X = 'x';" in
+        check Alcotest.bool "unknown" true (contains msg "Ghost"));
+    test "module argument that itself needs arguments is rejected" (fun () ->
+        let msg =
+          compose_err ~root:"M"
+            "module P(A); X = 'x'; module Q(R); Y = 'y'; module M; import \
+             Q(P) as Q1; Z = 'z';"
+        in
+        check Alcotest.bool "needs args" true (contains msg "expects"));
+    test "undefined unqualified reference reported" (fun () ->
+        let msg = compose_err ~root:"M" "module M; public X = Ghost;" in
+        check Alcotest.bool "undefined" true (contains msg "Ghost"));
+    test "qualified reference to missing production reported" (fun () ->
+        let msg =
+          compose_err ~root:"M"
+            "module Lib; public A = 'a'; module M; import Lib as L; public X \
+             = L.Ghost;"
+        in
+        check Alcotest.bool "missing" true (contains msg "Ghost"));
+    test "name prettification: unique locals stay bare" (fun () ->
+        let g, _ =
+          compose_ok ~root:"M"
+            "module Lib; public Digit = [0-9]; module M; import Lib as L; \
+             public Num = L.Digit;"
+        in
+        check Alcotest.bool "bare" true (Grammar.mem g "Digit"));
+    test "name prettification: collisions get qualified" (fun () ->
+        let g, _ =
+          compose_ok ~root:"M"
+            "module A; public X = 'a'; module B; public X = 'b'; module M; \
+             import A; import B; public P = A.X B.X;"
+        in
+        check Alcotest.bool "qualified A" true (Grammar.mem g "A.X");
+        check Alcotest.bool "qualified B" true (Grammar.mem g "B.X"));
+    test "non-root public productions are demoted" (fun () ->
+        let g, _ =
+          compose_ok ~root:"M"
+            "module Lib; public Digit = [0-9]; module M; import Lib as L; \
+             public Num = L.Digit;"
+        in
+        let p = Grammar.find_exn g "Digit" in
+        check Alcotest.bool "private" false (Production.is_public p));
+    test "extend adds user modules to a library" (fun () ->
+        let lib = Resolve.library_exn (modules_of "module Base; public X = <A> 'a';") in
+        match Resolve.extend lib (modules_of "module Mine; modify Base; X += <B> 'b';") with
+        | Error _ -> Alcotest.fail "extend failed"
+        | Ok lib -> (
+            match Resolve.resolve lib ~root:"Mine" () with
+            | Ok (g, _) -> check Alcotest.bool "works" true (accepts g "b")
+            | Error _ -> Alcotest.fail "resolve failed"));
+    test "extend rejects clashes" (fun () ->
+        let lib = Resolve.library_exn (modules_of "module Base; public X = 'a';") in
+        match Resolve.extend lib (modules_of "module Base; public X = 'b';") with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "expected clash");
+  ]
+
+let () =
+  Alcotest.run "modules"
+    [
+      ("validate", validate_tests);
+      ("basic", basic_tests);
+      ("modification", modification_tests);
+      ("binding", binding_tests);
+    ]

@@ -1,0 +1,500 @@
+(* Tests for the optimizer: each pass preserves the language (and, for
+   the value-safe passes, the semantic values), and does what its name
+   says to the grammar structure. *)
+
+open Rats
+
+let check = Alcotest.check
+let test name f = Alcotest.test_case name `Quick f
+let value_eq = Alcotest.testable (fun ppf v -> Value.pp ppf v) Value.equal
+
+(* Reference engine: naive interpretation of the untouched grammar. *)
+let reference g = Engine.prepare_exn ~config:Config.naive g
+
+let same_values ?(inputs = []) g g' =
+  let e1 = reference g in
+  let e2 = Engine.prepare_exn ~config:Config.optimized g' in
+  List.iter
+    (fun input ->
+      match (Engine.parse e1 input, Engine.parse e2 input) with
+      | Ok a, Ok b ->
+          check value_eq (Printf.sprintf "values for %S" input) a b
+      | Error _, Error _ -> ()
+      | Ok _, Error e ->
+          Alcotest.failf "%S: optimized rejects (%s)" input (Parse_error.message e)
+      | Error _, Ok _ -> Alcotest.failf "%S: optimized accepts" input)
+    inputs
+
+let same_acceptance ?(inputs = []) g g' =
+  let e1 = reference g in
+  let e2 = Engine.prepare_exn ~config:Config.optimized g' in
+  List.iter
+    (fun input ->
+      check Alcotest.bool
+        (Printf.sprintf "acceptance for %S" input)
+        (Engine.accepts e1 input) (Engine.accepts e2 input))
+    inputs
+
+(* --- pruning ---------------------------------------------------------------- *)
+
+let prune_tests =
+  let open Builder in
+  [
+    test "unreachable productions dropped" (fun () ->
+        let g =
+          Grammar.make_exn ~start:"S"
+            [ prod "S" (e "A"); prod "A" (c 'a'); prod "Dead" (c 'd') ]
+        in
+        let g' = Passes.prune g in
+        check Alcotest.int "two left" 2 (Grammar.length g');
+        check Alcotest.bool "dead gone" false (Grammar.mem g' "Dead"));
+    test "public productions survive pruning" (fun () ->
+        let g =
+          Grammar.make_exn ~start:"S"
+            [ prod "S" (c 's'); prod ~public:true "Api" (c 'a') ]
+        in
+        check Alcotest.bool "api kept" true (Grammar.mem (Passes.prune g) "Api"));
+  ]
+
+(* --- transient marking --------------------------------------------------------- *)
+
+let transient_tests =
+  let open Builder in
+  [
+    test "single-reference productions marked" (fun () ->
+        let g =
+          Grammar.make_exn ~start:"S"
+            [
+              prod "S" (e "Once" @: e "Twice" @: e "Twice");
+              prod "Once" (c 'o');
+              prod "Twice" (c 't');
+            ]
+        in
+        let g' = Passes.mark_transients g in
+        check Alcotest.bool "once transient" true
+          (Attr.is_transient (Grammar.find_exn g' "Once").Production.attrs);
+        check Alcotest.bool "twice kept" false
+          (Attr.is_transient (Grammar.find_exn g' "Twice").Production.attrs));
+    test "explicit memoized wins" (fun () ->
+        let g =
+          Grammar.make_exn ~start:"S"
+            [ prod "S" (e "A"); prod ~memo:Attr.Memo_always "A" (c 'a') ]
+        in
+        let g' = Passes.mark_transients g in
+        check Alcotest.bool "kept" false
+          (Attr.is_transient (Grammar.find_exn g' "A").Production.attrs));
+  ]
+
+(* --- terminal detection ----------------------------------------------------------- *)
+
+let terminal_tests =
+  let open Builder in
+  [
+    test "character-level productions detected transitively" (fun () ->
+        let g =
+          Grammar.make_exn ~start:"S"
+            [
+              prod "S" (e "Ident" @: e "Node");
+              prod "Ident" (plus (e "Letter"));
+              prod "Letter" (r 'a' 'z');
+              prod ~kind:Attr.Generic "Node" (c '!');
+            ]
+        in
+        let ts = Passes.terminal_set g in
+        check Alcotest.bool "Ident" true (Analysis.StringSet.mem "Ident" ts);
+        check Alcotest.bool "Letter" true (Analysis.StringSet.mem "Letter" ts);
+        check Alcotest.bool "Node excluded" false
+          (Analysis.StringSet.mem "Node" ts);
+        check Alcotest.bool "S excluded" false (Analysis.StringSet.mem "S" ts));
+    test "node constructor disqualifies" (fun () ->
+        let g =
+          Grammar.make_exn ~start:"S" [ prod "S" (node "N" (c 'a')) ]
+        in
+        check Alcotest.bool "excluded" false
+          (Analysis.StringSet.mem "S" (Passes.terminal_set g)));
+    test "state operators disqualify" (fun () ->
+        let g =
+          Grammar.make_exn ~start:"S" [ prod "S" (record "T" (c 'a')) ]
+        in
+        check Alcotest.bool "excluded" false
+          (Analysis.StringSet.mem "S" (Passes.terminal_set g)));
+    test "minic lexical level is terminal" (fun () ->
+        let g = Grammars.Minic.grammar () in
+        let ts = Passes.terminal_set g in
+        check Alcotest.bool "Word" true (Analysis.StringSet.mem "Word" ts);
+        check Alcotest.bool "Spacing" true (Analysis.StringSet.mem "Spacing" ts);
+        check Alcotest.bool "Statement excluded" false
+          (Analysis.StringSet.mem "Statement" ts));
+  ]
+
+(* --- inlining ------------------------------------------------------------------------ *)
+
+let inline_tests =
+  let open Builder in
+  [
+    test "small private productions inlined away" (fun () ->
+        let g =
+          Grammar.make_exn ~start:"S"
+            [ prod "S" (e "Tiny" @: e "Tiny"); prod "Tiny" (c 't') ]
+        in
+        let g' = Passes.inline_pass g in
+        check Alcotest.int "one prod" 1 (Grammar.length g');
+        same_values ~inputs:[ "tt"; "t"; "" ] g g');
+    test "recursive productions not inlined" (fun () ->
+        let g =
+          Grammar.make_exn ~start:"S"
+            [ prod "S" (e "R"); prod "R" (c '(' @: opt (e "R") @: c ')') ]
+        in
+        let g' = Passes.inline_pass g in
+        check Alcotest.bool "R kept" true (Grammar.mem g' "R"));
+    test "inline_never respected, inline_always forced" (fun () ->
+        let big = Expr.seq (List.init 20 (fun _ -> Expr.chr 'x')) in
+        let g =
+          Grammar.make_exn ~start:"S"
+            [
+              prod "S" (e "Never" @: e "Always");
+              prod ~inline:Attr.Inline_never "Never" (c 'n');
+              prod ~inline:Attr.Inline_always "Always" big;
+            ]
+        in
+        let g' = Passes.inline_pass g in
+        check Alcotest.bool "never kept" true (Grammar.mem g' "Never");
+        check Alcotest.bool "always gone" false (Grammar.mem g' "Always"));
+    test "kinds preserved through inlining" (fun () ->
+        let g =
+          Grammar.make_exn ~start:"S"
+            [
+              prod "S" (e "G" @: e "T" @: e "V");
+              prod ~kind:Attr.Generic "G" (r 'a' 'z');
+              prod ~kind:Attr.Text "T" (plus (r '0' '9'));
+              prod ~kind:Attr.Void "V" (r 'a' 'z');
+            ]
+        in
+        let g' = Passes.inline_pass g in
+        check Alcotest.int "all inlined" 1 (Grammar.length g');
+        same_values ~inputs:[ "x42z"; "x4"; "" ] g g');
+    test "top-level bind blocks inlining" (fun () ->
+        let g =
+          Grammar.make_exn ~start:"S"
+            [ prod "S" (e "B" @: c '!'); prod "B" ("x" |: c 'b') ]
+        in
+        let g' = Passes.inline_pass g in
+        check Alcotest.bool "kept" true (Grammar.mem g' "B");
+        same_values ~inputs:[ "b!" ] g g');
+    test "calc grammar value-identical after inlining" (fun () ->
+        let g = Grammars.Calc.grammar () in
+        same_values
+          ~inputs:[ "1+2*3"; "2**3**2"; "(1+2)*3"; "8/4/2" ]
+          g (Passes.inline_pass g));
+  ]
+
+(* --- folding ------------------------------------------------------------------------- *)
+
+let fold_tests =
+  let open Builder in
+  [
+    test "structurally equal privates merged" (fun () ->
+        let g =
+          Grammar.make_exn ~start:"S"
+            [
+              prod "S" (e "A" @: e "B");
+              prod ~inline:Attr.Inline_never "A" (plus (r '0' '9'));
+              prod ~inline:Attr.Inline_never "B" (plus (r '0' '9'));
+            ]
+        in
+        let g' = Passes.fold_duplicates g in
+        check Alcotest.int "merged" 2 (Grammar.length g');
+        same_values ~inputs:[ "12"; "1"; "" ] g g');
+    test "different kinds not merged" (fun () ->
+        let g =
+          Grammar.make_exn ~start:"S"
+            [
+              prod "S" (e "A" @: e "B");
+              prod ~kind:Attr.Text "A" (plus (r '0' '9'));
+              prod "B" (plus (r '0' '9'));
+            ]
+        in
+        check Alcotest.int "kept" 3 (Grammar.length (Passes.fold_duplicates g)));
+    test "generic productions never merged" (fun () ->
+        let g =
+          Grammar.make_exn ~start:"S"
+            [
+              prod "S" (e "A" @: e "B");
+              prod ~kind:Attr.Generic "A" (c 'x');
+              prod ~kind:Attr.Generic "B" (c 'x');
+            ]
+        in
+        check Alcotest.int "kept" 3 (Grammar.length (Passes.fold_duplicates g)));
+    test "folding cascades to a fixed point" (fun () ->
+        (* A1/A2 equal only after their references B1/B2 are merged. *)
+        let g =
+          Grammar.make_exn ~start:"S"
+            [
+              prod "S" (e "A1" @: e "A2");
+              prod ~inline:Attr.Inline_never "A1" (e "B1" @: c '!');
+              prod ~inline:Attr.Inline_never "A2" (e "B2" @: c '!');
+              prod ~inline:Attr.Inline_never "B1" (c 'b');
+              prod ~inline:Attr.Inline_never "B2" (c 'b');
+            ]
+        in
+        let g' = Passes.fold_duplicates g in
+        check Alcotest.int "S+A+B" 3 (Grammar.length g');
+        same_values ~inputs:[ "b!b!" ] g g');
+  ]
+
+(* --- prefix factoring ------------------------------------------------------------------ *)
+
+let factor_tests =
+  let open Builder in
+  [
+    test "adjacent alternatives factored" (fun () ->
+        let g =
+          Grammar.make_exn ~start:"S"
+            [ prod "S" (s "ab" @: c 'x' <|> s "ab" @: c 'y' <|> c 'z') ]
+        in
+        let g' = Passes.factor_prefixes g in
+        (* The factored grammar must contain a splice. *)
+        let has_splice =
+          Expr.fold
+            (fun acc (x : Expr.t) ->
+              acc || match x.it with Expr.Splice _ -> true | _ -> false)
+            false (Grammar.find_exn g' "S").Production.expr
+        in
+        check Alcotest.bool "splice introduced" true has_splice;
+        same_values ~inputs:[ "abx"; "aby"; "z"; "ab"; "abz" ] g g');
+    test "values preserved with binds and nodes" (fun () ->
+        let g =
+          Grammar.make_exn ~start:"S"
+            [
+              prod ~kind:Attr.Generic "S"
+                (("l" |: tok (s "ab")) @: ("r" |: any) @: c '!'
+                <|> ("l" |: tok (s "ab")) @: c '?'
+                <|> ("q" |: any));
+            ]
+        in
+        let g' = Passes.factor_prefixes g in
+        same_values ~inputs:[ "abc!"; "ab?"; "x"; "ab!"; "" ] g g');
+    test "single-element tails keep their shape" (fun () ->
+        (* The tail is a reference to a production whose own value is a
+           tuple: splicing must not flatten it. *)
+        let g =
+          Grammar.make_exn ~start:"S"
+            [
+              prod "S" (c 'k' @: e "Pair" <|> c 'k' @: c '!');
+              prod ~inline:Attr.Inline_never "Pair" (any @: any);
+            ]
+        in
+        same_values ~inputs:[ "kab"; "k!"; "k" ] g (Passes.factor_prefixes g));
+    test "nested factoring" (fun () ->
+        let g =
+          Grammar.make_exn ~start:"S"
+            [
+              prod "S"
+                (c 'a' @: c 'b' @: c '1'
+                <|> c 'a' @: c 'b' @: c '2'
+                <|> c 'a' @: c 'c');
+            ]
+        in
+        same_values ~inputs:[ "ab1"; "ab2"; "ac"; "abc" ] g
+          (Passes.factor_prefixes g));
+    test "stateful heads are skipped" (fun () ->
+        let g =
+          Grammar.make_exn ~start:"S"
+            [
+              prod "S"
+                (record "T" (c 'a') @: c 'x' <|> record "T" (c 'a') @: c 'y');
+            ]
+        in
+        let g' = Passes.factor_prefixes g in
+        let has_splice =
+          Expr.fold
+            (fun acc (x : Expr.t) ->
+              acc || match x.it with Expr.Splice _ -> true | _ -> false)
+            false (Grammar.find_exn g' "S").Production.expr
+        in
+        check Alcotest.bool "left alone" false has_splice);
+    test "idempotent" (fun () ->
+        let g =
+          Grammar.make_exn ~start:"S"
+            [ prod "S" (s "ab" @: c 'x' <|> s "ab" @: c 'y') ]
+        in
+        let once = Passes.factor_prefixes g in
+        let twice = Passes.factor_prefixes once in
+        check Alcotest.bool "stable" true
+          (Expr.equal
+             (Grammar.find_exn once "S").Production.expr
+             (Grammar.find_exn twice "S").Production.expr));
+  ]
+
+(* --- repetition desugaring ---------------------------------------------------------------- *)
+
+let desugar_tests =
+  let open Builder in
+  [
+    test "helpers are introduced" (fun () ->
+        let g = Grammar.make_exn ~start:"S" [ prod "S" (star (c 'a')) ] in
+        let g' = Desugar.expand_repetitions g in
+        check Alcotest.bool "helpers" true (Desugar.expanded_helpers g' <> []));
+    test "acceptance preserved for star, plus, opt" (fun () ->
+        let g =
+          Grammar.make_exn ~start:"S"
+            [ prod "S" (star (c 'a') @: plus (c 'b') @: opt (c 'c')) ]
+        in
+        same_acceptance
+          ~inputs:[ "b"; "ab"; "aabbc"; "c"; ""; "aac" ]
+          g (Desugar.expand_repetitions g));
+    test "nested repetitions expand" (fun () ->
+        let g =
+          Grammar.make_exn ~start:"S" [ prod "S" (star (c 'x' @: plus (c 'y'))) ]
+        in
+        same_acceptance
+          ~inputs:[ ""; "xy"; "xyy"; "xyxy"; "x" ]
+          g (Desugar.expand_repetitions g));
+    test "opt expansion is value-preserving" (fun () ->
+        let g =
+          Grammar.make_exn ~start:"S" [ prod "S" (opt (tok (c 'a')) @: c '!') ]
+        in
+        (* Only Star/Plus change value shapes; Opt must not. *)
+        let g' = Desugar.expand_repetitions g in
+        same_values ~inputs:[ "a!"; "!" ] g g');
+    test "desugared grammar passes well-formedness" (fun () ->
+        let g = Grammars.Calc.grammar () in
+        let g' = Desugar.expand_repetitions g in
+        check Alcotest.int "clean" 0
+          (List.length (Analysis.check (Analysis.analyze g'))));
+  ]
+
+(* --- left-recursion elimination ---------------------------------------------------------- *)
+
+let leftrec_tests =
+  let open Builder in
+  [
+    test "direct left recursion becomes iteration" (fun () ->
+        let g =
+          Grammar.make_exn ~start:"E"
+            [
+              prod "E"
+                (e "E" @: tok (c '-') @: e "N" <|> e "N");
+              prod "N" (tok (plus (r '0' '9')));
+            ]
+        in
+        (* The raw grammar is rejected... *)
+        (match Engine.prepare g with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "expected rejection");
+        (* ...and the transformed one parses left-associatively. *)
+        let g' = Passes.eliminate_left_recursion g in
+        let eng = Engine.prepare_exn g' in
+        match Engine.parse eng "8-3-2" with
+        | Ok v ->
+            (* value = #seq(base, [tail; tail]) *)
+            check Alcotest.int "two tails" 2
+              (match Value.nth_child v 1 with
+              | Some (Value.List ts) -> List.length ts
+              | _ -> -1)
+        | Error e -> Alcotest.failf "parse: %s" (Parse_error.message e));
+    test "base and recursive alternatives in any order" (fun () ->
+        let g =
+          Grammar.make_exn ~start:"E"
+            [ prod "E" (c 'n' <|> e "E" @: c '+' @: c 'n' <|> e "E" @: c '-' @: c 'n') ]
+        in
+        let eng = Engine.prepare_exn (Passes.eliminate_left_recursion g) in
+        check Alcotest.bool "mixed" true (Engine.accepts eng "n+n-n"));
+    test "vacuous self-alternative is dropped" (fun () ->
+        let g =
+          Grammar.make_exn ~start:"E" [ prod "E" (e "E" <|> c 'a') ]
+        in
+        let eng = Engine.prepare_exn (Passes.eliminate_left_recursion g) in
+        check Alcotest.bool "a" true (Engine.accepts eng "a"));
+    test "indirect left recursion is left for the checker" (fun () ->
+        let g =
+          Grammar.make_exn ~start:"A"
+            [ prod "A" (e "B" <|> c 'a'); prod "B" (e "A" @: c 'b') ]
+        in
+        let g' = Passes.eliminate_left_recursion g in
+        match Engine.prepare g' with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "expected rejection");
+    test "non-recursive grammars are untouched" (fun () ->
+        let g = Grammars.Calc.grammar () in
+        let g' = Passes.eliminate_left_recursion g in
+        List.iter2
+          (fun (p : Production.t) (q : Production.t) ->
+            check Alcotest.bool p.name true (Expr.equal p.expr q.expr))
+          (Grammar.productions g) (Grammar.productions g'));
+  ]
+
+(* --- the ladder and the full pipeline ------------------------------------------------------- *)
+
+let pipeline_tests =
+  [
+    test "ladder has ten rungs in order" (fun () ->
+        let rungs = Pipeline.ladder (Grammars.Calc.grammar ()) in
+        check Alcotest.int "count" 10 (List.length rungs);
+        check Alcotest.string "first" "baseline" (List.hd rungs).Pipeline.name;
+        check Alcotest.string "last" "+lean-values"
+          (List.nth rungs 9).Pipeline.name);
+    test "every rung parses the calc corpus identically" (fun () ->
+        let g = Grammars.Calc.grammar () in
+        let rng = Rng.create 11 in
+        let inputs =
+          List.init 10 (fun _ -> Grammars.Corpus.arith rng ~size:12)
+        in
+        let reference = Engine.prepare_exn ~config:Config.naive g in
+        List.iter
+          (fun (rung : Pipeline.rung) ->
+            let eng = Engine.prepare_exn ~config:rung.config rung.grammar in
+            List.iter
+              (fun input ->
+                check Alcotest.bool
+                  (Printf.sprintf "%s on %S" rung.name input)
+                  (Engine.accepts reference input)
+                  (Engine.accepts eng input))
+              inputs)
+          (Pipeline.ladder g));
+    test "memo entries shrink along the ladder" (fun () ->
+        let g = Grammars.Minic.grammar () in
+        let src = Grammars.Corpus.minic (Rng.create 3) ~functions:4 in
+        let entries (rung : Pipeline.rung) =
+          let eng = Engine.prepare_exn ~config:rung.config rung.grammar in
+          Stats.memo_entries (Engine.run eng src).Engine.stats
+        in
+        let rungs = Pipeline.ladder g in
+        let baseline = entries (List.hd rungs) in
+        let final = entries (List.nth rungs 9) in
+        check Alcotest.bool "reduced" true (final < baseline));
+    test "optimize shrinks the minic grammar" (fun () ->
+        let g = Grammars.Minic.grammar () in
+        let g' = Pipeline.optimize g in
+        check Alcotest.bool "fewer productions" true
+          (Grammar.length g' < Grammar.length g));
+    test "optimize preserves minic values" (fun () ->
+        let g = Grammars.Minic.grammar () in
+        let g' = Pipeline.optimize g in
+        let src = Grammars.Corpus.minic (Rng.create 5) ~functions:3 in
+        let e1 = Engine.prepare_exn ~config:Config.naive g in
+        let e2 = Engine.prepare_exn ~config:Config.optimized g' in
+        match (Engine.parse e1 src, Engine.parse e2 src) with
+        | Ok a, Ok b -> check Alcotest.bool "equal" true (Value.equal a b)
+        | _ -> Alcotest.fail "parse failure");
+    test "prepare_optimized end to end" (fun () ->
+        match Pipeline.prepare_optimized (Grammars.Json.grammar ()) with
+        | Ok eng ->
+            check Alcotest.bool "parses" true
+              (Engine.accepts eng {|{"a": [1, 2, null]}|})
+        | Error _ -> Alcotest.fail "prepare failed");
+  ]
+
+let () =
+  Alcotest.run "optimize"
+    [
+      ("prune", prune_tests);
+      ("transient", transient_tests);
+      ("terminal", terminal_tests);
+      ("inline", inline_tests);
+      ("fold", fold_tests);
+      ("factor", factor_tests);
+      ("leftrec", leftrec_tests);
+      ("desugar", desugar_tests);
+      ("pipeline", pipeline_tests);
+    ]

@@ -1,0 +1,439 @@
+(* Property-based tests (qcheck, registered as alcotest cases).
+
+   The central property of the whole system: every engine configuration
+   and every optimization pass is observationally equivalent on random
+   well-formed grammars and random inputs. Grammars are generated
+   stratified (production i only references productions j > i) so they
+   are never recursive; recursion is covered by handcrafted tests — what
+   randomness buys here is coverage of operator interaction, which is
+   where the subtle value-shape bugs live. *)
+
+open Rats
+module Gen = QCheck.Gen
+
+let alphabet = [ 'a'; 'b'; 'c'; 'd' ]
+
+(* --- generators ---------------------------------------------------------------- *)
+
+let gen_char = Gen.oneofl alphabet
+
+let gen_charset st =
+  let s = ref Charset.empty in
+  List.iter (fun c -> if Gen.bool st then s := Charset.add c !s) alphabet;
+  if Charset.is_empty !s then Charset.singleton 'a' else !s
+
+let gen_short_string st =
+  let n = 1 + Gen.int_bound 2 st in
+  String.init n (fun _ -> gen_char st)
+
+(* A generated expression, together with whether it is guaranteed to
+   consume input on success (needed for repetition bodies). *)
+let rec gen_expr ~refs ~depth st : Expr.t =
+  if depth <= 0 then gen_leaf ~refs st
+  else
+    match Gen.int_bound 13 st with
+    | 0 | 1 ->
+        Expr.seq
+          (List.init (2 + Gen.int_bound 1 st) (fun _ ->
+               gen_expr ~refs ~depth:(depth - 1) st))
+    | 2 | 3 ->
+        let label i =
+          if Gen.bool st then Some (Printf.sprintf "L%d" i) else None
+        in
+        Expr.alt_labeled
+          (List.mapi
+             (fun i body -> { Expr.label = label i; body })
+             (List.init (2 + Gen.int_bound 1 st) (fun _ ->
+                  gen_expr ~refs ~depth:(depth - 1) st)))
+    | 4 -> Expr.star (gen_consuming ~refs ~depth:(depth - 1) st)
+    | 5 -> Expr.plus (gen_consuming ~refs ~depth:(depth - 1) st)
+    | 6 -> Expr.opt (gen_expr ~refs ~depth:(depth - 1) st)
+    | 7 -> Expr.and_ (gen_expr ~refs ~depth:(depth - 1) st)
+    | 8 -> Expr.not_ (gen_expr ~refs ~depth:(depth - 1) st)
+    | 9 -> Expr.bind "x" (gen_expr ~refs ~depth:(depth - 1) st)
+    | 10 -> Expr.token (gen_expr ~refs ~depth:(depth - 1) st)
+    | 11 -> Expr.node "N" (gen_expr ~refs ~depth:(depth - 1) st)
+    | 12 -> Expr.drop (gen_expr ~refs ~depth:(depth - 1) st)
+    | _ ->
+        if Gen.bool st then
+          Expr.record "T" (gen_consuming ~refs ~depth:(depth - 1) st)
+        else Expr.member "T" (Gen.bool st) (gen_consuming ~refs ~depth:(depth - 1) st)
+
+and gen_leaf ~refs st =
+  match Gen.int_bound 5 st with
+  | 0 -> Expr.chr (gen_char st)
+  | 1 -> Expr.str (gen_short_string st)
+  | 2 -> Expr.cls (gen_charset st)
+  | 3 -> Expr.empty
+  | 4 -> (
+      match refs with
+      | [] -> Expr.chr (gen_char st)
+      | _ -> Expr.ref_ (List.nth refs (Gen.int_bound (List.length refs - 1) st)))
+  | _ -> Expr.any ()
+
+and gen_consuming ~refs ~depth st =
+  (* Guaranteed to consume at least one byte on success: a consuming
+     leaf, optionally followed by anything. *)
+  let leaf =
+    match Gen.int_bound 2 st with
+    | 0 -> Expr.chr (gen_char st)
+    | 1 -> Expr.cls (gen_charset st)
+    | _ -> Expr.str (gen_short_string st)
+  in
+  if depth > 0 && Gen.bool st then
+    Expr.seq [ leaf; gen_expr ~refs ~depth:(depth - 1) st ]
+  else leaf
+
+let gen_grammar st : Grammar.t =
+  let n = 2 + Gen.int_bound 2 st in
+  let name i = Printf.sprintf "P%d" i in
+  let prods =
+    List.init n (fun i ->
+        let refs = List.init (n - i - 1) (fun j -> name (i + j + 1)) in
+        let kind =
+          match Gen.int_bound 6 st with
+          | 0 -> Attr.Generic
+          | 1 -> Attr.Text
+          | 2 -> Attr.Void
+          | _ -> Attr.Plain
+        in
+        Production.v
+          ~attrs:(Attr.v ~kind ~visibility:Attr.Private ())
+          (name i)
+          (gen_expr ~refs ~depth:3 st))
+  in
+  Grammar.make_exn ~start:"P0" prods
+
+(* Directed input: walk the grammar, producing a string that has a fair
+   chance of matching (predicates and state make it inexact, which is
+   good — failures exercise backtracking). *)
+let gen_input g st =
+  let buf = Buffer.create 32 in
+  let rec walk budget (e : Expr.t) =
+    if !budget <= 0 then ()
+    else
+      match e.Expr.it with
+      | Expr.Empty | Expr.Fail _ -> ()
+      | Expr.Any -> Buffer.add_char buf (gen_char st)
+      | Expr.Chr c -> Buffer.add_char buf c
+      | Expr.Str s -> Buffer.add_string buf s
+      | Expr.Cls set -> (
+          match Charset.choose set with
+          | Some c -> Buffer.add_char buf c
+          | None -> ())
+      | Expr.Ref n -> (
+          decr budget;
+          match Grammar.find g n with
+          | Some p -> walk budget p.Production.expr
+          | None -> ())
+      | Expr.Seq es -> List.iter (walk budget) es
+      | Expr.Alt alts ->
+          let i = Gen.int_bound (List.length alts - 1) st in
+          walk budget (List.nth alts i).Expr.body
+      | Expr.Star x ->
+          for _ = 1 to Gen.int_bound 2 st do
+            walk budget x
+          done
+      | Expr.Plus x ->
+          for _ = 1 to 1 + Gen.int_bound 1 st do
+            walk budget x
+          done
+      | Expr.Opt x -> if Gen.bool st then walk budget x
+      | Expr.And _ | Expr.Not _ -> ()
+      | Expr.Bind (_, x) | Expr.Token x | Expr.Node (_, x) | Expr.Drop x
+      | Expr.Splice x | Expr.Record (_, x) | Expr.Member (_, _, x) ->
+          walk budget x
+  in
+  (match Grammar.find g (Grammar.start g) with
+  | Some p -> walk (ref 40) p.Production.expr
+  | None -> ());
+  (* Random mutation keeps rejecting inputs in the mix. *)
+  let s = Buffer.contents buf in
+  if Gen.bool st || String.length s = 0 then s
+  else
+    let i = Gen.int_bound (String.length s - 1) st in
+    String.mapi (fun j c -> if j = i then gen_char st else c) s
+
+(* A well-formed grammar plus a batch of inputs. *)
+let gen_case st =
+  let rec retry k =
+    let g = gen_grammar st in
+    if Analysis.check (Analysis.analyze g) = [] then g
+    else if k > 50 then Grammar.make_exn [ Production.v "P0" (Expr.chr 'a') ]
+    else retry (k + 1)
+  in
+  let g = retry 0 in
+  let inputs = List.init 8 (fun _ -> gen_input g st) in
+  (g, inputs)
+
+let print_case (g, inputs) =
+  Printf.sprintf "grammar:\n%s\ninputs: %s"
+    (Pretty.grammar_to_string g)
+    (String.concat ", " (List.map (Printf.sprintf "%S") inputs))
+
+let arb_case = QCheck.make ~print:print_case gen_case
+
+(* --- equivalence properties ------------------------------------------------------ *)
+
+type observation = Accept of Value.t | Reject of int
+
+let observe eng input =
+  match Engine.parse eng input with
+  | Ok v -> Accept v
+  | Error e -> Reject e.Parse_error.position
+
+let obs_equal a b =
+  match (a, b) with
+  | Accept va, Accept vb -> Value.equal va vb
+  | Reject pa, Reject pb -> pa = pb
+  | Accept _, Reject _ | Reject _, Accept _ -> false
+
+let equivalent ?(observe_errors = true) name count make_reference make_other =
+  QCheck.Test.make ~name ~count arb_case (fun (g, inputs) ->
+      match (make_reference g, make_other g) with
+      | Ok e1, Ok e2 ->
+          List.for_all
+            (fun input ->
+              let a = observe e1 input and b = observe e2 input in
+              if observe_errors then obs_equal a b
+              else
+                match (a, b) with
+                | Accept _, Accept _ | Reject _, Reject _ -> true
+                | _ -> false)
+            inputs
+      | Error _, Error _ -> true (* both reject the grammar: fine *)
+      | _ -> false)
+
+let prepare_with cfg g = Engine.prepare ~config:cfg g
+
+let engine_props =
+  [
+    equivalent "naive = packrat (values and error positions)" 300
+      (prepare_with Config.naive)
+      (prepare_with Config.packrat);
+    equivalent "packrat = chunked+transient" 300
+      (prepare_with Config.packrat)
+      (prepare_with (Config.v ~memo:Config.Chunked ~honor_transient:true ()));
+    (* Dispatch may drop doomed alternatives' expected-entries but must
+       never change acceptance or values; error positions are preserved
+       (see the FIRST-set argument in the engine). *)
+    equivalent "packrat = fully optimized" 300
+      (prepare_with Config.naive)
+      (prepare_with Config.optimized);
+    equivalent "dispatch alone changes nothing observable" 200
+      (prepare_with Config.packrat)
+      (prepare_with (Config.v ~dispatch:true ()));
+    equivalent "lean values alone change nothing observable" 200
+      (prepare_with Config.packrat)
+      (prepare_with (Config.v ~lean_values:true ()));
+    equivalent "parsing is deterministic" 100
+      (prepare_with Config.optimized)
+      (prepare_with Config.optimized);
+  ]
+
+let pass_props =
+  [
+    equivalent "optimize pipeline preserves values" 200
+      (prepare_with Config.naive)
+      (fun g -> Engine.prepare ~config:Config.optimized (Pipeline.optimize g));
+    equivalent "factoring preserves values" 200
+      (prepare_with Config.naive)
+      (fun g ->
+        Engine.prepare ~config:Config.packrat (Passes.factor_prefixes g));
+    equivalent "inlining preserves values" 200
+      (prepare_with Config.naive)
+      (fun g -> Engine.prepare ~config:Config.packrat (Passes.inline_pass g));
+    equivalent "folding preserves values" 200
+      (prepare_with Config.naive)
+      (fun g ->
+        Engine.prepare ~config:Config.packrat (Passes.fold_duplicates g));
+    equivalent ~observe_errors:false
+      "repetition desugaring preserves acceptance" 200
+      (prepare_with Config.packrat)
+      (fun g ->
+        Engine.prepare ~config:Config.packrat (Desugar.expand_repetitions g));
+  ]
+
+(* --- printer round-trip -------------------------------------------------------------- *)
+
+let gen_printable_expr st = gen_expr ~refs:[ "Other" ] ~depth:3 st
+
+let arb_expr =
+  QCheck.make ~print:Pretty.expr_to_string gen_printable_expr
+
+let printer_props =
+  [
+    QCheck.Test.make ~name:"pretty output reparses to an equal expression"
+      ~count:500 arb_expr (fun e ->
+        match Meta_parser.parse_expr (Pretty.expr_to_string e) with
+        | Ok e' -> Expr.equal e e'
+        | Error _ -> false);
+  ]
+
+(* --- module print/parse round-trip ------------------------------------------------------- *)
+
+let gen_attrs st =
+  Attr.v
+    ~kind:(Gen.oneofl [ Attr.Plain; Attr.Generic; Attr.Text; Attr.Void ] st)
+    ~visibility:(Gen.oneofl [ Attr.Public; Attr.Private ] st)
+    ~memo:(Gen.oneofl [ Attr.Memo_auto; Attr.Memo_always; Attr.Memo_never ] st)
+    ~inline:(Gen.oneofl [ Attr.Inline_auto; Attr.Inline_always; Attr.Inline_never ] st)
+    ~with_location:(Gen.bool st) ()
+
+let gen_module st =
+  (* A base module plus a modifying module, exercising every item kind
+     and dependency form the printer can emit. *)
+  let base_items =
+    List.init
+      (1 + Gen.int_bound 3 st)
+      (fun i ->
+        Module_ast.define ~attrs:(gen_attrs st)
+          (Printf.sprintf "P%d" i)
+          (Expr.alt_labeled
+             [
+               { Expr.label = Some "A"; body = gen_expr ~refs:[ "P0" ] ~depth:2 st };
+               { Expr.label = Some "B"; body = gen_expr ~refs:[] ~depth:2 st };
+             ]))
+  in
+  let base = Module_ast.v ~params:[ "S" ] "gen.Base" base_items in
+  let ext_items =
+    [
+      Module_ast.override "P0" (gen_expr ~refs:[] ~depth:2 st);
+      Module_ast.add ~placement:(Gen.oneofl
+        [ Module_ast.Append; Module_ast.Prepend;
+          Module_ast.Before "A"; Module_ast.After "B" ] st)
+        "P0"
+        [ { Expr.label = Some "C"; body = gen_expr ~refs:[] ~depth:2 st } ];
+      Module_ast.remove "P0" [ "A" ];
+      Module_ast.define ~attrs:(gen_attrs st) "Q" (gen_expr ~refs:[] ~depth:2 st);
+    ]
+  in
+  let ext =
+    Module_ast.v
+      ~deps:
+        [
+          Module_ast.modify ~alias:"Base" ~args:[ "X" ] "gen.Base";
+          Module_ast.import ~args:[] "gen.Other";
+        ]
+      ~params:[ "X" ] "gen.Ext" ext_items
+  in
+  [ base; ext ]
+
+let arb_modules =
+  QCheck.make
+    ~print:(fun ms ->
+      String.concat "\n" (List.map Meta_print.module_to_string ms))
+    gen_module
+
+let module_props =
+  [
+    QCheck.Test.make ~name:"module printer output reparses stably" ~count:300
+      arb_modules (fun ms ->
+        let printed =
+          String.concat "\n" (List.map Meta_print.module_to_string ms)
+        in
+        match Meta_parser.parse_modules_string printed with
+        | Error _ -> false
+        | Ok ms' ->
+            String.equal printed
+              (String.concat "\n" (List.map Meta_print.module_to_string ms')));
+  ]
+
+(* --- meta-parser robustness --------------------------------------------------------------- *)
+
+let fuzz_props =
+  [
+    QCheck.Test.make ~name:"meta parser never raises on random bytes"
+      ~count:1000
+      QCheck.(string_of_size (Gen.int_bound 60))
+      (fun junk ->
+        match Meta_parser.parse_modules_string junk with
+        | Ok _ | Error _ -> true);
+    QCheck.Test.make ~name:"meta parser never raises on mangled grammars"
+      ~count:300
+      QCheck.(pair (int_bound 200) (int_bound 255))
+      (fun (pos, byte) ->
+        (* Take a real grammar and corrupt one byte. *)
+        let text = List.hd Grammars.Calc.texts in
+        let pos = pos mod String.length text in
+        let mangled =
+          String.mapi
+            (fun i c -> if i = pos then Char.chr byte else c)
+            text
+        in
+        match Meta_parser.parse_modules_string mangled with
+        | Ok _ | Error _ -> true);
+  ]
+
+(* --- engine robustness ---------------------------------------------------------------- *)
+
+let engine_fuzz_props =
+  let minic = lazy (Engine.prepare_exn (Pipeline.optimize (Grammars.Minic.grammar ()))) in
+  [
+    QCheck.Test.make ~name:"minic engine never raises on random bytes"
+      ~count:500
+      QCheck.(string_of_size (Gen.int_bound 120))
+      (fun junk ->
+        match Engine.parse (Lazy.force minic) junk with
+        | Ok _ | Error _ -> true);
+    QCheck.Test.make
+      ~name:"minic engine never raises on corrupted real programs" ~count:200
+      QCheck.(pair (int_bound 5000) (int_bound 255))
+      (fun (pos, byte) ->
+        let src = Grammars.Corpus.minic (Rng.create 17) ~functions:3 in
+        let pos = pos mod String.length src in
+        let bad =
+          String.mapi (fun i c -> if i = pos then Char.chr byte else c) src
+        in
+        match Engine.parse (Lazy.force minic) bad with
+        | Ok _ | Error _ -> true);
+  ]
+
+(* --- charset algebra -------------------------------------------------------------------- *)
+
+let arb_charset =
+  QCheck.make
+    ~print:(fun s -> Charset.to_string s)
+    (fun st ->
+      let s = ref Charset.empty in
+      for _ = 0 to Gen.int_bound 6 st do
+        let a = Gen.char st and b = Gen.char st in
+        s := Charset.union !s (Charset.range (min a b) (max a b))
+      done;
+      !s)
+
+let charset_props =
+  [
+    QCheck.Test.make ~name:"to_ranges/of_ranges round-trip" ~count:500
+      arb_charset (fun s -> Charset.equal s (Charset.of_ranges (Charset.to_ranges s)));
+    QCheck.Test.make ~name:"printer output is lossless via meta parser"
+      ~count:300 arb_charset (fun s ->
+        match Meta_parser.parse_expr (Charset.to_string s) with
+        | Ok { Expr.it = Expr.Cls s'; _ } -> Charset.equal s s'
+        | Ok { Expr.it = Expr.Any; _ } -> Charset.equal s Charset.full
+        | Ok { Expr.it = Expr.Chr c; _ } -> Charset.equal s (Charset.singleton c)
+        | _ -> false);
+    QCheck.Test.make ~name:"de morgan" ~count:300
+      (QCheck.pair arb_charset arb_charset) (fun (a, b) ->
+        Charset.equal
+          (Charset.complement (Charset.union a b))
+          (Charset.inter (Charset.complement a) (Charset.complement b)));
+    QCheck.Test.make ~name:"cardinal of disjoint union adds" ~count:300
+      (QCheck.pair arb_charset arb_charset) (fun (a, b) ->
+        let b = Charset.diff b a in
+        Charset.cardinal (Charset.union a b)
+        = Charset.cardinal a + Charset.cardinal b);
+  ]
+
+let () =
+  let to_alco = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "props"
+    [
+      ("engine-equivalence", to_alco engine_props);
+      ("pass-equivalence", to_alco pass_props);
+      ("printer", to_alco printer_props);
+      ("module-printer", to_alco module_props);
+      ("fuzz", to_alco fuzz_props);
+      ("engine-fuzz", to_alco engine_fuzz_props);
+      ("charset", to_alco charset_props);
+    ]

@@ -1,0 +1,483 @@
+(* Engine tests. Most behaviours are checked under all three standard
+   configurations (naive, packrat, optimized) — any divergence between
+   them is itself a bug, since the optimizations must be observationally
+   transparent. *)
+
+open Rats
+
+let check = Alcotest.check
+let test name f = Alcotest.test_case name `Quick f
+let value_eq = Alcotest.testable (fun ppf v -> Value.pp ppf v) Value.equal
+
+let configs =
+  [ ("naive", Config.naive); ("packrat", Config.packrat);
+    ("optimized", Config.optimized) ]
+
+(* Run [f] under every configuration, labelling failures. *)
+let each_config g f =
+  List.iter
+    (fun (label, cfg) ->
+      match Engine.prepare ~config:cfg g with
+      | Ok eng -> f label eng
+      | Error (d :: _) ->
+          Alcotest.failf "[%s] prepare: %s" label (Diagnostic.to_string d)
+      | Error [] -> assert false)
+    configs
+
+let parse_ok label eng input =
+  match Engine.parse eng input with
+  | Ok v -> v
+  | Error e ->
+      Alcotest.failf "[%s] %S: %s" label input (Parse_error.message e)
+
+let expect_value g input expected =
+  each_config g (fun label eng ->
+      check value_eq
+        (Printf.sprintf "[%s] %S" label input)
+        expected (parse_ok label eng input))
+
+let expect_accepts g input yes =
+  each_config g (fun label eng ->
+      check Alcotest.bool
+        (Printf.sprintf "[%s] %S" label input)
+        yes (Engine.accepts eng input))
+
+let b = Grammar.make_exn
+
+(* --- matching and values ------------------------------------------------------ *)
+
+let matching_tests =
+  let open Builder in
+  [
+    test "literals match and yield no value" (fun () ->
+        let g = b [ prod "S" (s "ab" @: c 'c') ] in
+        expect_value g "abc" Value.Unit;
+        expect_accepts g "abd" false;
+        expect_accepts g "ab" false);
+    test "classes yield the byte" (fun () ->
+        let g = b [ prod "S" (r '0' '9') ] in
+        expect_value g "7" (Value.Chr '7'));
+    test "any yields the byte and respects eof" (fun () ->
+        let g = b [ prod "S" any ] in
+        expect_value g "x" (Value.Chr 'x');
+        expect_accepts g "" false);
+    test "empty matches the empty input" (fun () ->
+        let g = b [ prod "S" eps ] in
+        expect_value g "" Value.Unit);
+    test "fail never matches" (fun () ->
+        let g = b [ prod "S" (fail "boom" <|> c 'a') ] in
+        expect_accepts g "a" true;
+        expect_accepts g "b" false);
+    test "sequence packs labeled components" (fun () ->
+        let g = b [ prod "S" (("x" |: r 'a' 'z') @: c '-' @: ("y" |: r 'a' 'z')) ] in
+        expect_value g "p-q"
+          (Value.seq [ (Some "x", Value.Chr 'p'); (Some "y", Value.Chr 'q') ]));
+    test "choice is ordered" (fun () ->
+        let g = b [ prod "S" ((tok (s "aa") <|> tok (c 'a')) @: star any) ] in
+        each_config g (fun label eng ->
+            match parse_ok label eng "aa" with
+            | Value.Node { children = (_, Value.Str first) :: _; _ } ->
+                check Alcotest.string label "aa" first
+            | Value.Str first -> check Alcotest.string label "aa" first
+            | v -> Alcotest.failf "[%s] unexpected %s" label (Value.to_string v)));
+    test "star collects values" (fun () ->
+        let g = b [ prod "S" (star (r '0' '9')) ] in
+        expect_value g "12" (Value.List [ Value.Chr '1'; Value.Chr '2' ]);
+        expect_value g "" (Value.List []));
+    test "plus needs one" (fun () ->
+        let g = b [ prod "S" (plus (r '0' '9')) ] in
+        expect_accepts g "" false;
+        expect_value g "4" (Value.List [ Value.Chr '4' ]));
+    test "opt yields unit when absent" (fun () ->
+        let g = b [ prod "S" (opt (c 'x') @: c 'y') ] in
+        expect_value g "y" Value.Unit;
+        expect_value g "xy" Value.Unit);
+    test "and-predicate consumes nothing" (fun () ->
+        let g = b [ prod "S" (amp (c 'a') @: tok (star any)) ] in
+        expect_value g "ab" (Value.Str "ab");
+        expect_accepts g "ba" false);
+    test "not-predicate consumes nothing" (fun () ->
+        let g = b [ prod "S" (bang (c 'q') @: any) ] in
+        expect_accepts g "x" true;
+        expect_accepts g "q" false);
+    test "token captures matched text" (fun () ->
+        let g = b [ prod "S" (tok (plus (r 'a' 'z')) @: c '!') ] in
+        expect_value g "hey!" (Value.Str "hey"));
+    test "node wraps components" (fun () ->
+        let g =
+          b [ prod "S" (node "Pair" (("l" |: any) @: c ',' @: ("r" |: any))) ]
+        in
+        expect_value g "a,b"
+          (Value.node "Pair" [ (Some "l", Value.Chr 'a'); (Some "r", Value.Chr 'b') ]));
+    test "node records its span" (fun () ->
+        let g = b [ prod "S" (c ' ' @: node "N" (s "ab")) ] in
+        let eng = Engine.prepare_exn g in
+        (match Engine.parse eng " ab" with
+        | Ok (Value.Node { span; _ }) ->
+            check Alcotest.int "start" 1 (Span.start span);
+            check Alcotest.int "stop" 3 (Span.stop span)
+        | Ok v -> Alcotest.failf "unexpected %s" (Value.to_string v)
+        | Error _ -> Alcotest.fail "parse failed"));
+    test "drop discards the value" (fun () ->
+        let g = b [ prod "S" (void (r '0' '9') @: r 'a' 'z') ] in
+        expect_value g "1x" (Value.Chr 'x'));
+    test "standalone bind labels the value" (fun () ->
+        let g = b [ prod "S" ("n" |: r '0' '9') ] in
+        expect_value g "3" (Value.seq [ (Some "n", Value.Chr '3') ]));
+    test "production kinds shape the value" (fun () ->
+        let g =
+          Grammar.make_exn ~start:"S"
+            [
+              prod "S"
+                (e "G" @: e "T" @: e "V");
+              prod ~kind:Attr.Generic "G" (r 'a' 'z');
+              prod ~kind:Attr.Text "T" (plus (r '0' '9'));
+              prod ~kind:Attr.Void "V" (r 'a' 'z');
+            ]
+        in
+        expect_value g "x42z"
+          (Value.seq
+             [
+               (None, Value.node "G" [ (None, Value.Chr 'x') ]);
+               (None, Value.Str "42");
+             ]));
+    test "grammar recursion" (fun () ->
+        let g =
+          b [ prod "S" (c '(' @: opt (e "S") @: c ')') ]
+        in
+        expect_accepts g "((()))" true;
+        expect_accepts g "(()" false);
+  ]
+
+(* --- entry points and errors ---------------------------------------------------- *)
+
+let entry_tests =
+  let open Builder in
+  [
+    test "require_eof off allows trailing input" (fun () ->
+        let g = b [ prod "S" (c 'a') ] in
+        let eng = Engine.prepare_exn g in
+        check Alcotest.bool "prefix ok" true
+          (Result.is_ok (Engine.run eng ~require_eof:false "abc").Engine.result);
+        check Alcotest.bool "eof enforced" false
+          (Result.is_ok (Engine.run eng "abc").Engine.result));
+    test "consumed reports the prefix length" (fun () ->
+        let g = b [ prod "S" (plus (r 'a' 'z')) ] in
+        let eng = Engine.prepare_exn g in
+        let out = Engine.run eng ~require_eof:false "abc123" in
+        check Alcotest.int "consumed" 3 out.Engine.consumed;
+        check Alcotest.bool "ok" true (Result.is_ok out.Engine.result);
+        let out = Engine.run eng "123" in
+        check Alcotest.int "failed" (-1) out.Engine.consumed);
+    test "start override" (fun () ->
+        let g =
+          Grammar.make_exn ~start:"A" [ prod "A" (c 'a'); prod "B" (c 'b') ]
+        in
+        let eng = Engine.prepare_exn g in
+        check Alcotest.bool "default" true (Engine.accepts eng "a");
+        check Alcotest.bool "override" true (Engine.accepts eng ~start:"B" "b"));
+    test "unknown start raises" (fun () ->
+        let g = b [ prod "S" (c 'a') ] in
+        let eng = Engine.prepare_exn g in
+        match Engine.parse eng ~start:"Zed" "a" with
+        | exception Diagnostic.Fail _ -> ()
+        | _ -> Alcotest.fail "expected failure");
+    test "farthest failure position" (fun () ->
+        let g = b [ prod "S" (s "ab" @: s "cd" <|> s "abce") ] in
+        each_config g (fun label eng ->
+            match Engine.parse eng "abcx" with
+            | Error e ->
+                check Alcotest.int label 3 e.Parse_error.position
+            | Ok _ -> Alcotest.failf "[%s] unexpected success" label));
+    test "expected set mentions candidates" (fun () ->
+        let g = b [ prod "S" (c 'a' <|> c 'b') ] in
+        let eng = Engine.prepare_exn ~config:Config.packrat g in
+        match Engine.parse eng "z" with
+        | Error e ->
+            let msg = Parse_error.message e in
+            check Alcotest.bool "a" true
+              (String.length msg > 0 && e.Parse_error.expected <> [])
+        | Ok _ -> Alcotest.fail "expected failure");
+    test "error on trailing input mentions end of input" (fun () ->
+        let g = b [ prod "S" (c 'a') ] in
+        let eng = Engine.prepare_exn g in
+        match Engine.parse eng "ab" with
+        | Error e ->
+            check Alcotest.bool "eof" true
+              (List.mem "end of input" e.Parse_error.expected)
+        | Ok _ -> Alcotest.fail "expected failure");
+    test "left recursion rejected at prepare" (fun () ->
+        let g = b [ prod "E" (e "E" @: c '+' <|> c 'n') ] in
+        match Engine.prepare g with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "expected rejection");
+    test "dangling reference rejected at prepare" (fun () ->
+        let g = b [ prod "S" (e "Ghost") ] in
+        match Engine.prepare g with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "expected rejection");
+    test "vacuous repetition rejected at prepare" (fun () ->
+        let g = b [ prod "S" (star (star (c 'x'))) ] in
+        match Engine.prepare g with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "expected rejection");
+  ]
+
+(* --- memoization ----------------------------------------------------------------- *)
+
+(* A grammar designed to re-invoke [Tail] at the same position through
+   backtracking: S = Tail 'x' / Tail 'y' / Tail. *)
+let memo_grammar =
+  let open Builder in
+  Grammar.make_exn ~start:"S"
+    [
+      prod "S" (e "Tail" @: c 'x' <|> e "Tail" @: c 'y' <|> e "Tail");
+      prod "Tail" (plus (r 'a' 'z'));
+    ]
+
+let memo_tests =
+  [
+    test "packrat hits where naive re-parses" (fun () ->
+        let run cfg =
+          let eng = Engine.prepare_exn ~config:cfg memo_grammar in
+          (Engine.run eng "abcdef").Engine.stats
+        in
+        let naive = run Config.naive in
+        let packrat = run Config.packrat in
+        check Alcotest.int "no hits when naive" 0 naive.Stats.memo_hits;
+        check Alcotest.bool "packrat hits" true (packrat.Stats.memo_hits >= 2);
+        (* Tail is evaluated three times at position 0 by the naive
+           engine but only once under packrat (plus two hits). *)
+        check Alcotest.bool "fewer misses than naive evaluations" true
+          (packrat.Stats.memo_misses < naive.Stats.invocations));
+    test "chunked and hashtable agree on hits" (fun () ->
+        let run memo =
+          let eng =
+            Engine.prepare_exn ~config:(Config.v ~memo ()) memo_grammar
+          in
+          (Engine.run eng "abcdef").Engine.stats
+        in
+        let h = run Config.Hashtable and c = run Config.Chunked in
+        check Alcotest.int "hits" h.Stats.memo_hits c.Stats.memo_hits;
+        check Alcotest.bool "chunks allocated" true (c.Stats.chunks_allocated > 0));
+    test "memo slots shrink when transients are honored" (fun () ->
+        let open Builder in
+        let g =
+          Grammar.make_exn ~start:"S"
+            [
+              prod "S" (e "A" @: e "B");
+              prod ~memo:Attr.Memo_never "A" (c 'a');
+              prod "B" (c 'b');
+            ]
+        in
+        let plain = Engine.prepare_exn ~config:(Config.v ~memo:Config.Chunked ()) g in
+        let lean =
+          Engine.prepare_exn
+            ~config:(Config.v ~memo:Config.Chunked ~honor_transient:true ())
+            g
+        in
+        check Alcotest.int "all slots" 3 (Engine.memo_slots plain);
+        check Alcotest.int "fewer slots" 2 (Engine.memo_slots lean));
+    test "failures are memoized too" (fun () ->
+        let eng = Engine.prepare_exn ~config:Config.packrat memo_grammar in
+        let stats = (Engine.run eng "abc!").Engine.stats in
+        (* Tail fails at '!' once; S's alternatives each hit the memo. *)
+        check Alcotest.bool "hits" true (stats.Stats.memo_hits >= 1));
+    test "dispatch prunes doomed alternatives" (fun () ->
+        let open Builder in
+        let g =
+          Grammar.make_exn ~start:"S"
+            [ prod "S" (s "ax" <|> s "bx" <|> s "cx") ]
+        in
+        let no_dispatch = Engine.prepare_exn ~config:Config.packrat g in
+        let dispatch =
+          Engine.prepare_exn ~config:(Config.v ~dispatch:true ()) g
+        in
+        let b1 = (Engine.run no_dispatch "cx").Engine.stats.Stats.backtracks in
+        let b2 = (Engine.run dispatch "cx").Engine.stats.Stats.backtracks in
+        check Alcotest.int "no dispatch backtracks" 2 b1;
+        check Alcotest.int "dispatch skips" 0 b2);
+  ]
+
+(* --- stateful parsing ---------------------------------------------------------------- *)
+
+let typedef_grammar =
+  (* A miniature of the C typedef problem:
+     S    = Def Use
+     Def  = "def " %record(T, Word) ";"
+     Use  = %member(T, Word) ";"   (only defined words can be used)  *)
+  let open Builder in
+  Grammar.make_exn ~start:"S"
+    [
+      prod "S" (e "Def" @: e "Use");
+      prod "Def" (s "def " @: record "T" (e "Word") @: c ';');
+      prod "Use" (member "T" (e "Word") @: c ';');
+      prod ~kind:Attr.Text "Word" (plus (r 'a' 'z'));
+    ]
+
+let state_tests =
+  [
+    test "recorded names become usable" (fun () ->
+        expect_accepts typedef_grammar "def foo;foo;" true;
+        expect_accepts typedef_grammar "def foo;bar;" false);
+    test "absent requires non-membership" (fun () ->
+        let open Builder in
+        let g =
+          Grammar.make_exn ~start:"S"
+            [
+              prod "S" (e "Def" @: absent "T" (e "Word") @: c ';');
+              prod "Def" (s "def " @: record "T" (e "Word") @: c ';');
+              prod ~kind:Attr.Text "Word" (plus (r 'a' 'z'));
+            ]
+        in
+        expect_accepts g "def foo;bar;" true;
+        expect_accepts g "def foo;foo;" false);
+    test "state rolls back on backtracking" (fun () ->
+        (* First alternative records then fails; the record must not leak
+           into the second alternative. *)
+        let open Builder in
+        let g =
+          Grammar.make_exn ~start:"S"
+            [
+              prod "S"
+                (record "T" (e "Word") @: c '!'
+                <|> e "Word" @: c ';' @: bang (member "T" (e "Word'")) @: e "Word'" @: c ';');
+              prod ~kind:Attr.Text "Word" (plus (r 'a' 'z'));
+              prod ~kind:Attr.Text "Word'" (plus (r 'a' 'z'));
+            ]
+        in
+        (* "ab;ab;" — alternative 1 records "ab" then fails on '!'. If the
+           rollback failed, !member would reject the second branch. *)
+        expect_accepts g "ab;ab;" true);
+    test "memoized stateful production replays after state change" (fun () ->
+        (* S = A 'x' / A Use;  A = %record(T,'a').
+           A runs at position 0 twice: once before the table rollback,
+           once after. A stale memo hit would skip the re-record and Use
+           would fail. *)
+        let open Builder in
+        let g =
+          Grammar.make_exn ~start:"S"
+            [
+              prod "S" (e "A" @: c 'x' <|> e "A" @: e "Use");
+              prod "A" (record "T" (c 'a'));
+              prod "Use" (member "T" (c 'a'));
+            ]
+        in
+        expect_accepts g "aa" true);
+    test "state snapshots are counted" (fun () ->
+        (* Backtracking over a committed record restores the tables. *)
+        let open Builder in
+        let g =
+          Grammar.make_exn ~start:"S"
+            [
+              prod "S" (record "T" (c 'a') @: c '!' <|> c 'a' @: c 'b');
+            ]
+        in
+        let eng = Engine.prepare_exn ~config:Config.packrat g in
+        let stats = (Engine.run eng "ab").Engine.stats in
+        check Alcotest.bool "snapshots" true (stats.Stats.state_snapshots >= 1));
+    test "typedef behaviour survives every configuration" (fun () ->
+        expect_accepts typedef_grammar "def abc;abc;" true);
+  ]
+
+(* --- tracing ---------------------------------------------------------------------------- *)
+
+let trace_tests =
+  let open Builder in
+  let g =
+    Grammar.make_exn ~start:"S"
+      [ prod "S" (e "A" @: e "A"); prod "A" (plus (r 'a' 'z')) ]
+  in
+  let collect ?(config = Config.packrat) input =
+    let events = ref [] in
+    match
+      Engine.trace ~config ~on_event:(fun ev -> events := ev :: !events) g input
+    with
+    | Ok out -> (out, List.rev !events)
+    | Error _ -> Alcotest.fail "trace prepare failed"
+  in
+  [
+    test "enter and exit events balance" (fun () ->
+        let _, events = collect "ab" in
+        let enters =
+          List.length (List.filter (fun (e : Engine.trace_event) -> e.outcome = None) events)
+        in
+        let exits =
+          List.length (List.filter (fun (e : Engine.trace_event) -> e.outcome <> None) events)
+        in
+        check Alcotest.int "balanced" enters exits;
+        check Alcotest.bool "some events" true (enters > 0));
+    test "event count equals invocation count times two" (fun () ->
+        let out, events = collect "ab" in
+        check Alcotest.int "2x invocations"
+          (2 * out.Engine.stats.Stats.invocations)
+          (List.length events));
+    test "exits carry outcomes, failures are negative" (fun () ->
+        let _, events = collect "a1" in
+        check Alcotest.bool "has failure exit" true
+          (List.exists
+             (fun (e : Engine.trace_event) -> e.outcome = Some (-1))
+             events));
+    test "depth nests properly" (fun () ->
+        let _, events = collect "ab" in
+        let ok = ref true in
+        let depth = ref 0 in
+        List.iter
+          (fun (e : Engine.trace_event) ->
+            match e.outcome with
+            | None ->
+                if e.depth <> !depth then ok := false;
+                incr depth
+            | Some _ ->
+                decr depth;
+                if e.depth <> !depth then ok := false)
+          events;
+        check Alcotest.bool "nesting" true !ok;
+        check Alcotest.int "returns to zero" 0 !depth);
+    test "memo hits still appear as invocations" (fun () ->
+        (* S invokes A twice at different positions; with the memo_grammar
+           from above, hits show up as enter/exit pairs too. *)
+        let events = ref 0 in
+        (match
+           Engine.trace ~config:Config.packrat
+             ~on_event:(fun _ -> incr events)
+             memo_grammar "abc"
+         with
+        | Ok out ->
+            check Alcotest.int "2x invocations"
+              (2 * out.Engine.stats.Stats.invocations)
+              !events
+        | Error _ -> Alcotest.fail "trace failed"));
+  ]
+
+(* --- pathological input --------------------------------------------------------------- *)
+
+let path_tests =
+  [
+    test "packrat is immune to exponential backtracking" (fun () ->
+        let g = Grammars.Path.grammar () in
+        let eng = Engine.prepare_exn ~config:Config.packrat g in
+        let input = Grammars.Corpus.pathological ~depth:60 in
+        (* Would take astronomically long without memoization. *)
+        check Alcotest.bool "accepts" true (Engine.accepts eng input));
+    test "naive invocation count explodes, packrat's stays linear" (fun () ->
+        let g = Grammars.Path.grammar () in
+        let input = Grammars.Corpus.pathological ~depth:14 in
+        let invs cfg =
+          let eng = Engine.prepare_exn ~config:cfg g in
+          (Engine.run eng input).Engine.stats.Stats.invocations
+        in
+        let naive = invs Config.naive and packrat = invs Config.packrat in
+        check Alcotest.bool "exponential vs linear" true (naive > 20 * packrat));
+  ]
+
+let () =
+  Alcotest.run "runtime"
+    [
+      ("matching", matching_tests);
+      ("entry", entry_tests);
+      ("memo", memo_tests);
+      ("state", state_tests);
+      ("trace", trace_tests);
+      ("pathological", path_tests);
+    ]

@@ -1,0 +1,209 @@
+(* Unit tests for the support substrate: spans, sources, diagnostics and
+   the deterministic PRNG. *)
+
+open Rats
+
+let check = Alcotest.check
+let test name f = Alcotest.test_case name `Quick f
+
+(* Substring test, used by a few message assertions. *)
+let contains s sub =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+(* --- Span ------------------------------------------------------------------ *)
+
+let span_tests =
+  [
+    test "v and accessors" (fun () ->
+        let s = Span.v ~start_:3 ~stop:7 in
+        check Alcotest.int "start" 3 (Span.start s);
+        check Alcotest.int "stop" 7 (Span.stop s);
+        check Alcotest.int "length" 4 (Span.length s));
+    test "rejects negative start" (fun () ->
+        Alcotest.check_raises "negative"
+          (Invalid_argument "Span.v: negative start") (fun () ->
+            ignore (Span.v ~start_:(-1) ~stop:0)));
+    test "rejects stop before start" (fun () ->
+        Alcotest.check_raises "inverted"
+          (Invalid_argument "Span.v: stop before start") (fun () ->
+            ignore (Span.v ~start_:5 ~stop:4)));
+    test "point is empty" (fun () ->
+        check Alcotest.int "len" 0 (Span.length (Span.point 9)));
+    test "dummy detection" (fun () ->
+        check Alcotest.bool "dummy" true (Span.is_dummy Span.dummy);
+        check Alcotest.bool "not dummy" false
+          (Span.is_dummy (Span.v ~start_:0 ~stop:1)));
+    test "union covers both" (fun () ->
+        let u = Span.union (Span.v ~start_:2 ~stop:4) (Span.v ~start_:7 ~stop:9) in
+        check Alcotest.int "start" 2 (Span.start u);
+        check Alcotest.int "stop" 9 (Span.stop u));
+    test "union absorbs dummy" (fun () ->
+        let s = Span.v ~start_:2 ~stop:4 in
+        check Alcotest.bool "left" true (Span.equal s (Span.union Span.dummy s));
+        check Alcotest.bool "right" true (Span.equal s (Span.union s Span.dummy)));
+    test "contains is half-open" (fun () ->
+        let s = Span.v ~start_:2 ~stop:4 in
+        check Alcotest.bool "below" false (Span.contains s 1);
+        check Alcotest.bool "start" true (Span.contains s 2);
+        check Alcotest.bool "last" true (Span.contains s 3);
+        check Alcotest.bool "stop" false (Span.contains s 4));
+    test "compare orders by start then stop" (fun () ->
+        let a = Span.v ~start_:1 ~stop:5 and b = Span.v ~start_:1 ~stop:6 in
+        check Alcotest.bool "lt" true (Span.compare a b < 0);
+        check Alcotest.bool "eq" true
+          (Span.compare a (Span.v ~start_:1 ~stop:5) = 0));
+  ]
+
+(* --- Source ------------------------------------------------------------------ *)
+
+let source_tests =
+  let src = Source.of_string ~name:"t.rats" "line one\nline two\r\nline three" in
+  [
+    test "name and length" (fun () ->
+        check Alcotest.string "name" "t.rats" (Source.name src);
+        check Alcotest.int "len" 29 (Source.length src));
+    test "location at offset 0" (fun () ->
+        let { Source.line; col } = Source.location src 0 in
+        check Alcotest.int "line" 1 line;
+        check Alcotest.int "col" 1 col);
+    test "location mid second line" (fun () ->
+        (* offset 9 is 'l' of "line two" *)
+        let { Source.line; col } = Source.location src 9 in
+        check Alcotest.int "line" 2 line;
+        check Alcotest.int "col" 1 col);
+    test "location clamps past end" (fun () ->
+        let { Source.line; _ } = Source.location src 10_000 in
+        check Alcotest.int "line" 3 line);
+    test "line_text strips newline and CR" (fun () ->
+        check Alcotest.string "l1" "line one" (Source.line_text src 1);
+        check Alcotest.string "l2" "line two" (Source.line_text src 2);
+        check Alcotest.string "l3" "line three" (Source.line_text src 3));
+    test "line_text out of range" (fun () ->
+        Alcotest.check_raises "zero" (Invalid_argument "Source.line_text")
+          (fun () -> ignore (Source.line_text src 0)));
+    test "line_count" (fun () ->
+        check Alcotest.int "count" 3 (Source.line_count src));
+    test "slice clamps" (fun () ->
+        check Alcotest.string "inside" "one"
+          (Source.slice src (Span.v ~start_:5 ~stop:8));
+        check Alcotest.string "overhang" "three"
+          (Source.slice src (Span.v ~start_:24 ~stop:99)));
+    test "excerpt carries a caret" (fun () ->
+        let s = Format.asprintf "%a" (Source.pp_excerpt src) (Span.v ~start_:5 ~stop:8) in
+        check Alcotest.bool "caret" true (String.contains s '^');
+        check Alcotest.bool "quotes line" true
+          (String.length s >= String.length "line one"));
+    test "read_file missing" (fun () ->
+        match Source.read_file "/nonexistent/xyz" with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "expected error");
+    test "empty source has one line" (fun () ->
+        let e = Source.of_string "" in
+        check Alcotest.int "lines" 1 (Source.line_count e);
+        let { Source.line; col } = Source.location e 0 in
+        check Alcotest.int "line" 1 line;
+        check Alcotest.int "col" 1 col);
+  ]
+
+(* --- Diagnostic ----------------------------------------------------------------- *)
+
+let diagnostic_tests =
+  [
+    test "errorf formats" (fun () ->
+        let d = Diagnostic.errorf "bad %s %d" "thing" 3 in
+        check Alcotest.string "msg" "bad thing 3" d.Diagnostic.message;
+        check Alcotest.bool "is_error" true (Diagnostic.is_error d));
+    test "warning is not error" (fun () ->
+        check Alcotest.bool "warn" false
+          (Diagnostic.is_error (Diagnostic.warning "w")));
+    test "to_string without source" (fun () ->
+        let s = Diagnostic.to_string (Diagnostic.error "boom") in
+        check Alcotest.string "rendered" "error: boom" s);
+    test "to_string with notes" (fun () ->
+        let s =
+          Diagnostic.to_string (Diagnostic.error ~notes:[ "hint" ] "boom")
+        in
+        check Alcotest.bool "note shown" true
+          (contains s "note: hint"));
+    test "to_string with source location" (fun () ->
+        let src = Source.of_string ~name:"f" "abc\ndef" in
+        let d = Diagnostic.error ~span:(Span.v ~start_:4 ~stop:5) "nope" in
+        let s = Diagnostic.to_string ~source:src d in
+        check Alcotest.bool "loc" true (contains s "f:2:1"));
+    test "fail raises" (fun () ->
+        match Diagnostic.fail "x" with
+        | exception Diagnostic.Fail d ->
+            check Alcotest.string "msg" "x" d.Diagnostic.message
+        | _ -> Alcotest.fail "expected Fail");
+  ]
+
+(* --- Rng -------------------------------------------------------------------------- *)
+
+let rng_tests =
+  [
+    test "same seed, same stream" (fun () ->
+        let a = Rng.create 7 and b = Rng.create 7 in
+        for _ = 1 to 50 do
+          check Alcotest.int "step" (Rng.int a 1000) (Rng.int b 1000)
+        done);
+    test "different seeds differ" (fun () ->
+        let a = Rng.create 1 and b = Rng.create 2 in
+        let va = List.init 20 (fun _ -> Rng.int a 1_000_000) in
+        let vb = List.init 20 (fun _ -> Rng.int b 1_000_000) in
+        check Alcotest.bool "differ" true (va <> vb));
+    test "int stays in bounds" (fun () ->
+        let r = Rng.create 3 in
+        for _ = 1 to 1000 do
+          let v = Rng.int r 17 in
+          if v < 0 || v >= 17 then Alcotest.fail "out of bounds"
+        done);
+    test "int rejects non-positive bound" (fun () ->
+        Alcotest.check_raises "zero"
+          (Invalid_argument "Rng.int: bound must be positive") (fun () ->
+            ignore (Rng.int (Rng.create 0) 0)));
+    test "in_range inclusive" (fun () ->
+        let r = Rng.create 4 in
+        let seen_lo = ref false and seen_hi = ref false in
+        for _ = 1 to 2000 do
+          let v = Rng.in_range r 2 4 in
+          if v = 2 then seen_lo := true;
+          if v = 4 then seen_hi := true;
+          if v < 2 || v > 4 then Alcotest.fail "out of range"
+        done;
+        check Alcotest.bool "lo" true !seen_lo;
+        check Alcotest.bool "hi" true !seen_hi);
+    test "copy forks the stream" (fun () ->
+        let a = Rng.create 9 in
+        ignore (Rng.int a 10);
+        let b = Rng.copy a in
+        check Alcotest.int "same next" (Rng.int a 1000) (Rng.int b 1000));
+    test "pick_weighted respects zero weight" (fun () ->
+        let r = Rng.create 5 in
+        for _ = 1 to 200 do
+          match Rng.pick_weighted r [ (0, `A); (5, `B) ] with
+          | `A -> Alcotest.fail "picked zero-weight item"
+          | `B -> ()
+        done);
+    test "pick_weighted rejects empty" (fun () ->
+        Alcotest.check_raises "empty"
+          (Invalid_argument "Rng.pick_weighted: non-positive total") (fun () ->
+            ignore (Rng.pick_weighted (Rng.create 0) [])));
+    test "bool produces both values" (fun () ->
+        let r = Rng.create 11 in
+        let t = ref false and f = ref false in
+        for _ = 1 to 100 do
+          if Rng.bool r then t := true else f := true
+        done;
+        check Alcotest.bool "both" true (!t && !f));
+  ]
+
+let () =
+  Alcotest.run "support"
+    [
+      ("span", span_tests);
+      ("source", source_tests);
+      ("diagnostic", diagnostic_tests);
+      ("rng", rng_tests);
+    ]
