@@ -7,6 +7,7 @@
      dune exec bench/main.exe e2 e3        run selected experiments
      dune exec bench/main.exe -- --quick   smaller corpora
      dune exec bench/main.exe -- --micro   add a bechamel micro-benchmark
+     dune exec bench/main.exe -- --json F  also write results to F as JSON
 
    Experiments:
      e1  grammar / module composition statistics     (Table 1 analogue)
@@ -20,14 +21,71 @@ open Rats
 
 let quick = ref false
 let micro = ref false
+let json_path : string option ref = ref None
+
+(* --- machine-readable results -------------------------------------------- *)
+
+(* Rows accumulate as preformatted JSON objects and are written in one
+   array at exit when --json FILE was given. Values are either numbers
+   or strings; nothing here needs a JSON library. *)
+let json_rows : string list ref = ref []
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let jstr s = Printf.sprintf "\"%s\"" (json_escape s)
+let jint i = string_of_int i
+let jfloat f = if Float.is_finite f then Printf.sprintf "%.6g" f else "null"
+
+let record ~experiment ~series fields =
+  if !json_path <> None then (
+    let fields =
+      ("experiment", jstr experiment) :: ("series", jstr series) :: fields
+    in
+    json_rows :=
+      Printf.sprintf "{%s}"
+        (String.concat ", "
+           (List.map (fun (k, v) -> Printf.sprintf "%s: %s" (jstr k) v) fields))
+      :: !json_rows)
+
+let write_json () =
+  match !json_path with
+  | None -> ()
+  | Some path ->
+      Out_channel.with_open_bin path (fun oc ->
+          output_string oc "[\n  ";
+          output_string oc (String.concat ",\n  " (List.rev !json_rows));
+          output_string oc "\n]\n");
+      Printf.printf "\nwrote %d records to %s\n" (List.length !json_rows) path
 
 (* --- timing -------------------------------------------------------------- *)
 
+(* Size the minor heap to the working set of one parse (a few MW): each
+   iteration's value tree then dies young instead of being promoted and
+   collected by the major GC. With the 256 KW default, every contender
+   pays ~2x its parse time in promotion work for values it immediately
+   drops, which measures the allocator more than the parser. *)
+let () = Gc.set { (Gc.get ()) with Gc.minor_heap_size = 8 * 1024 * 1024 }
+
 let now () = Unix.gettimeofday ()
 
-(* Best-of-N wall time, with one warmup run. *)
+(* Best-of-N wall time, with one warmup run. The compaction gives every
+   contender a clean heap: without it, later rows pay major-GC slices
+   for garbage the earlier rows left behind. *)
 let time_best ?(repeats = 5) f =
   ignore (f ());
+  Gc.compact ();
   let best = ref infinity in
   for _ = 1 to repeats do
     Gc.minor ();
@@ -158,6 +216,14 @@ let e2_language lang corpus contenders =
             1.0
         | Some b -> t /. b
       in
+      record ~experiment:"e2" ~series:lang
+        [
+          ("parser", jstr c.c_name);
+          ("bytes", jint bytes);
+          ("time_ms", jfloat (ms t));
+          ("mb_per_s", jfloat (mbs bytes t));
+          ("rel", jfloat rel);
+        ];
       row "  %-22s %10.2f %10.2f %7.2fx\n" c.c_name (ms t) (mbs bytes t) rel)
     contenders
 
@@ -171,6 +237,7 @@ let e2 () =
       engine_contender "naive interpreter" calc Config.naive;
       engine_contender "packrat interpreter" calc Config.packrat;
       engine_contender "optimized interpreter" calc_opt Config.optimized;
+      engine_contender "bytecode interpreter" calc_opt Config.vm;
       { c_name = "generated parser"; parse = (fun s -> Result.is_ok (Bench_gen_calc.parse s)) };
       { c_name = "hand-written"; parse = (fun s -> Result.is_ok (Grammars.Calc.parse_hand s)) };
     ];
@@ -181,6 +248,7 @@ let e2 () =
       engine_contender "naive interpreter" json Config.naive;
       engine_contender "packrat interpreter" json Config.packrat;
       engine_contender "optimized interpreter" json_opt Config.optimized;
+      engine_contender "bytecode interpreter" json_opt Config.vm;
       { c_name = "generated parser"; parse = (fun s -> Result.is_ok (Bench_gen_json.parse s)) };
       { c_name = "hand-written"; parse = (fun s -> Result.is_ok (Grammars.Json.parse_hand s)) };
     ];
@@ -191,6 +259,7 @@ let e2 () =
       engine_contender "naive interpreter" minic Config.naive;
       engine_contender "packrat interpreter" minic Config.packrat;
       engine_contender "optimized interpreter" minic_opt Config.optimized;
+      engine_contender "bytecode interpreter" minic_opt Config.vm;
       { c_name = "hand-written"; parse = (fun s -> Result.is_ok (Grammars.Minic.parse_hand s)) };
     ];
   let java = Grammars.Minijava.grammar () in
@@ -200,6 +269,7 @@ let e2 () =
       engine_contender "naive interpreter" java Config.naive;
       engine_contender "packrat interpreter" java Config.packrat;
       engine_contender "optimized interpreter" java_opt Config.optimized;
+      engine_contender "bytecode interpreter" java_opt Config.vm;
       { c_name = "generated parser"; parse = (fun s -> Result.is_ok (Bench_gen_java.parse s)) };
       { c_name = "hand-written"; parse = (fun s -> Result.is_ok (Grammars.Minijava.parse_hand s)) };
     ]
@@ -255,6 +325,16 @@ let e3 () =
       assert_ok rung.name out.Engine.result;
       let t = time_best (fun () -> Engine.run eng corpus) in
       if Float.is_nan !baseline then baseline := t;
+      record ~experiment:"e3" ~series:"minic-ladder"
+        [
+          ("rung", jstr rung.name);
+          ("time_ms", jfloat (ms t));
+          ("ratio", jfloat (t /. !baseline));
+          ("memo_entries", jint (Stats.memo_entries out.stats));
+          ("memo_hits", jint out.stats.Stats.memo_hits);
+          ("invocations", jint out.stats.Stats.invocations);
+          ("productions", jint (Grammar.length rung.grammar));
+        ];
       row "  %-14s %9.2f %6.2fx %9d %9d %8d %7d\n" rung.name (ms t)
         (t /. !baseline)
         (Stats.memo_entries out.stats)
@@ -287,13 +367,24 @@ let e4 () =
   header "E4: parse time scales linearly with input (Figure analogue)";
   let g = Pipeline.optimize (Grammars.Minic.grammar ()) in
   let eng = prepare g in
-  row "  %-10s %10s %10s %12s\n" "functions" "bytes" "time ms" "KB/ms";
+  let vm = prepare ~config:Config.vm g in
+  row "  %-10s %10s %12s %8s %12s\n" "functions" "bytes" "closure ms"
+    "vm ms" "vm KB/ms";
   List.iter
     (fun functions ->
       let src = Grammars.Corpus.minic (Rng.create 1) ~functions in
       let t = time_best (fun () -> Engine.parse eng src) in
-      row "  %-10d %10d %10.2f %12.1f\n" functions (String.length src) (ms t)
-        (float_of_int (String.length src) /. 1024. /. ms t))
+      let tv = time_best (fun () -> Engine.parse vm src) in
+      record ~experiment:"e4" ~series:"minic-scaling"
+        [
+          ("functions", jint functions);
+          ("bytes", jint (String.length src));
+          ("closure_ms", jfloat (ms t));
+          ("vm_ms", jfloat (ms tv));
+        ];
+      row "  %-10d %10d %12.2f %8.2f %12.1f\n" functions (String.length src)
+        (ms t) (ms tv)
+        (float_of_int (String.length src) /. 1024. /. ms tv))
     (List.map scale [ 10; 20; 40; 80; 160 ]);
   row "\npathological input '((((...1...))))' (backtracking blow-up):\n";
   row "  %-7s %16s %16s %18s\n" "depth" "naive ms" "packrat ms"
@@ -307,6 +398,13 @@ let e4 () =
       let tn = time_best ~repeats:3 (fun () -> Engine.parse naive input) in
       let tp = time_best ~repeats:3 (fun () -> Engine.parse packrat input) in
       let invs = (Engine.run naive input).Engine.stats.Stats.invocations in
+      record ~experiment:"e4" ~series:"pathological"
+        [
+          ("depth", jint depth);
+          ("naive_ms", jfloat (ms tn));
+          ("packrat_ms", jfloat (ms tp));
+          ("naive_invocations", jint invs);
+        ];
       row "  %-7d %16.3f %16.3f %18d\n" depth (ms tn) (ms tp) invs)
     [ 8; 10; 12; 14; 16; 18 ];
   let deep = Grammars.Corpus.pathological ~depth:3000 in
@@ -504,19 +602,23 @@ let experiments =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let args =
-    List.filter
-      (fun a ->
-        match a with
-        | "--quick" ->
-            quick := true;
-            false
-        | "--micro" ->
-            micro := true;
-            false
-        | _ -> true)
-      args
+  let rec scan = function
+    | [] -> []
+    | "--quick" :: rest ->
+        quick := true;
+        scan rest
+    | "--micro" :: rest ->
+        micro := true;
+        scan rest
+    | "--json" :: path :: rest ->
+        json_path := Some path;
+        scan rest
+    | "--json" :: [] ->
+        prerr_endline "--json needs a file argument";
+        exit 2
+    | a :: rest -> a :: scan rest
   in
+  let args = scan args in
   let selected =
     match args with
     | [] -> experiments
@@ -533,4 +635,5 @@ let () =
   in
   Printf.printf "rats-ml benchmark harness (quick=%b)\n" !quick;
   List.iter (fun (_, f) -> f ()) selected;
-  if !micro then e2_micro ()
+  if !micro then e2_micro ();
+  write_json ()

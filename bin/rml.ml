@@ -70,6 +70,7 @@ let config_arg =
     | "naive" -> Ok Rats.Config.naive
     | "packrat" -> Ok Rats.Config.packrat
     | "optimized" -> Ok Rats.Config.optimized
+    | "vm" -> Ok Rats.Config.vm
     | s -> Error (`Msg (Printf.sprintf "unknown configuration %S" s))
   in
   Arg.(
@@ -78,7 +79,27 @@ let config_arg =
         (conv ((fun s -> conv_config s), fun ppf c -> Fmt.string ppf (Rats.Config.describe c)))
         Rats.Config.optimized
     & info [ "c"; "config" ] ~docv:"CONFIG"
-        ~doc:"Engine configuration: naive, packrat or optimized.")
+        ~doc:"Engine configuration: naive, packrat, optimized or vm.")
+
+let engine_arg =
+  let conv_engine = function
+    | "closure" -> Ok Rats.Config.Closure
+    | "vm" | "bytecode" -> Ok Rats.Config.Bytecode
+    | s -> Error (`Msg (Printf.sprintf "unknown engine %S" s))
+  in
+  Arg.(
+    value
+    & opt
+        (some
+           (conv
+              ( (fun s -> conv_engine s),
+                fun ppf b -> Fmt.string ppf (Rats.Config.backend_name b) )))
+        None
+    & info [ "e"; "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "Execution back end: closure (a network of OCaml closures) or vm \
+           (flat bytecode with an explicit backtrack stack). Overrides the \
+           configuration's choice.")
 
 let load_modules files builtin =
   match (files, builtin) with
@@ -289,10 +310,18 @@ let parse_cmd =
       & info [ "trace" ]
           ~doc:"Print production enter/exit events (capped at 500 lines).")
   in
-  let run files builtin root start optimize config input stats quiet trace =
+  let run files builtin root start optimize config engine input stats quiet
+      trace =
     match compose_from files builtin root start with
     | Error ds -> print_errors ds
     | Ok g -> (
+        let config =
+          match engine with
+          | None -> config
+          | Some b -> Rats.Config.with_backend b config
+        in
+        if trace && config.Rats.Config.backend = Rats.Config.Bytecode then
+          Fmt.epr "note: tracing runs on the closure engine@.";
         let g = if optimize then Rats.Pipeline.optimize g else g in
         match Rats.Engine.prepare ~config g with
         | Error ds -> print_errors ds
@@ -346,8 +375,31 @@ let parse_cmd =
   Cmd.v (Cmd.info "parse" ~doc:"Parse an input file with a composed grammar.")
     Term.(
       const run $ files_arg $ builtin_arg $ root_arg $ start_arg
-      $ optimize_arg $ config_arg $ input_arg $ stats_arg $ quiet_arg
-      $ trace_arg)
+      $ optimize_arg $ config_arg $ engine_arg $ input_arg $ stats_arg
+      $ quiet_arg $ trace_arg)
+
+let bytecode_cmd =
+  let run files builtin root start optimize config =
+    match compose_from files builtin root start with
+    | Error ds -> print_errors ds
+    | Ok g -> (
+        let g = if optimize then Rats.Pipeline.optimize g else g in
+        match Rats.Vm.prepare ~config g with
+        | Error ds -> print_errors ds
+        | Ok vm ->
+            Fmt.pr "; %d instructions, %d memo slots, %s@.%s"
+              (Rats.Vm.instruction_count vm)
+              (Rats.Vm.memo_slots vm)
+              (Rats.Config.describe (Rats.Vm.config vm))
+              (Rats.Vm.disassemble vm);
+            0)
+  in
+  Cmd.v
+    (Cmd.info "bytecode"
+       ~doc:"Compile the grammar to bytecode and print the disassembly.")
+    Term.(
+      const run $ files_arg $ builtin_arg $ root_arg $ start_arg
+      $ optimize_arg $ config_arg)
 
 let generate_cmd =
   let out_arg =
@@ -395,6 +447,6 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [
-            modules_cmd; compose_cmd; analyze_cmd; parse_cmd; generate_cmd;
-            fmt_cmd;
+            modules_cmd; compose_cmd; analyze_cmd; parse_cmd; bytecode_cmd;
+            generate_cmd; fmt_cmd;
           ]))

@@ -20,6 +20,8 @@ module Config = Rats_runtime.Config
 module Stats = Rats_runtime.Stats
 module Parse_error = Rats_runtime.Parse_error
 module Engine = Rats_runtime.Engine
+module Vm = Rats_runtime.Vm
+module Expected = Rats_runtime.Expected
 module Desugar = Rats_optimize.Desugar
 module Passes = Rats_optimize.Passes
 module Pipeline = Rats_optimize.Pipeline

@@ -77,6 +77,14 @@ let ladder g =
                 (Passes.inline_pass
                    (Passes.mark_terminals (Passes.mark_transients g))))),
         Config.optimized );
+      ( "+bytecode",
+        "flat bytecode program with an explicit backtrack stack",
+        Passes.prune
+          (Passes.factor_prefixes
+             (Passes.fold_duplicates
+                (Passes.inline_pass
+                   (Passes.mark_terminals (Passes.mark_transients g))))),
+        Config.vm );
     ]
   in
   List.mapi

@@ -18,7 +18,7 @@ type rung = {
 val ladder : Grammar.t -> rung list
 (** All rungs, in cumulative order:
     baseline, +chunks, +transients, +terminals, +repetitions, +inlining,
-    +folding, +factoring, +dispatch, +lean-values. *)
+    +folding, +factoring, +dispatch, +lean-values, +bytecode. *)
 
 val optimize : ?inline_threshold:int -> Grammar.t -> Grammar.t
 (** The full grammar-side pipeline: transients, terminals, inlining,

@@ -1,29 +1,40 @@
 type memo_strategy = No_memo | Hashtable | Chunked
+type backend = Closure | Bytecode
 
 type t = {
   memo : memo_strategy;
   honor_transient : bool;
   dispatch : bool;
   lean_values : bool;
+  backend : backend;
 }
 
 let naive =
-  { memo = No_memo; honor_transient = false; dispatch = false; lean_values = false }
+  { memo = No_memo; honor_transient = false; dispatch = false;
+    lean_values = false; backend = Closure }
 
 let packrat =
-  { memo = Hashtable; honor_transient = false; dispatch = false; lean_values = false }
+  { memo = Hashtable; honor_transient = false; dispatch = false;
+    lean_values = false; backend = Closure }
 
 let optimized =
-  { memo = Chunked; honor_transient = true; dispatch = true; lean_values = true }
+  { memo = Chunked; honor_transient = true; dispatch = true;
+    lean_values = true; backend = Closure }
+
+let vm = { optimized with backend = Bytecode }
 
 let v ?(memo = Hashtable) ?(honor_transient = false) ?(dispatch = false)
-    ?(lean_values = false) () =
-  { memo; honor_transient; dispatch; lean_values }
+    ?(lean_values = false) ?(backend = Closure) () =
+  { memo; honor_transient; dispatch; lean_values; backend }
+
+let with_backend backend c = { c with backend }
 
 let memo_name = function
   | No_memo -> "none"
   | Hashtable -> "hashtable"
   | Chunked -> "chunked"
+
+let backend_name = function Closure -> "closure" | Bytecode -> "vm"
 
 let describe c =
   let flags =
@@ -33,6 +44,7 @@ let describe c =
         (c.honor_transient, "transient");
         (c.dispatch, "dispatch");
         (c.lean_values, "lean-values");
+        (c.backend = Bytecode, "bytecode");
       ]
   in
   Printf.sprintf "memo=%s%s" (memo_name c.memo)

@@ -13,6 +13,12 @@ type memo_strategy =
   | Chunked  (** Rats!-style chunks: one lazily allocated record per
                  input position with a slot per memoized production *)
 
+type backend =
+  | Closure  (** compile the IR to a network of OCaml closures — one
+                 indirect call per IR node *)
+  | Bytecode  (** compile the IR to a flat instruction array interpreted
+                  by {!Vm} with an explicit backtrack stack *)
+
 type t = {
   memo : memo_strategy;
   honor_transient : bool;
@@ -25,6 +31,10 @@ type t = {
       (** run predicates, [Token] bodies and void/text productions in
           recognizer mode that builds no semantic values — Rats!'s
           "avoid unnecessary semantic values" *)
+  backend : backend;
+      (** execution strategy; both back ends are observationally
+          equivalent, the bytecode VM trades compile-time flattening for
+          a faster hot loop *)
 }
 
 val naive : t
@@ -35,15 +45,23 @@ val packrat : t
     baseline packrat parser. *)
 
 val optimized : t
-(** Everything on: chunks, transients honored, dispatch, lean values. *)
+(** Everything on: chunks, transients honored, dispatch, lean values —
+    on the closure back end. *)
+
+val vm : t
+(** {!optimized} on the {!Bytecode} back end. *)
 
 val v :
   ?memo:memo_strategy ->
   ?honor_transient:bool ->
   ?dispatch:bool ->
   ?lean_values:bool ->
+  ?backend:backend ->
   unit ->
   t
 
+val with_backend : backend -> t -> t
+
+val backend_name : backend -> string
 val pp : Format.formatter -> t -> unit
 val describe : t -> string

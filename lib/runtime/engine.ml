@@ -14,9 +14,7 @@ type st = {
   input : string;
   len : int;
   mutable value : Value.t;
-  mutable farthest : int;
-  mutable expected : string list;
-  mutable expected_n : int;
+  fail_trace : Expected.t;
   mutable tables : SSet.t SMap.t;  (* stateful-parsing tables *)
   mutable version : int;  (* bumped on every table change or rollback *)
   stats : Stats.t;
@@ -36,18 +34,10 @@ type t = {
   recs : fn array;  (* per-production recognizers *)
   slots : int array;  (* memo slot per production; -1 = not memoized *)
   nslots : int;
+  vm : Vm.t option;  (* the bytecode program, [Config.Bytecode] only *)
 }
 
-let max_expected = 32
-
-let record st pos desc =
-  if pos > st.farthest then (
-    st.farthest <- pos;
-    st.expected <- [ desc ];
-    st.expected_n <- 1)
-  else if pos = st.farthest && st.expected_n < max_expected then (
-    st.expected <- desc :: st.expected;
-    st.expected_n <- st.expected_n + 1)
+let record st pos desc = Expected.record st.fail_trace pos desc
 
 (* Restore the state tables to a snapshot; a physical change bumps the
    version so that memo entries of stateful productions stop matching. *)
@@ -542,6 +532,7 @@ let prepare_hooked ?hook ?(config = Config.optimized) gram =
           recs = Array.make nprods dummy;
           slots;
           nslots;
+          vm = None;
         }
       in
       let ctx = { parser; analysis; config } in
@@ -688,7 +679,27 @@ let prepare_hooked ?hook ?(config = Config.optimized) gram =
          Ok parser
        with Diagnostic.Fail d -> Error [ d ])
 
-let prepare ?config gram = prepare_hooked ?config gram
+(* The bytecode back end reuses the engine's front door: a [t] whose
+   closure tables are empty and whose program lives in [vm]. Hooked
+   (traced) engines always run on closures. *)
+let prepare ?(config = Config.optimized) gram =
+  match config.Config.backend with
+  | Config.Closure -> prepare_hooked ~config gram
+  | Config.Bytecode -> (
+      match Vm.prepare ~config gram with
+      | Error ds -> Error ds
+      | Ok vm ->
+          Ok
+            {
+              cfg = config;
+              gram;
+              ids = Hashtbl.create 1;
+              full = [||];
+              recs = [||];
+              slots = [||];
+              nslots = Vm.memo_slots vm;
+              vm = Some vm;
+            })
 
 let prepare_exn ?config gram =
   match prepare ?config gram with
@@ -699,6 +710,7 @@ let prepare_exn ?config gram =
 let config t = t.cfg
 let grammar t = t.gram
 let memo_slots t = t.nslots
+let bytecode t = t.vm
 
 (* --- running ------------------------------------------------------------ *)
 
@@ -708,7 +720,7 @@ type outcome = {
   consumed : int;
 }
 
-let run t ?start ?(require_eof = true) input =
+let run_closures t ?start ~require_eof input =
   let start_id =
     match start with
     | None -> Hashtbl.find t.ids (Grammar.start t.gram)
@@ -725,9 +737,7 @@ let run t ?start ?(require_eof = true) input =
       input;
       len = String.length input;
       value = Value.Unit;
-      farthest = -1;
-      expected = [];
-      expected_n = 0;
+      fail_trace = Expected.create ();
       tables = SMap.empty;
       version = 0;
       stats = Stats.create ();
@@ -743,22 +753,16 @@ let run t ?start ?(require_eof = true) input =
   in
   let p = t.full.(start_id) st 0 in
   let result =
-    if p < 0 then
-      Error
-        (Parse_error.v ~position:(max st.farthest 0)
-           ~expected:(List.rev st.expected) ())
-    else if require_eof && p < st.len then
-      if st.farthest > p then
-        Error
-          (Parse_error.v ~position:st.farthest
-             ~expected:(List.rev st.expected) ~consumed:p ())
-      else
-        Error
-          (Parse_error.v ~position:p ~expected:[ "end of input" ] ~consumed:p
-             ())
-    else Ok st.value
+    Expected.result st.fail_trace ~len:st.len ~require_eof ~stop:p st.value
   in
   { result; stats = st.stats; consumed = p }
+
+let run t ?start ?(require_eof = true) input =
+  match t.vm with
+  | Some vm ->
+      let o = Vm.run vm ?start ~require_eof input in
+      { result = o.Vm.result; stats = o.Vm.stats; consumed = o.Vm.consumed }
+  | None -> run_closures t ?start ~require_eof input
 
 let parse t ?start input = (run t ?start input).result
 let accepts t ?start input = Result.is_ok (parse t ?start input)

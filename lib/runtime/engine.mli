@@ -6,6 +6,12 @@
     state-transaction handling chosen by the {!Config.t}. {!run} then
     parses an input string.
 
+    When the configuration selects {!Config.Bytecode}, preparation
+    instead compiles the grammar to a flat instruction array and [run]
+    hands off to the {!Vm} interpreter; the whole API below works
+    identically on both back ends. Tracing always uses closures (it
+    hooks per-production invocations).
+
     The engine rejects grammars that fail {!Rats_peg.Analysis.check}
     (left recursion, vacuous repetition, dangling references), exactly as
     Rats! refuses to generate parsers for them.
@@ -31,6 +37,10 @@ val grammar : t -> Grammar.t
 val memo_slots : t -> int
 (** Number of productions that received a memo slot under this
     configuration — the chunk width of E5. *)
+
+val bytecode : t -> Vm.t option
+(** The compiled bytecode program when this engine runs on the
+    {!Config.Bytecode} back end; [None] on the closure back end. *)
 
 type outcome = {
   result : (Value.t, Parse_error.t) result;

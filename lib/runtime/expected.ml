@@ -1,0 +1,45 @@
+type t = {
+  mutable farthest : int;
+  mutable entries : string list;  (* newest first *)
+  mutable n : int;
+}
+
+let max_entries = 32
+
+let create () = { farthest = -1; entries = []; n = 0 }
+
+let reset t =
+  t.farthest <- -1;
+  t.entries <- [];
+  t.n <- 0
+
+let record t pos desc =
+  if pos > t.farthest then (
+    t.farthest <- pos;
+    t.entries <- [ desc ];
+    t.n <- 1)
+  else if
+    pos = t.farthest && t.n < max_entries
+    && not (List.exists (String.equal desc) t.entries)
+  then (
+    t.entries <- desc :: t.entries;
+    t.n <- t.n + 1)
+
+let farthest t = t.farthest
+let descriptions t = List.rev t.entries
+
+let error t =
+  Parse_error.v ~position:(max t.farthest 0) ~expected:(descriptions t) ()
+
+let result t ~len ~require_eof ~stop value =
+  if stop < 0 then Error (error t)
+  else if require_eof && stop < len then
+    if t.farthest > stop then
+      Error
+        (Parse_error.v ~position:t.farthest ~expected:(descriptions t)
+           ~consumed:stop ())
+    else
+      Error
+        (Parse_error.v ~position:stop ~expected:[ "end of input" ]
+           ~consumed:stop ())
+  else Ok value

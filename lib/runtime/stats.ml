@@ -7,6 +7,8 @@ type t = {
   mutable chunk_slots : int;
   mutable backtracks : int;
   mutable state_snapshots : int;
+  mutable vm_instructions : int;
+  mutable vm_stack_peak : int;
 }
 
 let create () =
@@ -19,6 +21,8 @@ let create () =
     chunk_slots = 0;
     backtracks = 0;
     state_snapshots = 0;
+    vm_instructions = 0;
+    vm_stack_peak = 0;
   }
 
 let reset t =
@@ -29,7 +33,9 @@ let reset t =
   t.chunks_allocated <- 0;
   t.chunk_slots <- 0;
   t.backtracks <- 0;
-  t.state_snapshots <- 0
+  t.state_snapshots <- 0;
+  t.vm_instructions <- 0;
+  t.vm_stack_peak <- 0
 
 let add acc t =
   acc.invocations <- acc.invocations + t.invocations;
@@ -39,7 +45,9 @@ let add acc t =
   acc.chunks_allocated <- acc.chunks_allocated + t.chunks_allocated;
   acc.chunk_slots <- acc.chunk_slots + t.chunk_slots;
   acc.backtracks <- acc.backtracks + t.backtracks;
-  acc.state_snapshots <- acc.state_snapshots + t.state_snapshots
+  acc.state_snapshots <- acc.state_snapshots + t.state_snapshots;
+  acc.vm_instructions <- acc.vm_instructions + t.vm_instructions;
+  acc.vm_stack_peak <- max acc.vm_stack_peak t.vm_stack_peak
 
 let memo_entries t = if t.chunk_slots > 0 then t.chunk_slots else t.memo_stores
 
@@ -48,4 +56,7 @@ let pp ppf t =
     "@[invocations=%d hits=%d misses=%d stores=%d chunks=%d slots=%d \
      backtracks=%d snapshots=%d@]"
     t.invocations t.memo_hits t.memo_misses t.memo_stores t.chunks_allocated
-    t.chunk_slots t.backtracks t.state_snapshots
+    t.chunk_slots t.backtracks t.state_snapshots;
+  if t.vm_instructions > 0 then
+    Format.fprintf ppf "@ @[vm-instructions=%d vm-stack-peak=%d@]"
+      t.vm_instructions t.vm_stack_peak

@@ -13,6 +13,10 @@ type t = {
   mutable chunk_slots : int;  (** total slots across allocated chunks *)
   mutable backtracks : int;  (** failed choice alternatives *)
   mutable state_snapshots : int;  (** stateful-parsing table restores *)
+  mutable vm_instructions : int;
+      (** bytecode instructions dispatched (VM back end only) *)
+  mutable vm_stack_peak : int;
+      (** backtrack-stack high-water mark (VM back end only) *)
 }
 
 val create : unit -> t

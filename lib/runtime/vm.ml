@@ -1,0 +1,1347 @@
+open Rats_support
+open Rats_peg
+module SMap = Map.Make (String)
+module SSet = Set.Make (String)
+
+(* The bytecode back end. The compiler below flattens the optimized PEG
+   IR into one instruction array per grammar; the interpreter runs it
+   with an explicit, unified backtrack/call stack instead of OCaml
+   closures and [-1] returns. Both back ends must stay observationally
+   equivalent — values, success offsets, farthest-failure positions and
+   expected sets — which the property suite enforces; when in doubt,
+   [Engine] is the executable specification. *)
+
+(* --- instruction set ----------------------------------------------------- *)
+
+type instr =
+  (* matching; the string is the expected-set description *)
+  | IChar of char * string * bool  (* set value register to Unit? *)
+  | IStr of string * string * bool
+  | ISet of Bytes.t * string * bool  (* 256-byte bitmap; set Chr value? *)
+  | IAny of string * bool
+  | ITestSet of Bytes.t * int * string
+      (* FIRST-set dispatch: record + jump when the next byte cannot
+         start the alternative; falls through otherwise *)
+  (* fused lexical forms: a charset star without a backtrack entry and
+     predicates over one-byte lookahead. [Chr]/[Any] bodies reuse these
+     with singleton / full bitmaps. *)
+  | ISpan of Bytes.t * string
+  | ITestNot of Bytes.t * string * string  (* body desc, "not ..." desc *)
+  | ITestAnd of Bytes.t * string
+  | IDispatch of Bytes.t * int array * int
+      (* one-lookup choice dispatch: the byte indexes an alternative
+         (255 = none viable), the int array maps indices to entry
+         addresses past the per-alternative tests, the last int is the
+         end-of-input entry. The trace replay falls through to the
+         [ITestSet] chain instead so skipped alternatives record their
+         expected sets exactly like the closure engine. *)
+  (* control flow *)
+  | IJump of int
+  | IChoice of int * bool  (* handler address; count failures as backtracks? *)
+  | ICommit of int
+  | IStarStep of int * bool  (* loop head; append value to the top frame? *)
+  | IBackCommit of int  (* and-predicate success: rewind, jump *)
+  | IFailTwice of string  (* not-predicate success: rewind, record, fail *)
+  | IFail of string option  (* record (when described) and fail *)
+  | IOptSet of Bytes.t * string * int
+      (* fused optional one-byte matcher; the int is the value mode:
+         0 lean, 1 set Unit on a match, 2 set the matched Chr *)
+  (* calls, specialized at compile time by the memo strategy so the
+     interpreter never re-examines the configuration. The bool is true
+     for a call from a lean context: the callee's value is dead, so
+     neither a memo hit nor the return writes the value register (the
+     return entry's tag carries the flag to the matching return) *)
+  | ICall of int * bool  (* production id, lean *)
+  | ICallChunk of int * int * bool * bool  (* prod, slot, stateful, lean *)
+  | ICallTbl of int * int * bool * bool  (* prod, slot, stateful, lean *)
+  | IRet  (* shape the value, return; no memo entry *)
+  | IRetChunk of int  (* slot *)
+  | IRetTbl of int  (* slot *)
+  | IHalt
+  (* value construction *)
+  | ISetUnit
+  | IPushMark  (* open a frame remembering the current offset *)
+  | IAppend of string option  (* labeled sequence part into the top frame *)
+  | IAppendSplice  (* splice a #tail node's parts into the top frame *)
+  | IAppendList  (* repetition element into the top frame *)
+  | IPopSeq
+  | IPopTail
+  | IPopTail1 of string option
+  | IPopList
+  | IPopToken
+  | IPopNode of string
+  | IWrapBind of string
+  | ISpliceCollapse
+  (* stateful parsing *)
+  | IRecord of string
+  | IMember of string * bool * string
+
+type shape = Shape_plain | Shape_generic of string | Shape_text | Shape_void
+
+type t = {
+  cfg : Config.t;
+  gram : Grammar.t;
+  code : instr array;
+  ids : (string, int) Hashtbl.t;
+  names : string array;
+  stubs : int array;  (* per-production [ICall; IHalt] entry point *)
+  entries : int array;  (* per-production body address *)
+  slots : int array;  (* memo slot per production; -1 = not memoized *)
+  stateful : bool array;
+  shapes : shape array;
+  nslots : int;
+}
+
+(* Sequence tails carry their parts in a node with this reserved name;
+   must match the closure engine's convention exactly. *)
+let tail_name = "#tail"
+
+let tail_parts = function
+  | Value.Node n when String.equal n.Value.name tail_name -> n.Value.children
+  | _ -> assert false
+
+let bitmap_of_charset set =
+  let bm = Bytes.make 256 '\000' in
+  Charset.iter (fun c -> Bytes.set bm (Char.code c) '\001') set;
+  bm
+
+let bitmap_mem bm c = Bytes.unsafe_get bm (Char.code c) <> '\000'
+
+(* --- compilation --------------------------------------------------------- *)
+
+type buf = { mutable code : instr array; mutable n : int }
+
+let buf_create () = { code = Array.make 256 IHalt; n = 0 }
+
+let emit_instr b i =
+  if b.n = Array.length b.code then (
+    let bigger = Array.make (2 * b.n) IHalt in
+    Array.blit b.code 0 bigger 0 b.n;
+    b.code <- bigger);
+  b.code.(b.n) <- i;
+  b.n <- b.n + 1
+
+let here b = b.n
+
+(* Reserve a slot for a forward jump; patch once the target is known. *)
+let reserve b =
+  let at = here b in
+  emit_instr b IHalt;
+  at
+
+let patch b at i = b.code.(at) <- i
+
+type ctx = {
+  buf : buf;
+  analysis : Analysis.t;
+  config : Config.t;
+  prod_ids : (string, int) Hashtbl.t;
+  prods : Production.t array;
+  slots : int array;
+  stateful : bool array;
+  inlinable : bool array;
+      (* non-memoized, non-recursive, small: emitted at the call site
+         instead of through ICall/IRet — the closure engine cannot do
+         this without duplicating closures, the bytecode can *)
+  mutable inline_depth : int;
+}
+
+let truncate_desc s =
+  if String.length s <= 40 then s else String.sub s 0 37 ^ "..."
+
+let peel_bind (e : Expr.t) =
+  match e.it with Expr.Bind (l, inner) -> (Some l, inner) | _ -> (None, e)
+
+(* One-byte matchers that the fused forms above can stand in for, as a
+   bitmap plus the expected-set description their failure records. *)
+let fused_bitmap (e : Expr.t) =
+  match e.it with
+  | Expr.Chr c ->
+      let bm = Bytes.make 256 '\000' in
+      Bytes.set bm (Char.code c) '\001';
+      Some (bm, Pretty.quote_char c, false)
+  | Expr.Cls set -> Some (bitmap_of_charset set, Charset.to_string set, true)
+  | Expr.Any -> Some (Bytes.make 256 '\001', "any character", true)
+  | _ -> None
+
+(* True when the lean emission of [e] provably never writes the value
+   register: such parts may follow a sequence's only value-bearing part
+   without a frame to protect the result. Calls (and the table
+   operators, which manage frames of their own) are conservatively
+   excluded — a callee body uses the register as scratch space. *)
+let rec preserves_value (e : Expr.t) =
+  match e.it with
+  | Expr.Empty | Expr.Fail _ | Expr.Any | Expr.Chr _ | Expr.Str _
+  | Expr.Cls _ ->
+      true
+  | Expr.Seq es -> List.for_all preserves_value es
+  | Expr.Alt alts ->
+      List.for_all (fun (a : Expr.alt) -> preserves_value a.body) alts
+  | Expr.Star x | Expr.Plus x | Expr.Opt x | Expr.And x | Expr.Not x
+  | Expr.Token x | Expr.Drop x
+  | Expr.Bind (_, x) ->
+      preserves_value x
+  | Expr.Ref _ | Expr.Node _ | Expr.Splice _ | Expr.Record _
+  | Expr.Member _ ->
+      false
+
+let rec emit ctx ~lean (e : Expr.t) =
+  let b = ctx.buf in
+  match e.it with
+  | Expr.Empty -> if not lean then emit_instr b ISetUnit
+  | Expr.Fail msg -> emit_instr b (IFail (Some msg))
+  | Expr.Any -> emit_instr b (IAny ("any character", not lean))
+  | Expr.Chr c -> emit_instr b (IChar (c, Pretty.quote_char c, not lean))
+  | Expr.Str s -> emit_instr b (IStr (s, Pretty.quote_string s, not lean))
+  | Expr.Cls set ->
+      emit_instr b
+        (ISet (bitmap_of_charset set, Charset.to_string set, not lean))
+  | Expr.Ref name -> (
+      match Hashtbl.find_opt ctx.prod_ids name with
+      | Some id ->
+          if ctx.inlinable.(id) && ctx.inline_depth < 3 then
+            emit_inline ctx ~lean id
+          else emit_call ctx ~lean id
+      | None -> Diagnostic.failf "vm: undefined production %S" name)
+  | Expr.Seq es -> emit_seq ctx ~lean ~tail:false es
+  | Expr.Alt alts -> emit_alt ctx ~lean ~tail:false alts
+  | Expr.Star x -> (
+      let lean' = lean || Analysis.expr_yields_unit ctx.analysis x in
+      match if lean' then fused_bitmap x else None with
+      | Some (bm, desc, _) ->
+          emit_instr b (ISpan (bm, desc));
+          if not lean then emit_instr b ISetUnit
+      | None ->
+          if lean' then (
+            emit_star_loop ctx ~collect:false x;
+            if not lean then emit_instr b ISetUnit)
+          else (
+            emit_instr b IPushMark;
+            emit_star_loop ctx ~collect:true x;
+            emit_instr b IPopList))
+  | Expr.Plus x -> (
+      let lean' = lean || Analysis.expr_yields_unit ctx.analysis x in
+      match if lean' then fused_bitmap x else None with
+      | Some (bm, desc, _) ->
+          emit ctx ~lean:true x;
+          emit_instr b (ISpan (bm, desc));
+          if not lean then emit_instr b ISetUnit
+      | None ->
+          if lean' then (
+            emit ctx ~lean:true x;
+            emit_star_loop ctx ~collect:false x;
+            if not lean then emit_instr b ISetUnit)
+          else (
+            emit_instr b IPushMark;
+            emit ctx ~lean:false x;
+            emit_instr b IAppendList;
+            emit_star_loop ctx ~collect:true x;
+            emit_instr b IPopList))
+  | Expr.Opt x -> (
+      match fused_bitmap x with
+      | Some (bm, desc, chr_valued) ->
+          let mode = if lean then 0 else if chr_valued then 2 else 1 in
+          emit_instr b (IOptSet (bm, desc, mode))
+      | None ->
+          let choice = reserve b in
+          emit ctx ~lean x;
+          let commit = reserve b in
+          patch b choice (IChoice (here b, false));
+          if not lean then emit_instr b ISetUnit;
+          patch b commit (ICommit (here b)))
+  | Expr.And x -> (
+      match fused_bitmap x with
+      | Some (bm, desc, _) ->
+          emit_instr b (ITestAnd (bm, desc));
+          if not lean then emit_instr b ISetUnit
+      | None ->
+          (* choice L1; <x>; backcommit L2; L1: fail; L2: *)
+          let choice = reserve b in
+          emit ctx ~lean:true x;
+          let back = reserve b in
+          patch b choice (IChoice (here b, false));
+          emit_instr b (IFail None);
+          patch b back (IBackCommit (here b));
+          if not lean then emit_instr b ISetUnit)
+  | Expr.Not x -> (
+      let desc = "not " ^ truncate_desc (Pretty.expr_to_string x) in
+      match fused_bitmap x with
+      | Some (bm, body_desc, _) ->
+          emit_instr b (ITestNot (bm, body_desc, desc));
+          if not lean then emit_instr b ISetUnit
+      | None ->
+          let choice = reserve b in
+          emit ctx ~lean:true x;
+          emit_instr b (IFailTwice desc);
+          patch b choice (IChoice (here b, false));
+          if not lean then emit_instr b ISetUnit)
+  | Expr.Bind (label, x) ->
+      emit ctx ~lean x;
+      if not lean then emit_instr b (IWrapBind label)
+  | Expr.Token x ->
+      if lean then emit ctx ~lean:true x
+      else (
+        emit_instr b IPushMark;
+        emit ctx ~lean:true x;
+        emit_instr b IPopToken)
+  | Expr.Node (name, x) ->
+      if lean then emit ctx ~lean:true x
+      else (
+        emit_instr b IPushMark;
+        emit ctx ~lean:false x;
+        emit_instr b (IPopNode name))
+  | Expr.Drop x ->
+      emit ctx ~lean:true x;
+      if not lean then emit_instr b ISetUnit
+  | Expr.Splice x ->
+      if lean then emit ctx ~lean:true x
+      else (
+        emit_tail ctx x;
+        emit_instr b ISpliceCollapse)
+  | Expr.Record (table, x) ->
+      emit_instr b IPushMark;
+      emit ctx ~lean x;
+      emit_instr b (IRecord table)
+  | Expr.Member (table, positive, x) ->
+      let desc =
+        if positive then Printf.sprintf "a name recorded in %s" table
+        else Printf.sprintf "a name not recorded in %s" table
+      in
+      emit_instr b IPushMark;
+      emit ctx ~lean x;
+      emit_instr b (IMember (table, positive, desc))
+
+(* A call specialized by what [ICall] would have to look up anyway:
+   the memo slot and strategy are fixed per (production, config). *)
+and emit_call ctx ~lean id =
+  let b = ctx.buf in
+  let slot = ctx.slots.(id) in
+  if slot < 0 then emit_instr b (ICall (id, lean))
+  else
+    match ctx.config.Config.memo with
+    | Config.No_memo -> emit_instr b (ICall (id, lean))
+    | Config.Chunked ->
+        emit_instr b (ICallChunk (id, slot, ctx.stateful.(id), lean))
+    | Config.Hashtable ->
+        emit_instr b (ICallTbl (id, slot, ctx.stateful.(id), lean))
+
+(* An inlined production body: reproduce exactly what [ICall]+[IRet]
+   would do to the value register, minus the call frame and the memo
+   traffic (inlinable productions have no memo slot). In a lean context
+   the shape is dead, so the body runs lean whatever the kind. *)
+and emit_inline ctx ~lean id =
+  let b = ctx.buf in
+  let p = ctx.prods.(id) in
+  ctx.inline_depth <- ctx.inline_depth + 1;
+  (if lean then emit ctx ~lean:true p.Production.expr
+   else
+     match p.Production.attrs.Attr.kind with
+     | Attr.Plain -> emit ctx ~lean:false p.Production.expr
+     | Attr.Generic ->
+         emit_instr b IPushMark;
+         emit ctx ~lean:false p.Production.expr;
+         emit_instr b (IPopNode p.Production.name)
+     | Attr.Text ->
+         emit_instr b IPushMark;
+         emit ctx ~lean:true p.Production.expr;
+         emit_instr b IPopToken
+     | Attr.Void ->
+         emit ctx ~lean:true p.Production.expr;
+         emit_instr b ISetUnit);
+  ctx.inline_depth <- ctx.inline_depth - 1
+
+(* The iteration of [Star]/[Plus]: choice over the body with a partial
+   commit that re-arms the handler at each consumed iteration. The frame
+   (when collecting) is managed by the caller. *)
+and emit_star_loop ctx ~collect x =
+  let b = ctx.buf in
+  let choice = reserve b in
+  let body = here b in
+  emit ctx ~lean:(not collect) x;
+  (* jumps back to the body: the step re-arms the handler in place *)
+  emit_instr b (IStarStep (body, collect));
+  (* both the handler and the no-progress exit land here *)
+  patch b choice (IChoice (here b, false))
+
+and emit_seq ctx ~lean ~tail es =
+  let b = ctx.buf in
+  let general () =
+    emit_instr b IPushMark;
+    List.iter
+      (fun (e : Expr.t) ->
+        match e.it with
+        | Expr.Splice inner ->
+            emit_tail ctx inner;
+            emit_instr b IAppendSplice
+        | _ ->
+            let label, inner = peel_bind e in
+            emit ctx ~lean:false inner;
+            emit_instr b (IAppend label))
+      es;
+    emit_instr b (if tail then IPopTail else IPopSeq)
+  in
+  if lean then List.iter (emit ctx ~lean:true) es
+  else if
+    tail
+    || List.exists
+         (fun (e : Expr.t) ->
+           match e.it with Expr.Splice _ -> true | _ -> false)
+         es
+  then general ()
+  else
+    (* [Value.seq] drops unlabeled unit parts and collapses a singleton
+       to the part itself (lib/peg/value.ml), so a sequence with at most
+       one value-bearing part needs no collection frame: the value
+       register already carries the result — provided the parts after
+       the value-bearing one leave the register alone. *)
+    let parts =
+      List.map
+        (fun e ->
+          let label, inner = peel_bind e in
+          ( label,
+            inner,
+            label <> None || not (Analysis.expr_yields_unit ctx.analysis inner)
+          ))
+        es
+    in
+    let rec after_value = function
+      | [] -> []
+      | (_, _, true) :: rest -> List.map (fun (_, i, _) -> i) rest
+      | _ :: rest -> after_value rest
+    in
+    match List.filter (fun (_, _, bearing) -> bearing) parts with
+    | [] ->
+        List.iter (fun (_, inner, _) -> emit ctx ~lean:true inner) parts;
+        emit_instr b ISetUnit
+    | [ (label, _, _) ] when List.for_all preserves_value (after_value parts)
+      ->
+        List.iter
+          (fun (_, inner, bearing) -> emit ctx ~lean:(not bearing) inner)
+          parts;
+        (match label with
+        | None -> ()
+        | Some l -> emit_instr b (IWrapBind l))
+    | _ -> general ()
+
+and emit_tail ctx (e : Expr.t) =
+  let b = ctx.buf in
+  match e.it with
+  | Expr.Alt alts -> emit_alt ctx ~lean:false ~tail:true alts
+  | Expr.Seq es -> emit_seq ctx ~lean:false ~tail:true es
+  | Expr.Empty ->
+      emit_instr b IPushMark;
+      emit_instr b IPopTail
+  | _ ->
+      let label, inner = peel_bind e in
+      emit_instr b IPushMark;
+      emit ctx ~lean:false inner;
+      emit_instr b (IPopTail1 label)
+
+and emit_alt ctx ~lean ~tail alts =
+  let b = ctx.buf in
+  let emit_branch body =
+    if tail then emit_tail ctx body else emit ctx ~lean body
+  in
+  let dispatch = ctx.config.Config.dispatch in
+  let n = List.length alts in
+  let table = if dispatch && n > 1 then Some (reserve b) else None in
+  (* per-alternative dispatch info: entry past the test, FIRST set,
+     nullability — collected to build the one-lookup table *)
+  let entries_info = ref [] in
+  (* reserved slots to patch once the exit address is known: commits
+     (successful non-last alternatives pop their choice entry) and plain
+     jumps (the last alternative has none) *)
+  let commits = ref [] and jumps = ref [] in
+  let fail_at = ref (-1) in
+  (match alts with
+  | [] -> emit_instr b (IFail (Some "empty choice"))
+  | alts ->
+      List.iteri
+        (fun i (a : Expr.alt) ->
+          let last = i = n - 1 in
+          let first, eps = Analysis.expr_first ctx.analysis a.body in
+          let test =
+            if dispatch then
+              if eps then None
+              else
+                Some (reserve b, bitmap_of_charset first, Charset.to_string first)
+            else None
+          in
+          entries_info := (here b, first, eps) :: !entries_info;
+          let choice = if last then -1 else reserve b in
+          emit_branch a.body;
+          if not last then (
+            commits := reserve b :: !commits;
+            (* a failed alternative resumes at the next one *)
+            patch b choice (IChoice (here b, true)))
+          else if test <> None then (
+            (* a dispatch skip on the last alternative fails outright;
+               jump over the fail on body success *)
+            jumps := reserve b :: !jumps;
+            fail_at := here b;
+            emit_instr b (IFail None));
+          match test with
+          | None -> ()
+          | Some (at, bm, desc) ->
+              (* skip target: the next alternative, or the trailing fail *)
+              let target = if last then here b - 1 else here b in
+              patch b at (ITestSet (bm, target, desc)))
+        alts);
+  let after = here b in
+  List.iter (fun at -> patch b at (ICommit after)) !commits;
+  List.iter (fun at -> patch b at (IJump after)) !jumps;
+  match table with
+  | None -> ()
+  | Some at ->
+      let infos = Array.of_list (List.rev !entries_info) in
+      (* an alternative viable for no byte can only be reached by the
+         chain; 255 = no viable alternative, entered at the trailing
+         fail (present whenever the last alternative is tested) *)
+      let none = if !fail_at >= 0 then !fail_at else after in
+      let targets =
+        Array.append (Array.map (fun (e, _, _) -> e) infos) [| none |]
+      in
+      let none_idx = Array.length infos in
+      let tbl = Bytes.make 256 (Char.chr none_idx) in
+      for byte = 255 downto 0 do
+        Array.iteri
+          (fun i (_, first, eps) ->
+            if
+              Char.code (Bytes.get tbl byte) = none_idx
+              && (eps || Charset.mem (Char.chr byte) first)
+            then Bytes.set tbl byte (Char.chr i))
+          infos
+      done;
+      let eof =
+        match Array.find_opt (fun (_, _, eps) -> eps) infos with
+        | Some (e, _, _) -> e
+        | None -> none
+      in
+      patch b at (IDispatch (tbl, targets, eof))
+
+(* Memo-slot assignment, mirroring the closure engine exactly so both
+   back ends agree on what is memoized under every configuration. *)
+let assign_slots cfg prods =
+  let next = ref 0 in
+  let slots =
+    Array.map
+      (fun (p : Production.t) ->
+        let memoizable =
+          match cfg.Config.memo with
+          | Config.No_memo -> false
+          | Config.Hashtable | Config.Chunked -> (
+              match p.attrs.Attr.memo with
+              | Attr.Memo_always -> true
+              | Attr.Memo_never -> not cfg.Config.honor_transient
+              | Attr.Memo_auto -> true)
+        in
+        if memoizable then (
+          let s = !next in
+          incr next;
+          s)
+        else -1)
+      prods
+  in
+  (slots, !next)
+
+let prepare ?(config = Config.vm) gram =
+  let analysis = Analysis.analyze gram in
+  match Analysis.check analysis with
+  | _ :: _ as ds -> Error ds
+  | [] -> (
+      let prods = Array.of_list (Grammar.productions gram) in
+      let nprods = Array.length prods in
+      let ids = Hashtbl.create (nprods * 2) in
+      Array.iteri
+        (fun i (p : Production.t) -> Hashtbl.replace ids p.name i)
+        prods;
+      let slots, nslots = assign_slots config prods in
+      let inlinable =
+        Array.mapi
+          (fun i (p : Production.t) ->
+            slots.(i) < 0
+            && Expr.size p.expr <= 32
+            && not
+                 (Analysis.StringSet.mem p.name
+                    (Analysis.reachable_from analysis (Expr.refs p.expr))))
+          prods
+      in
+      let stateful =
+        Array.map
+          (fun (p : Production.t) -> Analysis.stateful analysis p.name)
+          prods
+      in
+      let buf = buf_create () in
+      let ctx =
+        { buf; analysis; config; prod_ids = ids; prods; slots; stateful;
+          inlinable; inline_depth = 0 }
+      in
+      let stubs = Array.make nprods 0 in
+      let entries = Array.make nprods 0 in
+      try
+        Array.iteri
+          (fun i (_ : Production.t) ->
+            stubs.(i) <- here buf;
+            emit_call ctx ~lean:false i;
+            emit_instr buf IHalt)
+          prods;
+        Array.iteri
+          (fun i (p : Production.t) ->
+            entries.(i) <- here buf;
+            let lean_body =
+              config.Config.lean_values
+              && (p.attrs.Attr.kind = Attr.Text
+                 || p.attrs.Attr.kind = Attr.Void)
+            in
+            emit ctx ~lean:lean_body p.expr;
+            emit_instr buf
+              (if slots.(i) < 0 then IRet
+               else
+                 match config.Config.memo with
+                 | Config.No_memo -> IRet
+                 | Config.Chunked -> IRetChunk slots.(i)
+                 | Config.Hashtable -> IRetTbl slots.(i)))
+          prods;
+        Ok
+          {
+            cfg = config;
+            gram;
+            code = Array.sub buf.code 0 buf.n;
+            ids;
+            names = Array.map (fun (p : Production.t) -> p.name) prods;
+            stubs;
+            entries;
+            slots;
+            stateful;
+            shapes =
+              Array.map
+                (fun (p : Production.t) ->
+                  match p.attrs.Attr.kind with
+                  | Attr.Plain -> Shape_plain
+                  | Attr.Generic -> Shape_generic p.name
+                  | Attr.Text -> Shape_text
+                  | Attr.Void -> Shape_void)
+                prods;
+            nslots;
+          }
+      with Diagnostic.Fail d -> Error [ d ])
+
+let prepare_exn ?config gram =
+  match prepare ?config gram with
+  | Ok t -> t
+  | Error (d :: _) -> raise (Diagnostic.Fail d)
+  | Error [] -> assert false
+
+let config t = t.cfg
+let grammar t = t.gram
+let memo_slots t = t.nslots
+let instruction_count (t : t) = Array.length t.code
+
+(* --- run-time state ------------------------------------------------------ *)
+
+type chunk = { res : int array; vals : Value.t array; vers : int array }
+(* res encoding: 0 unset, -1 memoized failure, pos'+1 memoized success;
+   identical to the closure engine's chunks. *)
+
+(* Unified stack entry tags. Backtrack entries hold a resume address and
+   the machine state to rewind to; return entries hold the call's return
+   address and the memoization context of the production being run. *)
+let tag_bt = 0
+let tag_bt_alt = 1 (* like tag_bt, but a pop-on-failure counts as a backtrack *)
+let tag_ret = 2
+let tag_ret_lean = 3 (* return entry of a lean call: no value write *)
+
+type st = {
+  input : string;
+  len : int;
+  trace : bool;
+      (* expected-set recording. The first, speculative pass runs with
+         recording off; a failing parse is re-run with it on to
+         reconstruct the trace (parsing is deterministic, so the replay
+         is exact). The success path never pays for error bookkeeping. *)
+  mutable pos : int;
+  mutable value : Value.t;
+  fail_trace : Expected.t;
+  mutable tables : SSet.t SMap.t;
+  mutable version : int;
+  stats : Stats.t;
+  table_memo : (int, int * Value.t * int) Hashtbl.t;
+  chunks : chunk option array;  (* empty array when unused *)
+  (* the unified backtrack/call stack, as parallel arrays *)
+  mutable s_tag : int array;
+  mutable s_addr : int array;  (* resume address / return address *)
+  mutable s_pos : int array;  (* saved offset / call-site offset *)
+  mutable s_aux0 : int array;  (* frame height / state version at entry *)
+  mutable s_aux1 : int array;  (* top-frame part count / production id *)
+  mutable s_tables : SSet.t SMap.t array;
+  mutable sp : int;
+  (* the value-frame stack: open sequences, repetitions and marks.
+     Collected parts live on one flat stack ([p_label]/[p_value]); a
+     frame only remembers its input offset and the parts height at
+     entry, so discarding a frame on backtrack is O(1). *)
+  mutable f_start : int array;
+  mutable f_base : int array;
+  mutable fp : int;
+  mutable p_label : string option array;
+  mutable p_value : Value.t array;
+  mutable p_top : int;
+}
+
+let grow_int a = let b = Array.make (2 * Array.length a) 0 in
+  Array.blit a 0 b 0 (Array.length a); b
+
+let grow_any dummy a = let b = Array.make (2 * Array.length a) dummy in
+  Array.blit a 0 b 0 (Array.length a); b
+
+let ensure_stack st =
+  if st.sp = Array.length st.s_tag then (
+    st.s_tag <- grow_int st.s_tag;
+    st.s_addr <- grow_int st.s_addr;
+    st.s_pos <- grow_int st.s_pos;
+    st.s_aux0 <- grow_int st.s_aux0;
+    st.s_aux1 <- grow_int st.s_aux1;
+    st.s_tables <- grow_any SMap.empty st.s_tables)
+
+let ensure_frames st =
+  if st.fp = Array.length st.f_start then (
+    st.f_start <- grow_int st.f_start;
+    st.f_base <- grow_int st.f_base)
+
+let ensure_parts st =
+  if st.p_top = Array.length st.p_value then (
+    st.p_label <- grow_any None st.p_label;
+    st.p_value <- grow_any Value.Unit st.p_value)
+
+let push_part st label v =
+  ensure_parts st;
+  let top = st.p_top in
+  Array.unsafe_set st.p_label top label;
+  Array.unsafe_set st.p_value top v;
+  st.p_top <- top + 1
+
+(* The parts collected on top of [base], oldest first, as the list the
+   [Value] constructors consume. *)
+let parts_above st base =
+  let rec build i acc =
+    if i < base then acc
+    else build (i - 1) ((Array.unsafe_get st.p_label i, Array.unsafe_get st.p_value i) :: acc)
+  in
+  let parts = build (st.p_top - 1) [] in
+  (* release the stack slots so the values don't outlive the frame *)
+  Array.fill st.p_value base (st.p_top - base) Value.Unit;
+  st.p_top <- base;
+  parts
+
+let push_bt st tag addr =
+  ensure_stack st;
+  let sp = st.sp in
+  Array.unsafe_set st.s_tag sp tag;
+  Array.unsafe_set st.s_addr sp addr;
+  Array.unsafe_set st.s_pos sp st.pos;
+  Array.unsafe_set st.s_aux0 sp st.fp;
+  Array.unsafe_set st.s_aux1 sp st.p_top;
+  Array.unsafe_set st.s_tables sp st.tables;
+  st.sp <- sp + 1;
+  if st.sp > st.stats.Stats.vm_stack_peak then
+    st.stats.Stats.vm_stack_peak <- st.sp
+
+(* Return entries never restore the state tables (the backtrack entry
+   below them does), so they skip the snapshot write entirely. *)
+let push_ret st ~tag ~ret ~prod =
+  ensure_stack st;
+  let sp = st.sp in
+  Array.unsafe_set st.s_tag sp tag;
+  Array.unsafe_set st.s_addr sp ret;
+  Array.unsafe_set st.s_pos sp st.pos;
+  Array.unsafe_set st.s_aux0 sp st.version;
+  Array.unsafe_set st.s_aux1 sp prod;
+  st.sp <- sp + 1;
+  if st.sp > st.stats.Stats.vm_stack_peak then
+    st.stats.Stats.vm_stack_peak <- st.sp
+
+let push_frame st =
+  ensure_frames st;
+  let fp = st.fp in
+  Array.unsafe_set st.f_start fp st.pos;
+  Array.unsafe_set st.f_base fp st.p_top;
+  st.fp <- fp + 1
+
+(* Restore the state tables to a snapshot; a physical change bumps the
+   version so that memo entries of stateful productions stop matching. *)
+let restore_tables st saved =
+  if st.tables != saved then (
+    st.tables <- saved;
+    st.version <- st.version + 1;
+    st.stats.Stats.state_snapshots <- st.stats.Stats.state_snapshots + 1)
+
+(* Rewind the frame stack to a backtrack entry's snapshot: discard
+   frames opened since and the parts they collected. *)
+let rewind_frames st fh ptop =
+  if st.p_top > ptop then (
+    Array.fill st.p_value ptop (st.p_top - ptop) Value.Unit
+    (* release values eagerly *);
+    st.p_top <- ptop);
+  st.fp <- fh
+
+(* --- the interpreter ------------------------------------------------------ *)
+
+let exec (t : t) (st : st) start_ip =
+  let code = t.code in
+  let stats = st.stats in
+  let inp = st.input in
+  let len = st.len in
+  let entries = t.entries in
+  let nslots = t.nslots in
+  let shapes = t.shapes in
+  let shaped_value prod pos0 =
+    match Array.unsafe_get shapes prod with
+    | Shape_plain -> st.value
+    | Shape_generic name ->
+        Value.node
+          ~span:(Span.v ~start_:pos0 ~stop:st.pos)
+          name
+          (Value.components st.value)
+    | Shape_text -> Value.Str (String.sub inp pos0 (st.pos - pos0))
+    | Shape_void -> Value.Unit
+  in
+  let apply_shape prod pos0 =
+    match Array.unsafe_get shapes prod with
+    | Shape_plain -> ()
+    | _ -> st.value <- shaped_value prod pos0
+  in
+  let trace = st.trace in
+  let record pos desc = if trace then Expected.record st.fail_trace pos desc in
+  (* Store a memoized failure for a production whose body just failed;
+     [pos0]/[ver0] come from its return entry. *)
+  let store_failure prod pos0 ver0 =
+    let slot = t.slots.(prod) in
+    if slot >= 0 then (
+      (match t.cfg.Config.memo with
+      | Config.No_memo -> ()
+      | Config.Hashtable ->
+          Hashtbl.replace st.table_memo
+            ((pos0 * t.nslots) + slot)
+            (-1, Value.Unit, ver0)
+      | Config.Chunked -> (
+          match st.chunks.(pos0) with
+          | Some chunk ->
+              chunk.res.(slot) <- -1;
+              chunk.vers.(slot) <- ver0
+          | None -> assert false (* allocated at call time *)));
+      stats.Stats.memo_stores <- stats.Stats.memo_stores + 1)
+  in
+  let chunk_at pos =
+    match st.chunks.(pos) with
+    | Some c -> c
+    | None ->
+        let c =
+          {
+            res = Array.make t.nslots 0;
+            vals = Array.make t.nslots Value.Unit;
+            vers = Array.make t.nslots 0;
+          }
+        in
+        st.chunks.(pos) <- Some c;
+        stats.Stats.chunks_allocated <- stats.Stats.chunks_allocated + 1;
+        stats.Stats.chunk_slots <- stats.Stats.chunk_slots + t.nslots;
+        c
+  in
+  (* Failure: pop the unified stack to the nearest backtrack entry,
+     memoizing the failure of every production frame crossed, then
+     resume at the entry's handler. Returns -1 when the stack drains —
+     the start production itself failed. *)
+  let rec fail () =
+    if st.sp = 0 then -1
+    else (
+      st.sp <- st.sp - 1;
+      let sp = st.sp in
+      let tag = Array.unsafe_get st.s_tag sp in
+      if tag >= tag_ret then (
+        store_failure
+          (Array.unsafe_get st.s_aux1 sp)
+          (Array.unsafe_get st.s_pos sp)
+          (Array.unsafe_get st.s_aux0 sp);
+        fail ())
+      else (
+        let snapshot = Array.unsafe_get st.s_tables sp in
+        Array.unsafe_set st.s_tables sp SMap.empty
+        (* drop the retained reference *);
+        if tag = tag_bt_alt then
+          stats.Stats.backtracks <- stats.Stats.backtracks + 1;
+        st.pos <- Array.unsafe_get st.s_pos sp;
+        restore_tables st snapshot;
+        rewind_frames st
+          (Array.unsafe_get st.s_aux0 sp)
+          (Array.unsafe_get st.s_aux1 sp);
+        dispatch (Array.unsafe_get st.s_addr sp)))
+  and dispatch ip =
+    stats.Stats.vm_instructions <- stats.Stats.vm_instructions + 1;
+    match Array.unsafe_get code ip with
+    | IChar (c, desc, set_unit) ->
+        if st.pos < len && String.unsafe_get inp st.pos = c then (
+          if set_unit then st.value <- Value.Unit;
+          st.pos <- st.pos + 1;
+          dispatch (ip + 1))
+        else (
+          record st.pos desc;
+          fail ())
+    | IStr (s, desc, set_unit) ->
+        let n = String.length s in
+        let rec go i =
+          if i >= n then (
+            if set_unit then st.value <- Value.Unit;
+            st.pos <- st.pos + n;
+            dispatch (ip + 1))
+          else if
+            st.pos + i < len
+            && String.unsafe_get inp (st.pos + i) = String.unsafe_get s i
+          then go (i + 1)
+          else (
+            record (st.pos + i) desc;
+            fail ())
+        in
+        go 0
+    | ISet (bm, desc, set_value) ->
+        if st.pos < len then (
+          let c = String.unsafe_get inp st.pos in
+          if bitmap_mem bm c then (
+            if set_value then st.value <- Value.Chr c;
+            st.pos <- st.pos + 1;
+            dispatch (ip + 1))
+          else (
+            record st.pos desc;
+            fail ()))
+        else (
+          record st.pos desc;
+          fail ())
+    | IAny (desc, set_value) ->
+        if st.pos < len then (
+          if set_value then
+            st.value <- Value.Chr (String.unsafe_get inp st.pos);
+          st.pos <- st.pos + 1;
+          dispatch (ip + 1))
+        else (
+          record st.pos desc;
+          fail ())
+    | ITestSet (bm, target, desc) ->
+        if st.pos < len && bitmap_mem bm (String.unsafe_get inp st.pos)
+        then dispatch (ip + 1)
+        else (
+          record st.pos desc;
+          dispatch target)
+    | ISpan (bm, desc) ->
+        let i = ref st.pos in
+        while !i < len && bitmap_mem bm (String.unsafe_get inp !i) do
+          incr i
+        done;
+        st.pos <- !i;
+        (* the iteration that stops the loop fails like the unfused
+           body would: it records its expected set where it stopped *)
+        record !i desc;
+        dispatch (ip + 1)
+    | ITestNot (bm, body_desc, not_desc) ->
+        if st.pos < len && bitmap_mem bm (String.unsafe_get inp st.pos)
+        then (
+          record st.pos not_desc;
+          fail ())
+        else (
+          (* the body's failure is what makes the predicate succeed, and
+             it records its expected set exactly like the unfused form *)
+          record st.pos body_desc;
+          dispatch (ip + 1))
+    | ITestAnd (bm, desc) ->
+        if st.pos < len && bitmap_mem bm (String.unsafe_get inp st.pos)
+        then dispatch (ip + 1)
+        else (
+          record st.pos desc;
+          fail ())
+    | IDispatch (tbl, targets, eof) ->
+        if trace then dispatch (ip + 1)
+          (* replay through the test chain to record expected sets *)
+        else if st.pos < len then
+          dispatch
+            (Array.unsafe_get targets
+               (Char.code
+                  (Bytes.unsafe_get tbl
+                     (Char.code (String.unsafe_get inp st.pos)))))
+        else dispatch eof
+    | IJump target -> dispatch target
+    | IChoice (handler, is_alt) ->
+        push_bt st (if is_alt then tag_bt_alt else tag_bt) handler;
+        dispatch (ip + 1)
+    | ICommit target ->
+        st.sp <- st.sp - 1;
+        Array.unsafe_set st.s_tables st.sp SMap.empty;
+        dispatch target
+    | IStarStep (loop, append) ->
+        let sp = st.sp - 1 in
+        if st.pos = Array.unsafe_get st.s_pos sp then (
+          (* no progress: stop iterating, keep the state as committed *)
+          st.sp <- sp;
+          Array.unsafe_set st.s_tables sp SMap.empty;
+          dispatch (ip + 1))
+        else (
+          if append then push_part st None st.value;
+          Array.unsafe_set st.s_pos sp st.pos;
+          Array.unsafe_set st.s_tables sp st.tables;
+          Array.unsafe_set st.s_aux1 sp st.p_top;
+          dispatch loop)
+    | IBackCommit target ->
+        st.sp <- st.sp - 1;
+        let sp = st.sp in
+        st.pos <- st.s_pos.(sp);
+        restore_tables st st.s_tables.(sp);
+        st.s_tables.(sp) <- SMap.empty;
+        rewind_frames st st.s_aux0.(sp) st.s_aux1.(sp);
+        dispatch target
+    | IFailTwice desc ->
+        st.sp <- st.sp - 1;
+        let sp = st.sp in
+        st.pos <- st.s_pos.(sp);
+        restore_tables st st.s_tables.(sp);
+        st.s_tables.(sp) <- SMap.empty;
+        rewind_frames st st.s_aux0.(sp) st.s_aux1.(sp);
+        record st.pos desc;
+        fail ()
+    | IFail desc ->
+        (match desc with Some d -> record st.pos d | None -> ());
+        fail ()
+    | ICall (prod, lean) ->
+        stats.Stats.invocations <- stats.Stats.invocations + 1;
+        push_ret st ~tag:(if lean then tag_ret_lean else tag_ret) ~ret:(ip + 1)
+          ~prod;
+        dispatch (Array.unsafe_get entries prod)
+    | ICallChunk (prod, slot, stateful, lean) ->
+        stats.Stats.invocations <- stats.Stats.invocations + 1;
+        let chunk = chunk_at st.pos in
+        let r = Array.unsafe_get chunk.res slot in
+        if
+          r <> 0
+          && ((not stateful) || Array.unsafe_get chunk.vers slot = st.version)
+        then (
+          stats.Stats.memo_hits <- stats.Stats.memo_hits + 1;
+          if r > 0 then (
+            if not lean then st.value <- Array.unsafe_get chunk.vals slot;
+            st.pos <- r - 1;
+            dispatch (ip + 1))
+          else fail ())
+        else (
+          stats.Stats.memo_misses <- stats.Stats.memo_misses + 1;
+          push_ret st ~tag:(if lean then tag_ret_lean else tag_ret)
+            ~ret:(ip + 1) ~prod;
+          dispatch (Array.unsafe_get entries prod))
+    | ICallTbl (prod, slot, stateful, lean) -> (
+        stats.Stats.invocations <- stats.Stats.invocations + 1;
+        let key = (st.pos * nslots) + slot in
+        match Hashtbl.find_opt st.table_memo key with
+        | Some (p', v, ver) when (not stateful) || ver = st.version ->
+            stats.Stats.memo_hits <- stats.Stats.memo_hits + 1;
+            if p' >= 0 then (
+              if not lean then st.value <- v;
+              st.pos <- p';
+              dispatch (ip + 1))
+            else fail ()
+        | _ ->
+            stats.Stats.memo_misses <- stats.Stats.memo_misses + 1;
+            push_ret st ~tag:(if lean then tag_ret_lean else tag_ret)
+              ~ret:(ip + 1) ~prod;
+            dispatch (Array.unsafe_get entries prod))
+    | IRet ->
+        st.sp <- st.sp - 1;
+        let sp = st.sp in
+        if Array.unsafe_get st.s_tag sp = tag_ret then
+          apply_shape (Array.unsafe_get st.s_aux1 sp)
+            (Array.unsafe_get st.s_pos sp);
+        dispatch (Array.unsafe_get st.s_addr sp)
+    | IRetChunk slot ->
+        st.sp <- st.sp - 1;
+        let sp = st.sp in
+        let pos0 = Array.unsafe_get st.s_pos sp in
+        let v = shaped_value (Array.unsafe_get st.s_aux1 sp) pos0 in
+        (match Array.unsafe_get st.chunks pos0 with
+        | Some chunk ->
+            Array.unsafe_set chunk.res slot (st.pos + 1);
+            Array.unsafe_set chunk.vals slot v;
+            Array.unsafe_set chunk.vers slot (Array.unsafe_get st.s_aux0 sp)
+        | None -> assert false (* allocated at call time *));
+        stats.Stats.memo_stores <- stats.Stats.memo_stores + 1;
+        if Array.unsafe_get st.s_tag sp = tag_ret then st.value <- v;
+        dispatch (Array.unsafe_get st.s_addr sp)
+    | IRetTbl slot ->
+        st.sp <- st.sp - 1;
+        let sp = st.sp in
+        let pos0 = Array.unsafe_get st.s_pos sp in
+        let v = shaped_value (Array.unsafe_get st.s_aux1 sp) pos0 in
+        Hashtbl.replace st.table_memo
+          ((pos0 * nslots) + slot)
+          (st.pos, v, Array.unsafe_get st.s_aux0 sp);
+        stats.Stats.memo_stores <- stats.Stats.memo_stores + 1;
+        if Array.unsafe_get st.s_tag sp = tag_ret then st.value <- v;
+        dispatch (Array.unsafe_get st.s_addr sp)
+    | IOptSet (bm, desc, mode) ->
+        if st.pos < len && bitmap_mem bm (String.unsafe_get inp st.pos) then (
+          (match mode with
+          | 0 -> ()
+          | 1 -> st.value <- Value.Unit
+          | _ -> st.value <- Value.Chr (String.unsafe_get inp st.pos));
+          st.pos <- st.pos + 1;
+          dispatch (ip + 1))
+        else (
+          record st.pos desc;
+          if mode <> 0 then st.value <- Value.Unit;
+          dispatch (ip + 1))
+    | IHalt -> st.pos
+    | ISetUnit ->
+        st.value <- Value.Unit;
+        dispatch (ip + 1)
+    | IPushMark ->
+        push_frame st;
+        dispatch (ip + 1)
+    | IAppend label ->
+        (match (label, st.value) with
+        | None, Value.Unit -> ()
+        | _ -> push_part st label st.value);
+        dispatch (ip + 1)
+    | IAppendSplice ->
+        List.iter (fun (l, v) -> push_part st l v) (tail_parts st.value);
+        dispatch (ip + 1)
+    | IAppendList ->
+        push_part st None st.value;
+        dispatch (ip + 1)
+    | IPopSeq ->
+        st.fp <- st.fp - 1;
+        let fp = st.fp in
+        st.value <-
+          Value.seq
+            ~span:(Span.v ~start_:st.f_start.(fp) ~stop:st.pos)
+            (parts_above st st.f_base.(fp));
+        dispatch (ip + 1)
+    | IPopTail ->
+        st.fp <- st.fp - 1;
+        let fp = st.fp in
+        st.value <-
+          Value.node
+            ~span:(Span.v ~start_:st.f_start.(fp) ~stop:st.pos)
+            tail_name
+            (parts_above st st.f_base.(fp));
+        dispatch (ip + 1)
+    | IPopTail1 label ->
+        st.fp <- st.fp - 1;
+        let fp = st.fp in
+        st.value <-
+          Value.node
+            ~span:(Span.v ~start_:st.f_start.(fp) ~stop:st.pos)
+            tail_name
+            (match (label, st.value) with
+            | None, Value.Unit -> []
+            | _ -> [ (label, st.value) ]);
+        dispatch (ip + 1)
+    | IPopList ->
+        st.fp <- st.fp - 1;
+        let fp = st.fp in
+        st.value <- Value.List (List.map snd (parts_above st st.f_base.(fp)));
+        dispatch (ip + 1)
+    | IPopToken ->
+        st.fp <- st.fp - 1;
+        let fp = st.fp in
+        st.value <-
+          Value.Str (String.sub inp st.f_start.(fp) (st.pos - st.f_start.(fp)));
+        dispatch (ip + 1)
+    | IPopNode name ->
+        st.fp <- st.fp - 1;
+        let fp = st.fp in
+        st.value <-
+          Value.node
+            ~span:(Span.v ~start_:st.f_start.(fp) ~stop:st.pos)
+            name
+            (Value.components st.value);
+        dispatch (ip + 1)
+    | IWrapBind label ->
+        st.value <- Value.seq [ (Some label, st.value) ];
+        dispatch (ip + 1)
+    | ISpliceCollapse ->
+        st.value <- Value.seq (tail_parts st.value);
+        dispatch (ip + 1)
+    | IRecord table ->
+        st.fp <- st.fp - 1;
+        let start = st.f_start.(st.fp) in
+        let text = String.sub inp start (st.pos - start) in
+        let set =
+          Option.value (SMap.find_opt table st.tables) ~default:SSet.empty
+        in
+        st.tables <- SMap.add table (SSet.add text set) st.tables;
+        st.version <- st.version + 1;
+        dispatch (ip + 1)
+    | IMember (table, positive, desc) ->
+        st.fp <- st.fp - 1;
+        let start = st.f_start.(st.fp) in
+        let text = String.sub inp start (st.pos - start) in
+        let set =
+          Option.value (SMap.find_opt table st.tables) ~default:SSet.empty
+        in
+        if SSet.mem text set = positive then dispatch (ip + 1)
+        else (
+          record start desc;
+          fail ())
+  in
+  dispatch start_ip
+
+(* --- running -------------------------------------------------------------- *)
+
+type outcome = {
+  result : (Value.t, Parse_error.t) result;
+  stats : Stats.t;
+  consumed : int;
+}
+
+let make_st t ~trace input =
+  {
+    input;
+    len = String.length input;
+    trace;
+    pos = 0;
+    value = Value.Unit;
+    fail_trace = Expected.create ();
+    tables = SMap.empty;
+    version = 0;
+    stats = Stats.create ();
+    table_memo =
+      (match t.cfg.Config.memo with
+      | Config.Hashtable -> Hashtbl.create 1024
+      | _ -> Hashtbl.create 1);
+    chunks =
+      (match t.cfg.Config.memo with
+      | Config.Chunked -> Array.make (String.length input + 1) None
+      | _ -> [||]);
+    s_tag = Array.make 256 0;
+    s_addr = Array.make 256 0;
+    s_pos = Array.make 256 0;
+    s_aux0 = Array.make 256 0;
+    s_aux1 = Array.make 256 0;
+    s_tables = Array.make 256 SMap.empty;
+    sp = 0;
+    f_start = Array.make 64 0;
+    f_base = Array.make 64 0;
+    fp = 0;
+    p_label = Array.make 256 None;
+    p_value = Array.make 256 Value.Unit;
+    p_top = 0;
+  }
+
+let run t ?start ?(require_eof = true) input =
+  let start_id =
+    match start with
+    | None -> Hashtbl.find t.ids (Grammar.start t.gram)
+    | Some name -> (
+        match Hashtbl.find_opt t.ids name with
+        | Some id -> id
+        | None ->
+            raise
+              (Diagnostic.Fail
+                 (Diagnostic.errorf "no production named %S" name)))
+  in
+  (* Speculative first pass with no expected-set recording; replay with
+     recording on only when the outcome needs a trace to report. *)
+  let st = make_st t ~trace:false input in
+  let p = exec t st t.stubs.(start_id) in
+  let st, p =
+    if p < 0 || (require_eof && p < st.len) then (
+      let st = make_st t ~trace:true input in
+      let p = exec t st t.stubs.(start_id) in
+      (st, p))
+    else (st, p)
+  in
+  let result =
+    Expected.result st.fail_trace ~len:st.len ~require_eof ~stop:p st.value
+  in
+  { result; stats = st.stats; consumed = p }
+
+let parse t ?start input = (run t ?start input).result
+let accepts t ?start input = Result.is_ok (parse t ?start input)
+
+(* --- disassembly ----------------------------------------------------------- *)
+
+let disassemble t =
+  let buf = Buffer.create 4096 in
+  let entry_names = Hashtbl.create 16 in
+  Array.iteri
+    (fun i addr -> Hashtbl.replace entry_names addr t.names.(i))
+    t.entries;
+  let stub_names = Hashtbl.create 16 in
+  Array.iteri
+    (fun i addr -> Hashtbl.replace stub_names addr t.names.(i))
+    t.stubs;
+  let bm_desc bm =
+    let n = ref 0 in
+    Bytes.iter (fun c -> if c <> '\000' then incr n) bm;
+    Printf.sprintf "<%d bytes>" !n
+  in
+  Array.iteri
+    (fun ip instr ->
+      (match Hashtbl.find_opt stub_names ip with
+      | Some name -> Buffer.add_string buf (Printf.sprintf "; start %s\n" name)
+      | None -> ());
+      (match Hashtbl.find_opt entry_names ip with
+      | Some name -> Buffer.add_string buf (Printf.sprintf "%s:\n" name)
+      | None -> ());
+      let line =
+        match instr with
+        | IChar (c, _, u) ->
+            Printf.sprintf "char %s%s" (Pretty.quote_char c)
+              (if u then "" else " (lean)")
+        | IStr (s, _, u) ->
+            Printf.sprintf "str %s%s" (Pretty.quote_string s)
+              (if u then "" else " (lean)")
+        | ISet (bm, desc, v) ->
+            Printf.sprintf "set %s %s%s" desc (bm_desc bm)
+              (if v then "" else " (lean)")
+        | IAny (_, v) -> if v then "any" else "any (lean)"
+        | ITestSet (_, tgt, desc) -> Printf.sprintf "test %s else %d" desc tgt
+        | IDispatch (_, targets, eof) ->
+            Printf.sprintf "dispatch [%s] eof %d"
+              (String.concat " "
+                 (Array.to_list (Array.map string_of_int targets)))
+              eof
+        | ISpan (bm, desc) -> Printf.sprintf "span %s %s" desc (bm_desc bm)
+        | ITestNot (_, desc, _) -> Printf.sprintf "test-not %s" desc
+        | ITestAnd (_, desc) -> Printf.sprintf "test-and %s" desc
+        | IJump tgt -> Printf.sprintf "jump %d" tgt
+        | IChoice (h, alt) ->
+            Printf.sprintf "choice %d%s" h (if alt then " (alt)" else "")
+        | ICommit tgt -> Printf.sprintf "commit %d" tgt
+        | IStarStep (l, ap) ->
+            Printf.sprintf "star-step %d%s" l (if ap then " (collect)" else "")
+        | IBackCommit tgt -> Printf.sprintf "back-commit %d" tgt
+        | IFailTwice _ -> "fail-twice"
+        | IFail (Some d) -> Printf.sprintf "fail %S" d
+        | IFail None -> "fail"
+        | ICall (p, _) -> Printf.sprintf "call %s" t.names.(p)
+        | ICallChunk (p, slot, _, _) | ICallTbl (p, slot, _, _) ->
+            Printf.sprintf "call %s [slot %d]" t.names.(p) slot
+        | IRet -> "ret"
+        | IRetChunk slot | IRetTbl slot ->
+            Printf.sprintf "ret [slot %d]" slot
+        | IOptSet (_, desc, _) -> Printf.sprintf "opt %s" desc
+        | IHalt -> "halt"
+        | ISetUnit -> "set-unit"
+        | IPushMark -> "push-mark"
+        | IAppend None -> "append"
+        | IAppend (Some l) -> Printf.sprintf "append %s:" l
+        | IAppendSplice -> "append-splice"
+        | IAppendList -> "append-list"
+        | IPopSeq -> "pop-seq"
+        | IPopTail -> "pop-tail"
+        | IPopTail1 None -> "pop-tail1"
+        | IPopTail1 (Some l) -> Printf.sprintf "pop-tail1 %s:" l
+        | IPopList -> "pop-list"
+        | IPopToken -> "pop-token"
+        | IPopNode n -> Printf.sprintf "pop-node %s" n
+        | IWrapBind l -> Printf.sprintf "wrap-bind %s" l
+        | ISpliceCollapse -> "splice-collapse"
+        | IRecord tbl -> Printf.sprintf "record %s" tbl
+        | IMember (tbl, pos, _) ->
+            Printf.sprintf "member %s%s" (if pos then "" else "!") tbl
+      in
+      Buffer.add_string buf (Printf.sprintf "%5d  %s\n" ip line))
+    t.code;
+  Buffer.contents buf

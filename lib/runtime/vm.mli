@@ -1,0 +1,64 @@
+(** The bytecode parsing back end.
+
+    Where {!Engine} compiles a grammar into a network of OCaml closures,
+    this module flattens it into a single instruction array — character
+    classes become 256-byte bitmaps, choices become [choice]/[commit]
+    pairs over an explicit backtrack stack, nonterminal calls become
+    [call]/[ret] with the memoization lookup inlined at the call site —
+    and interprets it in one tight dispatch loop. Failure pops the
+    backtrack stack directly instead of unwinding OCaml closures with
+    [-1] returns, so deep failing paths cost one stack pop per choice
+    point rather than one return per IR node.
+
+    Both back ends are observationally equivalent: same semantic values,
+    same success offsets, same farthest-failure positions and expected
+    sets (shared via {!Expected}). The closure engine remains the
+    executable specification; the property suite cross-checks the two on
+    randomized grammars. Select this back end with
+    {!Config.Bytecode} — [Engine.prepare] dispatches on it, so most
+    callers never use this module directly.
+
+    Two counters beyond the closure engine's appear in {!Stats}:
+    [vm_instructions] (instructions dispatched) and [vm_stack_peak] (the
+    backtrack/call stack's high-water mark). *)
+
+open Rats_support
+open Rats_peg
+
+type t
+(** A compiled bytecode program. *)
+
+val prepare : ?config:Config.t -> Grammar.t -> (t, Diagnostic.t list) result
+(** Compile a closed, well-formed grammar. Default config is
+    {!Config.vm}; the [backend] field is ignored here — preparing via
+    this module always yields a bytecode program. Rejects grammars that
+    fail {!Rats_peg.Analysis.check}, exactly like the closure engine. *)
+
+val prepare_exn : ?config:Config.t -> Grammar.t -> t
+val config : t -> Config.t
+val grammar : t -> Grammar.t
+
+val memo_slots : t -> int
+(** Number of productions holding a memo slot under this configuration;
+    identical to the closure engine's assignment. *)
+
+val instruction_count : t -> int
+(** Length of the compiled instruction array. *)
+
+type outcome = {
+  result : (Value.t, Parse_error.t) result;
+  stats : Stats.t;
+  consumed : int;
+      (** offset reached by the start production, or [-1] when it failed
+          outright *)
+}
+
+val run : t -> ?start:string -> ?require_eof:bool -> string -> outcome
+(** Same contract as [Engine.run]. *)
+
+val parse : t -> ?start:string -> string -> (Value.t, Parse_error.t) result
+val accepts : t -> ?start:string -> string -> bool
+
+val disassemble : t -> string
+(** Human-readable listing of the program, one instruction per line,
+    with production entry points labeled. *)

@@ -71,6 +71,23 @@ let tests =
         Sys.remove expr;
         check Alcotest.int "exit" 0 code;
         check Alcotest.bool "stats" true (contains out "invocations="));
+    test "parse --engine vm matches the closure tree" (fun () ->
+        let expr = write_temp "1 + 2 * 3" in
+        let code, out = run (Printf.sprintf "parse -b calc -i %s" expr) in
+        let code', out' =
+          run (Printf.sprintf "parse -b calc -i %s --engine vm --stats" expr)
+        in
+        Sys.remove expr;
+        check Alcotest.int "exit" 0 code;
+        check Alcotest.int "exit vm" 0 code';
+        check Alcotest.bool "vm stats" true (contains out' "vm-instructions=");
+        check Alcotest.bool "same tree" true
+          (contains out' (String.trim out)));
+    test "bytecode prints a disassembly" (fun () ->
+        let code, out = run "bytecode -b calc" in
+        check Alcotest.int "exit" 0 code;
+        check Alcotest.bool "header" true (contains out "instructions");
+        check Alcotest.bool "calls" true (contains out "call Sum"));
     test "fmt round-trips the tutorial" (fun () ->
         let code, out = run (Printf.sprintf "fmt %s" tutorial) in
         check Alcotest.int "exit" 0 code;

@@ -254,6 +254,41 @@ let pass_props =
         Engine.prepare ~config:Config.packrat (Desugar.expand_repetitions g));
   ]
 
+(* --- bytecode back end -------------------------------------------------------------------- *)
+
+(* The closure engine is the executable specification for the bytecode
+   VM: same values, same success offsets, same farthest-failure
+   positions, across every memo strategy. [Engine.prepare] dispatches on
+   [Config.backend], so the same facade drives both. *)
+
+let vm_of cfg = Config.with_backend Config.Bytecode cfg
+
+let vm_props =
+  let both name count cfg =
+    equivalent name count (prepare_with cfg) (prepare_with (vm_of cfg))
+  in
+  [
+    both "closure = bytecode (no memo)" 250 Config.naive;
+    both "closure = bytecode (packrat hashtable)" 250 Config.packrat;
+    both "closure = bytecode (chunked+transient)" 250
+      (Config.v ~memo:Config.Chunked ~honor_transient:true ());
+    both "closure = bytecode (fully optimized)" 250 Config.optimized;
+    QCheck.Test.make ~name:"closure = bytecode on prefixes (consumed offsets)"
+      ~count:250 arb_case (fun (g, inputs) ->
+        match (prepare_with Config.optimized g, prepare_with Config.vm g) with
+        | Ok e1, Ok e2 ->
+            List.for_all
+              (fun input ->
+                let o1 = Engine.run e1 ~require_eof:false input in
+                let o2 = Engine.run e2 ~require_eof:false input in
+                o1.Engine.consumed = o2.Engine.consumed
+                && Result.is_ok o1.Engine.result
+                   = Result.is_ok o2.Engine.result)
+              inputs
+        | Error _, Error _ -> true
+        | _ -> false);
+  ]
+
 (* --- printer round-trip -------------------------------------------------------------- *)
 
 let gen_printable_expr st = gen_expr ~refs:[ "Other" ] ~depth:3 st
@@ -430,6 +465,7 @@ let () =
   Alcotest.run "props"
     [
       ("engine-equivalence", to_alco engine_props);
+      ("vm-equivalence", to_alco vm_props);
       ("pass-equivalence", to_alco pass_props);
       ("printer", to_alco printer_props);
       ("module-printer", to_alco module_props);

@@ -1,0 +1,220 @@
+(* Unit tests for the bytecode back end: charset bitmaps, backtrack
+   unwinding through state-table transactions, stats counters, and
+   value equality against the closure engine on the builtin corpora.
+   The broad randomized cross-check lives in test_props.ml. *)
+
+open Rats
+
+let check = Alcotest.check
+let test name f = Alcotest.test_case name `Quick f
+
+let grammar_of prods = Grammar.make_exn prods
+
+let vm_config cfg = Config.with_backend Config.Bytecode cfg
+
+let contains s sub =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let prepare_vm ?(config = Config.optimized) g =
+  Vm.prepare_exn ~config:(vm_config config) g
+
+(* --- charset bitmaps ------------------------------------------------------ *)
+
+(* A class compiles to a 256-byte bitmap; every byte must be accepted
+   exactly when the source charset contains it. *)
+let bitmap_tests =
+  let sets =
+    [
+      ("range", Charset.range 'a' 'f');
+      ("union", Charset.union (Charset.range '0' '9') (Charset.singleton '_'));
+      ( "complement",
+        Charset.complement (Charset.union (Charset.singleton '\n')
+             (Charset.range 'x' 'z')) );
+      ("edges", Charset.union (Charset.singleton '\000') (Charset.singleton '\255'));
+      ("full", Charset.full);
+    ]
+  in
+  List.map
+    (fun (name, set) ->
+      test (Printf.sprintf "bitmap agrees with Charset.mem (%s)" name)
+        (fun () ->
+          let g = grammar_of [ Production.v "P0" (Expr.cls set) ] in
+          let vm = prepare_vm g in
+          for b = 0 to 255 do
+            let c = Char.chr b in
+            check Alcotest.bool
+              (Printf.sprintf "byte %d" b)
+              (Charset.mem c set)
+              (Vm.accepts vm (String.make 1 c))
+          done))
+    sets
+
+(* --- backtrack unwinding through state transactions ----------------------- *)
+
+(* An alternative records a name into a state table and then fails; the
+   backtrack must roll the table back so the later alternative does not
+   see the phantom entry. The closure engine pins the expected result. *)
+let unwind_tests =
+  let name_ = Expr.plus (Expr.cls (Charset.range 'a' 'z')) in
+  let g =
+    grammar_of
+      [
+        Production.v "P0"
+          (Expr.alt
+             [
+               (* record the name, then hit a dead end *)
+               Expr.seq [ Expr.record "T" (Expr.token name_); Expr.fail "no" ];
+               (* the name must NOT be in the table anymore *)
+               Expr.seq
+                 [
+                   Expr.member "T" false (Expr.token name_);
+                   Expr.str "!";
+                 ];
+             ]);
+      ]
+  in
+  let deep =
+    (* several nested choice points between the record and the failure,
+       so unwinding has to pop through intermediate frames *)
+    grammar_of
+      [
+        Production.v "P0"
+          (Expr.alt
+             [
+               Expr.seq
+                 [
+                   Expr.record "T" (Expr.token name_);
+                   Expr.alt [ Expr.str "--"; Expr.str "++" ];
+                   Expr.star (Expr.chr '.');
+                   Expr.fail "no";
+                 ];
+               Expr.seq [ Expr.member "T" false (Expr.token name_); Expr.any () ];
+             ]);
+      ]
+  in
+  let agree name g input =
+    test name (fun () ->
+        let closure = Engine.prepare_exn ~config:Config.optimized g in
+        let vm = prepare_vm g in
+        let a = Engine.parse closure input and b = Vm.parse vm input in
+        (match (a, b) with
+        | Ok va, Ok vb ->
+            check Alcotest.bool "values equal" true (Value.equal va vb)
+        | Error ea, Error eb ->
+            check Alcotest.int "failure position" ea.Parse_error.position
+              eb.Parse_error.position;
+            check
+              Alcotest.(list string)
+              "expected sets" ea.Parse_error.expected eb.Parse_error.expected
+        | _ -> Alcotest.failf "engines disagree on acceptance of %S" input))
+  in
+  [
+    agree "record rolled back across a failed alternative" g "abc!";
+    agree "rollback agrees on rejection too" g "abc";
+    agree "unwinding pops through nested choices and loops" deep "abc--...x";
+    agree "nested unwinding agrees on rejection" deep "abc--";
+  ]
+
+(* --- corpora value equality ----------------------------------------------- *)
+
+let corpus_tests =
+  let cases =
+    [
+      ( "calc",
+        Grammars.Calc.grammar (),
+        Grammars.Corpus.arith (Rng.create 7) ~size:400 );
+      ( "json",
+        Grammars.Json.grammar (),
+        Grammars.Corpus.json (Rng.create 7) ~size:400 );
+      ( "minic",
+        Grammars.Minic.grammar (),
+        Grammars.Corpus.minic (Rng.create 7) ~functions:4 );
+    ]
+  in
+  List.concat_map
+    (fun (name, g, corpus) ->
+      let opt = Rats_optimize.Pipeline.optimize g in
+      List.map
+        (fun (cfg_name, cfg) ->
+          test (Printf.sprintf "%s corpus values equal (%s)" name cfg_name)
+            (fun () ->
+              let closure = Engine.prepare_exn ~config:cfg opt in
+              let vm = prepare_vm ~config:cfg opt in
+              match (Engine.parse closure corpus, Vm.parse vm corpus) with
+              | Ok va, Ok vb ->
+                  check Alcotest.bool "equal trees" true (Value.equal va vb)
+              | _ -> Alcotest.failf "%s corpus rejected" name))
+        [
+          ("optimized", Config.optimized);
+          ("packrat", Config.packrat);
+          ("no memo", Config.naive);
+        ])
+    cases
+
+(* --- stats and disassembly ------------------------------------------------ *)
+
+let stats_tests =
+  [
+    test "vm_instructions and vm_stack_peak are reported" (fun () ->
+        let g = Grammars.Calc.grammar () in
+        let vm = prepare_vm (Rats_optimize.Pipeline.optimize g) in
+        let o = Vm.run vm "1+2*(3-4)" in
+        check Alcotest.bool "parses" true (Result.is_ok o.Vm.result);
+        check Alcotest.bool "instructions counted" true
+          (o.Vm.stats.Stats.vm_instructions > 0);
+        check Alcotest.bool "stack peak recorded" true
+          (o.Vm.stats.Stats.vm_stack_peak > 0);
+        check Alcotest.int "consumed everything" 9 o.Vm.consumed);
+    test "disassembly lists every production" (fun () ->
+        let g =
+          grammar_of
+            [
+              Production.v "P0" (Expr.seq [ Expr.ref_ "P1"; Expr.chr '!' ]);
+              Production.v "P1" (Expr.star (Expr.cls (Charset.range 'a' 'z')));
+            ]
+        in
+        let vm = prepare_vm g in
+        let listing = Vm.disassemble vm in
+        check Alcotest.bool "nonempty" true (String.length listing > 0);
+        List.iter
+          (fun p ->
+            check Alcotest.bool (p ^ " labeled") true (contains listing p))
+          [ "P0"; "P1" ];
+        check Alcotest.bool "program is measured" true
+          (Vm.instruction_count vm > 0));
+    test "expected sets are deduplicated" (fun () ->
+        let g =
+          grammar_of
+            [
+              Production.v "P0"
+                (Expr.alt
+                   [
+                     Expr.chr 'a';
+                     Expr.seq [ Expr.chr 'a'; Expr.chr 'b' ];
+                     Expr.chr 'z';
+                   ]);
+            ]
+        in
+        (* force the non-dispatch path so both 'a' alternatives really
+           run and report at the same position *)
+        let cfg = Config.v ~memo:Config.No_memo () in
+        let vm = Vm.prepare_exn ~config:(vm_config cfg) g in
+        match Vm.parse vm "q" with
+        | Ok _ -> Alcotest.fail "should not parse"
+        | Error e ->
+            let sorted = List.sort_uniq compare e.Parse_error.expected in
+            check Alcotest.int "no duplicate entries"
+              (List.length sorted)
+              (List.length e.Parse_error.expected));
+  ]
+
+let () =
+  Alcotest.run "vm"
+    [
+      ("bitmaps", bitmap_tests);
+      ("unwinding", unwind_tests);
+      ("corpora", corpus_tests);
+      ("stats", stats_tests);
+    ]
