@@ -343,6 +343,24 @@ let e3 () =
     (Pipeline.ladder g);
   row "  (%s)\n"
     "time ratio is vs. the desugared, memoize-everything baseline";
+  (* Where the optimizer itself spends its time: the driver's per-pass
+     instrumentation over the default pipeline. *)
+  row "\nper-pass driver trace (default pipeline, minic, sugared source):\n";
+  (match Driver.run ~gate:false (Pipeline.passes ()) g with
+  | Error _ -> row "  (driver failed)\n"
+  | Ok o ->
+      List.iter
+        (fun (r : Stats.pass_row) ->
+          record ~experiment:"e3" ~series:"passes"
+            [
+              ("pass", jstr r.Stats.pass_name);
+              ("time_ms", jfloat (ms r.Stats.pass_time));
+              ("prods_after", jint r.Stats.prods_after);
+              ("nodes_after", jint r.Stats.nodes_after);
+              ("changed", if r.Stats.pass_changed then "true" else "false");
+            ])
+        o.Driver.rows;
+      row "%s" (Format.asprintf "%a" Stats.pp_pass_table o.Driver.rows));
   (* Ablation for the one cost-based heuristic: the inlining threshold. *)
   row "\ninlining-threshold ablation (DESIGN.md: cost-based inlining):\n";
   row "  %-10s %9s %8s\n" "threshold" "time ms" "prods";

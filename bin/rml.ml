@@ -219,14 +219,23 @@ let leftrec_arg =
   Arg.(
     value & flag
     & info [ "L"; "eliminate-left-recursion" ]
-        ~doc:"Rewrite direct left recursion into iteration before use.")
+        ~doc:
+          "Enable the opt-in \"leftrec\" registry pass: rewrite direct left \
+           recursion into iteration before use.")
+
+(* The one place the -L flag maps to the optimizer: the registered
+   repair pass, run through the driver like every other pass. *)
+let apply_leftrec g =
+  match Rats.Pipeline.find_pass "leftrec" with
+  | None -> g
+  | Some p -> (Rats.Driver.run_exn ~gate:false [ p ] g).Rats.Driver.grammar
 
 let compose_cmd =
   let run files builtin root start optimize leftrec =
     match compose_from files builtin root start with
     | Error ds -> print_errors ds
     | Ok g ->
-        let g = if leftrec then Rats.Passes.eliminate_left_recursion g else g in
+        let g = if leftrec then apply_leftrec g else g in
         let g = if optimize then Rats.Pipeline.optimize g else g in
         Fmt.pr "%s" (Rats.Pretty.grammar_to_string g);
         0
@@ -237,6 +246,153 @@ let compose_cmd =
     Term.(
       const run $ files_arg $ builtin_arg $ root_arg $ start_arg
       $ optimize_arg $ leftrec_arg)
+
+(* --- the pass manager on the command line --------------------------------- *)
+
+let optimize_cmd =
+  let trace_arg =
+    Arg.(
+      value & flag
+      & info [ "trace" ]
+          ~doc:
+            "Print one row per executed pass: wall time, production count \
+             and IR-node count before/after.")
+  in
+  let print_arg =
+    Arg.(
+      value & flag
+      & info [ "p"; "print" ] ~doc:"Print the optimized grammar when done.")
+  in
+  let verify_arg =
+    Arg.(
+      value & flag
+      & info [ "verify" ]
+          ~doc:
+            "Re-run the well-formedness check after every pass and abort if \
+             a pass broke the grammar.")
+  in
+  let dump_after_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dump-after" ] ~docv:"PASS"
+          ~doc:"Print the intermediate grammar right after the named pass.")
+  in
+  let passes_opt_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "passes" ] ~docv:"LIST"
+          ~doc:
+            "Comma-separated registry pass names to run instead of the \
+             default pipeline (see $(b,rml passes)).")
+  in
+  let run files builtin root start leftrec passes trace print_grammar verify
+      dump_after =
+    match compose_from files builtin root start with
+    | Error ds -> print_errors ds
+    | Ok g -> (
+        let named =
+          match passes with
+          | None -> Ok (Rats.Pipeline.passes ())
+          | Some list ->
+              List.fold_left
+                (fun acc name ->
+                  match (acc, Rats.Pipeline.find_pass name) with
+                  | (Error _ as e), _ -> e
+                  | Ok ps, Some p -> Ok (ps @ [ p ])
+                  | Ok _, None ->
+                      Error
+                        [
+                          Rats.Diagnostic.errorf
+                            "unknown pass %S (try: rml passes)" name;
+                        ])
+                (Ok [])
+                (String.split_on_char ',' (String.trim list))
+        in
+        match named with
+        | Error ds -> print_errors ds
+        | Ok selected -> (
+            let selected =
+              if not leftrec then selected
+              else
+                match Rats.Pipeline.find_pass "leftrec" with
+                | Some p -> p :: selected
+                | None -> selected
+            in
+            let dump_after =
+              Option.map
+                (fun name (p : Rats.Pass.t) g' ->
+                  if String.equal p.Rats.Pass.name name then
+                    Fmt.pr "; after %s@.%s@." name
+                      (Rats.Pretty.grammar_to_string g'))
+                dump_after
+            in
+            match Rats.Driver.run ?dump_after ~verify selected g with
+            | Error ds -> print_errors ds
+            | Ok o ->
+                List.iter
+                  (fun d -> Fmt.epr "%s@." (Rats.Diagnostic.to_string d))
+                  o.Rats.Driver.warnings;
+                if trace then
+                  Fmt.pr "%a" Rats.Stats.pp_pass_table o.Rats.Driver.rows;
+                if print_grammar then
+                  Fmt.pr "%s" (Rats.Pretty.grammar_to_string o.Rats.Driver.grammar);
+                if (not trace) && not print_grammar then
+                  Fmt.pr
+                    "%d passes, %d -> %d productions, %d -> %d nodes, %.2f \
+                     ms (use --trace for the per-pass table)@."
+                    (List.length o.Rats.Driver.rows)
+                    (Rats.Grammar.length g)
+                    (Rats.Grammar.length o.Rats.Driver.grammar)
+                    (Rats.Grammar.size g)
+                    (Rats.Grammar.size o.Rats.Driver.grammar)
+                    (1000. *. Rats.Driver.total_time o);
+                0))
+  in
+  Cmd.v
+    (Cmd.info "optimize"
+       ~doc:
+         "Run the optimizer pass pipeline over a composed grammar, with \
+          per-pass instrumentation.")
+    Term.(
+      const run $ files_arg $ builtin_arg $ root_arg $ start_arg $ leftrec_arg
+      $ passes_opt_arg $ trace_arg $ print_arg $ verify_arg $ dump_after_arg)
+
+let passes_cmd =
+  let run () =
+    let show (p : Rats.Pass.t) =
+      Fmt.pr "  %-12s %-10s %-12s %s@." p.Rats.Pass.name
+        (match p.Rats.Pass.stage with
+        | Rats.Pass.Repair -> "repair"
+        | Rats.Pass.Optimize -> "optimize")
+        (match p.Rats.Pass.invalidates with
+        | Rats.Analysis_ctx.Nothing -> "keeps-cache"
+        | Rats.Analysis_ctx.Analyses -> "structural")
+        p.Rats.Pass.doc
+    in
+    Fmt.pr "default pipeline (in order):@.";
+    List.iter show (Rats.Pipeline.passes ());
+    Fmt.pr "@.opt-in (enable with --passes or -L):@.";
+    List.iter show Rats.Pipeline.optional_passes;
+    Fmt.pr "@.E3 ladder steps (cumulative; passes in brackets):@.";
+    List.iter
+      (fun (s : Rats.Pipeline.step) ->
+        Fmt.pr "  %-14s %-22s %s@." s.Rats.Pipeline.label
+          (match s.Rats.Pipeline.passes with
+          | [] -> "[engine/config only]"
+          | ps ->
+              Printf.sprintf "[%s]"
+                (String.concat ", "
+                   (List.map (fun (p : Rats.Pass.t) -> p.Rats.Pass.name) ps)))
+          s.Rats.Pipeline.detail)
+      (Rats.Pipeline.registry ());
+    0
+  in
+  Cmd.v
+    (Cmd.info "passes"
+       ~doc:"List the registered optimizer passes and the E3 ladder steps.")
+    Term.(const run $ const ())
 
 let fmt_cmd =
   let run files builtin =
@@ -447,6 +603,6 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [
-            modules_cmd; compose_cmd; analyze_cmd; parse_cmd; bytecode_cmd;
-            generate_cmd; fmt_cmd;
+            modules_cmd; compose_cmd; optimize_cmd; passes_cmd; analyze_cmd;
+            parse_cmd; bytecode_cmd; generate_cmd; fmt_cmd;
           ]))

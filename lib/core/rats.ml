@@ -9,6 +9,7 @@ module Expr = Rats_peg.Expr
 module Production = Rats_peg.Production
 module Grammar = Rats_peg.Grammar
 module Analysis = Rats_peg.Analysis
+module Analysis_ctx = Rats_peg.Analysis_ctx
 module Pretty = Rats_peg.Pretty
 module Builder = Rats_peg.Builder
 module Lint = Rats_peg.Lint
@@ -24,6 +25,8 @@ module Vm = Rats_runtime.Vm
 module Expected = Rats_runtime.Expected
 module Desugar = Rats_optimize.Desugar
 module Passes = Rats_optimize.Passes
+module Pass = Rats_optimize.Pass
+module Driver = Rats_optimize.Driver
 module Pipeline = Rats_optimize.Pipeline
 module Emit = Rats_codegen.Emit
 
@@ -61,9 +64,15 @@ let compose ?start ?args ~root modules =
       | Ok (g, _) -> Ok g
       | Error ds -> Error ds)
 
-let parser_of ?(optimize = true) ?(config = Config.optimized) g =
-  let g = if optimize then Pipeline.optimize g else g in
-  Engine.prepare ~config g
+let parser_of ?(optimize = true) ?passes ?(config = Config.optimized) g =
+  let passes =
+    match passes with
+    | Some ps -> ps
+    | None -> if optimize then Pipeline.passes () else []
+  in
+  match Driver.run passes g with
+  | Error ds -> Error ds
+  | Ok o -> Engine.prepare ~config o.Driver.grammar
 
 let parse eng ?start input = Engine.parse eng ?start input
 

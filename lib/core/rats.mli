@@ -26,6 +26,7 @@ module Expr = Rats_peg.Expr
 module Production = Rats_peg.Production
 module Grammar = Rats_peg.Grammar
 module Analysis = Rats_peg.Analysis
+module Analysis_ctx = Rats_peg.Analysis_ctx
 module Pretty = Rats_peg.Pretty
 module Builder = Rats_peg.Builder
 module Lint = Rats_peg.Lint
@@ -41,6 +42,8 @@ module Vm = Rats_runtime.Vm
 module Expected = Rats_runtime.Expected
 module Desugar = Rats_optimize.Desugar
 module Passes = Rats_optimize.Passes
+module Pass = Rats_optimize.Pass
+module Driver = Rats_optimize.Driver
 module Pipeline = Rats_optimize.Pipeline
 module Emit = Rats_codegen.Emit
 
@@ -73,9 +76,17 @@ val compose :
 (** Build a library from the modules and flatten it at [root]. *)
 
 val parser_of :
-  ?optimize:bool -> ?config:Config.t -> Grammar.t -> Engine.t or_errors
-(** Prepare an engine; [optimize] (default [true]) runs the grammar-side
-    pipeline first, and the default [config] is {!Config.optimized}. *)
+  ?optimize:bool ->
+  ?passes:Pass.t list ->
+  ?config:Config.t ->
+  Grammar.t ->
+  Engine.t or_errors
+(** Prepare an engine. The grammar first goes through the gated
+    optimizer {!Driver} — ill-formed grammars (left recursion, dangling
+    references) fail fast here, before any optimization — running
+    [passes] when given, else the full registry pipeline when [optimize]
+    (default [true]), else no passes at all. The default [config] is
+    {!Config.optimized}. *)
 
 val parse :
   Engine.t -> ?start:string -> string -> (Value.t, Parse_error.t) result

@@ -1,0 +1,62 @@
+(** The optimizer driver: runs an ordered pass list over a grammar with
+    a shared analysis cache, per-pass instrumentation and a
+    well-formedness gate.
+
+    Execution order:
+
+    + {!Pass.Repair}-stage passes (e.g. left-recursion elimination), in
+      list order;
+    + the {e gate} (unless [~gate:false]): {!Rats_peg.Analysis.check}
+      hard errors — left recursion, dangling references, vacuous
+      repetition — abort the run, and {!Rats_peg.Lint.check} warnings
+      are collected into the outcome. This is where a composed grammar
+      is rejected {e before} any optimization effort is spent on it;
+    + {!Pass.Optimize}-stage passes, in list order, each timed and
+      measured (production and IR-node deltas) into a
+      {!Rats_runtime.Stats.pass_row}. With [~verify:true] the driver
+      re-checks well-formedness after every pass and aborts if a pass
+      broke the grammar — each transformation stays independently
+      verifiable as they compose.
+
+    One {!Rats_peg.Analysis_ctx.t} flows through the whole run;
+    attribute-only passes declare {!Rats_peg.Analysis_ctx.Nothing} and
+    the cached FIRST sets, reference counts and reachability survive
+    them untouched. *)
+
+open Rats_support
+open Rats_peg
+
+type outcome = {
+  grammar : Grammar.t;  (** the grammar after the last pass *)
+  rows : Rats_runtime.Stats.pass_row list;
+      (** one per executed pass, in execution order *)
+  warnings : Diagnostic.t list;  (** lint findings from the gate *)
+}
+
+val run :
+  ?gate:bool ->
+  ?verify:bool ->
+  ?dump_after:(Pass.t -> Grammar.t -> unit) ->
+  ?on_pass:(Rats_runtime.Stats.pass_row -> unit) ->
+  Pass.t list ->
+  Grammar.t ->
+  (outcome, Diagnostic.t list) result
+(** [run passes g] — defaults: [gate] on, [verify] off. [dump_after] is
+    called with each pass and the grammar it produced (the CLI's
+    [--dump-after] hook); [on_pass] streams instrumentation rows as they
+    are measured. With [~gate:false ~verify:false] the result is always
+    [Ok]. *)
+
+val run_exn :
+  ?gate:bool ->
+  ?verify:bool ->
+  ?dump_after:(Pass.t -> Grammar.t -> unit) ->
+  ?on_pass:(Rats_runtime.Stats.pass_row -> unit) ->
+  Pass.t list ->
+  Grammar.t ->
+  outcome
+(** Like {!run}; raises {!Rats_support.Diagnostic.Fail} on the first
+    error. *)
+
+val total_time : outcome -> float
+(** Sum of the per-pass wall times, in seconds. *)

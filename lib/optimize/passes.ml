@@ -1,61 +1,38 @@
 open Rats_peg
 module SSet = Analysis.StringSet
 
+(* A pass invoked by the driver receives the driver's shared cache; a
+   pass invoked directly (the historical entry points below) builds a
+   private one. The physical-equality guard means a stale context is
+   silently replaced rather than trusted. *)
+let ctx_for ?ctx g =
+  match ctx with
+  | Some c when Analysis_ctx.grammar c == g -> c
+  | _ -> Analysis_ctx.create g
+
 (* --- pruning ------------------------------------------------------------ *)
 
-let prune g =
-  let a = Analysis.analyze g in
-  let keep = Analysis.reachable a in
+let prune ?ctx g =
+  let keep = Analysis_ctx.reachable (ctx_for ?ctx g) in
   Grammar.restrict g ~keep:(fun n -> SSet.mem n keep)
 
 (* --- transient marking --------------------------------------------------- *)
 
-let mark_transients g =
-  let a = Analysis.analyze g in
+let mark_transients ?ctx g =
+  let c = ctx_for ?ctx g in
   Grammar.map
     (fun (p : Production.t) ->
-      if p.attrs.Attr.memo = Attr.Memo_auto && Analysis.ref_count a p.name <= 1
+      if p.attrs.Attr.memo = Attr.Memo_auto && Analysis_ctx.ref_count c p.name <= 1
       then Production.with_attrs p { p.attrs with Attr.memo = Attr.Memo_never }
       else p)
     g
 
 (* --- terminal detection --------------------------------------------------- *)
 
-(* A production is terminal when it never builds a tree node and only
-   references other terminal productions: character-level machinery.
-   Computed as a greatest fixed point (start optimistic, knock out). *)
-let terminal_set g =
-  let prods = Grammar.productions g in
-  let tbl = Hashtbl.create 64 in
-  let locally_ok (p : Production.t) =
-    (match p.attrs.Attr.kind with
-    | Attr.Generic -> false
-    | Attr.Plain | Attr.Text | Attr.Void -> true)
-    && Expr.fold
-         (fun acc (e : Expr.t) ->
-           acc
-           && match e.it with
-              | Expr.Node _ | Expr.Record _ | Expr.Member _ -> false
-              | _ -> true)
-         true p.expr
-  in
-  List.iter (fun (p : Production.t) -> Hashtbl.replace tbl p.name (locally_ok p)) prods;
-  let lookup n = try Hashtbl.find tbl n with Not_found -> false in
-  let changed = ref true in
-  while !changed do
-    changed := false;
-    List.iter
-      (fun (p : Production.t) ->
-        if Hashtbl.find tbl p.name then
-          if not (List.for_all lookup (Expr.refs p.expr)) then (
-            Hashtbl.replace tbl p.name false;
-            changed := true))
-      prods
-  done;
-  Hashtbl.fold (fun n ok acc -> if ok then SSet.add n acc else acc) tbl SSet.empty
+let terminal_set ?ctx g = Analysis_ctx.terminals (ctx_for ?ctx g)
 
-let mark_terminals g =
-  let terminals = terminal_set g in
+let mark_terminals ?ctx g =
+  let terminals = terminal_set ?ctx g in
   Grammar.map
     (fun (p : Production.t) ->
       if p.attrs.Attr.memo = Attr.Memo_auto && SSet.mem p.name terminals then
@@ -72,11 +49,13 @@ let expansion_of (p : Production.t) =
   | Attr.Text -> Expr.token p.expr
   | Attr.Void -> Expr.drop p.expr
 
-let inline_pass ?(threshold = 12) g =
-  let rec iterate g rounds =
+let inline_pass ?(threshold = 12) ?ctx g =
+  (* Only the first round can reuse the shared cache; every later round
+     analyzes the grammar its own substitutions produced. *)
+  let rec iterate ctx g rounds =
     if rounds = 0 then g
     else
-      let a = Analysis.analyze g in
+      let a = Analysis_ctx.analysis (ctx_for ?ctx g) in
       let recursive (p : Production.t) =
         SSet.mem p.name (Analysis.reachable_from a (Expr.refs p.expr))
       in
@@ -123,9 +102,9 @@ let inline_pass ?(threshold = 12) g =
               else Production.with_expr p (subst p.expr))
             g
         in
-        if !changed then iterate (prune g') (rounds - 1) else g
+        if !changed then iterate None (prune g') (rounds - 1) else g
   in
-  iterate g 5
+  iterate ctx g 5
 
 (* --- duplicate folding ----------------------------------------------------- *)
 

@@ -2,22 +2,29 @@
     paper's ladder. All passes preserve the recognized language; all but
     {!factor_prefixes} (which reshapes only through the value-preserving
     [Splice] construct, so it too is value-safe) preserve semantic values
-    bit for bit. Each pass is idempotent. *)
+    bit for bit. Each pass is idempotent.
+
+    Every analysis-consuming pass takes an optional [?ctx]: the shared
+    {!Rats_peg.Analysis_ctx.t} the optimizer driver threads through a
+    pipeline so FIRST sets, reference counts and reachability are
+    computed once per structural change instead of once per pass. Called
+    without it (or with a context for a different grammar), a pass
+    simply analyzes its input itself — identical results, more work. *)
 
 open Rats_peg
 
-val prune : Grammar.t -> Grammar.t
+val prune : ?ctx:Analysis_ctx.t -> Grammar.t -> Grammar.t
 (** Dead-production elimination: drop productions unreachable from the
     start symbol and the public productions. *)
 
-val mark_transients : Grammar.t -> Grammar.t
+val mark_transients : ?ctx:Analysis_ctx.t -> Grammar.t -> Grammar.t
 (** Rats!'s {e transient productions}: flip [Memo_auto] to [Memo_never]
     for productions referenced at most once in the whole grammar — their
     results can never be demanded twice at the same position through
     different paths, so memoizing them only costs memory. Explicit
     [memoized] annotations are respected. *)
 
-val mark_terminals : Grammar.t -> Grammar.t
+val mark_terminals : ?ctx:Analysis_ctx.t -> Grammar.t -> Grammar.t
 (** Rats!'s {e terminal optimization}: productions that sit at the
     lexical level — transitively reference only character-level
     machinery, build no syntax-tree nodes and touch no parser state —
@@ -25,11 +32,11 @@ val mark_terminals : Grammar.t -> Grammar.t
     has [lean_values]). This is where spacing, identifiers and literals
     stop paying packrat overhead. *)
 
-val terminal_set : Grammar.t -> Analysis.StringSet.t
+val terminal_set : ?ctx:Analysis_ctx.t -> Grammar.t -> Analysis.StringSet.t
 (** The productions {!mark_terminals} would mark (exposed for tests and
     statistics). *)
 
-val inline_pass : ?threshold:int -> Grammar.t -> Grammar.t
+val inline_pass : ?threshold:int -> ?ctx:Analysis_ctx.t -> Grammar.t -> Grammar.t
 (** Cost-based nonterminal inlining: replace references to small
     ([size <= threshold], default [12]), non-recursive productions by
     their bodies (wrapped according to the production kind so values are

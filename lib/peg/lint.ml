@@ -104,8 +104,12 @@ let expr_warnings a pname (e : Expr.t) =
   go e;
   List.rev !out
 
-let check g =
-  let a = Analysis.analyze g in
+let check ?analysis g =
+  let a =
+    match analysis with
+    | Some a when Analysis.grammar a == g -> a
+    | _ -> Analysis.analyze g
+  in
   let reachable = Analysis.reachable a in
   List.concat_map
     (fun (p : Production.t) ->

@@ -10,8 +10,11 @@
 
 open Rats_support
 
-val check : Grammar.t -> Diagnostic.t list
-(** All warnings, in production order. Currently detected:
+val check : ?analysis:Analysis.t -> Grammar.t -> Diagnostic.t list
+(** All warnings, in production order. [analysis] lets a caller that has
+    already analyzed the grammar (the optimizer driver's gate) share the
+    work; it is used only when it was computed for this very grammar.
+    Currently detected:
 
     - {b duplicate-alternative}: two structurally equal alternatives in
       one choice; the second can never match anything new.

@@ -424,10 +424,207 @@ let leftrec_tests =
           (Grammar.productions g) (Grammar.productions g'));
   ]
 
+(* --- the analysis cache ---------------------------------------------------------------------- *)
+
+let ctx_tests =
+  let open Builder in
+  let two_prods () =
+    Grammar.make_exn ~start:"S"
+      [ prod "S" (e "A" @: e "A"); prod "A" (r 'a' 'z') ]
+  in
+  [
+    test "queries share one analysis run" (fun () ->
+        let ctx = Analysis_ctx.create (two_prods ()) in
+        ignore (Analysis_ctx.first ctx "S");
+        ignore (Analysis_ctx.nullable ctx "A");
+        ignore (Analysis_ctx.reachable ctx);
+        check Alcotest.int "one run" 1 (Analysis_ctx.computations ctx));
+    test "attribute-only advance keeps the cache" (fun () ->
+        let g = two_prods () in
+        let ctx = Analysis_ctx.create g in
+        ignore (Analysis_ctx.first ctx "S");
+        let g' = Passes.mark_transients ~ctx g in
+        Analysis_ctx.advance ctx ~invalidates:Analysis_ctx.Nothing g';
+        ignore (Analysis_ctx.first ctx "S");
+        check Alcotest.int "still one run" 1 (Analysis_ctx.computations ctx));
+    test "structural advance recomputes" (fun () ->
+        let g = two_prods () in
+        let ctx = Analysis_ctx.create g in
+        ignore (Analysis_ctx.first ctx "S");
+        Analysis_ctx.advance ctx ~invalidates:Analysis_ctx.Analyses
+          (Passes.inline_pass g);
+        ignore (Analysis_ctx.reachable ctx);
+        check Alcotest.int "two runs" 2 (Analysis_ctx.computations ctx));
+    test "ref counts match Analysis.ref_count" (fun () ->
+        let g = Grammars.Minic.grammar () in
+        let ctx = Analysis_ctx.create g in
+        let a = Analysis.analyze g in
+        List.iter
+          (fun (p : Production.t) ->
+            check Alcotest.int p.name (Analysis.ref_count a p.name)
+              (Analysis_ctx.ref_count ctx p.name))
+          (Grammar.productions g));
+    test "stale grammar falls back instead of lying" (fun () ->
+        (* Passing a context for a different snapshot must not corrupt
+           the pass: ctx_for detects the mismatch and analyzes fresh. *)
+        let g = two_prods () in
+        let stale = Analysis_ctx.create (Grammars.Calc.grammar ()) in
+        let g' = Passes.mark_transients ~ctx:stale g in
+        check Alcotest.bool "A not transient" false
+          (Attr.is_transient (Grammar.find_exn g' "A").Production.attrs));
+  ]
+
+(* --- the driver ------------------------------------------------------------------------------- *)
+
+let driver_tests =
+  let open Builder in
+  let left_recursive () =
+    Grammar.make_exn ~start:"E"
+      [
+        prod "E" (e "E" @: c '-' @: e "N" <|> e "N");
+        prod "N" (plus (r '0' '9'));
+      ]
+  in
+  [
+    test "rows come back one per pass, in order" (fun () ->
+        let g = Grammars.Minic.grammar () in
+        let passes = Pipeline.passes () in
+        let o = Driver.run_exn passes g in
+        check
+          Alcotest.(list string)
+          "names"
+          (List.map (fun (p : Pass.t) -> p.Pass.name) passes)
+          (List.map (fun (r : Stats.pass_row) -> r.Stats.pass_name)
+             o.Driver.rows));
+    test "deltas are consistent across rows" (fun () ->
+        let g = Grammars.Minic.grammar () in
+        let o = Driver.run_exn (Pipeline.passes ()) g in
+        let rec chain before = function
+          | [] -> ()
+          | (r : Stats.pass_row) :: rest ->
+              check Alcotest.int
+                (r.Stats.pass_name ^ " before")
+                before r.Stats.prods_before;
+              chain r.Stats.prods_after rest
+        in
+        chain (Grammar.length g) o.Driver.rows;
+        check Alcotest.int "final"
+          (Grammar.length o.Driver.grammar)
+          (List.nth o.Driver.rows (List.length o.Driver.rows - 1))
+            .Stats.prods_after);
+    test "gate rejects left recursion before any optimization" (fun () ->
+        match Driver.run (Pipeline.passes ()) (left_recursive ()) with
+        | Error ds ->
+            check Alcotest.bool "an error" true
+              (List.exists Diagnostic.is_error ds)
+        | Ok _ -> Alcotest.fail "expected rejection");
+    test "a repair pass runs before the gate" (fun () ->
+        match
+          Driver.run (Pass.leftrec :: Pipeline.passes ()) (left_recursive ())
+        with
+        | Error _ -> Alcotest.fail "leftrec should have repaired it"
+        | Ok o ->
+            let eng = Engine.prepare_exn o.Driver.grammar in
+            check Alcotest.bool "parses" true (Engine.accepts eng "8-3-2"));
+    test "lint warnings land in the outcome" (fun () ->
+        let g =
+          Grammar.make_exn ~start:"S" [ prod "S" (c 'a' <|> c 'a') ]
+        in
+        let o = Driver.run_exn (Pipeline.passes ()) g in
+        check Alcotest.bool "warned" true (o.Driver.warnings <> []);
+        check Alcotest.bool "no hard error" true
+          (not (List.exists Diagnostic.is_error o.Driver.warnings)));
+    test "dump_after sees every intermediate grammar" (fun () ->
+        let seen = ref [] in
+        let dump_after (p : Pass.t) (g' : Grammar.t) =
+          seen := (p.Pass.name, Grammar.length g') :: !seen
+        in
+        let o =
+          Driver.run_exn ~dump_after (Pipeline.passes ())
+            (Grammars.Minic.grammar ())
+        in
+        check Alcotest.int "one per pass"
+          (List.length o.Driver.rows)
+          (List.length !seen);
+        check Alcotest.int "last matches outcome"
+          (Grammar.length o.Driver.grammar)
+          (snd (List.hd !seen)));
+    test "on_pass streams rows as they are measured" (fun () ->
+        let streamed = ref [] in
+        let on_pass (r : Stats.pass_row) =
+          streamed := r.Stats.pass_name :: !streamed
+        in
+        let o =
+          Driver.run_exn ~on_pass (Pipeline.passes ())
+            (Grammars.Minic.grammar ())
+        in
+        check
+          Alcotest.(list string)
+          "same rows"
+          (List.map (fun (r : Stats.pass_row) -> r.Stats.pass_name)
+             o.Driver.rows)
+          (List.rev !streamed));
+    test "verify accepts the full pipeline on minic" (fun () ->
+        match
+          Driver.run ~verify:true (Pipeline.passes ())
+            (Grammars.Minic.grammar ())
+        with
+        | Ok _ -> ()
+        | Error ds ->
+            Alcotest.failf "verify rejected: %s"
+              (String.concat "; " (List.map Diagnostic.to_string ds)));
+    test "verify catches a pass that breaks the grammar" (fun () ->
+        let vandal =
+          Pass.v ~name:"vandal" ~doc:"drop every production but the start"
+            (fun _ g ->
+              Grammar.make_exn ~start:(Grammar.start g)
+                [ prod (Grammar.start g) (e "Gone") ])
+        in
+        match Driver.run ~verify:true [ vandal ] (Grammars.Calc.grammar ()) with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "expected verification failure");
+    test "parser_of routes through the gated driver" (fun () ->
+        (match Rats.parser_of (left_recursive ()) with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "expected rejection");
+        match
+          Rats.parser_of ~passes:(Pass.leftrec :: Pipeline.passes ())
+            (left_recursive ())
+        with
+        | Ok eng -> check Alcotest.bool "parses" true (Engine.accepts eng "1-2")
+        | Error _ -> Alcotest.fail "repair via ?passes failed");
+    test "find_pass knows every registered name" (fun () ->
+        List.iter
+          (fun (p : Pass.t) ->
+            match Pipeline.find_pass p.Pass.name with
+            | Some q -> check Alcotest.string p.Pass.name p.Pass.name q.Pass.name
+            | None -> Alcotest.failf "%s not found" p.Pass.name)
+          (Pipeline.all_passes ());
+        check Alcotest.bool "unknown is None" true
+          (Pipeline.find_pass "nosuch" = None));
+  ]
+
 (* --- the ladder and the full pipeline ------------------------------------------------------- *)
 
 let pipeline_tests =
   [
+    test "ladder rungs mirror the registry" (fun () ->
+        let rungs = Pipeline.ladder (Grammars.Calc.grammar ()) in
+        check
+          Alcotest.(list string)
+          "labels"
+          (List.map (fun (s : Pipeline.step) -> s.Pipeline.label)
+             (Pipeline.registry ()))
+          (List.map (fun (r : Pipeline.rung) -> r.Pipeline.name) rungs));
+    test "pipeline passes are the registry steps flattened" (fun () ->
+        check
+          Alcotest.(list string)
+          "names"
+          (List.concat_map
+             (fun (s : Pipeline.step) ->
+               List.map (fun (p : Pass.t) -> p.Pass.name) s.Pipeline.passes)
+             (Pipeline.registry ()))
+          (List.map (fun (p : Pass.t) -> p.Pass.name) (Pipeline.passes ())));
     test "ladder has eleven rungs in order" (fun () ->
         let rungs = Pipeline.ladder (Grammars.Calc.grammar ()) in
         check Alcotest.int "count" 11 (List.length rungs);
@@ -498,5 +695,7 @@ let () =
       ("factor", factor_tests);
       ("leftrec", leftrec_tests);
       ("desugar", desugar_tests);
+      ("analysis-ctx", ctx_tests);
+      ("driver", driver_tests);
       ("pipeline", pipeline_tests);
     ]

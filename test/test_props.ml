@@ -254,6 +254,72 @@ let pass_props =
         Engine.prepare ~config:Config.packrat (Desugar.expand_repetitions g));
   ]
 
+(* --- registry passes, one suite per registered name ---------------------------------- *)
+
+(* Generated from the canonical registry, so a pass added there is
+   property-tested here with no further wiring. The observation is
+   stronger than [obs_equal] above: the expected set at the farthest
+   failure must survive each pass too. Leaf-matcher descriptions ('x',
+   "ab", [a-c], any character) are compared verbatim; negative-predicate
+   descriptions quote their operand's syntax, which structural passes
+   rewrite by design, so those are compared only by their presence.
+   Reference and subject run under the same engine configuration so only
+   the pass itself is under test; the bytecode variant then re-checks
+   the transformed grammar through the VM. *)
+
+type full_obs = FAccept of Value.t | FReject of int * string list
+
+let normalize_expected descs =
+  List.sort_uniq compare
+    (List.map
+       (fun d ->
+         if String.length d >= 4 && String.equal (String.sub d 0 4) "not " then
+           "not <predicate>"
+         else d)
+       descs)
+
+let observe_full eng input =
+  match Engine.parse eng input with
+  | Ok v -> FAccept v
+  | Error e ->
+      FReject (e.Parse_error.position, normalize_expected e.Parse_error.expected)
+
+let full_equal a b =
+  match (a, b) with
+  | FAccept va, FAccept vb -> Value.equal va vb
+  | FReject (pa, ea), FReject (pb, eb) -> pa = pb && ea = eb
+  | FAccept _, FReject _ | FReject _, FAccept _ -> false
+
+let apply_pass (p : Pass.t) g =
+  (Driver.run_exn ~gate:false [ p ] g).Driver.grammar
+
+let registry_pass_props =
+  List.concat_map
+    (fun (p : Pass.t) ->
+      let prop backend cfg =
+        QCheck.Test.make
+          ~name:
+            (Printf.sprintf "%s preserves values, positions, expected (%s)"
+               p.Pass.name backend)
+          ~count:120 arb_case
+          (fun (g, inputs) ->
+            match
+              (prepare_with Config.packrat g, prepare_with cfg (apply_pass p g))
+            with
+            | Ok e1, Ok e2 ->
+                List.for_all
+                  (fun input ->
+                    full_equal (observe_full e1 input) (observe_full e2 input))
+                  inputs
+            | Error _, Error _ -> true
+            | _ -> false)
+      in
+      [
+        prop "closure" Config.packrat;
+        prop "vm" (Config.with_backend Config.Bytecode Config.packrat);
+      ])
+    (Pipeline.all_passes ())
+
 (* --- bytecode back end -------------------------------------------------------------------- *)
 
 (* The closure engine is the executable specification for the bytecode
@@ -467,6 +533,7 @@ let () =
       ("engine-equivalence", to_alco engine_props);
       ("vm-equivalence", to_alco vm_props);
       ("pass-equivalence", to_alco pass_props);
+      ("registry-pass-equivalence", to_alco registry_pass_props);
       ("printer", to_alco printer_props);
       ("module-printer", to_alco module_props);
       ("fuzz", to_alco fuzz_props);
