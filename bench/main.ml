@@ -13,7 +13,7 @@
      e1  grammar / module composition statistics     (Table 1 analogue)
      e2  parser performance across implementations   (Table 2 analogue)
      e3  cumulative impact of the optimizations      (Table 3 analogue)
-     e4  parse time vs input size; pathological case (Figure analogue)
+     e4  scalability, adversarial inputs, governor    (Figure analogue)
      e5  heap utilization: memo entries and values   (Figure analogue)
      e6  modular extension experiment                (motivating §2) *)
 
@@ -427,7 +427,90 @@ let e4 () =
     [ 8; 10; 12; 14; 16; 18 ];
   let deep = Grammars.Corpus.pathological ~depth:3000 in
   let tp = time_best (fun () -> Engine.parse packrat deep) in
-  row "  %-7d %16s %16.3f   (naive would not finish)\n" 3000 "-" (ms tp)
+  row "  %-7d %16s %16.3f   (naive would not finish)\n" 3000 "-" (ms tp);
+  (* Adversarial calc inputs under the hardened governor: every case
+     must come back as a structured result — never a crash — and the
+     closure and bytecode backends must agree on the outcome. *)
+  let sc = scale 40_000 in
+  row "\nadversarial calc inputs under Limits.hardened (scale %d):\n" sc;
+  row "  %-16s %10s %22s %10s\n" "input" "bytes" "outcome (both)" "vm ms";
+  let calc = Pipeline.optimize (Grammars.Calc.grammar ()) in
+  let closure =
+    prepare ~config:(Config.with_limits Limits.hardened Config.optimized) calc
+  in
+  let vm = prepare ~config:(Config.with_limits Limits.hardened Config.vm) calc in
+  let outcome = function
+    | Ok _ -> "ok"
+    | Error (e : Parse_error.t) -> (
+        match Parse_error.exhausted_which e with
+        | Some w -> "exhausted:" ^ Limits.which_name w
+        | None -> "syntax-error")
+  in
+  List.iter
+    (fun (label, input) ->
+      let oc = outcome (Engine.parse closure input) in
+      let ov = outcome (Engine.parse vm input) in
+      if oc <> ov then
+        failwith
+          (Printf.sprintf "e4/%s: backends disagree (%s vs %s)" label oc ov);
+      let tv = time_best ~repeats:3 (fun () -> Engine.parse vm input) in
+      record ~experiment:"e4" ~series:"adversarial"
+        [
+          ("input", jstr label);
+          ("bytes", jint (String.length input));
+          ("outcome", jstr ov);
+          ("vm_ms", jfloat (ms tv));
+        ];
+      row "  %-16s %10d %22s %10.2f\n" label (String.length input) ov (ms tv))
+    (Grammars.Corpus.adversarial ~scale:sc);
+  (* Governor overhead: the same well-behaved corpus, unlimited budgets
+     vs huge-but-finite ones. Finite budgets keep every check live (the
+     VM even emits its govern/leave brackets) while tripping nothing, so
+     the delta is the full price of governance. Target: < 5%. *)
+  row "\ngovernor overhead on well-behaved corpora (finite budgets, target <5%%):\n";
+  row "  %-10s %-10s %14s %14s %10s\n" "corpus" "backend" "unlimited ms"
+    "governed ms" "overhead";
+  let huge =
+    Limits.v ~fuel:(max_int / 2) ~max_depth:(max_int / 2)
+      ~max_memo_bytes:(max_int / 2) ~max_input_bytes:(max_int / 2) ()
+  in
+  List.iter
+    (fun (lang, grammar, corpus) ->
+      let gopt = Pipeline.optimize grammar in
+      List.iter
+        (fun (backend, config) ->
+          let plain = prepare ~config gopt in
+          let governed = prepare ~config:(Config.with_limits huge config) gopt in
+          assert_ok (lang ^ "/" ^ backend) (Engine.parse governed corpus);
+          (* Interleave the two contenders and take best-of-many: the
+             deltas here are a few percent, well inside the noise of two
+             independent best-of-5 runs on a shared machine. *)
+          let t0 = ref infinity and t1 = ref infinity in
+          for _ = 1 to 12 do
+            let a = time_best ~repeats:3 (fun () -> Engine.parse plain corpus) in
+            let b =
+              time_best ~repeats:3 (fun () -> Engine.parse governed corpus)
+            in
+            if a < !t0 then t0 := a;
+            if b < !t1 then t1 := b
+          done;
+          let t0 = !t0 and t1 = !t1 in
+          let pct = 100. *. (t1 -. t0) /. t0 in
+          record ~experiment:"e4" ~series:"governor-overhead"
+            [
+              ("corpus", jstr lang);
+              ("backend", jstr backend);
+              ("unlimited_ms", jfloat (ms t0));
+              ("governed_ms", jfloat (ms t1));
+              ("overhead_pct", jfloat pct);
+            ];
+          row "  %-10s %-10s %14.2f %14.2f %9.1f%%\n" lang backend (ms t0)
+            (ms t1) pct)
+        [ ("closure", Config.optimized); ("vm", Config.vm) ])
+    [
+      ("calc", Grammars.Calc.grammar (), Lazy.force calc_corpus);
+      ("minic", Grammars.Minic.grammar (), Lazy.force minic_corpus);
+    ]
 
 (* ========================================================================== *)
 (* E5: heap utilization                                                       *)

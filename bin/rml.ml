@@ -1,9 +1,36 @@
 (* rml — the rats-ml command-line driver.
 
    Subcommands: modules, compose, analyze, parse, generate. Grammars come
-   from .rats files or from the built-in collection (--builtin). *)
+   from .rats files or from the built-in collection (--builtin).
+
+   Exit codes are part of the interface (scripts sort failures by them):
+   0 success, 2 usage, 3 grammar/parse failure, 4 resource exhaustion,
+   5 internal error. No code path may escape with an uncaught exception
+   — every subcommand body runs under [guarded]. *)
 
 open Cmdliner
+
+let exit_parse = 3
+let exit_resource = 4
+let exit_internal = 5
+
+let guarded f =
+  try f () with
+  | Rats.Diagnostic.Fail d ->
+      Fmt.epr "%s@." (Rats.Diagnostic.to_string d);
+      exit_parse
+  | Sys_error msg ->
+      Fmt.epr "rml: %s@." msg;
+      exit_parse
+  | Stack_overflow ->
+      Fmt.epr "rml: stack overflow@.";
+      exit_resource
+  | Out_of_memory ->
+      Fmt.epr "rml: out of memory@.";
+      exit_resource
+  | e ->
+      Fmt.epr "rml: internal error: %s@." (Printexc.to_string e);
+      exit_internal
 
 let builtin_texts = function
   | "calc" -> Some Rats.Grammars.Calc.texts
@@ -30,7 +57,7 @@ let print_errors ds =
   List.iter
     (fun d -> Fmt.epr "%s@." (Rats.Diagnostic.to_string d))
     ds;
-  1
+  exit_parse
 
 (* --- shared arguments ------------------------------------------------------ *)
 
@@ -124,7 +151,11 @@ let load_modules files builtin =
               (fun t ->
                 match Rats.modules_of_string t with
                 | Ok ms -> ms
-                | Error ds -> raise (Rats.Diagnostic.Fail (List.hd ds)))
+                | Error (d :: _) -> raise (Rats.Diagnostic.Fail d)
+                | Error [] ->
+                    raise
+                      (Rats.Diagnostic.Fail
+                         (Rats.Diagnostic.error "built-in grammar failed to parse")))
               texts
           in
           match
@@ -165,6 +196,7 @@ let modules_cmd =
           ~doc:"Emit the module dependency graph in graphviz format.")
   in
   let run files builtin dot =
+    guarded @@ fun () ->
     match load_modules files builtin with
     | Error ds -> print_errors ds
     | Ok modules ->
@@ -232,6 +264,7 @@ let apply_leftrec g =
 
 let compose_cmd =
   let run files builtin root start optimize leftrec =
+    guarded @@ fun () ->
     match compose_from files builtin root start with
     | Error ds -> print_errors ds
     | Ok g ->
@@ -289,6 +322,7 @@ let optimize_cmd =
   in
   let run files builtin root start leftrec passes trace print_grammar verify
       dump_after =
+    guarded @@ fun () ->
     match compose_from files builtin root start with
     | Error ds -> print_errors ds
     | Ok g -> (
@@ -361,6 +395,7 @@ let optimize_cmd =
 
 let passes_cmd =
   let run () =
+    guarded @@ fun () ->
     let show (p : Rats.Pass.t) =
       Fmt.pr "  %-12s %-10s %-12s %s@." p.Rats.Pass.name
         (match p.Rats.Pass.stage with
@@ -396,6 +431,7 @@ let passes_cmd =
 
 let fmt_cmd =
   let run files builtin =
+    guarded @@ fun () ->
     match load_modules files builtin with
     | Error ds -> print_errors ds
     | Ok modules ->
@@ -411,6 +447,7 @@ let fmt_cmd =
 
 let analyze_cmd =
   let run files builtin root start =
+    guarded @@ fun () ->
     match compose_from files builtin root start with
     | Error ds -> print_errors ds
     | Ok g ->
@@ -466,8 +503,47 @@ let parse_cmd =
       & info [ "trace" ]
           ~doc:"Print production enter/exit events (capped at 500 lines).")
   in
-  let run files builtin root start optimize config engine input stats quiet
-      trace =
+  let fuel_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fuel" ] ~docv:"N"
+          ~doc:
+            "Abort after N production invocations (exit 4). Deterministic: \
+             the same input always trips at the same point, on either \
+             engine.")
+  in
+  let max_depth_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-depth" ] ~docv:"N"
+          ~doc:"Cap invocation nesting at N levels (exit 4 when exceeded).")
+  in
+  let max_memo_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-memo" ] ~docv:"BYTES"
+          ~doc:
+            "Approximate memo-table budget. Exhausting it never fails the \
+             parse: further productions run un-memoized (see memo-degraded \
+             under --stats).")
+  in
+  let timeout_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Give up after roughly SECONDS of wall clock (exit 4). \
+             Implemented signal-free by running with a bounded fuel slice \
+             and doubling it while time remains, so the engines stay \
+             deterministic.")
+  in
+  let run files builtin root start optimize config engine fuel max_depth
+      max_memo timeout input stats quiet trace =
+    guarded @@ fun () ->
     match compose_from files builtin root start with
     | Error ds -> print_errors ds
     | Ok g -> (
@@ -475,6 +551,14 @@ let parse_cmd =
           match engine with
           | None -> config
           | Some b -> Rats.Config.with_backend b config
+        in
+        let config =
+          match (fuel, max_depth, max_memo) with
+          | None, None, None -> config
+          | _ ->
+              Rats.Config.with_limits
+                (Rats.Limits.v ?fuel ?max_depth ?max_memo_bytes:max_memo ())
+                config
         in
         if trace && config.Rats.Config.backend = Rats.Config.Bytecode then
           Fmt.epr "note: tracing runs on the closure engine@.";
@@ -486,7 +570,44 @@ let parse_cmd =
               if input = "-" then In_channel.input_all In_channel.stdin
               else In_channel.with_open_bin input In_channel.input_all
             in
-            let out =
+            let run_governed () =
+              match timeout with
+              | None -> Ok (Rats.Engine.run eng text)
+              | Some seconds ->
+                  (* Fuel-slice polling: parse under a small fuel budget,
+                     and while the deadline has not passed, double the
+                     slice and retry. Runs are deterministic, so retries
+                     cost only time. *)
+                  let deadline = Unix.gettimeofday () +. seconds in
+                  let budget = config.Rats.Config.limits.Rats.Limits.fuel in
+                  let rec go slice =
+                    let capped =
+                      { config.Rats.Config.limits with Rats.Limits.fuel = slice }
+                    in
+                    match
+                      Rats.Engine.prepare
+                        ~config:(Rats.Config.with_limits capped config) g
+                    with
+                    | Error ds -> Error ds
+                    | Ok eng' -> (
+                        let out = Rats.Engine.run eng' text in
+                        match out.Rats.Engine.result with
+                        | Error e
+                          when Rats.Parse_error.exhausted_which e
+                               = Some Rats.Limits.Fuel
+                               && slice < budget ->
+                            if Unix.gettimeofday () >= deadline then (
+                              Fmt.epr "rml: timeout of %gs exceeded@." seconds;
+                              Ok out)
+                            else
+                              go
+                                (if slice > budget / 2 then budget
+                                 else slice * 2)
+                        | _ -> Ok out)
+                  in
+                  go (min budget 65536)
+            in
+            let outcome =
               if trace then (
                 let shown = ref 0 in
                 let on_event (e : Rats.Engine.trace_event) =
@@ -504,38 +625,39 @@ let parse_cmd =
                       | _ -> "")
                   else if !shown = 501 then Fmt.pr "... (trace truncated)@."
                 in
-                match Rats.Engine.trace ~config ~on_event g text with
-                | Ok out -> out
-                | Error ds ->
-                    List.iter
-                      (fun d -> Fmt.epr "%s@." (Rats.Diagnostic.to_string d))
-                      ds;
-                    exit 1)
-              else Rats.Engine.run eng text
+                Rats.Engine.trace ~config ~on_event g text)
+              else run_governed ()
             in
-            (if stats then
-               Fmt.pr "stats: %a@." Rats.Stats.pp out.stats);
-            match out.result with
-            | Ok v ->
-                if not quiet then Fmt.pr "%s@." (Rats.Value.to_string v);
-                0
-            | Error e ->
-                let source =
-                  Rats.Source.of_string
-                    ~name:(if input = "-" then "<stdin>" else input)
-                    text
-                in
-                Fmt.epr "%s@." (Rats.Parse_error.to_string ~source e);
-                1))
+            match outcome with
+            | Error ds -> print_errors ds
+            | Ok out -> (
+                (if stats then
+                   Fmt.pr "stats: %a@." Rats.Stats.pp out.stats);
+                match out.result with
+                | Ok v ->
+                    if not quiet then Fmt.pr "%s@." (Rats.Value.to_string v);
+                    0
+                | Error e ->
+                    let source =
+                      Rats.Source.of_string
+                        ~name:(if input = "-" then "<stdin>" else input)
+                        text
+                    in
+                    Fmt.epr "%s@." (Rats.Parse_error.to_string ~source e);
+                    if Rats.Parse_error.exhausted_which e <> None then
+                      exit_resource
+                    else exit_parse)))
   in
   Cmd.v (Cmd.info "parse" ~doc:"Parse an input file with a composed grammar.")
     Term.(
       const run $ files_arg $ builtin_arg $ root_arg $ start_arg
-      $ optimize_arg $ config_arg $ engine_arg $ input_arg $ stats_arg
-      $ quiet_arg $ trace_arg)
+      $ optimize_arg $ config_arg $ engine_arg $ fuel_arg $ max_depth_arg
+      $ max_memo_arg $ timeout_arg $ input_arg $ stats_arg $ quiet_arg
+      $ trace_arg)
 
 let bytecode_cmd =
   let run files builtin root start optimize config =
+    guarded @@ fun () ->
     match compose_from files builtin root start with
     | Error ds -> print_errors ds
     | Ok g -> (
@@ -572,6 +694,7 @@ let generate_cmd =
           ~doc:"Also write the matching .mli next to the output file.")
   in
   let run files builtin root start optimize config out mli =
+    guarded @@ fun () ->
     match compose_from files builtin root start with
     | Error ds -> print_errors ds
     | Ok g -> (
@@ -598,11 +721,28 @@ let generate_cmd =
 
 let () =
   let doc = "modular syntax for extensible parsers (after Rats!, PLDI 2006)" in
-  let info = Cmd.info "rml" ~version:Rats.version ~doc in
-  exit
-    (Cmd.eval'
-       (Cmd.group info
-          [
-            modules_cmd; compose_cmd; optimize_cmd; passes_cmd; analyze_cmd;
-            parse_cmd; bytecode_cmd; generate_cmd; fmt_cmd;
-          ]))
+  let man =
+    [
+      `S Manpage.s_exit_status;
+      `P "0 on success.";
+      `P "2 on command-line usage errors.";
+      `P "3 when grammar loading, composition or parsing fails.";
+      `P
+        "4 when a resource budget is exhausted (--fuel, --max-depth, \
+         --timeout, input size) or the process runs out of stack or \
+         memory.";
+      `P "5 on internal errors.";
+    ]
+  in
+  let info = Cmd.info "rml" ~version:Rats.version ~doc ~man in
+  let code =
+    Cmd.eval'
+      (Cmd.group info
+         [
+           modules_cmd; compose_cmd; optimize_cmd; passes_cmd; analyze_cmd;
+           parse_cmd; bytecode_cmd; generate_cmd; fmt_cmd;
+         ])
+  in
+  (* cmdliner reports CLI misuse as 124 and its own internal errors as
+     125; fold them into the documented code space. *)
+  exit (match code with 124 -> 2 | 125 -> exit_internal | c -> c)

@@ -37,6 +37,18 @@ let class_pattern set =
            else Printf.sprintf "%C .. %C" lo hi)
          ranges)
 
+let truncate_desc s =
+  if String.length s > 40 then String.sub s 0 37 ^ "..." else s
+
+(* Expected-set description of a predicate body; the same formula as the
+   interpretive engines so reports agree matcher for matcher. *)
+let pred_body_desc (x : Expr.t) =
+  match x.it with
+  | Expr.Chr c -> Pretty.quote_char c
+  | Expr.Cls set -> Charset.to_string set
+  | Expr.Any -> "any character"
+  | _ -> truncate_desc (Pretty.expr_to_string x)
+
 let label_code = function
   | None -> "None"
   | Some l -> Printf.sprintf "(Some %S)" l
@@ -98,20 +110,20 @@ let rec gen ctx (e : Expr.t) pos =
   | Expr.And x ->
       let t = fresh ctx "t" in
       let p = fresh ctx "p" in
+      let desc = "&" ^ pred_body_desc x in
       Printf.sprintf
-        "(let %s = st.tables in let %s = %s in __restore st %s; if %s < 0 \
-         then -1 else (st.value <- Value.Unit; %s))"
-        t p (gen ctx x pos) t p pos
+        "(let %s = st.tables in st.quiet <- st.quiet + 1; let %s = %s in \
+         st.quiet <- st.quiet - 1; __restore st %s; if %s < 0 then __fail st \
+         %s %S else (st.value <- Value.Unit; %s))"
+        t p (gen ctx x pos) t p pos desc pos
   | Expr.Not x ->
       let t = fresh ctx "t" in
       let p = fresh ctx "p" in
-      let desc = "not " ^ Pretty.expr_to_string x in
-      let desc =
-        if String.length desc > 40 then String.sub desc 0 37 ^ "..." else desc
-      in
+      let desc = "not " ^ truncate_desc (Pretty.expr_to_string x) in
       Printf.sprintf
-        "(let %s = st.tables in let %s = %s in __restore st %s; if %s >= 0 \
-         then __fail st %s %S else (st.value <- Value.Unit; %s))"
+        "(let %s = st.tables in st.quiet <- st.quiet + 1; let %s = %s in \
+         st.quiet <- st.quiet - 1; __restore st %s; if %s >= 0 then __fail st \
+         %s %S else (st.value <- Value.Unit; %s))"
         t p (gen ctx x pos) t p pos desc pos
   | Expr.Bind (l, x) ->
       let p = fresh ctx "p" in
@@ -354,6 +366,7 @@ type st = {
   mutable value : Value.t;
   mutable farthest : int;
   mutable expected : string list;
+  mutable quiet : int;
   mutable tables : SSet.t SMap.t;
   mutable version : int;
   mutable stats_backtracks : int;
@@ -367,9 +380,13 @@ let __restore st saved =
     st.version <- st.version + 1
   end
 
+(* Predicate bodies run with [st.quiet > 0]: their internal failures
+   never reach the farthest-failure trace, mirroring the interpretive
+   engines. The predicate itself records at its entry position. *)
 let __fail st pos desc =
-  (if pos > st.farthest then begin st.farthest <- pos; st.expected <- [ desc ] end
-   else if pos = st.farthest then st.expected <- desc :: st.expected);
+  (if st.quiet = 0 then
+     if pos > st.farthest then begin st.farthest <- pos; st.expected <- [ desc ] end
+     else if pos = st.farthest then st.expected <- desc :: st.expected);
   -1
 
 let __lit st pos s desc =
@@ -517,7 +534,8 @@ let parse_from name ?(require_eof = true) input =
   | Some f ->
     let st =
       { input; len = String.length input; value = Value.Unit; farthest = -1;
-        expected = []; tables = SMap.empty; version = 0; stats_backtracks = 0;
+        expected = []; quiet = 0; tables = SMap.empty; version = 0;
+        stats_backtracks = 0;
         table_memo = Hashtbl.create 1024; chunks = %s }
     in
     let p = f st 0 in

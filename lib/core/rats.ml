@@ -18,6 +18,7 @@ module Resolve = Rats_modules.Resolve
 module Meta_parser = Rats_meta.Parser
 module Meta_print = Rats_meta.Print
 module Config = Rats_runtime.Config
+module Limits = Rats_runtime.Limits
 module Stats = Rats_runtime.Stats
 module Parse_error = Rats_runtime.Parse_error
 module Engine = Rats_runtime.Engine
@@ -64,7 +65,11 @@ let compose ?start ?args ~root modules =
       | Ok (g, _) -> Ok g
       | Error ds -> Error ds)
 
-let parser_of ?(optimize = true) ?passes ?(config = Config.optimized) g =
+let parser_of ?(optimize = true) ?passes ?(config = Config.optimized) ?limits g
+    =
+  let config =
+    match limits with Some l -> Config.with_limits l config | None -> config
+  in
   let passes =
     match passes with
     | Some ps -> ps
@@ -74,7 +79,19 @@ let parser_of ?(optimize = true) ?passes ?(config = Config.optimized) g =
   | Error ds -> Error ds
   | Ok o -> Engine.prepare ~config o.Driver.grammar
 
-let parse eng ?start input = Engine.parse eng ?start input
+(* The engines convert runaway recursion and allocation into structured
+   errors themselves; this is the last-resort backstop for anything that
+   slips past them (e.g. unlimited configs on hostile input). *)
+let parse eng ?start input =
+  try Engine.parse eng ?start input with
+  | Stack_overflow ->
+      Error
+        (Parse_error.resource_exhausted ~which:Limits.Depth ~at:0 ~consumed:0
+           ())
+  | Out_of_memory ->
+      Error
+        (Parse_error.resource_exhausted ~which:Limits.Memory ~at:0 ~consumed:0
+           ())
 
 let generate ?(optimize = true) ?config g =
   let g = if optimize then Pipeline.optimize g else g in

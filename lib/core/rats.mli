@@ -1,11 +1,13 @@
 (** rats-ml: modular syntax for extensible parsers.
 
-    One-stop facade over the library stack. The typical flow:
+    One-stop facade over the library stack. The typical flow (each stage
+    reports failures as values — none of them raise):
 
     {[
-      let modules = Rats.modules_of_string my_grammar_text |> Result.get_ok in
-      let grammar = Rats.compose modules ~root:"my.Main" |> Result.get_ok in
-      let parser = Rats.parser_of grammar |> Result.get_ok in
+      let ( let* ) = Result.bind in
+      let* modules = Rats.modules_of_string my_grammar_text in
+      let* grammar = Rats.compose modules ~root:"my.Main" in
+      let* parser = Rats.parser_of ~limits:Rats.Limits.hardened grammar in
       match Rats.parse parser input with
       | Ok tree -> ...
       | Error e -> print_endline (Rats.Parse_error.message e)
@@ -35,6 +37,7 @@ module Resolve = Rats_modules.Resolve
 module Meta_parser = Rats_meta.Parser
 module Meta_print = Rats_meta.Print
 module Config = Rats_runtime.Config
+module Limits = Rats_runtime.Limits
 module Stats = Rats_runtime.Stats
 module Parse_error = Rats_runtime.Parse_error
 module Engine = Rats_runtime.Engine
@@ -79,6 +82,7 @@ val parser_of :
   ?optimize:bool ->
   ?passes:Pass.t list ->
   ?config:Config.t ->
+  ?limits:Limits.t ->
   Grammar.t ->
   Engine.t or_errors
 (** Prepare an engine. The grammar first goes through the gated
@@ -86,10 +90,17 @@ val parser_of :
     references) fail fast here, before any optimization — running
     [passes] when given, else the full registry pipeline when [optimize]
     (default [true]), else no passes at all. The default [config] is
-    {!Config.optimized}. *)
+    {!Config.optimized}; [limits] (default: the config's own, normally
+    {!Limits.unlimited}) overrides its resource budget — pass
+    {!Limits.hardened} when the input is untrusted. *)
 
 val parse :
   Engine.t -> ?start:string -> string -> (Value.t, Parse_error.t) result
+(** Parse with the engine's configured {!Limits.t}. Never raises on any
+    input: budget exhaustion comes back as a {!Parse_error.t} whose
+    [kind] is {!Parse_error.kind.Resource_exhausted}, and an uncaught
+    [Stack_overflow]/[Out_of_memory] from an {e unlimited} engine is
+    converted to the same shape as a last resort. *)
 
 val generate :
   ?optimize:bool -> ?config:Config.t -> Grammar.t -> string or_errors

@@ -260,6 +260,33 @@ let minic_extended rng ~functions = minic_program rng ~functions ~extended:true
 let pathological ~depth =
   String.make depth '(' ^ "1" ^ String.make depth ')'
 
+(* --- adversarial ------------------------------------------------------------ *)
+
+let adversarial ~scale =
+  let repeat n s =
+    let buf = Buffer.create (n * String.length s) in
+    for _ = 1 to n do
+      buf_add buf s
+    done;
+    Buffer.contents buf
+  in
+  [
+    (* Recursion depth proportional to input length; parses cleanly. *)
+    ("deep-nest", pathological ~depth:scale);
+    (* Same nesting but never closed: fails at end of input after
+       descending [scale] levels, exercising failure paths at depth. *)
+    ("deep-unclosed", String.make scale '(' ^ "1");
+    (* Deep *and* branching at every level — each '(' commits to the
+       sum alternative before the nested parse resolves. *)
+    ("nest-chain", repeat scale "(1+" ^ "1" ^ repeat scale ")");
+    (* Flat but long: linear fuel burn with bounded depth, the control
+       case that must NOT trip a depth limit. *)
+    ("wide-chain", "1" ^ repeat scale "+1");
+    (* Almost-parses: a long valid prefix with a dangling operator, so
+       the farthest failure sits at the very end after full backtrack. *)
+    ("trailing-junk", "1" ^ repeat scale "+1" ^ "+");
+  ]
+
 (* --- MiniJava ----------------------------------------------------------------- *)
 
 type mj = {

@@ -28,6 +28,14 @@ val pathological : depth:int -> string
 (** [depth] nested parentheses around a digit — exponential for the
     memoless baseline on the [path.Main] grammar. *)
 
+val adversarial : scale:int -> (string * string) list
+(** Labeled hostile inputs for the calculator grammar, used by the E4
+    robustness experiment and the resource-governor tests: deep nesting
+    (closed, unclosed, and branching) plus wide flat chains that must
+    stay within a depth budget. All are deterministic in [scale]; the
+    deep variants drive recursion depth ~[scale], the wide variants
+    drive fuel ~[scale] at shallow depth. *)
+
 val minijava : Rng.t -> classes:int -> string
 (** A MiniJava program: a base class plus [classes] derived classes with
     fields and methods. Entirely stateless — the contrast case to

@@ -15,7 +15,19 @@ let attr_words =
     "withLocation"; "void"; "String"; "generic"; "Value";
   ]
 
-type p = { toks : Token.t array; mutable pos : int; src : Source.t }
+type p = {
+  toks : Token.t array;
+  mutable pos : int;
+  mutable depth : int;  (* expression-nesting level, see [max_nesting] *)
+  src : Source.t;
+}
+
+(* Nesting cap for expressions. The parser is recursive descent, so a
+   pathological input like 100k open parens would otherwise convert
+   directly into OCaml stack depth and a [Stack_overflow] crash; at 512
+   we return a diagnostic instead, long before any realistic grammar is
+   affected. *)
+let max_nesting = 512
 
 exception Parse_fail of Diagnostic.t
 
@@ -69,6 +81,14 @@ let starts_item = function
   | _ -> false
 
 let rec parse_choice p =
+  if p.depth >= max_nesting then
+    fail p "expression nesting exceeds %d levels" max_nesting;
+  p.depth <- p.depth + 1;
+  let e = parse_choice_body p in
+  p.depth <- p.depth - 1;
+  e
+
+and parse_choice_body p =
   let loc = here p in
   let alt () =
     let label =
@@ -368,7 +388,7 @@ let with_tokens src f =
   match Lexer.tokenize src with
   | Error d -> Error d
   | Ok toks -> (
-      let p = { toks; pos = 0; src } in
+      let p = { toks; pos = 0; depth = 0; src } in
       match f p with v -> Ok v | exception Parse_fail d -> Error d)
 
 let parse_modules src =

@@ -16,7 +16,11 @@
 
     A file may hold several modules. Reserved words ([module], [import],
     [modify], [instantiate], [as], attribute keywords, [before], [after],
-    [first]) cannot name productions. *)
+    [first]) cannot name productions.
+
+    The parser never raises on any input: errors — including expression
+    nesting beyond 512 levels, which would otherwise exhaust the OCaml
+    stack on hostile input — come back as [Error diagnostic]. *)
 
 open Rats_support
 open Rats_peg

@@ -7,27 +7,30 @@ type t = {
   dispatch : bool;
   lean_values : bool;
   backend : backend;
+  limits : Limits.t;
 }
 
 let naive =
   { memo = No_memo; honor_transient = false; dispatch = false;
-    lean_values = false; backend = Closure }
+    lean_values = false; backend = Closure; limits = Limits.unlimited }
 
 let packrat =
   { memo = Hashtable; honor_transient = false; dispatch = false;
-    lean_values = false; backend = Closure }
+    lean_values = false; backend = Closure; limits = Limits.unlimited }
 
 let optimized =
   { memo = Chunked; honor_transient = true; dispatch = true;
-    lean_values = true; backend = Closure }
+    lean_values = true; backend = Closure; limits = Limits.unlimited }
 
 let vm = { optimized with backend = Bytecode }
 
 let v ?(memo = Hashtable) ?(honor_transient = false) ?(dispatch = false)
-    ?(lean_values = false) ?(backend = Closure) () =
-  { memo; honor_transient; dispatch; lean_values; backend }
+    ?(lean_values = false) ?(backend = Closure) ?(limits = Limits.unlimited)
+    () =
+  { memo; honor_transient; dispatch; lean_values; backend; limits }
 
 let with_backend backend c = { c with backend }
+let with_limits limits c = { c with limits }
 
 let memo_name = function
   | No_memo -> "none"
@@ -47,7 +50,9 @@ let describe c =
         (c.backend = Bytecode, "bytecode");
       ]
   in
-  Printf.sprintf "memo=%s%s" (memo_name c.memo)
+  Printf.sprintf "memo=%s%s%s" (memo_name c.memo)
     (match flags with [] -> "" | fs -> " " ^ String.concat " " fs)
+    (if Limits.is_unlimited c.limits then ""
+     else " [" ^ Limits.describe c.limits ^ "]")
 
 let pp ppf c = Format.pp_print_string ppf (describe c)

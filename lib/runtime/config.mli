@@ -35,6 +35,10 @@ type t = {
       (** execution strategy; both back ends are observationally
           equivalent, the bytecode VM trades compile-time flattening for
           a faster hot loop *)
+  limits : Limits.t;
+      (** resource budgets for every run of the prepared engine —
+          {!Limits.unlimited} by default; see {!Limits.hardened} for
+          parsing untrusted input *)
 }
 
 val naive : t
@@ -57,10 +61,12 @@ val v :
   ?dispatch:bool ->
   ?lean_values:bool ->
   ?backend:backend ->
+  ?limits:Limits.t ->
   unit ->
   t
 
 val with_backend : backend -> t -> t
+val with_limits : Limits.t -> t -> t
 
 val backend_name : backend -> string
 val pp : Format.formatter -> t -> unit

@@ -20,7 +20,20 @@ type st = {
   stats : Stats.t;
   table_memo : (int, int * Value.t * int) Hashtbl.t;
   mutable chunks : chunk option array;  (* empty array when unused *)
+  (* resource governor; counts must match the VM exactly so both back
+     ends trip the same limit on the same input *)
+  mutable fuel : int;  (* remaining invocation budget, counts down *)
+  mutable depth : int;  (* live invocation nesting *)
+  mutable memo_bytes : int;  (* approximate memo storage charged so far *)
+  mutable tripped : (Limits.which * int) option;
+  mutable quiet : int;  (* predicate-body nesting; suppresses recording *)
 }
+
+(* Raised when a budget runs out; [st.tripped] carries which and where.
+   Unlike ordinary failure (-1 returns) this aborts the whole run —
+   backtracking into another alternative would keep burning the budget
+   that is already gone. *)
+exception Exhausted
 
 type fn = st -> int -> int
 (* Returns the new position, or -1 on failure. Value-building matchers
@@ -37,7 +50,15 @@ type t = {
   vm : Vm.t option;  (* the bytecode program, [Config.Bytecode] only *)
 }
 
-let record st pos desc = Expected.record st.fail_trace pos desc
+(* Failures inside a predicate body never reach the farthest-failure
+   trace: a body failure is not a parse failure (for [!x] it means the
+   predicate succeeds), and recording there would let a doomed
+   alternative's lookahead push the reported position past bytes the
+   parse never consumed — positions the FIRST-set dispatch optimization
+   (which soundly skips such alternatives) can never reach. The
+   predicate itself records at its entry position instead. *)
+let record st pos desc =
+  if st.quiet = 0 then Expected.record st.fail_trace pos desc
 
 (* Restore the state tables to a snapshot; a physical change bumps the
    version so that memo entries of stateful productions stop matching. *)
@@ -57,6 +78,16 @@ type compile_ctx = {
 
 let truncate_desc s =
   if String.length s <= 40 then s else String.sub s 0 37 ^ "..."
+
+(* Expected-set description of a predicate body, identical to the VM's
+   (which fuses one-byte bodies into test instructions carrying the
+   matcher's own description). *)
+let pred_body_desc (x : Expr.t) =
+  match x.it with
+  | Expr.Chr c -> Pretty.quote_char c
+  | Expr.Cls set -> Charset.to_string set
+  | Expr.Any -> "any character"
+  | _ -> truncate_desc (Pretty.expr_to_string x)
 
 (* Peel a top-level Bind to expose the label a sequence records. *)
 let peel_bind (e : Expr.t) =
@@ -211,11 +242,16 @@ let rec compile ctx ~lean (e : Expr.t) : fn =
           pos)
   | Expr.And x ->
       let fx = compile ctx ~lean:(lean || ctx.config.Config.lean_values) x in
+      let desc = "&" ^ pred_body_desc x in
       fun st pos ->
         let saved = st.tables in
+        st.quiet <- st.quiet + 1;
         let p = fx st pos in
+        st.quiet <- st.quiet - 1;
         restore_tables st saved;
-        if p < 0 then -1
+        if p < 0 then (
+          record st pos desc;
+          -1)
         else (
           if not lean then st.value <- Value.Unit;
           pos)
@@ -224,7 +260,9 @@ let rec compile ctx ~lean (e : Expr.t) : fn =
       let desc = "not " ^ truncate_desc (Pretty.expr_to_string x) in
       fun st pos ->
         let saved = st.tables in
+        st.quiet <- st.quiet + 1;
         let p = fx st pos in
+        st.quiet <- st.quiet - 1;
         restore_tables st saved;
         if p >= 0 then (
           record st pos desc;
@@ -536,6 +574,28 @@ let prepare_hooked ?hook ?(config = Config.optimized) gram =
         }
       in
       let ctx = { parser; analysis; config } in
+      (* Governor hooks, always compiled in: unlimited budgets are
+         [max_int] sentinels, so the ungoverned path costs one decrement
+         and two compares per invocation. Fuel is charged once per
+         invocation before the memo lookup; depth is entered only when a
+         body actually runs (a memo hit does not nest) — the VM charges
+         at exactly the same points. *)
+      let limits = config.Config.limits in
+      let max_depth = limits.Limits.max_depth in
+      let memo_limit = limits.Limits.max_memo_bytes in
+      let chunk_cost = Limits.chunk_cost nslots in
+      let charge st pos =
+        st.fuel <- st.fuel - 1;
+        if st.fuel < 0 then (
+          st.tripped <- Some (Limits.Fuel, pos);
+          raise Exhausted)
+      in
+      let enter st pos =
+        if st.depth >= max_depth then (
+          st.tripped <- Some (Limits.Depth, pos);
+          raise Exhausted);
+        st.depth <- st.depth + 1
+      in
       (try
          Array.iteri
            (fun i (p : Production.t) ->
@@ -559,13 +619,17 @@ let prepare_hooked ?hook ?(config = Config.optimized) gram =
                    fun st pos ->
                      st.stats.Stats.invocations <-
                        st.stats.Stats.invocations + 1;
+                     charge st pos;
+                     enter st pos;
                      let p' = body_full st pos in
+                     st.depth <- st.depth - 1;
                      if p' >= 0 then shape_fn st pos p';
                      p'
                | Config.Hashtable, slot ->
                    fun st pos ->
                      st.stats.Stats.invocations <-
                        st.stats.Stats.invocations + 1;
+                     charge st pos;
                      let key = (pos * nslots) + slot in
                      (match Hashtbl.find_opt st.table_memo key with
                      | Some (p', v, ver)
@@ -577,62 +641,95 @@ let prepare_hooked ?hook ?(config = Config.optimized) gram =
                      | _ ->
                          st.stats.Stats.memo_misses <-
                            st.stats.Stats.memo_misses + 1;
+                         enter st pos;
                          let ver0 = st.version in
                          let p' = body_full st pos in
+                         st.depth <- st.depth - 1;
                          if p' >= 0 then shape_fn st pos p';
-                         Hashtbl.replace st.table_memo key
-                           ( p',
-                             (if p' >= 0 then st.value else Value.Unit),
-                             ver0 );
-                         st.stats.Stats.memo_stores <-
-                           st.stats.Stats.memo_stores + 1;
+                         if
+                           st.memo_bytes + Limits.table_entry_cost
+                           > memo_limit
+                         then
+                           st.stats.Stats.memo_degraded <-
+                             st.stats.Stats.memo_degraded + 1
+                         else (
+                           st.memo_bytes <-
+                             st.memo_bytes + Limits.table_entry_cost;
+                           Hashtbl.replace st.table_memo key
+                             ( p',
+                               (if p' >= 0 then st.value else Value.Unit),
+                               ver0 );
+                           st.stats.Stats.memo_stores <-
+                             st.stats.Stats.memo_stores + 1);
                          p')
-               | Config.Chunked, slot ->
+               | Config.Chunked, slot -> (
                    fun st pos ->
                      st.stats.Stats.invocations <-
                        st.stats.Stats.invocations + 1;
-                     let chunk =
-                       match st.chunks.(pos) with
-                       | Some c -> c
+                     charge st pos;
+                     match
+                       (match st.chunks.(pos) with
+                       | Some _ as c -> c
                        | None ->
-                           let c =
-                             {
-                               res = Array.make nslots 0;
-                               vals = Array.make nslots Value.Unit;
-                               vers = Array.make nslots 0;
-                             }
-                           in
-                           st.chunks.(pos) <- Some c;
-                           st.stats.Stats.chunks_allocated <-
-                             st.stats.Stats.chunks_allocated + 1;
-                           st.stats.Stats.chunk_slots <-
-                             st.stats.Stats.chunk_slots + nslots;
-                           c
-                     in
-                     let r = chunk.res.(slot) in
-                     if
-                       r <> 0
-                       && ((not stateful) || chunk.vers.(slot) = st.version)
-                     then (
-                       st.stats.Stats.memo_hits <- st.stats.Stats.memo_hits + 1;
-                       if r > 0 then (
-                         st.value <- chunk.vals.(slot);
-                         r - 1)
-                       else -1)
-                     else (
-                       st.stats.Stats.memo_misses <-
-                         st.stats.Stats.memo_misses + 1;
-                       let ver0 = st.version in
-                       let p' = body_full st pos in
-                       if p' >= 0 then (
-                         shape_fn st pos p';
-                         chunk.res.(slot) <- p' + 1;
-                         chunk.vals.(slot) <- st.value)
-                       else chunk.res.(slot) <- -1;
-                       chunk.vers.(slot) <- ver0;
-                       st.stats.Stats.memo_stores <-
-                         st.stats.Stats.memo_stores + 1;
-                       p')
+                           if st.memo_bytes + chunk_cost > memo_limit then
+                             None
+                           else (
+                             let c =
+                               {
+                                 res = Array.make nslots 0;
+                                 vals = Array.make nslots Value.Unit;
+                                 vers = Array.make nslots 0;
+                               }
+                             in
+                             st.chunks.(pos) <- Some c;
+                             st.memo_bytes <- st.memo_bytes + chunk_cost;
+                             st.stats.Stats.chunks_allocated <-
+                               st.stats.Stats.chunks_allocated + 1;
+                             st.stats.Stats.chunk_slots <-
+                               st.stats.Stats.chunk_slots + nslots;
+                             Some c))
+                     with
+                     | Some chunk ->
+                         let r = chunk.res.(slot) in
+                         if
+                           r <> 0
+                           && ((not stateful)
+                              || chunk.vers.(slot) = st.version)
+                         then (
+                           st.stats.Stats.memo_hits <-
+                             st.stats.Stats.memo_hits + 1;
+                           if r > 0 then (
+                             st.value <- chunk.vals.(slot);
+                             r - 1)
+                           else -1)
+                         else (
+                           st.stats.Stats.memo_misses <-
+                             st.stats.Stats.memo_misses + 1;
+                           enter st pos;
+                           let ver0 = st.version in
+                           let p' = body_full st pos in
+                           st.depth <- st.depth - 1;
+                           if p' >= 0 then (
+                             shape_fn st pos p';
+                             chunk.res.(slot) <- p' + 1;
+                             chunk.vals.(slot) <- st.value)
+                           else chunk.res.(slot) <- -1;
+                           chunk.vers.(slot) <- ver0;
+                           st.stats.Stats.memo_stores <-
+                             st.stats.Stats.memo_stores + 1;
+                           p')
+                     | None ->
+                         (* memo budget exhausted: no chunk for this
+                            position — parse un-memoized and move on *)
+                         st.stats.Stats.memo_misses <-
+                           st.stats.Stats.memo_misses + 1;
+                         enter st pos;
+                         let p' = body_full st pos in
+                         st.depth <- st.depth - 1;
+                         if p' >= 0 then shape_fn st pos p';
+                         st.stats.Stats.memo_degraded <-
+                           st.stats.Stats.memo_degraded + 1;
+                         p')
              in
              let rec_fn =
                match (config.Config.memo, slot) with
@@ -640,11 +737,16 @@ let prepare_hooked ?hook ?(config = Config.optimized) gram =
                    fun st pos ->
                      st.stats.Stats.invocations <-
                        st.stats.Stats.invocations + 1;
-                     body_rec st pos
+                     charge st pos;
+                     enter st pos;
+                     let p' = body_rec st pos in
+                     st.depth <- st.depth - 1;
+                     p'
                | Config.Hashtable, slot ->
                    fun st pos ->
                      st.stats.Stats.invocations <-
                        st.stats.Stats.invocations + 1;
+                     charge st pos;
                      let key = (pos * nslots) + slot in
                      (match Hashtbl.find_opt st.table_memo key with
                      | Some (p', _, ver)
@@ -652,12 +754,17 @@ let prepare_hooked ?hook ?(config = Config.optimized) gram =
                          st.stats.Stats.memo_hits <-
                            st.stats.Stats.memo_hits + 1;
                          p'
-                     | _ -> body_rec st pos)
-               | Config.Chunked, slot ->
+                     | _ ->
+                         enter st pos;
+                         let p' = body_rec st pos in
+                         st.depth <- st.depth - 1;
+                         p')
+               | Config.Chunked, slot -> (
                    fun st pos ->
                      st.stats.Stats.invocations <-
                        st.stats.Stats.invocations + 1;
-                     (match st.chunks.(pos) with
+                     charge st pos;
+                     match st.chunks.(pos) with
                      | Some chunk
                        when chunk.res.(slot) <> 0
                             && ((not stateful)
@@ -666,7 +773,11 @@ let prepare_hooked ?hook ?(config = Config.optimized) gram =
                            st.stats.Stats.memo_hits + 1;
                          let r = chunk.res.(slot) in
                          if r > 0 then r - 1 else -1
-                     | _ -> body_rec st pos)
+                     | _ ->
+                         enter st pos;
+                         let p' = body_rec st pos in
+                         st.depth <- st.depth - 1;
+                         p')
              in
              let full_fn =
                match hook with
@@ -732,30 +843,64 @@ let run_closures t ?start ~require_eof input =
               (Diagnostic.Fail
                  (Diagnostic.errorf "no production named %S" name)))
   in
-  let st =
+  let limits = t.cfg.Config.limits in
+  if String.length input > limits.Limits.max_input_bytes then
     {
-      input;
-      len = String.length input;
-      value = Value.Unit;
-      fail_trace = Expected.create ();
-      tables = SMap.empty;
-      version = 0;
+      result =
+        Error
+          (Parse_error.resource_exhausted ~which:Limits.Input
+             ~at:limits.Limits.max_input_bytes ~consumed:0 ());
       stats = Stats.create ();
-      table_memo =
-        (match t.cfg.Config.memo with
-        | Config.Hashtable -> Hashtbl.create 1024
-        | _ -> Hashtbl.create 1);
-      chunks =
-        (match t.cfg.Config.memo with
-        | Config.Chunked -> Array.make (String.length input + 1) None
-        | _ -> [||]);
+      consumed = -1;
     }
-  in
-  let p = t.full.(start_id) st 0 in
-  let result =
-    Expected.result st.fail_trace ~len:st.len ~require_eof ~stop:p st.value
-  in
-  { result; stats = st.stats; consumed = p }
+  else
+    let st =
+      {
+        input;
+        len = String.length input;
+        value = Value.Unit;
+        fail_trace = Expected.create ();
+        tables = SMap.empty;
+        version = 0;
+        stats = Stats.create ();
+        table_memo =
+          (match t.cfg.Config.memo with
+          | Config.Hashtable -> Hashtbl.create 1024
+          | _ -> Hashtbl.create 1);
+        chunks =
+          (match t.cfg.Config.memo with
+          | Config.Chunked -> Array.make (String.length input + 1) None
+          | _ -> [||]);
+        fuel = limits.Limits.fuel;
+        depth = 0;
+        memo_bytes = 0;
+        tripped = None;
+        quiet = 0;
+      }
+    in
+    let p =
+      try t.full.(start_id) st 0 with
+      | Exhausted -> -1
+      | Stack_overflow ->
+          (* last-resort backstop: an ungoverned (or under-governed) run
+             hit the OS stack before any depth budget *)
+          st.tripped <-
+            Some (Limits.Depth, max (Expected.farthest st.fail_trace) 0);
+          -1
+      | Out_of_memory ->
+          st.tripped <-
+            Some (Limits.Memory, max (Expected.farthest st.fail_trace) 0);
+          -1
+    in
+    st.stats.Stats.fuel_used <- limits.Limits.fuel - st.fuel;
+    let result =
+      match st.tripped with
+      | Some (which, at) -> Error (Expected.exhausted st.fail_trace ~which ~at)
+      | None ->
+          Expected.result st.fail_trace ~len:st.len ~require_eof ~stop:p
+            st.value
+    in
+    { result; stats = st.stats; consumed = p }
 
 let run t ?start ?(require_eof = true) input =
   match t.vm with

@@ -31,6 +31,11 @@ let descriptions t = List.rev t.entries
 let error t =
   Parse_error.v ~position:(max t.farthest 0) ~expected:(descriptions t) ()
 
+let exhausted t ~which ~at =
+  Parse_error.resource_exhausted ~which ~at
+    ~position:(if t.farthest >= 0 then t.farthest else at)
+    ~expected:(descriptions t) ()
+
 let result t ~len ~require_eof ~stop value =
   if stop < 0 then Error (error t)
   else if require_eof && stop < len then

@@ -31,6 +31,10 @@ val descriptions : t -> string list
 val error : t -> Parse_error.t
 (** The outright-failure parse error. *)
 
+val exhausted : t -> which:Limits.which -> at:int -> Parse_error.t
+(** The resource-exhaustion error for a run that tripped [which] at
+    input offset [at], carrying the farthest failure recorded so far. *)
+
 val result :
   t ->
   len:int ->

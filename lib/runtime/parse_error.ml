@@ -1,6 +1,15 @@
 open Rats_support
 
-type t = { position : int; expected : string list; consumed : int }
+type kind =
+  | Syntax
+  | Resource_exhausted of { which : Limits.which; at : int; consumed : int }
+
+type t = {
+  position : int;
+  expected : string list;
+  consumed : int;
+  kind : kind;
+}
 
 let dedup xs =
   let seen = Hashtbl.create 8 in
@@ -17,19 +26,38 @@ let v ~position ~expected ?consumed () =
     position;
     expected = dedup expected;
     consumed = Option.value consumed ~default:position;
+    kind = Syntax;
   }
 
+let resource_exhausted ~which ~at ?position ?(expected = []) ?consumed () =
+  let consumed = Option.value consumed ~default:at in
+  {
+    position = Option.value position ~default:at;
+    expected = dedup expected;
+    consumed;
+    kind = Resource_exhausted { which; at; consumed };
+  }
+
+let exhausted_which t =
+  match t.kind with
+  | Syntax -> None
+  | Resource_exhausted { which; _ } -> Some which
+
 let message t =
-  match t.expected with
-  | [] -> "parse error"
-  | expected ->
-      let rec render = function
-        | [] -> ""
-        | [ x ] -> x
-        | [ x; y ] -> x ^ " or " ^ y
-        | x :: rest -> x ^ ", " ^ render rest
-      in
-      "expected " ^ render expected
+  match t.kind with
+  | Resource_exhausted { which; at; _ } ->
+      Printf.sprintf "%s (offset %d)" (Limits.which_message which) at
+  | Syntax -> (
+      match t.expected with
+      | [] -> "parse error"
+      | expected ->
+          let rec render = function
+            | [] -> ""
+            | [ x ] -> x
+            | [ x; y ] -> x ^ " or " ^ y
+            | x :: rest -> x ^ ", " ^ render rest
+          in
+          "expected " ^ render expected)
 
 let to_diagnostic t =
   Diagnostic.error ~span:(Span.point t.position) (message t)

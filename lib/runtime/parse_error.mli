@@ -2,19 +2,50 @@
 
     Packrat parsers report the deepest input position any expression
     failed at, together with the set of things that were expected there —
-    the standard PEG error heuristic (Ford), which Rats! also uses. *)
+    the standard PEG error heuristic (Ford), which Rats! also uses.
+
+    A failure is either a [Syntax] error (the input doesn't match) or
+    [Resource_exhausted] (a {!Limits.t} budget ran out first). Both
+    carry the farthest-failure fields, so error rendering and recovery
+    code handle them uniformly; [kind] distinguishes them when the
+    caller cares — a resource error says nothing about whether the
+    input is well-formed. *)
 
 open Rats_support
 
+type kind =
+  | Syntax
+  | Resource_exhausted of { which : Limits.which; at : int; consumed : int }
+      (** [which] is the budget that ran out, [at] the input offset the
+          parse had reached when it tripped, [consumed] equals [at]. *)
+
 type t = {
-  position : int;  (** byte offset of the farthest failure *)
+  position : int;
+      (** byte offset of the farthest failure — for
+          [Resource_exhausted], the farthest failure reached {e before}
+          the budget ran out (or [at] when none was recorded) *)
   expected : string list;  (** deduplicated descriptions, source order *)
   consumed : int;
       (** how far the start production matched when the failure is
           "expected end of input" — equals [position] otherwise *)
+  kind : kind;
 }
 
 val v : position:int -> expected:string list -> ?consumed:int -> unit -> t
+(** A [Syntax] error. *)
+
+val resource_exhausted :
+  which:Limits.which ->
+  at:int ->
+  ?position:int ->
+  ?expected:string list ->
+  ?consumed:int ->
+  unit ->
+  t
+(** A [Resource_exhausted] error; [position] defaults to [at]. *)
+
+val exhausted_which : t -> Limits.which option
+(** [Some which] for a resource error, [None] for a syntax error. *)
 
 val message : t -> string
 (** ["expected 'x', '[0-9]' or identifier"] — no location prefix. *)

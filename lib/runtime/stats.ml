@@ -9,6 +9,8 @@ type t = {
   mutable state_snapshots : int;
   mutable vm_instructions : int;
   mutable vm_stack_peak : int;
+  mutable memo_degraded : int;
+  mutable fuel_used : int;
 }
 
 let create () =
@@ -23,6 +25,8 @@ let create () =
     state_snapshots = 0;
     vm_instructions = 0;
     vm_stack_peak = 0;
+    memo_degraded = 0;
+    fuel_used = 0;
   }
 
 let reset t =
@@ -35,7 +39,9 @@ let reset t =
   t.backtracks <- 0;
   t.state_snapshots <- 0;
   t.vm_instructions <- 0;
-  t.vm_stack_peak <- 0
+  t.vm_stack_peak <- 0;
+  t.memo_degraded <- 0;
+  t.fuel_used <- 0
 
 let add acc t =
   acc.invocations <- acc.invocations + t.invocations;
@@ -47,7 +53,9 @@ let add acc t =
   acc.backtracks <- acc.backtracks + t.backtracks;
   acc.state_snapshots <- acc.state_snapshots + t.state_snapshots;
   acc.vm_instructions <- acc.vm_instructions + t.vm_instructions;
-  acc.vm_stack_peak <- max acc.vm_stack_peak t.vm_stack_peak
+  acc.vm_stack_peak <- max acc.vm_stack_peak t.vm_stack_peak;
+  acc.memo_degraded <- acc.memo_degraded + t.memo_degraded;
+  acc.fuel_used <- acc.fuel_used + t.fuel_used
 
 let memo_entries t = if t.chunk_slots > 0 then t.chunk_slots else t.memo_stores
 
@@ -90,4 +98,7 @@ let pp ppf t =
     t.chunk_slots t.backtracks t.state_snapshots;
   if t.vm_instructions > 0 then
     Format.fprintf ppf "@ @[vm-instructions=%d vm-stack-peak=%d@]"
-      t.vm_instructions t.vm_stack_peak
+      t.vm_instructions t.vm_stack_peak;
+  if t.memo_degraded > 0 || t.fuel_used > 0 then
+    Format.fprintf ppf "@ @[fuel-used=%d memo-degraded=%d@]" t.fuel_used
+      t.memo_degraded

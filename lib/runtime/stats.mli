@@ -17,6 +17,13 @@ type t = {
       (** bytecode instructions dispatched (VM back end only) *)
   mutable vm_stack_peak : int;
       (** backtrack-stack high-water mark (VM back end only) *)
+  mutable memo_degraded : int;
+      (** memo stores skipped because {!Limits.t.max_memo_bytes} was
+          exhausted — the invocations ran un-memoized instead *)
+  mutable fuel_used : int;
+      (** production invocations charged against {!Limits.t.fuel};
+          identical on both back ends for the same (grammar, input,
+          config) *)
 }
 
 val create : unit -> t

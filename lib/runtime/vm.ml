@@ -26,7 +26,7 @@ type instr =
      predicates over one-byte lookahead. [Chr]/[Any] bodies reuse these
      with singleton / full bitmaps. *)
   | ISpan of Bytes.t * string
-  | ITestNot of Bytes.t * string * string  (* body desc, "not ..." desc *)
+  | ITestNot of Bytes.t * string  (* "not ..." desc *)
   | ITestAnd of Bytes.t * string
   | IDispatch of Bytes.t * int array * int
       (* one-lookup choice dispatch: the byte indexes an alternative
@@ -58,6 +58,18 @@ type instr =
   | IRetChunk of int  (* slot *)
   | IRetTbl of int  (* slot *)
   | IHalt
+  (* resource governor brackets around inlined production bodies, so
+     fuel and depth count the inlined invocation exactly as the closure
+     engine (which always calls) does. Emitted only under finite
+     limits — ungoverned programs pay nothing for inlined calls. *)
+  | IGovern
+  | ILeave
+  (* predicate-body bracket: recording inside a body never reaches the
+     farthest-failure trace (the predicate records at its entry point
+     instead), matching the closure engine — see [record] there. The
+     failure path out of a body lands on the bracket's choice handler,
+     which re-opens recording with [IQuiet false]. *)
+  | IQuiet of bool
   (* value construction *)
   | ISetUnit
   | IPushMark  (* open a frame remembering the current offset *)
@@ -144,6 +156,7 @@ type ctx = {
          instead of through ICall/IRet — the closure engine cannot do
          this without duplicating closures, the bytecode can *)
   mutable inline_depth : int;
+  governed : bool;  (* finite limits: bracket inlined bodies *)
 }
 
 let truncate_desc s =
@@ -252,28 +265,37 @@ let rec emit ctx ~lean (e : Expr.t) =
   | Expr.And x -> (
       match fused_bitmap x with
       | Some (bm, desc, _) ->
-          emit_instr b (ITestAnd (bm, desc));
+          emit_instr b (ITestAnd (bm, "&" ^ desc));
           if not lean then emit_instr b ISetUnit
       | None ->
-          (* choice L1; <x>; backcommit L2; L1: fail; L2: *)
+          (* choice L1; quiet+; <x>; quiet-; backcommit L2;
+             L1: quiet-; fail "&x"; L2: *)
+          let desc = "&" ^ truncate_desc (Pretty.expr_to_string x) in
           let choice = reserve b in
+          emit_instr b (IQuiet true);
           emit ctx ~lean:true x;
+          emit_instr b (IQuiet false);
           let back = reserve b in
           patch b choice (IChoice (here b, false));
-          emit_instr b (IFail None);
+          emit_instr b (IQuiet false);
+          emit_instr b (IFail (Some desc));
           patch b back (IBackCommit (here b));
           if not lean then emit_instr b ISetUnit)
   | Expr.Not x -> (
       let desc = "not " ^ truncate_desc (Pretty.expr_to_string x) in
       match fused_bitmap x with
-      | Some (bm, body_desc, _) ->
-          emit_instr b (ITestNot (bm, body_desc, desc));
+      | Some (bm, _, _) ->
+          emit_instr b (ITestNot (bm, desc));
           if not lean then emit_instr b ISetUnit
       | None ->
+          (* choice L1; quiet+; <x>; quiet-; failtwice "not x"; L1: quiet- *)
           let choice = reserve b in
+          emit_instr b (IQuiet true);
           emit ctx ~lean:true x;
+          emit_instr b (IQuiet false);
           emit_instr b (IFailTwice desc);
           patch b choice (IChoice (here b, false));
+          emit_instr b (IQuiet false);
           if not lean then emit_instr b ISetUnit)
   | Expr.Bind (label, x) ->
       emit ctx ~lean x;
@@ -333,6 +355,7 @@ and emit_inline ctx ~lean id =
   let b = ctx.buf in
   let p = ctx.prods.(id) in
   ctx.inline_depth <- ctx.inline_depth + 1;
+  if ctx.governed then emit_instr b IGovern;
   (if lean then emit ctx ~lean:true p.Production.expr
    else
      match p.Production.attrs.Attr.kind with
@@ -348,6 +371,7 @@ and emit_inline ctx ~lean id =
      | Attr.Void ->
          emit ctx ~lean:true p.Production.expr;
          emit_instr b ISetUnit);
+  if ctx.governed then emit_instr b ILeave;
   ctx.inline_depth <- ctx.inline_depth - 1
 
 (* The iteration of [Star]/[Plus]: choice over the body with a partial
@@ -574,7 +598,8 @@ let prepare ?(config = Config.vm) gram =
       let buf = buf_create () in
       let ctx =
         { buf; analysis; config; prod_ids = ids; prods; slots; stateful;
-          inlinable; inline_depth = 0 }
+          inlinable; inline_depth = 0;
+          governed = not (Limits.is_unlimited config.Config.limits) }
       in
       let stubs = Array.make nprods 0 in
       let entries = Array.make nprods 0 in
@@ -658,7 +683,8 @@ type st = {
       (* expected-set recording. The first, speculative pass runs with
          recording off; a failing parse is re-run with it on to
          reconstruct the trace (parsing is deterministic, so the replay
-         is exact). The success path never pays for error bookkeeping. *)
+         is exact — including the point where a budget trips). The
+         success path never pays for error bookkeeping. *)
   mutable pos : int;
   mutable value : Value.t;
   fail_trace : Expected.t;
@@ -667,12 +693,22 @@ type st = {
   stats : Stats.t;
   table_memo : (int, int * Value.t * int) Hashtbl.t;
   chunks : chunk option array;  (* empty array when unused *)
+  (* resource governor; counted at the same points as the closure
+     engine so both back ends trip the same limit on the same input *)
+  mutable fuel : int;  (* remaining invocation budget, counts down *)
+  mutable depth : int;  (* live invocation nesting, inlined included *)
+  max_depth : int;
+  memo_limit : int;
+  mutable memo_bytes : int;
+  mutable tripped : (Limits.which * int) option;
+  mutable quiet : int;  (* predicate-body nesting; suppresses recording *)
   (* the unified backtrack/call stack, as parallel arrays *)
   mutable s_tag : int array;
   mutable s_addr : int array;  (* resume address / return address *)
   mutable s_pos : int array;  (* saved offset / call-site offset *)
   mutable s_aux0 : int array;  (* frame height / state version at entry *)
   mutable s_aux1 : int array;  (* top-frame part count / production id *)
+  mutable s_depth : int array;  (* governor depth at entry (backtrack) *)
   mutable s_tables : SSet.t SMap.t array;
   mutable sp : int;
   (* the value-frame stack: open sequences, repetitions and marks.
@@ -687,6 +723,11 @@ type st = {
   mutable p_top : int;
 }
 
+(* Raised when a budget runs out; [st.tripped] carries which and where.
+   Aborts the whole run — backtracking would keep spending a budget
+   that is already gone. *)
+exception Exhausted
+
 let grow_int a = let b = Array.make (2 * Array.length a) 0 in
   Array.blit a 0 b 0 (Array.length a); b
 
@@ -700,6 +741,7 @@ let ensure_stack st =
     st.s_pos <- grow_int st.s_pos;
     st.s_aux0 <- grow_int st.s_aux0;
     st.s_aux1 <- grow_int st.s_aux1;
+    st.s_depth <- grow_int st.s_depth;
     st.s_tables <- grow_any SMap.empty st.s_tables)
 
 let ensure_frames st =
@@ -740,14 +782,21 @@ let push_bt st tag addr =
   Array.unsafe_set st.s_pos sp st.pos;
   Array.unsafe_set st.s_aux0 sp st.fp;
   Array.unsafe_set st.s_aux1 sp st.p_top;
+  Array.unsafe_set st.s_depth sp st.depth;
   Array.unsafe_set st.s_tables sp st.tables;
   st.sp <- sp + 1;
   if st.sp > st.stats.Stats.vm_stack_peak then
     st.stats.Stats.vm_stack_peak <- st.sp
 
 (* Return entries never restore the state tables (the backtrack entry
-   below them does), so they skip the snapshot write entirely. *)
+   below them does), so they skip the snapshot write entirely. A body is
+   about to run, so the depth budget is checked here — the exact point
+   the closure engine checks before descending into a body. *)
 let push_ret st ~tag ~ret ~prod =
+  if st.depth >= st.max_depth then (
+    st.tripped <- Some (Limits.Depth, st.pos);
+    raise Exhausted);
+  st.depth <- st.depth + 1;
   ensure_stack st;
   let sp = st.sp in
   Array.unsafe_set st.s_tag sp tag;
@@ -810,41 +859,61 @@ let exec (t : t) (st : st) start_ip =
     | _ -> st.value <- shaped_value prod pos0
   in
   let trace = st.trace in
-  let record pos desc = if trace then Expected.record st.fail_trace pos desc in
+  let record pos desc =
+    if trace && st.quiet = 0 then Expected.record st.fail_trace pos desc
+  in
+  let charge_fuel () =
+    st.fuel <- st.fuel - 1;
+    if st.fuel < 0 then (
+      st.tripped <- Some (Limits.Fuel, st.pos);
+      raise Exhausted)
+  in
   (* Store a memoized failure for a production whose body just failed;
-     [pos0]/[ver0] come from its return entry. *)
+     [pos0]/[ver0] come from its return entry. Subject to the memo
+     budget exactly like the success-path stores. *)
   let store_failure prod pos0 ver0 =
     let slot = t.slots.(prod) in
-    if slot >= 0 then (
-      (match t.cfg.Config.memo with
+    if slot >= 0 then
+      match t.cfg.Config.memo with
       | Config.No_memo -> ()
       | Config.Hashtable ->
-          Hashtbl.replace st.table_memo
-            ((pos0 * t.nslots) + slot)
-            (-1, Value.Unit, ver0)
+          if st.memo_bytes + Limits.table_entry_cost > st.memo_limit then
+            stats.Stats.memo_degraded <- stats.Stats.memo_degraded + 1
+          else (
+            st.memo_bytes <- st.memo_bytes + Limits.table_entry_cost;
+            Hashtbl.replace st.table_memo
+              ((pos0 * t.nslots) + slot)
+              (-1, Value.Unit, ver0);
+            stats.Stats.memo_stores <- stats.Stats.memo_stores + 1)
       | Config.Chunked -> (
           match st.chunks.(pos0) with
           | Some chunk ->
               chunk.res.(slot) <- -1;
-              chunk.vers.(slot) <- ver0
-          | None -> assert false (* allocated at call time *)));
-      stats.Stats.memo_stores <- stats.Stats.memo_stores + 1)
+              chunk.vers.(slot) <- ver0;
+              stats.Stats.memo_stores <- stats.Stats.memo_stores + 1
+          | None ->
+              (* the memo budget denied this position a chunk *)
+              stats.Stats.memo_degraded <- stats.Stats.memo_degraded + 1)
   in
+  let chunk_cost = Limits.chunk_cost t.nslots in
   let chunk_at pos =
     match st.chunks.(pos) with
-    | Some c -> c
+    | Some _ as c -> c
     | None ->
-        let c =
-          {
-            res = Array.make t.nslots 0;
-            vals = Array.make t.nslots Value.Unit;
-            vers = Array.make t.nslots 0;
-          }
-        in
-        st.chunks.(pos) <- Some c;
-        stats.Stats.chunks_allocated <- stats.Stats.chunks_allocated + 1;
-        stats.Stats.chunk_slots <- stats.Stats.chunk_slots + t.nslots;
-        c
+        if st.memo_bytes + chunk_cost > st.memo_limit then None
+        else (
+          let c =
+            {
+              res = Array.make t.nslots 0;
+              vals = Array.make t.nslots Value.Unit;
+              vers = Array.make t.nslots 0;
+            }
+          in
+          st.chunks.(pos) <- Some c;
+          st.memo_bytes <- st.memo_bytes + chunk_cost;
+          stats.Stats.chunks_allocated <- stats.Stats.chunks_allocated + 1;
+          stats.Stats.chunk_slots <- stats.Stats.chunk_slots + t.nslots;
+          Some c)
   in
   (* Failure: pop the unified stack to the nearest backtrack entry,
      memoizing the failure of every production frame crossed, then
@@ -857,10 +926,14 @@ let exec (t : t) (st : st) start_ip =
       let sp = st.sp in
       let tag = Array.unsafe_get st.s_tag sp in
       if tag >= tag_ret then (
-        store_failure
-          (Array.unsafe_get st.s_aux1 sp)
-          (Array.unsafe_get st.s_pos sp)
-          (Array.unsafe_get st.s_aux0 sp);
+        (* lean calls never store — the closure engine's recognizers
+           don't either, and the memo tables must evolve identically
+           for the budgets to trip at the same point *)
+        if tag = tag_ret then
+          store_failure
+            (Array.unsafe_get st.s_aux1 sp)
+            (Array.unsafe_get st.s_pos sp)
+            (Array.unsafe_get st.s_aux0 sp);
         fail ())
       else (
         let snapshot = Array.unsafe_get st.s_tables sp in
@@ -869,6 +942,7 @@ let exec (t : t) (st : st) start_ip =
         if tag = tag_bt_alt then
           stats.Stats.backtracks <- stats.Stats.backtracks + 1;
         st.pos <- Array.unsafe_get st.s_pos sp;
+        st.depth <- Array.unsafe_get st.s_depth sp;
         restore_tables st snapshot;
         rewind_frames st
           (Array.unsafe_get st.s_aux0 sp)
@@ -939,22 +1013,24 @@ let exec (t : t) (st : st) start_ip =
            body would: it records its expected set where it stopped *)
         record !i desc;
         dispatch (ip + 1)
-    | ITestNot (bm, body_desc, not_desc) ->
+    | ITestNot (bm, not_desc) ->
         if st.pos < len && bitmap_mem bm (String.unsafe_get inp st.pos)
         then (
           record st.pos not_desc;
           fail ())
-        else (
-          (* the body's failure is what makes the predicate succeed, and
-             it records its expected set exactly like the unfused form *)
-          record st.pos body_desc;
-          dispatch (ip + 1))
+        else
+          (* the body's failure is what makes the predicate succeed;
+             like any predicate-body failure it records nothing *)
+          dispatch (ip + 1)
     | ITestAnd (bm, desc) ->
         if st.pos < len && bitmap_mem bm (String.unsafe_get inp st.pos)
         then dispatch (ip + 1)
         else (
           record st.pos desc;
           fail ())
+    | IQuiet on ->
+        st.quiet <- (st.quiet + if on then 1 else -1);
+        dispatch (ip + 1)
     | IDispatch (tbl, targets, eof) ->
         if trace then dispatch (ip + 1)
           (* replay through the test chain to record expected sets *)
@@ -990,6 +1066,7 @@ let exec (t : t) (st : st) start_ip =
         st.sp <- st.sp - 1;
         let sp = st.sp in
         st.pos <- st.s_pos.(sp);
+        st.depth <- st.s_depth.(sp);
         restore_tables st st.s_tables.(sp);
         st.s_tables.(sp) <- SMap.empty;
         rewind_frames st st.s_aux0.(sp) st.s_aux1.(sp);
@@ -998,6 +1075,7 @@ let exec (t : t) (st : st) start_ip =
         st.sp <- st.sp - 1;
         let sp = st.sp in
         st.pos <- st.s_pos.(sp);
+        st.depth <- st.s_depth.(sp);
         restore_tables st st.s_tables.(sp);
         st.s_tables.(sp) <- SMap.empty;
         rewind_frames st st.s_aux0.(sp) st.s_aux1.(sp);
@@ -1008,21 +1086,37 @@ let exec (t : t) (st : st) start_ip =
         fail ()
     | ICall (prod, lean) ->
         stats.Stats.invocations <- stats.Stats.invocations + 1;
+        charge_fuel ();
         push_ret st ~tag:(if lean then tag_ret_lean else tag_ret) ~ret:(ip + 1)
           ~prod;
         dispatch (Array.unsafe_get entries prod)
     | ICallChunk (prod, slot, stateful, lean) ->
         stats.Stats.invocations <- stats.Stats.invocations + 1;
-        let chunk = chunk_at st.pos in
-        let r = Array.unsafe_get chunk.res slot in
-        if
-          r <> 0
-          && ((not stateful) || Array.unsafe_get chunk.vers slot = st.version)
-        then (
+        charge_fuel ();
+        (* Lean calls read existing memo entries but never allocate a
+           chunk (nor store on return) — mirroring the closure engine's
+           recognizers, entry for entry. *)
+        let chunk_opt = if lean then st.chunks.(st.pos) else chunk_at st.pos in
+        let hit =
+          match chunk_opt with
+          | Some chunk ->
+              let r = Array.unsafe_get chunk.res slot in
+              if
+                r <> 0
+                && ((not stateful)
+                   || Array.unsafe_get chunk.vers slot = st.version)
+              then r
+              else 0
+          | None -> 0
+        in
+        if hit <> 0 then (
           stats.Stats.memo_hits <- stats.Stats.memo_hits + 1;
-          if r > 0 then (
-            if not lean then st.value <- Array.unsafe_get chunk.vals slot;
-            st.pos <- r - 1;
+          if hit > 0 then (
+            (match chunk_opt with
+            | Some chunk ->
+                if not lean then st.value <- Array.unsafe_get chunk.vals slot
+            | None -> ());
+            st.pos <- hit - 1;
             dispatch (ip + 1))
           else fail ())
         else (
@@ -1032,6 +1126,7 @@ let exec (t : t) (st : st) start_ip =
           dispatch (Array.unsafe_get entries prod))
     | ICallTbl (prod, slot, stateful, lean) -> (
         stats.Stats.invocations <- stats.Stats.invocations + 1;
+        charge_fuel ();
         let key = (st.pos * nslots) + slot in
         match Hashtbl.find_opt st.table_memo key with
         | Some (p', v, ver) when (not stateful) || ver = st.version ->
@@ -1048,6 +1143,7 @@ let exec (t : t) (st : st) start_ip =
             dispatch (Array.unsafe_get entries prod))
     | IRet ->
         st.sp <- st.sp - 1;
+        st.depth <- st.depth - 1;
         let sp = st.sp in
         if Array.unsafe_get st.s_tag sp = tag_ret then
           apply_shape (Array.unsafe_get st.s_aux1 sp)
@@ -1055,28 +1151,39 @@ let exec (t : t) (st : st) start_ip =
         dispatch (Array.unsafe_get st.s_addr sp)
     | IRetChunk slot ->
         st.sp <- st.sp - 1;
+        st.depth <- st.depth - 1;
         let sp = st.sp in
-        let pos0 = Array.unsafe_get st.s_pos sp in
-        let v = shaped_value (Array.unsafe_get st.s_aux1 sp) pos0 in
-        (match Array.unsafe_get st.chunks pos0 with
-        | Some chunk ->
-            Array.unsafe_set chunk.res slot (st.pos + 1);
-            Array.unsafe_set chunk.vals slot v;
-            Array.unsafe_set chunk.vers slot (Array.unsafe_get st.s_aux0 sp)
-        | None -> assert false (* allocated at call time *));
-        stats.Stats.memo_stores <- stats.Stats.memo_stores + 1;
-        if Array.unsafe_get st.s_tag sp = tag_ret then st.value <- v;
+        (if Array.unsafe_get st.s_tag sp = tag_ret then (
+           let pos0 = Array.unsafe_get st.s_pos sp in
+           let v = shaped_value (Array.unsafe_get st.s_aux1 sp) pos0 in
+           (match Array.unsafe_get st.chunks pos0 with
+           | Some chunk ->
+               Array.unsafe_set chunk.res slot (st.pos + 1);
+               Array.unsafe_set chunk.vals slot v;
+               Array.unsafe_set chunk.vers slot
+                 (Array.unsafe_get st.s_aux0 sp);
+               stats.Stats.memo_stores <- stats.Stats.memo_stores + 1
+           | None ->
+               (* the memo budget denied this position a chunk *)
+               stats.Stats.memo_degraded <- stats.Stats.memo_degraded + 1);
+           st.value <- v));
         dispatch (Array.unsafe_get st.s_addr sp)
     | IRetTbl slot ->
         st.sp <- st.sp - 1;
+        st.depth <- st.depth - 1;
         let sp = st.sp in
-        let pos0 = Array.unsafe_get st.s_pos sp in
-        let v = shaped_value (Array.unsafe_get st.s_aux1 sp) pos0 in
-        Hashtbl.replace st.table_memo
-          ((pos0 * nslots) + slot)
-          (st.pos, v, Array.unsafe_get st.s_aux0 sp);
-        stats.Stats.memo_stores <- stats.Stats.memo_stores + 1;
-        if Array.unsafe_get st.s_tag sp = tag_ret then st.value <- v;
+        (if Array.unsafe_get st.s_tag sp = tag_ret then (
+           let pos0 = Array.unsafe_get st.s_pos sp in
+           let v = shaped_value (Array.unsafe_get st.s_aux1 sp) pos0 in
+           (if st.memo_bytes + Limits.table_entry_cost > st.memo_limit then
+              stats.Stats.memo_degraded <- stats.Stats.memo_degraded + 1
+            else (
+              st.memo_bytes <- st.memo_bytes + Limits.table_entry_cost;
+              Hashtbl.replace st.table_memo
+                ((pos0 * nslots) + slot)
+                (st.pos, v, Array.unsafe_get st.s_aux0 sp);
+              stats.Stats.memo_stores <- stats.Stats.memo_stores + 1));
+           st.value <- v));
         dispatch (Array.unsafe_get st.s_addr sp)
     | IOptSet (bm, desc, mode) ->
         if st.pos < len && bitmap_mem bm (String.unsafe_get inp st.pos) then (
@@ -1091,6 +1198,21 @@ let exec (t : t) (st : st) start_ip =
           if mode <> 0 then st.value <- Value.Unit;
           dispatch (ip + 1))
     | IHalt -> st.pos
+    | IGovern ->
+        (* Inlined production body: charge exactly what an ICall to the
+           un-inlined production would have charged, so fuel and depth
+           accounting agree with the closure engine instruction for
+           instruction. *)
+        stats.Stats.invocations <- stats.Stats.invocations + 1;
+        charge_fuel ();
+        if st.depth >= st.max_depth then (
+          st.tripped <- Some (Limits.Depth, st.pos);
+          raise Exhausted);
+        st.depth <- st.depth + 1;
+        dispatch (ip + 1)
+    | ILeave ->
+        st.depth <- st.depth - 1;
+        dispatch (ip + 1)
     | ISetUnit ->
         st.value <- Value.Unit;
         dispatch (ip + 1)
@@ -1195,6 +1317,7 @@ type outcome = {
 }
 
 let make_st t ~trace input =
+  let limits = t.cfg.Config.limits in
   {
     input;
     len = String.length input;
@@ -1205,6 +1328,13 @@ let make_st t ~trace input =
     tables = SMap.empty;
     version = 0;
     stats = Stats.create ();
+    fuel = limits.Limits.fuel;
+    depth = 0;
+    max_depth = limits.Limits.max_depth;
+    memo_limit = limits.Limits.max_memo_bytes;
+    memo_bytes = 0;
+    tripped = None;
+    quiet = 0;
     table_memo =
       (match t.cfg.Config.memo with
       | Config.Hashtable -> Hashtbl.create 1024
@@ -1218,6 +1348,7 @@ let make_st t ~trace input =
     s_pos = Array.make 256 0;
     s_aux0 = Array.make 256 0;
     s_aux1 = Array.make 256 0;
+    s_depth = Array.make 256 0;
     s_tables = Array.make 256 SMap.empty;
     sp = 0;
     f_start = Array.make 64 0;
@@ -1240,21 +1371,55 @@ let run t ?start ?(require_eof = true) input =
               (Diagnostic.Fail
                  (Diagnostic.errorf "no production named %S" name)))
   in
-  (* Speculative first pass with no expected-set recording; replay with
-     recording on only when the outcome needs a trace to report. *)
-  let st = make_st t ~trace:false input in
-  let p = exec t st t.stubs.(start_id) in
-  let st, p =
-    if p < 0 || (require_eof && p < st.len) then (
-      let st = make_st t ~trace:true input in
-      let p = exec t st t.stubs.(start_id) in
-      (st, p))
-    else (st, p)
-  in
-  let result =
-    Expected.result st.fail_trace ~len:st.len ~require_eof ~stop:p st.value
-  in
-  { result; stats = st.stats; consumed = p }
+  let limits = t.cfg.Config.limits in
+  if String.length input > limits.Limits.max_input_bytes then
+    {
+      result =
+        Error
+          (Parse_error.resource_exhausted ~which:Limits.Input
+             ~at:limits.Limits.max_input_bytes ~consumed:0 ());
+      stats = Stats.create ();
+      consumed = -1;
+    }
+  else
+    (* Resource trips abort the whole run: backtracking into an
+       alternative would keep spending budget already known to be
+       exhausted. [Stack_overflow]/[Out_of_memory] are last-resort
+       backstops for unlimited configs. *)
+    let exec_guarded st =
+      try exec t st t.stubs.(start_id) with
+      | Exhausted -> -1
+      | Stack_overflow ->
+          st.tripped <-
+            Some (Limits.Depth, max (Expected.farthest st.fail_trace) 0);
+          -1
+      | Out_of_memory ->
+          st.tripped <-
+            Some (Limits.Memory, max (Expected.farthest st.fail_trace) 0);
+          -1
+    in
+    (* Speculative first pass with no expected-set recording; replay with
+       recording on only when the outcome needs a trace to report. Trips
+       are deterministic, so a tripped run re-trips identically on the
+       replay pass (which starts from a fresh budget). *)
+    let st = make_st t ~trace:false input in
+    let p = exec_guarded st in
+    let st, p =
+      if p < 0 || (require_eof && p < st.len) then (
+        let st = make_st t ~trace:true input in
+        let p = exec_guarded st in
+        (st, p))
+      else (st, p)
+    in
+    st.stats.Stats.fuel_used <- limits.Limits.fuel - st.fuel;
+    let result =
+      match st.tripped with
+      | Some (which, at) -> Error (Expected.exhausted st.fail_trace ~which ~at)
+      | None ->
+          Expected.result st.fail_trace ~len:st.len ~require_eof ~stop:p
+            st.value
+    in
+    { result; stats = st.stats; consumed = p }
 
 let parse t ?start input = (run t ?start input).result
 let accepts t ?start input = Result.is_ok (parse t ?start input)
@@ -1303,8 +1468,9 @@ let disassemble t =
                  (Array.to_list (Array.map string_of_int targets)))
               eof
         | ISpan (bm, desc) -> Printf.sprintf "span %s %s" desc (bm_desc bm)
-        | ITestNot (_, desc, _) -> Printf.sprintf "test-not %s" desc
+        | ITestNot (_, desc) -> Printf.sprintf "test-not %s" desc
         | ITestAnd (_, desc) -> Printf.sprintf "test-and %s" desc
+        | IQuiet on -> if on then "quiet+" else "quiet-"
         | IJump tgt -> Printf.sprintf "jump %d" tgt
         | IChoice (h, alt) ->
             Printf.sprintf "choice %d%s" h (if alt then " (alt)" else "")
@@ -1323,6 +1489,8 @@ let disassemble t =
             Printf.sprintf "ret [slot %d]" slot
         | IOptSet (_, desc, _) -> Printf.sprintf "opt %s" desc
         | IHalt -> "halt"
+        | IGovern -> "govern"
+        | ILeave -> "leave"
         | ISetUnit -> "set-unit"
         | IPushMark -> "push-mark"
         | IAppend None -> "append"

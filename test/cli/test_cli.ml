@@ -51,7 +51,7 @@ let tests =
           run (Printf.sprintf "parse %s -r tutorial.Ini -i %s" tutorial ini)
         in
         Sys.remove ini;
-        check Alcotest.int "exit" 1 code;
+        check Alcotest.int "exit" 3 code;
         check Alcotest.bool "caret" true (String.contains out '^'));
     test "compose prints a reparsable grammar" (fun () ->
         let code, out =
@@ -108,8 +108,65 @@ let tests =
         check Alcotest.bool "exit event" true (contains out "< Sum @0"));
     test "unknown builtin is a clean error" (fun () ->
         let code, out = run "analyze -b nonsense" in
-        check Alcotest.int "exit" 1 code;
+        check Alcotest.int "exit" 3 code;
         check Alcotest.bool "message" true (contains out "unknown built-in"));
+    test "usage errors exit 2" (fun () ->
+        let code, _ = run "parse -b calc --no-such-flag" in
+        check Alcotest.int "exit" 2 code;
+        let code, _ = run "parse -b calc" in
+        (* --input is required *)
+        check Alcotest.int "missing input" 2 code);
+    test "missing input file exits 3, not a crash" (fun () ->
+        let code, out = run "parse -b calc -i /no/such/file" in
+        check Alcotest.int "exit" 3 code;
+        check Alcotest.bool "message" true (contains out "/no/such/file"));
+    test "--fuel exhaustion exits 4 on both engines" (fun () ->
+        let expr = write_temp "1+1+1+1+1+1+1+1" in
+        let code, out =
+          run (Printf.sprintf "parse -b calc -i %s --fuel 10" expr)
+        in
+        let code', out' =
+          run (Printf.sprintf "parse -b calc -i %s --fuel 10 -e vm" expr)
+        in
+        Sys.remove expr;
+        check Alcotest.int "closure exit" 4 code;
+        check Alcotest.int "vm exit" 4 code';
+        check Alcotest.bool "message" true (contains out "fuel");
+        check Alcotest.bool "same offset" true
+          (String.trim out = String.trim out'));
+    test "--max-depth exhaustion exits 4" (fun () ->
+        let expr =
+          write_temp (String.make 100 '(' ^ "1" ^ String.make 100 ')')
+        in
+        let code, out =
+          run (Printf.sprintf "parse -b calc -i %s --max-depth 16" expr)
+        in
+        Sys.remove expr;
+        check Alcotest.int "exit" 4 code;
+        check Alcotest.bool "message" true (contains out "depth"));
+    test "--max-memo degrades but still succeeds" (fun () ->
+        let expr = write_temp "1+2*3" in
+        let code, out =
+          run
+            (Printf.sprintf
+               "parse -b calc -i %s -q -c packrat --max-memo 1 --stats" expr)
+        in
+        Sys.remove expr;
+        check Alcotest.int "exit" 0 code;
+        check Alcotest.bool "degraded counted" true
+          (contains out "memo-degraded="));
+    test "--timeout exits 4 when exceeded, 0 when roomy" (fun () ->
+        let expr = write_temp ("1" ^ String.concat "" (List.init 20_000 (fun _ -> "+1"))) in
+        let code, out =
+          run (Printf.sprintf "parse -b calc -i %s -q --timeout 0.000001" expr)
+        in
+        let code', _ =
+          run (Printf.sprintf "parse -b calc -i %s -q --timeout 60" expr)
+        in
+        Sys.remove expr;
+        check Alcotest.int "tiny timeout" 4 code;
+        check Alcotest.bool "message" true (contains out "timeout");
+        check Alcotest.int "roomy timeout" 0 code');
   ]
 
 let () = Alcotest.run "cli" [ ("rml", tests) ]

@@ -81,6 +81,22 @@ let expr_tests =
     test "unknown percent operator rejected" (fun () ->
         check Alcotest.bool "msg" true
           (contains (parse_expr_err "%bogus('a')") "bogus"));
+    test "deep nesting parses below the cap" (fun () ->
+        let text = String.make 100 '(' ^ "'a'" ^ String.make 100 ')' in
+        ignore (parse_expr_ok text));
+    test "pathological nesting is a diagnostic, not a crash" (fun () ->
+        (* 100k opens would blow the OCaml stack without the guard. *)
+        let text = String.make 100_000 '(' ^ "'a'" in
+        check Alcotest.bool "msg" true
+          (contains (parse_expr_err text) "nesting"));
+    test "pathological module nesting is a diagnostic too" (fun () ->
+        let text =
+          "module m.M; P = " ^ String.make 50_000 '(' ^ "'a'" in
+        match Meta_parser.parse_modules_string text with
+        | Error d ->
+            check Alcotest.bool "msg" true
+              (contains (Diagnostic.to_string d) "nesting")
+        | Ok _ -> Alcotest.fail "expected a diagnostic");
   ]
 
 (* --- modules ------------------------------------------------------------------ *)

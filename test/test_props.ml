@@ -260,9 +260,10 @@ let pass_props =
    property-tested here with no further wiring. The observation is
    stronger than [obs_equal] above: the expected set at the farthest
    failure must survive each pass too. Leaf-matcher descriptions ('x',
-   "ab", [a-c], any character) are compared verbatim; negative-predicate
-   descriptions quote their operand's syntax, which structural passes
-   rewrite by design, so those are compared only by their presence.
+   "ab", [a-c], any character) are compared verbatim; predicate
+   descriptions ("not ..." and "&...") quote their operand's syntax,
+   which structural passes rewrite by design, so those are compared
+   only by their presence.
    Reference and subject run under the same engine configuration so only
    the pass itself is under test; the bytecode variant then re-checks
    the transformed grammar through the VM. *)
@@ -275,6 +276,7 @@ let normalize_expected descs =
        (fun d ->
          if String.length d >= 4 && String.equal (String.sub d 0 4) "not " then
            "not <predicate>"
+         else if String.length d >= 1 && d.[0] = '&' then "&<predicate>"
          else d)
        descs)
 
@@ -490,6 +492,137 @@ let engine_fuzz_props =
         | Ok _ | Error _ -> true);
   ]
 
+(* --- resource governor -------------------------------------------------------------- *)
+
+(* The governor's contract, in property form: under finite limits both
+   back ends (a) always return a result — no exception escapes — and
+   (b) produce the *same* result, including which budget tripped when
+   one did. Fuel and depth are counted identically by construction, so
+   full observation equality is the right assertion, not just
+   same-outcome. *)
+
+type gov_obs =
+  | GAccept
+  | GReject of int
+  | GTrip of Limits.which * int  (* which budget, farthest position *)
+
+let gov_observe eng input =
+  match Engine.parse eng input with
+  | Ok _ -> GAccept
+  | Error e -> (
+      match Parse_error.exhausted_which e with
+      | Some w -> GTrip (w, e.Parse_error.position)
+      | None -> GReject e.Parse_error.position)
+
+let gov_print = function
+  | GAccept -> "accept"
+  | GReject p -> Printf.sprintf "reject@%d" p
+  | GTrip (w, p) -> Printf.sprintf "trip %s@%d" (Limits.which_name w) p
+
+let governor_props =
+  let calc = lazy (Pipeline.optimize (Grammars.Calc.grammar ())) in
+  let calc_eng cfg limits =
+    lazy
+      (Engine.prepare_exn
+         ~config:(Config.with_limits limits cfg)
+         (Lazy.force calc))
+  in
+  let closure_h = calc_eng Config.optimized Limits.hardened in
+  let vm_h = calc_eng Config.vm Limits.hardened in
+  let gen_adversarial st =
+    let scale = 1 + Gen.int_bound 4000 st in
+    let shapes = Grammars.Corpus.adversarial ~scale in
+    List.nth shapes (Gen.int_bound (List.length shapes - 1) st)
+  in
+  let arb_adversarial =
+    QCheck.make
+      ~print:(fun (name, input) ->
+        Printf.sprintf "%s (%d bytes)" name (String.length input))
+      gen_adversarial
+  in
+  [
+    (* (a)+(b) on the designed hostile inputs: a raise fails the test. *)
+    QCheck.Test.make
+      ~name:"hardened calc: backends agree and never raise (adversarial)"
+      ~count:600 arb_adversarial (fun (_, input) ->
+        let a = gov_observe (Lazy.force closure_h) input in
+        let b = gov_observe (Lazy.force vm_h) input in
+        if a <> b then
+          QCheck.Test.fail_reportf "closure: %s, vm: %s" (gov_print a)
+            (gov_print b)
+        else true);
+    (* Same, on random grammars with budgets small enough that most runs
+       trip: the two back ends must run out of the same budget. *)
+    QCheck.Test.make
+      ~name:"random tiny budgets trip the same limit on both backends"
+      ~count:400
+      (QCheck.pair arb_case
+         (QCheck.make
+            ~print:(fun (f, d) -> Printf.sprintf "fuel=%d depth=%d" f d)
+            (Gen.pair (Gen.map (( + ) 1) (Gen.int_bound 300))
+               (Gen.map (( + ) 1) (Gen.int_bound 24)))))
+      (fun ((g, inputs), (fuel, max_depth)) ->
+        let limits = Limits.v ~fuel ~max_depth () in
+        match
+          ( Engine.prepare ~config:(Config.with_limits limits Config.optimized) g,
+            Engine.prepare ~config:(Config.with_limits limits Config.vm) g )
+        with
+        | Ok e1, Ok e2 ->
+            List.for_all
+              (fun input ->
+                gov_observe e1 input = gov_observe e2 input)
+              inputs
+        | Error _, Error _ -> true
+        | _ -> false);
+    (* Memo-budget exhaustion degrades instead of failing: a tiny memo
+       budget must not change any observable outcome, on either back
+       end. *)
+    QCheck.Test.make ~name:"memo degradation changes nothing observable"
+      ~count:300
+      (QCheck.pair arb_case (QCheck.make (Gen.int_bound 2048)))
+      (fun ((g, inputs), budget) ->
+        let limits = Limits.v ~max_memo_bytes:budget () in
+        let degraded cfg = Config.with_limits limits cfg in
+        List.for_all
+          (fun cfg ->
+            match
+              (Engine.prepare ~config:cfg g,
+               Engine.prepare ~config:(degraded cfg) g)
+            with
+            | Ok full, Ok capped ->
+                List.for_all
+                  (fun input ->
+                    full_equal (observe_full full input)
+                      (observe_full capped input))
+                  inputs
+            | Error _, Error _ -> true
+            | _ -> false)
+          [ Config.optimized; Config.packrat; Config.vm ]);
+    (* The unlimited default really is governance-free at the API level:
+       same observations as a finite-but-huge budget. *)
+    QCheck.Test.make ~name:"huge finite budgets behave like unlimited"
+      ~count:200 arb_case (fun (g, inputs) ->
+        let roomy =
+          Limits.v ~fuel:100_000_000 ~max_depth:100_000
+            ~max_memo_bytes:(1 lsl 40) ~max_input_bytes:(1 lsl 30) ()
+        in
+        List.for_all
+          (fun cfg ->
+            match
+              (Engine.prepare ~config:cfg g,
+               Engine.prepare ~config:(Config.with_limits roomy cfg) g)
+            with
+            | Ok free, Ok governed ->
+                List.for_all
+                  (fun input ->
+                    full_equal (observe_full free input)
+                      (observe_full governed input))
+                  inputs
+            | Error _, Error _ -> true
+            | _ -> false)
+          [ Config.optimized; Config.vm ]);
+  ]
+
 (* --- charset algebra -------------------------------------------------------------------- *)
 
 let arb_charset =
@@ -538,5 +671,6 @@ let () =
       ("module-printer", to_alco module_props);
       ("fuzz", to_alco fuzz_props);
       ("engine-fuzz", to_alco engine_fuzz_props);
+      ("governor", to_alco governor_props);
       ("charset", to_alco charset_props);
     ]

@@ -471,6 +471,135 @@ let path_tests =
         check Alcotest.bool "exponential vs linear" true (naive > 20 * packrat));
   ]
 
+(* --- resource limits ------------------------------------------------------------ *)
+
+let calc_gram = lazy (Pipeline.optimize (Grammars.Calc.grammar ()))
+
+let calc_eng cfg limits =
+  Engine.prepare_exn ~config:(Config.with_limits limits cfg) (Lazy.force calc_gram)
+
+let both_backends = [ ("closure", Config.optimized); ("vm", Config.vm) ]
+
+let expect_trip label eng input which =
+  match Engine.parse eng input with
+  | Ok _ -> Alcotest.failf "[%s] unexpectedly accepted" label
+  | Error e -> (
+      match Parse_error.exhausted_which e with
+      | Some w ->
+          check Alcotest.string label (Limits.which_name which)
+            (Limits.which_name w)
+      | None ->
+          Alcotest.failf "[%s] plain parse failure, expected %s trip: %s" label
+            (Limits.which_name which) (Parse_error.message e))
+
+let limits_tests =
+  [
+    test "fuel exhaustion is a structured error on both backends" (fun () ->
+        let input = "1+1+1+1+1+1+1+1+1+1" in
+        List.iter
+          (fun (label, cfg) ->
+            expect_trip label (calc_eng cfg (Limits.v ~fuel:20 ())) input
+              Limits.Fuel)
+          both_backends);
+    test "depth exhaustion is a structured error on both backends" (fun () ->
+        let input = Grammars.Corpus.pathological ~depth:64 in
+        List.iter
+          (fun (label, cfg) ->
+            expect_trip label (calc_eng cfg (Limits.v ~max_depth:16 ())) input
+              Limits.Depth)
+          both_backends);
+    test "oversized input is rejected before parsing" (fun () ->
+        List.iter
+          (fun (label, cfg) ->
+            let eng = calc_eng cfg (Limits.v ~max_input_bytes:4 ()) in
+            expect_trip label eng "1+1+1" Limits.Input;
+            check Alcotest.bool (label ^ " small ok") true
+              (Engine.accepts eng "1+1"))
+          both_backends);
+    test "trip reports the farthest position and renders a message"
+      (fun () ->
+        let eng = calc_eng Config.optimized (Limits.v ~fuel:30 ()) in
+        match Engine.parse eng "1+1+1+1+1+1+1+1+1+1" with
+        | Ok _ -> Alcotest.fail "expected a trip"
+        | Error e ->
+            check Alcotest.bool "position advanced" true
+              (e.Parse_error.position > 0);
+            check Alcotest.bool "message mentions fuel" true
+              (String.length (Parse_error.message e) > 0
+              && Parse_error.exhausted_which e = Some Limits.Fuel));
+    test "hardened preset changes nothing on well-behaved input" (fun () ->
+        let input = "(1+2)*3 - 4/2" in
+        List.iter
+          (fun (_, cfg) ->
+            let free = calc_eng cfg Limits.unlimited in
+            let gov = calc_eng cfg Limits.hardened in
+            check value_eq "same value"
+              (Result.get_ok (Engine.parse free input))
+              (Result.get_ok (Engine.parse gov input)))
+          both_backends);
+    test "fuel accounting agrees across backends" (fun () ->
+        let input = "(1+2)*(3+4)**2" in
+        let used cfg =
+          (Engine.run (calc_eng cfg Limits.hardened) input).Engine.stats
+            .Stats.fuel_used
+        in
+        let closure = used Config.optimized and vm = used Config.vm in
+        check Alcotest.bool "some fuel burned" true (closure > 0);
+        check Alcotest.int "identical burn" closure vm);
+    test "memo budget degrades instead of failing (all memo modes)"
+      (fun () ->
+        let input = "abcdef" in
+        List.iter
+          (fun (label, cfg) ->
+            let full = Engine.prepare_exn ~config:cfg memo_grammar in
+            let capped =
+              Engine.prepare_exn
+                ~config:(Config.with_limits (Limits.v ~max_memo_bytes:1 ()) cfg)
+                memo_grammar
+            in
+            let of_run eng = Engine.run eng input in
+            let a = of_run full and b = of_run capped in
+            check Alcotest.bool (label ^ " same result") true
+              (Result.is_ok a.Engine.result = Result.is_ok b.Engine.result);
+            check Alcotest.int (label ^ " no stores under cap") 0
+              b.Engine.stats.Stats.memo_stores;
+            check Alcotest.bool (label ^ " degradations counted") true
+              (b.Engine.stats.Stats.memo_degraded > 0))
+          [
+            ("hashtable", Config.packrat);
+            ("chunked", Config.v ~memo:Config.Chunked ());
+            ("vm-hashtable", Config.with_backend Config.Bytecode Config.packrat);
+            ("vm-chunked",
+             Config.with_backend Config.Bytecode (Config.v ~memo:Config.Chunked ()));
+          ]);
+    test "degraded run still memo-hits within the budget" (fun () ->
+        (* Re-invokes T at every input position; a budget of two chunks
+           leaves early positions memoized (serving hits) while later
+           ones degrade. *)
+        let open Builder in
+        let g =
+          Grammar.make_exn ~start:"S"
+            [
+              prod "S" (star (e "I"));
+              prod "I" (e "T" @: c 'x' <|> e "T");
+              prod "T" (r 'a' 'z');
+            ]
+        in
+        let chunked = Config.v ~memo:Config.Chunked () in
+        let budget =
+          2 * Limits.chunk_cost
+                (Engine.memo_slots (Engine.prepare_exn ~config:chunked g))
+        in
+        let eng =
+          Engine.prepare_exn
+            ~config:(Config.with_limits (Limits.v ~max_memo_bytes:budget ()) chunked)
+            g
+        in
+        let stats = (Engine.run eng "ababab").Engine.stats in
+        check Alcotest.bool "hits" true (stats.Stats.memo_hits >= 1);
+        check Alcotest.bool "degraded" true (stats.Stats.memo_degraded >= 1));
+  ]
+
 let () =
   Alcotest.run "runtime"
     [
@@ -480,4 +609,5 @@ let () =
       ("state", state_tests);
       ("trace", trace_tests);
       ("pathological", path_tests);
+      ("limits", limits_tests);
     ]
