@@ -484,6 +484,49 @@ let analyze_cmd =
        ~doc:"Compose and report static analysis and well-formedness.")
     Term.(const run $ files_arg $ builtin_arg $ root_arg $ start_arg)
 
+(* Edit scripts for [parse --edits]: one edit per line, [START OLD_LEN
+   TEXT] — replace OLD_LEN bytes at byte offset START with TEXT, which
+   is the rest of the line after the second space (absent for pure
+   deletions). Blank lines and lines starting with '#' are skipped. *)
+
+let unescape_edit_text s =
+  let b = Buffer.create (String.length s) in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    (if s.[!i] = '\\' && !i + 1 < n then (
+       (match s.[!i + 1] with
+       | 'n' -> Buffer.add_char b '\n'
+       | 't' -> Buffer.add_char b '\t'
+       | 'r' -> Buffer.add_char b '\r'
+       | '\\' -> Buffer.add_char b '\\'
+       | c ->
+           Buffer.add_char b '\\';
+           Buffer.add_char b c);
+       incr i)
+     else Buffer.add_char b s.[!i]);
+    incr i
+  done;
+  Buffer.contents b
+
+let parse_edit_line line =
+  match String.index_opt line ' ' with
+  | None -> None
+  | Some i -> (
+      let start = int_of_string_opt (String.sub line 0 i) in
+      let rest = String.sub line (i + 1) (String.length line - i - 1) in
+      let old_len, text =
+        match String.index_opt rest ' ' with
+        | None -> (int_of_string_opt rest, "")
+        | Some j ->
+            ( int_of_string_opt (String.sub rest 0 j),
+              String.sub rest (j + 1) (String.length rest - j - 1) )
+      in
+      match (start, old_len) with
+      | Some s, Some o when s >= 0 && o >= 0 ->
+          Some (s, o, unescape_edit_text text)
+      | _ -> None)
+
 let parse_cmd =
   let input_arg =
     Arg.(
@@ -541,8 +584,22 @@ let parse_cmd =
              and doubling it while time remains, so the engines stay \
              deterministic.")
   in
+  let edits_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "edits" ] ~docv:"FILE"
+          ~doc:
+            "Replay an edit script through an incremental parse session. \
+             Each non-blank line is 'START OLD_LEN TEXT': replace OLD_LEN \
+             bytes at byte offset START with TEXT (the rest of the line; \
+             escapes \\\\n \\\\t \\\\r \\\\\\\\ are decoded; omit TEXT to \
+             delete). '#' lines are comments. The buffer is re-parsed \
+             after every edit, reporting reused/relocated memo entries; \
+             the exit code reflects the final parse.")
+  in
   let run files builtin root start optimize config engine fuel max_depth
-      max_memo timeout input stats quiet trace =
+      max_memo timeout input stats quiet trace edits =
     guarded @@ fun () ->
     match compose_from files builtin root start with
     | Error ds -> print_errors ds
@@ -570,6 +627,77 @@ let parse_cmd =
               if input = "-" then In_channel.input_all In_channel.stdin
               else In_channel.with_open_bin input In_channel.input_all
             in
+            match edits with
+            | Some script ->
+                if trace then Fmt.epr "note: --trace is ignored with --edits@.";
+                let session = Rats.Session.create eng text in
+                let show label result =
+                  let st = Rats.Session.stats session in
+                  match result with
+                  | Ok _ ->
+                      Fmt.pr "%s: ok (%d bytes, reused=%d relocated=%d)@." label
+                        (Rats.Session.length session)
+                        st.Rats.Stats.memo_reused st.Rats.Stats.memo_relocated
+                  | Error e ->
+                      Fmt.pr "%s: %s@." label (Rats.Parse_error.message e)
+                in
+                let last = ref (Rats.Session.reparse session) in
+                show "initial" !last;
+                let lines =
+                  String.split_on_char '\n'
+                    (In_channel.with_open_bin script In_channel.input_all)
+                in
+                let bad = ref None in
+                let n = ref 0 in
+                List.iter
+                  (fun raw ->
+                    let line =
+                      (* tolerate CRLF edit scripts *)
+                      if
+                        String.length raw > 0
+                        && raw.[String.length raw - 1] = '\r'
+                      then String.sub raw 0 (String.length raw - 1)
+                      else raw
+                    in
+                    if !bad <> None || String.trim line = "" || line.[0] = '#'
+                    then ()
+                    else
+                      match parse_edit_line line with
+                      | None -> bad := Some line
+                      | Some (start, old_len, replacement) -> (
+                          incr n;
+                          match
+                            Rats.Session.apply_edit session ~start ~old_len
+                              ~replacement
+                          with
+                          | () ->
+                              last := Rats.Session.reparse session;
+                              show (Printf.sprintf "edit %d" !n) !last
+                          | exception Invalid_argument _ -> bad := Some line))
+                  lines;
+                (match !bad with
+                | Some line ->
+                    Fmt.epr "rml: bad edit: %s@." line;
+                    2
+                | None -> (
+                    (if stats then
+                       Fmt.pr "stats: %a@." Rats.Stats.pp
+                         (Rats.Session.stats session));
+                    match !last with
+                    | Ok v ->
+                        if not quiet then
+                          Fmt.pr "%s@." (Rats.Value.to_string v);
+                        0
+                    | Error e ->
+                        let source =
+                          Rats.Source.of_string ~name:"<buffer>"
+                            (Rats.Session.text session)
+                        in
+                        Fmt.epr "%s@." (Rats.Parse_error.to_string ~source e);
+                        if Rats.Parse_error.exhausted_which e <> None then
+                          exit_resource
+                        else exit_parse))
+            | None -> (
             let run_governed () =
               match timeout with
               | None -> Ok (Rats.Engine.run eng text)
@@ -577,7 +705,11 @@ let parse_cmd =
                   (* Fuel-slice polling: parse under a small fuel budget,
                      and while the deadline has not passed, double the
                      slice and retry. Runs are deterministic, so retries
-                     cost only time. *)
+                     cost only time. The slice never exceeds an explicit
+                     --fuel budget, so combining --fuel with --timeout
+                     honors whichever budget is smaller: a fuel trip at
+                     the full budget is reported as fuel exhaustion, not
+                     retried. *)
                   let deadline = Unix.gettimeofday () +. seconds in
                   let budget = config.Rats.Config.limits.Rats.Limits.fuel in
                   let rec go slice =
@@ -646,14 +778,14 @@ let parse_cmd =
                     Fmt.epr "%s@." (Rats.Parse_error.to_string ~source e);
                     if Rats.Parse_error.exhausted_which e <> None then
                       exit_resource
-                    else exit_parse)))
+                    else exit_parse))))
   in
   Cmd.v (Cmd.info "parse" ~doc:"Parse an input file with a composed grammar.")
     Term.(
       const run $ files_arg $ builtin_arg $ root_arg $ start_arg
       $ optimize_arg $ config_arg $ engine_arg $ fuel_arg $ max_depth_arg
       $ max_memo_arg $ timeout_arg $ input_arg $ stats_arg $ quiet_arg
-      $ trace_arg)
+      $ trace_arg $ edits_arg)
 
 let bytecode_cmd =
   let run files builtin root start optimize config =

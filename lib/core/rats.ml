@@ -93,6 +93,99 @@ let parse eng ?start input =
         (Parse_error.resource_exhausted ~which:Limits.Memory ~at:0 ~consumed:0
            ())
 
+module Session = struct
+  type t = {
+    eng : Engine.t;
+    start : string option;
+    mutable text : string;
+    store : Engine.store;
+    mutable relocated : int;  (* accumulated across edits since reparse *)
+    mutable survivors : int;  (* entries alive after the latest edit *)
+    stats : Stats.t;  (* counters of the last reparse *)
+    mutable cold_fallbacks : int;
+  }
+
+  let create ?start eng text =
+    {
+      eng;
+      start;
+      text;
+      store = Engine.new_store eng;
+      relocated = 0;
+      survivors = 0;
+      stats = Stats.create ();
+      cold_fallbacks = 0;
+    }
+
+  let text t = t.text
+  let length t = String.length t.text
+
+  let apply_edit t ~start ~old_len ~replacement =
+    let len = String.length t.text in
+    if start < 0 || old_len < 0 || start + old_len > len then
+      invalid_arg "Rats.Session.apply_edit: edit out of bounds";
+    let new_len = String.length replacement in
+    let b = Buffer.create (len - old_len + new_len) in
+    Buffer.add_substring b t.text 0 start;
+    Buffer.add_string b replacement;
+    Buffer.add_substring b t.text (start + old_len) (len - start - old_len);
+    t.text <- Buffer.contents b;
+    let survivors, relocated =
+      Engine.edit_store t.eng t.store ~start ~old_len ~new_len
+    in
+    t.survivors <- survivors;
+    t.relocated <- t.relocated + relocated
+
+  (* Incremental pass first; any failure falls back to a cold parse so
+     error reports (farthest position, expected set) are identical to a
+     from-scratch parse by construction — memo hits in the incremental
+     pass hide part of the expected-set trace, exactly as the VM's
+     speculative first pass does. *)
+  let reparse t =
+    let backstopped f =
+      try f () with
+      | Stack_overflow ->
+          {
+            Engine.result =
+              Error
+                (Parse_error.resource_exhausted ~which:Limits.Depth ~at:0
+                   ~consumed:0 ());
+            stats = Stats.create ();
+            consumed = -1;
+          }
+      | Out_of_memory ->
+          {
+            Engine.result =
+              Error
+                (Parse_error.resource_exhausted ~which:Limits.Memory ~at:0
+                   ~consumed:0 ());
+            stats = Stats.create ();
+            consumed = -1;
+          }
+    in
+    let o =
+      backstopped (fun () -> Engine.run_store t.eng t.store ?start:t.start t.text)
+    in
+    let reused = t.survivors and relocated = t.relocated in
+    t.relocated <- 0;
+    t.survivors <- 0;
+    let o =
+      match o.Engine.result with
+      | Ok _ -> o
+      | Error _ ->
+          t.cold_fallbacks <- t.cold_fallbacks + 1;
+          backstopped (fun () -> Engine.run t.eng ?start:t.start t.text)
+    in
+    Stats.reset t.stats;
+    Stats.add t.stats o.Engine.stats;
+    t.stats.Stats.memo_reused <- reused;
+    t.stats.Stats.memo_relocated <- relocated;
+    o.Engine.result
+
+  let stats t = t.stats
+  let cold_fallbacks t = t.cold_fallbacks
+end
+
 let generate ?(optimize = true) ?config g =
   let g = if optimize then Pipeline.optimize g else g in
   Emit.grammar_module ?config g

@@ -102,6 +102,54 @@ val parse :
     [Stack_overflow]/[Out_of_memory] from an {e unlimited} engine is
     converted to the same shape as a last resort. *)
 
+(** {1 Incremental parse sessions}
+
+    A session owns a compiled parser, the current input buffer and a
+    persistent memo store, so that re-parsing after a small edit reuses
+    the memo entries whose computations never examined the changed
+    bytes (entries strictly before the damage are kept; entries past it
+    are relocated by the length delta; see DESIGN.md for the
+    invariants). For any grammar, input and edit script, {!Session.reparse}
+    returns exactly what a cold {!parse} of the final buffer returns —
+    same value under {!Value.equal}, same farthest-failure position,
+    same expected set. *)
+
+module Session : sig
+  type t
+
+  val create : ?start:string -> Engine.t -> string -> t
+  (** [create eng text] starts a session over the initial buffer [text].
+      [start] overrides the start production, as in {!Engine.run}. The
+      first {!reparse} is a cold parse that populates the store. *)
+
+  val text : t -> string
+  (** The current buffer. *)
+
+  val length : t -> int
+
+  val apply_edit : t -> start:int -> old_len:int -> replacement:string -> unit
+  (** Splice [replacement] over the [old_len] bytes at [start] and
+      adjust the memo store. Edits compose: several may be applied
+      between reparses. Raises [Invalid_argument] when
+      [start < 0], [old_len < 0] or [start + old_len] exceeds the
+      buffer length. *)
+
+  val reparse : t -> (Value.t, Parse_error.t) result
+  (** Parse the current buffer, reusing surviving memo entries and
+      refilling the store for the next round. Never raises (same
+      backstop as {!parse}). On failure the error is computed by an
+      internal cold re-parse, so reports match a from-scratch parse
+      byte for byte. *)
+
+  val stats : t -> Stats.t
+  (** Counters of the last {!reparse}; [memo_reused] is the number of
+      store entries that survived the edits preceding it and
+      [memo_relocated] the subset that was shifted to new positions. *)
+
+  val cold_fallbacks : t -> int
+  (** How many reparses fell back to a cold parse for error reporting. *)
+end
+
 val generate :
   ?optimize:bool -> ?config:Config.t -> Grammar.t -> string or_errors
 (** Emit a self-contained OCaml parser module for the grammar. *)

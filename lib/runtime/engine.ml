@@ -5,10 +5,24 @@ module SSet = Set.Make (String)
 
 (* --- run-time state ----------------------------------------------------- *)
 
-type chunk = { res : int array; vals : Value.t array; vers : int array }
-(* res encoding: 0 unset, -1 memoized failure, pos'+1 memoized success.
+type chunk = {
+  res : int array;
+  vals : Value.t array;
+  vers : int array;
+  exts : int array;
+  mutable cmax : int;
+}
+(* res encoding: 0 unset, -1 memoized failure, consumed+1 memoized
+   success — success offsets are stored relative to the chunk's
+   position, so relocating a chunk after an edit is a pure pointer move.
    vers holds the state version an entry was computed at; entries of
-   stateful productions are valid only while the version is unchanged. *)
+   stateful productions are valid only while the version is unchanged
+   (versions grow monotonically across the runs of a session, so a
+   stale stamp can never false-hit). exts holds each entry's examined
+   extent: [pos + exts.(slot) - 1] is the farthest input byte the
+   entry's computation looked at (0 = looked at nothing), which decides
+   whether the entry survives an edit. cmax caches the max ext over the
+   stored slots so unaffected chunks are kept without a slot scan. *)
 
 type st = {
   input : string;
@@ -18,8 +32,13 @@ type st = {
   mutable tables : SSet.t SMap.t;  (* stateful-parsing tables *)
   mutable version : int;  (* bumped on every table change or rollback *)
   stats : Stats.t;
-  table_memo : (int, int * Value.t * int) Hashtbl.t;
+  table_memo : (int, int * Value.t * int * int) Hashtbl.t;
+  (* key = pos * nslots + slot; value = (consumed or -1, value, version,
+     examined extent) — offsets relative to pos, like chunk entries *)
   mutable chunks : chunk option array;  (* empty array when unused *)
+  mutable examined : int;
+  (* farthest input position the current memoized invocation has looked
+     at; saved/reset at memoized entry, max-merged back at return *)
   (* resource governor; counts must match the VM exactly so both back
      ends trip the same limit on the same input *)
   mutable fuel : int;  (* remaining invocation budget, counts down *)
@@ -59,6 +78,13 @@ type t = {
    predicate itself records at its entry position instead. *)
 let record st pos desc =
   if st.quiet = 0 then Expected.record st.fail_trace pos desc
+
+(* Note that position [p] was examined. Unlike [record] this is never
+   suppressed inside predicates and never rewound on backtracking: an
+   entry's outcome depends on every byte any of its alternatives or
+   lookaheads inspected, including the end-of-input check (so [p] may
+   equal [st.len]). *)
+let look st p = if p > st.examined then st.examined <- p
 
 (* Restore the state tables to a snapshot; a physical change bumps the
    version so that memo entries of stateful productions stop matching. *)
@@ -118,12 +144,14 @@ let rec compile ctx ~lean (e : Expr.t) : fn =
       let desc = "any character" in
       if lean then
         fun st pos ->
+          look st pos;
           if pos < st.len then pos + 1
           else (
             record st pos desc;
             -1)
       else
         fun st pos ->
+          look st pos;
           if pos < st.len then (
             st.value <- Value.Chr (String.unsafe_get st.input pos);
             pos + 1)
@@ -134,6 +162,7 @@ let rec compile ctx ~lean (e : Expr.t) : fn =
       let desc = Pretty.quote_char c in
       let set_unit = not lean in
       fun st pos ->
+        look st pos;
         if pos < st.len && String.unsafe_get st.input pos = c then (
           if set_unit then st.value <- Value.Unit;
           pos + 1)
@@ -152,8 +181,9 @@ let rec compile ctx ~lean (e : Expr.t) : fn =
             if set_unit then st.value <- Value.Unit;
             pos + n)
           else if
-            pos + i < st.len
-            && String.unsafe_get st.input (pos + i) = String.unsafe_get s i
+            (look st (pos + i);
+             pos + i < st.len
+             && String.unsafe_get st.input (pos + i) = String.unsafe_get s i)
           then go (i + 1)
           else (
             record st (pos + i) desc;
@@ -164,6 +194,7 @@ let rec compile ctx ~lean (e : Expr.t) : fn =
       let desc = Charset.to_string set in
       if lean then
         fun st pos ->
+          look st pos;
           if pos < st.len && Charset.mem (String.unsafe_get st.input pos) set
           then pos + 1
           else (
@@ -171,6 +202,7 @@ let rec compile ctx ~lean (e : Expr.t) : fn =
             -1)
       else
         fun st pos ->
+          look st pos;
           if pos < st.len then (
             let c = String.unsafe_get st.input pos in
             if Charset.mem c set then (
@@ -459,8 +491,9 @@ and compile_alt ctx ~lean ?(tail = false) alts =
         let fn, first, eps, desc = compiled.(i) in
         if
           dispatch && (not eps)
-          && (pos >= st.len
-             || not (Charset.mem (String.unsafe_get st.input pos) first))
+          && (look st pos;
+              pos >= st.len
+              || not (Charset.mem (String.unsafe_get st.input pos) first))
         then (
           record st pos desc;
           go (i + 1))
@@ -632,17 +665,22 @@ let prepare_hooked ?hook ?(config = Config.optimized) gram =
                      charge st pos;
                      let key = (pos * nslots) + slot in
                      (match Hashtbl.find_opt st.table_memo key with
-                     | Some (p', v, ver)
+                     | Some (r, v, ver, ext)
                        when (not stateful) || ver = st.version ->
                          st.stats.Stats.memo_hits <-
                            st.stats.Stats.memo_hits + 1;
-                         if p' >= 0 then st.value <- v;
-                         p'
+                         look st (pos + ext - 1);
+                         if r >= 0 then (
+                           st.value <- v;
+                           pos + r)
+                         else -1
                      | _ ->
                          st.stats.Stats.memo_misses <-
                            st.stats.Stats.memo_misses + 1;
                          enter st pos;
                          let ver0 = st.version in
+                         let saved_ext = st.examined in
+                         st.examined <- pos - 1;
                          let p' = body_full st pos in
                          st.depth <- st.depth - 1;
                          if p' >= 0 then shape_fn st pos p';
@@ -656,11 +694,13 @@ let prepare_hooked ?hook ?(config = Config.optimized) gram =
                            st.memo_bytes <-
                              st.memo_bytes + Limits.table_entry_cost;
                            Hashtbl.replace st.table_memo key
-                             ( p',
+                             ( (if p' >= 0 then p' - pos else -1),
                                (if p' >= 0 then st.value else Value.Unit),
-                               ver0 );
+                               ver0,
+                               st.examined - pos + 1 );
                            st.stats.Stats.memo_stores <-
                              st.stats.Stats.memo_stores + 1);
+                         look st saved_ext;
                          p')
                | Config.Chunked, slot -> (
                    fun st pos ->
@@ -679,6 +719,8 @@ let prepare_hooked ?hook ?(config = Config.optimized) gram =
                                  res = Array.make nslots 0;
                                  vals = Array.make nslots Value.Unit;
                                  vers = Array.make nslots 0;
+                                 exts = Array.make nslots 0;
+                                 cmax = 0;
                                }
                              in
                              st.chunks.(pos) <- Some c;
@@ -698,25 +740,32 @@ let prepare_hooked ?hook ?(config = Config.optimized) gram =
                          then (
                            st.stats.Stats.memo_hits <-
                              st.stats.Stats.memo_hits + 1;
+                           look st (pos + chunk.exts.(slot) - 1);
                            if r > 0 then (
                              st.value <- chunk.vals.(slot);
-                             r - 1)
+                             pos + r - 1)
                            else -1)
                          else (
                            st.stats.Stats.memo_misses <-
                              st.stats.Stats.memo_misses + 1;
                            enter st pos;
                            let ver0 = st.version in
+                           let saved_ext = st.examined in
+                           st.examined <- pos - 1;
                            let p' = body_full st pos in
                            st.depth <- st.depth - 1;
                            if p' >= 0 then (
                              shape_fn st pos p';
-                             chunk.res.(slot) <- p' + 1;
+                             chunk.res.(slot) <- p' - pos + 1;
                              chunk.vals.(slot) <- st.value)
                            else chunk.res.(slot) <- -1;
                            chunk.vers.(slot) <- ver0;
+                           let ext = st.examined - pos + 1 in
+                           chunk.exts.(slot) <- ext;
+                           if ext > chunk.cmax then chunk.cmax <- ext;
                            st.stats.Stats.memo_stores <-
                              st.stats.Stats.memo_stores + 1;
+                           look st saved_ext;
                            p')
                      | None ->
                          (* memo budget exhausted: no chunk for this
@@ -749,11 +798,12 @@ let prepare_hooked ?hook ?(config = Config.optimized) gram =
                      charge st pos;
                      let key = (pos * nslots) + slot in
                      (match Hashtbl.find_opt st.table_memo key with
-                     | Some (p', _, ver)
+                     | Some (r, _, ver, ext)
                        when (not stateful) || ver = st.version ->
                          st.stats.Stats.memo_hits <-
                            st.stats.Stats.memo_hits + 1;
-                         p'
+                         look st (pos + ext - 1);
+                         if r >= 0 then pos + r else -1
                      | _ ->
                          enter st pos;
                          let p' = body_rec st pos in
@@ -771,8 +821,9 @@ let prepare_hooked ?hook ?(config = Config.optimized) gram =
                                || chunk.vers.(slot) = st.version) ->
                          st.stats.Stats.memo_hits <-
                            st.stats.Stats.memo_hits + 1;
+                         look st (pos + chunk.exts.(slot) - 1);
                          let r = chunk.res.(slot) in
-                         if r > 0 then r - 1 else -1
+                         if r > 0 then pos + r - 1 else -1
                      | _ ->
                          enter st pos;
                          let p' = body_rec st pos in
@@ -831,7 +882,105 @@ type outcome = {
   consumed : int;
 }
 
-let run_closures t ?start ~require_eof input =
+(* --- persistent memo stores (incremental sessions) ----------------------- *)
+
+(* A closure-engine store keeps the memo structures of the last run so a
+   later run over an edited buffer can reuse them. [c_len] is the input
+   length the entries were computed against (-1 until the first run);
+   [c_version] persists the state-version counter across runs so stale
+   stateful entries can never stamp-match a later run's versions. *)
+type cstore = {
+  mutable c_chunks : chunk option array;
+  c_table : (int, int * Value.t * int * int) Hashtbl.t;
+  mutable c_bytes : int;
+  mutable c_len : int;
+  mutable c_version : int;
+}
+
+type store = Closure_store of cstore | Vm_store of Vm.store
+
+(* Apply an edit to the store: entries that only examined bytes strictly
+   before the damage are kept in place, entries at or past its end are
+   relocated by the length delta, everything else is dropped. Offsets
+   inside entries are position-relative, so relocation moves pointers
+   without rewriting entry contents. Returns (surviving, relocated)
+   entry counts — chunks for chunked memo, table entries otherwise. *)
+let edit_cstore t (s : cstore) ~start ~old_len ~new_len =
+  let reused = ref 0 and relocated = ref 0 in
+  if s.c_len >= 0 then (
+    if start < 0 || old_len < 0 || new_len < 0 || start + old_len > s.c_len
+    then invalid_arg "Engine.edit_store: edit out of bounds";
+    let delta = new_len - old_len in
+    (match t.cfg.Config.memo with
+    | Config.No_memo -> ()
+    | Config.Chunked ->
+        let old = s.c_chunks in
+        let n = Array.length old in
+        let fresh = Array.make (n + delta) None in
+        let cost = Limits.chunk_cost t.nslots in
+        let bytes = ref 0 in
+        let keep p c =
+          fresh.(p) <- Some c;
+          incr reused;
+          bytes := !bytes + cost
+        in
+        (* strictly before the damage: survives if no entry looked at
+           the damaged bytes; a chunk whose cached max extent crosses
+           the boundary is filtered slot-by-slot *)
+        for p = 0 to min (start - 1) (n - 1) do
+          match old.(p) with
+          | None -> ()
+          | Some c ->
+              if p + c.cmax <= start then keep p c
+              else (
+                let live = ref false and m = ref 0 in
+                for sl = 0 to t.nslots - 1 do
+                  if c.res.(sl) <> 0 then
+                    if p + c.exts.(sl) > start then c.res.(sl) <- 0
+                    else (
+                      live := true;
+                      if c.exts.(sl) > !m then m := c.exts.(sl))
+                done;
+                c.cmax <- !m;
+                if !live then keep p c)
+        done;
+        (* at or past the damage end: relative encodings make
+           relocation a pure pointer move *)
+        let src = start + old_len in
+        if src < n then (
+          Array.blit old src fresh (src + delta) (n - src);
+          for p = src + delta to n + delta - 1 do
+            if fresh.(p) <> None then (
+              incr reused;
+              if delta <> 0 then incr relocated;
+              bytes := !bytes + cost)
+          done);
+        s.c_chunks <- fresh;
+        s.c_bytes <- !bytes
+    | Config.Hashtable ->
+        if t.nslots > 0 then (
+          let entries =
+            Hashtbl.fold (fun k e acc -> (k, e) :: acc) s.c_table []
+          in
+          Hashtbl.reset s.c_table;
+          let dmg = start + old_len in
+          List.iter
+            (fun (key, ((_, _, _, ext) as e)) ->
+              let pos = key / t.nslots in
+              if pos < start && pos + ext <= start then (
+                Hashtbl.replace s.c_table key e;
+                incr reused)
+              else if pos >= dmg then (
+                Hashtbl.replace s.c_table (key + (delta * t.nslots)) e;
+                incr reused;
+                if delta <> 0 then incr relocated))
+            entries;
+          s.c_bytes <-
+            Hashtbl.length s.c_table * Limits.table_entry_cost));
+    s.c_len <- s.c_len + delta);
+  (!reused, !relocated)
+
+let run_closures t ?store ?start ~require_eof input =
   let start_id =
     match start with
     | None -> Hashtbl.find t.ids (Grammar.start t.gram)
@@ -854,26 +1003,55 @@ let run_closures t ?start ~require_eof input =
       consumed = -1;
     }
   else
+    let len = String.length input in
+    (* Sync a persistent store to this input: entries only carry over
+       when the store was edited to exactly this length (Session does
+       that); any mismatch resets it rather than risking stale hits. *)
+    (match store with
+    | None -> ()
+    | Some s ->
+        let usable =
+          s.c_len = len
+          &&
+          match t.cfg.Config.memo with
+          | Config.Chunked -> Array.length s.c_chunks = len + 1
+          | _ -> true
+        in
+        if not usable then (
+          Hashtbl.reset s.c_table;
+          s.c_chunks <-
+            (match t.cfg.Config.memo with
+            | Config.Chunked -> Array.make (len + 1) None
+            | _ -> [||]);
+          s.c_bytes <- 0;
+          s.c_len <- len));
     let st =
       {
         input;
-        len = String.length input;
+        len;
         value = Value.Unit;
         fail_trace = Expected.create ();
         tables = SMap.empty;
-        version = 0;
+        version = (match store with Some s -> s.c_version + 1 | None -> 0);
         stats = Stats.create ();
         table_memo =
-          (match t.cfg.Config.memo with
-          | Config.Hashtable -> Hashtbl.create 1024
-          | _ -> Hashtbl.create 1);
+          (match store with
+          | Some s -> s.c_table
+          | None -> (
+              match t.cfg.Config.memo with
+              | Config.Hashtable -> Hashtbl.create 1024
+              | _ -> Hashtbl.create 1));
         chunks =
-          (match t.cfg.Config.memo with
-          | Config.Chunked -> Array.make (String.length input + 1) None
-          | _ -> [||]);
+          (match store with
+          | Some s -> s.c_chunks
+          | None -> (
+              match t.cfg.Config.memo with
+              | Config.Chunked -> Array.make (len + 1) None
+              | _ -> [||]));
+        examined = -1;
         fuel = limits.Limits.fuel;
         depth = 0;
-        memo_bytes = 0;
+        memo_bytes = (match store with Some s -> s.c_bytes | None -> 0);
         tripped = None;
         quiet = 0;
       }
@@ -892,7 +1070,14 @@ let run_closures t ?start ~require_eof input =
             Some (Limits.Memory, max (Expected.farthest st.fail_trace) 0);
           -1
     in
-    st.stats.Stats.fuel_used <- limits.Limits.fuel - st.fuel;
+    (* clamp: a fuel trip leaves st.fuel at -1; report the budget, not
+       budget + 1 *)
+    st.stats.Stats.fuel_used <- limits.Limits.fuel - max st.fuel 0;
+    (match store with
+    | None -> ()
+    | Some s ->
+        s.c_bytes <- st.memo_bytes;
+        s.c_version <- st.version);
     let result =
       match st.tripped with
       | Some (which, at) -> Error (Expected.exhausted st.fail_trace ~which ~at)
@@ -911,6 +1096,33 @@ let run t ?start ?(require_eof = true) input =
 
 let parse t ?start input = (run t ?start input).result
 let accepts t ?start input = Result.is_ok (parse t ?start input)
+
+let new_store t =
+  match t.vm with
+  | Some _ -> Vm_store (Vm.new_store ())
+  | None ->
+      Closure_store
+        {
+          c_chunks = [||];
+          c_table = Hashtbl.create 256;
+          c_bytes = 0;
+          c_len = -1;
+          c_version = 0;
+        }
+
+let edit_store t store ~start ~old_len ~new_len =
+  match (store, t.vm) with
+  | Vm_store s, Some vm -> Vm.edit_store vm s ~start ~old_len ~new_len
+  | Closure_store s, None -> edit_cstore t s ~start ~old_len ~new_len
+  | _ -> invalid_arg "Engine.edit_store: store belongs to a different backend"
+
+let run_store t store ?start ?(require_eof = true) input =
+  match (store, t.vm) with
+  | Vm_store s, Some vm ->
+      let o = Vm.run_store vm s ?start ~require_eof input in
+      { result = o.Vm.result; stats = o.Vm.stats; consumed = o.Vm.consumed }
+  | Closure_store s, None -> run_closures t ~store:s ?start ~require_eof input
+  | _ -> invalid_arg "Engine.run_store: store belongs to a different backend"
 
 (* --- tracing -------------------------------------------------------------- *)
 

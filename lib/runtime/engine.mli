@@ -59,6 +59,47 @@ val run : t -> ?start:string -> ?require_eof:bool -> string -> outcome
 val parse : t -> ?start:string -> string -> (Value.t, Parse_error.t) result
 val accepts : t -> ?start:string -> string -> bool
 
+(** {1 Persistent memo stores}
+
+    The machinery under [Rats.Session]: a store owns the memo structures
+    of the last run so a later run over an edited buffer reuses every
+    entry whose computation never looked at the damaged bytes. Entries
+    record their {e examined extent} — the farthest input position their
+    computation inspected, end-of-input checks included — which is what
+    makes retention sound under lookahead predicates: an entry is kept
+    only if everything it ever looked at is strictly before the damage,
+    and entries at or past the damage end are relocated by the length
+    delta (sound because a production never examines positions before
+    its own start). Stateful productions rely on the state-version
+    stamps instead: versions grow monotonically across a session's runs,
+    so their old entries can never falsely hit. Reused entries re-count
+    against {!Limits.t.max_memo_bytes} when the next run starts. *)
+
+type store
+(** A memo store tied to one engine and one evolving input buffer. *)
+
+val new_store : t -> store
+(** An empty store for this engine (matching its backend); populated by
+    the first {!run_store}. *)
+
+val edit_store : t -> store -> start:int -> old_len:int -> new_len:int -> int * int
+(** [edit_store t s ~start ~old_len ~new_len] adjusts the store for a
+    splice replacing [old_len] bytes at [start] with [new_len] bytes.
+    Returns [(surviving, relocated)] entry counts — chunks under chunked
+    memo, table entries otherwise; [relocated] counts only entries whose
+    position actually moved, so same-length replacements relocate
+    nothing. Raises [Invalid_argument] if the edit is out of bounds or
+    the store belongs to the other backend. *)
+
+val run_store : t -> store -> ?start:string -> ?require_eof:bool -> string -> outcome
+(** Parse reading and refilling the store, in one untraced pass. On
+    success the result is identical to a cold {!run} (values compare
+    equal via [Value.equal]; spans inside reused subtrees are {e not}
+    shifted — see DESIGN.md). On failure the expected set may be
+    incomplete because memo hits hide part of the trace;
+    [Rats.Session.reparse] re-parses cold in that case for exact error
+    parity. *)
+
 (** {1 Tracing}
 
     Rats!'s verbose mode: watch the parser work, production by

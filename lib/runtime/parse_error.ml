@@ -11,15 +11,12 @@ type t = {
   kind : kind;
 }
 
-let dedup xs =
-  let seen = Hashtbl.create 8 in
-  List.filter
-    (fun x ->
-      if Hashtbl.mem seen x then false
-      else (
-        Hashtbl.add seen x ();
-        true))
-    xs
+(* Expected sets are sets: render order must not leak the trace order
+   the engine happened to discover the alternatives in (the two back
+   ends, and warm vs cold runs of a session, reach the farthest point
+   along different paths). Sorting makes messages byte-identical across
+   runs and back ends. *)
+let dedup xs = List.sort_uniq String.compare xs
 
 let v ~position ~expected ?consumed () =
   {

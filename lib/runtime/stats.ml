@@ -11,6 +11,8 @@ type t = {
   mutable vm_stack_peak : int;
   mutable memo_degraded : int;
   mutable fuel_used : int;
+  mutable memo_reused : int;
+  mutable memo_relocated : int;
 }
 
 let create () =
@@ -27,6 +29,8 @@ let create () =
     vm_stack_peak = 0;
     memo_degraded = 0;
     fuel_used = 0;
+    memo_reused = 0;
+    memo_relocated = 0;
   }
 
 let reset t =
@@ -41,7 +45,9 @@ let reset t =
   t.vm_instructions <- 0;
   t.vm_stack_peak <- 0;
   t.memo_degraded <- 0;
-  t.fuel_used <- 0
+  t.fuel_used <- 0;
+  t.memo_reused <- 0;
+  t.memo_relocated <- 0
 
 let add acc t =
   acc.invocations <- acc.invocations + t.invocations;
@@ -55,7 +61,9 @@ let add acc t =
   acc.vm_instructions <- acc.vm_instructions + t.vm_instructions;
   acc.vm_stack_peak <- max acc.vm_stack_peak t.vm_stack_peak;
   acc.memo_degraded <- acc.memo_degraded + t.memo_degraded;
-  acc.fuel_used <- acc.fuel_used + t.fuel_used
+  acc.fuel_used <- acc.fuel_used + t.fuel_used;
+  acc.memo_reused <- acc.memo_reused + t.memo_reused;
+  acc.memo_relocated <- acc.memo_relocated + t.memo_relocated
 
 let memo_entries t = if t.chunk_slots > 0 then t.chunk_slots else t.memo_stores
 
@@ -101,4 +109,7 @@ let pp ppf t =
       t.vm_instructions t.vm_stack_peak;
   if t.memo_degraded > 0 || t.fuel_used > 0 then
     Format.fprintf ppf "@ @[fuel-used=%d memo-degraded=%d@]" t.fuel_used
-      t.memo_degraded
+      t.memo_degraded;
+  if t.memo_reused > 0 || t.memo_relocated > 0 then
+    Format.fprintf ppf "@ @[memo-reused=%d memo-relocated=%d@]" t.memo_reused
+      t.memo_relocated

@@ -24,6 +24,13 @@ type t = {
       (** production invocations charged against {!Limits.t.fuel};
           identical on both back ends for the same (grammar, input,
           config) *)
+  mutable memo_reused : int;
+      (** memo entries that survived the last edit and were available at
+          reparse start (incremental sessions only; counted per chunk
+          for chunked memo, per entry for table memo) *)
+  mutable memo_relocated : int;
+      (** the subset of [memo_reused] that was shifted by the edit's
+          length delta, in the same units *)
 }
 
 val create : unit -> t

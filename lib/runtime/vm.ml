@@ -664,9 +664,18 @@ let instruction_count (t : t) = Array.length t.code
 
 (* --- run-time state ------------------------------------------------------ *)
 
-type chunk = { res : int array; vals : Value.t array; vers : int array }
-(* res encoding: 0 unset, -1 memoized failure, pos'+1 memoized success;
-   identical to the closure engine's chunks. *)
+type chunk = {
+  res : int array;
+  vals : Value.t array;
+  vers : int array;
+  exts : int array;
+  mutable cmax : int;
+}
+(* res encoding: 0 unset, -1 memoized failure, consumed+1 memoized
+   success — relative to the chunk's position; identical to the closure
+   engine's chunks, including the examined-extent arrays ([exts], with
+   [cmax] caching their max) that decide which entries survive an edit
+   in an incremental session. *)
 
 (* Unified stack entry tags. Backtrack entries hold a resume address and
    the machine state to rewind to; return entries hold the call's return
@@ -691,8 +700,14 @@ type st = {
   mutable tables : SSet.t SMap.t;
   mutable version : int;
   stats : Stats.t;
-  table_memo : (int, int * Value.t * int) Hashtbl.t;
+  table_memo : (int, int * Value.t * int * int) Hashtbl.t;
+  (* key = pos * nslots + slot; value = (consumed or -1, value, version,
+     examined extent), offsets relative to pos — the closure engine's
+     encoding exactly *)
   chunks : chunk option array;  (* empty array when unused *)
+  mutable examined : int;
+  (* farthest input position the current memoized invocation has looked
+     at; saved in the return entry (s_depth slot) and max-merged back *)
   (* resource governor; counted at the same points as the closure
      engine so both back ends trip the same limit on the same input *)
   mutable fuel : int;  (* remaining invocation budget, counts down *)
@@ -791,7 +806,10 @@ let push_bt st tag addr =
 (* Return entries never restore the state tables (the backtrack entry
    below them does), so they skip the snapshot write entirely. A body is
    about to run, so the depth budget is checked here — the exact point
-   the closure engine checks before descending into a body. *)
+   the closure engine checks before descending into a body. The caller's
+   examined extent is parked in the otherwise-unused [s_depth] slot and
+   the register reset, so the callee measures its own extent; the
+   matching return (or the failure path) max-merges it back. *)
 let push_ret st ~tag ~ret ~prod =
   if st.depth >= st.max_depth then (
     st.tripped <- Some (Limits.Depth, st.pos);
@@ -804,6 +822,8 @@ let push_ret st ~tag ~ret ~prod =
   Array.unsafe_set st.s_pos sp st.pos;
   Array.unsafe_set st.s_aux0 sp st.version;
   Array.unsafe_set st.s_aux1 sp prod;
+  Array.unsafe_set st.s_depth sp st.examined;
+  st.examined <- st.pos - 1;
   st.sp <- sp + 1;
   if st.sp > st.stats.Stats.vm_stack_peak then
     st.stats.Stats.vm_stack_peak <- st.sp
@@ -862,6 +882,10 @@ let exec (t : t) (st : st) start_ip =
   let record pos desc =
     if trace && st.quiet = 0 then Expected.record st.fail_trace pos desc
   in
+  (* Note that position [p] was examined (end-of-input checks count, so
+     [p] may equal [len]). Never suppressed by [quiet], never rewound on
+     backtracking — the closure engine's [look] exactly. *)
+  let look p = if p > st.examined then st.examined <- p in
   let charge_fuel () =
     st.fuel <- st.fuel - 1;
     if st.fuel < 0 then (
@@ -871,7 +895,7 @@ let exec (t : t) (st : st) start_ip =
   (* Store a memoized failure for a production whose body just failed;
      [pos0]/[ver0] come from its return entry. Subject to the memo
      budget exactly like the success-path stores. *)
-  let store_failure prod pos0 ver0 =
+  let store_failure prod pos0 ver0 ext =
     let slot = t.slots.(prod) in
     if slot >= 0 then
       match t.cfg.Config.memo with
@@ -883,13 +907,15 @@ let exec (t : t) (st : st) start_ip =
             st.memo_bytes <- st.memo_bytes + Limits.table_entry_cost;
             Hashtbl.replace st.table_memo
               ((pos0 * t.nslots) + slot)
-              (-1, Value.Unit, ver0);
+              (-1, Value.Unit, ver0, ext);
             stats.Stats.memo_stores <- stats.Stats.memo_stores + 1)
       | Config.Chunked -> (
           match st.chunks.(pos0) with
           | Some chunk ->
               chunk.res.(slot) <- -1;
               chunk.vers.(slot) <- ver0;
+              chunk.exts.(slot) <- ext;
+              if ext > chunk.cmax then chunk.cmax <- ext;
               stats.Stats.memo_stores <- stats.Stats.memo_stores + 1
           | None ->
               (* the memo budget denied this position a chunk *)
@@ -907,6 +933,8 @@ let exec (t : t) (st : st) start_ip =
               res = Array.make t.nslots 0;
               vals = Array.make t.nslots Value.Unit;
               vers = Array.make t.nslots 0;
+              exts = Array.make t.nslots 0;
+              cmax = 0;
             }
           in
           st.chunks.(pos) <- Some c;
@@ -929,11 +957,14 @@ let exec (t : t) (st : st) start_ip =
         (* lean calls never store — the closure engine's recognizers
            don't either, and the memo tables must evolve identically
            for the budgets to trip at the same point *)
+        let pos0 = Array.unsafe_get st.s_pos sp in
         if tag = tag_ret then
           store_failure
             (Array.unsafe_get st.s_aux1 sp)
-            (Array.unsafe_get st.s_pos sp)
-            (Array.unsafe_get st.s_aux0 sp);
+            pos0
+            (Array.unsafe_get st.s_aux0 sp)
+            (st.examined - pos0 + 1);
+        look (Array.unsafe_get st.s_depth sp);
         fail ())
       else (
         let snapshot = Array.unsafe_get st.s_tables sp in
@@ -952,6 +983,7 @@ let exec (t : t) (st : st) start_ip =
     stats.Stats.vm_instructions <- stats.Stats.vm_instructions + 1;
     match Array.unsafe_get code ip with
     | IChar (c, desc, set_unit) ->
+        look st.pos;
         if st.pos < len && String.unsafe_get inp st.pos = c then (
           if set_unit then st.value <- Value.Unit;
           st.pos <- st.pos + 1;
@@ -967,8 +999,9 @@ let exec (t : t) (st : st) start_ip =
             st.pos <- st.pos + n;
             dispatch (ip + 1))
           else if
-            st.pos + i < len
-            && String.unsafe_get inp (st.pos + i) = String.unsafe_get s i
+            (look (st.pos + i);
+             st.pos + i < len
+             && String.unsafe_get inp (st.pos + i) = String.unsafe_get s i)
           then go (i + 1)
           else (
             record (st.pos + i) desc;
@@ -976,6 +1009,7 @@ let exec (t : t) (st : st) start_ip =
         in
         go 0
     | ISet (bm, desc, set_value) ->
+        look st.pos;
         if st.pos < len then (
           let c = String.unsafe_get inp st.pos in
           if bitmap_mem bm c then (
@@ -989,6 +1023,7 @@ let exec (t : t) (st : st) start_ip =
           record st.pos desc;
           fail ())
     | IAny (desc, set_value) ->
+        look st.pos;
         if st.pos < len then (
           if set_value then
             st.value <- Value.Chr (String.unsafe_get inp st.pos);
@@ -998,6 +1033,7 @@ let exec (t : t) (st : st) start_ip =
           record st.pos desc;
           fail ())
     | ITestSet (bm, target, desc) ->
+        look st.pos;
         if st.pos < len && bitmap_mem bm (String.unsafe_get inp st.pos)
         then dispatch (ip + 1)
         else (
@@ -1008,12 +1044,14 @@ let exec (t : t) (st : st) start_ip =
         while !i < len && bitmap_mem bm (String.unsafe_get inp !i) do
           incr i
         done;
+        look !i;
         st.pos <- !i;
         (* the iteration that stops the loop fails like the unfused
            body would: it records its expected set where it stopped *)
         record !i desc;
         dispatch (ip + 1)
     | ITestNot (bm, not_desc) ->
+        look st.pos;
         if st.pos < len && bitmap_mem bm (String.unsafe_get inp st.pos)
         then (
           record st.pos not_desc;
@@ -1023,6 +1061,7 @@ let exec (t : t) (st : st) start_ip =
              like any predicate-body failure it records nothing *)
           dispatch (ip + 1)
     | ITestAnd (bm, desc) ->
+        look st.pos;
         if st.pos < len && bitmap_mem bm (String.unsafe_get inp st.pos)
         then dispatch (ip + 1)
         else (
@@ -1034,7 +1073,7 @@ let exec (t : t) (st : st) start_ip =
     | IDispatch (tbl, targets, eof) ->
         if trace then dispatch (ip + 1)
           (* replay through the test chain to record expected sets *)
-        else if st.pos < len then
+        else if (look st.pos; st.pos < len) then
           dispatch
             (Array.unsafe_get targets
                (Char.code
@@ -1111,12 +1150,15 @@ let exec (t : t) (st : st) start_ip =
         in
         if hit <> 0 then (
           stats.Stats.memo_hits <- stats.Stats.memo_hits + 1;
+          (match chunk_opt with
+          | Some chunk -> look (st.pos + Array.unsafe_get chunk.exts slot - 1)
+          | None -> ());
           if hit > 0 then (
             (match chunk_opt with
             | Some chunk ->
                 if not lean then st.value <- Array.unsafe_get chunk.vals slot
             | None -> ());
-            st.pos <- hit - 1;
+            st.pos <- st.pos + hit - 1;
             dispatch (ip + 1))
           else fail ())
         else (
@@ -1129,11 +1171,12 @@ let exec (t : t) (st : st) start_ip =
         charge_fuel ();
         let key = (st.pos * nslots) + slot in
         match Hashtbl.find_opt st.table_memo key with
-        | Some (p', v, ver) when (not stateful) || ver = st.version ->
+        | Some (r, v, ver, ext) when (not stateful) || ver = st.version ->
             stats.Stats.memo_hits <- stats.Stats.memo_hits + 1;
-            if p' >= 0 then (
+            look (st.pos + ext - 1);
+            if r >= 0 then (
               if not lean then st.value <- v;
-              st.pos <- p';
+              st.pos <- st.pos + r;
               dispatch (ip + 1))
             else fail ()
         | _ ->
@@ -1148,6 +1191,7 @@ let exec (t : t) (st : st) start_ip =
         if Array.unsafe_get st.s_tag sp = tag_ret then
           apply_shape (Array.unsafe_get st.s_aux1 sp)
             (Array.unsafe_get st.s_pos sp);
+        look (Array.unsafe_get st.s_depth sp);
         dispatch (Array.unsafe_get st.s_addr sp)
     | IRetChunk slot ->
         st.sp <- st.sp - 1;
@@ -1158,15 +1202,19 @@ let exec (t : t) (st : st) start_ip =
            let v = shaped_value (Array.unsafe_get st.s_aux1 sp) pos0 in
            (match Array.unsafe_get st.chunks pos0 with
            | Some chunk ->
-               Array.unsafe_set chunk.res slot (st.pos + 1);
+               Array.unsafe_set chunk.res slot (st.pos - pos0 + 1);
                Array.unsafe_set chunk.vals slot v;
                Array.unsafe_set chunk.vers slot
                  (Array.unsafe_get st.s_aux0 sp);
+               let ext = st.examined - pos0 + 1 in
+               Array.unsafe_set chunk.exts slot ext;
+               if ext > chunk.cmax then chunk.cmax <- ext;
                stats.Stats.memo_stores <- stats.Stats.memo_stores + 1
            | None ->
                (* the memo budget denied this position a chunk *)
                stats.Stats.memo_degraded <- stats.Stats.memo_degraded + 1);
            st.value <- v));
+        look (Array.unsafe_get st.s_depth sp);
         dispatch (Array.unsafe_get st.s_addr sp)
     | IRetTbl slot ->
         st.sp <- st.sp - 1;
@@ -1181,11 +1229,16 @@ let exec (t : t) (st : st) start_ip =
               st.memo_bytes <- st.memo_bytes + Limits.table_entry_cost;
               Hashtbl.replace st.table_memo
                 ((pos0 * nslots) + slot)
-                (st.pos, v, Array.unsafe_get st.s_aux0 sp);
+                ( st.pos - pos0,
+                  v,
+                  Array.unsafe_get st.s_aux0 sp,
+                  st.examined - pos0 + 1 );
               stats.Stats.memo_stores <- stats.Stats.memo_stores + 1));
            st.value <- v));
+        look (Array.unsafe_get st.s_depth sp);
         dispatch (Array.unsafe_get st.s_addr sp)
     | IOptSet (bm, desc, mode) ->
+        look st.pos;
         if st.pos < len && bitmap_mem bm (String.unsafe_get inp st.pos) then (
           (match mode with
           | 0 -> ()
@@ -1316,33 +1369,155 @@ type outcome = {
   consumed : int;
 }
 
-let make_st t ~trace input =
+(* A persistent memo store for incremental sessions; mirrors the
+   closure engine's [cstore] field for field. *)
+type store = {
+  mutable v_chunks : chunk option array;
+  v_table : (int, int * Value.t * int * int) Hashtbl.t;
+  mutable v_bytes : int;
+  mutable v_len : int;  (* input length of the entries; -1 = empty *)
+  mutable v_version : int;  (* version counter at the end of the last run *)
+}
+
+let new_store () =
+  {
+    v_chunks = [||];
+    v_table = Hashtbl.create 256;
+    v_bytes = 0;
+    v_len = -1;
+    v_version = 0;
+  }
+
+(* Apply an edit to the store — the exact algorithm of the closure
+   engine's [edit_cstore]: entries that only examined bytes strictly
+   before the damage are kept, entries at or past its end are relocated
+   by the length delta (a pointer move, thanks to relative offsets),
+   everything else is dropped. Returns (surviving, relocated) counts. *)
+let edit_store t (s : store) ~start ~old_len ~new_len =
+  let reused = ref 0 and relocated = ref 0 in
+  if s.v_len >= 0 then (
+    if start < 0 || old_len < 0 || new_len < 0 || start + old_len > s.v_len
+    then invalid_arg "Vm.edit_store: edit out of bounds";
+    let delta = new_len - old_len in
+    (match t.cfg.Config.memo with
+    | Config.No_memo -> ()
+    | Config.Chunked ->
+        let old = s.v_chunks in
+        let n = Array.length old in
+        let fresh = Array.make (n + delta) None in
+        let cost = Limits.chunk_cost t.nslots in
+        let bytes = ref 0 in
+        let keep p c =
+          fresh.(p) <- Some c;
+          incr reused;
+          bytes := !bytes + cost
+        in
+        for p = 0 to min (start - 1) (n - 1) do
+          match old.(p) with
+          | None -> ()
+          | Some c ->
+              if p + c.cmax <= start then keep p c
+              else (
+                let live = ref false and m = ref 0 in
+                for sl = 0 to t.nslots - 1 do
+                  if c.res.(sl) <> 0 then
+                    if p + c.exts.(sl) > start then c.res.(sl) <- 0
+                    else (
+                      live := true;
+                      if c.exts.(sl) > !m then m := c.exts.(sl))
+                done;
+                c.cmax <- !m;
+                if !live then keep p c)
+        done;
+        let src = start + old_len in
+        if src < n then (
+          Array.blit old src fresh (src + delta) (n - src);
+          for p = src + delta to n + delta - 1 do
+            if fresh.(p) <> None then (
+              incr reused;
+              if delta <> 0 then incr relocated;
+              bytes := !bytes + cost)
+          done);
+        s.v_chunks <- fresh;
+        s.v_bytes <- !bytes
+    | Config.Hashtable ->
+        if t.nslots > 0 then (
+          let entries =
+            Hashtbl.fold (fun k e acc -> (k, e) :: acc) s.v_table []
+          in
+          Hashtbl.reset s.v_table;
+          let dmg = start + old_len in
+          List.iter
+            (fun (key, ((_, _, _, ext) as e)) ->
+              let pos = key / t.nslots in
+              if pos < start && pos + ext <= start then (
+                Hashtbl.replace s.v_table key e;
+                incr reused)
+              else if pos >= dmg then (
+                Hashtbl.replace s.v_table (key + (delta * t.nslots)) e;
+                incr reused;
+                if delta <> 0 then incr relocated))
+            entries;
+          s.v_bytes <- Hashtbl.length s.v_table * Limits.table_entry_cost));
+    s.v_len <- s.v_len + delta);
+  (!reused, !relocated)
+
+let make_st t ~trace ?store input =
   let limits = t.cfg.Config.limits in
+  let len = String.length input in
+  (* Sync a persistent store to this input: entries only carry over when
+     the store was edited to exactly this length; any mismatch resets
+     it rather than risking stale hits. *)
+  (match store with
+  | None -> ()
+  | Some s ->
+      let usable =
+        s.v_len = len
+        &&
+        match t.cfg.Config.memo with
+        | Config.Chunked -> Array.length s.v_chunks = len + 1
+        | _ -> true
+      in
+      if not usable then (
+        Hashtbl.reset s.v_table;
+        s.v_chunks <-
+          (match t.cfg.Config.memo with
+          | Config.Chunked -> Array.make (len + 1) None
+          | _ -> [||]);
+        s.v_bytes <- 0;
+        s.v_len <- len));
   {
     input;
-    len = String.length input;
+    len;
     trace;
     pos = 0;
     value = Value.Unit;
     fail_trace = Expected.create ();
     tables = SMap.empty;
-    version = 0;
+    version = (match store with Some s -> s.v_version + 1 | None -> 0);
     stats = Stats.create ();
     fuel = limits.Limits.fuel;
     depth = 0;
     max_depth = limits.Limits.max_depth;
     memo_limit = limits.Limits.max_memo_bytes;
-    memo_bytes = 0;
+    memo_bytes = (match store with Some s -> s.v_bytes | None -> 0);
     tripped = None;
     quiet = 0;
     table_memo =
-      (match t.cfg.Config.memo with
-      | Config.Hashtable -> Hashtbl.create 1024
-      | _ -> Hashtbl.create 1);
+      (match store with
+      | Some s -> s.v_table
+      | None -> (
+          match t.cfg.Config.memo with
+          | Config.Hashtable -> Hashtbl.create 1024
+          | _ -> Hashtbl.create 1));
     chunks =
-      (match t.cfg.Config.memo with
-      | Config.Chunked -> Array.make (String.length input + 1) None
-      | _ -> [||]);
+      (match store with
+      | Some s -> s.v_chunks
+      | None -> (
+          match t.cfg.Config.memo with
+          | Config.Chunked -> Array.make (len + 1) None
+          | _ -> [||]));
+    examined = -1;
     s_tag = Array.make 256 0;
     s_addr = Array.make 256 0;
     s_pos = Array.make 256 0;
@@ -1359,18 +1534,18 @@ let make_st t ~trace input =
     p_top = 0;
   }
 
+let resolve_start t start =
+  match start with
+  | None -> Hashtbl.find t.ids (Grammar.start t.gram)
+  | Some name -> (
+      match Hashtbl.find_opt t.ids name with
+      | Some id -> id
+      | None ->
+          raise
+            (Diagnostic.Fail (Diagnostic.errorf "no production named %S" name)))
+
 let run t ?start ?(require_eof = true) input =
-  let start_id =
-    match start with
-    | None -> Hashtbl.find t.ids (Grammar.start t.gram)
-    | Some name -> (
-        match Hashtbl.find_opt t.ids name with
-        | Some id -> id
-        | None ->
-            raise
-              (Diagnostic.Fail
-                 (Diagnostic.errorf "no production named %S" name)))
-  in
+  let start_id = resolve_start t start in
   let limits = t.cfg.Config.limits in
   if String.length input > limits.Limits.max_input_bytes then
     {
@@ -1411,7 +1586,9 @@ let run t ?start ?(require_eof = true) input =
         (st, p))
       else (st, p)
     in
-    st.stats.Stats.fuel_used <- limits.Limits.fuel - st.fuel;
+    (* clamp: a fuel trip leaves st.fuel at -1; report the budget, not
+       budget + 1 *)
+    st.stats.Stats.fuel_used <- limits.Limits.fuel - max st.fuel 0;
     let result =
       match st.tripped with
       | Some (which, at) -> Error (Expected.exhausted st.fail_trace ~which ~at)
@@ -1420,6 +1597,49 @@ let run t ?start ?(require_eof = true) input =
             st.value
     in
     { result; stats = st.stats; consumed = p }
+
+(* Run against a persistent store: one untraced pass that reads and
+   refills the store's memo structures. Expected sets are not
+   reconstructed here — an incremental failure's trace would be missing
+   the entries hidden behind memo hits, so [Rats.Session] re-parses cold
+   for exact error parity instead of replaying through the store. *)
+let run_store t (s : store) ?start ?(require_eof = true) input =
+  let start_id = resolve_start t start in
+  let limits = t.cfg.Config.limits in
+  if String.length input > limits.Limits.max_input_bytes then
+    {
+      result =
+        Error
+          (Parse_error.resource_exhausted ~which:Limits.Input
+             ~at:limits.Limits.max_input_bytes ~consumed:0 ());
+      stats = Stats.create ();
+      consumed = -1;
+    }
+  else (
+    let st = make_st t ~trace:false ~store:s input in
+    let p =
+      try exec t st t.stubs.(start_id) with
+      | Exhausted -> -1
+      | Stack_overflow ->
+          st.tripped <-
+            Some (Limits.Depth, max (Expected.farthest st.fail_trace) 0);
+          -1
+      | Out_of_memory ->
+          st.tripped <-
+            Some (Limits.Memory, max (Expected.farthest st.fail_trace) 0);
+          -1
+    in
+    st.stats.Stats.fuel_used <- limits.Limits.fuel - max st.fuel 0;
+    s.v_bytes <- st.memo_bytes;
+    s.v_version <- st.version;
+    let result =
+      match st.tripped with
+      | Some (which, at) -> Error (Expected.exhausted st.fail_trace ~which ~at)
+      | None ->
+          Expected.result st.fail_trace ~len:st.len ~require_eof ~stop:p
+            st.value
+    in
+    { result; stats = st.stats; consumed = p })
 
 let parse t ?start input = (run t ?start input).result
 let accepts t ?start input = Result.is_ok (parse t ?start input)

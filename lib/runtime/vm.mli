@@ -56,6 +56,36 @@ type outcome = {
 val run : t -> ?start:string -> ?require_eof:bool -> string -> outcome
 (** Same contract as [Engine.run]. *)
 
+(** {1 Persistent memo stores}
+
+    The bytecode half of incremental sessions; see [Engine.new_store]
+    for the full contract. [Rats.Session] drives these through the
+    [Engine] facade — direct use is for tests. *)
+
+type store
+(** A memo store surviving across runs of one program over successive
+    versions of one buffer. *)
+
+val new_store : unit -> store
+(** An empty store; populated by the first {!run_store}. *)
+
+val edit_store :
+  t -> store -> start:int -> old_len:int -> new_len:int -> int * int
+(** [edit_store t s ~start ~old_len ~new_len] adjusts the store for a
+    splice replacing [old_len] bytes at [start] with [new_len] bytes.
+    Entries that never examined a byte at or past [start] are kept;
+    entries at or past [start + old_len] are relocated by the length
+    delta; the rest are dropped. Returns [(surviving, relocated)] entry
+    counts — chunks under chunked memo, table entries otherwise.
+    Raises [Invalid_argument] if the edit is out of bounds. *)
+
+val run_store :
+  t -> store -> ?start:string -> ?require_eof:bool -> string -> outcome
+(** One untraced pass over [input] reading and refilling the store.
+    Expected sets are not reconstructed (memo hits hide part of the
+    trace); callers wanting exact error parity re-parse cold on
+    failure, as [Rats.Session.reparse] does. *)
+
 val parse : t -> ?start:string -> string -> (Value.t, Parse_error.t) result
 val accepts : t -> ?start:string -> string -> bool
 

@@ -62,6 +62,11 @@ let pp_location s ppf off =
 let pp_excerpt s ppf sp =
   let { line; col } = location s (Span.start sp) in
   let text = line_text s line in
+  (* [location] columns count terminator bytes, but [text] has them
+     stripped: a span anchored on the [\n] of a CRLF ending would land
+     the caret past the line. One column past the text means "at the
+     line's end" for every terminator shape (LF, CRLF, none at EOF). *)
+  let col = min col (String.length text + 1) in
   let width = max 1 (min (Span.length sp) (String.length text - col + 1)) in
   Format.fprintf ppf "@[<v>%s@,%s%s@]" text
     (String.make (col - 1) ' ')

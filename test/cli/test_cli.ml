@@ -167,6 +167,73 @@ let tests =
         check Alcotest.int "tiny timeout" 4 code;
         check Alcotest.bool "message" true (contains out "timeout");
         check Alcotest.int "roomy timeout" 0 code');
+    test "--fuel with --timeout honors the smaller budget" (fun () ->
+        (* A small explicit fuel budget must trip — and be reported as a
+           fuel trip, exit 4 — even under a generous timeout: the
+           timeout's fuel-slice polling never exceeds --fuel. *)
+        let expr = write_temp "1+1+1+1+1+1+1+1" in
+        let code, out =
+          run (Printf.sprintf "parse -b calc -i %s --fuel 10 --timeout 60" expr)
+        in
+        Sys.remove expr;
+        check Alcotest.int "exit" 4 code;
+        check Alcotest.bool "fuel trip" true (contains out "fuel");
+        check Alcotest.bool "not a timeout" false (contains out "timeout"));
+    test "--edits replays a script incrementally" (fun () ->
+        let expr = write_temp "1 + 2 * (3 - 4)" in
+        let script =
+          write_temp "# touch the 2, then collapse the group\n4 1 42\n9 7 7\n"
+        in
+        let code, out =
+          run
+            (Printf.sprintf "parse -b calc -i %s --edits %s --stats" expr
+               script)
+        in
+        let code', out' =
+          run
+            (Printf.sprintf "parse -b calc -i %s --edits %s -e vm -q" expr
+               script)
+        in
+        Sys.remove expr;
+        Sys.remove script;
+        check Alcotest.int "exit" 0 code;
+        check Alcotest.int "vm exit" 0 code';
+        check Alcotest.bool "initial parse" true (contains out "initial: ok");
+        check Alcotest.bool "per-edit status" true (contains out "edit 2: ok");
+        check Alcotest.bool "reuse reported" true (contains out "reused=");
+        check Alcotest.bool "reuse in stats" true (contains out "memo-reused=");
+        check Alcotest.bool "final tree" true (contains out "(Num \"42\")");
+        (* Both backends replay through the same session machinery. *)
+        check Alcotest.bool "vm agrees" true (contains out' "edit 2: ok"));
+    test "--edits reaching an invalid buffer exits 3 with a located error"
+      (fun () ->
+        let expr = write_temp "1+2" in
+        let script = write_temp "1 2 +\n" in
+        let code, out =
+          run (Printf.sprintf "parse -b calc -i %s --edits %s -q" expr script)
+        in
+        Sys.remove expr;
+        Sys.remove script;
+        check Alcotest.int "exit" 3 code;
+        check Alcotest.bool "edit reported failing" true
+          (contains out "edit 1: expected");
+        check Alcotest.bool "caret" true (String.contains out '^'));
+    test "--edits rejects malformed scripts with exit 2" (fun () ->
+        let expr = write_temp "1+2" in
+        let script = write_temp "nonsense line\n" in
+        let code, out =
+          run (Printf.sprintf "parse -b calc -i %s --edits %s -q" expr script)
+        in
+        let script' = write_temp "0 99 x\n" in
+        let code', _ =
+          run (Printf.sprintf "parse -b calc -i %s --edits %s -q" expr script')
+        in
+        Sys.remove expr;
+        Sys.remove script;
+        Sys.remove script';
+        check Alcotest.int "unparsable line" 2 code;
+        check Alcotest.bool "message" true (contains out "bad edit");
+        check Alcotest.int "out-of-bounds edit" 2 code');
   ]
 
 let () = Alcotest.run "cli" [ ("rml", tests) ]

@@ -598,6 +598,38 @@ let limits_tests =
         let stats = (Engine.run eng "ababab").Engine.stats in
         check Alcotest.bool "hits" true (stats.Stats.memo_hits >= 1);
         check Alcotest.bool "degraded" true (stats.Stats.memo_degraded >= 1));
+    test "parsing twice yields identical stats (state resets per parse)"
+      (fun () ->
+        (* Mutable per-parse accounting (memo bytes in particular) must
+           start fresh on every run: under a tight budget, a leak from
+           the first parse would degrade memoization — and so change the
+           counters — on the second. *)
+        let input = "(1+2)*(3+4)-5" in
+        List.iter
+          (fun (label, cfg) ->
+            let eng =
+              calc_eng cfg (Limits.v ~fuel:100_000 ~max_memo_bytes:512 ())
+            in
+            let snapshot () =
+              let o = Engine.run eng input in
+              let st = o.Engine.stats in
+              ( Result.is_ok o.Engine.result,
+                st.Stats.invocations,
+                st.Stats.memo_hits,
+                st.Stats.memo_misses,
+                st.Stats.memo_stores,
+                st.Stats.memo_degraded,
+                st.Stats.fuel_used )
+            in
+            let a = snapshot () and b = snapshot () in
+            if a <> b then Alcotest.failf "%s: second parse drifted" label)
+          [
+            ("closure", Config.optimized);
+            ("closure-hashtable", Config.packrat);
+            ("vm", Config.vm);
+            ( "vm-hashtable",
+              Config.with_backend Config.Bytecode Config.packrat );
+          ]);
   ]
 
 let () =

@@ -105,6 +105,39 @@ let source_tests =
         let { Source.line; col } = Source.location e 0 in
         check Alcotest.int "line" 1 line;
         check Alcotest.int "col" 1 col);
+    test "excerpt caret on empty source" (fun () ->
+        let e = Source.of_string "" in
+        let s = Format.asprintf "%a" (Source.pp_excerpt e) (Span.point 0) in
+        check Alcotest.bool "caret" true (String.contains s '^'));
+    test "location at end of CRLF file without trailing newline" (fun () ->
+        let e = Source.of_string "ab\r\ncd" in
+        let { Source.line; col } = Source.location e 6 in
+        check Alcotest.int "line" 2 line;
+        check Alcotest.int "col" 3 col;
+        check Alcotest.string "last line" "cd" (Source.line_text e 2));
+    test "excerpt caret clamps to the stripped line on CRLF" (fun () ->
+        (* Offset 3 is the \n of the CRLF pair: column 4 of a line whose
+           displayed text is 2 chars. The caret must sit at the line's
+           end (one past the text), not drift into the terminator. *)
+        let e = Source.of_string "ab\r\ncd\r\n" in
+        let caret_col sp =
+          let s = Format.asprintf "%a" (Source.pp_excerpt e) sp in
+          match String.split_on_char '\n' s with
+          | [ _; carets ] -> String.index carets '^' + 1
+          | _ -> Alcotest.fail "expected two excerpt lines"
+        in
+        check Alcotest.int "on CR" 3 (caret_col (Span.point 2));
+        check Alcotest.int "on LF clamped" 3 (caret_col (Span.point 3)));
+    test "excerpt caret at EOF without trailing newline" (fun () ->
+        let e = Source.of_string "ab" in
+        let s = Format.asprintf "%a" (Source.pp_excerpt e) (Span.point 2) in
+        check Alcotest.string "caret one past text" "ab\n  ^" s);
+    test "pp_location renders line:col across line shapes" (fun () ->
+        let e = Source.of_string ~name:"f" "a\r\nbb\nccc" in
+        let at off = Format.asprintf "%a" (Source.pp_location e) off in
+        check Alcotest.string "line1" "f:1:1" (at 0);
+        check Alcotest.string "line2" "f:2:1" (at 3);
+        check Alcotest.string "line3 end (no final newline)" "f:3:4" (at 9));
   ]
 
 (* --- Diagnostic ----------------------------------------------------------------- *)
