@@ -15,7 +15,9 @@
      e3  cumulative impact of the optimizations      (Table 3 analogue)
      e4  scalability, adversarial inputs, governor    (Figure analogue)
      e5  heap utilization: memo entries and values   (Figure analogue)
-     e6  modular extension experiment                (motivating §2) *)
+     e6  modular extension experiment                (motivating §2)
+     e7  farthest-failure error quality              (supplementary)
+     e8  observability overhead and profile          (supplementary) *)
 
 open Rats
 
@@ -757,10 +759,211 @@ let e7 () =
     (prepare (Pipeline.optimize (Grammars.Json.grammar ())))
     (fun rng -> Grammars.Corpus.json rng ~size:60)
 
+(* ========================================================================== *)
+(* E8: observability (supplementary)                                          *)
+(* ========================================================================== *)
+
+(* Two claims, one structural and one measured. Structural: an engine
+   whose observe capabilities are all off compiles a program with no
+   observation code in it at all — checked literally, by grepping the
+   bytecode disassembly for obs-* instructions. Measured: because the
+   programs are identical, off-vs-off timing differs only by noise (the
+   CI gate allows 3%); the instrumented engine's cost is then reported
+   honestly against that baseline. *)
+
+let e8 () =
+  header "E8: observability: zero-cost-when-off, instrumented overhead";
+  let g = Pipeline.optimize (Grammars.Minijava.grammar ()) in
+  (* The off-gate is a noise bound, so the corpus size is NOT scaled by
+     --quick — and is deliberately large: on millisecond parses,
+     cache-layout jitter and scheduler ticks alone exceed the 3% budget
+     the gate enforces, while a ~100 KB parse integrates over them. *)
+  let corpus = Grammars.Corpus.minijava (Rng.create 2024) ~classes:100 in
+  let bytes = String.length corpus in
+  let contains_obs dis =
+    let n = String.length dis in
+    let rec find i =
+      if i + 4 > n then false
+      else if String.sub dis i 4 = "obs-" then true
+      else find (i + 1)
+    in
+    find 0
+  in
+  let dis_default = Vm.disassemble (Vm.prepare_exn ~config:Config.vm g) in
+  let dis_off =
+    Vm.disassemble
+      (Vm.prepare_exn ~config:(Config.with_observe Observe.off Config.vm) g)
+  in
+  if contains_obs dis_default then
+    failwith "e8: unobserved bytecode contains obs-* instructions";
+  if dis_default <> dis_off then
+    failwith "e8: observe-off bytecode differs from the default program";
+  if
+    not
+      (contains_obs
+         (Vm.disassemble
+            (Vm.prepare_exn
+               ~config:(Config.with_observe (Observe.all ()) Config.vm)
+               g)))
+  then failwith "e8: observed bytecode contains no obs-* instructions";
+  row
+    "bytecode structure: observe-off program is byte-identical to the \
+     default (zero obs-* instructions)\n";
+  record ~experiment:"e8" ~series:"structure"
+    [
+      ("off_has_obs_instructions", "false");
+      ("off_matches_default_program", "true");
+    ];
+  row "\nminijava corpus: %d bytes (interleaved best-of-many)\n" bytes;
+  row "  %-10s %10s %10s %10s %10s %9s %9s\n" "backend" "off ms" "off' ms"
+    "on ms" "off ovh" "off gate" "on ovh";
+  List.iter
+    (fun (label, config) ->
+      let on =
+        prepare ~config:(Config.with_observe (Observe.all ()) config) g
+      in
+      assert_ok ("e8/" ^ label) (Engine.parse on corpus);
+      (* Interleave the contenders as in E4's governor-overhead table:
+         the deltas are percent-level, inside the noise of independent
+         best-of-5 runs. The off/off' engines are re-prepared every round —
+         in alternating order — because a pair prepared once keeps one
+         fixed closure/heap layout for the whole comparison, and
+         whichever engine happened to land better reads as a
+         systematic percent-level delta that best-of cannot cancel.
+         Every asymmetry here is load-bearing; see the [timed] comment
+         for the one that cost 20%. *)
+      let t_off = ref infinity and t_off' = ref infinity
+      and t_on = ref infinity in
+      let deltas = ref [] in
+      for round = 1 to 12 do
+        let flip = round land 1 = 0 in
+        let off, off' =
+          if flip then
+            let o = prepare ~config g in
+            let o' =
+              prepare ~config:(Config.with_observe Observe.off config) g
+            in
+            (o, o')
+          else
+            let o' =
+              prepare ~config:(Config.with_observe Observe.off config) g
+            in
+            let o = prepare ~config g in
+            (o, o')
+        in
+        (* One warmup each and a compacted heap, then single timed runs
+           in a balanced ABBA pattern. Balance matters: the engines share
+           the corpus, so whichever runs second in a pair reads it
+           cache-warm — an unbalanced order hands one engine more warm
+           slots and shows up as a persistent percent-level delta. ABBA
+           gives each engine two first and two second slots per round. *)
+        if flip then (
+          ignore (Engine.parse off corpus);
+          ignore (Engine.parse off' corpus))
+        else (
+          ignore (Engine.parse off' corpus);
+          ignore (Engine.parse off corpus));
+        Gc.compact ();
+        let a = ref infinity and b = ref infinity in
+        let timed eng best =
+          (* A full collection before every timed run, not just the first:
+             each parse drops megabytes of garbage (the VM's chunk array
+             alone), and a run on a clean heap pays no major slices — if
+             only the first run after [Gc.compact] gets that, whichever
+             engine owns that slot reads ~20% faster. *)
+          Gc.full_major ();
+          let t0 = now () in
+          ignore (Engine.parse eng corpus);
+          let dt = now () -. t0 in
+          if dt < !best then best := dt
+        in
+        List.iter
+          (fun off_first ->
+            if off_first then (
+              timed off a;
+              timed off' b)
+            else (
+              timed off' b;
+              timed off a))
+          [ true; false; false; true ];
+        let c = time_best ~repeats:3 (fun () -> Engine.parse on corpus) in
+        if !a < !t_off then t_off := !a;
+        if !b < !t_off' then t_off' := !b;
+        if c < !t_on then t_on := c;
+        deltas := (100. *. (!b -. !a) /. !a) :: !deltas
+      done;
+      (* Gate on the median of the paired per-round deltas: pairing
+         cancels drift within a round, the fresh layouts and the
+         alternating preparation and measurement order decorrelate the
+         rounds, and the median shrugs off the one round that ran
+         under a sibling process. A min-vs-min comparison has none of
+         those properties and flickers past the gate a few runs in a
+         hundred. *)
+      let off_pct =
+        let d = List.sort Float.compare !deltas in
+        let n = List.length d in
+        (List.nth d ((n - 1) / 2) +. List.nth d (n / 2)) /. 2.
+      in
+      let gate = if Float.abs off_pct > 3.0 then "fail" else "ok" in
+      let on_pct = 100. *. (!t_on -. !t_off) /. !t_off in
+      record ~experiment:"e8" ~series:"overhead"
+        [
+          ("backend", jstr label);
+          ("bytes", jint bytes);
+          ("off_ms", jfloat (ms !t_off));
+          ("off_observe_ms", jfloat (ms !t_off'));
+          ("on_ms", jfloat (ms !t_on));
+          ("off_overhead_pct", jfloat off_pct);
+          ("off_gate", jstr gate);
+          ("on_overhead_pct", jfloat on_pct);
+        ];
+      row "  %-10s %10.2f %10.2f %10.2f %9.1f%% %9s %8.1f%%\n" label
+        (ms !t_off) (ms !t_off') (ms !t_on) off_pct gate on_pct)
+    [ ("closure", Config.optimized); ("vm", Config.vm) ];
+  (* One observed parse: where the time goes, and what the corpus
+     exercises. *)
+  let eng =
+    prepare ~config:(Config.with_observe (Observe.all ()) Config.optimized) g
+  in
+  assert_ok "e8/profile" (Engine.parse eng corpus);
+  match Engine.observation eng with
+  | None -> failwith "e8: observed engine reports no sink"
+  | Some o ->
+      (match Observe.profile o with
+      | None -> ()
+      | Some p ->
+          row "\ntop productions by self time (one observed minijava parse):\n";
+          row "%s" (Format.asprintf "%a" (Profile.pp_table ~top:8) p);
+          List.iteri
+            (fun i (r : Profile.row) ->
+              if i < 8 then
+                record ~experiment:"e8" ~series:"top-productions"
+                  [
+                    ("rank", jint (i + 1));
+                    ("production", jstr r.Profile.row_name);
+                    ("calls", jint r.Profile.row_calls);
+                    ("hits", jint r.Profile.row_hits);
+                    ("self_ns", jint r.Profile.row_self_ns);
+                    ("total_ns", jint r.Profile.row_total_ns);
+                  ])
+            (Profile.rows p));
+      let ph, np, am, na = Observe.coverage_summary o in
+      row "coverage on the corpus: %d/%d productions, %d/%d alternatives\n" ph
+        np am na;
+      record ~experiment:"e8" ~series:"coverage"
+        [
+          ("prods_hit", jint ph);
+          ("prods", jint np);
+          ("arms_matched", jint am);
+          ("arms", jint na);
+        ];
+      row "trace ring: %d events seen, capacity %d\n" (Observe.events_seen o)
+        (Observe.ring_capacity o)
+
 let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
-    ("e7", e7);
+    ("e7", e7); ("e8", e8);
   ]
 
 let () =

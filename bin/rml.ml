@@ -172,6 +172,15 @@ let load_modules files builtin =
           | exception Rats.Diagnostic.Fail d -> Error [ d ]
           | r -> r))
 
+let read_input input =
+  if input = "-" then In_channel.input_all In_channel.stdin
+  else In_channel.with_open_bin input In_channel.input_all
+
+let apply_engine engine config =
+  match engine with
+  | None -> config
+  | Some b -> Rats.Config.with_backend b config
+
 let compose_from files builtin root start =
   match load_modules files builtin with
   | Error ds -> Error ds
@@ -598,17 +607,32 @@ let parse_cmd =
              after every edit, reporting reused/relocated memo entries; \
              the exit code reflects the final parse.")
   in
+  let profile_flag_arg =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:
+            "Profile per-production cost during the parse and print the \
+             sorted table when done (see also $(b,rml profile)).")
+  in
+  let trace_ring_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "trace-ring" ] ~docv:"N"
+          ~doc:
+            "Keep a bounded ring of the last N structured parse events and \
+             dump it to stderr when the parse fails or a resource budget \
+             trips. Recording charges no fuel and none of the memo budget, \
+             so governed runs consume exactly what unobserved ones do.")
+  in
   let run files builtin root start optimize config engine fuel max_depth
-      max_memo timeout input stats quiet trace edits =
+      max_memo timeout input stats quiet trace edits profile ring =
     guarded @@ fun () ->
     match compose_from files builtin root start with
     | Error ds -> print_errors ds
     | Ok g -> (
-        let config =
-          match engine with
-          | None -> config
-          | Some b -> Rats.Config.with_backend b config
-        in
+        let config = apply_engine engine config in
         let config =
           match (fuel, max_depth, max_memo) with
           | None, None, None -> config
@@ -617,8 +641,47 @@ let parse_cmd =
                 (Rats.Limits.v ?fuel ?max_depth ?max_memo_bytes:max_memo ())
                 config
         in
+        let observe =
+          let w = Rats.Observe.off in
+          let w =
+            if profile then { w with Rats.Observe.profile = true } else w
+          in
+          match ring with
+          | None -> w
+          | Some n ->
+              {
+                w with
+                Rats.Observe.events = true;
+                ring_bytes = max 1 n * Rats.Observe.event_bytes;
+              }
+        in
+        let config =
+          if Rats.Observe.enabled observe then
+            Rats.Config.with_observe observe config
+          else config
+        in
+        let dump_ring eng text =
+          match ring with
+          | None -> ()
+          | Some _ -> (
+              match Rats.Engine.observation eng with
+              | Some o ->
+                  Fmt.epr "%a" (Rats.Observe.pp_events ~input:text ?last:None) o
+              | None -> ())
+        in
+        let print_profile eng =
+          if profile then
+            match Rats.Engine.observation eng with
+            | Some o -> (
+                match Rats.Observe.profile o with
+                | Some p -> Fmt.pr "%a" (Rats.Profile.pp_table ?top:None) p
+                | None -> ())
+            | None -> ()
+        in
         if trace && config.Rats.Config.backend = Rats.Config.Bytecode then
           Fmt.epr "note: tracing runs on the closure engine@.";
+        if trace && (profile || ring <> None) then
+          Fmt.epr "note: --profile/--trace-ring are ignored with --trace@.";
         let g = if optimize then Rats.Pipeline.optimize g else g in
         match Rats.Engine.prepare ~config g with
         | Error ds -> print_errors ds
@@ -683,6 +746,7 @@ let parse_cmd =
                     (if stats then
                        Fmt.pr "stats: %a@." Rats.Stats.pp
                          (Rats.Session.stats session));
+                    print_profile eng;
                     match !last with
                     | Ok v ->
                         if not quiet then
@@ -694,13 +758,14 @@ let parse_cmd =
                             (Rats.Session.text session)
                         in
                         Fmt.epr "%s@." (Rats.Parse_error.to_string ~source e);
+                        dump_ring eng (Rats.Session.text session);
                         if Rats.Parse_error.exhausted_which e <> None then
                           exit_resource
                         else exit_parse))
             | None -> (
             let run_governed () =
               match timeout with
-              | None -> Ok (Rats.Engine.run eng text)
+              | None -> Ok (eng, Rats.Engine.run eng text)
               | Some seconds ->
                   (* Fuel-slice polling: parse under a small fuel budget,
                      and while the deadline has not passed, double the
@@ -730,12 +795,12 @@ let parse_cmd =
                                && slice < budget ->
                             if Unix.gettimeofday () >= deadline then (
                               Fmt.epr "rml: timeout of %gs exceeded@." seconds;
-                              Ok out)
+                              Ok (eng', out))
                             else
                               go
                                 (if slice > budget / 2 then budget
                                  else slice * 2)
-                        | _ -> Ok out)
+                        | _ -> Ok (eng', out))
                   in
                   go (min budget 65536)
             in
@@ -757,15 +822,17 @@ let parse_cmd =
                       | _ -> "")
                   else if !shown = 501 then Fmt.pr "... (trace truncated)@."
                 in
-                Rats.Engine.trace ~config ~on_event g text)
+                Result.map (fun out -> (eng, out))
+                  (Rats.Engine.trace ~config ~on_event g text))
               else run_governed ()
             in
             match outcome with
             | Error ds -> print_errors ds
-            | Ok out -> (
+            | Ok (eng_used, out) -> (
                 (if stats then
-                   Fmt.pr "stats: %a@." Rats.Stats.pp out.stats);
-                match out.result with
+                   Fmt.pr "stats: %a@." Rats.Stats.pp out.Rats.Engine.stats);
+                print_profile eng_used;
+                match out.Rats.Engine.result with
                 | Ok v ->
                     if not quiet then Fmt.pr "%s@." (Rats.Value.to_string v);
                     0
@@ -776,6 +843,7 @@ let parse_cmd =
                         text
                     in
                     Fmt.epr "%s@." (Rats.Parse_error.to_string ~source e);
+                    dump_ring eng_used text;
                     if Rats.Parse_error.exhausted_which e <> None then
                       exit_resource
                     else exit_parse))))
@@ -785,7 +853,278 @@ let parse_cmd =
       const run $ files_arg $ builtin_arg $ root_arg $ start_arg
       $ optimize_arg $ config_arg $ engine_arg $ fuel_arg $ max_depth_arg
       $ max_memo_arg $ timeout_arg $ input_arg $ stats_arg $ quiet_arg
-      $ trace_arg $ edits_arg)
+      $ trace_arg $ edits_arg $ profile_flag_arg $ trace_ring_arg)
+
+(* --- observability subcommands --------------------------------------------- *)
+
+let obs_input_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "i"; "input" ] ~docv:"FILE"
+        ~doc:"Input file to parse ('-' for stdin).")
+
+let profile_cmd =
+  let top_arg =
+    Arg.(
+      value & opt int 20
+      & info [ "top" ] ~docv:"N"
+          ~doc:"Show the N most expensive productions (0 shows all).")
+  in
+  let flame_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "flame" ] ~docv:"FILE"
+          ~doc:"Write a flamegraph JSON document of the parse here.")
+  in
+  let flame_format_arg =
+    Arg.(
+      value
+      & opt
+          (enum [ ("speedscope", `Speedscope); ("chrome", `Chrome) ])
+          `Speedscope
+      & info [ "flame-format" ] ~docv:"FORMAT"
+          ~doc:
+            "Flamegraph flavor: speedscope (load at \
+             https://www.speedscope.app) or chrome (chrome://tracing and \
+             Perfetto).")
+  in
+  let run files builtin root start optimize config engine input top flame
+      flame_format =
+    guarded @@ fun () ->
+    match compose_from files builtin root start with
+    | Error ds -> print_errors ds
+    | Ok g -> (
+        let config = apply_engine engine config in
+        let config =
+          Rats.Config.with_observe
+            { Rats.Observe.off with Rats.Observe.profile = true }
+            config
+        in
+        let g = if optimize then Rats.Pipeline.optimize g else g in
+        match Rats.Engine.prepare ~config g with
+        | Error ds -> print_errors ds
+        | Ok eng -> (
+            let text = read_input input in
+            let out = Rats.Engine.run eng text in
+            let prof =
+              match Rats.Engine.observation eng with
+              | Some o -> Rats.Observe.profile o
+              | None -> None
+            in
+            match prof with
+            | None ->
+                Fmt.epr "rml: internal error: no profile was recorded@.";
+                exit_internal
+            | Some p ->
+                (match out.Rats.Engine.result with
+                | Ok _ -> ()
+                | Error e ->
+                    let source =
+                      Rats.Source.of_string
+                        ~name:(if input = "-" then "<stdin>" else input)
+                        text
+                    in
+                    Fmt.epr "%s@." (Rats.Parse_error.to_string ~source e));
+                (if top <= 0 then
+                   Fmt.pr "%a" (Rats.Profile.pp_table ?top:None) p
+                 else Fmt.pr "%a" (Rats.Profile.pp_table ~top) p);
+                (match flame with
+                | None -> ()
+                | Some path ->
+                    let doc =
+                      match flame_format with
+                      | `Speedscope ->
+                          Rats.Profile.to_speedscope
+                            ~name:(if input = "-" then "stdin" else input)
+                            p
+                      | `Chrome -> Rats.Profile.to_chrome p
+                    in
+                    Out_channel.with_open_bin path (fun oc ->
+                        Out_channel.output_string oc doc);
+                    Fmt.epr "rml: wrote %s@." path);
+                if Rats.Profile.truncated p then
+                  Fmt.epr
+                    "note: flame event log truncated; the table stays exact@.";
+                (match out.Rats.Engine.result with
+                | Ok _ -> 0
+                | Error e ->
+                    if Rats.Parse_error.exhausted_which e <> None then
+                      exit_resource
+                    else exit_parse)))
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Parse an input under the per-production profiler and print the \
+          sorted cost table; optionally export a flamegraph.")
+    Term.(
+      const run $ files_arg $ builtin_arg $ root_arg $ start_arg
+      $ optimize_arg $ config_arg $ engine_arg $ obs_input_arg $ top_arg
+      $ flame_arg $ flame_format_arg)
+
+let trace_cmd =
+  let ring_arg =
+    Arg.(
+      value & opt int 512
+      & info [ "ring" ] ~docv:"N"
+          ~doc:
+            "Retain the last N events; older ones are overwritten in \
+             place, so memory stays bounded on any input.")
+  in
+  let last_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "last" ] ~docv:"N"
+          ~doc:"Print only the last N retained events.")
+  in
+  let fuel_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fuel" ] ~docv:"N"
+          ~doc:
+            "Abort after N production invocations (exit 4); the trip \
+             lands as the final ring event.")
+  in
+  let run files builtin root start optimize config engine fuel input ring last
+      =
+    guarded @@ fun () ->
+    match compose_from files builtin root start with
+    | Error ds -> print_errors ds
+    | Ok g -> (
+        let config = apply_engine engine config in
+        let config =
+          match fuel with
+          | None -> config
+          | Some _ ->
+              Rats.Config.with_limits (Rats.Limits.v ?fuel ()) config
+        in
+        let config =
+          Rats.Config.with_observe
+            {
+              Rats.Observe.off with
+              Rats.Observe.events = true;
+              ring_bytes = max 1 ring * Rats.Observe.event_bytes;
+            }
+            config
+        in
+        let g = if optimize then Rats.Pipeline.optimize g else g in
+        match Rats.Engine.prepare ~config g with
+        | Error ds -> print_errors ds
+        | Ok eng -> (
+            let text = read_input input in
+            let out = Rats.Engine.run eng text in
+            (match Rats.Engine.observation eng with
+            | Some o ->
+                Fmt.pr "%a" (Rats.Observe.pp_events ~input:text ?last) o
+            | None -> ());
+            match out.Rats.Engine.result with
+            | Ok _ -> 0
+            | Error e ->
+                let source =
+                  Rats.Source.of_string
+                    ~name:(if input = "-" then "<stdin>" else input)
+                    text
+                in
+                Fmt.epr "%s@." (Rats.Parse_error.to_string ~source e);
+                if Rats.Parse_error.exhausted_which e <> None then
+                  exit_resource
+                else exit_parse))
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Parse an input recording structured events (enter, exit, memo \
+          hit, backtrack, budget trip) into a bounded ring and dump it \
+          with source excerpts.")
+    Term.(
+      const run $ files_arg $ builtin_arg $ root_arg $ start_arg
+      $ optimize_arg $ config_arg $ engine_arg $ fuel_arg $ obs_input_arg
+      $ ring_arg $ last_arg)
+
+let coverage_cmd =
+  let corpus_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "i"; "corpus" ] ~docv:"PATH"
+          ~doc:
+            "Corpus file or directory (repeatable). Every regular file in \
+             a directory is parsed; the union of all runs feeds one \
+             coverage report.")
+  in
+  let strict_arg =
+    Arg.(
+      value & flag
+      & info [ "strict" ]
+          ~doc:
+            "Exit 1 when any production or alternative stays unexercised.")
+  in
+  let run files builtin root start optimize config engine corpus strict =
+    guarded @@ fun () ->
+    match compose_from files builtin root start with
+    | Error ds -> print_errors ds
+    | Ok g -> (
+        let config = apply_engine engine config in
+        let config =
+          Rats.Config.with_observe
+            { Rats.Observe.off with Rats.Observe.coverage = true }
+            config
+        in
+        let g = if optimize then Rats.Pipeline.optimize g else g in
+        match Rats.Engine.prepare ~config g with
+        | Error ds -> print_errors ds
+        | Ok eng -> (
+            let paths =
+              List.concat_map
+                (fun p ->
+                  if Sys.is_directory p then
+                    Sys.readdir p |> Array.to_list
+                    |> List.sort String.compare
+                    |> List.filter_map (fun f ->
+                           let full = Filename.concat p f in
+                           if Sys.is_directory full then None else Some full)
+                  else [ p ])
+                corpus
+            in
+            match paths with
+            | [] ->
+                Fmt.epr "rml: no corpus inputs (use --corpus FILE-or-DIR)@.";
+                2
+            | paths -> (
+                let ok = ref 0 and failed = ref 0 in
+                List.iter
+                  (fun path ->
+                    let text =
+                      In_channel.with_open_bin path In_channel.input_all
+                    in
+                    match (Rats.Engine.run eng text).Rats.Engine.result with
+                    | Ok _ -> incr ok
+                    | Error _ -> incr failed)
+                  paths;
+                Fmt.pr "corpus: %d inputs (%d ok, %d failed)@."
+                  (List.length paths) !ok !failed;
+                match Rats.Engine.observation eng with
+                | Some o ->
+                    Fmt.pr "%a" Rats.Observe.pp_coverage o;
+                    let dead_prods, dead_arms = Rats.Observe.unexercised o in
+                    if strict && (dead_prods <> [] || dead_arms <> []) then 1
+                    else 0
+                | None ->
+                    Fmt.epr "rml: internal error: no coverage was recorded@.";
+                    exit_internal)))
+  in
+  Cmd.v
+    (Cmd.info "coverage"
+       ~doc:
+         "Run a corpus through one observed engine and report grammar \
+          coverage: productions and choice alternatives never exercised, \
+          each with its defining module.")
+    Term.(
+      const run $ files_arg $ builtin_arg $ root_arg $ start_arg
+      $ optimize_arg $ config_arg $ engine_arg $ corpus_arg $ strict_arg)
 
 let bytecode_cmd =
   let run files builtin root start optimize config =
@@ -872,7 +1211,8 @@ let () =
       (Cmd.group info
          [
            modules_cmd; compose_cmd; optimize_cmd; passes_cmd; analyze_cmd;
-           parse_cmd; bytecode_cmd; generate_cmd; fmt_cmd;
+           parse_cmd; profile_cmd; trace_cmd; coverage_cmd; bytecode_cmd;
+           generate_cmd; fmt_cmd;
          ])
   in
   (* cmdliner reports CLI misuse as 124 and its own internal errors as

@@ -24,6 +24,9 @@ module Parse_error = Rats_runtime.Parse_error
 module Engine = Rats_runtime.Engine
 module Vm = Rats_runtime.Vm
 module Expected = Rats_runtime.Expected
+module Observe = Rats_runtime.Observe
+module Profile = Rats_runtime.Profile
+module Provenance = Rats_peg.Provenance
 module Desugar = Rats_optimize.Desugar
 module Passes = Rats_optimize.Passes
 module Pass = Rats_optimize.Pass
@@ -163,6 +166,12 @@ module Session = struct
             consumed = -1;
           }
     in
+    (* An observed engine sees the session machinery too: the ring
+       shows what the store contributed before the run's own events. *)
+    (match Engine.observation t.eng with
+    | Some o when t.survivors > 0 || t.relocated > 0 ->
+        Observe.session_reuse o ~reused:t.survivors ~relocated:t.relocated
+    | _ -> ());
     let o =
       backstopped (fun () -> Engine.run_store t.eng t.store ?start:t.start t.text)
     in

@@ -43,6 +43,9 @@ module Parse_error = Rats_runtime.Parse_error
 module Engine = Rats_runtime.Engine
 module Vm = Rats_runtime.Vm
 module Expected = Rats_runtime.Expected
+module Observe = Rats_runtime.Observe
+module Profile = Rats_runtime.Profile
+module Provenance = Rats_peg.Provenance
 module Desugar = Rats_optimize.Desugar
 module Passes = Rats_optimize.Passes
 module Pass = Rats_optimize.Pass
@@ -139,7 +142,9 @@ module Session : sig
       refilling the store for the next round. Never raises (same
       backstop as {!parse}). On failure the error is computed by an
       internal cold re-parse, so reports match a from-scratch parse
-      byte for byte. *)
+      byte for byte. When the engine is observed ({!Engine.observation}),
+      a reparse that inherited store entries pushes a [memo-reuse] event
+      into the trace ring before its parse events. *)
 
   val stats : t -> Stats.t
   (** Counters of the last {!reparse}; [memo_reused] is the number of

@@ -203,6 +203,25 @@ let expr_yields_unit a e =
     (fun n -> try Hashtbl.find a.unit_tbl n with Not_found -> false)
     e
 
+(* Purely structural: calls (and the table operators, which manage
+   value frames of their own) are conservatively excluded — a callee
+   body may use the engine's value register as scratch space. *)
+let rec preserves_value (e : Expr.t) =
+  match e.it with
+  | Expr.Empty | Expr.Fail _ | Expr.Any | Expr.Chr _ | Expr.Str _
+  | Expr.Cls _ ->
+      true
+  | Expr.Seq es -> List.for_all preserves_value es
+  | Expr.Alt alts ->
+      List.for_all (fun (a : Expr.alt) -> preserves_value a.body) alts
+  | Expr.Star x | Expr.Plus x | Expr.Opt x | Expr.And x | Expr.Not x
+  | Expr.Token x | Expr.Drop x
+  | Expr.Bind (_, x) ->
+      preserves_value x
+  | Expr.Ref _ | Expr.Node _ | Expr.Splice _ | Expr.Record _
+  | Expr.Member _ ->
+      false
+
 (* --- reachability ------------------------------------------------------ *)
 
 let reachable_from a roots =

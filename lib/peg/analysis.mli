@@ -51,6 +51,13 @@ val expr_yields_unit : t -> Expr.t -> bool
     engine and the code generator use this to skip value collection in
     repetitions over void bodies. *)
 
+val preserves_value : Expr.t -> bool
+(** True when a lean (recognizer-mode) run of the expression provably
+    never writes the engine's value register: such parts may follow a
+    sequence's only value-bearing part without a collection frame to
+    protect the result. Both back ends consult this so they agree,
+    call site for call site, on which sequences skip collection. *)
+
 (** {1 Reachability} *)
 
 val reachable : t -> StringSet.t

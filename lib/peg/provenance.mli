@@ -1,0 +1,62 @@
+(** Stable observation identities for productions and choice arms.
+
+    The observability layer ({!Rats_runtime}) attributes cost and
+    coverage to grammar-level entities, not to whatever the back ends
+    compiled them into. This module assigns those identities once, from
+    the prepared grammar itself: production ids follow definition order
+    (exactly the id spaces both back ends already use), and every arm of
+    every [Alt] node gets a global arm id from a deterministic pre-order
+    walk. Because both back ends compile the same physical [Expr.t]
+    nodes, arm ids are recovered at compile time by physical identity —
+    robust against a body being compiled more than once (the closure
+    engine compiles each production twice, matcher and recognizer), and
+    identical across back ends by construction, which is what lets the
+    property suite compare coverage bitmaps closure-vs-VM.
+
+    Inlining attribution: when the bytecode compiler inlines a
+    production's body at a call site, the body's [Alt] nodes are still
+    the origin production's physical nodes, so their arm ids — and the
+    production id the emitter knew at the inline site — keep charging
+    the origin production. Productions dissolved by the grammar-level
+    inline pass no longer exist when observation ids are assigned; their
+    cost is charged to the caller that absorbed them. *)
+
+type arm = {
+  arm_prod : int;  (** production id of the enclosing production *)
+  arm_choice : int;  (** ordinal of the [Alt] node within that production *)
+  arm_index : int;  (** position of the arm inside its choice, from 0 *)
+  arm_label : string option;  (** the arm's modification label, if any *)
+  arm_desc : string;  (** pretty-printed arm body, truncated *)
+}
+
+type t
+
+val of_grammar : Grammar.t -> t
+(** Walk the grammar once and assign every identity. Deterministic: the
+    same grammar value always yields the same numbering. *)
+
+val empty : t
+(** No productions, no arms — the sink of an observation-off engine. *)
+
+val nprods : t -> int
+val prod_name : t -> int -> string
+
+val prod_origin : t -> int -> string
+(** The module that contributed the production ([""] for synthesized
+    ones) — what [rml coverage] reports next to dead alternatives. *)
+
+val prod_id : t -> string -> int option
+
+val narms : t -> int
+val arm : t -> int -> arm
+
+val arms_of : t -> Expr.alt list -> int
+(** [arms_of t alts] is the arm id of [alts]'s first arm, found by
+    physical identity; the remaining arms follow consecutively. Returns
+    [-1] for a list that is not part of the walked grammar (a
+    synthesized choice the optimizer created after the walk — observed
+    conservatively as nothing). *)
+
+val pp_arm : t -> Format.formatter -> int -> unit
+(** ["Prod / choice 2 / arm 1 (label)"] — the human-readable identity
+    used by coverage reports. *)

@@ -8,29 +8,34 @@ type t = {
   lean_values : bool;
   backend : backend;
   limits : Limits.t;
+  observe : Observe.want;
 }
 
 let naive =
   { memo = No_memo; honor_transient = false; dispatch = false;
-    lean_values = false; backend = Closure; limits = Limits.unlimited }
+    lean_values = false; backend = Closure; limits = Limits.unlimited;
+    observe = Observe.off }
 
 let packrat =
   { memo = Hashtable; honor_transient = false; dispatch = false;
-    lean_values = false; backend = Closure; limits = Limits.unlimited }
+    lean_values = false; backend = Closure; limits = Limits.unlimited;
+    observe = Observe.off }
 
 let optimized =
   { memo = Chunked; honor_transient = true; dispatch = true;
-    lean_values = true; backend = Closure; limits = Limits.unlimited }
+    lean_values = true; backend = Closure; limits = Limits.unlimited;
+    observe = Observe.off }
 
 let vm = { optimized with backend = Bytecode }
 
 let v ?(memo = Hashtable) ?(honor_transient = false) ?(dispatch = false)
     ?(lean_values = false) ?(backend = Closure) ?(limits = Limits.unlimited)
-    () =
-  { memo; honor_transient; dispatch; lean_values; backend; limits }
+    ?(observe = Observe.off) () =
+  { memo; honor_transient; dispatch; lean_values; backend; limits; observe }
 
 let with_backend backend c = { c with backend }
 let with_limits limits c = { c with limits }
+let with_observe observe c = { c with observe }
 
 let memo_name = function
   | No_memo -> "none"
@@ -48,6 +53,7 @@ let describe c =
         (c.dispatch, "dispatch");
         (c.lean_values, "lean-values");
         (c.backend = Bytecode, "bytecode");
+        (Observe.enabled c.observe, "observed");
       ]
   in
   Printf.sprintf "memo=%s%s%s" (memo_name c.memo)

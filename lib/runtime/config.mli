@@ -39,6 +39,10 @@ type t = {
       (** resource budgets for every run of the prepared engine —
           {!Limits.unlimited} by default; see {!Limits.hardened} for
           parsing untrusted input *)
+  observe : Observe.want;
+      (** observability capabilities (profiler, trace ring, coverage) —
+          {!Observe.off} by default, in which case preparation compiles
+          exactly the uninstrumented code it always did *)
 }
 
 val naive : t
@@ -62,11 +66,13 @@ val v :
   ?lean_values:bool ->
   ?backend:backend ->
   ?limits:Limits.t ->
+  ?observe:Observe.want ->
   unit ->
   t
 
 val with_backend : backend -> t -> t
 val with_limits : Limits.t -> t -> t
+val with_observe : Observe.want -> t -> t
 
 val backend_name : backend -> string
 val pp : Format.formatter -> t -> unit

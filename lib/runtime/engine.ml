@@ -67,6 +67,9 @@ type t = {
   slots : int array;  (* memo slot per production; -1 = not memoized *)
   nslots : int;
   vm : Vm.t option;  (* the bytecode program, [Config.Bytecode] only *)
+  obs : Observe.t option;
+      (* observation sink, [Config.observe] enabled only; the VM carries
+         its own — see [observation] *)
 }
 
 (* Failures inside a predicate body never reach the farthest-failure
@@ -100,6 +103,10 @@ type compile_ctx = {
   parser : t;
   analysis : Analysis.t;
   config : Config.t;
+  obs : Observe.t option;
+      (* when set, choice compilation marks alternative coverage and
+         pushes backtrack events; call instrumentation lives in the
+         per-production wrappers of [prepare_hooked] instead *)
 }
 
 let truncate_desc s =
@@ -401,6 +408,7 @@ and compile_seq ctx ~lean ?(tail = false) es =
       in
       go 0 pos)
   else
+    let general () =
     let parts =
       Array.of_list
         (List.map
@@ -442,6 +450,69 @@ and compile_seq ctx ~lean ?(tail = false) es =
             go (i + 1) p acc
       in
       go 0 pos0 []
+    in
+    if
+      tail
+      || (not ctx.config.Config.lean_values)
+      || List.exists
+           (fun (e : Expr.t) ->
+             match e.it with Expr.Splice _ -> true | _ -> false)
+           es
+    then general ()
+    else
+      (* [Value.seq] drops unlabeled unit parts and collapses a
+         singleton to the part itself (lib/peg/value.ml), so a sequence
+         with at most one value-bearing part needs no collection: the
+         value register already carries the result — provided the parts
+         after the value-bearing one leave the register alone. The VM's
+         [emit_seq] makes the same decision from the same analysis, so
+         both back ends run the same call sites in recognizer mode. *)
+      let info =
+        List.map
+          (fun e ->
+            let label, inner = peel_bind e in
+            ( label,
+              inner,
+              label <> None
+              || not (Analysis.expr_yields_unit ctx.analysis inner) ))
+          es
+      in
+      let rec after_value = function
+        | [] -> []
+        | (_, _, true) :: rest -> List.map (fun (_, i, _) -> i) rest
+        | _ :: rest -> after_value rest
+      in
+      let chain fns finish =
+        let fns = Array.of_list fns in
+        let n = Array.length fns in
+        fun st pos ->
+          let rec go i pos =
+            if i >= n then (
+              finish st;
+              pos)
+            else
+              let p = fns.(i) st pos in
+              if p < 0 then -1 else go (i + 1) p
+          in
+          go 0 pos
+      in
+      match List.filter (fun (_, _, bearing) -> bearing) info with
+      | [] ->
+          chain
+            (List.map (fun (_, inner, _) -> compile ctx ~lean:true inner) info)
+            (fun st -> st.value <- Value.Unit)
+      | [ (label, _, _) ]
+        when List.for_all Analysis.preserves_value (after_value info) ->
+          chain
+            (List.map
+               (fun (_, inner, bearing) ->
+                 compile ctx ~lean:(not bearing) inner)
+               info)
+            (match label with
+            | None -> fun _ -> ()
+            | Some l ->
+                fun st -> st.value <- Value.seq [ (Some l, st.value) ])
+      | _ -> general ()
 
 and compile_tail ctx (e : Expr.t) : fn =
   (* Compile [e] as a sequence tail: the value is always a [tail_name]
@@ -483,29 +554,71 @@ and compile_alt ctx ~lean ?(tail = false) alts =
          alts)
   in
   let n = Array.length compiled in
-  fun st pos ->
-    let saved = st.tables in
-    let rec go i =
-      if i >= n then -1
-      else
-        let fn, first, eps, desc = compiled.(i) in
-        if
-          dispatch && (not eps)
-          && (look st pos;
-              pos >= st.len
-              || not (Charset.mem (String.unsafe_get st.input pos) first))
-        then (
-          record st pos desc;
-          go (i + 1))
-        else
-          let p = fn st pos in
-          if p >= 0 then p
-          else (
-            restore_tables st saved;
-            st.stats.Stats.backtracks <- st.stats.Stats.backtracks + 1;
-            go (i + 1))
-    in
-    go 0
+  match ctx.obs with
+  | Some o
+    when (Observe.want o).Observe.coverage || (Observe.want o).Observe.events
+    ->
+      (* Instrumented twin of the closure below: marks per-alternative
+         coverage and pushes backtrack events. Arms are identified by
+         the physical [alts] node, so both compilations of a body agree
+         on ids; -1 (an alternative list outside the registered
+         grammar) makes the marks no-ops. Backtrack events fire only
+         when a later alternative remains to resume — the same points
+         where the VM pops a counting choice entry — even though the
+         [backtracks] counter keeps including last-arm failures. *)
+      let base = Provenance.arms_of (Observe.provenance o) alts in
+      let arm i = if base < 0 then -1 else base + i in
+      fun st pos ->
+        let saved = st.tables in
+        let rec go i =
+          if i >= n then -1
+          else
+            let fn, first, eps, desc = compiled.(i) in
+            if
+              dispatch && (not eps)
+              && (look st pos;
+                  pos >= st.len
+                  || not (Charset.mem (String.unsafe_get st.input pos) first))
+            then (
+              record st pos desc;
+              go (i + 1))
+            else (
+              Observe.alt_tried o (arm i);
+              let p = fn st pos in
+              if p >= 0 then (
+                Observe.alt_matched o (arm i);
+                p)
+              else (
+                restore_tables st saved;
+                st.stats.Stats.backtracks <- st.stats.Stats.backtracks + 1;
+                if i < n - 1 then Observe.backtrack o pos;
+                go (i + 1)))
+        in
+        go 0
+  | _ ->
+      fun st pos ->
+        let saved = st.tables in
+        let rec go i =
+          if i >= n then -1
+          else
+            let fn, first, eps, desc = compiled.(i) in
+            if
+              dispatch && (not eps)
+              && (look st pos;
+                  pos >= st.len
+                  || not (Charset.mem (String.unsafe_get st.input pos) first))
+            then (
+              record st pos desc;
+              go (i + 1))
+            else
+              let p = fn st pos in
+              if p >= 0 then p
+              else (
+                restore_tables st saved;
+                st.stats.Stats.backtracks <- st.stats.Stats.backtracks + 1;
+                go (i + 1))
+        in
+        go 0
 
 and compile_star ctx ~lean x =
   (* A repetition over a statically void body collects no values and
@@ -594,6 +707,11 @@ let prepare_hooked ?hook ?(config = Config.optimized) gram =
         prods;
       let slots, nslots = assign_slots config prods in
       let dummy : fn = fun _ _ -> -1 in
+      let obs =
+        if Observe.enabled config.Config.observe then
+          Some (Observe.create config.Config.observe (Provenance.of_grammar gram))
+        else None
+      in
       let parser =
         {
           cfg = config;
@@ -604,9 +722,10 @@ let prepare_hooked ?hook ?(config = Config.optimized) gram =
           slots;
           nslots;
           vm = None;
+          obs;
         }
       in
-      let ctx = { parser; analysis; config } in
+      let ctx = { parser; analysis; config; obs } in
       (* Governor hooks, always compiled in: unlimited budgets are
          [max_int] sentinels, so the ungoverned path costs one decrement
          and two compares per invocation. Fuel is charged once per
@@ -830,6 +949,34 @@ let prepare_hooked ?hook ?(config = Config.optimized) gram =
                          st.depth <- st.depth - 1;
                          p')
              in
+             (* Observation wrapper, around both the value-building and
+                the recognizer entry. A call was a memo hit exactly when
+                the inner call bumped [memo_hits] without running a body
+                — detected as a counter delta so the nine memo/entry
+                arms above stay untouched. The enter event precedes the
+                inner call's fuel charge (mirroring the VM's observed
+                call instructions), so a fuel trip leaves the doomed
+                invocation visible in the ring; its open profile frame
+                is closed by [Observe.finalize] at the run epilogue. *)
+             let wrap_obs o i (fn : fn) : fn =
+              fun st pos ->
+               Observe.enter o i pos;
+               let stats = st.stats in
+               let inv0 = stats.Stats.invocations
+               and hit0 = stats.Stats.memo_hits in
+               let p' = fn st pos in
+               if
+                 stats.Stats.memo_hits = hit0 + 1
+                 && stats.Stats.invocations = inv0 + 1
+               then Observe.memo_hit o i pos ~stop:p'
+               else Observe.exit o i pos ~stop:p';
+               p'
+             in
+             let full_fn, rec_fn =
+               match obs with
+               | None -> (full_fn, rec_fn)
+               | Some o -> (wrap_obs o i full_fn, wrap_obs o i rec_fn)
+             in
              let full_fn =
                match hook with
                | None -> full_fn
@@ -861,6 +1008,7 @@ let prepare ?(config = Config.optimized) gram =
               slots = [||];
               nslots = Vm.memo_slots vm;
               vm = Some vm;
+              obs = None;
             })
 
 let prepare_exn ?config gram =
@@ -873,6 +1021,9 @@ let config t = t.cfg
 let grammar t = t.gram
 let memo_slots t = t.nslots
 let bytecode t = t.vm
+
+let observation t =
+  match t.vm with Some vm -> Vm.observation vm | None -> t.obs
 
 (* --- running ------------------------------------------------------------ *)
 
@@ -993,7 +1144,10 @@ let run_closures t ?store ?start ~require_eof input =
                  (Diagnostic.errorf "no production named %S" name)))
   in
   let limits = t.cfg.Config.limits in
-  if String.length input > limits.Limits.max_input_bytes then
+  if String.length input > limits.Limits.max_input_bytes then (
+    (match t.obs with
+    | Some o -> Observe.trip o Limits.Input limits.Limits.max_input_bytes
+    | None -> ());
     {
       result =
         Error
@@ -1001,7 +1155,7 @@ let run_closures t ?store ?start ~require_eof input =
              ~at:limits.Limits.max_input_bytes ~consumed:0 ());
       stats = Stats.create ();
       consumed = -1;
-    }
+    })
   else
     let len = String.length input in
     (* Sync a persistent store to this input: entries only carry over
@@ -1078,6 +1232,16 @@ let run_closures t ?store ?start ~require_eof input =
     | Some s ->
         s.c_bytes <- st.memo_bytes;
         s.c_version <- st.version);
+    (* The trip event and frame cleanup happen after the run body, off
+       any budget: the ring must describe an exhausted run without
+       changing where it tripped. *)
+    (match t.obs with
+    | None -> ()
+    | Some o ->
+        (match st.tripped with
+        | Some (which, at) -> Observe.trip o which at
+        | None -> ());
+        Observe.finalize o);
     let result =
       match st.tripped with
       | Some (which, at) -> Error (Expected.exhausted st.fail_trace ~which ~at)

@@ -42,6 +42,12 @@ val bytecode : t -> Vm.t option
 (** The compiled bytecode program when this engine runs on the
     {!Config.Bytecode} back end; [None] on the closure back end. *)
 
+val observation : t -> Observe.t option
+(** The observation sink created at preparation when
+    {!Config.t.observe} enables any capability, on either back end;
+    [None] otherwise. The sink accumulates across every run of this
+    engine — coverage over a corpus is many runs into one sink. *)
+
 type outcome = {
   result : (Value.t, Parse_error.t) result;
   stats : Stats.t;

@@ -98,18 +98,55 @@ let pp_pass_table ppf rows =
   let total = List.fold_left (fun acc r -> acc +. r.pass_time) 0. rows in
   Format.fprintf ppf "  %-14s %9.3f@." "total" (total *. 1000.)
 
+(* Every counter, in declaration order, under its stable display name.
+   This is the single schema every printer (and any JSON emitter) renders
+   from: zero-valued fields are included, so consumers that key on field
+   names never see the schema shift between runs or releases. The record
+   pattern below is exhaustiveness insurance — adding a field to [t]
+   without extending it is a compile error (warning 9 is fatal here). *)
+let fields
+    {
+      invocations;
+      memo_hits;
+      memo_misses;
+      memo_stores;
+      chunks_allocated;
+      chunk_slots;
+      backtracks;
+      state_snapshots;
+      vm_instructions;
+      vm_stack_peak;
+      memo_degraded;
+      fuel_used;
+      memo_reused;
+      memo_relocated;
+    } =
+  [
+    ("invocations", invocations);
+    ("hits", memo_hits);
+    ("misses", memo_misses);
+    ("stores", memo_stores);
+    ("chunks", chunks_allocated);
+    ("slots", chunk_slots);
+    ("backtracks", backtracks);
+    ("snapshots", state_snapshots);
+    ("vm-instructions", vm_instructions);
+    ("vm-stack-peak", vm_stack_peak);
+    ("fuel-used", fuel_used);
+    ("memo-degraded", memo_degraded);
+    ("memo-reused", memo_reused);
+    ("memo-relocated", memo_relocated);
+  ]
+
 let pp ppf t =
   Format.fprintf ppf
     "@[invocations=%d hits=%d misses=%d stores=%d chunks=%d slots=%d \
      backtracks=%d snapshots=%d@]"
     t.invocations t.memo_hits t.memo_misses t.memo_stores t.chunks_allocated
     t.chunk_slots t.backtracks t.state_snapshots;
-  if t.vm_instructions > 0 then
-    Format.fprintf ppf "@ @[vm-instructions=%d vm-stack-peak=%d@]"
-      t.vm_instructions t.vm_stack_peak;
-  if t.memo_degraded > 0 || t.fuel_used > 0 then
-    Format.fprintf ppf "@ @[fuel-used=%d memo-degraded=%d@]" t.fuel_used
-      t.memo_degraded;
-  if t.memo_reused > 0 || t.memo_relocated > 0 then
-    Format.fprintf ppf "@ @[memo-reused=%d memo-relocated=%d@]" t.memo_reused
-      t.memo_relocated
+  Format.fprintf ppf "@ @[vm-instructions=%d vm-stack-peak=%d@]"
+    t.vm_instructions t.vm_stack_peak;
+  Format.fprintf ppf "@ @[fuel-used=%d memo-degraded=%d@]" t.fuel_used
+    t.memo_degraded;
+  Format.fprintf ppf "@ @[memo-reused=%d memo-relocated=%d@]" t.memo_reused
+    t.memo_relocated

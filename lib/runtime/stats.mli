@@ -41,7 +41,15 @@ val add : t -> t -> unit
 val memo_entries : t -> int
 (** Entries materialized: stores for table memo, slots for chunks. *)
 
+val fields : t -> (string * int) list
+(** Every counter under its stable display name, zero-valued fields
+    included, in declaration order — the one schema all printers render
+    from. Adding a counter to [t] without extending this list is a
+    compile error. *)
+
 val pp : Format.formatter -> t -> unit
+(** Renders every field of {!fields}, zeroes included, so the output
+    schema is stable across configurations. *)
 
 (** {1 Per-pass optimizer instrumentation}
 

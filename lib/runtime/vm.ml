@@ -64,6 +64,23 @@ type instr =
      limits — ungoverned programs pay nothing for inlined calls. *)
   | IGovern
   | ILeave
+  (* observed twins, emitted instead of the plain forms when the
+     configuration enables observation — so an unobserved program is
+     byte-identical to what it always was. Call/ret twins bracket the
+     invocation with profiler frames and ring events; [IObsEnter]/
+     [IObsLeave] bracket an inlined production body the same way (its
+     stack entry lets the failure path close the frame exactly where an
+     un-inlined call would have), charging the work to the origin
+     production; [IObsAlt] marks per-alternative coverage. *)
+  | IObsCall of int * bool  (* production id, lean *)
+  | IObsCallChunk of int * int * bool * bool  (* prod, slot, stateful, lean *)
+  | IObsCallTbl of int * int * bool * bool
+  | IObsRet
+  | IObsRetChunk of int  (* slot *)
+  | IObsRetTbl of int
+  | IObsEnter of int  (* production id of the inlined body *)
+  | IObsLeave
+  | IObsAlt of int * bool  (* global arm id; matched? (tried otherwise) *)
   (* predicate-body bracket: recording inside a body never reaches the
      farthest-failure trace (the predicate records at its entry point
      instead), matching the closure engine — see [record] there. The
@@ -102,6 +119,9 @@ type t = {
   stateful : bool array;
   shapes : shape array;
   nslots : int;
+  obs : Observe.t option;
+      (* observation sink, [Config.observe] enabled only; accumulates
+         across every run of this program *)
 }
 
 (* Sequence tails carry their parts in a node with this reserved name;
@@ -157,6 +177,10 @@ type ctx = {
          this without duplicating closures, the bytecode can *)
   mutable inline_depth : int;
   governed : bool;  (* finite limits: bracket inlined bodies *)
+  obs : Observe.t option;
+      (* when set, calls and returns emit their observed twins, inlined
+         bodies get [IObsEnter]/[IObsLeave] brackets, and (under
+         coverage) choices get per-alternative [IObsAlt] marks *)
 }
 
 let truncate_desc s =
@@ -176,27 +200,6 @@ let fused_bitmap (e : Expr.t) =
   | Expr.Cls set -> Some (bitmap_of_charset set, Charset.to_string set, true)
   | Expr.Any -> Some (Bytes.make 256 '\001', "any character", true)
   | _ -> None
-
-(* True when the lean emission of [e] provably never writes the value
-   register: such parts may follow a sequence's only value-bearing part
-   without a frame to protect the result. Calls (and the table
-   operators, which manage frames of their own) are conservatively
-   excluded — a callee body uses the register as scratch space. *)
-let rec preserves_value (e : Expr.t) =
-  match e.it with
-  | Expr.Empty | Expr.Fail _ | Expr.Any | Expr.Chr _ | Expr.Str _
-  | Expr.Cls _ ->
-      true
-  | Expr.Seq es -> List.for_all preserves_value es
-  | Expr.Alt alts ->
-      List.for_all (fun (a : Expr.alt) -> preserves_value a.body) alts
-  | Expr.Star x | Expr.Plus x | Expr.Opt x | Expr.And x | Expr.Not x
-  | Expr.Token x | Expr.Drop x
-  | Expr.Bind (_, x) ->
-      preserves_value x
-  | Expr.Ref _ | Expr.Node _ | Expr.Splice _ | Expr.Record _
-  | Expr.Member _ ->
-      false
 
 let rec emit ctx ~lean (e : Expr.t) =
   let b = ctx.buf in
@@ -273,7 +276,7 @@ let rec emit ctx ~lean (e : Expr.t) =
           let desc = "&" ^ truncate_desc (Pretty.expr_to_string x) in
           let choice = reserve b in
           emit_instr b (IQuiet true);
-          emit ctx ~lean:true x;
+          emit ctx ~lean:(lean || ctx.config.Config.lean_values) x;
           emit_instr b (IQuiet false);
           let back = reserve b in
           patch b choice (IChoice (here b, false));
@@ -291,7 +294,7 @@ let rec emit ctx ~lean (e : Expr.t) =
           (* choice L1; quiet+; <x>; quiet-; failtwice "not x"; L1: quiet- *)
           let choice = reserve b in
           emit_instr b (IQuiet true);
-          emit ctx ~lean:true x;
+          emit ctx ~lean:(lean || ctx.config.Config.lean_values) x;
           emit_instr b (IQuiet false);
           emit_instr b (IFailTwice desc);
           patch b choice (IChoice (here b, false));
@@ -304,7 +307,7 @@ let rec emit ctx ~lean (e : Expr.t) =
       if lean then emit ctx ~lean:true x
       else (
         emit_instr b IPushMark;
-        emit ctx ~lean:true x;
+        emit ctx ~lean:ctx.config.Config.lean_values x;
         emit_instr b IPopToken)
   | Expr.Node (name, x) ->
       if lean then emit ctx ~lean:true x
@@ -313,7 +316,7 @@ let rec emit ctx ~lean (e : Expr.t) =
         emit ctx ~lean:false x;
         emit_instr b (IPopNode name))
   | Expr.Drop x ->
-      emit ctx ~lean:true x;
+      emit ctx ~lean:(lean || ctx.config.Config.lean_values) x;
       if not lean then emit_instr b ISetUnit
   | Expr.Splice x ->
       if lean then emit ctx ~lean:true x
@@ -338,14 +341,21 @@ let rec emit ctx ~lean (e : Expr.t) =
 and emit_call ctx ~lean id =
   let b = ctx.buf in
   let slot = ctx.slots.(id) in
-  if slot < 0 then emit_instr b (ICall (id, lean))
+  let observed = ctx.obs <> None in
+  if slot < 0 then
+    emit_instr b (if observed then IObsCall (id, lean) else ICall (id, lean))
   else
     match ctx.config.Config.memo with
-    | Config.No_memo -> emit_instr b (ICall (id, lean))
+    | Config.No_memo ->
+        emit_instr b (if observed then IObsCall (id, lean) else ICall (id, lean))
     | Config.Chunked ->
-        emit_instr b (ICallChunk (id, slot, ctx.stateful.(id), lean))
+        emit_instr b
+          (if observed then IObsCallChunk (id, slot, ctx.stateful.(id), lean)
+           else ICallChunk (id, slot, ctx.stateful.(id), lean))
     | Config.Hashtable ->
-        emit_instr b (ICallTbl (id, slot, ctx.stateful.(id), lean))
+        emit_instr b
+          (if observed then IObsCallTbl (id, slot, ctx.stateful.(id), lean)
+           else ICallTbl (id, slot, ctx.stateful.(id), lean))
 
 (* An inlined production body: reproduce exactly what [ICall]+[IRet]
    would do to the value register, minus the call frame and the memo
@@ -355,6 +365,9 @@ and emit_inline ctx ~lean id =
   let b = ctx.buf in
   let p = ctx.prods.(id) in
   ctx.inline_depth <- ctx.inline_depth + 1;
+  (* observation brackets outside the governor brackets: the enter event
+     precedes the fuel charge, exactly like an observed call *)
+  if ctx.obs <> None then emit_instr b (IObsEnter id);
   if ctx.governed then emit_instr b IGovern;
   (if lean then emit ctx ~lean:true p.Production.expr
    else
@@ -372,6 +385,7 @@ and emit_inline ctx ~lean id =
          emit ctx ~lean:true p.Production.expr;
          emit_instr b ISetUnit);
   if ctx.governed then emit_instr b ILeave;
+  if ctx.obs <> None then emit_instr b IObsLeave;
   ctx.inline_depth <- ctx.inline_depth - 1
 
 (* The iteration of [Star]/[Plus]: choice over the body with a partial
@@ -407,6 +421,7 @@ and emit_seq ctx ~lean ~tail es =
   if lean then List.iter (emit ctx ~lean:true) es
   else if
     tail
+    || (not ctx.config.Config.lean_values)
     || List.exists
          (fun (e : Expr.t) ->
            match e.it with Expr.Splice _ -> true | _ -> false)
@@ -437,8 +452,8 @@ and emit_seq ctx ~lean ~tail es =
     | [] ->
         List.iter (fun (_, inner, _) -> emit ctx ~lean:true inner) parts;
         emit_instr b ISetUnit
-    | [ (label, _, _) ] when List.for_all preserves_value (after_value parts)
-      ->
+    | [ (label, _, _) ]
+      when List.for_all Analysis.preserves_value (after_value parts) ->
         List.iter
           (fun (_, inner, bearing) -> emit ctx ~lean:(not bearing) inner)
           parts;
@@ -468,6 +483,18 @@ and emit_alt ctx ~lean ~tail alts =
   in
   let dispatch = ctx.config.Config.dispatch in
   let n = List.length alts in
+  (* Per-alternative coverage marks, identified by the physical [alts]
+     node so every compilation of this choice agrees on ids; -1 (a node
+     outside the registered grammar) suppresses the marks. The tried
+     mark sits at the alternative's entry — past its dispatch test, so
+     a skipped alternative is never marked. *)
+  let obs_arm =
+    match ctx.obs with
+    | Some o when (Observe.want o).Observe.coverage ->
+        let base = Provenance.arms_of (Observe.provenance o) alts in
+        if base < 0 then None else Some base
+    | _ -> None
+  in
   let table = if dispatch && n > 1 then Some (reserve b) else None in
   (* per-alternative dispatch info: entry past the test, FIRST set,
      nullability — collected to build the one-lookup table *)
@@ -492,8 +519,14 @@ and emit_alt ctx ~lean ~tail alts =
             else None
           in
           entries_info := (here b, first, eps) :: !entries_info;
+          (match obs_arm with
+          | Some base -> emit_instr b (IObsAlt (base + i, false))
+          | None -> ());
           let choice = if last then -1 else reserve b in
           emit_branch a.body;
+          (match obs_arm with
+          | Some base -> emit_instr b (IObsAlt (base + i, true))
+          | None -> ());
           if not last then (
             commits := reserve b :: !commits;
             (* a failed alternative resumes at the next one *)
@@ -596,10 +629,16 @@ let prepare ?(config = Config.vm) gram =
           prods
       in
       let buf = buf_create () in
+      let obs =
+        if Observe.enabled config.Config.observe then
+          Some
+            (Observe.create config.Config.observe (Provenance.of_grammar gram))
+        else None
+      in
       let ctx =
         { buf; analysis; config; prod_ids = ids; prods; slots; stateful;
           inlinable; inline_depth = 0;
-          governed = not (Limits.is_unlimited config.Config.limits) }
+          governed = not (Limits.is_unlimited config.Config.limits); obs }
       in
       let stubs = Array.make nprods 0 in
       let entries = Array.make nprods 0 in
@@ -619,13 +658,18 @@ let prepare ?(config = Config.vm) gram =
                  || p.attrs.Attr.kind = Attr.Void)
             in
             emit ctx ~lean:lean_body p.expr;
+            let observed = obs <> None in
             emit_instr buf
-              (if slots.(i) < 0 then IRet
+              (if slots.(i) < 0 then if observed then IObsRet else IRet
                else
                  match config.Config.memo with
-                 | Config.No_memo -> IRet
-                 | Config.Chunked -> IRetChunk slots.(i)
-                 | Config.Hashtable -> IRetTbl slots.(i)))
+                 | Config.No_memo -> if observed then IObsRet else IRet
+                 | Config.Chunked ->
+                     if observed then IObsRetChunk slots.(i)
+                     else IRetChunk slots.(i)
+                 | Config.Hashtable ->
+                     if observed then IObsRetTbl slots.(i)
+                     else IRetTbl slots.(i)))
           prods;
         Ok
           {
@@ -648,6 +692,7 @@ let prepare ?(config = Config.vm) gram =
                   | Attr.Void -> Shape_void)
                 prods;
             nslots;
+            obs;
           }
       with Diagnostic.Fail d -> Error [ d ])
 
@@ -661,6 +706,7 @@ let config t = t.cfg
 let grammar t = t.gram
 let memo_slots t = t.nslots
 let instruction_count (t : t) = Array.length t.code
+let observation (t : t) = t.obs
 
 (* --- run-time state ------------------------------------------------------ *)
 
@@ -684,6 +730,15 @@ let tag_bt = 0
 let tag_bt_alt = 1 (* like tag_bt, but a pop-on-failure counts as a backtrack *)
 let tag_ret = 2
 let tag_ret_lean = 3 (* return entry of a lean call: no value write *)
+
+(* Observed twins of the return tags, pushed by the [IObs*] call
+   instructions so the failure path knows to close the profiler frame
+   and push the exit event; and the marker entry of an observed inlined
+   body, which exists only to be unwound — [IObsLeave] pops it on
+   success, [fail] closes its frame on the way past. *)
+let tag_ret_obs = 4
+let tag_ret_lean_obs = 5
+let tag_obs_inline = 6
 
 type st = {
   input : string;
@@ -828,6 +883,24 @@ let push_ret st ~tag ~ret ~prod =
   if st.sp > st.stats.Stats.vm_stack_peak then
     st.stats.Stats.vm_stack_peak <- st.sp
 
+(* The marker entry of an observed inlined body: carries only the
+   production id and entry position the exit event needs. It restores
+   nothing — the governor brackets and the enclosing backtrack entry
+   own that — so the unused slots are cleared, not snapshotted. *)
+let push_obs st prod =
+  ensure_stack st;
+  let sp = st.sp in
+  Array.unsafe_set st.s_tag sp tag_obs_inline;
+  Array.unsafe_set st.s_addr sp 0;
+  Array.unsafe_set st.s_pos sp st.pos;
+  Array.unsafe_set st.s_aux0 sp 0;
+  Array.unsafe_set st.s_aux1 sp prod;
+  Array.unsafe_set st.s_depth sp 0;
+  Array.unsafe_set st.s_tables sp SMap.empty;
+  st.sp <- sp + 1;
+  if st.sp > st.stats.Stats.vm_stack_peak then
+    st.stats.Stats.vm_stack_peak <- st.sp
+
 let push_frame st =
   ensure_frames st;
   let fp = st.fp in
@@ -879,6 +952,12 @@ let exec (t : t) (st : st) start_ip =
     | _ -> st.value <- shaped_value prod pos0
   in
   let trace = st.trace in
+  (* The observation sink; [Observe.null] only stands in for the
+     typechecker — the [IObs*] instructions that reach for it are never
+     emitted without a real sink, and the unobserved hot path never
+     touches it. *)
+  let observed = t.obs <> None in
+  let o = match t.obs with Some o -> o | None -> Observe.null in
   let record pos desc =
     if trace && st.quiet = 0 then Expected.record st.fail_trace pos desc
   in
@@ -953,25 +1032,37 @@ let exec (t : t) (st : st) start_ip =
       st.sp <- st.sp - 1;
       let sp = st.sp in
       let tag = Array.unsafe_get st.s_tag sp in
-      if tag >= tag_ret then (
+      if tag = tag_obs_inline then (
+        (* an observed inlined body is failing: close its frame exactly
+           where the un-inlined call's return entry would have *)
+        Observe.exit o
+          (Array.unsafe_get st.s_aux1 sp)
+          (Array.unsafe_get st.s_pos sp)
+          ~stop:(-1);
+        fail ())
+      else if tag >= tag_ret then (
         (* lean calls never store — the closure engine's recognizers
            don't either, and the memo tables must evolve identically
            for the budgets to trip at the same point *)
         let pos0 = Array.unsafe_get st.s_pos sp in
-        if tag = tag_ret then
+        if tag = tag_ret || tag = tag_ret_obs then
           store_failure
             (Array.unsafe_get st.s_aux1 sp)
             pos0
             (Array.unsafe_get st.s_aux0 sp)
             (st.examined - pos0 + 1);
         look (Array.unsafe_get st.s_depth sp);
+        if tag >= tag_ret_obs then
+          Observe.exit o (Array.unsafe_get st.s_aux1 sp) pos0 ~stop:(-1);
         fail ())
       else (
         let snapshot = Array.unsafe_get st.s_tables sp in
         Array.unsafe_set st.s_tables sp SMap.empty
         (* drop the retained reference *);
-        if tag = tag_bt_alt then
+        if tag = tag_bt_alt then (
           stats.Stats.backtracks <- stats.Stats.backtracks + 1;
+          if observed then
+            Observe.backtrack o (Array.unsafe_get st.s_pos sp));
         st.pos <- Array.unsafe_get st.s_pos sp;
         st.depth <- Array.unsafe_get st.s_depth sp;
         restore_tables st snapshot;
@@ -1237,6 +1328,158 @@ let exec (t : t) (st : st) start_ip =
            st.value <- v));
         look (Array.unsafe_get st.s_depth sp);
         dispatch (Array.unsafe_get st.s_addr sp)
+    (* Observed twins. Each mirrors its plain form exactly — the same
+       counter bumps, fuel charges, memo traffic and value writes, in
+       the same order — with the profiler frame opened before the fuel
+       charge (so a trip leaves the doomed invocation in the ring) and
+       the exit or memo-hit event pushed where the plain form returns.
+       The closure engine's per-production wrappers bracket at the same
+       points, which is what makes event streams comparable. *)
+    | IObsCall (prod, lean) ->
+        Observe.enter o prod st.pos;
+        stats.Stats.invocations <- stats.Stats.invocations + 1;
+        charge_fuel ();
+        push_ret st
+          ~tag:(if lean then tag_ret_lean_obs else tag_ret_obs)
+          ~ret:(ip + 1) ~prod;
+        dispatch (Array.unsafe_get entries prod)
+    | IObsCallChunk (prod, slot, stateful, lean) ->
+        let pos0 = st.pos in
+        Observe.enter o prod pos0;
+        stats.Stats.invocations <- stats.Stats.invocations + 1;
+        charge_fuel ();
+        let chunk_opt = if lean then st.chunks.(pos0) else chunk_at pos0 in
+        let hit =
+          match chunk_opt with
+          | Some chunk ->
+              let r = Array.unsafe_get chunk.res slot in
+              if
+                r <> 0
+                && ((not stateful)
+                   || Array.unsafe_get chunk.vers slot = st.version)
+              then r
+              else 0
+          | None -> 0
+        in
+        if hit <> 0 then (
+          stats.Stats.memo_hits <- stats.Stats.memo_hits + 1;
+          (match chunk_opt with
+          | Some chunk -> look (pos0 + Array.unsafe_get chunk.exts slot - 1)
+          | None -> ());
+          if hit > 0 then (
+            (match chunk_opt with
+            | Some chunk ->
+                if not lean then st.value <- Array.unsafe_get chunk.vals slot
+            | None -> ());
+            st.pos <- pos0 + hit - 1;
+            Observe.memo_hit o prod pos0 ~stop:st.pos;
+            dispatch (ip + 1))
+          else (
+            Observe.memo_hit o prod pos0 ~stop:(-1);
+            fail ()))
+        else (
+          stats.Stats.memo_misses <- stats.Stats.memo_misses + 1;
+          push_ret st
+            ~tag:(if lean then tag_ret_lean_obs else tag_ret_obs)
+            ~ret:(ip + 1) ~prod;
+          dispatch (Array.unsafe_get entries prod))
+    | IObsCallTbl (prod, slot, stateful, lean) -> (
+        let pos0 = st.pos in
+        Observe.enter o prod pos0;
+        stats.Stats.invocations <- stats.Stats.invocations + 1;
+        charge_fuel ();
+        let key = (pos0 * nslots) + slot in
+        match Hashtbl.find_opt st.table_memo key with
+        | Some (r, v, ver, ext) when (not stateful) || ver = st.version ->
+            stats.Stats.memo_hits <- stats.Stats.memo_hits + 1;
+            look (pos0 + ext - 1);
+            if r >= 0 then (
+              if not lean then st.value <- v;
+              st.pos <- pos0 + r;
+              Observe.memo_hit o prod pos0 ~stop:st.pos;
+              dispatch (ip + 1))
+            else (
+              Observe.memo_hit o prod pos0 ~stop:(-1);
+              fail ())
+        | _ ->
+            stats.Stats.memo_misses <- stats.Stats.memo_misses + 1;
+            push_ret st
+              ~tag:(if lean then tag_ret_lean_obs else tag_ret_obs)
+              ~ret:(ip + 1) ~prod;
+            dispatch (Array.unsafe_get entries prod))
+    | IObsRet ->
+        st.sp <- st.sp - 1;
+        st.depth <- st.depth - 1;
+        let sp = st.sp in
+        let prod = Array.unsafe_get st.s_aux1 sp in
+        let pos0 = Array.unsafe_get st.s_pos sp in
+        if Array.unsafe_get st.s_tag sp = tag_ret_obs then
+          apply_shape prod pos0;
+        look (Array.unsafe_get st.s_depth sp);
+        Observe.exit o prod pos0 ~stop:st.pos;
+        dispatch (Array.unsafe_get st.s_addr sp)
+    | IObsRetChunk slot ->
+        st.sp <- st.sp - 1;
+        st.depth <- st.depth - 1;
+        let sp = st.sp in
+        let prod = Array.unsafe_get st.s_aux1 sp in
+        let pos0 = Array.unsafe_get st.s_pos sp in
+        (if Array.unsafe_get st.s_tag sp = tag_ret_obs then (
+           let v = shaped_value prod pos0 in
+           (match Array.unsafe_get st.chunks pos0 with
+           | Some chunk ->
+               Array.unsafe_set chunk.res slot (st.pos - pos0 + 1);
+               Array.unsafe_set chunk.vals slot v;
+               Array.unsafe_set chunk.vers slot
+                 (Array.unsafe_get st.s_aux0 sp);
+               let ext = st.examined - pos0 + 1 in
+               Array.unsafe_set chunk.exts slot ext;
+               if ext > chunk.cmax then chunk.cmax <- ext;
+               stats.Stats.memo_stores <- stats.Stats.memo_stores + 1
+           | None ->
+               stats.Stats.memo_degraded <- stats.Stats.memo_degraded + 1);
+           st.value <- v));
+        look (Array.unsafe_get st.s_depth sp);
+        Observe.exit o prod pos0 ~stop:st.pos;
+        dispatch (Array.unsafe_get st.s_addr sp)
+    | IObsRetTbl slot ->
+        st.sp <- st.sp - 1;
+        st.depth <- st.depth - 1;
+        let sp = st.sp in
+        let prod = Array.unsafe_get st.s_aux1 sp in
+        let pos0 = Array.unsafe_get st.s_pos sp in
+        (if Array.unsafe_get st.s_tag sp = tag_ret_obs then (
+           let v = shaped_value prod pos0 in
+           (if st.memo_bytes + Limits.table_entry_cost > st.memo_limit then
+              stats.Stats.memo_degraded <- stats.Stats.memo_degraded + 1
+            else (
+              st.memo_bytes <- st.memo_bytes + Limits.table_entry_cost;
+              Hashtbl.replace st.table_memo
+                ((pos0 * nslots) + slot)
+                ( st.pos - pos0,
+                  v,
+                  Array.unsafe_get st.s_aux0 sp,
+                  st.examined - pos0 + 1 );
+              stats.Stats.memo_stores <- stats.Stats.memo_stores + 1));
+           st.value <- v));
+        look (Array.unsafe_get st.s_depth sp);
+        Observe.exit o prod pos0 ~stop:st.pos;
+        dispatch (Array.unsafe_get st.s_addr sp)
+    | IObsEnter prod ->
+        Observe.enter o prod st.pos;
+        push_obs st prod;
+        dispatch (ip + 1)
+    | IObsLeave ->
+        st.sp <- st.sp - 1;
+        let sp = st.sp in
+        Observe.exit o
+          (Array.unsafe_get st.s_aux1 sp)
+          (Array.unsafe_get st.s_pos sp)
+          ~stop:st.pos;
+        dispatch (ip + 1)
+    | IObsAlt (arm, matched) ->
+        if matched then Observe.alt_matched o arm else Observe.alt_tried o arm;
+        dispatch (ip + 1)
     | IOptSet (bm, desc, mode) ->
         look st.pos;
         if st.pos < len && bitmap_mem bm (String.unsafe_get inp st.pos) then (
@@ -1544,10 +1787,27 @@ let resolve_start t start =
           raise
             (Diagnostic.Fail (Diagnostic.errorf "no production named %S" name)))
 
+(* Run epilogue for an observed program: the govern-trip event (pushed
+   here rather than at the raise so [st.tripped]'s clamped position is
+   what the ring reports) and profiler-frame cleanup. Off every budget
+   by construction — the ring is preallocated. *)
+let observe_epilogue (t : t) (st : st) =
+  match t.obs with
+  | None -> ()
+  | Some o ->
+      (match st.tripped with
+      | Some (which, at) -> Observe.trip o which at
+      | None -> ());
+      Observe.finalize o
+
 let run t ?start ?(require_eof = true) input =
   let start_id = resolve_start t start in
   let limits = t.cfg.Config.limits in
-  if String.length input > limits.Limits.max_input_bytes then
+  let observing = t.obs <> None in
+  if String.length input > limits.Limits.max_input_bytes then (
+    (match t.obs with
+    | Some o -> Observe.trip o Limits.Input limits.Limits.max_input_bytes
+    | None -> ());
     {
       result =
         Error
@@ -1555,7 +1815,7 @@ let run t ?start ?(require_eof = true) input =
              ~at:limits.Limits.max_input_bytes ~consumed:0 ());
       stats = Stats.create ();
       consumed = -1;
-    }
+    })
   else
     (* Resource trips abort the whole run: backtracking into an
        alternative would keep spending budget already known to be
@@ -1576,16 +1836,19 @@ let run t ?start ?(require_eof = true) input =
     (* Speculative first pass with no expected-set recording; replay with
        recording on only when the outcome needs a trace to report. Trips
        are deterministic, so a tripped run re-trips identically on the
-       replay pass (which starts from a fresh budget). *)
-    let st = make_st t ~trace:false input in
+       replay pass (which starts from a fresh budget). An observed run
+       instead records in a single pass — a replay would push every
+       event twice into the ring and double the profile. *)
+    let st = make_st t ~trace:observing input in
     let p = exec_guarded st in
     let st, p =
-      if p < 0 || (require_eof && p < st.len) then (
+      if (not observing) && (p < 0 || (require_eof && p < st.len)) then (
         let st = make_st t ~trace:true input in
         let p = exec_guarded st in
         (st, p))
       else (st, p)
     in
+    observe_epilogue t st;
     (* clamp: a fuel trip leaves st.fuel at -1; report the budget, not
        budget + 1 *)
     st.stats.Stats.fuel_used <- limits.Limits.fuel - max st.fuel 0;
@@ -1606,7 +1869,10 @@ let run t ?start ?(require_eof = true) input =
 let run_store t (s : store) ?start ?(require_eof = true) input =
   let start_id = resolve_start t start in
   let limits = t.cfg.Config.limits in
-  if String.length input > limits.Limits.max_input_bytes then
+  if String.length input > limits.Limits.max_input_bytes then (
+    (match t.obs with
+    | Some o -> Observe.trip o Limits.Input limits.Limits.max_input_bytes
+    | None -> ());
     {
       result =
         Error
@@ -1614,9 +1880,9 @@ let run_store t (s : store) ?start ?(require_eof = true) input =
              ~at:limits.Limits.max_input_bytes ~consumed:0 ());
       stats = Stats.create ();
       consumed = -1;
-    }
+    })
   else (
-    let st = make_st t ~trace:false ~store:s input in
+    let st = make_st t ~trace:(t.obs <> None) ~store:s input in
     let p =
       try exec t st t.stubs.(start_id) with
       | Exhausted -> -1
@@ -1629,6 +1895,7 @@ let run_store t (s : store) ?start ?(require_eof = true) input =
             Some (Limits.Memory, max (Expected.farthest st.fail_trace) 0);
           -1
     in
+    observe_epilogue t st;
     st.stats.Stats.fuel_used <- limits.Limits.fuel - max st.fuel 0;
     s.v_bytes <- st.memo_bytes;
     s.v_version <- st.version;
@@ -1707,6 +1974,16 @@ let disassemble t =
         | IRet -> "ret"
         | IRetChunk slot | IRetTbl slot ->
             Printf.sprintf "ret [slot %d]" slot
+        | IObsCall (p, _) -> Printf.sprintf "obs-call %s" t.names.(p)
+        | IObsCallChunk (p, slot, _, _) | IObsCallTbl (p, slot, _, _) ->
+            Printf.sprintf "obs-call %s [slot %d]" t.names.(p) slot
+        | IObsRet -> "obs-ret"
+        | IObsRetChunk slot | IObsRetTbl slot ->
+            Printf.sprintf "obs-ret [slot %d]" slot
+        | IObsEnter p -> Printf.sprintf "obs-enter %s" t.names.(p)
+        | IObsLeave -> "obs-leave"
+        | IObsAlt (a, m) ->
+            Printf.sprintf "obs-alt %d %s" a (if m then "matched" else "tried")
         | IOptSet (_, desc, _) -> Printf.sprintf "opt %s" desc
         | IHalt -> "halt"
         | IGovern -> "govern"

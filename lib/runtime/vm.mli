@@ -45,6 +45,16 @@ val memo_slots : t -> int
 val instruction_count : t -> int
 (** Length of the compiled instruction array. *)
 
+val observation : t -> Observe.t option
+(** The observation sink created at preparation when
+    {!Config.t.observe} enables any capability; [None] otherwise. When
+    set, the program was compiled with observed call/return instruction
+    variants (visible in {!disassemble} as [obs-*]) and {!run} records
+    in a single pass instead of the speculative-pass-plus-replay scheme,
+    so ring events are not doubled. An unobserved program contains no
+    [obs-*] instructions at all — the hot path is byte-identical to
+    what an observation-free build would produce. *)
+
 type outcome = {
   result : (Value.t, Parse_error.t) result;
   stats : Stats.t;

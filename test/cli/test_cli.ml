@@ -234,6 +234,74 @@ let tests =
         check Alcotest.int "unparsable line" 2 code;
         check Alcotest.bool "message" true (contains out "bad edit");
         check Alcotest.int "out-of-bounds edit" 2 code');
+    test "profile prints a table and writes a speedscope flamegraph"
+      (fun () ->
+        let expr = write_temp "1 + 2 * 3" in
+        let flame = Filename.temp_file "rml_cli" ".json" in
+        let code, out =
+          run
+            (Printf.sprintf "profile -b calc -i %s --top 5 --flame %s" expr
+               flame)
+        in
+        let json = In_channel.with_open_bin flame In_channel.input_all in
+        Sys.remove expr;
+        Sys.remove flame;
+        check Alcotest.int "exit" 0 code;
+        check Alcotest.bool "header" true (contains out "production");
+        check Alcotest.bool "rows" true (contains out "Number");
+        check Alcotest.bool "wrote" true (contains out "rml: wrote");
+        check Alcotest.bool "speedscope schema" true
+          (contains json "speedscope.app/file-format-schema.json");
+        check Alcotest.bool "frames" true (contains json "\"frames\""));
+    test "profile on a failing parse still reports, exit 3" (fun () ->
+        let expr = write_temp "1+" in
+        let code, out = run (Printf.sprintf "profile -b calc -i %s" expr) in
+        Sys.remove expr;
+        check Alcotest.int "exit" 3 code;
+        check Alcotest.bool "error located" true (String.contains out '^');
+        check Alcotest.bool "table anyway" true (contains out "production"));
+    test "trace renders ring events with positions" (fun () ->
+        let expr = write_temp "1 + 2 * 3" in
+        let code, out =
+          run (Printf.sprintf "trace -b calc -i %s --last 6" expr)
+        in
+        Sys.remove expr;
+        check Alcotest.int "exit" 0 code;
+        check Alcotest.bool "bounded" true (contains out "earlier events");
+        check Alcotest.bool "exit-ok" true (contains out "exit-ok");
+        check Alcotest.bool "line:col" true (contains out "(1:1)"));
+    test "coverage reports unexercised alternatives, --strict exits 1"
+      (fun () ->
+        let expr = write_temp "1 + 2 * 3" in
+        let code, out = run (Printf.sprintf "coverage -b calc -i %s" expr) in
+        let code', _ =
+          run (Printf.sprintf "coverage -b calc -i %s --strict" expr)
+        in
+        Sys.remove expr;
+        check Alcotest.int "exit" 0 code;
+        check Alcotest.bool "summary" true
+          (contains out "productions exercised: 9/9");
+        check Alcotest.bool "dead arm flagged" true
+          (contains out "unexercised alternative");
+        check Alcotest.bool "defining module" true
+          (contains out "[module calc.");
+        check Alcotest.int "strict" 1 code');
+    test "parse --profile and --trace-ring ride along" (fun () ->
+        let expr = write_temp "1+2" in
+        let bad = write_temp "1+" in
+        let code, out =
+          run (Printf.sprintf "parse -b calc -i %s -q --profile" expr)
+        in
+        let code', out' =
+          run (Printf.sprintf "parse -b calc -i %s -q --trace-ring 8" bad)
+        in
+        Sys.remove expr;
+        Sys.remove bad;
+        check Alcotest.int "exit" 0 code;
+        check Alcotest.bool "table" true (contains out "production");
+        check Alcotest.int "failing exit" 3 code';
+        check Alcotest.bool "ring dumped on failure" true
+          (contains out' "exit-fail"));
   ]
 
 let () = Alcotest.run "cli" [ ("rml", tests) ]

@@ -659,6 +659,78 @@ let charset_props =
         = Charset.cardinal a + Charset.cardinal b);
   ]
 
+(* --- observability ---------------------------------------------------------- *)
+
+(* Governed configurations only: without a fuel budget the VM emits no
+   govern brackets for inlined productions and counts fewer invocations
+   than the closure engine, so the cross-backend accounting below only
+   holds when both engines run governed (see DESIGN.md). The budget is
+   far above what any generated case needs, so nothing trips. *)
+let observed base =
+  Config.with_limits
+    (Limits.v ~fuel:200_000 ())
+    (Config.with_observe (Observe.all ~ring_bytes:(1 lsl 20) ()) base)
+
+let observe_props =
+  [
+    QCheck.Test.make
+      ~name:"profiler invocation sum equals Stats.invocations" ~count:200
+      arb_case
+      (fun (g, inputs) ->
+        List.for_all
+          (fun base ->
+            match Engine.prepare ~config:(observed base) g with
+            | Error _ -> true
+            | Ok eng -> (
+                let total =
+                  List.fold_left
+                    (fun acc input ->
+                      acc
+                      + (Engine.run eng input).Engine.stats.Stats.invocations)
+                    0 inputs
+                in
+                match Engine.observation eng with
+                | None -> false
+                | Some o -> (
+                    match Observe.profile o with
+                    | None -> false
+                    | Some p -> Profile.invocation_sum p = total)))
+          [ Config.optimized; Config.vm ]);
+    QCheck.Test.make
+      ~name:"closure and vm emit identical events and coverage" ~count:150
+      arb_case
+      (fun (g, inputs) ->
+        List.for_all
+          (fun base ->
+            let cl =
+              Engine.prepare
+                ~config:(observed (Config.with_backend Config.Closure base))
+                g
+            in
+            let vm =
+              Engine.prepare
+                ~config:(observed (Config.with_backend Config.Bytecode base))
+                g
+            in
+            match (cl, vm) with
+            | Ok cl, Ok vm -> (
+                List.iter
+                  (fun input ->
+                    ignore (Engine.run cl input);
+                    ignore (Engine.run vm input))
+                  inputs;
+                match (Engine.observation cl, Engine.observation vm) with
+                | Some oc, Some ov ->
+                    Observe.events oc = Observe.events ov
+                    && Observe.coverage_summary oc
+                       = Observe.coverage_summary ov
+                    && Observe.unexercised oc = Observe.unexercised ov
+                | _ -> false)
+            | Error _, Error _ -> true
+            | _ -> false)
+          [ Config.optimized; Config.packrat ]);
+  ]
+
 let () =
   let to_alco = List.map QCheck_alcotest.to_alcotest in
   Alcotest.run "props"
@@ -672,5 +744,6 @@ let () =
       ("fuzz", to_alco fuzz_props);
       ("engine-fuzz", to_alco engine_fuzz_props);
       ("governor", to_alco governor_props);
+      ("observability", to_alco observe_props);
       ("charset", to_alco charset_props);
     ]
