@@ -1,0 +1,351 @@
+(* Median-regression gate over two bench JSON files.
+
+   Usage:
+     check_regression BASELINE.json CURRENT.json
+       [--time-threshold PCT] [--alloc-threshold PCT]
+
+   Compares the E2 and E5 records of CURRENT against BASELINE (normally
+   the committed BENCH_pr6.json trajectory point) and exits nonzero if
+   any tracked metric regressed past its threshold. Improvements never
+   fail. The methodology follows E8: each bench row is already the
+   median of interleaved timed runs, and raw wall-clock medians are not
+   compared across machines — E2 times are normalized by the same
+   series' hand-written baseline row and E5 warm times by the same
+   row's cold parse, so only a relative slowdown of the code under test
+   trips the gate.
+
+   Allocation columns are bytes per parse and machine-independent, so
+   they get the tight default threshold — except the deep-recursion
+   closure rows (naive/packrat interpreters), where OCaml 5's
+   fiber-stack segment allocation adds megabyte-level run-to-run noise;
+   those rows are exempt. A small absolute slack keeps kilobyte-sized
+   rows from tripping on jitter. *)
+
+(* --- minimal JSON reader (flat records of strings and numbers) --------- *)
+
+type json =
+  | Str of string
+  | Num of float
+  | Bool of bool
+  | Null
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Bad of string
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let fail msg = raise (Bad (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    if peek () = Some c then advance ()
+    else fail (Printf.sprintf "expected %c" c)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some 'n' ->
+              Buffer.add_char buf '\n';
+              advance ();
+              go ()
+          | Some 't' ->
+              Buffer.add_char buf '\t';
+              advance ();
+              go ()
+          | Some 'u' ->
+              advance ();
+              if !pos + 4 > n then fail "bad \\u escape";
+              let code = int_of_string ("0x" ^ String.sub s !pos 4) in
+              pos := !pos + 4;
+              if code < 128 then Buffer.add_char buf (Char.chr code)
+              else Buffer.add_char buf '?';
+              go ()
+          | Some c ->
+              Buffer.add_char buf c;
+              advance ();
+              go ()
+          | None -> fail "unterminated escape")
+      | Some c ->
+          Buffer.add_char buf c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c -> num_char c | None -> false) do
+      advance ()
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "bad number"
+  in
+  let literal word v =
+    if !pos + String.length word <= n && String.sub s !pos (String.length word) = word
+    then (
+      pos := !pos + String.length word;
+      v)
+    else fail ("expected " ^ word)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '"' -> Str (parse_string ())
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then (
+          advance ();
+          Obj [])
+        else
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                members ((k, v) :: acc)
+            | Some '}' ->
+                advance ();
+                Obj (List.rev ((k, v) :: acc))
+            | _ -> fail "expected , or }"
+          in
+          members []
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then (
+          advance ();
+          Arr [])
+        else
+          let rec items acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                items (v :: acc)
+            | Some ']' ->
+                advance ();
+                Arr (List.rev (v :: acc))
+            | _ -> fail "expected , or ]"
+          in
+          items []
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> Num (parse_number ())
+    | None -> fail "unexpected end of input"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+(* --- record access ------------------------------------------------------ *)
+
+let load path =
+  let text = In_channel.with_open_bin path In_channel.input_all in
+  match parse_json text with
+  | Arr rows ->
+      List.filter_map (function Obj fields -> Some fields | _ -> None) rows
+  | _ ->
+      Printf.eprintf "%s: expected a JSON array of records\n" path;
+      exit 2
+  | exception Bad msg ->
+      Printf.eprintf "%s: %s\n" path msg;
+      exit 2
+
+let str fields k =
+  match List.assoc_opt k fields with Some (Str s) -> Some s | _ -> None
+
+let num fields k =
+  match List.assoc_opt k fields with Some (Num f) -> Some f | _ -> None
+
+let experiment fields = Option.value ~default:"" (str fields "experiment")
+
+(* --- the gate ----------------------------------------------------------- *)
+
+let failures = ref 0
+let checks = ref 0
+
+let report ~label ~metric ~base ~cur ~threshold ~slack_ok =
+  incr checks;
+  let pct = (cur -. base) /. base *. 100.0 in
+  if base > 0.0 && pct > threshold && not slack_ok then (
+    incr failures;
+    Printf.printf "FAIL %-46s %-18s %12.3f -> %12.3f  (%+.1f%% > %.0f%%)\n"
+      label metric base cur pct threshold)
+
+let () =
+  let time_threshold = ref 10.0 in
+  let alloc_threshold = ref 10.0 in
+  let args = ref [] in
+  let rec parse_args = function
+    | "--time-threshold" :: v :: rest ->
+        time_threshold := float_of_string v;
+        parse_args rest
+    | "--alloc-threshold" :: v :: rest ->
+        alloc_threshold := float_of_string v;
+        parse_args rest
+    | a :: rest ->
+        args := a :: !args;
+        parse_args rest
+    | [] -> ()
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  let baseline_path, current_path =
+    match List.rev !args with
+    | [ b; c ] -> (b, c)
+    | _ ->
+        prerr_endline
+          "usage: check_regression BASELINE.json CURRENT.json \
+           [--time-threshold PCT] [--alloc-threshold PCT]";
+        exit 2
+  in
+  let baseline = load baseline_path and current = load current_path in
+
+  (* E2: match by (series, parser). *)
+  let e2_key fields =
+    match (str fields "series", str fields "parser") with
+    | Some s, Some p when experiment fields = "e2" -> Some (s, p)
+    | _ -> None
+  in
+  let e2_rows rows = List.filter_map (fun f -> Option.map (fun k -> (k, f)) (e2_key f)) rows in
+  let base_e2 = e2_rows baseline and cur_e2 = e2_rows current in
+  let handwritten rows series =
+    List.assoc_opt (series, "hand-written") rows
+  in
+  (* Deterministic-allocation rows; the deep-recursion closure rows are
+     exempt (fiber-stack segment noise). *)
+  let alloc_tracked = function
+    | "optimized interpreter" | "bytecode interpreter" | "generated parser"
+    | "hand-written" ->
+        true
+    | _ -> false
+  in
+  List.iter
+    (fun ((series, parser), bf) ->
+      match List.assoc_opt (series, parser) cur_e2 with
+      | None ->
+          incr checks;
+          incr failures;
+          Printf.printf "FAIL e2 %s/%s: row missing from %s\n" series parser
+            current_path
+      | Some cf -> (
+          let label = Printf.sprintf "e2 %s/%s" series parser in
+          incr checks;
+          (match (num bf "bytes", num cf "bytes") with
+          | Some a, Some b when a <> b ->
+              incr failures;
+              Printf.printf "FAIL %s: corpus changed (%d -> %d bytes)\n" label
+                (int_of_float a) (int_of_float b)
+          | _ -> ());
+          (match
+             ( num bf "median_ms",
+               num cf "median_ms",
+               handwritten base_e2 series,
+               handwritten cur_e2 series )
+           with
+          | Some bm, Some cm, Some bh, Some ch
+            when parser <> "hand-written" -> (
+              match (num bh "median_ms", num ch "median_ms") with
+              | Some bhm, Some chm when bhm > 0.0 && chm > 0.0 ->
+                  report ~label ~metric:"median_ms (norm)" ~base:(bm /. bhm)
+                    ~cur:(cm /. chm) ~threshold:!time_threshold ~slack_ok:false
+              | _ ->
+                  report ~label ~metric:"median_ms" ~base:bm ~cur:cm
+                    ~threshold:!time_threshold ~slack_ok:false)
+          | Some bm, Some cm, _, _ when parser <> "hand-written" ->
+              report ~label ~metric:"median_ms" ~base:bm ~cur:cm
+                ~threshold:!time_threshold ~slack_ok:false
+          | _ -> ());
+          match (num bf "allocated_bytes_per_parse", num cf "allocated_bytes_per_parse") with
+          | Some ba, Some ca when alloc_tracked parser ->
+              report ~label ~metric:"alloc_bytes" ~base:ba ~cur:ca
+                ~threshold:!alloc_threshold
+                ~slack_ok:(ca -. ba < 8192.0)
+          | _ -> ()))
+    base_e2;
+
+  (* E5: match by (grammar, backend); warm medians are normalized by the
+     same row's cold median so machine speed cancels. *)
+  let e5_key fields =
+    match (str fields "grammar", str fields "backend") with
+    | Some g, Some b when experiment fields = "e5" -> Some (g, b)
+    | _ -> None
+  in
+  let e5_rows rows = List.filter_map (fun f -> Option.map (fun k -> (k, f)) (e5_key f)) rows in
+  let base_e5 = e5_rows baseline and cur_e5 = e5_rows current in
+  List.iter
+    (fun ((grammar, backend), bf) ->
+      match List.assoc_opt (grammar, backend) cur_e5 with
+      | None ->
+          incr checks;
+          incr failures;
+          Printf.printf "FAIL e5 %s/%s: row missing from %s\n" grammar backend
+            current_path
+      | Some cf -> (
+          let label = Printf.sprintf "e5 %s/%s" grammar backend in
+          incr checks;
+          (match (num bf "bytes", num cf "bytes") with
+          | Some a, Some b when a <> b ->
+              incr failures;
+              Printf.printf "FAIL %s: corpus changed (%d -> %d bytes)\n" label
+                (int_of_float a) (int_of_float b)
+          | _ -> ());
+          (match
+             ( num bf "median_warm_ms",
+               num bf "median_cold_ms",
+               num cf "median_warm_ms",
+               num cf "median_cold_ms" )
+           with
+          | Some bw, Some bc, Some cw, Some cc when bc > 0.0 && cc > 0.0 ->
+              report ~label ~metric:"warm/cold (norm)" ~base:(bw /. bc)
+                ~cur:(cw /. cc) ~threshold:!time_threshold ~slack_ok:false
+          | _ -> ());
+          match
+            ( num bf "allocated_bytes_per_reparse",
+              num cf "allocated_bytes_per_reparse" )
+          with
+          | Some ba, Some ca ->
+              report ~label ~metric:"alloc_bytes" ~base:ba ~cur:ca
+                ~threshold:!alloc_threshold
+                ~slack_ok:(ca -. ba < 8192.0)
+          | _ -> ()))
+    base_e5;
+
+  if !failures = 0 then (
+    Printf.printf "ok: %d checks against %s, no regression beyond %.0f%% \
+                   (time) / %.0f%% (alloc)\n"
+      !checks baseline_path !time_threshold !alloc_threshold;
+    exit 0)
+  else (
+    Printf.printf "%d of %d checks regressed\n" !failures !checks;
+    exit 1)

@@ -98,6 +98,52 @@ let time_best ?(repeats = 5) f =
   done;
   !best
 
+(* Full measurement of one workload: best and median wall time over N
+   runs plus the GC-level allocation profile of a single steady-state
+   run. The trajectory gate (bench/check_regression.ml) compares the
+   medians, reusing E8's reasoning: a median over interleaved runs
+   shrugs off the one iteration that ran under a sibling process, where
+   a best-of flickers. Allocation is measured once, after the warmup
+   run: parsing is deterministic, so [Gc.allocated_bytes] deltas are
+   exact and need no repetition to be stable — they are the
+   machine-independent half of every BENCH_*.json row. *)
+type meas = {
+  m_best : float;  (* seconds *)
+  m_median : float;  (* seconds *)
+  m_minor_words : float;  (* words, one run *)
+  m_promoted_words : float;
+  m_alloc_bytes : float;  (* bytes, one run *)
+}
+
+let median_of times =
+  let a = Array.copy times in
+  Array.sort Float.compare a;
+  let n = Array.length a in
+  (a.((n - 1) / 2) +. a.(n / 2)) /. 2.
+
+let measure ?(repeats = 7) f =
+  ignore (f ());
+  Gc.compact ();
+  let times = Array.make repeats 0. in
+  for i = 0 to repeats - 1 do
+    Gc.minor ();
+    let t0 = now () in
+    ignore (f ());
+    times.(i) <- now () -. t0
+  done;
+  let s0 = Gc.quick_stat () in
+  let a0 = Gc.allocated_bytes () in
+  ignore (f ());
+  let a1 = Gc.allocated_bytes () in
+  let s1 = Gc.quick_stat () in
+  {
+    m_best = Array.fold_left min infinity times;
+    m_median = median_of times;
+    m_minor_words = s1.Gc.minor_words -. s0.Gc.minor_words;
+    m_promoted_words = s1.Gc.promoted_words -. s0.Gc.promoted_words;
+    m_alloc_bytes = a1 -. a0;
+  }
+
 let ms t = t *. 1000.
 let mbs bytes t = float_of_int bytes /. 1_048_576. /. t
 
@@ -204,13 +250,15 @@ let engine_contender name g config =
 let e2_language lang corpus contenders =
   let bytes = String.length corpus in
   row "\n%s corpus: %d bytes\n" lang bytes;
-  row "  %-22s %10s %10s %8s\n" "parser" "time ms" "MB/s" "rel";
+  row "  %-22s %10s %10s %10s %10s %8s\n" "parser" "time ms" "median" "MB/s"
+    "KB/parse" "rel";
   let base = ref None in
   List.iter
     (fun c ->
       if not (c.parse corpus) then
         failwith (Printf.sprintf "%s/%s rejected its corpus" lang c.c_name);
-      let t = time_best (fun () -> c.parse corpus) in
+      let m = measure (fun () -> c.parse corpus) in
+      let t = m.m_best in
       let rel =
         match !base with
         | None ->
@@ -223,10 +271,17 @@ let e2_language lang corpus contenders =
           ("parser", jstr c.c_name);
           ("bytes", jint bytes);
           ("time_ms", jfloat (ms t));
+          ("median_ms", jfloat (ms m.m_median));
           ("mb_per_s", jfloat (mbs bytes t));
+          ("minor_words", jfloat m.m_minor_words);
+          ("promoted_words", jfloat m.m_promoted_words);
+          ("allocated_bytes_per_parse", jfloat m.m_alloc_bytes);
           ("rel", jfloat rel);
         ];
-      row "  %-22s %10.2f %10.2f %7.2fx\n" c.c_name (ms t) (mbs bytes t) rel)
+      row "  %-22s %10.2f %10.2f %10.2f %10.1f %7.2fx\n" c.c_name (ms t)
+        (ms m.m_median) (mbs bytes t)
+        (m.m_alloc_bytes /. 1024.)
+        rel)
     contenders
 
 let e2 () =
@@ -587,7 +642,8 @@ let e5 () =
       List.iter
         (fun (label, config) ->
           let eng = prepare ~config gopt in
-          let cold = time_best (fun () -> Engine.parse eng corpus) in
+          let mcold = measure (fun () -> Engine.parse eng corpus) in
+          let cold = mcold.m_best in
           let session = Session.create eng corpus in
           assert_ok gname (Session.reparse session);
           let flip = ref false in
@@ -597,7 +653,8 @@ let e5 () =
               ~replacement:(if !flip then "7" else "3");
             Session.reparse session
           in
-          let warm = time_best (fun () -> assert_ok gname (edit ())) in
+          let mwarm = measure (fun () -> assert_ok gname (edit ())) in
+          let warm = mwarm.m_best in
           let st = Session.stats session in
           let speedup = cold /. warm in
           row "  %-9s %-8s %8d %11.2f %11.2f %8.1fx %8d\n" gname label bytes
@@ -608,8 +665,13 @@ let e5 () =
               ("backend", jstr label);
               ("bytes", jint bytes);
               ("cold_ms", jfloat (ms cold));
+              ("median_cold_ms", jfloat (ms mcold.m_median));
               ("warm_ms", jfloat (ms warm));
+              ("median_warm_ms", jfloat (ms mwarm.m_median));
               ("speedup", jfloat speedup);
+              ("minor_words", jfloat mwarm.m_minor_words);
+              ("promoted_words", jfloat mwarm.m_promoted_words);
+              ("allocated_bytes_per_reparse", jfloat mwarm.m_alloc_bytes);
               ("reused", jint st.Stats.memo_reused);
               ("relocated", jint st.Stats.memo_relocated);
             ])

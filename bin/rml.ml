@@ -693,7 +693,7 @@ let parse_cmd =
             match edits with
             | Some script ->
                 if trace then Fmt.epr "note: --trace is ignored with --edits@.";
-                let session = Rats.Session.create eng text in
+                let session = Rats.Session.create ~name:"<buffer>" eng text in
                 let show label result =
                   let st = Rats.Session.stats session in
                   match result with
@@ -753,10 +753,9 @@ let parse_cmd =
                           Fmt.pr "%s@." (Rats.Value.to_string v);
                         0
                     | Error e ->
-                        let source =
-                          Rats.Source.of_string ~name:"<buffer>"
-                            (Rats.Session.text session)
-                        in
+                        (* the session's source: line starts patched
+                           across the edit script, not rebuilt *)
+                        let source = Rats.Session.source session in
                         Fmt.epr "%s@." (Rats.Parse_error.to_string ~source e);
                         dump_ring eng (Rats.Session.text session);
                         if Rats.Parse_error.exhausted_which e <> None then

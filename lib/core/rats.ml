@@ -24,6 +24,7 @@ module Parse_error = Rats_runtime.Parse_error
 module Engine = Rats_runtime.Engine
 module Vm = Rats_runtime.Vm
 module Expected = Rats_runtime.Expected
+module Memo_arena = Rats_runtime.Memo_arena
 module Observe = Rats_runtime.Observe
 module Profile = Rats_runtime.Profile
 module Provenance = Rats_peg.Provenance
@@ -100,7 +101,7 @@ module Session = struct
   type t = {
     eng : Engine.t;
     start : string option;
-    mutable text : string;
+    mutable source : Source.t;  (* buffer + patched line-start index *)
     store : Engine.store;
     mutable relocated : int;  (* accumulated across edits since reparse *)
     mutable survivors : int;  (* entries alive after the latest edit *)
@@ -108,11 +109,11 @@ module Session = struct
     mutable cold_fallbacks : int;
   }
 
-  let create ?start eng text =
+  let create ?(name = "<session>") ?start eng text =
     {
       eng;
       start;
-      text;
+      source = Source.of_string ~name text;
       store = Engine.new_store eng;
       relocated = 0;
       survivors = 0;
@@ -120,21 +121,18 @@ module Session = struct
       cold_fallbacks = 0;
     }
 
-  let text t = t.text
-  let length t = String.length t.text
+  let source t = t.source
+  let text t = Source.text t.source
+  let length t = Source.length t.source
 
   let apply_edit t ~start ~old_len ~replacement =
-    let len = String.length t.text in
-    if start < 0 || old_len < 0 || start + old_len > len then
-      invalid_arg "Rats.Session.apply_edit: edit out of bounds";
-    let new_len = String.length replacement in
-    let b = Buffer.create (len - old_len + new_len) in
-    Buffer.add_substring b t.text 0 start;
-    Buffer.add_string b replacement;
-    Buffer.add_substring b t.text (start + old_len) (len - start - old_len);
-    t.text <- Buffer.contents b;
+    (match Source.apply_edit t.source ~start ~old_len ~replacement with
+    | s -> t.source <- s
+    | exception Invalid_argument _ ->
+        invalid_arg "Rats.Session.apply_edit: edit out of bounds");
     let survivors, relocated =
-      Engine.edit_store t.eng t.store ~start ~old_len ~new_len
+      Engine.edit_store t.eng t.store ~start ~old_len
+        ~new_len:(String.length replacement)
     in
     t.survivors <- survivors;
     t.relocated <- t.relocated + relocated
@@ -173,7 +171,8 @@ module Session = struct
         Observe.session_reuse o ~reused:t.survivors ~relocated:t.relocated
     | _ -> ());
     let o =
-      backstopped (fun () -> Engine.run_store t.eng t.store ?start:t.start t.text)
+      backstopped (fun () ->
+          Engine.run_store t.eng t.store ?start:t.start (Source.text t.source))
     in
     let reused = t.survivors and relocated = t.relocated in
     t.relocated <- 0;
@@ -183,7 +182,8 @@ module Session = struct
       | Ok _ -> o
       | Error _ ->
           t.cold_fallbacks <- t.cold_fallbacks + 1;
-          backstopped (fun () -> Engine.run t.eng ?start:t.start t.text)
+          backstopped (fun () ->
+              Engine.run t.eng ?start:t.start (Source.text t.source))
     in
     Stats.reset t.stats;
     Stats.add t.stats o.Engine.stats;

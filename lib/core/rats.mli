@@ -43,6 +43,7 @@ module Parse_error = Rats_runtime.Parse_error
 module Engine = Rats_runtime.Engine
 module Vm = Rats_runtime.Vm
 module Expected = Rats_runtime.Expected
+module Memo_arena = Rats_runtime.Memo_arena
 module Observe = Rats_runtime.Observe
 module Profile = Rats_runtime.Profile
 module Provenance = Rats_peg.Provenance
@@ -120,10 +121,16 @@ val parse :
 module Session : sig
   type t
 
-  val create : ?start:string -> Engine.t -> string -> t
+  val create : ?name:string -> ?start:string -> Engine.t -> string -> t
   (** [create eng text] starts a session over the initial buffer [text].
+      [name] names the buffer in locations (default ["<session>"]);
       [start] overrides the start production, as in {!Engine.run}. The
       first {!reparse} is a cold parse that populates the store. *)
+
+  val source : t -> Source.t
+  (** The current buffer as a {!Source.t}. Its line-start index is
+      patched across {!apply_edit} ({!Source.apply_edit}) rather than
+      rebuilt, so location lookups stay cheap under edit scripts. *)
 
   val text : t -> string
   (** The current buffer. *)

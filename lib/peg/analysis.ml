@@ -203,6 +203,19 @@ let expr_yields_unit a e =
     (fun n -> try Hashtbl.find a.unit_tbl n with Not_found -> false)
     e
 
+(* A production's memo slot never needs a value when every successful
+   full-mode run of its body leaves [Value.Unit] in the register: Void
+   productions (their shape writes Unit unconditionally) and Plain
+   productions whose body is statically unit. Text and Generic always
+   produce a string or node. Lean (recognizer) hits never read the
+   value slot, so only full-mode stores matter — and those run the
+   full body, where [expr_yields_unit] is exact. *)
+let stores_no_value a (p : Production.t) =
+  match p.attrs.Attr.kind with
+  | Attr.Void -> true
+  | Attr.Plain -> expr_yields_unit a p.expr
+  | Attr.Text | Attr.Generic -> false
+
 (* Purely structural: calls (and the table operators, which manage
    value frames of their own) are conservatively excluded — a callee
    body may use the engine's value register as scratch space. *)

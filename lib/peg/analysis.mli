@@ -51,6 +51,14 @@ val expr_yields_unit : t -> Expr.t -> bool
     engine and the code generator use this to skip value collection in
     repetitions over void bodies. *)
 
+val stores_no_value : t -> Production.t -> bool
+(** True when a successful full-mode run of the production provably
+    leaves [Value.Unit] in the value register (Void productions, and
+    Plain productions whose body {!expr_yields_unit}). Both back ends
+    consult this to drop the production's value slot from memo chunks:
+    a hit simply restores [Unit] instead of reading a stored value.
+    Config-independent, so closure and VM agree slot for slot. *)
+
 val preserves_value : Expr.t -> bool
 (** True when a lean (recognizer-mode) run of the expression provably
     never writes the engine's value register: such parts may follow a

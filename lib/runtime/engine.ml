@@ -5,24 +5,12 @@ module SSet = Set.Make (String)
 
 (* --- run-time state ----------------------------------------------------- *)
 
-type chunk = {
-  res : int array;
-  vals : Value.t array;
-  vers : int array;
-  exts : int array;
-  mutable cmax : int;
-}
-(* res encoding: 0 unset, -1 memoized failure, consumed+1 memoized
-   success — success offsets are stored relative to the chunk's
-   position, so relocating a chunk after an edit is a pure pointer move.
-   vers holds the state version an entry was computed at; entries of
-   stateful productions are valid only while the version is unchanged
-   (versions grow monotonically across the runs of a session, so a
-   stale stamp can never false-hit). exts holds each entry's examined
-   extent: [pos + exts.(slot) - 1] is the farthest input byte the
-   entry's computation looked at (0 = looked at nothing), which decides
-   whether the entry survives an edit. cmax caches the max ext over the
-   stored slots so unaffected chunks are kept without a slot scan. *)
+(* Memo chunks (res encoding: 0 unset, -1 memoized failure, consumed+1
+   memoized success, offsets relative to the chunk's position; vers =
+   state-version stamps; exts = examined extents) live in a
+   [Memo_arena.t] — flat parallel arrays recycled across runs instead
+   of a boxed record per visited position. See memo_arena.mli for the
+   layout and invariants. *)
 
 type st = {
   input : string;
@@ -35,7 +23,7 @@ type st = {
   table_memo : (int, int * Value.t * int * int) Hashtbl.t;
   (* key = pos * nslots + slot; value = (consumed or -1, value, version,
      examined extent) — offsets relative to pos, like chunk entries *)
-  mutable chunks : chunk option array;  (* empty array when unused *)
+  arena : Memo_arena.t;  (* chunk storage; a cold dummy when unused *)
   mutable examined : int;
   (* farthest input position the current memoized invocation has looked
      at; saved/reset at memoized entry, max-merged back at return *)
@@ -58,6 +46,15 @@ type fn = st -> int -> int
 (* Returns the new position, or -1 on failure. Value-building matchers
    additionally set [st.value]. *)
 
+type scratch = {
+  sc_arena : Memo_arena.t;
+  sc_table : (int, int * Value.t * int * int) Hashtbl.t;
+}
+(* Memo storage for store-less runs, parked on the engine between runs
+   so back-to-back parses reuse one arena and one bucket table instead
+   of allocating fresh ones per parse. Parked scratch holds no values
+   (cleared on release), so an idle engine retains no parse results. *)
+
 type t = {
   cfg : Config.t;
   gram : Grammar.t;
@@ -66,6 +63,9 @@ type t = {
   recs : fn array;  (* per-production recognizers *)
   slots : int array;  (* memo slot per production; -1 = not memoized *)
   nslots : int;
+  vmap : int array;  (* memo slot -> arena value slot; -1 = value-free *)
+  dummy_arena : Memo_arena.t;  (* cold placeholder for unmemoized runs *)
+  mutable pool : scratch option;
   vm : Vm.t option;  (* the bytecode program, [Config.Bytecode] only *)
   obs : Observe.t option;
       (* observation sink, [Config.observe] enabled only; the VM carries
@@ -98,6 +98,17 @@ let restore_tables st saved =
     st.stats.Stats.state_snapshots <- st.stats.Stats.state_snapshots + 1)
 
 (* --- compilation -------------------------------------------------------- *)
+
+(* Character classes and FIRST-set dispatch guards test one byte per
+   visit, so they compile to 256-byte lookup tables (the VM does the
+   same); [Charset.mem] on the four-word bit vector would box an Int64
+   per probe. *)
+let bitmap_of_charset set =
+  let bm = Bytes.make 256 '\000' in
+  Charset.iter (fun c -> Bytes.set bm (Char.code c) '\001') set;
+  bm
+
+let bitmap_mem bm c = Bytes.unsafe_get bm (Char.code c) <> '\000'
 
 type compile_ctx = {
   parser : t;
@@ -199,10 +210,11 @@ let rec compile ctx ~lean (e : Expr.t) : fn =
         go 0
   | Expr.Cls set ->
       let desc = Charset.to_string set in
+      let bm = bitmap_of_charset set in
       if lean then
         fun st pos ->
           look st pos;
-          if pos < st.len && Charset.mem (String.unsafe_get st.input pos) set
+          if pos < st.len && bitmap_mem bm (String.unsafe_get st.input pos)
           then pos + 1
           else (
             record st pos desc;
@@ -212,7 +224,7 @@ let rec compile ctx ~lean (e : Expr.t) : fn =
           look st pos;
           if pos < st.len then (
             let c = String.unsafe_get st.input pos in
-            if Charset.mem c set then (
+            if bitmap_mem bm c then (
               st.value <- Value.Chr c;
               pos + 1)
             else (
@@ -550,7 +562,7 @@ and compile_alt ctx ~lean ?(tail = false) alts =
          (fun (a : Expr.alt) ->
            let first, eps = Analysis.expr_first ctx.analysis a.body in
            let desc = Charset.to_string first in
-           (compile_branch a.body, first, eps, desc))
+           (compile_branch a.body, bitmap_of_charset first, eps, desc))
          alts)
   in
   let n = Array.length compiled in
@@ -578,7 +590,7 @@ and compile_alt ctx ~lean ?(tail = false) alts =
               dispatch && (not eps)
               && (look st pos;
                   pos >= st.len
-                  || not (Charset.mem (String.unsafe_get st.input pos) first))
+                  || not (bitmap_mem first (String.unsafe_get st.input pos)))
             then (
               record st pos desc;
               go (i + 1))
@@ -606,7 +618,7 @@ and compile_alt ctx ~lean ?(tail = false) alts =
               dispatch && (not eps)
               && (look st pos;
                   pos >= st.len
-                  || not (Charset.mem (String.unsafe_get st.input pos) first))
+                  || not (bitmap_mem first (String.unsafe_get st.input pos)))
             then (
               record st pos desc;
               go (i + 1))
@@ -706,6 +718,21 @@ let prepare_hooked ?hook ?(config = Config.optimized) gram =
         (fun i (p : Production.t) -> Hashtbl.replace ids p.name i)
         prods;
       let slots, nslots = assign_slots config prods in
+      (* Value slots: a memoized production whose stored value is
+         statically [Value.Unit] gets none — hits restore Unit instead
+         of reading the arena. Must mirror the VM's assignment exactly
+         (same analysis, same production order) so stores are
+         interchangeable in equivalence arguments. *)
+      let vmap = Array.make nslots (-1) in
+      let nvslots = ref 0 in
+      Array.iteri
+        (fun i (p : Production.t) ->
+          let s = slots.(i) in
+          if s >= 0 && not (Analysis.stores_no_value analysis p) then (
+            vmap.(s) <- !nvslots;
+            incr nvslots))
+        prods;
+      let nvslots = !nvslots in
       let dummy : fn = fun _ _ -> -1 in
       let obs =
         if Observe.enabled config.Config.observe then
@@ -721,6 +748,9 @@ let prepare_hooked ?hook ?(config = Config.optimized) gram =
           recs = Array.make nprods dummy;
           slots;
           nslots;
+          vmap;
+          dummy_arena = Memo_arena.create ~nslots:0 ~vmap:[||];
+          pool = None;
           vm = None;
           obs;
         }
@@ -821,83 +851,84 @@ let prepare_hooked ?hook ?(config = Config.optimized) gram =
                              st.stats.Stats.memo_stores + 1);
                          look st saved_ext;
                          p')
-               | Config.Chunked, slot -> (
+               | Config.Chunked, slot ->
+                   let vslot = vmap.(slot) in
                    fun st pos ->
                      st.stats.Stats.invocations <-
                        st.stats.Stats.invocations + 1;
                      charge st pos;
-                     match
-                       (match st.chunks.(pos) with
-                       | Some _ as c -> c
-                       | None ->
-                           if st.memo_bytes + chunk_cost > memo_limit then
-                             None
-                           else (
-                             let c =
-                               {
-                                 res = Array.make nslots 0;
-                                 vals = Array.make nslots Value.Unit;
-                                 vers = Array.make nslots 0;
-                                 exts = Array.make nslots 0;
-                                 cmax = 0;
-                               }
-                             in
-                             st.chunks.(pos) <- Some c;
-                             st.memo_bytes <- st.memo_bytes + chunk_cost;
-                             st.stats.Stats.chunks_allocated <-
-                               st.stats.Stats.chunks_allocated + 1;
-                             st.stats.Stats.chunk_slots <-
-                               st.stats.Stats.chunk_slots + nslots;
-                             Some c))
-                     with
-                     | Some chunk ->
-                         let r = chunk.res.(slot) in
-                         if
-                           r <> 0
-                           && ((not stateful)
-                              || chunk.vers.(slot) = st.version)
-                         then (
-                           st.stats.Stats.memo_hits <-
-                             st.stats.Stats.memo_hits + 1;
-                           look st (pos + chunk.exts.(slot) - 1);
-                           if r > 0 then (
-                             st.value <- chunk.vals.(slot);
-                             pos + r - 1)
-                           else -1)
-                         else (
-                           st.stats.Stats.memo_misses <-
-                             st.stats.Stats.memo_misses + 1;
-                           enter st pos;
-                           let ver0 = st.version in
-                           let saved_ext = st.examined in
-                           st.examined <- pos - 1;
-                           let p' = body_full st pos in
-                           st.depth <- st.depth - 1;
-                           if p' >= 0 then (
-                             shape_fn st pos p';
-                             chunk.res.(slot) <- p' - pos + 1;
-                             chunk.vals.(slot) <- st.value)
-                           else chunk.res.(slot) <- -1;
-                           chunk.vers.(slot) <- ver0;
-                           let ext = st.examined - pos + 1 in
-                           chunk.exts.(slot) <- ext;
-                           if ext > chunk.cmax then chunk.cmax <- ext;
-                           st.stats.Stats.memo_stores <-
-                             st.stats.Stats.memo_stores + 1;
-                           look st saved_ext;
-                           p')
-                     | None ->
-                         (* memo budget exhausted: no chunk for this
-                            position — parse un-memoized and move on *)
+                     let a = st.arena in
+                     let c =
+                       let c = a.Memo_arena.idx.(pos) in
+                       if c >= 0 then c
+                       else if st.memo_bytes + chunk_cost > memo_limit then
+                         -1
+                       else (
+                         let c = Memo_arena.alloc a pos in
+                         st.memo_bytes <- st.memo_bytes + chunk_cost;
+                         st.stats.Stats.chunks_allocated <-
+                           st.stats.Stats.chunks_allocated + 1;
+                         st.stats.Stats.chunk_slots <-
+                           st.stats.Stats.chunk_slots + nslots;
+                         c)
+                     in
+                     if c >= 0 then (
+                       let base = (c * nslots) + slot in
+                       let r = a.Memo_arena.res.(base) in
+                       if
+                         r <> 0
+                         && ((not stateful)
+                            || a.Memo_arena.vers.(base) = st.version)
+                       then (
+                         st.stats.Stats.memo_hits <-
+                           st.stats.Stats.memo_hits + 1;
+                         look st (pos + a.Memo_arena.exts.(base) - 1);
+                         if r > 0 then (
+                           st.value <-
+                             (if vslot >= 0 then
+                                a.Memo_arena.vals.((c * nvslots) + vslot)
+                              else Value.Unit);
+                           pos + r - 1)
+                         else -1)
+                       else (
                          st.stats.Stats.memo_misses <-
                            st.stats.Stats.memo_misses + 1;
                          enter st pos;
+                         let ver0 = st.version in
+                         let saved_ext = st.examined in
+                         st.examined <- pos - 1;
                          let p' = body_full st pos in
                          st.depth <- st.depth - 1;
-                         if p' >= 0 then shape_fn st pos p';
-                         st.stats.Stats.memo_degraded <-
-                           st.stats.Stats.memo_degraded + 1;
-                         p')
+                         (* the body may have grown the arena: re-read
+                            the rows through [a], never cache them *)
+                         if p' >= 0 then (
+                           shape_fn st pos p';
+                           a.Memo_arena.res.(base) <- p' - pos + 1;
+                           if vslot >= 0 then
+                             a.Memo_arena.vals.((c * nvslots) + vslot) <-
+                               st.value)
+                         else a.Memo_arena.res.(base) <- -1;
+                         a.Memo_arena.vers.(base) <- ver0;
+                         let ext = st.examined - pos + 1 in
+                         a.Memo_arena.exts.(base) <- ext;
+                         if ext > a.Memo_arena.cmax.(c) then
+                           a.Memo_arena.cmax.(c) <- ext;
+                         st.stats.Stats.memo_stores <-
+                           st.stats.Stats.memo_stores + 1;
+                         look st saved_ext;
+                         p'))
+                     else (
+                       (* memo budget exhausted: no chunk for this
+                          position — parse un-memoized and move on *)
+                       st.stats.Stats.memo_misses <-
+                         st.stats.Stats.memo_misses + 1;
+                       enter st pos;
+                       let p' = body_full st pos in
+                       st.depth <- st.depth - 1;
+                       if p' >= 0 then shape_fn st pos p';
+                       st.stats.Stats.memo_degraded <-
+                         st.stats.Stats.memo_degraded + 1;
+                       p')
              in
              let rec_fn =
                match (config.Config.memo, slot) with
@@ -928,26 +959,30 @@ let prepare_hooked ?hook ?(config = Config.optimized) gram =
                          let p' = body_rec st pos in
                          st.depth <- st.depth - 1;
                          p')
-               | Config.Chunked, slot -> (
+               | Config.Chunked, slot ->
                    fun st pos ->
                      st.stats.Stats.invocations <-
                        st.stats.Stats.invocations + 1;
                      charge st pos;
-                     match st.chunks.(pos) with
-                     | Some chunk
-                       when chunk.res.(slot) <> 0
-                            && ((not stateful)
-                               || chunk.vers.(slot) = st.version) ->
-                         st.stats.Stats.memo_hits <-
-                           st.stats.Stats.memo_hits + 1;
-                         look st (pos + chunk.exts.(slot) - 1);
-                         let r = chunk.res.(slot) in
-                         if r > 0 then pos + r - 1 else -1
-                     | _ ->
-                         enter st pos;
-                         let p' = body_rec st pos in
-                         st.depth <- st.depth - 1;
-                         p')
+                     let a = st.arena in
+                     let c = a.Memo_arena.idx.(pos) in
+                     let base = if c >= 0 then (c * nslots) + slot else 0 in
+                     if
+                       c >= 0
+                       && a.Memo_arena.res.(base) <> 0
+                       && ((not stateful)
+                          || a.Memo_arena.vers.(base) = st.version)
+                     then (
+                       st.stats.Stats.memo_hits <-
+                         st.stats.Stats.memo_hits + 1;
+                       look st (pos + a.Memo_arena.exts.(base) - 1);
+                       let r = a.Memo_arena.res.(base) in
+                       if r > 0 then pos + r - 1 else -1)
+                     else (
+                       enter st pos;
+                       let p' = body_rec st pos in
+                       st.depth <- st.depth - 1;
+                       p')
              in
              (* Observation wrapper, around both the value-building and
                 the recognizer entry. A call was a memo hit exactly when
@@ -1006,6 +1041,9 @@ let prepare ?(config = Config.optimized) gram =
               full = [||];
               recs = [||];
               slots = [||];
+              vmap = [||];
+              dummy_arena = Memo_arena.create ~nslots:0 ~vmap:[||];
+              pool = None;
               nslots = Vm.memo_slots vm;
               vm = Some vm;
               obs = None;
@@ -1041,7 +1079,7 @@ type outcome = {
    [c_version] persists the state-version counter across runs so stale
    stateful entries can never stamp-match a later run's versions. *)
 type cstore = {
-  mutable c_chunks : chunk option array;
+  c_arena : Memo_arena.t;
   c_table : (int, int * Value.t * int * int) Hashtbl.t;
   mutable c_bytes : int;
   mutable c_len : int;
@@ -1065,49 +1103,14 @@ let edit_cstore t (s : cstore) ~start ~old_len ~new_len =
     (match t.cfg.Config.memo with
     | Config.No_memo -> ()
     | Config.Chunked ->
-        let old = s.c_chunks in
-        let n = Array.length old in
-        let fresh = Array.make (n + delta) None in
-        let cost = Limits.chunk_cost t.nslots in
-        let bytes = ref 0 in
-        let keep p c =
-          fresh.(p) <- Some c;
-          incr reused;
-          bytes := !bytes + cost
-        in
-        (* strictly before the damage: survives if no entry looked at
-           the damaged bytes; a chunk whose cached max extent crosses
-           the boundary is filtered slot-by-slot *)
-        for p = 0 to min (start - 1) (n - 1) do
-          match old.(p) with
-          | None -> ()
-          | Some c ->
-              if p + c.cmax <= start then keep p c
-              else (
-                let live = ref false and m = ref 0 in
-                for sl = 0 to t.nslots - 1 do
-                  if c.res.(sl) <> 0 then
-                    if p + c.exts.(sl) > start then c.res.(sl) <- 0
-                    else (
-                      live := true;
-                      if c.exts.(sl) > !m then m := c.exts.(sl))
-                done;
-                c.cmax <- !m;
-                if !live then keep p c)
-        done;
-        (* at or past the damage end: relative encodings make
-           relocation a pure pointer move *)
-        let src = start + old_len in
-        if src < n then (
-          Array.blit old src fresh (src + delta) (n - src);
-          for p = src + delta to n + delta - 1 do
-            if fresh.(p) <> None then (
-              incr reused;
-              if delta <> 0 then incr relocated;
-              bytes := !bytes + cost)
-          done);
-        s.c_chunks <- fresh;
-        s.c_bytes <- !bytes
+        (* entries strictly before the damage survive if they looked at
+           nothing damaged; entries at or past its end relocate by the
+           delta (relative encodings make that a pure re-index); the
+           rest are reclaimed into the arena's free list *)
+        let r, l = Memo_arena.edit s.c_arena ~start ~old_len ~new_len in
+        reused := r;
+        relocated := l;
+        s.c_bytes <- r * Limits.chunk_cost t.nslots
     | Config.Hashtable ->
         if t.nslots > 0 then (
           let entries =
@@ -1168,17 +1171,42 @@ let run_closures t ?store ?start ~require_eof input =
           s.c_len = len
           &&
           match t.cfg.Config.memo with
-          | Config.Chunked -> Array.length s.c_chunks = len + 1
+          | Config.Chunked -> s.c_arena.Memo_arena.idx_len = len + 1
           | _ -> true
         in
         if not usable then (
           Hashtbl.reset s.c_table;
-          s.c_chunks <-
-            (match t.cfg.Config.memo with
-            | Config.Chunked -> Array.make (len + 1) None
-            | _ -> [||]);
+          (match t.cfg.Config.memo with
+          | Config.Chunked -> Memo_arena.reset s.c_arena ~len
+          | _ -> ());
           s.c_bytes <- 0;
           s.c_len <- len));
+    (* Store-less memoized runs borrow the engine's parked scratch (or
+       build one on first use / when re-entered concurrently). *)
+    let scratch =
+      match store with
+      | Some _ -> None
+      | None -> (
+          match t.cfg.Config.memo with
+          | Config.No_memo -> None
+          | Config.Hashtable | Config.Chunked ->
+              let sc =
+                match t.pool with
+                | Some sc ->
+                    t.pool <- None;
+                    sc
+                | None ->
+                    {
+                      sc_arena =
+                        Memo_arena.create ~nslots:t.nslots ~vmap:t.vmap;
+                      sc_table = Hashtbl.create 1024;
+                    }
+              in
+              (match t.cfg.Config.memo with
+              | Config.Chunked -> Memo_arena.reset sc.sc_arena ~len
+              | _ -> Hashtbl.clear sc.sc_table);
+              Some sc)
+    in
     let st =
       {
         input;
@@ -1189,19 +1217,15 @@ let run_closures t ?store ?start ~require_eof input =
         version = (match store with Some s -> s.c_version + 1 | None -> 0);
         stats = Stats.create ();
         table_memo =
-          (match store with
-          | Some s -> s.c_table
-          | None -> (
-              match t.cfg.Config.memo with
-              | Config.Hashtable -> Hashtbl.create 1024
-              | _ -> Hashtbl.create 1));
-        chunks =
-          (match store with
-          | Some s -> s.c_chunks
-          | None -> (
-              match t.cfg.Config.memo with
-              | Config.Chunked -> Array.make (len + 1) None
-              | _ -> [||]));
+          (match (store, scratch) with
+          | Some s, _ -> s.c_table
+          | None, Some sc -> sc.sc_table
+          | None, None -> Hashtbl.create 1);
+        arena =
+          (match (store, scratch) with
+          | Some s, _ -> s.c_arena
+          | None, Some sc -> sc.sc_arena
+          | None, None -> t.dummy_arena);
         examined = -1;
         fuel = limits.Limits.fuel;
         depth = 0;
@@ -1232,6 +1256,17 @@ let run_closures t ?store ?start ~require_eof input =
     | Some s ->
         s.c_bytes <- st.memo_bytes;
         s.c_version <- st.version);
+    (* Park the scratch for the next run, minus any parse results: the
+       final value lives in [st.value], so dropping the memo's value
+       references here costs nothing observable. *)
+    (match scratch with
+    | None -> ()
+    | Some sc ->
+        (match t.cfg.Config.memo with
+        | Config.Chunked -> Memo_arena.release_values sc.sc_arena
+        | _ -> ());
+        Hashtbl.clear sc.sc_table;
+        t.pool <- Some sc);
     (* The trip event and frame cleanup happen after the run body, off
        any budget: the ring must describe an exhausted run without
        changing where it tripped. *)
@@ -1263,11 +1298,11 @@ let accepts t ?start input = Result.is_ok (parse t ?start input)
 
 let new_store t =
   match t.vm with
-  | Some _ -> Vm_store (Vm.new_store ())
+  | Some vm -> Vm_store (Vm.new_store vm)
   | None ->
       Closure_store
         {
-          c_chunks = [||];
+          c_arena = Memo_arena.create ~nslots:t.nslots ~vmap:t.vmap;
           c_table = Hashtbl.create 256;
           c_bytes = 0;
           c_len = -1;

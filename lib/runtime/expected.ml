@@ -1,32 +1,43 @@
 type t = {
   mutable farthest : int;
-  mutable entries : string list;  (* newest first *)
+  entries : string array;  (* insertion order; only [0, n) is live *)
   mutable n : int;
 }
 
 let max_entries = 32
 
-let create () = { farthest = -1; entries = []; n = 0 }
+let create () = { farthest = -1; entries = Array.make max_entries ""; n = 0 }
 
 let reset t =
+  Array.fill t.entries 0 t.n "";
   t.farthest <- -1;
-  t.entries <- [];
   t.n <- 0
 
+(* Recording is on the hot path — every farthest-failure advance during
+   backtracking lands here — so it must not allocate. The fixed array
+   replaces a cons per advance; [descriptions] pays the list cost only
+   when an error is actually built. *)
 let record t pos desc =
   if pos > t.farthest then (
     t.farthest <- pos;
-    t.entries <- [ desc ];
+    t.entries.(0) <- desc;
     t.n <- 1)
-  else if
-    pos = t.farthest && t.n < max_entries
-    && not (List.exists (String.equal desc) t.entries)
-  then (
-    t.entries <- desc :: t.entries;
-    t.n <- t.n + 1)
+  else if pos = t.farthest && t.n < max_entries then (
+    let dup = ref false in
+    for i = 0 to t.n - 1 do
+      if String.equal desc (Array.unsafe_get t.entries i) then dup := true
+    done;
+    if not !dup then (
+      t.entries.(t.n) <- desc;
+      t.n <- t.n + 1))
 
 let farthest t = t.farthest
-let descriptions t = List.rev t.entries
+
+let descriptions t =
+  let rec take i acc =
+    if i < 0 then acc else take (i - 1) (t.entries.(i) :: acc)
+  in
+  take (t.n - 1) []
 
 let error t =
   Parse_error.v ~position:(max t.farthest 0) ~expected:(descriptions t) ()

@@ -46,9 +46,14 @@ let which_message = function
 let pp_which ppf w = Format.pp_print_string ppf (which_name w)
 
 (* Approximate byte cost of memo storage, shared by both back ends so
-   the budget degrades at the same point whichever one runs: a chunk is
-   three [nslots]-word arrays plus headers, a hash-table entry is the
-   key, the boxed triple and its bucket. *)
+   the budget degrades at the same point whichever one runs. The model
+   predates the arena (it priced a chunk as three boxed nslots-word
+   arrays plus headers) and its VALUES ARE LOAD-BEARING: governed runs
+   degrade at identical decision points on both back ends, and the
+   same-trip property suites pin that alignment. The arena's flat rows
+   cost about the same per chunk anyway; do not "recalibrate" without
+   versioning the budget semantics. A hash-table entry is the key, the
+   boxed tuple and its bucket. *)
 let chunk_cost nslots = 48 + (24 * nslots)
 let table_entry_cost = 64
 

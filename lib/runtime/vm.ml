@@ -52,10 +52,12 @@ type instr =
      neither a memo hit nor the return writes the value register (the
      return entry's tag carries the flag to the matching return) *)
   | ICall of int * bool  (* production id, lean *)
-  | ICallChunk of int * int * bool * bool  (* prod, slot, stateful, lean *)
+  | ICallChunk of int * int * int * bool * bool
+      (* prod, slot, vslot, stateful, lean; vslot is the arena value
+         slot (-1 = value-free production: a hit restores Unit) *)
   | ICallTbl of int * int * bool * bool  (* prod, slot, stateful, lean *)
   | IRet  (* shape the value, return; no memo entry *)
-  | IRetChunk of int  (* slot *)
+  | IRetChunk of int * int  (* slot, vslot *)
   | IRetTbl of int  (* slot *)
   | IHalt
   (* resource governor brackets around inlined production bodies, so
@@ -73,10 +75,11 @@ type instr =
      un-inlined call would have), charging the work to the origin
      production; [IObsAlt] marks per-alternative coverage. *)
   | IObsCall of int * bool  (* production id, lean *)
-  | IObsCallChunk of int * int * bool * bool  (* prod, slot, stateful, lean *)
+  | IObsCallChunk of int * int * int * bool * bool
+      (* prod, slot, vslot, stateful, lean *)
   | IObsCallTbl of int * int * bool * bool
   | IObsRet
-  | IObsRetChunk of int  (* slot *)
+  | IObsRetChunk of int * int  (* slot, vslot *)
   | IObsRetTbl of int
   | IObsEnter of int  (* production id of the inlined body *)
   | IObsLeave
@@ -107,6 +110,26 @@ type instr =
 
 type shape = Shape_plain | Shape_generic of string | Shape_text | Shape_void
 
+type scratch = {
+  sc_arena : Memo_arena.t;
+  sc_table : (int, int * Value.t * int * int) Hashtbl.t;
+  mutable sc_code : int array;
+  mutable sc_pos : int array;
+  mutable sc_aux0 : int array;
+  mutable sc_aux1 : int array;
+  mutable sc_depth : int array;
+  mutable sc_tables : SSet.t SMap.t array;
+  mutable sc_fstart : int array;
+  mutable sc_fbase : int array;
+  mutable sc_plabel : string option array;
+  mutable sc_pvalue : Value.t array;
+}
+(* Everything a run needs besides the input: the unified stack, the
+   value-frame and parts stacks, and (for store-less runs) memo
+   storage. Parked on the program between runs so back-to-back parses
+   reuse one set of buffers instead of allocating ~20 arrays per parse.
+   A parked scratch holds no value references — release clears them. *)
+
 type t = {
   cfg : Config.t;
   gram : Grammar.t;
@@ -119,6 +142,9 @@ type t = {
   stateful : bool array;
   shapes : shape array;
   nslots : int;
+  vmap : int array;  (* memo slot -> arena value slot; -1 = value-free *)
+  nvslots : int;
+  mutable pool : scratch option;
   obs : Observe.t option;
       (* observation sink, [Config.observe] enabled only; accumulates
          across every run of this program *)
@@ -170,6 +196,7 @@ type ctx = {
   prod_ids : (string, int) Hashtbl.t;
   prods : Production.t array;
   slots : int array;
+  vmap : int array;  (* memo slot -> value slot, -1 = value-free *)
   stateful : bool array;
   inlinable : bool array;
       (* non-memoized, non-recursive, small: emitted at the call site
@@ -350,8 +377,9 @@ and emit_call ctx ~lean id =
         emit_instr b (if observed then IObsCall (id, lean) else ICall (id, lean))
     | Config.Chunked ->
         emit_instr b
-          (if observed then IObsCallChunk (id, slot, ctx.stateful.(id), lean)
-           else ICallChunk (id, slot, ctx.stateful.(id), lean))
+          (if observed then
+             IObsCallChunk (id, slot, ctx.vmap.(slot), ctx.stateful.(id), lean)
+           else ICallChunk (id, slot, ctx.vmap.(slot), ctx.stateful.(id), lean))
     | Config.Hashtable ->
         emit_instr b
           (if observed then IObsCallTbl (id, slot, ctx.stateful.(id), lean)
@@ -628,6 +656,18 @@ let prepare ?(config = Config.vm) gram =
           (fun (p : Production.t) -> Analysis.stateful analysis p.name)
           prods
       in
+      (* Value-slot map: must mirror the closure engine's assignment
+         exactly (same analysis, same production order), so stores made
+         by one back end could in principle be replayed by the other. *)
+      let vmap = Array.make nslots (-1) in
+      let nvslots = ref 0 in
+      Array.iteri
+        (fun i (p : Production.t) ->
+          let s = slots.(i) in
+          if s >= 0 && not (Analysis.stores_no_value analysis p) then (
+            vmap.(s) <- !nvslots;
+            incr nvslots))
+        prods;
       let buf = buf_create () in
       let obs =
         if Observe.enabled config.Config.observe then
@@ -636,8 +676,8 @@ let prepare ?(config = Config.vm) gram =
         else None
       in
       let ctx =
-        { buf; analysis; config; prod_ids = ids; prods; slots; stateful;
-          inlinable; inline_depth = 0;
+        { buf; analysis; config; prod_ids = ids; prods; slots; vmap;
+          stateful; inlinable; inline_depth = 0;
           governed = not (Limits.is_unlimited config.Config.limits); obs }
       in
       let stubs = Array.make nprods 0 in
@@ -665,8 +705,9 @@ let prepare ?(config = Config.vm) gram =
                  match config.Config.memo with
                  | Config.No_memo -> if observed then IObsRet else IRet
                  | Config.Chunked ->
-                     if observed then IObsRetChunk slots.(i)
-                     else IRetChunk slots.(i)
+                     if observed then
+                       IObsRetChunk (slots.(i), vmap.(slots.(i)))
+                     else IRetChunk (slots.(i), vmap.(slots.(i)))
                  | Config.Hashtable ->
                      if observed then IObsRetTbl slots.(i)
                      else IRetTbl slots.(i)))
@@ -692,6 +733,9 @@ let prepare ?(config = Config.vm) gram =
                   | Attr.Void -> Shape_void)
                 prods;
             nslots;
+            vmap;
+            nvslots = !nvslots;
+            pool = None;
             obs;
           }
       with Diagnostic.Fail d -> Error [ d ])
@@ -710,18 +754,11 @@ let observation (t : t) = t.obs
 
 (* --- run-time state ------------------------------------------------------ *)
 
-type chunk = {
-  res : int array;
-  vals : Value.t array;
-  vers : int array;
-  exts : int array;
-  mutable cmax : int;
-}
-(* res encoding: 0 unset, -1 memoized failure, consumed+1 memoized
-   success — relative to the chunk's position; identical to the closure
-   engine's chunks, including the examined-extent arrays ([exts], with
-   [cmax] caching their max) that decide which entries survive an edit
-   in an incremental session. *)
+(* Memo chunks live in a [Memo_arena.t] shared in layout and encoding
+   with the closure engine: res 0 unset, -1 memoized failure,
+   consumed+1 memoized success — relative to the chunk's position —
+   with examined-extent rows ([exts], [cmax] caching their max) that
+   decide which entries survive an edit in an incremental session. *)
 
 (* Unified stack entry tags. Backtrack entries hold a resume address and
    the machine state to rewind to; return entries hold the call's return
@@ -759,7 +796,7 @@ type st = {
   (* key = pos * nslots + slot; value = (consumed or -1, value, version,
      examined extent), offsets relative to pos — the closure engine's
      encoding exactly *)
-  chunks : chunk option array;  (* empty array when unused *)
+  arena : Memo_arena.t;  (* chunk storage; a cold dummy when unused *)
   mutable examined : int;
   (* farthest input position the current memoized invocation has looked
      at; saved in the return entry (s_depth slot) and max-merged back *)
@@ -772,9 +809,12 @@ type st = {
   mutable memo_bytes : int;
   mutable tripped : (Limits.which * int) option;
   mutable quiet : int;  (* predicate-body nesting; suppresses recording *)
-  (* the unified backtrack/call stack, as parallel arrays *)
-  mutable s_tag : int array;
-  mutable s_addr : int array;  (* resume address / return address *)
+  (* the unified backtrack/call stack, as parallel arrays. Tag and
+     address are packed into one unboxed int per entry —
+     [(addr lsl 3) lor tag] — so the hottest push/pop paths touch one
+     array fewer; the arrays live in a pooled [scratch], preallocated
+     and reused across runs. *)
+  mutable s_code : int array;  (* packed tag + resume/return address *)
   mutable s_pos : int array;  (* saved offset / call-site offset *)
   mutable s_aux0 : int array;  (* frame height / state version at entry *)
   mutable s_aux1 : int array;  (* top-frame part count / production id *)
@@ -805,9 +845,8 @@ let grow_any dummy a = let b = Array.make (2 * Array.length a) dummy in
   Array.blit a 0 b 0 (Array.length a); b
 
 let ensure_stack st =
-  if st.sp = Array.length st.s_tag then (
-    st.s_tag <- grow_int st.s_tag;
-    st.s_addr <- grow_int st.s_addr;
+  if st.sp = Array.length st.s_code then (
+    st.s_code <- grow_int st.s_code;
     st.s_pos <- grow_int st.s_pos;
     st.s_aux0 <- grow_int st.s_aux0;
     st.s_aux1 <- grow_int st.s_aux1;
@@ -847,8 +886,7 @@ let parts_above st base =
 let push_bt st tag addr =
   ensure_stack st;
   let sp = st.sp in
-  Array.unsafe_set st.s_tag sp tag;
-  Array.unsafe_set st.s_addr sp addr;
+  Array.unsafe_set st.s_code sp ((addr lsl 3) lor tag);
   Array.unsafe_set st.s_pos sp st.pos;
   Array.unsafe_set st.s_aux0 sp st.fp;
   Array.unsafe_set st.s_aux1 sp st.p_top;
@@ -872,8 +910,7 @@ let push_ret st ~tag ~ret ~prod =
   st.depth <- st.depth + 1;
   ensure_stack st;
   let sp = st.sp in
-  Array.unsafe_set st.s_tag sp tag;
-  Array.unsafe_set st.s_addr sp ret;
+  Array.unsafe_set st.s_code sp ((ret lsl 3) lor tag);
   Array.unsafe_set st.s_pos sp st.pos;
   Array.unsafe_set st.s_aux0 sp st.version;
   Array.unsafe_set st.s_aux1 sp prod;
@@ -890,8 +927,7 @@ let push_ret st ~tag ~ret ~prod =
 let push_obs st prod =
   ensure_stack st;
   let sp = st.sp in
-  Array.unsafe_set st.s_tag sp tag_obs_inline;
-  Array.unsafe_set st.s_addr sp 0;
+  Array.unsafe_set st.s_code sp tag_obs_inline;
   Array.unsafe_set st.s_pos sp st.pos;
   Array.unsafe_set st.s_aux0 sp 0;
   Array.unsafe_set st.s_aux1 sp prod;
@@ -988,39 +1024,35 @@ let exec (t : t) (st : st) start_ip =
               ((pos0 * t.nslots) + slot)
               (-1, Value.Unit, ver0, ext);
             stats.Stats.memo_stores <- stats.Stats.memo_stores + 1)
-      | Config.Chunked -> (
-          match st.chunks.(pos0) with
-          | Some chunk ->
-              chunk.res.(slot) <- -1;
-              chunk.vers.(slot) <- ver0;
-              chunk.exts.(slot) <- ext;
-              if ext > chunk.cmax then chunk.cmax <- ext;
-              stats.Stats.memo_stores <- stats.Stats.memo_stores + 1
-          | None ->
-              (* the memo budget denied this position a chunk *)
-              stats.Stats.memo_degraded <- stats.Stats.memo_degraded + 1)
+      | Config.Chunked ->
+          let a = st.arena in
+          let c = a.Memo_arena.idx.(pos0) in
+          if c >= 0 then (
+            let base = (c * nslots) + slot in
+            a.Memo_arena.res.(base) <- -1;
+            a.Memo_arena.vers.(base) <- ver0;
+            a.Memo_arena.exts.(base) <- ext;
+            if ext > a.Memo_arena.cmax.(c) then a.Memo_arena.cmax.(c) <- ext;
+            stats.Stats.memo_stores <- stats.Stats.memo_stores + 1)
+          else
+            (* the memo budget denied this position a chunk *)
+            stats.Stats.memo_degraded <- stats.Stats.memo_degraded + 1
   in
   let chunk_cost = Limits.chunk_cost t.nslots in
+  (* Returns the chunk id for [pos], claiming one from the arena on
+     first visit — budget charges and stats exactly as when chunks were
+     boxed records; -1 when the memo budget denies the claim. *)
   let chunk_at pos =
-    match st.chunks.(pos) with
-    | Some _ as c -> c
-    | None ->
-        if st.memo_bytes + chunk_cost > st.memo_limit then None
-        else (
-          let c =
-            {
-              res = Array.make t.nslots 0;
-              vals = Array.make t.nslots Value.Unit;
-              vers = Array.make t.nslots 0;
-              exts = Array.make t.nslots 0;
-              cmax = 0;
-            }
-          in
-          st.chunks.(pos) <- Some c;
-          st.memo_bytes <- st.memo_bytes + chunk_cost;
-          stats.Stats.chunks_allocated <- stats.Stats.chunks_allocated + 1;
-          stats.Stats.chunk_slots <- stats.Stats.chunk_slots + t.nslots;
-          Some c)
+    let a = st.arena in
+    let c = a.Memo_arena.idx.(pos) in
+    if c >= 0 then c
+    else if st.memo_bytes + chunk_cost > st.memo_limit then -1
+    else (
+      let c = Memo_arena.alloc a pos in
+      st.memo_bytes <- st.memo_bytes + chunk_cost;
+      stats.Stats.chunks_allocated <- stats.Stats.chunks_allocated + 1;
+      stats.Stats.chunk_slots <- stats.Stats.chunk_slots + t.nslots;
+      c)
   in
   (* Failure: pop the unified stack to the nearest backtrack entry,
      memoizing the failure of every production frame crossed, then
@@ -1031,7 +1063,8 @@ let exec (t : t) (st : st) start_ip =
     else (
       st.sp <- st.sp - 1;
       let sp = st.sp in
-      let tag = Array.unsafe_get st.s_tag sp in
+      let sc = Array.unsafe_get st.s_code sp in
+      let tag = sc land 7 in
       if tag = tag_obs_inline then (
         (* an observed inlined body is failing: close its frame exactly
            where the un-inlined call's return entry would have *)
@@ -1069,7 +1102,7 @@ let exec (t : t) (st : st) start_ip =
         rewind_frames st
           (Array.unsafe_get st.s_aux0 sp)
           (Array.unsafe_get st.s_aux1 sp);
-        dispatch (Array.unsafe_get st.s_addr sp)))
+        dispatch (sc asr 3)))
   and dispatch ip =
     stats.Stats.vm_instructions <- stats.Stats.vm_instructions + 1;
     match Array.unsafe_get code ip with
@@ -1220,35 +1253,39 @@ let exec (t : t) (st : st) start_ip =
         push_ret st ~tag:(if lean then tag_ret_lean else tag_ret) ~ret:(ip + 1)
           ~prod;
         dispatch (Array.unsafe_get entries prod)
-    | ICallChunk (prod, slot, stateful, lean) ->
+    | ICallChunk (prod, slot, vslot, stateful, lean) ->
         stats.Stats.invocations <- stats.Stats.invocations + 1;
         charge_fuel ();
         (* Lean calls read existing memo entries but never allocate a
            chunk (nor store on return) — mirroring the closure engine's
            recognizers, entry for entry. *)
-        let chunk_opt = if lean then st.chunks.(st.pos) else chunk_at st.pos in
+        let a = st.arena in
+        let c =
+          if lean then Array.unsafe_get a.Memo_arena.idx st.pos
+          else chunk_at st.pos
+        in
+        let base = if c >= 0 then (c * nslots) + slot else 0 in
         let hit =
-          match chunk_opt with
-          | Some chunk ->
-              let r = Array.unsafe_get chunk.res slot in
-              if
-                r <> 0
-                && ((not stateful)
-                   || Array.unsafe_get chunk.vers slot = st.version)
-              then r
-              else 0
-          | None -> 0
+          if c >= 0 then (
+            let r = Array.unsafe_get a.Memo_arena.res base in
+            if
+              r <> 0
+              && ((not stateful)
+                 || Array.unsafe_get a.Memo_arena.vers base = st.version)
+            then r
+            else 0)
+          else 0
         in
         if hit <> 0 then (
           stats.Stats.memo_hits <- stats.Stats.memo_hits + 1;
-          (match chunk_opt with
-          | Some chunk -> look (st.pos + Array.unsafe_get chunk.exts slot - 1)
-          | None -> ());
+          look (st.pos + Array.unsafe_get a.Memo_arena.exts base - 1);
           if hit > 0 then (
-            (match chunk_opt with
-            | Some chunk ->
-                if not lean then st.value <- Array.unsafe_get chunk.vals slot
-            | None -> ());
+            if not lean then
+              st.value <-
+                (if vslot >= 0 then
+                   Array.unsafe_get a.Memo_arena.vals
+                     ((c * t.nvslots) + vslot)
+                 else Value.Unit);
             st.pos <- st.pos + hit - 1;
             dispatch (ip + 1))
           else fail ())
@@ -1279,39 +1316,48 @@ let exec (t : t) (st : st) start_ip =
         st.sp <- st.sp - 1;
         st.depth <- st.depth - 1;
         let sp = st.sp in
-        if Array.unsafe_get st.s_tag sp = tag_ret then
+        let sc = Array.unsafe_get st.s_code sp in
+        if sc land 7 = tag_ret then
           apply_shape (Array.unsafe_get st.s_aux1 sp)
             (Array.unsafe_get st.s_pos sp);
         look (Array.unsafe_get st.s_depth sp);
-        dispatch (Array.unsafe_get st.s_addr sp)
-    | IRetChunk slot ->
+        dispatch (sc asr 3)
+    | IRetChunk (slot, vslot) ->
         st.sp <- st.sp - 1;
         st.depth <- st.depth - 1;
         let sp = st.sp in
-        (if Array.unsafe_get st.s_tag sp = tag_ret then (
+        let sc = Array.unsafe_get st.s_code sp in
+        (if sc land 7 = tag_ret then (
            let pos0 = Array.unsafe_get st.s_pos sp in
            let v = shaped_value (Array.unsafe_get st.s_aux1 sp) pos0 in
-           (match Array.unsafe_get st.chunks pos0 with
-           | Some chunk ->
-               Array.unsafe_set chunk.res slot (st.pos - pos0 + 1);
-               Array.unsafe_set chunk.vals slot v;
-               Array.unsafe_set chunk.vers slot
-                 (Array.unsafe_get st.s_aux0 sp);
-               let ext = st.examined - pos0 + 1 in
-               Array.unsafe_set chunk.exts slot ext;
-               if ext > chunk.cmax then chunk.cmax <- ext;
-               stats.Stats.memo_stores <- stats.Stats.memo_stores + 1
-           | None ->
-               (* the memo budget denied this position a chunk *)
-               stats.Stats.memo_degraded <- stats.Stats.memo_degraded + 1);
+           let a = st.arena in
+           let c = Array.unsafe_get a.Memo_arena.idx pos0 in
+           (if c >= 0 then (
+              let base = (c * nslots) + slot in
+              Array.unsafe_set a.Memo_arena.res base (st.pos - pos0 + 1);
+              if vslot >= 0 then
+                Array.unsafe_set a.Memo_arena.vals
+                  ((c * t.nvslots) + vslot)
+                  v;
+              Array.unsafe_set a.Memo_arena.vers base
+                (Array.unsafe_get st.s_aux0 sp);
+              let ext = st.examined - pos0 + 1 in
+              Array.unsafe_set a.Memo_arena.exts base ext;
+              if ext > Array.unsafe_get a.Memo_arena.cmax c then
+                Array.unsafe_set a.Memo_arena.cmax c ext;
+              stats.Stats.memo_stores <- stats.Stats.memo_stores + 1)
+            else
+              (* the memo budget denied this position a chunk *)
+              stats.Stats.memo_degraded <- stats.Stats.memo_degraded + 1);
            st.value <- v));
         look (Array.unsafe_get st.s_depth sp);
-        dispatch (Array.unsafe_get st.s_addr sp)
+        dispatch (sc asr 3)
     | IRetTbl slot ->
         st.sp <- st.sp - 1;
         st.depth <- st.depth - 1;
         let sp = st.sp in
-        (if Array.unsafe_get st.s_tag sp = tag_ret then (
+        let sc = Array.unsafe_get st.s_code sp in
+        (if sc land 7 = tag_ret then (
            let pos0 = Array.unsafe_get st.s_pos sp in
            let v = shaped_value (Array.unsafe_get st.s_aux1 sp) pos0 in
            (if st.memo_bytes + Limits.table_entry_cost > st.memo_limit then
@@ -1327,7 +1373,7 @@ let exec (t : t) (st : st) start_ip =
               stats.Stats.memo_stores <- stats.Stats.memo_stores + 1));
            st.value <- v));
         look (Array.unsafe_get st.s_depth sp);
-        dispatch (Array.unsafe_get st.s_addr sp)
+        dispatch (sc asr 3)
     (* Observed twins. Each mirrors its plain form exactly — the same
        counter bumps, fuel charges, memo traffic and value writes, in
        the same order — with the profiler frame opened before the fuel
@@ -1343,34 +1389,38 @@ let exec (t : t) (st : st) start_ip =
           ~tag:(if lean then tag_ret_lean_obs else tag_ret_obs)
           ~ret:(ip + 1) ~prod;
         dispatch (Array.unsafe_get entries prod)
-    | IObsCallChunk (prod, slot, stateful, lean) ->
+    | IObsCallChunk (prod, slot, vslot, stateful, lean) ->
         let pos0 = st.pos in
         Observe.enter o prod pos0;
         stats.Stats.invocations <- stats.Stats.invocations + 1;
         charge_fuel ();
-        let chunk_opt = if lean then st.chunks.(pos0) else chunk_at pos0 in
+        let a = st.arena in
+        let c =
+          if lean then Array.unsafe_get a.Memo_arena.idx pos0
+          else chunk_at pos0
+        in
+        let base = if c >= 0 then (c * nslots) + slot else 0 in
         let hit =
-          match chunk_opt with
-          | Some chunk ->
-              let r = Array.unsafe_get chunk.res slot in
-              if
-                r <> 0
-                && ((not stateful)
-                   || Array.unsafe_get chunk.vers slot = st.version)
-              then r
-              else 0
-          | None -> 0
+          if c >= 0 then (
+            let r = Array.unsafe_get a.Memo_arena.res base in
+            if
+              r <> 0
+              && ((not stateful)
+                 || Array.unsafe_get a.Memo_arena.vers base = st.version)
+            then r
+            else 0)
+          else 0
         in
         if hit <> 0 then (
           stats.Stats.memo_hits <- stats.Stats.memo_hits + 1;
-          (match chunk_opt with
-          | Some chunk -> look (pos0 + Array.unsafe_get chunk.exts slot - 1)
-          | None -> ());
+          look (pos0 + Array.unsafe_get a.Memo_arena.exts base - 1);
           if hit > 0 then (
-            (match chunk_opt with
-            | Some chunk ->
-                if not lean then st.value <- Array.unsafe_get chunk.vals slot
-            | None -> ());
+            (if not lean then
+               st.value <-
+                 (if vslot >= 0 then
+                    Array.unsafe_get a.Memo_arena.vals
+                      ((c * t.nvslots) + vslot)
+                  else Value.Unit));
             st.pos <- pos0 + hit - 1;
             Observe.memo_hit o prod pos0 ~stop:st.pos;
             dispatch (ip + 1))
@@ -1411,44 +1461,51 @@ let exec (t : t) (st : st) start_ip =
         st.sp <- st.sp - 1;
         st.depth <- st.depth - 1;
         let sp = st.sp in
+        let sc = Array.unsafe_get st.s_code sp in
         let prod = Array.unsafe_get st.s_aux1 sp in
         let pos0 = Array.unsafe_get st.s_pos sp in
-        if Array.unsafe_get st.s_tag sp = tag_ret_obs then
-          apply_shape prod pos0;
+        if sc land 7 = tag_ret_obs then apply_shape prod pos0;
         look (Array.unsafe_get st.s_depth sp);
         Observe.exit o prod pos0 ~stop:st.pos;
-        dispatch (Array.unsafe_get st.s_addr sp)
-    | IObsRetChunk slot ->
+        dispatch (sc asr 3)
+    | IObsRetChunk (slot, vslot) ->
         st.sp <- st.sp - 1;
         st.depth <- st.depth - 1;
         let sp = st.sp in
+        let sc = Array.unsafe_get st.s_code sp in
         let prod = Array.unsafe_get st.s_aux1 sp in
         let pos0 = Array.unsafe_get st.s_pos sp in
-        (if Array.unsafe_get st.s_tag sp = tag_ret_obs then (
+        (if sc land 7 = tag_ret_obs then (
            let v = shaped_value prod pos0 in
-           (match Array.unsafe_get st.chunks pos0 with
-           | Some chunk ->
-               Array.unsafe_set chunk.res slot (st.pos - pos0 + 1);
-               Array.unsafe_set chunk.vals slot v;
-               Array.unsafe_set chunk.vers slot
-                 (Array.unsafe_get st.s_aux0 sp);
-               let ext = st.examined - pos0 + 1 in
-               Array.unsafe_set chunk.exts slot ext;
-               if ext > chunk.cmax then chunk.cmax <- ext;
-               stats.Stats.memo_stores <- stats.Stats.memo_stores + 1
-           | None ->
-               stats.Stats.memo_degraded <- stats.Stats.memo_degraded + 1);
+           let a = st.arena in
+           let c = Array.unsafe_get a.Memo_arena.idx pos0 in
+           (if c >= 0 then (
+              let base = (c * nslots) + slot in
+              Array.unsafe_set a.Memo_arena.res base (st.pos - pos0 + 1);
+              if vslot >= 0 then
+                Array.unsafe_set a.Memo_arena.vals
+                  ((c * t.nvslots) + vslot)
+                  v;
+              Array.unsafe_set a.Memo_arena.vers base
+                (Array.unsafe_get st.s_aux0 sp);
+              let ext = st.examined - pos0 + 1 in
+              Array.unsafe_set a.Memo_arena.exts base ext;
+              if ext > Array.unsafe_get a.Memo_arena.cmax c then
+                Array.unsafe_set a.Memo_arena.cmax c ext;
+              stats.Stats.memo_stores <- stats.Stats.memo_stores + 1)
+            else stats.Stats.memo_degraded <- stats.Stats.memo_degraded + 1);
            st.value <- v));
         look (Array.unsafe_get st.s_depth sp);
         Observe.exit o prod pos0 ~stop:st.pos;
-        dispatch (Array.unsafe_get st.s_addr sp)
+        dispatch (sc asr 3)
     | IObsRetTbl slot ->
         st.sp <- st.sp - 1;
         st.depth <- st.depth - 1;
         let sp = st.sp in
+        let sc = Array.unsafe_get st.s_code sp in
         let prod = Array.unsafe_get st.s_aux1 sp in
         let pos0 = Array.unsafe_get st.s_pos sp in
-        (if Array.unsafe_get st.s_tag sp = tag_ret_obs then (
+        (if sc land 7 = tag_ret_obs then (
            let v = shaped_value prod pos0 in
            (if st.memo_bytes + Limits.table_entry_cost > st.memo_limit then
               stats.Stats.memo_degraded <- stats.Stats.memo_degraded + 1
@@ -1464,7 +1521,7 @@ let exec (t : t) (st : st) start_ip =
            st.value <- v));
         look (Array.unsafe_get st.s_depth sp);
         Observe.exit o prod pos0 ~stop:st.pos;
-        dispatch (Array.unsafe_get st.s_addr sp)
+        dispatch (sc asr 3)
     | IObsEnter prod ->
         Observe.enter o prod st.pos;
         push_obs st prod;
@@ -1615,16 +1672,16 @@ type outcome = {
 (* A persistent memo store for incremental sessions; mirrors the
    closure engine's [cstore] field for field. *)
 type store = {
-  mutable v_chunks : chunk option array;
+  v_arena : Memo_arena.t;  (* owned chunk storage, recycled across reparses *)
   v_table : (int, int * Value.t * int * int) Hashtbl.t;
   mutable v_bytes : int;
   mutable v_len : int;  (* input length of the entries; -1 = empty *)
   mutable v_version : int;  (* version counter at the end of the last run *)
 }
 
-let new_store () =
+let new_store (t : t) =
   {
-    v_chunks = [||];
+    v_arena = Memo_arena.create ~nslots:t.nslots ~vmap:t.vmap;
     v_table = Hashtbl.create 256;
     v_bytes = 0;
     v_len = -1;
@@ -1645,44 +1702,10 @@ let edit_store t (s : store) ~start ~old_len ~new_len =
     (match t.cfg.Config.memo with
     | Config.No_memo -> ()
     | Config.Chunked ->
-        let old = s.v_chunks in
-        let n = Array.length old in
-        let fresh = Array.make (n + delta) None in
-        let cost = Limits.chunk_cost t.nslots in
-        let bytes = ref 0 in
-        let keep p c =
-          fresh.(p) <- Some c;
-          incr reused;
-          bytes := !bytes + cost
-        in
-        for p = 0 to min (start - 1) (n - 1) do
-          match old.(p) with
-          | None -> ()
-          | Some c ->
-              if p + c.cmax <= start then keep p c
-              else (
-                let live = ref false and m = ref 0 in
-                for sl = 0 to t.nslots - 1 do
-                  if c.res.(sl) <> 0 then
-                    if p + c.exts.(sl) > start then c.res.(sl) <- 0
-                    else (
-                      live := true;
-                      if c.exts.(sl) > !m then m := c.exts.(sl))
-                done;
-                c.cmax <- !m;
-                if !live then keep p c)
-        done;
-        let src = start + old_len in
-        if src < n then (
-          Array.blit old src fresh (src + delta) (n - src);
-          for p = src + delta to n + delta - 1 do
-            if fresh.(p) <> None then (
-              incr reused;
-              if delta <> 0 then incr relocated;
-              bytes := !bytes + cost)
-          done);
-        s.v_chunks <- fresh;
-        s.v_bytes <- !bytes
+        let r, l = Memo_arena.edit s.v_arena ~start ~old_len ~new_len in
+        reused := r;
+        relocated := l;
+        s.v_bytes <- r * Limits.chunk_cost t.nslots
     | Config.Hashtable ->
         if t.nslots > 0 then (
           let entries =
@@ -1705,7 +1728,62 @@ let edit_store t (s : store) ~start ~old_len ~new_len =
     s.v_len <- s.v_len + delta);
   (!reused, !relocated)
 
-let make_st t ~trace ?store input =
+(* One preallocated set of run buffers, parked on the program between
+   runs ([t.pool]); taking it empties the pool so a reentrant run
+   simply allocates a fresh set. *)
+let fresh_scratch (t : t) =
+  {
+    sc_arena = Memo_arena.create ~nslots:t.nslots ~vmap:t.vmap;
+    sc_table = Hashtbl.create 1024;
+    sc_code = Array.make 256 0;
+    sc_pos = Array.make 256 0;
+    sc_aux0 = Array.make 256 0;
+    sc_aux1 = Array.make 256 0;
+    sc_depth = Array.make 256 0;
+    sc_tables = Array.make 256 SMap.empty;
+    sc_fstart = Array.make 64 0;
+    sc_fbase = Array.make 64 0;
+    sc_plabel = Array.make 256 None;
+    sc_pvalue = Array.make 256 Value.Unit;
+  }
+
+let take_scratch (t : t) =
+  match t.pool with
+  | Some sc ->
+      t.pool <- None;
+      sc
+  | None -> fresh_scratch t
+
+(* The stack arrays are replaced when they grow; write the current
+   (largest) ones back so the next run keeps the growth. *)
+let stash_stacks (st : st) sc =
+  sc.sc_code <- st.s_code;
+  sc.sc_pos <- st.s_pos;
+  sc.sc_aux0 <- st.s_aux0;
+  sc.sc_aux1 <- st.s_aux1;
+  sc.sc_depth <- st.s_depth;
+  sc.sc_tables <- st.s_tables;
+  sc.sc_fstart <- st.f_start;
+  sc.sc_fbase <- st.f_base;
+  sc.sc_plabel <- st.p_label;
+  sc.sc_pvalue <- st.p_value
+
+(* Park the scratch for the next run, dropping every value reference it
+   accumulated so pooled buffers never keep parse results alive.
+   [own_memo] says the run used the scratch's own memo storage (no
+   persistent store): its arena and table must be released too. *)
+let release_scratch (t : t) (st : st) sc ~own_memo =
+  stash_stacks st sc;
+  Array.fill sc.sc_tables 0 (Array.length sc.sc_tables) SMap.empty;
+  Array.fill sc.sc_plabel 0 (Array.length sc.sc_plabel) None;
+  Array.fill sc.sc_pvalue 0 (Array.length sc.sc_pvalue) Value.Unit;
+  if own_memo then (
+    Memo_arena.release_values sc.sc_arena;
+    (* clear, not reset: keep the grown bucket array *)
+    Hashtbl.clear sc.sc_table);
+  t.pool <- Some sc
+
+let make_st t ~trace ?store ~scratch:sc input =
   let limits = t.cfg.Config.limits in
   let len = String.length input in
   (* Sync a persistent store to this input: entries only carry over when
@@ -1718,15 +1796,14 @@ let make_st t ~trace ?store input =
         s.v_len = len
         &&
         match t.cfg.Config.memo with
-        | Config.Chunked -> Array.length s.v_chunks = len + 1
+        | Config.Chunked -> s.v_arena.Memo_arena.idx_len = len + 1
         | _ -> true
       in
       if not usable then (
         Hashtbl.reset s.v_table;
-        s.v_chunks <-
-          (match t.cfg.Config.memo with
-          | Config.Chunked -> Array.make (len + 1) None
-          | _ -> [||]);
+        (match t.cfg.Config.memo with
+        | Config.Chunked -> Memo_arena.reset s.v_arena ~len
+        | _ -> ());
         s.v_bytes <- 0;
         s.v_len <- len));
   {
@@ -1749,31 +1826,32 @@ let make_st t ~trace ?store input =
     table_memo =
       (match store with
       | Some s -> s.v_table
-      | None -> (
-          match t.cfg.Config.memo with
-          | Config.Hashtable -> Hashtbl.create 1024
-          | _ -> Hashtbl.create 1));
-    chunks =
+      | None ->
+          (* cleared here, not at release, so the traced replay pass
+             (which reuses the scratch) also starts cold *)
+          if t.cfg.Config.memo = Config.Hashtable then
+            Hashtbl.clear sc.sc_table;
+          sc.sc_table);
+    arena =
       (match store with
-      | Some s -> s.v_chunks
-      | None -> (
-          match t.cfg.Config.memo with
-          | Config.Chunked -> Array.make (len + 1) None
-          | _ -> [||]));
+      | Some s -> s.v_arena
+      | None ->
+          if t.cfg.Config.memo = Config.Chunked then
+            Memo_arena.reset sc.sc_arena ~len;
+          sc.sc_arena);
     examined = -1;
-    s_tag = Array.make 256 0;
-    s_addr = Array.make 256 0;
-    s_pos = Array.make 256 0;
-    s_aux0 = Array.make 256 0;
-    s_aux1 = Array.make 256 0;
-    s_depth = Array.make 256 0;
-    s_tables = Array.make 256 SMap.empty;
+    s_code = sc.sc_code;
+    s_pos = sc.sc_pos;
+    s_aux0 = sc.sc_aux0;
+    s_aux1 = sc.sc_aux1;
+    s_depth = sc.sc_depth;
+    s_tables = sc.sc_tables;
     sp = 0;
-    f_start = Array.make 64 0;
-    f_base = Array.make 64 0;
+    f_start = sc.sc_fstart;
+    f_base = sc.sc_fbase;
     fp = 0;
-    p_label = Array.make 256 None;
-    p_value = Array.make 256 Value.Unit;
+    p_label = sc.sc_plabel;
+    p_value = sc.sc_pvalue;
     p_top = 0;
   }
 
@@ -1839,15 +1917,20 @@ let run t ?start ?(require_eof = true) input =
        replay pass (which starts from a fresh budget). An observed run
        instead records in a single pass — a replay would push every
        event twice into the ring and double the profile. *)
-    let st = make_st t ~trace:observing input in
+    let sc = take_scratch t in
+    let st = make_st t ~trace:observing ~scratch:sc input in
     let p = exec_guarded st in
     let st, p =
       if (not observing) && (p < 0 || (require_eof && p < st.len)) then (
-        let st = make_st t ~trace:true input in
+        (* the replay shares the scratch: carry any stack growth over,
+           and [make_st] re-colds the memo so the rerun is exact *)
+        stash_stacks st sc;
+        let st = make_st t ~trace:true ~scratch:sc input in
         let p = exec_guarded st in
         (st, p))
       else (st, p)
     in
+    release_scratch t st sc ~own_memo:true;
     observe_epilogue t st;
     (* clamp: a fuel trip leaves st.fuel at -1; report the budget, not
        budget + 1 *)
@@ -1882,7 +1965,8 @@ let run_store t (s : store) ?start ?(require_eof = true) input =
       consumed = -1;
     })
   else (
-    let st = make_st t ~trace:(t.obs <> None) ~store:s input in
+    let sc = take_scratch t in
+    let st = make_st t ~trace:(t.obs <> None) ~store:s ~scratch:sc input in
     let p =
       try exec t st t.stubs.(start_id) with
       | Exhausted -> -1
@@ -1895,6 +1979,7 @@ let run_store t (s : store) ?start ?(require_eof = true) input =
             Some (Limits.Memory, max (Expected.farthest st.fail_trace) 0);
           -1
     in
+    release_scratch t st sc ~own_memo:false;
     observe_epilogue t st;
     st.stats.Stats.fuel_used <- limits.Limits.fuel - max st.fuel 0;
     s.v_bytes <- st.memo_bytes;
@@ -1969,16 +2054,16 @@ let disassemble t =
         | IFail (Some d) -> Printf.sprintf "fail %S" d
         | IFail None -> "fail"
         | ICall (p, _) -> Printf.sprintf "call %s" t.names.(p)
-        | ICallChunk (p, slot, _, _) | ICallTbl (p, slot, _, _) ->
+        | ICallChunk (p, slot, _, _, _) | ICallTbl (p, slot, _, _) ->
             Printf.sprintf "call %s [slot %d]" t.names.(p) slot
         | IRet -> "ret"
-        | IRetChunk slot | IRetTbl slot ->
+        | IRetChunk (slot, _) | IRetTbl slot ->
             Printf.sprintf "ret [slot %d]" slot
         | IObsCall (p, _) -> Printf.sprintf "obs-call %s" t.names.(p)
-        | IObsCallChunk (p, slot, _, _) | IObsCallTbl (p, slot, _, _) ->
+        | IObsCallChunk (p, slot, _, _, _) | IObsCallTbl (p, slot, _, _) ->
             Printf.sprintf "obs-call %s [slot %d]" t.names.(p) slot
         | IObsRet -> "obs-ret"
-        | IObsRetChunk slot | IObsRetTbl slot ->
+        | IObsRetChunk (slot, _) | IObsRetTbl slot ->
             Printf.sprintf "obs-ret [slot %d]" slot
         | IObsEnter p -> Printf.sprintf "obs-enter %s" t.names.(p)
         | IObsLeave -> "obs-leave"

@@ -76,8 +76,10 @@ type store
 (** A memo store surviving across runs of one program over successive
     versions of one buffer. *)
 
-val new_store : unit -> store
-(** An empty store; populated by the first {!run_store}. *)
+val new_store : t -> store
+(** An empty store for runs of this program; populated by the first
+    {!run_store}. The store owns a {!Memo_arena} sized to the program's
+    slot layout, recycled in place across reparses. *)
 
 val edit_store :
   t -> store -> start:int -> old_len:int -> new_len:int -> int * int

@@ -13,18 +13,93 @@ let name s = s.name
 let text s = s.text
 let length s = String.length s.text
 
-(* Offsets of the first byte of every line, computed on first use. *)
+(* Offsets of every '\n' in [text.(lo, hi)], plus one, appended to a
+   growable buffer — the shared scanner for first use and for the
+   replacement window of [apply_edit]. *)
+let scan_starts buf n text lo hi =
+  let buf = ref buf and n = ref n in
+  for i = lo to hi - 1 do
+    if String.unsafe_get text i = '\n' then begin
+      if !n = Array.length !buf then begin
+        let b = Array.make (2 * !n) 0 in
+        Array.blit !buf 0 b 0 !n;
+        buf := b
+      end;
+      !buf.(!n) <- i + 1;
+      incr n
+    end
+  done;
+  (!buf, !n)
+
+(* Offsets of the first byte of every line, computed on first use into a
+   doubling int buffer (no per-line cons cells). *)
 let line_starts s =
   match s.line_starts with
   | Some a -> a
   | None ->
-      let acc = ref [ 0 ] in
-      String.iteri (fun i c -> if c = '\n' then acc := (i + 1) :: !acc) s.text;
-      let a = Array.of_list (List.rev !acc) in
+      let buf = Array.make 16 0 in
+      let buf, n = scan_starts buf 1 s.text 0 (String.length s.text) in
+      let a = if n = Array.length buf then buf else Array.sub buf 0 n in
       s.line_starts <- Some a;
       a
 
 let line_count s = Array.length (line_starts s)
+
+(* Splice [replacement] over [old_len] bytes at [start]. The line-start
+   table is patched, not rebuilt: a start at offset [p <= start] marks a
+   '\n' (or the text head) before the damage and survives unchanged; one
+   at [p >= start + old_len + 1] marks a '\n' at or past the damage end
+   and shifts by the length delta; starts born inside the replaced
+   window die, and the replacement itself is the only text scanned. *)
+let apply_edit s ~start ~old_len ~replacement =
+  let len = String.length s.text in
+  if start < 0 || old_len < 0 || start + old_len > len then
+    invalid_arg "Source.apply_edit";
+  let new_len = String.length replacement in
+  let b = Bytes.create (len - old_len + new_len) in
+  Bytes.blit_string s.text 0 b 0 start;
+  Bytes.blit_string replacement 0 b start new_len;
+  Bytes.blit_string s.text (start + old_len) b (start + new_len)
+    (len - start - old_len);
+  let text = Bytes.unsafe_to_string b in
+  let line_starts =
+    match s.line_starts with
+    | None -> None
+    | Some a ->
+        let n = Array.length a in
+        let delta = new_len - old_len in
+        (* Last index with a.(i) <= start; a.(0) = 0 <= start. *)
+        let rec last lo hi =
+          if lo >= hi then lo
+          else
+            let mid = (lo + hi + 1) / 2 in
+            if a.(mid) <= start then last mid hi else last lo (mid - 1)
+        in
+        let keep = last 0 (n - 1) + 1 in
+        (* First index with a.(i) >= start + old_len + 1. *)
+        let rec first lo hi =
+          if lo >= hi then lo
+          else
+            let mid = (lo + hi) / 2 in
+            if a.(mid) >= start + old_len + 1 then first lo mid
+            else first (mid + 1) hi
+        in
+        let suffix = first keep n in
+        let buf = Array.make (max 16 keep) 0 in
+        Array.blit a 0 buf 0 keep;
+        let buf, m = scan_starts buf keep replacement 0 new_len in
+        let out = Array.make (m + (n - suffix)) 0 in
+        Array.blit buf 0 out 0 m;
+        (* Replacement-window starts are replacement-relative. *)
+        for i = keep to m - 1 do
+          out.(i) <- out.(i) + start
+        done;
+        for i = suffix to n - 1 do
+          out.(m + (i - suffix)) <- a.(i) + delta
+        done;
+        Some out
+  in
+  { name = s.name; text; line_starts }
 
 let location s off =
   let off = max 0 (min off (String.length s.text)) in

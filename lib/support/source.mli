@@ -23,6 +23,15 @@ val name : t -> string
 val text : t -> string
 val length : t -> int
 
+val apply_edit : t -> start:int -> old_len:int -> replacement:string -> t
+(** [apply_edit src ~start ~old_len ~replacement] is a source holding
+    [src]'s text with the [old_len] bytes at [start] replaced by
+    [replacement]. If [src]'s line-start index has been built it is
+    patched — starts before the damage are shared, starts past it are
+    shifted by the length delta, and only [replacement] is scanned —
+    instead of recomputed from the whole text. Raises
+    [Invalid_argument] when the edit is out of bounds. *)
+
 val location : t -> int -> location
 (** [location src off] resolves byte offset [off] (clamped to the text) to
     a line/column pair. *)

@@ -347,11 +347,130 @@ let unit_tests =
         | Error e -> Alcotest.failf "parse failed: %s" (Parse_error.message e));
   ]
 
+(* Arena-recycling equivalence: the memo arena and pooled scratch
+   introduced for the allocation-free hot path must be invisible.
+
+   Two angles, both over closure and VM back ends, governed and
+   ungoverned:
+
+   - Twin sessions driven through the identical edit script must agree
+     on every observation AND on every [Stats] counter at every step —
+     one twin runs on an engine whose scratch pool is already warm from
+     unrelated parses, so a stale pooled arena, value slot or bucket
+     table would surface as a divergence.
+
+   - After the full script (arena grown, chunks freed and recycled),
+     the session's reparse must match a fresh session over the same
+     final buffer — cold store, never-used arena — on value, farthest
+     position, expected set and rendered message. When nothing survived
+     the edits ([memo_reused = 0]) the recycled store is semantically
+     cold too, and the full counter set must match the fresh store's. *)
+
+let governed_limits = Limits.v ~fuel:200_000 ~max_depth:200 ()
+
+let recycle_configs =
+  [
+    ("closure", Config.optimized);
+    ("vm", Config.vm);
+    ("closure-governed", Config.with_limits governed_limits Config.optimized);
+    ("vm-governed", Config.with_limits governed_limits Config.vm);
+  ]
+
+let stats_fields s = Stats.fields s
+
+let check_stats_equal tag a b =
+  let fa = stats_fields a and fb = stats_fields b in
+  if fa <> fb then
+    QCheck.Test.fail_reportf "%s: stats diverge:\n  %s\n  %s" tag
+      (String.concat ", "
+         (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) fa))
+      (String.concat ", "
+         (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) fb))
+
+let twin_stats_prop (label, cfg) count =
+  QCheck.Test.make
+    ~name:
+      (Printf.sprintf "twin sessions: identical stats at every step (%s)"
+         label)
+    ~count arb_case
+    (fun (g, input, script) ->
+      match Engine.prepare ~config:cfg g with
+      | Error _ -> true
+      | Ok eng ->
+          (* Warm one twin's scratch pool with unrelated inputs first;
+             recycled state must not leak into the session runs. *)
+          ignore (parse eng "abab");
+          ignore (parse eng "");
+          let sa = Session.create eng input in
+          let sb = Session.create eng input in
+          let step tag =
+            let ra = obs_of (Session.reparse sa) in
+            let rb = obs_of (Session.reparse sb) in
+            if not (obs_equal ra rb) then
+              QCheck.Test.fail_reportf "%s: %s vs %s" tag (obs_print ra)
+                (obs_print rb);
+            check_stats_equal tag (Session.stats sa) (Session.stats sb)
+          in
+          step "initial";
+          List.iteri
+            (fun i batch ->
+              List.iter
+                (fun e ->
+                  Session.apply_edit sa ~start:e.start ~old_len:e.old_len
+                    ~replacement:e.replacement;
+                  Session.apply_edit sb ~start:e.start ~old_len:e.old_len
+                    ~replacement:e.replacement)
+                batch;
+              step (Printf.sprintf "batch %d" i))
+            script;
+          true)
+
+let recycled_vs_fresh_prop (label, cfg) count =
+  QCheck.Test.make
+    ~name:
+      (Printf.sprintf "recycled store = fresh cold store (%s)" label)
+    ~count arb_case
+    (fun (g, input, script) ->
+      match Engine.prepare ~config:cfg g with
+      | Error _ -> true
+      | Ok eng ->
+          let s = Session.create eng input in
+          ignore (Session.reparse s);
+          List.iter
+            (fun batch ->
+              List.iter
+                (fun e ->
+                  Session.apply_edit s ~start:e.start ~old_len:e.old_len
+                    ~replacement:e.replacement)
+                batch;
+              ignore (Session.reparse s))
+            script;
+          (* One more edit cycle over the now well-recycled arena,
+             compared against a never-used store on the same buffer. *)
+          let tail = if String.length (Session.text s) = 0 then "ab" else "" in
+          Session.apply_edit s ~start:0 ~old_len:0 ~replacement:tail;
+          let recycled = obs_of (Session.reparse s) in
+          let fresh_session = Session.create eng (Session.text s) in
+          let fresh = obs_of (Session.reparse fresh_session) in
+          if not (obs_equal recycled fresh) then
+            QCheck.Test.fail_reportf "recycled %s, fresh %s (buffer %S)"
+              (obs_print recycled) (obs_print fresh) (Session.text s);
+          let st = Session.stats s in
+          if st.Stats.memo_reused = 0 then
+            check_stats_equal "no-survivor reparse" st
+              (Session.stats fresh_session);
+          true)
+
+let recycle_props =
+  List.map (fun c -> twin_stats_prop c 60) recycle_configs
+  @ List.map (fun c -> recycled_vs_fresh_prop c 60) recycle_configs
+
 let () =
   let to_alco = List.map QCheck_alcotest.to_alcotest in
   Alcotest.run "session"
     [
       ("session-equivalence", to_alco session_props);
+      ("arena-recycling", to_alco recycle_props);
       ("error-determinism", to_alco determinism_props);
       ("session-unit", unit_tests);
     ]

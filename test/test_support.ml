@@ -232,11 +232,191 @@ let rng_tests =
         check Alcotest.bool "both" true (!t && !f));
   ]
 
+(* --- Source.apply_edit ------------------------------------------------------ *)
+
+(* The patched line-start table must be indistinguishable from one
+   rebuilt from the spliced text: same starts, same locations at every
+   offset. The property drives random edits over random newline-heavy
+   texts, forcing the index before the edit so the patch path (not the
+   lazy rebuild) is what's exercised. *)
+
+let splice text start old_len replacement =
+  String.sub text 0 start
+  ^ replacement
+  ^ String.sub text (start + old_len) (String.length text - start - old_len)
+
+let check_patched_equals_rebuilt text start old_len replacement =
+  let src = Source.of_string text in
+  ignore (Source.line_count src) (* force the index *);
+  let patched = Source.apply_edit src ~start ~old_len ~replacement in
+  let expect = Source.of_string (splice text start old_len replacement) in
+  if not (String.equal (Source.text patched) (Source.text expect)) then
+    QCheck.Test.fail_reportf "text mismatch: %S vs %S" (Source.text patched)
+      (Source.text expect);
+  if Source.line_count patched <> Source.line_count expect then
+    QCheck.Test.fail_reportf "line_count %d vs %d (text %S)"
+      (Source.line_count patched) (Source.line_count expect)
+      (Source.text expect);
+  for off = 0 to Source.length expect do
+    let a = Source.location patched off and b = Source.location expect off in
+    if a <> b then
+      QCheck.Test.fail_reportf "location@%d: %d:%d vs %d:%d (text %S)" off
+        a.Source.line a.Source.col b.Source.line b.Source.col
+        (Source.text expect)
+  done;
+  true
+
+let gen_edit_case =
+  QCheck.Gen.(
+    let text_gen =
+      string_size ~gen:(oneofl [ 'a'; 'b'; '\n'; '\n' ]) (int_bound 40)
+    in
+    text_gen >>= fun text ->
+    int_bound (String.length text) >>= fun start ->
+    int_bound (String.length text - start) >>= fun old_len ->
+    text_gen >>= fun replacement -> return (text, start, old_len, replacement))
+
+let print_edit_case (text, start, old_len, replacement) =
+  Printf.sprintf "%S @%d -%d +%S" text start old_len replacement
+
+let source_edit_props =
+  [
+    QCheck.Test.make ~name:"patched line starts = rebuilt line starts"
+      ~count:500
+      (QCheck.make ~print:print_edit_case gen_edit_case)
+      (fun (text, start, old_len, replacement) ->
+        check_patched_equals_rebuilt text start old_len replacement);
+  ]
+
+let source_edit_tests =
+  [
+    test "edit before a lazy index stays lazy-correct" (fun () ->
+        let src = Source.of_string "a\nb\nc" in
+        let p = Source.apply_edit src ~start:2 ~old_len:1 ~replacement:"xx\ny" in
+        check Alcotest.string "text" "a\nxx\ny\nc" (Source.text p);
+        check Alcotest.int "lines" 4 (Source.line_count p));
+    test "pure insertion shifts the suffix" (fun () ->
+        ignore (check_patched_equals_rebuilt "one\ntwo\nthree" 4 0 "ins\n"));
+    test "pure deletion drops starts in the window" (fun () ->
+        ignore (check_patched_equals_rebuilt "one\ntwo\nthree" 3 5 ""));
+    test "newline at the replacement boundary" (fun () ->
+        ignore (check_patched_equals_rebuilt "ab\ncd" 2 1 "\n");
+        ignore (check_patched_equals_rebuilt "ab\ncd" 3 0 "x\n"));
+    test "whole-buffer replacement" (fun () ->
+        ignore (check_patched_equals_rebuilt "a\nb" 0 3 "x\ny\nz"));
+    test "out of bounds rejected" (fun () ->
+        let src = Source.of_string "abc" in
+        Alcotest.check_raises "past end" (Invalid_argument "Source.apply_edit")
+          (fun () ->
+            ignore (Source.apply_edit src ~start:2 ~old_len:2 ~replacement:"")));
+  ]
+
+(* --- Memo_arena ------------------------------------------------------------- *)
+
+(* Low-level checks of the flat chunk store both engines sit on; the
+   end-to-end invariants (identical parses across recycling) live in
+   test_session.ml. *)
+
+let memo_arena_tests =
+  let open Memo_arena in
+  let make () =
+    (* two memo slots, slot 0 carries a value, slot 1 is lean *)
+    create ~nslots:2 ~vmap:[| 0; -1 |]
+  in
+  [
+    test "create starts cold" (fun () ->
+        let a = make () in
+        check Alcotest.int "idx_len" (-1) a.idx_len;
+        check Alcotest.int "used" 0 a.used);
+    test "alloc assigns and indexes chunks" (fun () ->
+        let a = make () in
+        reset a ~len:10;
+        let c0 = alloc a 3 and c1 = alloc a 7 in
+        check Alcotest.bool "distinct" true (c0 <> c1);
+        check Alcotest.int "idx 3" c0 a.idx.(3);
+        check Alcotest.int "idx 7" c1 a.idx.(7);
+        check Alcotest.int "unset res" 0 a.res.((c0 * 2) + 1));
+    test "growth preserves rows" (fun () ->
+        let a = make () in
+        reset a ~len:1000;
+        let c0 = alloc a 0 in
+        a.res.(c0 * 2) <- 5;
+        a.vals.(c0) <- Value.Chr 'x';
+        for p = 1 to 200 do
+          ignore (alloc a p)
+        done;
+        check Alcotest.int "res kept" 5 a.res.(c0 * 2);
+        check Alcotest.bool "val kept" true
+          (Value.equal a.vals.(c0) (Value.Chr 'x')));
+    test "free_chunk recycles ids and clears values" (fun () ->
+        let a = make () in
+        reset a ~len:10;
+        let c = alloc a 2 in
+        a.vals.(c) <- Value.Chr 'y';
+        free_chunk a c;
+        check Alcotest.bool "value cleared" true
+          (Value.equal a.vals.(c) Value.Unit);
+        let c' = alloc a 4 in
+        check Alcotest.int "id reused" c c');
+    test "release_values empties and marks cold" (fun () ->
+        let a = make () in
+        reset a ~len:10;
+        let c = alloc a 1 in
+        a.vals.(c) <- Value.Chr 'z';
+        release_values a;
+        check Alcotest.int "cold" (-1) a.idx_len;
+        check Alcotest.int "used" 0 a.used;
+        check Alcotest.bool "vals cleared" true
+          (Value.equal a.vals.(c) Value.Unit));
+    test "edit keeps, relocates and drops by extent" (fun () ->
+        let a = make () in
+        reset a ~len:20;
+        (* chunk at 0 examined 2 bytes: safely before the splice *)
+        let c0 = alloc a 0 in
+        a.res.(c0 * 2) <- 1;
+        a.exts.(c0 * 2) <- 2;
+        a.cmax.(c0) <- 2;
+        (* chunk at 6: inside the replaced window, must die *)
+        ignore (alloc a 6);
+        (* chunk at 12: past the window, relocates by the delta *)
+        let c2 = alloc a 12 in
+        a.res.(c2 * 2) <- 3;
+        a.cmax.(c2) <- 1;
+        (* replace 4 bytes at 5 with 2 bytes: delta -2 *)
+        let reused, relocated = edit a ~start:5 ~old_len:4 ~new_len:2 in
+        check Alcotest.int "reused" 2 reused;
+        check Alcotest.int "relocated" 1 relocated;
+        check Alcotest.int "kept at 0" c0 a.idx.(0);
+        check Alcotest.int "moved to 10" c2 a.idx.(10);
+        check Alcotest.int "old home cleared" (-1) a.idx.(12);
+        check Alcotest.int "window cleared" (-1) a.idx.(6);
+        check Alcotest.int "new len" 19 a.idx_len);
+    test "edit drops straddling entries slot by slot" (fun () ->
+        let a = make () in
+        reset a ~len:20;
+        (* chunk at 2 whose slot-0 entry examined far past the splice
+           and whose slot-1 entry stopped short of it *)
+        let c = alloc a 2 in
+        a.res.(c * 2) <- 1;
+        a.exts.(c * 2) <- 10;
+        a.res.((c * 2) + 1) <- -1;
+        a.exts.((c * 2) + 1) <- 1;
+        a.cmax.(c) <- 10;
+        let reused, _ = edit a ~start:4 ~old_len:2 ~new_len:2 in
+        check Alcotest.int "chunk survives" 1 reused;
+        check Alcotest.int "far entry dropped" 0 a.res.(c * 2);
+        check Alcotest.int "near entry kept" (-1) a.res.((c * 2) + 1);
+        check Alcotest.int "cmax tightened" 1 a.cmax.(c));
+  ]
+
 let () =
+  let to_alco = List.map QCheck_alcotest.to_alcotest in
   Alcotest.run "support"
     [
       ("span", span_tests);
       ("source", source_tests);
+      ("source-edit", source_edit_tests @ to_alco source_edit_props);
+      ("memo-arena", memo_arena_tests);
       ("diagnostic", diagnostic_tests);
       ("rng", rng_tests);
     ]
