@@ -4,15 +4,18 @@
      check_regression BASELINE.json CURRENT.json
        [--time-threshold PCT] [--alloc-threshold PCT]
 
-   Compares the E2 and E5 records of CURRENT against BASELINE (normally
-   the committed BENCH_pr6.json trajectory point) and exits nonzero if
-   any tracked metric regressed past its threshold. Improvements never
-   fail. The methodology follows E8: each bench row is already the
-   median of interleaved timed runs, and raw wall-clock medians are not
-   compared across machines — E2 times are normalized by the same
-   series' hand-written baseline row and E5 warm times by the same
-   row's cold parse, so only a relative slowdown of the code under test
-   trips the gate.
+   Compares the E2, E3, E5, E8 and E9 records of CURRENT against
+   BASELINE (normally the committed BENCH_pr7.json trajectory point)
+   and exits nonzero if any tracked metric regressed past its
+   threshold. Improvements never fail. The methodology follows E8: each
+   bench row is already the median of interleaved timed runs, and raw
+   wall-clock medians are not compared across machines — E2 times are
+   normalized by the same series' hand-written baseline row, E5 warm
+   times by the same row's cold parse, E3 rung times by the naive rung
+   (the "ratio" column), E8 observed times by the same backend's
+   observe-off run, and E9 mapped times by the same grammar's copying
+   run — so only a relative slowdown of the code under test trips the
+   gate.
 
    Allocation columns are bytes per parse and machine-independent, so
    they get the tight default threshold — except the deep-recursion
@@ -340,6 +343,216 @@ let () =
                 ~slack_ok:(ca -. ba < 8192.0)
           | _ -> ()))
     base_e5;
+
+  (* E3: match by rung. The "ratio" column is each rung's time over the
+     naive rung of the same run, so machine speed cancels; the memo
+     counters are deterministic for the fixed corpus. *)
+  let e3_key fields =
+    match str fields "rung" with
+    | Some r
+      when experiment fields = "e3" && str fields "series" = Some "minic-ladder"
+      ->
+        Some r
+    | _ -> None
+  in
+  let e3_rows rows =
+    List.filter_map (fun f -> Option.map (fun k -> (k, f)) (e3_key f)) rows
+  in
+  let base_e3 = e3_rows baseline and cur_e3 = e3_rows current in
+  List.iter
+    (fun (rung, bf) ->
+      match List.assoc_opt rung cur_e3 with
+      | None ->
+          incr checks;
+          incr failures;
+          Printf.printf "FAIL e3 %s: row missing from %s\n" rung current_path
+      | Some cf -> (
+          let label = Printf.sprintf "e3 %s" rung in
+          incr checks;
+          (match (num bf "ratio", num cf "ratio") with
+          | Some br, Some cr when br > 0.0 ->
+              report ~label ~metric:"ratio vs naive" ~base:br ~cur:cr
+                ~threshold:!time_threshold ~slack_ok:false
+          | _ -> ());
+          match (num bf "memo_entries", num cf "memo_entries") with
+          | Some be, Some ce ->
+              report ~label ~metric:"memo_entries" ~base:be ~cur:ce
+                ~threshold:!alloc_threshold ~slack_ok:(ce -. be < 64.0)
+          | _ -> ()))
+    base_e3;
+
+  (* E8: match by backend. Structural gate first — the bench itself
+     computes off_gate by comparing the observe-off run against a
+     build with no observability code at all; "fail" there means
+     dormant instrumentation leaked into the hot path. Then the
+     observe-on cost, normalized by the same backend's off run. *)
+  let e8_key fields =
+    match str fields "backend" with
+    | Some b
+      when experiment fields = "e8" && str fields "series" = Some "overhead" ->
+        Some b
+    | _ -> None
+  in
+  let e8_rows rows =
+    List.filter_map (fun f -> Option.map (fun k -> (k, f)) (e8_key f)) rows
+  in
+  let base_e8 = e8_rows baseline and cur_e8 = e8_rows current in
+  List.iter
+    (fun (backend, bf) ->
+      match List.assoc_opt backend cur_e8 with
+      | None ->
+          incr checks;
+          incr failures;
+          Printf.printf "FAIL e8 %s: row missing from %s\n" backend current_path
+      | Some cf -> (
+          let label = Printf.sprintf "e8 %s" backend in
+          incr checks;
+          (match str cf "off_gate" with
+          | Some "fail" ->
+              incr failures;
+              Printf.printf
+                "FAIL %s: off_gate = fail (dormant observability costs time)\n"
+                label
+          | _ -> ());
+          match
+            ( num bf "on_ms",
+              num bf "off_ms",
+              num cf "on_ms",
+              num cf "off_ms" )
+          with
+          | Some bon, Some boff, Some con, Some coff
+            when boff > 0.0 && coff > 0.0 ->
+              report ~label ~metric:"on/off (norm)" ~base:(bon /. boff)
+                ~cur:(con /. coff) ~threshold:!time_threshold ~slack_ok:false
+          | _ -> ()))
+    base_e8;
+
+  (* E9 mmap-vs-copy: match by (grammar, mode). Structural gate: a
+     mapped parse must not allocate more than the copying parse of the
+     same grammar (the file-sized heap copy is the whole point). Mapped
+     time is normalized by the same grammar's copy row. *)
+  let e9mc_key fields =
+    match (str fields "grammar", str fields "mode") with
+    | Some g, Some m
+      when experiment fields = "e9" && str fields "series" = Some "mmap-vs-copy"
+      ->
+        Some (g, m)
+    | _ -> None
+  in
+  let e9mc_rows rows =
+    List.filter_map (fun f -> Option.map (fun k -> (k, f)) (e9mc_key f)) rows
+  in
+  let base_e9mc = e9mc_rows baseline and cur_e9mc = e9mc_rows current in
+  List.iter
+    (fun ((grammar, mode), bf) ->
+      match List.assoc_opt (grammar, mode) cur_e9mc with
+      | None ->
+          incr checks;
+          incr failures;
+          Printf.printf "FAIL e9 %s/%s: row missing from %s\n" grammar mode
+            current_path
+      | Some cf -> (
+          let label = Printf.sprintf "e9 %s/%s" grammar mode in
+          incr checks;
+          (match
+             ( num bf "allocated_bytes_per_parse",
+               num cf "allocated_bytes_per_parse" )
+           with
+          | Some ba, Some ca ->
+              report ~label ~metric:"alloc_bytes" ~base:ba ~cur:ca
+                ~threshold:!alloc_threshold ~slack_ok:(ca -. ba < 8192.0)
+          | _ -> ());
+          if mode = "mmap" then (
+            (match
+               ( List.assoc_opt (grammar, "copy") cur_e9mc,
+                 num cf "allocated_bytes_per_parse" )
+             with
+            | Some copy_cf, Some ca -> (
+                match num copy_cf "allocated_bytes_per_parse" with
+                | Some copy_a when ca > copy_a +. 8192.0 ->
+                    incr failures;
+                    Printf.printf
+                      "FAIL %s: mapped parse allocates more than copy \
+                       (%.0f > %.0f bytes)\n"
+                      label ca copy_a
+                | _ -> ())
+            | _ -> ());
+            match
+              ( num bf "median_ms",
+                num cf "median_ms",
+                List.assoc_opt (grammar, "copy") base_e9mc,
+                List.assoc_opt (grammar, "copy") cur_e9mc )
+            with
+            | Some bm, Some cm, Some bcopy, Some ccopy -> (
+                match (num bcopy "median_ms", num ccopy "median_ms") with
+                | Some bcm, Some ccm when bcm > 0.0 && ccm > 0.0 ->
+                    report ~label ~metric:"mmap/copy (norm)" ~base:(bm /. bcm)
+                      ~cur:(cm /. ccm) ~threshold:!time_threshold
+                      ~slack_ok:false
+                | _ -> ())
+            | _ -> ())))
+    base_e9mc;
+
+  (* E9 recognizer-alloc: the in-file claim is size-independence — per
+     grammar, bytes/parse at the largest input must stay within a
+     whisker of the smallest. Cross-file, each row is also compared
+     against the baseline's. *)
+  let e9ra_key fields =
+    match (str fields "grammar", num fields "bytes") with
+    | Some g, Some b
+      when experiment fields = "e9"
+           && str fields "series" = Some "recognizer-alloc" ->
+        Some (g, b)
+    | _ -> None
+  in
+  let e9ra_rows rows =
+    List.filter_map (fun f -> Option.map (fun k -> (k, f)) (e9ra_key f)) rows
+  in
+  let base_e9ra = e9ra_rows baseline and cur_e9ra = e9ra_rows current in
+  let grammars =
+    List.sort_uniq compare (List.map (fun ((g, _), _) -> g) cur_e9ra)
+  in
+  List.iter
+    (fun g ->
+      let allocs =
+        List.filter_map
+          (fun ((g', _), f) ->
+            if g' = g then num f "allocated_bytes_per_parse" else None)
+          cur_e9ra
+      in
+      match allocs with
+      | [] -> ()
+      | a :: rest ->
+          incr checks;
+          let mn = List.fold_left min a rest
+          and mx = List.fold_left max a rest in
+          if mx > (mn *. 1.25) +. 16384.0 then (
+            incr failures;
+            Printf.printf
+              "FAIL e9 %s: recognizer allocation grows with input \
+               (%.0f .. %.0f bytes/parse)\n"
+              g mn mx))
+    grammars;
+  List.iter
+    (fun ((g, bytes), bf) ->
+      match List.assoc_opt (g, bytes) cur_e9ra with
+      | None ->
+          incr checks;
+          incr failures;
+          Printf.printf "FAIL e9 %s@%d: row missing from %s\n" g
+            (int_of_float bytes) current_path
+      | Some cf -> (
+          match
+            ( num bf "allocated_bytes_per_parse",
+              num cf "allocated_bytes_per_parse" )
+          with
+          | Some ba, Some ca ->
+              report
+                ~label:(Printf.sprintf "e9 %s@%d" g (int_of_float bytes))
+                ~metric:"alloc_bytes" ~base:ba ~cur:ca
+                ~threshold:!alloc_threshold ~slack_ok:(ca -. ba < 8192.0)
+          | _ -> ()))
+    base_e9ra;
 
   if !failures = 0 then (
     Printf.printf "ok: %d checks against %s, no regression beyond %.0f%% \

@@ -17,7 +17,8 @@
      e5  heap utilization: memo entries and values   (Figure analogue)
      e6  modular extension experiment                (motivating §2)
      e7  farthest-failure error quality              (supplementary)
-     e8  observability overhead and profile          (supplementary) *)
+     e8  observability overhead and profile          (supplementary)
+     e9  zero-copy input: mmap vs copy               (supplementary) *)
 
 open Rats
 
@@ -1022,10 +1023,154 @@ let e8 () =
       row "trace ring: %d events seen, capacity %d\n" (Observe.events_seen o)
         (Observe.ring_capacity o)
 
+(* ========================================================================== *)
+(* E9: zero-copy input (supplementary)                                        *)
+(* ========================================================================== *)
+
+(* Two claims about the Bigarray input layer. First, on value-building
+   parses of on-disk files, mapping the file (Source.map_file +
+   Engine.run_input) is observationally identical to reading it into a
+   string — same tree, same Stats — while allocating strictly less,
+   because the file-sized heap copy never happens; checked literally
+   before timing. Second, on a pure recognizer (every production Void) a
+   steady-state mapped parse's allocation is independent of input size:
+   the memo arena and scratch pools are engine-owned and reused across
+   runs, no values are built, and the mapping lives outside the OCaml
+   heap — so the only per-run allocation is fixed-size bookkeeping. *)
+
+let e9 () =
+  header "E9: zero-copy input: mmap vs copy (Bigarray-backed sources)";
+  let with_temp_file contents f =
+    let path = Filename.temp_file "rats_bench" ".txt" in
+    Out_channel.with_open_bin path (fun oc ->
+        Out_channel.output_string oc contents);
+    Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+  in
+  let map_input path =
+    match Source.map_file path with
+    | Ok src -> Source.input src
+    | Error msg -> failwith ("e9: " ^ msg)
+  in
+  row "mmap vs copy (values built; both modes pay the file I/O):\n";
+  row "  %-9s %-5s %10s %11s %9s %11s\n" "grammar" "mode" "bytes" "median ms"
+    "MB/s" "KB/parse";
+  List.iter
+    (fun (gname, grammar, corpus) ->
+      let eng = prepare (Pipeline.optimize grammar) in
+      with_temp_file corpus (fun path ->
+          (* Equivalence before timing: the mapped parse must be
+             byte-identical, value and every counter. *)
+          let out_copy = Engine.run_input eng (Input.of_string corpus) in
+          let out_map = Engine.run_input eng (map_input path) in
+          assert_ok (gname ^ "/copy") out_copy.Engine.result;
+          assert_ok (gname ^ "/mmap") out_map.Engine.result;
+          (match (out_copy.Engine.result, out_map.Engine.result) with
+          | Ok a, Ok b when Value.equal a b -> ()
+          | _ -> failwith (gname ^ ": mmap parse differs from copy parse"));
+          if
+            Stats.fields out_copy.Engine.stats
+            <> Stats.fields out_map.Engine.stats
+          then failwith (gname ^ ": mmap stats differ from copy stats");
+          let bytes = String.length corpus in
+          List.iter
+            (fun (mode, parse) ->
+              let m = measure parse in
+              record ~experiment:"e9" ~series:"mmap-vs-copy"
+                [
+                  ("grammar", jstr gname);
+                  ("mode", jstr mode);
+                  ("bytes", jint bytes);
+                  ("time_ms", jfloat (ms m.m_best));
+                  ("median_ms", jfloat (ms m.m_median));
+                  ("mb_per_s", jfloat (mbs bytes m.m_best));
+                  ("allocated_bytes_per_parse", jfloat m.m_alloc_bytes);
+                ];
+              row "  %-9s %-5s %10d %11.2f %9.2f %11.1f\n" gname mode bytes
+                (ms m.m_median) (mbs bytes m.m_best)
+                (m.m_alloc_bytes /. 1024.))
+            [
+              ( "copy",
+                fun () ->
+                  let text =
+                    In_channel.with_open_bin path In_channel.input_all
+                  in
+                  Engine.run_input eng (Input.of_string text) );
+              ("mmap", fun () -> Engine.run_input eng (map_input path));
+            ]))
+    [
+      ("json", Grammars.Json.grammar (), Lazy.force json_corpus);
+      ("minijava", Grammars.Minijava.grammar (), Lazy.force java_corpus);
+    ];
+  (* Recognizer: hand-built all-Void grammars (no value is constructed
+     anywhere in the body), then grow the input; the bytes/parse column
+     must stay flat. Under the bytecode backend these run entirely on
+     pooled scratch plus the engine-owned memo arena, so steady-state
+     allocation is fixed-size bookkeeping regardless of input length. *)
+  let digits = Charset.range '0' '9' in
+  let expr_recog =
+    let open Builder in
+    grammar ~start:"S"
+      [
+        prod ~kind:Attr.Void "S" (star (e "Expr" @: c ';'));
+        prod ~kind:Attr.Void ~memo:Attr.Memo_always "Expr"
+          (e "Term" @: star (one_of "+-" @: e "Term"));
+        prod ~kind:Attr.Void "Term"
+          (e "Atom" @: star (one_of "*/" @: e "Atom"));
+        prod ~kind:Attr.Void "Atom"
+          (plus (cls digits) <|> c '(' @: e "Expr" @: c ')');
+      ]
+  in
+  let list_recog =
+    let open Builder in
+    grammar ~start:"S"
+      [
+        prod ~kind:Attr.Void "S" (star (e "Val" @: c ';'));
+        prod ~kind:Attr.Void ~memo:Attr.Memo_always "Val"
+          (plus (cls digits)
+          <|> c '[' @: opt (e "Val" @: star (c ',' @: e "Val")) @: c ']');
+      ]
+  in
+  let tile unit target =
+    let b = Buffer.create (target + String.length unit) in
+    while Buffer.length b < target do
+      Buffer.add_string b unit
+    done;
+    Buffer.contents b
+  in
+  List.iter
+    (fun (gname, grammar, unit) ->
+      let recog = prepare ~config:Config.vm (Pipeline.optimize grammar) in
+      row "\nrecognizer (%s, all-Void), mapped input — alloc vs size:\n" gname;
+      row "  %-10s %11s %14s\n" "bytes" "median ms" "bytes/parse";
+      List.iter
+        (fun target ->
+          let corpus = tile unit (scale target) in
+          with_temp_file corpus (fun path ->
+              let m =
+                measure (fun () ->
+                    let out = Engine.run_input recog (map_input path) in
+                    assert_ok ("e9/" ^ gname) out.Engine.result)
+              in
+              record ~experiment:"e9" ~series:"recognizer-alloc"
+                [
+                  ("grammar", jstr gname);
+                  ("mode", jstr "mmap");
+                  ("bytes", jint (String.length corpus));
+                  ("median_ms", jfloat (ms m.m_median));
+                  ("allocated_bytes_per_parse", jfloat m.m_alloc_bytes);
+                ];
+              row "  %-10d %11.2f %14.0f\n" (String.length corpus)
+                (ms m.m_median) m.m_alloc_bytes))
+        [ 10_000; 40_000; 160_000 ])
+    [
+      ("expr-recog", expr_recog, "12+34*(56-7)/8;");
+      ("list-recog", list_recog, "[12,[3,[45,6],[]],789];");
+    ]
+
 let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
-    ("e7", e7); ("e8", e8);
+    ("e7", e7); ("e8", e8); ("e9", e9);
   ]
 
 let () =

@@ -539,9 +539,29 @@ let parse_edit_line line =
 let parse_cmd =
   let input_arg =
     Arg.(
-      required
+      value
       & opt (some string) None
       & info [ "i"; "input" ] ~docv:"FILE" ~doc:"Input file to parse ('-' for stdin).")
+  in
+  let stdin_arg =
+    Arg.(
+      value & flag
+      & info [ "stdin" ]
+          ~doc:
+            "Read the input document from standard input (same as -i -), so \
+             batch pipelines can stream documents without temp files.")
+  in
+  let mmap_arg =
+    Arg.(
+      value & flag
+      & info [ "mmap" ]
+          ~doc:
+            "Memory-map the input file and parse it in place (zero-copy): \
+             the document bytes never enter the OCaml heap. Results, stats \
+             and error reports are identical to a normal read. Incompatible \
+             with stdin (pipes cannot be mapped); with --edits the first \
+             edit falls back to copy-on-write, materializing the patched \
+             buffer on the heap — the mapping itself is never written.")
   in
   let stats_arg =
     Arg.(value & flag & info [ "stats" ] ~doc:"Print parse statistics.")
@@ -627,8 +647,28 @@ let parse_cmd =
              so governed runs consume exactly what unobserved ones do.")
   in
   let run files builtin root start optimize config engine fuel max_depth
-      max_memo timeout input stats quiet trace edits profile ring =
+      max_memo timeout input use_stdin mmap stats quiet trace edits profile
+      ring =
     guarded @@ fun () ->
+    (* Resolve where the document comes from before any heavy work, so
+       usage mistakes exit 2 without compiling a grammar. *)
+    let from_stdin = use_stdin || input = Some "-" in
+    let input_err msg =
+      Fmt.epr "rml: %s@." msg;
+      Some 2
+    in
+    let usage_error =
+      match (input, use_stdin) with
+      | None, false -> input_err "no input (use -i FILE, -i - or --stdin)"
+      | Some f, true when f <> "-" ->
+          input_err "both --input and --stdin given"
+      | _ when mmap && from_stdin ->
+          input_err "--mmap cannot map standard input (pipes have no length)"
+      | _ -> None
+    in
+    match usage_error with
+    | Some code -> code
+    | None -> (
     match compose_from files builtin root start with
     | Error ds -> print_errors ds
     | Ok g -> (
@@ -686,14 +726,30 @@ let parse_cmd =
         match Rats.Engine.prepare ~config g with
         | Error ds -> print_errors ds
         | Ok eng -> (
-            let text =
-              if input = "-" then In_channel.input_all In_channel.stdin
-              else In_channel.with_open_bin input In_channel.input_all
+            let source =
+              if from_stdin then
+                Rats.Source.of_string ~name:"<stdin>"
+                  (In_channel.input_all In_channel.stdin)
+              else
+                let path = Option.get input in
+                if mmap then
+                  match Rats.Source.map_file path with
+                  | Ok s -> s
+                  | Error msg -> raise (Sys_error msg)
+                else
+                  Rats.Source.of_string ~name:path
+                    (In_channel.with_open_bin path In_channel.input_all)
             in
             match edits with
             | Some script ->
                 if trace then Fmt.epr "note: --trace is ignored with --edits@.";
-                let session = Rats.Session.create ~name:"<buffer>" eng text in
+                (* Same buffer, session-conventional name. Zero-copy for
+                   a mapped source until the first edit (CoW). *)
+                let session =
+                  Rats.Session.create_source eng
+                    (Rats.Source.of_input ~name:"<buffer>"
+                       (Rats.Source.input source))
+                in
                 let show label result =
                   let st = Rats.Session.stats session in
                   match result with
@@ -764,7 +820,8 @@ let parse_cmd =
             | None -> (
             let run_governed () =
               match timeout with
-              | None -> Ok (eng, Rats.Engine.run eng text)
+              | None ->
+                  Ok (eng, Rats.Engine.run_input eng (Rats.Source.input source))
               | Some seconds ->
                   (* Fuel-slice polling: parse under a small fuel budget,
                      and while the deadline has not passed, double the
@@ -786,7 +843,9 @@ let parse_cmd =
                     with
                     | Error ds -> Error ds
                     | Ok eng' -> (
-                        let out = Rats.Engine.run eng' text in
+                        let out =
+                          Rats.Engine.run_input eng' (Rats.Source.input source)
+                        in
                         match out.Rats.Engine.result with
                         | Error e
                           when Rats.Parse_error.exhausted_which e
@@ -822,7 +881,8 @@ let parse_cmd =
                   else if !shown = 501 then Fmt.pr "... (trace truncated)@."
                 in
                 Result.map (fun out -> (eng, out))
-                  (Rats.Engine.trace ~config ~on_event g text))
+                  (Rats.Engine.trace ~config ~on_event g
+                     (Rats.Source.text source)))
               else run_governed ()
             in
             match outcome with
@@ -836,23 +896,19 @@ let parse_cmd =
                     if not quiet then Fmt.pr "%s@." (Rats.Value.to_string v);
                     0
                 | Error e ->
-                    let source =
-                      Rats.Source.of_string
-                        ~name:(if input = "-" then "<stdin>" else input)
-                        text
-                    in
                     Fmt.epr "%s@." (Rats.Parse_error.to_string ~source e);
-                    dump_ring eng_used text;
+                    dump_ring eng_used (Rats.Source.text source);
                     if Rats.Parse_error.exhausted_which e <> None then
                       exit_resource
-                    else exit_parse))))
+                    else exit_parse)))))
   in
   Cmd.v (Cmd.info "parse" ~doc:"Parse an input file with a composed grammar.")
     Term.(
       const run $ files_arg $ builtin_arg $ root_arg $ start_arg
       $ optimize_arg $ config_arg $ engine_arg $ fuel_arg $ max_depth_arg
-      $ max_memo_arg $ timeout_arg $ input_arg $ stats_arg $ quiet_arg
-      $ trace_arg $ edits_arg $ profile_flag_arg $ trace_ring_arg)
+      $ max_memo_arg $ timeout_arg $ input_arg $ stdin_arg $ mmap_arg
+      $ stats_arg $ quiet_arg $ trace_arg $ edits_arg $ profile_flag_arg
+      $ trace_ring_arg)
 
 (* --- observability subcommands --------------------------------------------- *)
 

@@ -1,4 +1,5 @@
 module Span = Rats_support.Span
+module Input = Rats_support.Input
 module Source = Rats_support.Source
 module Diagnostic = Rats_support.Diagnostic
 module Rng = Rats_support.Rng
@@ -86,8 +87,8 @@ let parser_of ?(optimize = true) ?passes ?(config = Config.optimized) ?limits g
 (* The engines convert runaway recursion and allocation into structured
    errors themselves; this is the last-resort backstop for anything that
    slips past them (e.g. unlimited configs on hostile input). *)
-let parse eng ?start input =
-  try Engine.parse eng ?start input with
+let parse_input eng ?start input =
+  try (Engine.run_input eng ?start input).Engine.result with
   | Stack_overflow ->
       Error
         (Parse_error.resource_exhausted ~which:Limits.Depth ~at:0 ~consumed:0
@@ -96,6 +97,8 @@ let parse eng ?start input =
       Error
         (Parse_error.resource_exhausted ~which:Limits.Memory ~at:0 ~consumed:0
            ())
+
+let parse eng ?start input = parse_input eng ?start (Input.of_string input)
 
 module Session = struct
   type t = {
@@ -109,17 +112,20 @@ module Session = struct
     mutable cold_fallbacks : int;
   }
 
-  let create ?(name = "<session>") ?start eng text =
+  let create_source ?start eng source =
     {
       eng;
       start;
-      source = Source.of_string ~name text;
+      source;
       store = Engine.new_store eng;
       relocated = 0;
       survivors = 0;
       stats = Stats.create ();
       cold_fallbacks = 0;
     }
+
+  let create ?(name = "<session>") ?start eng text =
+    create_source ?start eng (Source.of_string ~name text)
 
   let source t = t.source
   let text t = Source.text t.source
@@ -172,7 +178,8 @@ module Session = struct
     | _ -> ());
     let o =
       backstopped (fun () ->
-          Engine.run_store t.eng t.store ?start:t.start (Source.text t.source))
+          Engine.run_store_input t.eng t.store ?start:t.start
+            (Source.input t.source))
     in
     let reused = t.survivors and relocated = t.relocated in
     t.relocated <- 0;
@@ -183,7 +190,7 @@ module Session = struct
       | Error _ ->
           t.cold_fallbacks <- t.cold_fallbacks + 1;
           backstopped (fun () ->
-              Engine.run t.eng ?start:t.start (Source.text t.source))
+              Engine.run_input t.eng ?start:t.start (Source.input t.source))
     in
     Stats.reset t.stats;
     Stats.add t.stats o.Engine.stats;

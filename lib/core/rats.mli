@@ -18,6 +18,7 @@
 (** {1 Re-exports} *)
 
 module Span = Rats_support.Span
+module Input = Rats_support.Input
 module Source = Rats_support.Source
 module Diagnostic = Rats_support.Diagnostic
 module Rng = Rats_support.Rng
@@ -106,6 +107,13 @@ val parse :
     [Stack_overflow]/[Out_of_memory] from an {e unlimited} engine is
     converted to the same shape as a last resort. *)
 
+val parse_input :
+  Engine.t -> ?start:string -> Input.t -> (Value.t, Parse_error.t) result
+(** {!parse} over an {!Input.t} buffer — zero-copy for Bigarray-backed
+    inputs such as {!Input.map_file}; {!parse} wraps the string case.
+    Results and error reports are byte-identical across the two
+    representations. *)
+
 (** {1 Incremental parse sessions}
 
     A session owns a compiled parser, the current input buffer and a
@@ -126,6 +134,13 @@ module Session : sig
       [name] names the buffer in locations (default ["<session>"]);
       [start] overrides the start production, as in {!Engine.run}. The
       first {!reparse} is a cold parse that populates the store. *)
+
+  val create_source : ?start:string -> Engine.t -> Source.t -> t
+  (** {!create} over an existing {!Source.t} — e.g. a memory-mapped file
+      from {!Source.map_file}. A mapped buffer is parsed zero-copy until
+      the first {!apply_edit}, which materializes the patched document as
+      a string-backed source (copy on write; the mapping itself is never
+      written through). *)
 
   val source : t -> Source.t
   (** The current buffer as a {!Source.t}. Its line-start index is

@@ -13,7 +13,7 @@ module SSet = Set.Make (String)
    layout and invariants. *)
 
 type st = {
-  input : string;
+  input : Input.t;
   len : int;
   mutable value : Value.t;
   fail_trace : Expected.t;
@@ -171,7 +171,7 @@ let rec compile ctx ~lean (e : Expr.t) : fn =
         fun st pos ->
           look st pos;
           if pos < st.len then (
-            st.value <- Value.Chr (String.unsafe_get st.input pos);
+            st.value <- Value.Chr (Input.unsafe_get st.input pos);
             pos + 1)
           else (
             record st pos desc;
@@ -181,7 +181,7 @@ let rec compile ctx ~lean (e : Expr.t) : fn =
       let set_unit = not lean in
       fun st pos ->
         look st pos;
-        if pos < st.len && String.unsafe_get st.input pos = c then (
+        if pos < st.len && Input.unsafe_get st.input pos = c then (
           if set_unit then st.value <- Value.Unit;
           pos + 1)
         else (
@@ -201,7 +201,7 @@ let rec compile ctx ~lean (e : Expr.t) : fn =
           else if
             (look st (pos + i);
              pos + i < st.len
-             && String.unsafe_get st.input (pos + i) = String.unsafe_get s i)
+             && Input.unsafe_get st.input (pos + i) = String.unsafe_get s i)
           then go (i + 1)
           else (
             record st (pos + i) desc;
@@ -214,7 +214,7 @@ let rec compile ctx ~lean (e : Expr.t) : fn =
       if lean then
         fun st pos ->
           look st pos;
-          if pos < st.len && bitmap_mem bm (String.unsafe_get st.input pos)
+          if pos < st.len && bitmap_mem bm (Input.unsafe_get st.input pos)
           then pos + 1
           else (
             record st pos desc;
@@ -223,7 +223,7 @@ let rec compile ctx ~lean (e : Expr.t) : fn =
         fun st pos ->
           look st pos;
           if pos < st.len then (
-            let c = String.unsafe_get st.input pos in
+            let c = Input.unsafe_get st.input pos in
             if bitmap_mem bm c then (
               st.value <- Value.Chr c;
               pos + 1)
@@ -339,7 +339,7 @@ let rec compile ctx ~lean (e : Expr.t) : fn =
           let p = fx st pos in
           if p < 0 then -1
           else (
-            st.value <- Value.Str (String.sub st.input pos (p - pos));
+            st.value <- Value.Str (Input.sub_string st.input pos (p - pos));
             p)
   | Expr.Node (name, x) ->
       let fx = compile ctx ~lean x in
@@ -381,7 +381,7 @@ let rec compile ctx ~lean (e : Expr.t) : fn =
         let p = fx st pos in
         if p < 0 then -1
         else (
-          let text = String.sub st.input pos (p - pos) in
+          let text = Input.sub_string st.input pos (p - pos) in
           let set =
             Option.value (SMap.find_opt table st.tables) ~default:SSet.empty
           in
@@ -398,7 +398,7 @@ let rec compile ctx ~lean (e : Expr.t) : fn =
         let p = fx st pos in
         if p < 0 then -1
         else
-          let text = String.sub st.input pos (p - pos) in
+          let text = Input.sub_string st.input pos (p - pos) in
           let set =
             Option.value (SMap.find_opt table st.tables) ~default:SSet.empty
           in
@@ -590,7 +590,7 @@ and compile_alt ctx ~lean ?(tail = false) alts =
               dispatch && (not eps)
               && (look st pos;
                   pos >= st.len
-                  || not (bitmap_mem first (String.unsafe_get st.input pos)))
+                  || not (bitmap_mem first (Input.unsafe_get st.input pos)))
             then (
               record st pos desc;
               go (i + 1))
@@ -618,7 +618,7 @@ and compile_alt ctx ~lean ?(tail = false) alts =
               dispatch && (not eps)
               && (look st pos;
                   pos >= st.len
-                  || not (bitmap_mem first (String.unsafe_get st.input pos)))
+                  || not (bitmap_mem first (Input.unsafe_get st.input pos)))
             then (
               record st pos desc;
               go (i + 1))
@@ -678,7 +678,7 @@ let shape (p : Production.t) =
             name
             (Value.components st.value)
   | Attr.Text ->
-      fun st pos0 pos1 -> st.value <- Value.Str (String.sub st.input pos0 (pos1 - pos0))
+      fun st pos0 pos1 -> st.value <- Value.Str (Input.sub_string st.input pos0 (pos1 - pos0))
   | Attr.Void -> fun st _pos0 _pos1 -> st.value <- Value.Unit
 
 (* --- preparation -------------------------------------------------------- *)
@@ -1147,7 +1147,7 @@ let run_closures t ?store ?start ~require_eof input =
                  (Diagnostic.errorf "no production named %S" name)))
   in
   let limits = t.cfg.Config.limits in
-  if String.length input > limits.Limits.max_input_bytes then (
+  if Input.length input > limits.Limits.max_input_bytes then (
     (match t.obs with
     | Some o -> Observe.trip o Limits.Input limits.Limits.max_input_bytes
     | None -> ());
@@ -1160,7 +1160,7 @@ let run_closures t ?store ?start ~require_eof input =
       consumed = -1;
     })
   else
-    let len = String.length input in
+    let len = Input.length input in
     (* Sync a persistent store to this input: entries only carry over
        when the store was edited to exactly this length (Session does
        that); any mismatch resets it rather than risking stale hits. *)
@@ -1286,12 +1286,15 @@ let run_closures t ?store ?start ~require_eof input =
     in
     { result; stats = st.stats; consumed = p }
 
-let run t ?start ?(require_eof = true) input =
+let run_input t ?start ?(require_eof = true) input =
   match t.vm with
   | Some vm ->
-      let o = Vm.run vm ?start ~require_eof input in
+      let o = Vm.run_input vm ?start ~require_eof input in
       { result = o.Vm.result; stats = o.Vm.stats; consumed = o.Vm.consumed }
   | None -> run_closures t ?start ~require_eof input
+
+let run t ?start ?require_eof input =
+  run_input t ?start ?require_eof (Input.of_string input)
 
 let parse t ?start input = (run t ?start input).result
 let accepts t ?start input = Result.is_ok (parse t ?start input)
@@ -1315,13 +1318,16 @@ let edit_store t store ~start ~old_len ~new_len =
   | Closure_store s, None -> edit_cstore t s ~start ~old_len ~new_len
   | _ -> invalid_arg "Engine.edit_store: store belongs to a different backend"
 
-let run_store t store ?start ?(require_eof = true) input =
+let run_store_input t store ?start ?(require_eof = true) input =
   match (store, t.vm) with
   | Vm_store s, Some vm ->
-      let o = Vm.run_store vm s ?start ~require_eof input in
+      let o = Vm.run_store_input vm s ?start ~require_eof input in
       { result = o.Vm.result; stats = o.Vm.stats; consumed = o.Vm.consumed }
   | Closure_store s, None -> run_closures t ~store:s ?start ~require_eof input
   | _ -> invalid_arg "Engine.run_store: store belongs to a different backend"
+
+let run_store t store ?start ?require_eof input =
+  run_store_input t store ?start ?require_eof (Input.of_string input)
 
 (* --- tracing -------------------------------------------------------------- *)
 

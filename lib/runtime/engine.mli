@@ -62,6 +62,13 @@ val run : t -> ?start:string -> ?require_eof:bool -> string -> outcome
     overrides by flat production name). With [require_eof] (default
     [true]) the start production must consume the whole input. *)
 
+val run_input : t -> ?start:string -> ?require_eof:bool -> Input.t -> outcome
+(** {!run} over an {!Input.t} buffer — the general entry point on both
+    back ends; [run] wraps the string case. A Bigarray-backed input
+    (e.g. {!Input.map_file}) is parsed in place with no copy; results,
+    [Stats], cost-model accounting and error reports are byte-identical
+    across representations. *)
+
 val parse : t -> ?start:string -> string -> (Value.t, Parse_error.t) result
 val accepts : t -> ?start:string -> string -> bool
 
@@ -105,6 +112,10 @@ val run_store : t -> store -> ?start:string -> ?require_eof:bool -> string -> ou
     incomplete because memo hits hide part of the trace;
     [Rats.Session.reparse] re-parses cold in that case for exact error
     parity. *)
+
+val run_store_input :
+  t -> store -> ?start:string -> ?require_eof:bool -> Input.t -> outcome
+(** {!run_store} over an {!Input.t} buffer. *)
 
 (** {1 Tracing}
 

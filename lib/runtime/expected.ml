@@ -16,20 +16,40 @@ let reset t =
 (* Recording is on the hot path — every farthest-failure advance during
    backtracking lands here — so it must not allocate. The fixed array
    replaces a cons per advance; [descriptions] pays the list cost only
-   when an error is actually built. *)
+   when an error is actually built.
+
+   Overflow is deterministic: once [max_entries] distinct descriptions
+   are held, a new one evicts the lexicographically largest retained
+   entry iff it is smaller, so the retained set is always the
+   [max_entries] smallest distinct descriptions seen at the farthest
+   position — independent of arrival order, hence identical across
+   back ends (which record the same set in different orders). *)
 let record t pos desc =
   if pos > t.farthest then (
     t.farthest <- pos;
     t.entries.(0) <- desc;
     t.n <- 1)
-  else if pos = t.farthest && t.n < max_entries then (
+  else if pos = t.farthest then (
     let dup = ref false in
     for i = 0 to t.n - 1 do
       if String.equal desc (Array.unsafe_get t.entries i) then dup := true
     done;
-    if not !dup then (
-      t.entries.(t.n) <- desc;
-      t.n <- t.n + 1))
+    if not !dup then
+      if t.n < max_entries then (
+        t.entries.(t.n) <- desc;
+        t.n <- t.n + 1)
+      else (
+        let worst = ref 0 in
+        for i = 1 to t.n - 1 do
+          if
+            String.compare
+              (Array.unsafe_get t.entries i)
+              (Array.unsafe_get t.entries !worst)
+            > 0
+          then worst := i
+        done;
+        if String.compare desc t.entries.(!worst) < 0 then
+          t.entries.(!worst) <- desc))
 
 let farthest t = t.farthest
 

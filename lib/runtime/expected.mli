@@ -11,7 +11,11 @@
 type t
 
 val max_entries : int
-(** Cap on retained descriptions per position (32). *)
+(** Cap on retained descriptions per position (32). When more distinct
+    descriptions fail at the farthest position, the retained set is the
+    [max_entries] lexicographically smallest of them — a deterministic,
+    arrival-order-independent rule, so both back ends (which visit
+    alternatives in different orders) always report the same set. *)
 
 val create : unit -> t
 val reset : t -> unit
@@ -19,8 +23,10 @@ val reset : t -> unit
 val record : t -> int -> string -> unit
 (** [record t pos desc] notes that [desc] failed to match at [pos].
     A new farthest position resets the list; at the current farthest
-    position the description is appended unless already present or the
-    cap is reached; earlier positions are ignored. *)
+    position the description is appended unless already present — or,
+    past the cap, unless it displaces the lexicographically largest
+    retained entry (see {!max_entries}); earlier positions are
+    ignored. *)
 
 val farthest : t -> int
 (** Farthest failure offset seen, [-1] if none. *)

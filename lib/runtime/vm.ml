@@ -778,7 +778,7 @@ let tag_ret_lean_obs = 5
 let tag_obs_inline = 6
 
 type st = {
-  input : string;
+  input : Input.t;
   len : int;
   trace : bool;
       (* expected-set recording. The first, speculative pass runs with
@@ -979,7 +979,7 @@ let exec (t : t) (st : st) start_ip =
           ~span:(Span.v ~start_:pos0 ~stop:st.pos)
           name
           (Value.components st.value)
-    | Shape_text -> Value.Str (String.sub inp pos0 (st.pos - pos0))
+    | Shape_text -> Value.Str (Input.sub_string inp pos0 (st.pos - pos0))
     | Shape_void -> Value.Unit
   in
   let apply_shape prod pos0 =
@@ -1108,7 +1108,7 @@ let exec (t : t) (st : st) start_ip =
     match Array.unsafe_get code ip with
     | IChar (c, desc, set_unit) ->
         look st.pos;
-        if st.pos < len && String.unsafe_get inp st.pos = c then (
+        if st.pos < len && Input.unsafe_get inp st.pos = c then (
           if set_unit then st.value <- Value.Unit;
           st.pos <- st.pos + 1;
           dispatch (ip + 1))
@@ -1116,26 +1116,49 @@ let exec (t : t) (st : st) start_ip =
           record st.pos desc;
           fail ())
     | IStr (s, desc, set_unit) ->
+        (* Representation match hoisted out of the per-byte loop so each
+           iteration stays a monomorphic compare, as before Input.t. *)
         let n = String.length s in
-        let rec go i =
-          if i >= n then (
-            if set_unit then st.value <- Value.Unit;
-            st.pos <- st.pos + n;
-            dispatch (ip + 1))
-          else if
-            (look (st.pos + i);
-             st.pos + i < len
-             && String.unsafe_get inp (st.pos + i) = String.unsafe_get s i)
-          then go (i + 1)
-          else (
-            record (st.pos + i) desc;
-            fail ())
+        let matched =
+          match inp with
+          | Input.Str text ->
+              let rec go i =
+                if i >= n then n
+                else if
+                  (look (st.pos + i);
+                   st.pos + i < len
+                   && String.unsafe_get text (st.pos + i) = String.unsafe_get s i)
+                then go (i + 1)
+                else i
+              in
+              go 0
+          | Input.Big b ->
+              let rec go i =
+                if i >= n then n
+                else if
+                  (look (st.pos + i);
+                   st.pos + i < len
+                   && Bigarray.Array1.unsafe_get b (st.pos + i)
+                      = String.unsafe_get s i)
+                then go (i + 1)
+                else i
+              in
+              go 0
         in
-        go 0
+        if matched >= n then (
+          if set_unit then st.value <- Value.Unit;
+          st.pos <- st.pos + n;
+          dispatch (ip + 1))
+        else (
+          (* Record failures at the first mismatching byte, so the
+             farthest position reflects how much of the literal
+             matched. *)
+          record (st.pos + matched) desc;
+          fail ())
     | ISet (bm, desc, set_value) ->
         look st.pos;
         if st.pos < len then (
-          let c = String.unsafe_get inp st.pos in
+          let c = Input.unsafe_get inp st.pos in
           if bitmap_mem bm c then (
             if set_value then st.value <- Value.Chr c;
             st.pos <- st.pos + 1;
@@ -1150,7 +1173,7 @@ let exec (t : t) (st : st) start_ip =
         look st.pos;
         if st.pos < len then (
           if set_value then
-            st.value <- Value.Chr (String.unsafe_get inp st.pos);
+            st.value <- Value.Chr (Input.unsafe_get inp st.pos);
           st.pos <- st.pos + 1;
           dispatch (ip + 1))
         else (
@@ -1158,16 +1181,22 @@ let exec (t : t) (st : st) start_ip =
           fail ())
     | ITestSet (bm, target, desc) ->
         look st.pos;
-        if st.pos < len && bitmap_mem bm (String.unsafe_get inp st.pos)
+        if st.pos < len && bitmap_mem bm (Input.unsafe_get inp st.pos)
         then dispatch (ip + 1)
         else (
           record st.pos desc;
           dispatch target)
     | ISpan (bm, desc) ->
         let i = ref st.pos in
-        while !i < len && bitmap_mem bm (String.unsafe_get inp !i) do
-          incr i
-        done;
+        (match inp with
+        | Input.Str text ->
+            while !i < len && bitmap_mem bm (String.unsafe_get text !i) do
+              incr i
+            done
+        | Input.Big b ->
+            while !i < len && bitmap_mem bm (Bigarray.Array1.unsafe_get b !i) do
+              incr i
+            done);
         look !i;
         st.pos <- !i;
         (* the iteration that stops the loop fails like the unfused
@@ -1176,7 +1205,7 @@ let exec (t : t) (st : st) start_ip =
         dispatch (ip + 1)
     | ITestNot (bm, not_desc) ->
         look st.pos;
-        if st.pos < len && bitmap_mem bm (String.unsafe_get inp st.pos)
+        if st.pos < len && bitmap_mem bm (Input.unsafe_get inp st.pos)
         then (
           record st.pos not_desc;
           fail ())
@@ -1186,7 +1215,7 @@ let exec (t : t) (st : st) start_ip =
           dispatch (ip + 1)
     | ITestAnd (bm, desc) ->
         look st.pos;
-        if st.pos < len && bitmap_mem bm (String.unsafe_get inp st.pos)
+        if st.pos < len && bitmap_mem bm (Input.unsafe_get inp st.pos)
         then dispatch (ip + 1)
         else (
           record st.pos desc;
@@ -1202,7 +1231,7 @@ let exec (t : t) (st : st) start_ip =
             (Array.unsafe_get targets
                (Char.code
                   (Bytes.unsafe_get tbl
-                     (Char.code (String.unsafe_get inp st.pos)))))
+                     (Char.code (Input.unsafe_get inp st.pos)))))
         else dispatch eof
     | IJump target -> dispatch target
     | IChoice (handler, is_alt) ->
@@ -1539,11 +1568,11 @@ let exec (t : t) (st : st) start_ip =
         dispatch (ip + 1)
     | IOptSet (bm, desc, mode) ->
         look st.pos;
-        if st.pos < len && bitmap_mem bm (String.unsafe_get inp st.pos) then (
+        if st.pos < len && bitmap_mem bm (Input.unsafe_get inp st.pos) then (
           (match mode with
           | 0 -> ()
           | 1 -> st.value <- Value.Unit
-          | _ -> st.value <- Value.Chr (String.unsafe_get inp st.pos));
+          | _ -> st.value <- Value.Chr (Input.unsafe_get inp st.pos));
           st.pos <- st.pos + 1;
           dispatch (ip + 1))
         else (
@@ -1620,7 +1649,7 @@ let exec (t : t) (st : st) start_ip =
         st.fp <- st.fp - 1;
         let fp = st.fp in
         st.value <-
-          Value.Str (String.sub inp st.f_start.(fp) (st.pos - st.f_start.(fp)));
+          Value.Str (Input.sub_string inp st.f_start.(fp) (st.pos - st.f_start.(fp)));
         dispatch (ip + 1)
     | IPopNode name ->
         st.fp <- st.fp - 1;
@@ -1640,7 +1669,7 @@ let exec (t : t) (st : st) start_ip =
     | IRecord table ->
         st.fp <- st.fp - 1;
         let start = st.f_start.(st.fp) in
-        let text = String.sub inp start (st.pos - start) in
+        let text = Input.sub_string inp start (st.pos - start) in
         let set =
           Option.value (SMap.find_opt table st.tables) ~default:SSet.empty
         in
@@ -1650,7 +1679,7 @@ let exec (t : t) (st : st) start_ip =
     | IMember (table, positive, desc) ->
         st.fp <- st.fp - 1;
         let start = st.f_start.(st.fp) in
-        let text = String.sub inp start (st.pos - start) in
+        let text = Input.sub_string inp start (st.pos - start) in
         let set =
           Option.value (SMap.find_opt table st.tables) ~default:SSet.empty
         in
@@ -1785,7 +1814,7 @@ let release_scratch (t : t) (st : st) sc ~own_memo =
 
 let make_st t ~trace ?store ~scratch:sc input =
   let limits = t.cfg.Config.limits in
-  let len = String.length input in
+  let len = Input.length input in
   (* Sync a persistent store to this input: entries only carry over when
      the store was edited to exactly this length; any mismatch resets
      it rather than risking stale hits. *)
@@ -1878,11 +1907,11 @@ let observe_epilogue (t : t) (st : st) =
       | None -> ());
       Observe.finalize o
 
-let run t ?start ?(require_eof = true) input =
+let run_input t ?start ?(require_eof = true) input =
   let start_id = resolve_start t start in
   let limits = t.cfg.Config.limits in
   let observing = t.obs <> None in
-  if String.length input > limits.Limits.max_input_bytes then (
+  if Input.length input > limits.Limits.max_input_bytes then (
     (match t.obs with
     | Some o -> Observe.trip o Limits.Input limits.Limits.max_input_bytes
     | None -> ());
@@ -1949,10 +1978,10 @@ let run t ?start ?(require_eof = true) input =
    reconstructed here — an incremental failure's trace would be missing
    the entries hidden behind memo hits, so [Rats.Session] re-parses cold
    for exact error parity instead of replaying through the store. *)
-let run_store t (s : store) ?start ?(require_eof = true) input =
+let run_store_input t (s : store) ?start ?(require_eof = true) input =
   let start_id = resolve_start t start in
   let limits = t.cfg.Config.limits in
-  if String.length input > limits.Limits.max_input_bytes then (
+  if Input.length input > limits.Limits.max_input_bytes then (
     (match t.obs with
     | Some o -> Observe.trip o Limits.Input limits.Limits.max_input_bytes
     | None -> ());
@@ -1992,6 +2021,12 @@ let run_store t (s : store) ?start ?(require_eof = true) input =
             st.value
     in
     { result; stats = st.stats; consumed = p })
+
+let run t ?start ?require_eof input =
+  run_input t ?start ?require_eof (Input.of_string input)
+
+let run_store t s ?start ?require_eof input =
+  run_store_input t s ?start ?require_eof (Input.of_string input)
 
 let parse t ?start input = (run t ?start input).result
 let accepts t ?start input = Result.is_ok (parse t ?start input)

@@ -66,6 +66,12 @@ type outcome = {
 val run : t -> ?start:string -> ?require_eof:bool -> string -> outcome
 (** Same contract as [Engine.run]. *)
 
+val run_input : t -> ?start:string -> ?require_eof:bool -> Input.t -> outcome
+(** {!run} over an {!Input.t} buffer — the general entry point; [run] is
+    a wrapper over the string case. A Bigarray-backed input (e.g.
+    {!Input.map_file}) is parsed in place with no copy; results, stats
+    and error reports are byte-identical across representations. *)
+
 (** {1 Persistent memo stores}
 
     The bytecode half of incremental sessions; see [Engine.new_store]
@@ -97,6 +103,10 @@ val run_store :
     Expected sets are not reconstructed (memo hits hide part of the
     trace); callers wanting exact error parity re-parse cold on
     failure, as [Rats.Session.reparse] does. *)
+
+val run_store_input :
+  t -> store -> ?start:string -> ?require_eof:bool -> Input.t -> outcome
+(** {!run_store} over an {!Input.t} buffer. *)
 
 val parse : t -> ?start:string -> string -> (Value.t, Parse_error.t) result
 val accepts : t -> ?start:string -> string -> bool

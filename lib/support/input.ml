@@ -1,0 +1,91 @@
+type bigstring =
+  (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+(* The two constructors are public (input.mli) so the engines' hottest
+   loops can hoist the representation match outside a scan; everything
+   else goes through the accessors below, which are small enough for
+   the compiler to inline cross-module into a two-way branch — this
+   build has no flambda, so a functorized byte layer would instead cost
+   an indirect call per probe. *)
+type t = Str of string | Big of bigstring
+
+let of_string s = Str s
+let of_bigstring b = Big b
+
+let length = function
+  | Str s -> String.length s
+  | Big b -> Bigarray.Array1.dim b
+
+let[@inline] unsafe_get t i =
+  match t with
+  | Str s -> String.unsafe_get s i
+  | Big b -> Bigarray.Array1.unsafe_get b i
+
+let get t i =
+  if i < 0 || i >= length t then invalid_arg "Input.get";
+  unsafe_get t i
+
+let is_bigarray = function Str _ -> false | Big _ -> true
+
+let blit_to_bytes src srcoff dst dstoff len =
+  match src with
+  | Str s -> Bytes.blit_string s srcoff dst dstoff len
+  | Big b ->
+      if
+        srcoff < 0 || len < 0
+        || srcoff + len > Bigarray.Array1.dim b
+        || dstoff < 0
+        || dstoff + len > Bytes.length dst
+      then invalid_arg "Input.blit_to_bytes";
+      for i = 0 to len - 1 do
+        Bytes.unsafe_set dst (dstoff + i) (Bigarray.Array1.unsafe_get b (srcoff + i))
+      done
+
+let sub_string t pos len =
+  match t with
+  | Str s -> String.sub s pos len
+  | Big b ->
+      if pos < 0 || len < 0 || pos + len > Bigarray.Array1.dim b then
+        invalid_arg "Input.sub_string";
+      let dst = Bytes.create len in
+      for i = 0 to len - 1 do
+        Bytes.unsafe_set dst i (Bigarray.Array1.unsafe_get b (pos + i))
+      done;
+      Bytes.unsafe_to_string dst
+
+let to_string = function
+  | Str s -> s
+  | Big b -> sub_string (Big b) 0 (Bigarray.Array1.dim b)
+
+let map_file path =
+  match Unix.openfile path [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error (e, _, _) ->
+      Error (Printf.sprintf "%s: %s" path (Unix.error_message e))
+  | fd -> (
+      let finish r =
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        r
+      in
+      match (Unix.fstat fd).Unix.st_size with
+      | exception Unix.Unix_error (e, _, _) ->
+          finish (Error (Printf.sprintf "%s: %s" path (Unix.error_message e)))
+      | 0 ->
+          (* mmap rejects zero-length mappings; an empty bigstring keeps
+             the representation (and [is_bigarray]) honest *)
+          finish (Ok (Big (Bigarray.Array1.create Bigarray.char Bigarray.c_layout 0)))
+      | _ -> (
+          match
+            Unix.map_file fd Bigarray.char Bigarray.c_layout false [| -1 |]
+          with
+          | genarray -> finish (Ok (Big (Bigarray.array1_of_genarray genarray)))
+          | exception Unix.Unix_error (e, _, _) ->
+              finish
+                (Error (Printf.sprintf "%s: %s" path (Unix.error_message e)))
+          | exception Sys_error msg -> finish (Error (path ^ ": " ^ msg))))
+
+let equal a b =
+  let n = length a in
+  n = length b
+  &&
+  let rec go i = i >= n || (unsafe_get a i = unsafe_get b i && go (i + 1)) in
+  go 0

@@ -1,0 +1,47 @@
+(** Parse-time input buffers.
+
+    An input is either an OCaml [string] or a char [Bigarray] (typically
+    an mmap'd file, see {!map_file}). The constructors are exposed so
+    performance-critical scan loops can match once on the representation
+    and then run a monomorphic inner loop; ordinary consumers should use
+    the accessors, which the compiler inlines into a two-way branch. *)
+
+type bigstring =
+  (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type t = Str of string | Big of bigstring
+
+val of_string : string -> t
+val of_bigstring : bigstring -> t
+
+(** Byte length of the input. *)
+val length : t -> int
+
+(** [unsafe_get t i] reads byte [i] with no bounds check. *)
+val unsafe_get : t -> int -> char
+
+(** Bounds-checked byte access; raises [Invalid_argument]. *)
+val get : t -> int -> char
+
+(** [true] iff the input is Bigarray-backed (e.g. memory-mapped). *)
+val is_bigarray : t -> bool
+
+(** [sub_string t pos len] copies [len] bytes starting at [pos] into a
+    fresh string; raises [Invalid_argument] out of range. *)
+val sub_string : t -> int -> int -> string
+
+(** Whole input as a string. O(1) for [Str]; copies for [Big]. *)
+val to_string : t -> string
+
+(** [blit_to_bytes src srcoff dst dstoff len] copies bytes out of the
+    input; raises [Invalid_argument] out of range. *)
+val blit_to_bytes : t -> int -> Bytes.t -> int -> int -> unit
+
+(** [map_file path] memory-maps [path] read-only as a [Big] input.
+    Empty files yield an empty Bigarray (mmap rejects zero-length
+    mappings). Errors (missing file, permission, a path that cannot be
+    mapped such as a pipe) are returned, not raised. *)
+val map_file : string -> (t, string) result
+
+(** Byte-wise equality across representations. *)
+val equal : t -> t -> bool

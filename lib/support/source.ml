@@ -1,25 +1,35 @@
-type t = { name : string; text : string; mutable line_starts : int array option }
+type t = { name : string; input : Input.t; mutable line_starts : int array option }
 
 type location = { line : int; col : int }
 
-let of_string ?(name = "<string>") text = { name; text; line_starts = None }
+let of_input ?(name = "<input>") input = { name; input; line_starts = None }
+
+let of_string ?(name = "<string>") text =
+  { name; input = Input.of_string text; line_starts = None }
 
 let read_file path =
   match In_channel.with_open_bin path In_channel.input_all with
   | text -> Ok (of_string ~name:path text)
   | exception Sys_error msg -> Error msg
 
-let name s = s.name
-let text s = s.text
-let length s = String.length s.text
+let map_file path =
+  match Input.map_file path with
+  | Ok input -> Ok (of_input ~name:path input)
+  | Error _ as e -> e
 
-(* Offsets of every '\n' in [text.(lo, hi)], plus one, appended to a
+let name s = s.name
+let input s = s.input
+let text s = Input.to_string s.input
+let length s = Input.length s.input
+let is_mapped s = Input.is_bigarray s.input
+
+(* Offsets of every '\n' in [input.(lo, hi)], plus one, appended to a
    growable buffer — the shared scanner for first use and for the
    replacement window of [apply_edit]. *)
-let scan_starts buf n text lo hi =
+let scan_starts buf n input lo hi =
   let buf = ref buf and n = ref n in
   for i = lo to hi - 1 do
-    if String.unsafe_get text i = '\n' then begin
+    if Input.unsafe_get input i = '\n' then begin
       if !n = Array.length !buf then begin
         let b = Array.make (2 * !n) 0 in
         Array.blit !buf 0 b 0 !n;
@@ -38,30 +48,33 @@ let line_starts s =
   | Some a -> a
   | None ->
       let buf = Array.make 16 0 in
-      let buf, n = scan_starts buf 1 s.text 0 (String.length s.text) in
+      let buf, n = scan_starts buf 1 s.input 0 (Input.length s.input) in
       let a = if n = Array.length buf then buf else Array.sub buf 0 n in
       s.line_starts <- Some a;
       a
 
 let line_count s = Array.length (line_starts s)
 
-(* Splice [replacement] over [old_len] bytes at [start]. The line-start
-   table is patched, not rebuilt: a start at offset [p <= start] marks a
-   '\n' (or the text head) before the damage and survives unchanged; one
-   at [p >= start + old_len + 1] marks a '\n' at or past the damage end
-   and shifts by the length delta; starts born inside the replaced
-   window die, and the replacement itself is the only text scanned. *)
+(* Splice [replacement] over [old_len] bytes at [start]. The edited text
+   is always string-backed, whatever the original representation — an
+   edit over a mapped source materializes the patched document (copy on
+   write) rather than mutating the mapping. The line-start table is
+   patched, not rebuilt: a start at offset [p <= start] marks a '\n' (or
+   the text head) before the damage and survives unchanged; one at
+   [p >= start + old_len + 1] marks a '\n' at or past the damage end and
+   shifts by the length delta; starts born inside the replaced window
+   die, and the replacement itself is the only text scanned. *)
 let apply_edit s ~start ~old_len ~replacement =
-  let len = String.length s.text in
+  let len = Input.length s.input in
   if start < 0 || old_len < 0 || start + old_len > len then
     invalid_arg "Source.apply_edit";
   let new_len = String.length replacement in
   let b = Bytes.create (len - old_len + new_len) in
-  Bytes.blit_string s.text 0 b 0 start;
+  Input.blit_to_bytes s.input 0 b 0 start;
   Bytes.blit_string replacement 0 b start new_len;
-  Bytes.blit_string s.text (start + old_len) b (start + new_len)
+  Input.blit_to_bytes s.input (start + old_len) b (start + new_len)
     (len - start - old_len);
-  let text = Bytes.unsafe_to_string b in
+  let input = Input.of_string (Bytes.unsafe_to_string b) in
   let line_starts =
     match s.line_starts with
     | None -> None
@@ -87,7 +100,9 @@ let apply_edit s ~start ~old_len ~replacement =
         let suffix = first keep n in
         let buf = Array.make (max 16 keep) 0 in
         Array.blit a 0 buf 0 keep;
-        let buf, m = scan_starts buf keep replacement 0 new_len in
+        let buf, m =
+          scan_starts buf keep (Input.of_string replacement) 0 new_len
+        in
         let out = Array.make (m + (n - suffix)) 0 in
         Array.blit buf 0 out 0 m;
         (* Replacement-window starts are replacement-relative. *)
@@ -99,10 +114,10 @@ let apply_edit s ~start ~old_len ~replacement =
         done;
         Some out
   in
-  { name = s.name; text; line_starts }
+  { name = s.name; input; line_starts }
 
 let location s off =
-  let off = max 0 (min off (String.length s.text)) in
+  let off = max 0 (min off (Input.length s.input)) in
   let starts = line_starts s in
   (* Binary search for the last line start <= off. *)
   let rec go lo hi =
@@ -119,16 +134,22 @@ let line_text s n =
   if n < 1 || n > Array.length starts then invalid_arg "Source.line_text";
   let start = starts.(n - 1) in
   let stop =
-    if n < Array.length starts then starts.(n) else String.length s.text
+    if n < Array.length starts then starts.(n) else Input.length s.input
   in
-  let stop = if stop > start && s.text.[stop - 1] = '\n' then stop - 1 else stop in
-  let stop = if stop > start && s.text.[stop - 1] = '\r' then stop - 1 else stop in
-  String.sub s.text start (stop - start)
+  let stop =
+    if stop > start && Input.unsafe_get s.input (stop - 1) = '\n' then stop - 1
+    else stop
+  in
+  let stop =
+    if stop > start && Input.unsafe_get s.input (stop - 1) = '\r' then stop - 1
+    else stop
+  in
+  Input.sub_string s.input start (stop - start)
 
 let slice s sp =
   let lo = max 0 (Span.start sp) in
-  let hi = min (String.length s.text) (Span.stop sp) in
-  if hi <= lo then "" else String.sub s.text lo (hi - lo)
+  let hi = min (Input.length s.input) (Span.stop sp) in
+  if hi <= lo then "" else Input.sub_string s.input lo (hi - lo)
 
 let pp_location s ppf off =
   let { line; col } = location s off in

@@ -16,12 +16,33 @@ val of_string : ?name:string -> string -> t
 (** [of_string ~name text] is a source called [name] (default
     ["<string>"]) holding [text]. *)
 
+val of_input : ?name:string -> Input.t -> t
+(** [of_input ~name input] is a source called [name] (default
+    ["<input>"]) over an existing {!Input.t} buffer, shared without
+    copying. *)
+
 val read_file : string -> (t, string) result
-(** [read_file path] reads [path] into a source named [path]. *)
+(** [read_file path] reads [path] into a string-backed source named
+    [path]. *)
+
+val map_file : string -> (t, string) result
+(** [map_file path] memory-maps [path] into a Bigarray-backed source
+    named [path] — the file bytes are never copied into the OCaml heap.
+    See {!Input.map_file} for error cases. *)
 
 val name : t -> string
+
+val input : t -> Input.t
+(** The underlying buffer, shared without copying. *)
+
 val text : t -> string
+(** The source text as a string. O(1) for string-backed sources; copies
+    the whole buffer for mapped ones — prefer {!input} on hot paths. *)
+
 val length : t -> int
+
+val is_mapped : t -> bool
+(** [true] iff the source is Bigarray-backed (see {!map_file}). *)
 
 val apply_edit : t -> start:int -> old_len:int -> replacement:string -> t
 (** [apply_edit src ~start ~old_len ~replacement] is a source holding
@@ -29,7 +50,9 @@ val apply_edit : t -> start:int -> old_len:int -> replacement:string -> t
     [replacement]. If [src]'s line-start index has been built it is
     patched — starts before the damage are shared, starts past it are
     shifted by the length delta, and only [replacement] is scanned —
-    instead of recomputed from the whole text. Raises
+    instead of recomputed from the whole text. The result is always
+    string-backed: editing a mapped source copies the patched document
+    onto the heap (copy on write) and never mutates the mapping. Raises
     [Invalid_argument] when the edit is out of bounds. *)
 
 val location : t -> int -> location

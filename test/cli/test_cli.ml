@@ -5,8 +5,7 @@
 let rml = "../../bin/rml.exe"
 let tutorial = "../../grammars/tutorial.rats"
 
-let run args =
-  let cmd = Printf.sprintf "%s %s 2>&1" rml args in
+let run_cmd cmd =
   let ic = Unix.open_process_in cmd in
   let buf = Buffer.create 1024 in
   (try
@@ -17,6 +16,8 @@ let run args =
   let status = Unix.close_process_in ic in
   let code = match status with Unix.WEXITED n -> n | _ -> 255 in
   (code, Buffer.contents buf)
+
+let run args = run_cmd (Printf.sprintf "%s %s 2>&1" rml args)
 
 let contains s sub =
   let n = String.length sub and m = String.length s in
@@ -30,6 +31,14 @@ let write_temp contents =
   let path = Filename.temp_file "rml_cli" ".txt" in
   Out_channel.with_open_bin path (fun oc -> output_string oc contents);
   path
+
+(* Feed [contents] to the command on standard input (via a temp file so
+   the shell does the piping). *)
+let run_with_stdin contents args =
+  let f = write_temp contents in
+  let r = run_cmd (Printf.sprintf "%s %s < %s 2>&1" rml args f) in
+  Sys.remove f;
+  r
 
 let tests =
   [
@@ -286,6 +295,60 @@ let tests =
         check Alcotest.bool "defining module" true
           (contains out "[module calc.");
         check Alcotest.int "strict" 1 code');
+    test "--stdin and '-i -' parse standard input" (fun () ->
+        let code, out = run_with_stdin "1 + 2 * 3" "parse -b calc --stdin" in
+        check Alcotest.int "exit" 0 code;
+        check Alcotest.bool "tree" true (contains out "(Num \"1\")");
+        let code', out' = run_with_stdin "1 + 2 * 3" "parse -b calc -i -" in
+        check Alcotest.int "dash exit" 0 code';
+        check Alcotest.bool "same tree" true
+          (String.trim out = String.trim out'));
+    test "--stdin failures are located in <stdin>" (fun () ->
+        let code, out = run_with_stdin "1+" "parse -b calc --stdin" in
+        check Alcotest.int "exit" 3 code;
+        check Alcotest.bool "named" true (contains out "<stdin>");
+        check Alcotest.bool "caret" true (String.contains out '^'));
+    test "--mmap output is byte-identical to the copying path" (fun () ->
+        let expr = write_temp "1 + 2 * 3" in
+        let code, out = run (Printf.sprintf "parse -b calc -i %s --stats" expr) in
+        let code', out' =
+          run (Printf.sprintf "parse -b calc -i %s --mmap --stats" expr)
+        in
+        let codev, outv =
+          run (Printf.sprintf "parse -b calc -i %s --mmap -e vm" expr)
+        in
+        Sys.remove expr;
+        check Alcotest.int "copy exit" 0 code;
+        check Alcotest.int "mmap exit" 0 code';
+        check Alcotest.bool "identical output incl. stats" true (out = out');
+        check Alcotest.int "vm mmap exit" 0 codev;
+        check Alcotest.bool "vm tree" true (contains outv "(Num \"3\")"));
+    test "--mmap failures carry a caret into the mapped file" (fun () ->
+        let bad = write_temp "1 + 2 *" in
+        let code, out = run (Printf.sprintf "parse -b calc -i %s --mmap" bad) in
+        Sys.remove bad;
+        check Alcotest.int "exit" 3 code;
+        check Alcotest.bool "caret" true (String.contains out '^'));
+    test "--mmap with --stdin is a usage error" (fun () ->
+        let code, _ = run "parse -b calc --stdin --mmap" in
+        check Alcotest.int "exit" 2 code;
+        let code', _ = run_with_stdin "1" "parse -b calc -i - --mmap" in
+        check Alcotest.int "dash exit" 2 code');
+    test "--mmap --edits copies on write and keeps memo reuse" (fun () ->
+        let expr = write_temp "1 + 2 * (3 - 4)" in
+        let script = write_temp "4 1 42\n9 7 7\n" in
+        let code, out =
+          run
+            (Printf.sprintf "parse -b calc -i %s --mmap --edits %s --stats"
+               expr script)
+        in
+        Sys.remove expr;
+        Sys.remove script;
+        check Alcotest.int "exit" 0 code;
+        check Alcotest.bool "edits replay" true (contains out "edit 2: ok");
+        check Alcotest.bool "reuse survives the copy" true
+          (contains out "reused=");
+        check Alcotest.bool "final tree" true (contains out "(Num \"42\")"));
     test "parse --profile and --trace-ring ride along" (fun () ->
         let expr = write_temp "1+2" in
         let bad = write_temp "1+" in

@@ -623,6 +623,101 @@ let governor_props =
           [ Config.optimized; Config.vm ]);
   ]
 
+(* --- input representations ------------------------------------------------------------ *)
+
+(* The zero-copy input layer: the same document parsed through a
+   string-backed and a Bigarray-backed [Input.t] must be byte-identical
+   in every observable — value, consumed offset, error position,
+   expected set, error kind and every [Stats] counter — on both back
+   ends, governed and ungoverned. This is the invariant that lets
+   [Source.map_file]/[rml parse --mmap] claim "same parse, no copy". *)
+
+let big_of_string s =
+  let b =
+    Bigarray.Array1.create Bigarray.char Bigarray.c_layout (String.length s)
+  in
+  String.iteri (Bigarray.Array1.set b) s;
+  Input.of_bigstring b
+
+let rep_observe eng input =
+  let o = Engine.run_input eng input in
+  let result =
+    match o.Engine.result with
+    | Ok v -> Ok v
+    | Error e ->
+        Error
+          ( e.Parse_error.position,
+            e.Parse_error.expected,
+            e.Parse_error.consumed,
+            e.Parse_error.kind )
+  in
+  (result, o.Engine.consumed, Stats.fields o.Engine.stats)
+
+let rep_equal (ra, ca, sa) (rb, cb, sb) =
+  ca = cb && sa = sb
+  &&
+  match (ra, rb) with
+  | Ok va, Ok vb -> Value.equal va vb
+  | Error ea, Error eb -> ea = eb
+  | Ok _, Error _ | Error _, Ok _ -> false
+
+let input_rep_props =
+  let governed cfg =
+    Config.with_limits (Limits.v ~fuel:200_000 ~max_depth:10_000 ()) cfg
+  in
+  List.map
+    (fun (tag, cfg) ->
+      QCheck.Test.make
+        ~name:
+          (Printf.sprintf "string = bigarray: values, errors, stats (%s)" tag)
+        ~count:200 arb_case
+        (fun (g, inputs) ->
+          match prepare_with cfg g with
+          | Error _ -> true
+          | Ok eng ->
+              List.for_all
+                (fun text ->
+                  rep_equal
+                    (rep_observe eng (Input.of_string text))
+                    (rep_observe eng (big_of_string text)))
+                inputs))
+    [
+      ("closure", Config.optimized);
+      ("vm", Config.vm);
+      ("closure packrat", Config.packrat);
+      ("closure governed", governed Config.optimized);
+      ("vm governed", governed Config.vm);
+    ]
+  @ [
+      QCheck.Test.make
+        ~name:"string = bigarray on prefixes (require_eof:false)" ~count:150
+        arb_case
+        (fun (g, inputs) ->
+          match (prepare_with Config.optimized g, prepare_with Config.vm g) with
+          | Ok cl, Ok vm ->
+              List.for_all
+                (fun text ->
+                  List.for_all
+                    (fun eng ->
+                      let a =
+                        Engine.run_input eng ~require_eof:false
+                          (Input.of_string text)
+                      in
+                      let b =
+                        Engine.run_input eng ~require_eof:false
+                          (big_of_string text)
+                      in
+                      a.Engine.consumed = b.Engine.consumed
+                      && Result.is_ok a.Engine.result
+                         = Result.is_ok b.Engine.result
+                      && Stats.fields a.Engine.stats
+                         = Stats.fields b.Engine.stats)
+                    [ cl; vm ])
+                inputs
+          | Error _, Error _ -> true
+          | _ -> false);
+    ]
+
 (* --- charset algebra -------------------------------------------------------------------- *)
 
 let arb_charset =
@@ -737,6 +832,7 @@ let () =
     [
       ("engine-equivalence", to_alco engine_props);
       ("vm-equivalence", to_alco vm_props);
+      ("input-representation", to_alco input_rep_props);
       ("pass-equivalence", to_alco pass_props);
       ("registry-pass-equivalence", to_alco registry_pass_props);
       ("printer", to_alco printer_props);

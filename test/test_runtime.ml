@@ -632,6 +632,75 @@ let limits_tests =
           ]);
   ]
 
+(* --- the expected tracker's 32-entry cap ----------------------------------- *)
+
+let expected_tests =
+  [
+    test "overflow keeps the 32 smallest labels, in any arrival order"
+      (fun () ->
+        (* The tracker holds at most [Expected.max_entries] distinct
+           descriptions per position. Feed 48 distinct labels in two
+           opposite orders: the retained set must be the same — the
+           lexicographically smallest 32 — or the two back ends (which
+           visit alternatives in different orders) would report
+           different errors past the cap. *)
+        let labels = List.init 48 (Printf.sprintf "lbl%02d") in
+        let run order =
+          let t = Expected.create () in
+          List.iter (fun l -> Expected.record t 5 l) order;
+          (* duplicates never displace anything *)
+          List.iter (fun l -> Expected.record t 5 l) order;
+          List.sort String.compare (Expected.descriptions t)
+        in
+        let fwd = run labels and rev = run (List.rev labels) in
+        check Alcotest.int "cap" Expected.max_entries (List.length fwd);
+        check (Alcotest.list Alcotest.string) "order-independent" fwd rev;
+        check (Alcotest.list Alcotest.string) "the 32 smallest"
+          (List.filteri (fun i _ -> i < Expected.max_entries)
+             (List.sort String.compare labels))
+          fwd);
+    test "a new farthest position resets an overflowed list" (fun () ->
+        let t = Expected.create () in
+        List.iter
+          (fun l -> Expected.record t 2 l)
+          (List.init 40 (Printf.sprintf "old%02d"));
+        Expected.record t 7 "fresh";
+        check Alcotest.int "farthest" 7 (Expected.farthest t);
+        check
+          (Alcotest.list Alcotest.string)
+          "reset" [ "fresh" ] (Expected.descriptions t));
+    test "both engines report the same expected set past the cap" (fun () ->
+        (* 40 distinct literal alternatives, all sharing the "kw" prefix
+           so FIRST-byte dispatch cannot prune them, all failing at
+           offset 2 on "kw~~" — more than the cap, so the deterministic
+           overflow rule is what keeps closure and VM reports
+           identical. *)
+        let open Builder in
+        let g =
+          b
+            [
+              prod "S"
+                (alt (List.init 40 (fun i -> s (Printf.sprintf "kw%02d!" i))));
+            ]
+        in
+        let report cfg =
+          match Engine.prepare ~config:cfg g with
+          | Error _ -> Alcotest.fail "prepare"
+          | Ok eng -> (
+              match Engine.parse eng "kw~~" with
+              | Ok _ -> Alcotest.fail "unexpected success"
+              | Error e ->
+                  check Alcotest.int "cap respected" Expected.max_entries
+                    (List.length e.Parse_error.expected);
+                  (e.Parse_error.position, e.Parse_error.expected))
+        in
+        let closure = report Config.optimized and vm = report Config.vm in
+        check Alcotest.int "same position" (fst closure) (fst vm);
+        check
+          (Alcotest.list Alcotest.string)
+          "same expected set" (snd closure) (snd vm));
+  ]
+
 let () =
   Alcotest.run "runtime"
     [
@@ -642,4 +711,5 @@ let () =
       ("trace", trace_tests);
       ("pathological", path_tests);
       ("limits", limits_tests);
+      ("expected", expected_tests);
     ]

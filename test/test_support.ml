@@ -140,6 +140,132 @@ let source_tests =
         check Alcotest.string "line3 end (no final newline)" "f:3:4" (at 9));
   ]
 
+(* --- Input ----------------------------------------------------------------------- *)
+
+(* Unit coverage for the two-representation input layer; the end-to-end
+   string-vs-Bigarray parse equivalence properties live in
+   test_props.ml. *)
+
+let big_of_string s =
+  let b =
+    Bigarray.Array1.create Bigarray.char Bigarray.c_layout (String.length s)
+  in
+  String.iteri (Bigarray.Array1.set b) s;
+  b
+
+let write_temp contents =
+  let path = Filename.temp_file "rats_input" ".txt" in
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc contents);
+  path
+
+let input_tests =
+  [
+    test "accessors agree across representations" (fun () ->
+        let s = "hello\nworld" in
+        let str = Input.of_string s in
+        let big = Input.of_bigstring (big_of_string s) in
+        check Alcotest.int "length" (String.length s) (Input.length big);
+        check Alcotest.bool "str not bigarray" false (Input.is_bigarray str);
+        check Alcotest.bool "big is bigarray" true (Input.is_bigarray big);
+        check Alcotest.string "to_string" s (Input.to_string big);
+        check Alcotest.string "sub_string" "lo\nwo" (Input.sub_string big 3 5);
+        for i = 0 to String.length s - 1 do
+          check Alcotest.char "get" (Input.get str i) (Input.get big i)
+        done);
+    test "get is bounds-checked on both representations" (fun () ->
+        Alcotest.check_raises "big past end" (Invalid_argument "Input.get")
+          (fun () ->
+            ignore (Input.get (Input.of_bigstring (big_of_string "ab")) 2));
+        Alcotest.check_raises "str negative" (Invalid_argument "Input.get")
+          (fun () -> ignore (Input.get (Input.of_string "ab") (-1))));
+    test "blit_to_bytes copies out of a bigarray" (fun () ->
+        let big = Input.of_bigstring (big_of_string "abcdef") in
+        let dst = Bytes.make 4 '.' in
+        Input.blit_to_bytes big 2 dst 1 3;
+        check Alcotest.string "blit" ".cde" (Bytes.to_string dst);
+        Alcotest.check_raises "overrun"
+          (Invalid_argument "Input.blit_to_bytes") (fun () ->
+            Input.blit_to_bytes big 4 dst 0 3));
+    test "equal is byte-wise across representations" (fun () ->
+        let big = Input.of_bigstring (big_of_string "abc") in
+        check Alcotest.bool "eq" true (Input.equal (Input.of_string "abc") big);
+        check Alcotest.bool "neq" false
+          (Input.equal (Input.of_string "abd") big);
+        check Alcotest.bool "shorter" false
+          (Input.equal (Input.of_string "ab") big));
+    test "map_file round-trips file bytes as a bigarray" (fun () ->
+        let path = write_temp "line one\nline two\n" in
+        (match Input.map_file path with
+        | Error msg -> Alcotest.fail msg
+        | Ok i ->
+            check Alcotest.bool "mapped" true (Input.is_bigarray i);
+            check Alcotest.string "bytes" "line one\nline two\n"
+              (Input.to_string i));
+        Sys.remove path);
+    test "map_file of an empty file" (fun () ->
+        let path = write_temp "" in
+        (match Input.map_file path with
+        | Error msg -> Alcotest.fail msg
+        | Ok i ->
+            check Alcotest.bool "still a bigarray" true (Input.is_bigarray i);
+            check Alcotest.int "empty" 0 (Input.length i));
+        Sys.remove path);
+    test "map_file of a missing file is an error, not a raise" (fun () ->
+        match Input.map_file "/nonexistent/rats-input" with
+        | Error msg ->
+            check Alcotest.bool "names the path" true
+              (contains msg "/nonexistent/rats-input")
+        | Ok _ -> Alcotest.fail "expected error");
+  ]
+
+(* --- mapped sources ---------------------------------------------------------------- *)
+
+let mapped_source_tests =
+  [
+    test "map_file source resolves locations like a string one" (fun () ->
+        let path = write_temp "line one\nline two" in
+        (match Source.map_file path with
+        | Error msg -> Alcotest.fail msg
+        | Ok src ->
+            check Alcotest.bool "mapped" true (Source.is_mapped src);
+            check Alcotest.string "name" path (Source.name src);
+            check Alcotest.string "text" "line one\nline two"
+              (Source.text src);
+            check Alcotest.int "lines" 2 (Source.line_count src);
+            let { Source.line; col } = Source.location src 9 in
+            check Alcotest.int "line" 2 line;
+            check Alcotest.int "col" 1 col;
+            check Alcotest.string "line_text" "line two"
+              (Source.line_text src 2));
+        Sys.remove path);
+    test "editing a mapped source copies on write" (fun () ->
+        let path = write_temp "1 + 2 * (3 - 4)" in
+        (match Source.map_file path with
+        | Error msg -> Alcotest.fail msg
+        | Ok src ->
+            ignore (Source.line_count src) (* force the index *);
+            let p =
+              Source.apply_edit src ~start:4 ~old_len:1 ~replacement:"42"
+            in
+            check Alcotest.bool "original still mapped" true
+              (Source.is_mapped src);
+            check Alcotest.bool "patched is string-backed" false
+              (Source.is_mapped p);
+            check Alcotest.string "patched text" "1 + 42 * (3 - 4)"
+              (Source.text p));
+        Sys.remove path);
+    test "map_file of a missing file is an error" (fun () ->
+        match Source.map_file "/nonexistent/rats-src" with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "expected error");
+    test "of_input shares the buffer and default name" (fun () ->
+        let i = Input.of_bigstring (big_of_string "abc") in
+        let src = Source.of_input i in
+        check Alcotest.string "name" "<input>" (Source.name src);
+        check Alcotest.bool "same buffer" true (Source.input src == i));
+  ]
+
 (* --- Diagnostic ----------------------------------------------------------------- *)
 
 let diagnostic_tests =
@@ -415,6 +541,8 @@ let () =
     [
       ("span", span_tests);
       ("source", source_tests);
+      ("input", input_tests);
+      ("source-mapped", mapped_source_tests);
       ("source-edit", source_edit_tests @ to_alco source_edit_props);
       ("memo-arena", memo_arena_tests);
       ("diagnostic", diagnostic_tests);
