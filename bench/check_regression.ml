@@ -4,10 +4,13 @@
      check_regression BASELINE.json CURRENT.json
        [--time-threshold PCT] [--alloc-threshold PCT]
 
-   Compares the E2, E3, E5, E8 and E9 records of CURRENT against
-   BASELINE (normally the committed BENCH_pr7.json trajectory point)
+   Compares the E2, E3, E5, E8, E9 and E10 records of CURRENT against
+   BASELINE (normally the committed BENCH_pr8.json trajectory point)
    and exits nonzero if any tracked metric regressed past its
-   threshold. Improvements never fail. The methodology follows E8: each
+   threshold. Improvements never fail. Every block iterates the
+   BASELINE rows, so a baseline predating an experiment simply
+   contributes no checks for it (e.g. pre-E10 baselines make the E10
+   block a no-op). The methodology follows E8: each
    bench row is already the median of interleaved timed runs, and raw
    wall-clock medians are not compared across machines — E2 times are
    normalized by the same series' hand-written baseline row, E5 warm
@@ -553,6 +556,96 @@ let () =
                 ~threshold:!alloc_threshold ~slack_ok:(ca -. ba < 8192.0)
           | _ -> ()))
     base_e9ra;
+
+  (* E10 ladder: match by (backend, mode). Raw batch throughput is
+     machine-bound, so the timed gate is the in-run "vs_cold" ratio —
+     the degraded run's median over the same backend's cold median,
+     i.e. the price of descending the ladder. The counters are
+     deterministic for the fixed corpus: every degraded document must
+     still be rescued on the recognizer rung, and the summed
+     memo-degradation count must not drift. *)
+  let e10l_key fields =
+    match (str fields "backend", str fields "mode") with
+    | Some b, Some m
+      when experiment fields = "e10" && str fields "series" = Some "ladder" ->
+        Some (b, m)
+    | _ -> None
+  in
+  let e10l_rows rows =
+    List.filter_map (fun f -> Option.map (fun k -> (k, f)) (e10l_key f)) rows
+  in
+  let base_e10l = e10l_rows baseline and cur_e10l = e10l_rows current in
+  List.iter
+    (fun ((backend, mode), bf) ->
+      match List.assoc_opt (backend, mode) cur_e10l with
+      | None ->
+          incr checks;
+          incr failures;
+          Printf.printf "FAIL e10 %s/%s: row missing from %s\n" backend mode
+            current_path
+      | Some cf ->
+          let label = Printf.sprintf "e10 %s/%s" backend mode in
+          incr checks;
+          (match (num cf "docs", num cf "rung_recognizer") with
+          | Some d, Some r when mode = "degraded" && r <> d ->
+              incr failures;
+              Printf.printf
+                "FAIL %s: only %d of %d documents rescued on the recognizer \
+                 rung\n"
+                label (int_of_float r) (int_of_float d)
+          | _ -> ());
+          (if mode = "degraded" then
+             match (num bf "vs_cold", num cf "vs_cold") with
+             | Some br, Some cr when br > 0.0 ->
+                 report ~label ~metric:"degraded/cold (norm)" ~base:br ~cur:cr
+                   ~threshold:!time_threshold ~slack_ok:false
+             | _ -> ());
+          (match (num bf "memo_degraded", num cf "memo_degraded") with
+          | Some bm, Some cm ->
+              report ~label ~metric:"memo_degraded" ~base:bm ~cur:cm
+                ~threshold:!alloc_threshold ~slack_ok:(cm -. bm < 64.0)
+          | _ -> ()))
+    base_e10l;
+
+  (* E10 throughput: structural only — the batch corpus must stay
+     all-ok (one failed document means per-document isolation or the
+     grammar changed underfoot), and the corpus itself must not drift. *)
+  let e10t_key fields =
+    match str fields "backend" with
+    | Some b
+      when experiment fields = "e10" && str fields "series" = Some "throughput"
+      ->
+        Some b
+    | _ -> None
+  in
+  let e10t_rows rows =
+    List.filter_map (fun f -> Option.map (fun k -> (k, f)) (e10t_key f)) rows
+  in
+  let base_e10t = e10t_rows baseline and cur_e10t = e10t_rows current in
+  List.iter
+    (fun (backend, bf) ->
+      match List.assoc_opt backend cur_e10t with
+      | None ->
+          incr checks;
+          incr failures;
+          Printf.printf "FAIL e10 %s: row missing from %s\n" backend
+            current_path
+      | Some cf ->
+          let label = Printf.sprintf "e10 %s/throughput" backend in
+          incr checks;
+          (match (num bf "bytes", num cf "bytes") with
+          | Some a, Some b when a <> b ->
+              incr failures;
+              Printf.printf "FAIL %s: corpus changed (%d -> %d bytes)\n" label
+                (int_of_float a) (int_of_float b)
+          | _ -> ());
+          (match num cf "failed" with
+          | Some f when f > 0.0 ->
+              incr failures;
+              Printf.printf "FAIL %s: %d documents failed in a clean corpus\n"
+                label (int_of_float f)
+          | _ -> ()))
+    base_e10t;
 
   if !failures = 0 then (
     Printf.printf "ok: %d checks against %s, no regression beyond %.0f%% \

@@ -18,7 +18,8 @@
      e6  modular extension experiment                (motivating §2)
      e7  farthest-failure error quality              (supplementary)
      e8  observability overhead and profile          (supplementary)
-     e9  zero-copy input: mmap vs copy               (supplementary) *)
+     e9  zero-copy input: mmap vs copy               (supplementary)
+     e10 batch pipeline and degradation ladder       (supplementary) *)
 
 open Rats
 
@@ -675,6 +676,12 @@ let e5 () =
               ("allocated_bytes_per_reparse", jfloat mwarm.m_alloc_bytes);
               ("reused", jint st.Stats.memo_reused);
               ("relocated", jint st.Stats.memo_relocated);
+              (* robustness counters, PR 8: sessions falling back to a
+                 cold parse and memo-budget denials during the warm
+                 reparse — both zero on this workload, recorded so the
+                 trajectory notices if either starts moving *)
+              ("memo_degraded", jint st.Stats.memo_degraded);
+              ("cold_fallbacks", jint (Session.cold_fallbacks session));
             ])
         [ ("closure", Config.optimized); ("vm", Config.vm) ])
     [
@@ -1167,10 +1174,136 @@ let e9 () =
       ("list-recog", list_recog, "[12,[3,[45,6],[]],789];");
     ]
 
+(* ========================================================================== *)
+(* E10: fault-isolated batch throughput and the degradation ladder            *)
+(* ========================================================================== *)
+
+let e10 () =
+  header "E10: batch pipeline: docs/sec, isolation and ladder cost";
+  let run_batch ?limits config g docs =
+    match Batch.run ~config ?limits g (Batch.Docs docs) with
+    | Ok rep -> rep
+    | Error _ -> failwith "e10: grammar failed to compile"
+  in
+  let backends = [ ("closure", Config.optimized); ("vm", Config.vm) ] in
+  (* Throughput: many small calc documents through [Batch.run], each
+     parsed cold under its own limits snapshot and exception backstop —
+     the docs/sec here is raw engine speed plus the full per-document
+     isolation overhead. *)
+  let ndocs = scale 150 in
+  let docs =
+    List.init ndocs (fun i ->
+        ( Printf.sprintf "doc%d" i,
+          Grammars.Corpus.arith
+            (Rng.create (i + 1))
+            ~size:(60 + (i mod 7 * 40)) ))
+  in
+  let bytes = List.fold_left (fun a (_, d) -> a + String.length d) 0 docs in
+  let calc = Pipeline.optimize (Grammars.Calc.grammar ()) in
+  row "throughput: %d calc docs, %d bytes total\n" ndocs bytes;
+  row "  %-8s %10s %11s %9s %9s\n" "backend" "docs/s" "median ms" "p50 ms"
+    "p99 ms";
+  List.iter
+    (fun (label, config) ->
+      let rep = run_batch config calc docs in
+      let s = rep.Batch.summary in
+      if s.Batch.s_ok <> ndocs then
+        failwith ("e10: throughput corpus should be all-ok on " ^ label);
+      let m = measure (fun () -> run_batch config calc docs) in
+      let dps = float_of_int ndocs /. m.m_median in
+      record ~experiment:"e10" ~series:"throughput"
+        [
+          ("backend", jstr label);
+          ("docs", jint ndocs);
+          ("bytes", jint bytes);
+          ("docs_per_s", jfloat dps);
+          ("median_ms", jfloat (ms m.m_median));
+          ("p50_ms", jfloat s.Batch.s_p50_ms);
+          ("p99_ms", jfloat s.Batch.s_p99_ms);
+          ("ok", jint s.Batch.s_ok);
+          ("failed", jint s.Batch.s_failed);
+          ("allocated_bytes_per_run", jfloat m.m_alloc_bytes);
+        ];
+      row "  %-8s %10.0f %11.2f %9.3f %9.3f\n" label dps (ms m.m_median)
+        s.Batch.s_p50_ms s.Batch.s_p99_ms)
+    backends;
+  (* Ladder cost: a memoized chain whose parse is exponential without
+     memo and linear with it. Cold runs under roomy limits stay on the
+     full rung; the degraded series caps the memo budget below what
+     value-carrying chunks need, so every document trips its fuel on
+     the full rung and is rescued by the recognizer retry — the
+     recorded ratio is the price of descending the ladder, and the
+     counters pin that the rescue really happened. *)
+  let chain =
+    let open Builder in
+    let link i next =
+      prod ~kind:Attr.Generic ~memo:Attr.Memo_always
+        (Printf.sprintf "C%d" i)
+        (e next @: c 'b' <|> e next)
+    in
+    grammar ~start:"S"
+      (prod ~kind:Attr.Generic "S" (plus (e "C0"))
+      :: List.init 7 (fun i -> link i (Printf.sprintf "C%d" (i + 1)))
+      @ [ prod ~kind:Attr.Generic ~memo:Attr.Memo_always "C7" (c 'a') ])
+  in
+  let ldocs = scale 60 in
+  let ladder_docs =
+    List.init ldocs (fun i -> (Printf.sprintf "doc%d" i, String.make 200 'a'))
+  in
+  row "\nladder: %d chain docs of 200 bytes, cold vs degraded:\n" ldocs;
+  row "  %-8s %-9s %10s %11s %11s %9s\n" "backend" "mode" "docs/s" "median ms"
+    "recognizer" "degraded";
+  List.iter
+    (fun (label, config) ->
+      let cold_median = ref 0. in
+      List.iter
+        (fun (mode, limits) ->
+          let rep = run_batch ?limits config chain ladder_docs in
+          let s = rep.Batch.summary in
+          if s.Batch.s_ok <> ldocs then
+            failwith
+              (Printf.sprintf "e10: %s/%s should parse every doc" label mode);
+          (match mode with
+          | "cold" when s.Batch.s_rung_recognizer <> 0 ->
+              failwith "e10: cold run descended the ladder"
+          | "degraded" when s.Batch.s_rung_recognizer <> ldocs ->
+              failwith "e10: degraded run should rescue every doc"
+          | _ -> ());
+          let m =
+            measure (fun () -> run_batch ?limits config chain ladder_docs)
+          in
+          if mode = "cold" then cold_median := m.m_median;
+          let dps = float_of_int ldocs /. m.m_median in
+          record ~experiment:"e10" ~series:"ladder"
+            [
+              ("backend", jstr label);
+              ("mode", jstr mode);
+              ("docs", jint ldocs);
+              ("docs_per_s", jfloat dps);
+              ("median_ms", jfloat (ms m.m_median));
+              ( "vs_cold",
+                jfloat
+                  (if !cold_median > 0. then m.m_median /. !cold_median
+                   else 1.) );
+              ("p50_ms", jfloat s.Batch.s_p50_ms);
+              ("p99_ms", jfloat s.Batch.s_p99_ms);
+              ("rung_recognizer", jint s.Batch.s_rung_recognizer);
+              ("retried", jint s.Batch.s_degraded);
+              ("memo_degraded", jint s.Batch.s_memo_degraded);
+              ("cold_fallbacks", jint s.Batch.s_cold_fallbacks);
+            ];
+          row "  %-8s %-9s %10.0f %11.2f %11d %9d\n" label mode dps
+            (ms m.m_median) s.Batch.s_rung_recognizer s.Batch.s_memo_degraded)
+        [
+          ("cold", None);
+          ("degraded", Some (Limits.v ~max_memo_bytes:55_000 ~fuel:6_000 ()));
+        ])
+    backends
+
 let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
-    ("e7", e7); ("e8", e8); ("e9", e9);
+    ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10);
   ]
 
 let () =

@@ -14,8 +14,15 @@ let exit_parse = 3
 let exit_resource = 4
 let exit_internal = 5
 
+exception Input_over_cap of int
+
 let guarded f =
   try f () with
+  | Input_over_cap cap ->
+      Fmt.epr "rml: %s (%d-byte cap)@."
+        (Rats.Limits.which_message Rats.Limits.Input)
+        cap;
+      exit_resource
   | Rats.Diagnostic.Fail d ->
       Fmt.epr "%s@." (Rats.Diagnostic.to_string d);
       exit_parse
@@ -613,6 +620,70 @@ let parse_cmd =
              and doubling it while time remains, so the engines stay \
              deterministic.")
   in
+  let max_input_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-input" ] ~docv:"BYTES"
+          ~doc:
+            "Reject inputs longer than BYTES (exit 4). Streamed inputs \
+             (--stdin, --batch) are read in bounded chunks that stop at the \
+             cap, so an unbounded stream never exhausts memory.")
+  in
+  let batch_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "batch" ] ~docv:"MANIFEST|-"
+          ~doc:
+            "Parse a whole corpus under per-document fault isolation: \
+             compile the grammar once, then parse every document named by \
+             MANIFEST (one path per line, '#' comments) or streamed on \
+             standard input ('-', documents separated by --batch-sep). Each \
+             document gets its own resource budgets and --doc-timeout \
+             deadline; every failure — malformed input, budget trip, \
+             unreadable file, even an engine bug — becomes a JSON-lines \
+             record on stdout instead of ending the run. Documents that \
+             trip the fuel, depth or memory budget are retried once in \
+             recognizer mode (the degradation ladder); the record says \
+             which rung answered. The final line is an aggregate summary; \
+             the exit code is the worst class seen (5 internal, else 4 \
+             resource, else 3 syntax/io, else 0).")
+  in
+  let batch_sep_arg =
+    Arg.(
+      value
+      & opt (enum [ ("nul", '\000'); ("line", '\n') ]) '\000'
+      & info [ "batch-sep" ] ~docv:"SEP"
+          ~doc:
+            "Document separator for '--batch -' streams: nul (default; \
+             documents may contain newlines) or line.")
+  in
+  let faults_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "faults" ] ~docv:"SPEC"
+          ~doc:
+            "Inject deterministic faults into a --batch run (testing): a \
+             comma-separated plan of seed=N, rate=F (fraction of documents \
+             hit, seeded per-document coin), trunc\\@K (truncate reads at K \
+             bytes), io\\@K (fail reads after K bytes), fuel\\@N / memo\\@N \
+             (cap those budgets so the governor trips), skew\\@NS (step the \
+             deadline clock by NS nanoseconds after arming). Example: \
+             'seed=7,rate=0.5,trunc\\@64,fuel\\@10000'.")
+  in
+  let doc_timeout_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "doc-timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Per-document deadline for --batch runs, measured on the \
+             monotonic clock with the same signal-free fuel-slice \
+             discipline as --timeout. An expired document is recorded as a \
+             resource failure ('deadline') and the batch moves on.")
+  in
   let edits_arg =
     Arg.(
       value
@@ -647,8 +718,8 @@ let parse_cmd =
              so governed runs consume exactly what unobserved ones do.")
   in
   let run files builtin root start optimize config engine fuel max_depth
-      max_memo timeout input use_stdin mmap stats quiet trace edits profile
-      ring =
+      max_memo max_input timeout input use_stdin mmap batch batch_sep
+      faults_spec doc_timeout stats quiet trace edits profile ring =
     guarded @@ fun () ->
     (* Resolve where the document comes from before any heavy work, so
        usage mistakes exit 2 without compiling a grammar. *)
@@ -657,14 +728,37 @@ let parse_cmd =
       Fmt.epr "rml: %s@." msg;
       Some 2
     in
+    let faults_plan =
+      match faults_spec with
+      | None -> Ok Rats.Faults.none
+      | Some s -> Rats.Faults.of_spec s
+    in
     let usage_error =
-      match (input, use_stdin) with
-      | None, false -> input_err "no input (use -i FILE, -i - or --stdin)"
-      | Some f, true when f <> "-" ->
-          input_err "both --input and --stdin given"
-      | _ when mmap && from_stdin ->
-          input_err "--mmap cannot map standard input (pipes have no length)"
-      | _ -> None
+      match batch with
+      | Some _ -> (
+          if
+            input <> None || use_stdin || mmap || edits <> None || trace
+            || profile || ring <> None || timeout <> None
+          then
+            input_err
+              "--batch is incompatible with \
+               --input/--stdin/--mmap/--edits/--trace/--profile/--trace-ring/--timeout \
+               (use --doc-timeout for per-document deadlines)"
+          else
+            match faults_plan with Error m -> input_err m | Ok _ -> None)
+      | None ->
+          if faults_spec <> None then input_err "--faults requires --batch"
+          else if doc_timeout <> None then
+            input_err "--doc-timeout requires --batch"
+          else (
+            match (input, use_stdin) with
+            | None, false ->
+                input_err "no input (use -i FILE, -i - or --stdin)"
+            | Some f, true when f <> "-" ->
+                input_err "both --input and --stdin given"
+            | _ when mmap && from_stdin ->
+                input_err "--mmap cannot map standard input (pipes have no length)"
+            | _ -> None)
     in
     match usage_error with
     | Some code -> code
@@ -674,11 +768,12 @@ let parse_cmd =
     | Ok g -> (
         let config = apply_engine engine config in
         let config =
-          match (fuel, max_depth, max_memo) with
-          | None, None, None -> config
+          match (fuel, max_depth, max_memo, max_input) with
+          | None, None, None, None -> config
           | _ ->
               Rats.Config.with_limits
-                (Rats.Limits.v ?fuel ?max_depth ?max_memo_bytes:max_memo ())
+                (Rats.Limits.v ?fuel ?max_depth ?max_memo_bytes:max_memo
+                   ?max_input_bytes:max_input ())
                 config
         in
         let observe =
@@ -723,13 +818,50 @@ let parse_cmd =
         if trace && (profile || ring <> None) then
           Fmt.epr "note: --profile/--trace-ring are ignored with --trace@.";
         let g = if optimize then Rats.Pipeline.optimize g else g in
+        match batch with
+        | Some spec -> (
+            let faults =
+              match faults_plan with Ok p -> p | Error _ -> Rats.Faults.none
+            in
+            let deadline_ns =
+              Option.map (fun s -> int_of_float (s *. 1e9)) doc_timeout
+            in
+            let source =
+              if spec = "-" then
+                Rats.Batch.Channel { ic = stdin; sep = batch_sep }
+              else Rats.Batch.Manifest spec
+            in
+            let on_record r = print_endline (Rats.Batch.jsonl_of_record r) in
+            match
+              Rats.Batch.run ~config ?deadline_ns ~faults ~on_record g source
+            with
+            | Error ds -> print_errors ds
+            | Ok report ->
+                print_endline
+                  (Rats.Batch.jsonl_of_summary report.Rats.Batch.summary);
+                Fmt.epr "batch: %a@." Rats.Batch.pp_summary
+                  report.Rats.Batch.summary;
+                Rats.Batch.exit_code report)
+        | None -> (
         match Rats.Engine.prepare ~config g with
         | Error ds -> print_errors ds
         | Ok eng -> (
             let source =
               if from_stdin then
+                (* Bounded, chunked: stops as soon as the stream exceeds
+                   the input-byte cap (exit 4) instead of slurping an
+                   arbitrarily large stream before checking. *)
                 Rats.Source.of_string ~name:"<stdin>"
-                  (In_channel.input_all In_channel.stdin)
+                  (match
+                     Rats.Faults.read_channel
+                       ~cap:
+                         config.Rats.Config.limits.Rats.Limits.max_input_bytes
+                       In_channel.stdin
+                   with
+                  | Ok text -> text
+                  | Error (Rats.Faults.Too_large cap) ->
+                      raise (Input_over_cap cap)
+                  | Error (Rats.Faults.Io_fault m) -> raise (Sys_error m))
               else
                 let path = Option.get input in
                 if mmap then
@@ -831,7 +963,12 @@ let parse_cmd =
                      honors whichever budget is smaller: a fuel trip at
                      the full budget is reported as fuel exhaustion, not
                      retried. *)
-                  let deadline = Unix.gettimeofday () +. seconds in
+                  (* Monotonic clock (Profile's CLOCK_MONOTONIC source):
+                     wall-clock steps — NTP jumps, suspend/resume —
+                     can neither hang the loop nor spuriously trip it. *)
+                  let deadline =
+                    Rats.Profile.now_ns () + int_of_float (seconds *. 1e9)
+                  in
                   let budget = config.Rats.Config.limits.Rats.Limits.fuel in
                   let rec go slice =
                     let capped =
@@ -851,7 +988,7 @@ let parse_cmd =
                           when Rats.Parse_error.exhausted_which e
                                = Some Rats.Limits.Fuel
                                && slice < budget ->
-                            if Unix.gettimeofday () >= deadline then (
+                            if Rats.Profile.now_ns () >= deadline then (
                               Fmt.epr "rml: timeout of %gs exceeded@." seconds;
                               Ok (eng', out))
                             else
@@ -900,13 +1037,14 @@ let parse_cmd =
                     dump_ring eng_used (Rats.Source.text source);
                     if Rats.Parse_error.exhausted_which e <> None then
                       exit_resource
-                    else exit_parse)))))
+                    else exit_parse))))))
   in
   Cmd.v (Cmd.info "parse" ~doc:"Parse an input file with a composed grammar.")
     Term.(
       const run $ files_arg $ builtin_arg $ root_arg $ start_arg
       $ optimize_arg $ config_arg $ engine_arg $ fuel_arg $ max_depth_arg
-      $ max_memo_arg $ timeout_arg $ input_arg $ stdin_arg $ mmap_arg
+      $ max_memo_arg $ max_input_arg $ timeout_arg $ input_arg $ stdin_arg
+      $ mmap_arg $ batch_arg $ batch_sep_arg $ faults_arg $ doc_timeout_arg
       $ stats_arg $ quiet_arg $ trace_arg $ edits_arg $ profile_flag_arg
       $ trace_ring_arg)
 

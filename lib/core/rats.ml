@@ -3,6 +3,7 @@ module Input = Rats_support.Input
 module Source = Rats_support.Source
 module Diagnostic = Rats_support.Diagnostic
 module Rng = Rats_support.Rng
+module Faults = Rats_support.Faults
 module Charset = Rats_peg.Charset
 module Value = Rats_peg.Value
 module Attr = Rats_peg.Attr
@@ -35,6 +36,7 @@ module Pass = Rats_optimize.Pass
 module Driver = Rats_optimize.Driver
 module Pipeline = Rats_optimize.Pipeline
 module Emit = Rats_codegen.Emit
+module Batch = Batch
 
 module Grammars = struct
   module Calc = Rats_grammars.Calc

@@ -22,6 +22,7 @@ module Input = Rats_support.Input
 module Source = Rats_support.Source
 module Diagnostic = Rats_support.Diagnostic
 module Rng = Rats_support.Rng
+module Faults = Rats_support.Faults
 module Charset = Rats_peg.Charset
 module Value = Rats_peg.Value
 module Attr = Rats_peg.Attr
@@ -54,6 +55,9 @@ module Pass = Rats_optimize.Pass
 module Driver = Rats_optimize.Driver
 module Pipeline = Rats_optimize.Pipeline
 module Emit = Rats_codegen.Emit
+
+module Batch = Batch
+(** Fault-isolated batch parsing — [rml parse --batch]. See {!Batch}. *)
 
 module Grammars : sig
   module Calc = Rats_grammars.Calc

@@ -63,6 +63,7 @@ type t = {
   recs : fn array;  (* per-production recognizers *)
   slots : int array;  (* memo slot per production; -1 = not memoized *)
   nslots : int;
+  nvslots : int;  (* memo slots that carry a value *)
   vmap : int array;  (* memo slot -> arena value slot; -1 = value-free *)
   dummy_arena : Memo_arena.t;  (* cold placeholder for unmemoized runs *)
   mutable pool : scratch option;
@@ -748,6 +749,7 @@ let prepare_hooked ?hook ?(config = Config.optimized) gram =
           recs = Array.make nprods dummy;
           slots;
           nslots;
+          nvslots;
           vmap;
           dummy_arena = Memo_arena.create ~nslots:0 ~vmap:[||];
           pool = None;
@@ -765,7 +767,7 @@ let prepare_hooked ?hook ?(config = Config.optimized) gram =
       let limits = config.Config.limits in
       let max_depth = limits.Limits.max_depth in
       let memo_limit = limits.Limits.max_memo_bytes in
-      let chunk_cost = Limits.chunk_cost nslots in
+      let chunk_cost = Limits.chunk_cost ~value_slots:nvslots nslots in
       let charge st pos =
         st.fuel <- st.fuel - 1;
         if st.fuel < 0 then (
@@ -959,6 +961,75 @@ let prepare_hooked ?hook ?(config = Config.optimized) gram =
                          let p' = body_rec st pos in
                          st.depth <- st.depth - 1;
                          p')
+               | Config.Chunked, slot when vmap.(slot) < 0 ->
+                   (* A value-free slot stores nothing but the result,
+                      so an entry written by a recognizer run is
+                      indistinguishable from a full-mode one — lean
+                      calls to these productions get the whole memo
+                      protocol, allocation and stores included. The VM
+                      makes the identical decision off the same vmap so
+                      the tables keep evolving in lockstep. *)
+                   fun st pos ->
+                     st.stats.Stats.invocations <-
+                       st.stats.Stats.invocations + 1;
+                     charge st pos;
+                     let a = st.arena in
+                     let c =
+                       let c = a.Memo_arena.idx.(pos) in
+                       if c >= 0 then c
+                       else if st.memo_bytes + chunk_cost > memo_limit then
+                         -1
+                       else (
+                         let c = Memo_arena.alloc a pos in
+                         st.memo_bytes <- st.memo_bytes + chunk_cost;
+                         st.stats.Stats.chunks_allocated <-
+                           st.stats.Stats.chunks_allocated + 1;
+                         st.stats.Stats.chunk_slots <-
+                           st.stats.Stats.chunk_slots + nslots;
+                         c)
+                     in
+                     if c >= 0 then (
+                       let base = (c * nslots) + slot in
+                       let r = a.Memo_arena.res.(base) in
+                       if
+                         r <> 0
+                         && ((not stateful)
+                            || a.Memo_arena.vers.(base) = st.version)
+                       then (
+                         st.stats.Stats.memo_hits <-
+                           st.stats.Stats.memo_hits + 1;
+                         look st (pos + a.Memo_arena.exts.(base) - 1);
+                         if r > 0 then pos + r - 1 else -1)
+                       else (
+                         st.stats.Stats.memo_misses <-
+                           st.stats.Stats.memo_misses + 1;
+                         enter st pos;
+                         let ver0 = st.version in
+                         let saved_ext = st.examined in
+                         st.examined <- pos - 1;
+                         let p' = body_rec st pos in
+                         st.depth <- st.depth - 1;
+                         (if p' >= 0 then
+                            a.Memo_arena.res.(base) <- p' - pos + 1
+                          else a.Memo_arena.res.(base) <- -1);
+                         a.Memo_arena.vers.(base) <- ver0;
+                         let ext = st.examined - pos + 1 in
+                         a.Memo_arena.exts.(base) <- ext;
+                         if ext > a.Memo_arena.cmax.(c) then
+                           a.Memo_arena.cmax.(c) <- ext;
+                         st.stats.Stats.memo_stores <-
+                           st.stats.Stats.memo_stores + 1;
+                         look st saved_ext;
+                         p'))
+                     else (
+                       st.stats.Stats.memo_misses <-
+                         st.stats.Stats.memo_misses + 1;
+                       enter st pos;
+                       let p' = body_rec st pos in
+                       st.depth <- st.depth - 1;
+                       st.stats.Stats.memo_degraded <-
+                         st.stats.Stats.memo_degraded + 1;
+                       p')
                | Config.Chunked, slot ->
                    fun st pos ->
                      st.stats.Stats.invocations <-
@@ -1045,6 +1116,7 @@ let prepare ?(config = Config.optimized) gram =
               dummy_arena = Memo_arena.create ~nslots:0 ~vmap:[||];
               pool = None;
               nslots = Vm.memo_slots vm;
+              nvslots = Vm.memo_value_slots vm;
               vm = Some vm;
               obs = None;
             })
@@ -1058,6 +1130,7 @@ let prepare_exn ?config gram =
 let config t = t.cfg
 let grammar t = t.gram
 let memo_slots t = t.nslots
+let memo_value_slots t = t.nvslots
 let bytecode t = t.vm
 
 let observation t =
@@ -1110,7 +1183,7 @@ let edit_cstore t (s : cstore) ~start ~old_len ~new_len =
         let r, l = Memo_arena.edit s.c_arena ~start ~old_len ~new_len in
         reused := r;
         relocated := l;
-        s.c_bytes <- r * Limits.chunk_cost t.nslots
+        s.c_bytes <- r * Limits.chunk_cost ~value_slots:t.nvslots t.nslots
     | Config.Hashtable ->
         if t.nslots > 0 then (
           let entries =

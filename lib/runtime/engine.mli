@@ -38,6 +38,11 @@ val memo_slots : t -> int
 (** Number of productions that received a memo slot under this
     configuration — the chunk width of E5. *)
 
+val memo_value_slots : t -> int
+(** The subset of memo slots that carry a semantic value (the arena's
+    vmap); enters {!Limits.chunk_cost}, so a value-free engine charges
+    its memo budget less per position. *)
+
 val bytecode : t -> Vm.t option
 (** The compiled bytecode program when this engine runs on the
     {!Config.Bytecode} back end; [None] on the closure back end. *)

@@ -54,7 +54,8 @@ let pp_which ppf w = Format.pp_print_string ppf (which_name w)
    cost about the same per chunk anyway; do not "recalibrate" without
    versioning the budget semantics. A hash-table entry is the key, the
    boxed tuple and its bucket. *)
-let chunk_cost nslots = 48 + (24 * nslots)
+let chunk_cost ?(value_slots = 0) nslots =
+  48 + (24 * nslots) + (24 * value_slots)
 let table_entry_cost = 64
 
 let field ppf name v =

@@ -61,10 +61,14 @@ val which_name : which -> string
 val which_message : which -> string
 val pp_which : Format.formatter -> which -> unit
 
-val chunk_cost : int -> int
-(** [chunk_cost nslots]: approximate bytes charged against
-    [max_memo_bytes] when a memo chunk is allocated. Shared by both back
-    ends so degradation points coincide. *)
+val chunk_cost : ?value_slots:int -> int -> int
+(** [chunk_cost ~value_slots nslots]: approximate bytes charged against
+    [max_memo_bytes] when a memo chunk is allocated — per-slot
+    result/extent/version bookkeeping plus a boxed word per {e value}
+    slot ([value_slots], default [0]; the arena's vmap). Shared by both
+    back ends so degradation points coincide. A value-free engine —
+    the batch recognizer rung — allocates cheaper chunks, so the same
+    budget memoizes roughly twice the positions. *)
 
 val table_entry_cost : int
 (** Approximate bytes charged per hash-table memo entry. *)

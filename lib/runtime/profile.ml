@@ -6,6 +6,7 @@
    that). *)
 
 let now () = Int64.to_int (Monotonic_clock.now ())
+let now_ns = now
 
 (* Flamegraph events stop being logged past this many entries (~48 MB of
    arrays); counters keep accumulating so tables stay exact. *)

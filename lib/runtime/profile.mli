@@ -16,6 +16,13 @@
 
 type t
 
+val now_ns : unit -> int
+(** The raw monotonic clock ([CLOCK_MONOTONIC], nanoseconds) every
+    timing in this module is measured with. Exposed so deadline logic —
+    the CLI's [--timeout] fuel-slice loop and the batch runner's
+    per-document deadlines — uses the same step-immune source instead
+    of wall-clock time. *)
+
 val create : names:string array -> t
 (** One slot per production; [names] feeds reports and flamegraphs. *)
 

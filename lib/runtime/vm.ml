@@ -749,6 +749,7 @@ let prepare_exn ?config gram =
 let config t = t.cfg
 let grammar t = t.gram
 let memo_slots t = t.nslots
+let memo_value_slots t = t.nvslots
 let instruction_count (t : t) = Array.length t.code
 let observation (t : t) = t.obs
 
@@ -1038,7 +1039,7 @@ let exec (t : t) (st : st) start_ip =
             (* the memo budget denied this position a chunk *)
             stats.Stats.memo_degraded <- stats.Stats.memo_degraded + 1
   in
-  let chunk_cost = Limits.chunk_cost t.nslots in
+  let chunk_cost = Limits.chunk_cost ~value_slots:t.nvslots t.nslots in
   (* Returns the chunk id for [pos], claiming one from the arena on
      first visit — budget charges and stats exactly as when chunks were
      boxed records; -1 when the memo budget denies the claim. *)
@@ -1074,9 +1075,11 @@ let exec (t : t) (st : st) start_ip =
           ~stop:(-1);
         fail ())
       else if tag >= tag_ret then (
-        (* lean calls never store — the closure engine's recognizers
-           don't either, and the memo tables must evolve identically
-           for the budgets to trip at the same point *)
+        (* lean calls to value-carrying slots never store — the closure
+           engine's recognizers don't either, and the memo tables must
+           evolve identically for the budgets to trip at the same
+           point. Lean calls to value-free slots pushed [tag_ret] and
+           so store their failures here like any full call. *)
         let pos0 = Array.unsafe_get st.s_pos sp in
         if tag = tag_ret || tag = tag_ret_obs then
           store_failure
@@ -1285,9 +1288,16 @@ let exec (t : t) (st : st) start_ip =
     | ICallChunk (prod, slot, vslot, stateful, lean) ->
         stats.Stats.invocations <- stats.Stats.invocations + 1;
         charge_fuel ();
-        (* Lean calls read existing memo entries but never allocate a
-           chunk (nor store on return) — mirroring the closure engine's
-           recognizers, entry for entry. *)
+        (* Lean calls to a production whose slot carries a value read
+           existing memo entries but never allocate a chunk (nor store
+           on return) — a recognizer result has no value to store.
+           Value-free slots ([vslot < 0]) have nothing to lose: lean
+           calls to those run the whole memo protocol, allocation and
+           stores included. The closure engine's recognizer entries
+           make the identical decision off the same vmap, so the memo
+           tables — and with them the budgets — keep evolving in
+           lockstep. *)
+        let lean = lean && vslot >= 0 in
         let a = st.arena in
         let c =
           if lean then Array.unsafe_get a.Memo_arena.idx st.pos
@@ -1423,6 +1433,9 @@ let exec (t : t) (st : st) start_ip =
         Observe.enter o prod pos0;
         stats.Stats.invocations <- stats.Stats.invocations + 1;
         charge_fuel ();
+        (* value-free slots take the storing path even when called
+           lean — see [ICallChunk] *)
+        let lean = lean && vslot >= 0 in
         let a = st.arena in
         let c =
           if lean then Array.unsafe_get a.Memo_arena.idx pos0
@@ -1734,7 +1747,7 @@ let edit_store t (s : store) ~start ~old_len ~new_len =
         let r, l = Memo_arena.edit s.v_arena ~start ~old_len ~new_len in
         reused := r;
         relocated := l;
-        s.v_bytes <- r * Limits.chunk_cost t.nslots
+        s.v_bytes <- r * Limits.chunk_cost ~value_slots:t.nvslots t.nslots
     | Config.Hashtable ->
         if t.nslots > 0 then (
           let entries =

@@ -42,6 +42,10 @@ val memo_slots : t -> int
 (** Number of productions holding a memo slot under this configuration;
     identical to the closure engine's assignment. *)
 
+val memo_value_slots : t -> int
+(** Memo slots carrying a value; identical to the closure engine's
+    vmap assignment. *)
+
 val instruction_count : t -> int
 (** Length of the compiled instruction array. *)
 

@@ -1,0 +1,163 @@
+type fault =
+  | Truncate of int
+  | Io_error of int
+  | Fuel_cap of int
+  | Memo_cap of int
+  | Clock_skew of int
+
+type t = { seed : int; rate_ppm : int; faults : fault list }
+
+let none = { seed = 0; rate_ppm = 1_000_000; faults = [] }
+let is_none t = t.faults = []
+
+let clamp_ppm r =
+  let r = if Float.is_nan r then 0. else r in
+  let r = Float.max 0. (Float.min 1. r) in
+  int_of_float ((r *. 1e6) +. 0.5)
+
+let v ?(seed = 0) ?(rate = 1.0) faults = { seed; rate_ppm = clamp_ppm rate; faults }
+
+(* Document selection must be a pure function of (seed, index) so a
+   chaos run replays from its spec alone; splitmix gives us that from
+   the support layer's own Rng. *)
+let active_for t index =
+  if t.faults = [] then []
+  else if t.rate_ppm >= 1_000_000 then t.faults
+  else
+    let rng = Rng.create ((t.seed * 0x1000193) lxor (index * 0x9E3779B9)) in
+    if Rng.int rng 1_000_000 < t.rate_ppm then t.faults else []
+
+let first f faults =
+  List.find_map (fun x -> match f x with Some n -> Some (max 0 n) | None -> None) faults
+
+let truncate_at fs = first (function Truncate n -> Some n | _ -> None) fs
+let io_error_at fs = first (function Io_error n -> Some n | _ -> None) fs
+let fuel_cap fs = first (function Fuel_cap n -> Some n | _ -> None) fs
+let memo_cap fs = first (function Memo_cap n -> Some n | _ -> None) fs
+
+let clock_skew_ns fs =
+  List.fold_left (fun acc -> function Clock_skew n -> acc + max 0 n | _ -> acc) 0 fs
+
+(* Spec strings *)
+
+let fault_to_string = function
+  | Truncate n -> Printf.sprintf "trunc@%d" n
+  | Io_error n -> Printf.sprintf "io@%d" n
+  | Fuel_cap n -> Printf.sprintf "fuel@%d" n
+  | Memo_cap n -> Printf.sprintf "memo@%d" n
+  | Clock_skew n -> Printf.sprintf "skew@%d" n
+
+let to_spec t =
+  let parts = Printf.sprintf "seed=%d" t.seed :: List.map fault_to_string t.faults in
+  let parts =
+    if t.rate_ppm >= 1_000_000 then parts
+    else
+      Printf.sprintf "seed=%d" t.seed
+      :: Printf.sprintf "rate=%.6f" (float_of_int t.rate_ppm /. 1e6)
+      :: List.map fault_to_string t.faults
+  in
+  String.concat "," parts
+
+let pp ppf t = Format.pp_print_string ppf (to_spec t)
+
+let of_spec s =
+  let exception Bad of string in
+  let nonneg item n =
+    match int_of_string_opt n with
+    | Some k when k >= 0 -> k
+    | _ -> raise (Bad (Printf.sprintf "%S: expected a non-negative integer" item))
+  in
+  let items =
+    String.split_on_char ',' s |> List.map String.trim
+    |> List.filter (fun x -> x <> "")
+  in
+  try
+    let seed = ref 0 and rate = ref 1_000_000 and faults = ref [] in
+    List.iter
+      (fun item ->
+        match String.index_opt item '=' with
+        | Some i -> (
+            let key = String.sub item 0 i
+            and value = String.sub item (i + 1) (String.length item - i - 1) in
+            match key with
+            | "seed" -> (
+                match int_of_string_opt value with
+                | Some k -> seed := k
+                | None -> raise (Bad (Printf.sprintf "%S: expected an integer" item)))
+            | "rate" -> (
+                match float_of_string_opt value with
+                | Some r when r >= 0. && r <= 1. -> rate := clamp_ppm r
+                | _ -> raise (Bad (Printf.sprintf "%S: expected a float in 0..1" item)))
+            | _ -> raise (Bad (Printf.sprintf "unknown key %S" key)))
+        | None -> (
+            match String.index_opt item '@' with
+            | None ->
+                raise
+                  (Bad
+                     (Printf.sprintf
+                        "%S: expected KEY=VALUE or FAULT@N (trunc, io, fuel, memo, skew)"
+                        item))
+            | Some i -> (
+                let kind = String.sub item 0 i
+                and arg = String.sub item (i + 1) (String.length item - i - 1) in
+                let n = nonneg item arg in
+                match kind with
+                | "trunc" | "truncate" -> faults := Truncate n :: !faults
+                | "io" -> faults := Io_error n :: !faults
+                | "fuel" -> faults := Fuel_cap n :: !faults
+                | "memo" -> faults := Memo_cap n :: !faults
+                | "skew" -> faults := Clock_skew n :: !faults
+                | _ -> raise (Bad (Printf.sprintf "unknown fault %S" kind)))))
+      items;
+    Ok { seed = !seed; rate_ppm = !rate; faults = List.rev !faults }
+  with Bad m -> Error (Printf.sprintf "bad fault spec: %s" m)
+
+(* Guarded reads *)
+
+type read_error = Too_large of int | Io_fault of string
+
+let read_error_message = function
+  | Too_large cap -> Printf.sprintf "input exceeds the %d-byte cap" cap
+  | Io_fault m -> m
+
+let injected_msg k = Printf.sprintf "injected I/O fault after %d bytes" k
+
+(* Both readers implement the same event order as the stream grows:
+   the io fault wins ties at a given byte count, then the cap trips
+   once count exceeds it, then truncation stops delivery — the cap
+   outranks truncation so a truncated prefix that is itself over the
+   cap is rejected, exactly as [apply_to_string] judges the delivered
+   document. [read_channel] never buffers more than [cap + 1] bytes. *)
+let read_channel ?(cap = max_int) ?(faults = []) ic =
+  let trunc = Option.value (truncate_at faults) ~default:max_int in
+  let io_at = Option.value (io_error_at faults) ~default:max_int in
+  let chunk = Bytes.create 65536 in
+  let buf = Buffer.create 4096 in
+  let rec loop count =
+    if io_at <= count then Error (Io_fault (injected_msg io_at))
+    else if count > cap then Error (Too_large cap)
+    else if count >= trunc then Ok (Buffer.contents buf)
+    else
+      let want = Bytes.length chunk in
+      let want = min want (trunc - count) in
+      let want = min want (io_at - count) in
+      let want = if cap >= max_int - 1 then want else min want (cap + 1 - count) in
+      match In_channel.input ic chunk 0 want with
+      | 0 -> Ok (Buffer.contents buf)
+      | n ->
+          Buffer.add_subbytes buf chunk 0 n;
+          loop (count + n)
+      | exception Sys_error m -> Error (Io_fault m)
+  in
+  loop 0
+
+let apply_to_string ?(cap = max_int) ?(faults = []) s =
+  let len = String.length s in
+  let trunc = Option.value (truncate_at faults) ~default:max_int in
+  let io_at = Option.value (io_error_at faults) ~default:max_int in
+  let delivered = min len trunc in
+  if io_at <= min delivered (if cap >= max_int - 1 then max_int else cap + 1) then
+    Error (Io_fault (injected_msg io_at))
+  else if delivered > cap then Error (Too_large cap)
+  else if delivered < len then Ok (String.sub s 0 delivered)
+  else Ok s

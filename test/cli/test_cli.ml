@@ -367,4 +367,220 @@ let tests =
           (contains out' "exit-fail"));
   ]
 
-let () = Alcotest.run "cli" [ ("rml", tests) ]
+(* --- the exit-code contract, table-driven ------------------------------------
+
+   One row per subcommand × failure class: 0 success, 1 coverage
+   --strict's verdict, 2 usage, 3 syntax/io, 4 resource. Exit 5 (the
+   internal backstop) has no CLI trigger short of an engine bug — the
+   chaos suite in test_faults asserts it never fires, and the batch
+   runner reserves it by construction. *)
+
+let exit_matrix_tests =
+  let with_fixtures f =
+    let good = write_temp "1 + 2 * 3" in
+    let bad = write_temp "1+" in
+    Fun.protect
+      ~finally:(fun () ->
+        Sys.remove good;
+        Sys.remove bad)
+      (fun () -> f ~good ~bad)
+  in
+  let matrix ~good ~bad =
+    [
+      (* subcommand, args, stdin payload, expected exit *)
+      ("analyze ok", "analyze -b calc", None, 0);
+      ("analyze usage", "analyze -b calc --no-such-flag", None, 2);
+      ("analyze unknown builtin", "analyze -b nonsense", None, 3);
+      ("parse ok", Printf.sprintf "parse -b calc -i %s" good, None, 0);
+      ("parse usage: no input", "parse -b calc", None, 2);
+      ("parse usage: bad flag", "parse -b calc --no-such-flag", None, 2);
+      ("parse syntax", Printf.sprintf "parse -b calc -i %s" bad, None, 3);
+      ("parse io", "parse -b calc -i /no/such/file", None, 3);
+      ( "parse resource: fuel",
+        Printf.sprintf "parse -b calc -i %s --fuel 3" good,
+        None,
+        4 );
+      ( "parse resource: depth",
+        Printf.sprintf "parse -b calc -i %s --max-depth 2" good,
+        None,
+        4 );
+      ( "parse resource: input cap",
+        "parse -b calc --stdin --max-input 4",
+        Some "1+2*3+4",
+        4 );
+      ("compose ok", "compose -b calc", None, 0);
+      ("compose usage", "compose -b calc --no-such-flag", None, 2);
+      ("compose unknown builtin", "compose -b nonsense", None, 3);
+      ("generate ok", "generate -b calc", None, 0);
+      ("generate usage", "generate -b calc --no-such-flag", None, 2);
+      ("generate unknown builtin", "generate -b nonsense", None, 3);
+      ("fmt ok", Printf.sprintf "fmt %s" tutorial, None, 0);
+      ("fmt usage", "fmt --no-such-flag", None, 2);
+      (* cmdliner validates positional file args itself, before the
+         command runs: a missing grammar file is a usage error *)
+      ("fmt missing file", "fmt /no/such/file.rats", None, 2);
+      ("modules ok", "modules -b minic-ext", None, 0);
+      ("modules usage", "modules -b calc --no-such-flag", None, 2);
+      ("modules unknown builtin", "modules -b nonsense", None, 3);
+      ("bytecode ok", "bytecode -b calc", None, 0);
+      ("bytecode usage", "bytecode -b calc --no-such-flag", None, 2);
+      ("bytecode unknown builtin", "bytecode -b nonsense", None, 3);
+      ("profile ok", Printf.sprintf "profile -b calc -i %s" good, None, 0);
+      ("profile usage", "profile -b calc --no-such-flag", None, 2);
+      ("profile syntax", Printf.sprintf "profile -b calc -i %s" bad, None, 3);
+      ("trace ok", Printf.sprintf "trace -b calc -i %s" good, None, 0);
+      ("trace usage", "trace -b calc --no-such-flag", None, 2);
+      ("trace syntax", Printf.sprintf "trace -b calc -i %s" bad, None, 3);
+      ("coverage ok", Printf.sprintf "coverage -b calc -i %s" good, None, 0);
+      ( "coverage strict",
+        Printf.sprintf "coverage -b calc -i %s --strict" good,
+        None,
+        1 );
+      ("coverage usage", "coverage -b calc --no-such-flag", None, 2);
+      (* a failing input is a corpus member, not an error: coverage
+         reports it and exits 0 unless --strict asks for a verdict *)
+      ("coverage syntax", Printf.sprintf "coverage -b calc -i %s" bad, None, 0);
+      ( "coverage strict syntax",
+        Printf.sprintf "coverage -b calc -i %s --strict" bad,
+        None,
+        1 );
+      (* batch usage errors resolve before any parsing *)
+      ( "batch usage: --stdin conflict",
+        "parse -b calc --batch - --stdin",
+        Some "",
+        2 );
+      ( "batch usage: --faults without --batch",
+        Printf.sprintf "parse -b calc -i %s --faults seed=1" good,
+        None,
+        2 );
+      ( "batch usage: bad --faults spec",
+        "parse -b calc --batch - --faults zoom@3",
+        Some "",
+        2 );
+      ( "batch usage: --doc-timeout without --batch",
+        Printf.sprintf "parse -b calc -i %s --doc-timeout 1" good,
+        None,
+        2 );
+    ]
+  in
+  [
+    test "every subcommand honors the exit-code contract" (fun () ->
+        with_fixtures (fun ~good ~bad ->
+            List.iter
+              (fun (name, args, stdin_payload, expected) ->
+                let code, _ =
+                  match stdin_payload with
+                  | None -> run args
+                  | Some payload -> run_with_stdin payload args
+                in
+                check Alcotest.int name expected code)
+              (matrix ~good ~bad)));
+  ]
+
+(* --- the batch pipeline through the CLI -------------------------------------- *)
+
+let count_json_lines out =
+  List.length
+    (List.filter
+       (fun l -> String.length l > 0 && l.[0] = '{')
+       (String.split_on_char '\n' out))
+
+let batch_tests =
+  [
+    test "--batch manifest: one JSONL record per doc plus a summary" (fun () ->
+        let good = write_temp "1+2*3" in
+        let bad = write_temp "1+" in
+        let manifest =
+          write_temp
+            (Printf.sprintf "# corpus\n%s\n%s\n/no/such/doc.txt\n" good bad)
+        in
+        let code, out = run (Printf.sprintf "parse -b calc --batch %s" manifest) in
+        Sys.remove good;
+        Sys.remove bad;
+        Sys.remove manifest;
+        check Alcotest.int "worst class is io/syntax: exit 3" 3 code;
+        check Alcotest.int "3 records + summary" 4 (count_json_lines out);
+        check Alcotest.bool "summary line" true (contains out "\"summary\":true");
+        check Alcotest.bool "io record" true (contains out "\"kind\":\"io\"");
+        check Alcotest.bool "syntax record" true
+          (contains out "\"kind\":\"syntax\"");
+        check Alcotest.bool "human summary on stderr" true
+          (contains out "batch: 3 docs"));
+    test "--batch - streams NUL-separated docs from stdin" (fun () ->
+        let code, out =
+          run_cmd
+            (Printf.sprintf
+               "printf '1+2\\0001+\\000' | %s parse -b calc --batch - 2>&1" rml)
+        in
+        check Alcotest.int "exit" 3 code;
+        check Alcotest.int "2 records + summary" 3 (count_json_lines out));
+    test "--batch - --batch-sep line streams newline-separated docs" (fun () ->
+        let code, out =
+          run_with_stdin "1+2\n1+\n2*3\n"
+            "parse -b calc --batch - --batch-sep line"
+        in
+        check Alcotest.int "exit" 3 code;
+        check Alcotest.int "3 records + summary" 4 (count_json_lines out);
+        check Alcotest.bool "ok docs recorded" true
+          (contains out "\"status\":\"ok\""));
+    test "--batch all-good corpus exits 0" (fun () ->
+        let code, out =
+          run_with_stdin "1+2\n2*3\n" "parse -b calc --batch - --batch-sep line"
+        in
+        check Alcotest.int "exit" 0 code;
+        check Alcotest.int "records" 3 (count_json_lines out));
+    test "--batch enforces --max-input per document, exit 4" (fun () ->
+        let code, out =
+          run_with_stdin "1+2\n1+1+1+1+1+1+1+1\n"
+            "parse -b calc --batch - --batch-sep line --max-input 8"
+        in
+        check Alcotest.int "exit" 4 code;
+        check Alcotest.bool "input-cap record" true
+          (contains out "\"which\":\"input\""));
+    test "--batch --faults injects the plan deterministically" (fun () ->
+        let code, out =
+          run_with_stdin "1+2\n2*3\n"
+            "parse -b calc --batch - --batch-sep line --faults io@0"
+        in
+        check Alcotest.int "exit" 3 code;
+        check Alcotest.bool "injected io" true
+          (contains out "injected I/O fault");
+        (* the same plan at rate 0 injects nothing *)
+        let code', out' =
+          run_with_stdin "1+2\n2*3\n"
+            "parse -b calc --batch - --batch-sep line --faults seed=1,rate=0.0,io@0"
+        in
+        check Alcotest.int "rate-0 exit" 0 code';
+        check Alcotest.bool "no injection" false
+          (contains out' "injected I/O fault"));
+    test "--doc-timeout turns a stuck doc into a deadline record" (fun () ->
+        let huge =
+          "1" ^ String.concat "" (List.init 20_000 (fun _ -> "+1"))
+        in
+        let code, out =
+          run_with_stdin
+            (huge ^ "\n1+2\n")
+            "parse -b calc --batch - --batch-sep line --doc-timeout 0.000001"
+        in
+        check Alcotest.int "exit" 4 code;
+        check Alcotest.bool "deadline record" true
+          (contains out "\"which\":\"deadline\"");
+        check Alcotest.bool "later docs still run" true
+          (contains out "\"status\":\"ok\""));
+    test "--stdin caps an unbounded stream at --max-input, exit 4" (fun () ->
+        let code, out =
+          run_with_stdin
+            ("1" ^ String.concat "" (List.init 100 (fun _ -> "+1")))
+            "parse -b calc --stdin --max-input 16"
+        in
+        check Alcotest.int "exit" 4 code;
+        check Alcotest.bool "cap named" true (contains out "16"));
+  ]
+
+let () =
+  Alcotest.run "cli"
+    [
+      ("rml", tests);
+      ("exit-codes", exit_matrix_tests);
+      ("batch", batch_tests);
+    ]
