@@ -557,6 +557,76 @@ let () =
           | _ -> ()))
     base_e9ra;
 
+  (* E9 voidified-recognizer-alloc: the real calc and MiniJava grammars
+     with every kind erased (what [--recognize] and the degradation
+     ladder run). Same size-independence claim as above, but held per
+     (grammar, backend) since both engines report their own constant;
+     the in-file flatness gate runs on CURRENT alone, so a pre-PR9
+     baseline contributes no rows yet cannot mask a fresh leak.
+     Cross-file, each row's bytes/parse is compared against the
+     baseline's when the baseline has it. *)
+  let e9va_key fields =
+    match
+      (str fields "grammar", str fields "backend", num fields "bytes")
+    with
+    | Some g, Some b, Some n
+      when experiment fields = "e9"
+           && str fields "series" = Some "voidified-recognizer-alloc" ->
+        Some (g, b, n)
+    | _ -> None
+  in
+  let e9va_rows rows =
+    List.filter_map (fun f -> Option.map (fun k -> (k, f)) (e9va_key f)) rows
+  in
+  let base_e9va = e9va_rows baseline and cur_e9va = e9va_rows current in
+  let series =
+    List.sort_uniq compare (List.map (fun ((g, b, _), _) -> (g, b)) cur_e9va)
+  in
+  List.iter
+    (fun (g, b) ->
+      let allocs =
+        List.filter_map
+          (fun ((g', b', _), f) ->
+            if g' = g && b' = b then num f "allocated_bytes_per_parse"
+            else None)
+          cur_e9va
+      in
+      match allocs with
+      | [] -> ()
+      | a :: rest ->
+          incr checks;
+          let mn = List.fold_left min a rest
+          and mx = List.fold_left max a rest in
+          if mx > (mn *. 1.25) +. 16384.0 then (
+            incr failures;
+            Printf.printf
+              "FAIL e9 voidified %s/%s: recognizer allocation grows with \
+               input (%.0f .. %.0f bytes/parse)\n"
+              g b mn mx))
+    series;
+  List.iter
+    (fun ((g, b, bytes), bf) ->
+      match List.assoc_opt (g, b, bytes) cur_e9va with
+      | None ->
+          incr checks;
+          incr failures;
+          Printf.printf "FAIL e9 voidified %s/%s@%d: row missing from %s\n" g b
+            (int_of_float bytes) current_path
+      | Some cf -> (
+          match
+            ( num bf "allocated_bytes_per_parse",
+              num cf "allocated_bytes_per_parse" )
+          with
+          | Some ba, Some ca ->
+              report
+                ~label:
+                  (Printf.sprintf "e9 voidified %s/%s@%d" g b
+                     (int_of_float bytes))
+                ~metric:"alloc_bytes" ~base:ba ~cur:ca
+                ~threshold:!alloc_threshold ~slack_ok:(ca -. ba < 8192.0)
+          | _ -> ()))
+    base_e9va;
+
   (* E10 ladder: match by (backend, mode). Raw batch throughput is
      machine-bound, so the timed gate is the in-run "vs_cold" ratio —
      the degraded run's median over the same backend's cold median,

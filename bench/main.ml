@@ -1172,6 +1172,59 @@ let e9 () =
     [
       ("expr-recog", expr_recog, "12+34*(56-7)/8;");
       ("list-recog", list_recog, "[12,[3,[45,6],[]],789];");
+    ];
+  (* Voidified real grammars: the calc and MiniJava grammars the rest
+     of the suite measures, with every production kind erased by
+     [Batch.recognizer_erase] — exactly what [rml parse --recognize]
+     and the degradation ladder run. Every lean-path construct is
+     allocation-free, so bytes/parse is a small constant independent of
+     input size on both backends; check_regression gates the flatness
+     (max <= 1.25*min + 16 KB per grammar x backend). *)
+  let voidify g =
+    match Batch.recognizer_erase g with
+    | Some g' -> g'
+    | None -> failwith "e9: recognizer erasure produced an ill-formed grammar"
+  in
+  row "\nvoidified real grammars — alloc vs size (lean recognizer mode):\n";
+  row "  %-9s %-8s %10s %11s %14s\n" "grammar" "backend" "bytes" "median ms"
+    "bytes/parse";
+  List.iter
+    (fun (gname, grammar, corpora) ->
+      let g = Pipeline.optimize (voidify grammar) in
+      List.iter
+        (fun (backend, config) ->
+          let eng = prepare ~config g in
+          List.iter
+            (fun corpus ->
+              let m =
+                measure (fun () ->
+                    assert_ok
+                      ("e9/voidified-" ^ gname)
+                      (Engine.parse eng corpus))
+              in
+              record ~experiment:"e9" ~series:"voidified-recognizer-alloc"
+                [
+                  ("grammar", jstr gname);
+                  ("backend", jstr backend);
+                  ("bytes", jint (String.length corpus));
+                  ("median_ms", jfloat (ms m.m_median));
+                  ("allocated_bytes_per_parse", jfloat m.m_alloc_bytes);
+                ];
+              row "  %-9s %-8s %10d %11.2f %14.0f\n" gname backend
+                (String.length corpus) (ms m.m_median) m.m_alloc_bytes)
+            corpora)
+        [ ("closure", Config.optimized); ("vm", Config.vm) ])
+    [
+      ( "calc",
+        Grammars.Calc.grammar (),
+        List.map
+          (fun size -> Grammars.Corpus.arith (Rng.create 2024) ~size)
+          [ scale 2_500; scale 10_000; scale 40_000 ] );
+      ( "minijava",
+        Grammars.Minijava.grammar (),
+        List.map
+          (fun classes -> Grammars.Corpus.minijava (Rng.create 2024) ~classes)
+          [ scale 4; scale 16; scale 64 ] );
     ]
 
 (* ========================================================================== *)

@@ -570,6 +570,22 @@ let parse_cmd =
              edit falls back to copy-on-write, materializing the patched \
              buffer on the heap — the mapping itself is never written.")
   in
+  let recognize_arg =
+    Arg.(
+      value & flag
+      & info [ "recognize" ]
+          ~doc:
+            "Parse in recognizer mode: erase every production kind to Void \
+             before preparing the engine, so the run builds no semantic \
+             values and (under the optimized configurations) allocates a \
+             constant number of bytes regardless of input size. Verdicts, \
+             consumed bytes, error reports, exit codes and the memo/fuel \
+             --stats counters are identical to a normal parse (only the \
+             VM's instruction counter shrinks: the voidified program \
+             compiles fewer value instructions); the tree printed on \
+             success is (). Incompatible with --edits, whose reparses \
+             exist to rebuild values.")
+  in
   let stats_arg =
     Arg.(value & flag & info [ "stats" ] ~doc:"Print parse statistics.")
   in
@@ -719,7 +735,7 @@ let parse_cmd =
   in
   let run files builtin root start optimize config engine fuel max_depth
       max_memo max_input timeout input use_stdin mmap batch batch_sep
-      faults_spec doc_timeout stats quiet trace edits profile ring =
+      faults_spec doc_timeout recognize stats quiet trace edits profile ring =
     guarded @@ fun () ->
     (* Resolve where the document comes from before any heavy work, so
        usage mistakes exit 2 without compiling a grammar. *)
@@ -750,6 +766,10 @@ let parse_cmd =
           if faults_spec <> None then input_err "--faults requires --batch"
           else if doc_timeout <> None then
             input_err "--doc-timeout requires --batch"
+          else if recognize && edits <> None then
+            input_err
+              "--recognize is incompatible with --edits (recognizer runs \
+               build no values to reparse incrementally)"
           else (
             match (input, use_stdin) with
             | None, false ->
@@ -818,6 +838,20 @@ let parse_cmd =
         if trace && (profile || ring <> None) then
           Fmt.epr "note: --profile/--trace-ring are ignored with --trace@.";
         let g = if optimize then Rats.Pipeline.optimize g else g in
+        (* Whole-grammar kind erasure, up front: everything downstream —
+           engine preparation, --stats, exit codes — sees an ordinary
+           grammar that happens to be all-Void. *)
+        let g =
+          if not recognize then g
+          else
+            match Rats.Batch.recognizer_erase g with
+            | Some g -> g
+            | None ->
+                raise
+                  (Rats.Diagnostic.Fail
+                     (Rats.Diagnostic.error
+                        "recognizer erasure produced an ill-formed grammar"))
+        in
         match batch with
         | Some spec -> (
             let faults =
@@ -1045,8 +1079,8 @@ let parse_cmd =
       $ optimize_arg $ config_arg $ engine_arg $ fuel_arg $ max_depth_arg
       $ max_memo_arg $ max_input_arg $ timeout_arg $ input_arg $ stdin_arg
       $ mmap_arg $ batch_arg $ batch_sep_arg $ faults_arg $ doc_timeout_arg
-      $ stats_arg $ quiet_arg $ trace_arg $ edits_arg $ profile_flag_arg
-      $ trace_ring_arg)
+      $ recognize_arg $ stats_arg $ quiet_arg $ trace_arg $ edits_arg
+      $ profile_flag_arg $ trace_ring_arg)
 
 (* --- observability subcommands --------------------------------------------- *)
 

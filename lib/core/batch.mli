@@ -51,6 +51,16 @@ type rung = Full | Recognizer
 
 val rung_name : rung -> string
 
+val recognizer_erase : Grammar.t -> Grammar.t option
+(** The same grammar with every production's kind erased to [Void] —
+    the recognizer rung of the degradation ladder, also what [rml
+    parse --recognize] runs. Kinds only shape semantic values, so
+    verdicts, consumed bytes and expected sets are unchanged; every
+    memo slot becomes value-free and, under [Config.lean_values], the
+    whole parse runs on the allocation-free lean matchers. [None] only
+    if the rebuilt grammar fails well-formedness, which a composed
+    grammar cannot. *)
+
 type fail_class =
   | Syntax  (** the document does not match the grammar *)
   | Resource of string

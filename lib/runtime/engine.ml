@@ -121,6 +121,75 @@ type compile_ctx = {
          per-production wrappers of [prepare_hooked] instead *)
 }
 
+(* --- hoisted hot loops --------------------------------------------------- *)
+
+(* The iteration of every composite matcher lives up here, as closed
+   top-level functions, not as [let rec] loops inside the matcher
+   closures: a local recursive function with free variables allocates
+   its closure block on every invocation of the enclosing matcher,
+   which on the lean (recognizer) path was the whole allocation —
+   linear in input. A closed top-level function is statically
+   allocated, so these loops cost nothing per call. *)
+
+(* Longest prefix of [s] matching at [pos]; every inspected index is
+   marked examined, including the mismatching one. *)
+let rec str_scan st (s : string) n pos i =
+  if i >= n then i
+  else if
+    (look st (pos + i);
+     pos + i < st.len
+     && Input.unsafe_get st.input (pos + i) = String.unsafe_get s i)
+  then str_scan st s n pos (i + 1)
+  else i
+
+let rec seq_loop (fns : fn array) n st i pos =
+  if i >= n then pos
+  else
+    let p = (Array.unsafe_get fns i) st pos in
+    if p < 0 then -1 else seq_loop fns n st (i + 1) p
+
+let rec star_loop (fx : fn) st pos =
+  let saved = st.tables in
+  let p = fx st pos in
+  if p < 0 then (
+    restore_tables st saved;
+    pos)
+  else if p = pos then pos (* no progress; stop to guarantee termination *)
+  else star_loop fx st p
+
+let rec star_collect (fx : fn) st pos acc =
+  let saved = st.tables in
+  let p = fx st pos in
+  if p < 0 then (
+    restore_tables st saved;
+    st.value <- Value.List (List.rev acc);
+    pos)
+  else if p = pos then (
+    st.value <- Value.List (List.rev acc);
+    pos)
+  else star_collect fx st p (st.value :: acc)
+
+let alt_first_viable st pos (first : Bytes.t) eps =
+  eps
+  || (look st pos;
+      pos < st.len && bitmap_mem first (Input.unsafe_get st.input pos))
+
+let rec alt_loop (compiled : (fn * Bytes.t * bool * string) array) n dispatch
+    st saved pos i =
+  if i >= n then -1
+  else
+    let fn, first, eps, desc = Array.unsafe_get compiled i in
+    if dispatch && not (alt_first_viable st pos first eps) then (
+      record st pos desc;
+      alt_loop compiled n dispatch st saved pos (i + 1))
+    else
+      let p = fn st pos in
+      if p >= 0 then p
+      else (
+        restore_tables st saved;
+        st.stats.Stats.backtracks <- st.stats.Stats.backtracks + 1;
+        alt_loop compiled n dispatch st saved pos (i + 1))
+
 let truncate_desc s =
   if String.length s <= 40 then s else String.sub s 0 37 ^ "..."
 
@@ -195,20 +264,13 @@ let rec compile ctx ~lean (e : Expr.t) : fn =
       fun st pos ->
         (* Record failures at the first mismatching byte, so the farthest
            position reflects how much of the literal matched. *)
-        let rec go i =
-          if i >= n then (
-            if set_unit then st.value <- Value.Unit;
-            pos + n)
-          else if
-            (look st (pos + i);
-             pos + i < st.len
-             && Input.unsafe_get st.input (pos + i) = String.unsafe_get s i)
-          then go (i + 1)
-          else (
-            record st (pos + i) desc;
-            -1)
-        in
-        go 0
+        let m = str_scan st s n pos 0 in
+        if m >= n then (
+          if set_unit then st.value <- Value.Unit;
+          pos + n)
+        else (
+          record st (pos + m) desc;
+          -1)
   | Expr.Cls set ->
       let desc = Charset.to_string set in
       let bm = bitmap_of_charset set in
@@ -412,14 +474,7 @@ and compile_seq ctx ~lean ?(tail = false) es =
   if lean then (
     let fns = Array.of_list (List.map (compile ctx ~lean:true) es) in
     let n = Array.length fns in
-    fun st pos ->
-      let rec go i pos =
-        if i >= n then pos
-        else
-          let p = fns.(i) st pos in
-          if p < 0 then -1 else go (i + 1) p
-      in
-      go 0 pos)
+    fun st pos -> seq_loop fns n st 0 pos)
   else
     let general () =
     let parts =
@@ -499,15 +554,11 @@ and compile_seq ctx ~lean ?(tail = false) es =
         let fns = Array.of_list fns in
         let n = Array.length fns in
         fun st pos ->
-          let rec go i pos =
-            if i >= n then (
-              finish st;
-              pos)
-            else
-              let p = fns.(i) st pos in
-              if p < 0 then -1 else go (i + 1) p
-          in
-          go 0 pos
+          let p = seq_loop fns n st 0 pos in
+          if p < 0 then -1
+          else (
+            finish st;
+            p)
       in
       match List.filter (fun (_, _, bearing) -> bearing) info with
       | [] ->
@@ -608,63 +659,15 @@ and compile_alt ctx ~lean ?(tail = false) alts =
                 go (i + 1)))
         in
         go 0
-  | _ ->
-      fun st pos ->
-        let saved = st.tables in
-        let rec go i =
-          if i >= n then -1
-          else
-            let fn, first, eps, desc = compiled.(i) in
-            if
-              dispatch && (not eps)
-              && (look st pos;
-                  pos >= st.len
-                  || not (bitmap_mem first (Input.unsafe_get st.input pos)))
-            then (
-              record st pos desc;
-              go (i + 1))
-            else
-              let p = fn st pos in
-              if p >= 0 then p
-              else (
-                restore_tables st saved;
-                st.stats.Stats.backtracks <- st.stats.Stats.backtracks + 1;
-                go (i + 1))
-        in
-        go 0
+  | _ -> fun st pos -> alt_loop compiled n dispatch st st.tables pos 0
 
 and compile_star ctx ~lean x =
   (* A repetition over a statically void body collects no values and
      yields Unit — matching what a sequence would do with the units. *)
   let lean = lean || Analysis.expr_yields_unit ctx.analysis x in
   let fx = compile ctx ~lean x in
-  if lean then
-    fun st pos ->
-      let rec go pos =
-        let saved = st.tables in
-        let p = fx st pos in
-        if p < 0 then (
-          restore_tables st saved;
-          pos)
-        else if p = pos then pos (* no progress; stop to guarantee termination *)
-        else go p
-      in
-      go pos
-  else
-    fun st pos ->
-      let rec go pos acc =
-        let saved = st.tables in
-        let p = fx st pos in
-        if p < 0 then (
-          restore_tables st saved;
-          st.value <- Value.List (List.rev acc);
-          pos)
-        else if p = pos then (
-          st.value <- Value.List (List.rev acc);
-          pos)
-        else go p (st.value :: acc)
-      in
-      go pos []
+  if lean then fun st pos -> star_loop fx st pos
+  else fun st pos -> star_collect fx st pos []
 
 (* Shape a production's raw body value according to its kind. *)
 let shape (p : Production.t) =

@@ -1120,34 +1120,36 @@ let exec (t : t) (st : st) start_ip =
           fail ())
     | IStr (s, desc, set_unit) ->
         (* Representation match hoisted out of the per-byte loop so each
-           iteration stays a monomorphic compare, as before Input.t. *)
+           iteration stays a monomorphic compare, as before Input.t.
+           Iterative (not a local [let rec]) on purpose: a recursive
+           closure capturing the input would be allocated on every
+           execution — the one lean-path allocation the VM had. The
+           counter ref stays unboxed, as in ISpan. *)
         let n = String.length s in
-        let matched =
-          match inp with
-          | Input.Str text ->
-              let rec go i =
-                if i >= n then n
-                else if
-                  (look (st.pos + i);
-                   st.pos + i < len
-                   && String.unsafe_get text (st.pos + i) = String.unsafe_get s i)
-                then go (i + 1)
-                else i
-              in
-              go 0
-          | Input.Big b ->
-              let rec go i =
-                if i >= n then n
-                else if
-                  (look (st.pos + i);
-                   st.pos + i < len
-                   && Bigarray.Array1.unsafe_get b (st.pos + i)
-                      = String.unsafe_get s i)
-                then go (i + 1)
-                else i
-              in
-              go 0
-        in
+        let pos0 = st.pos in
+        let i = ref 0 in
+        (match inp with
+        | Input.Str text ->
+            while
+              !i < n
+              && (look (pos0 + !i);
+                  pos0 + !i < len
+                  && String.unsafe_get text (pos0 + !i)
+                     = String.unsafe_get s !i)
+            do
+              incr i
+            done
+        | Input.Big b ->
+            while
+              !i < n
+              && (look (pos0 + !i);
+                  pos0 + !i < len
+                  && Bigarray.Array1.unsafe_get b (pos0 + !i)
+                     = String.unsafe_get s !i)
+            do
+              incr i
+            done);
+        let matched = !i in
         if matched >= n then (
           if set_unit then st.value <- Value.Unit;
           st.pos <- st.pos + n;

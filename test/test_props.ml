@@ -718,6 +718,98 @@ let input_rep_props =
           | _ -> false);
     ]
 
+(* --- recognizer (voidified) equivalence ----------------------------------------------- *)
+
+(* The contract behind [rml parse --recognize] and the batch ladder's
+   recognizer rung, in property form: erasing every production kind to
+   Void changes no verdict, no consumed-byte count, no error position
+   and no expected set — kinds only shape semantic values. On the memo
+   side, the per-chunk [Limits.chunk_cost] can only shrink (no value
+   slots survive erasure) while chunk coverage can only grow: lean
+   calls to value-carrying slots read the table without filling it,
+   but every voidified slot is value-free and gets the whole protocol.
+   So the total charge is compared as cheaper-per-chunk over a
+   superset of positions — and whenever coverage does not grow, the
+   total must shrink outright. Checked on both back ends, governed and
+   ungoverned: 4 configurations x 150 cases = 600 random grammars. *)
+
+let voidify g =
+  match Batch.recognizer_erase g with
+  | Some g' -> g'
+  | None -> QCheck.Test.fail_report "erasure broke a well-formed grammar"
+
+let recognizer_props =
+  let chunk_charge eng (st : Stats.t) =
+    st.Stats.chunks_allocated
+    * Limits.chunk_cost
+        ~value_slots:(Engine.memo_value_slots eng)
+        (Engine.memo_slots eng)
+  in
+  let obs (o : Engine.outcome) =
+    match o.Engine.result with
+    | Ok _ -> (true, o.Engine.consumed, 0, [])
+    | Error e ->
+        ( false,
+          o.Engine.consumed,
+          e.Parse_error.position,
+          List.sort_uniq compare e.Parse_error.expected )
+  in
+  let governed cfg =
+    Config.with_limits (Limits.v ~fuel:200_000 ~max_depth:10_000 ()) cfg
+  in
+  List.map
+    (fun (tag, cfg) ->
+      QCheck.Test.make
+        ~name:
+          (Printf.sprintf
+             "voidified = original: verdicts, consumed, expected; memo \
+              charge <= (%s)"
+             tag)
+        ~count:150 arb_case
+        (fun (g, inputs) ->
+          match (prepare_with cfg g, prepare_with cfg (voidify g)) with
+          | Ok orig, Ok recog ->
+              Engine.memo_value_slots recog = 0
+              && Limits.chunk_cost
+                   ~value_slots:(Engine.memo_value_slots recog)
+                   (Engine.memo_slots recog)
+                 <= Limits.chunk_cost
+                      ~value_slots:(Engine.memo_value_slots orig)
+                      (Engine.memo_slots orig)
+              && List.for_all
+                   (fun input ->
+                     let a = Engine.run orig input
+                     and b = Engine.run recog input in
+                     let ca = a.Engine.stats.Stats.chunks_allocated
+                     and cb = b.Engine.stats.Stats.chunks_allocated in
+                     if obs a <> obs b then
+                       QCheck.Test.fail_reportf "observation differs on %S"
+                         input
+                     else if cb < ca then
+                       QCheck.Test.fail_reportf
+                         "voidified chunk coverage shrank on %S: %d < %d"
+                         input cb ca
+                     else if
+                       cb = ca
+                       && chunk_charge recog b.Engine.stats
+                          > chunk_charge orig a.Engine.stats
+                     then
+                       QCheck.Test.fail_reportf
+                         "memo charge grew at equal coverage on %S: %d > %d"
+                         input
+                         (chunk_charge recog b.Engine.stats)
+                         (chunk_charge orig a.Engine.stats)
+                     else true)
+                   inputs
+          | Error _, Error _ -> true
+          | _ -> false))
+    [
+      ("closure", Config.optimized);
+      ("vm", Config.vm);
+      ("closure governed", governed Config.optimized);
+      ("vm governed", governed Config.vm);
+    ]
+
 (* --- charset algebra -------------------------------------------------------------------- *)
 
 let arb_charset =
@@ -840,6 +932,7 @@ let () =
       ("fuzz", to_alco fuzz_props);
       ("engine-fuzz", to_alco engine_fuzz_props);
       ("governor", to_alco governor_props);
+      ("recognizer-equivalence", to_alco recognizer_props);
       ("observability", to_alco observe_props);
       ("charset", to_alco charset_props);
     ]

@@ -283,6 +283,57 @@ let memo_tests =
         let stats = (Engine.run eng "abc!").Engine.stats in
         (* Tail fails at '!' once; S's alternatives each hit the memo. *)
         check Alcotest.bool "hits" true (stats.Stats.memo_hits >= 1));
+    test "value-free memo hits restore Unit, never the vals row" (fun () ->
+        (* The vmap contract, pinned end to end: a full-mode memo hit on
+           a production whose slot is value-free (vslot = -1) must
+           restore [Value.Unit] without touching the arena's vals row.
+           T (Text, vslot 0) poisons the shared chunk at position 0 with
+           its captured string before B (Void, vslot -1) stores and is
+           then hit there — a hit that wrongly indexed the vals row
+           would resurface T's "12" instead of Unit and change the
+           parse value. Two inputs through the same engine cover both
+           arena paths: the first run builds fresh scratch, the second
+           reuses the parked pool (recycled chunks, values released). *)
+        let open Builder in
+        let g =
+          Grammar.make_exn ~start:"S"
+            [
+              prod "S"
+                (("a" |: e "T") @: c 'x'
+                <|> ("b" |: e "B") @: c 'y'
+                <|> ("c" |: e "B") @: c ';');
+              prod ~kind:Attr.Text ~memo:Attr.Memo_always "T"
+                (plus (r '0' '9'));
+              prod ~kind:Attr.Void ~memo:Attr.Memo_always "B"
+                (plus (r '0' '9'));
+            ]
+        in
+        let oracle = Engine.prepare_exn ~config:Config.naive g in
+        List.iter
+          (fun (label, cfg) ->
+            let eng = Engine.prepare_exn ~config:cfg g in
+            List.iter
+              (fun input ->
+                let expected = parse_ok "naive" oracle input in
+                let out = Engine.run eng input in
+                (match out.Engine.result with
+                | Ok v ->
+                    check value_eq
+                      (Printf.sprintf "[%s] %S" label input)
+                      expected v
+                | Error e ->
+                    Alcotest.failf "[%s] %S: %s" label input
+                      (Parse_error.message e));
+                check Alcotest.bool
+                  (Printf.sprintf "[%s] %S hit the memo" label input)
+                  true
+                  (out.Engine.stats.Stats.memo_hits >= 1))
+              [ "12;"; "345;" ])
+          [
+            ("optimized", Config.optimized);
+            ("vm", Config.vm);
+            ("chunked full", Config.v ~memo:Config.Chunked ());
+          ]);
     test "dispatch prunes doomed alternatives" (fun () ->
         let open Builder in
         let g =
