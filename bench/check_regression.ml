@@ -717,6 +717,53 @@ let () =
           | _ -> ()))
     base_e10t;
 
+  (* E11: match by backend. Structural gate first — the bench computes
+     off_gate from the median of ABBA-paired metrics-on vs metrics-off
+     batch runs; "fail" means pipeline telemetry costs more than 3%
+     even when derived purely from finished records. Then the
+     cross-file check: the on/off ratio against the baseline's, so
+     machine speed cancels. A baseline predating E11 contributes no
+     rows and the block is a no-op. *)
+  let e11_key fields =
+    match str fields "backend" with
+    | Some b
+      when experiment fields = "e11" && str fields "series" = Some "overhead" ->
+        Some b
+    | _ -> None
+  in
+  let e11_rows rows =
+    List.filter_map (fun f -> Option.map (fun k -> (k, f)) (e11_key f)) rows
+  in
+  let base_e11 = e11_rows baseline and cur_e11 = e11_rows current in
+  List.iter
+    (fun (backend, bf) ->
+      match List.assoc_opt backend cur_e11 with
+      | None ->
+          incr checks;
+          incr failures;
+          Printf.printf "FAIL e11 %s: row missing from %s\n" backend
+            current_path
+      | Some cf -> (
+          let label = Printf.sprintf "e11 %s" backend in
+          incr checks;
+          (match str cf "off_gate" with
+          | Some "fail" ->
+              incr failures;
+              Printf.printf
+                "FAIL %s: off_gate = fail (pipeline telemetry costs more \
+                 than 3%%)\n"
+                label
+          | _ -> ());
+          match
+            (num bf "on_ms", num bf "off_ms", num cf "on_ms", num cf "off_ms")
+          with
+          | Some bon, Some boff, Some con, Some coff
+            when boff > 0.0 && coff > 0.0 ->
+              report ~label ~metric:"on/off (norm)" ~base:(bon /. boff)
+                ~cur:(con /. coff) ~threshold:!time_threshold ~slack_ok:false
+          | _ -> ()))
+    base_e11;
+
   if !failures = 0 then (
     Printf.printf "ok: %d checks against %s, no regression beyond %.0f%% \
                    (time) / %.0f%% (alloc)\n"

@@ -1353,10 +1353,122 @@ let e10 () =
         ])
     backends
 
+(* ========================================================================== *)
+(* E11: pipeline telemetry: metrics-on vs metrics-off batch overhead          *)
+(* ========================================================================== *)
+
+(* The PR 5 zero-cost-when-off contract, extended to the pipeline by
+   PR 10: a batch run given no registry never enters the metrics
+   module, and a run WITH one must stay within noise of it — the
+   record path is a handful of int stores and one shift loop per
+   document. Methodology is E8's observe-off gate verbatim: per-round
+   paired deltas, single timed runs on a freshly-collected heap in a
+   balanced ABBA pattern, gated on the median of the paired deltas
+   (<= 3%, reported through the same off_gate field CI greps). A
+   structural pass first pins that the registry reconciles with the
+   run it measured: the status counters must cover every record and
+   the latency histogram must have observed each one. *)
+
+let e11 () =
+  header "E11: pipeline telemetry: metrics-on vs metrics-off batch overhead";
+  let ndocs = scale 150 in
+  let docs =
+    List.init ndocs (fun i ->
+        ( Printf.sprintf "doc%d" i,
+          Grammars.Corpus.arith
+            (Rng.create (i + 1))
+            ~size:(60 + (i mod 7 * 40)) ))
+  in
+  let bytes = List.fold_left (fun a (_, d) -> a + String.length d) 0 docs in
+  let calc = Pipeline.optimize (Grammars.Calc.grammar ()) in
+  let run_batch ?metrics config =
+    match Batch.run ?metrics ~config calc (Batch.Docs docs) with
+    | Ok rep -> rep
+    | Error _ -> failwith "e11: grammar failed to compile"
+  in
+  row "corpus: %d calc docs, %d bytes (interleaved ABBA rounds)\n" ndocs bytes;
+  row "  %-8s %10s %10s %9s %9s\n" "backend" "off ms" "on ms" "on ovh" "gate";
+  List.iter
+    (fun (label, config) ->
+      (* Structural: the registry is a faithful second view of the run. *)
+      let reg = Metrics.create () in
+      let rep = run_batch ~metrics:reg config in
+      let s = rep.Batch.summary in
+      let cval l =
+        Metrics.counter_value (Metrics.counter reg ~labels:l "rml_batch_docs_total")
+      in
+      if cval [ ("status", "ok") ] <> s.Batch.s_ok then
+        failwith ("e11: ok counter disagrees with the summary on " ^ label);
+      if cval [ ("status", "ok") ] + cval [ ("status", "fail") ] <> s.Batch.s_docs
+      then failwith ("e11: docs_total misses records on " ^ label);
+      let h = Metrics.histogram reg "rml_batch_doc_latency_us" in
+      if Metrics.hist_count h <> s.Batch.s_docs then
+        failwith ("e11: latency histogram misses records on " ^ label);
+      record ~experiment:"e11" ~series:"reconcile"
+        [
+          ("backend", jstr label);
+          ("docs", jint s.Batch.s_docs);
+          ("ok", jint s.Batch.s_ok);
+          ("hist_count", jint (Metrics.hist_count h));
+          ("hist_p50_us", jfloat (Metrics.quantile h 0.5));
+          ("hist_p99_us", jfloat (Metrics.quantile h 0.99));
+          ("summary_p50_ms", jfloat s.Batch.s_p50_ms);
+          ("summary_p99_ms", jfloat s.Batch.s_p99_ms);
+        ];
+      (* Overhead: E8's paired-delta discipline. A fresh registry per
+         timed run — registration cost is part of the price measured. *)
+      let t_off = ref infinity and t_on = ref infinity in
+      let deltas = ref [] in
+      for _round = 1 to 10 do
+        ignore (run_batch config);
+        ignore (run_batch ~metrics:(Metrics.create ()) config);
+        Gc.compact ();
+        let a = ref infinity and b = ref infinity in
+        let timed f best =
+          Gc.full_major ();
+          let t0 = now () in
+          ignore (f ());
+          let dt = now () -. t0 in
+          if dt < !best then best := dt
+        in
+        List.iter
+          (fun off_first ->
+            if off_first then (
+              timed (fun () -> run_batch config) a;
+              timed (fun () -> run_batch ~metrics:(Metrics.create ()) config) b)
+            else (
+              timed (fun () -> run_batch ~metrics:(Metrics.create ()) config) b;
+              timed (fun () -> run_batch config) a))
+          [ true; false; false; true ];
+        if !a < !t_off then t_off := !a;
+        if !b < !t_on then t_on := !b;
+        deltas := (100. *. (!b -. !a) /. !a) :: !deltas
+      done;
+      let on_pct =
+        let d = List.sort Float.compare !deltas in
+        let n = List.length d in
+        (List.nth d ((n - 1) / 2) +. List.nth d (n / 2)) /. 2.
+      in
+      (* One-sided: telemetry being (noise-)faster than bare is fine. *)
+      let gate = if on_pct > 3.0 then "fail" else "ok" in
+      record ~experiment:"e11" ~series:"overhead"
+        [
+          ("backend", jstr label);
+          ("docs", jint ndocs);
+          ("bytes", jint bytes);
+          ("off_ms", jfloat (ms !t_off));
+          ("on_ms", jfloat (ms !t_on));
+          ("on_overhead_pct", jfloat on_pct);
+          ("off_gate", jstr gate);
+        ];
+      row "  %-8s %10.2f %10.2f %8.1f%% %9s\n" label (ms !t_off) (ms !t_on)
+        on_pct gate)
+    [ ("closure", Config.optimized); ("vm", Config.vm) ]
+
 let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
-    ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10);
+    ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
   ]
 
 let () =

@@ -733,9 +733,53 @@ let parse_cmd =
              trips. Recording charges no fuel and none of the memo budget, \
              so governed runs consume exactly what unobserved ones do.")
   in
+  let metrics_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "Export pipeline metrics from a --batch run: per-document \
+             latency/fuel/memo-byte histograms (with p50/p90/p99), \
+             rung/fail-class counters and GC + memo-arena gauges. The \
+             format follows the extension: .prom (Prometheus text \
+             exposition) or .json. Without this flag the metrics record \
+             path is never entered and batch output is byte-identical.")
+  in
+  let trace_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Write a batch-level Chrome trace (chrome://tracing JSON) of \
+             the --batch run: grammar compiles, per-document parses, \
+             ladder-rung attempts and injected-fault markers on one \
+             timeline.")
+  in
+  let progress_arg =
+    Arg.(
+      value & flag
+      & info [ "progress" ]
+          ~doc:
+            "Print a heartbeat to stderr while a --batch run progresses: \
+             documents done (of total, when known), docs/sec, p50/p99 \
+             latency so far, and the worst failure class seen. JSONL \
+             output on stdout is unchanged.")
+  in
+  let stats_json_arg =
+    Arg.(
+      value & flag
+      & info [ "stats-json" ]
+          ~doc:
+            "Print parse statistics as one JSON object (the machine-readable \
+             twin of --stats: same 14 counters, same order). Incompatible \
+             with --batch, whose JSONL records carry their own counters.")
+  in
   let run files builtin root start optimize config engine fuel max_depth
       max_memo max_input timeout input use_stdin mmap batch batch_sep
-      faults_spec doc_timeout recognize stats quiet trace edits profile ring =
+      faults_spec doc_timeout recognize stats quiet trace edits profile ring
+      metrics_out trace_out progress stats_json =
     guarded @@ fun () ->
     (* Resolve where the document comes from before any heavy work, so
        usage mistakes exit 2 without compiling a grammar. *)
@@ -760,12 +804,28 @@ let parse_cmd =
               "--batch is incompatible with \
                --input/--stdin/--mmap/--edits/--trace/--profile/--trace-ring/--timeout \
                (use --doc-timeout for per-document deadlines)"
+          else if stats_json then
+            input_err
+              "--stats-json requires a single-document parse (batch records \
+               carry their own counters)"
           else
-            match faults_plan with Error m -> input_err m | Ok _ -> None)
+            match metrics_out with
+            | Some f
+              when not
+                     (Filename.check_suffix f ".prom"
+                     || Filename.check_suffix f ".json") ->
+                input_err "--metrics FILE must end in .prom or .json"
+            | _ -> (
+                match faults_plan with Error m -> input_err m | Ok _ -> None))
       | None ->
           if faults_spec <> None then input_err "--faults requires --batch"
           else if doc_timeout <> None then
             input_err "--doc-timeout requires --batch"
+          else if metrics_out <> None then
+            input_err "--metrics requires --batch"
+          else if trace_out <> None then
+            input_err "--trace-out requires --batch"
+          else if progress then input_err "--progress requires --batch"
           else if recognize && edits <> None then
             input_err
               "--recognize is incompatible with --edits (recognizer runs \
@@ -865,12 +925,118 @@ let parse_cmd =
                 Rats.Batch.Channel { ic = stdin; sep = batch_sep }
               else Rats.Batch.Manifest spec
             in
-            let on_record r = print_endline (Rats.Batch.jsonl_of_record r) in
+            (* One registry serves both consumers: the --metrics export
+               and the --progress heartbeat (which reads the latency
+               histogram back out of it). Either flag turns it on;
+               neither means Batch.run never enters the record path. *)
+            let reg =
+              if metrics_out <> None || progress then
+                Some (Rats.Metrics.create ())
+              else None
+            in
+            let spans =
+              Option.map (fun _ -> Rats.Profile.Spans.create ()) trace_out
+            in
+            let base_record r =
+              print_endline (Rats.Batch.jsonl_of_record r)
+            in
+            let on_record, progress_done =
+              if not progress then (base_record, fun () -> ())
+              else begin
+                let reg = Option.get reg in
+                (* same (name, labels) => same instrument Batch.run
+                   records into; lazy so Batch registers it first (with
+                   its help text) *)
+                let lat =
+                  lazy (Rats.Metrics.histogram reg "rml_batch_doc_latency_us")
+                in
+                let total =
+                  (* best-effort count for the N/total display; the
+                     stream source has no total until it ends *)
+                  if spec = "-" then None
+                  else
+                    match In_channel.with_open_bin spec In_channel.input_all with
+                    | all ->
+                        Some
+                          (List.length
+                             (List.filter
+                                (fun l ->
+                                  let l = String.trim l in
+                                  l <> "" && l.[0] <> '#')
+                                (String.split_on_char '\n' all)))
+                    | exception Sys_error _ -> None
+                in
+                let t0 = Rats.Profile.now_ns () in
+                let done_ = ref 0 in
+                let last_emit = ref t0 in
+                let worst = ref 0 in
+                let worst_name =
+                  [| "none"; "syntax"; "io"; "resource"; "internal" |]
+                in
+                let rank (r : Rats.Batch.record) =
+                  match r.Rats.Batch.r_fail with
+                  | None -> 0
+                  | Some Rats.Batch.Syntax -> 1
+                  | Some Rats.Batch.Io -> 2
+                  | Some (Rats.Batch.Resource _) -> 3
+                  | Some Rats.Batch.Internal -> 4
+                in
+                let emit () =
+                  let now = Rats.Profile.now_ns () in
+                  let dt = float_of_int (now - t0) /. 1e9 in
+                  let rate =
+                    if dt <= 0. then 0. else float_of_int !done_ /. dt
+                  in
+                  let h = Lazy.force lat in
+                  Printf.eprintf
+                    "progress: %d%s docs, %.1f docs/s, p50 %.3fms p99 \
+                     %.3fms, worst %s\n\
+                     %!"
+                    !done_
+                    (match total with
+                    | Some t -> Printf.sprintf "/%d" t
+                    | None -> "")
+                    rate
+                    (Rats.Metrics.quantile h 0.5 /. 1000.)
+                    (Rats.Metrics.quantile h 0.99 /. 1000.)
+                    worst_name.(!worst);
+                  last_emit := now
+                in
+                let on r =
+                  base_record r;
+                  incr done_;
+                  let k = rank r in
+                  if k > !worst then worst := k;
+                  let now = Rats.Profile.now_ns () in
+                  if !done_ mod 64 = 0 || now - !last_emit >= 1_000_000_000
+                  then emit ()
+                in
+                (on, emit)
+              end
+            in
             match
-              Rats.Batch.run ~config ?deadline_ns ~faults ~on_record g source
+              Rats.Batch.run ~config ?deadline_ns ~faults ?metrics:reg ?spans
+                ~on_record g source
             with
             | Error ds -> print_errors ds
             | Ok report ->
+                progress_done ();
+                (match (metrics_out, reg) with
+                | Some path, Some reg ->
+                    let body =
+                      if Filename.check_suffix path ".prom" then
+                        Rats.Metrics.to_prometheus reg
+                      else Rats.Metrics.to_json reg
+                    in
+                    Out_channel.with_open_bin path (fun oc ->
+                        Out_channel.output_string oc body)
+                | _ -> ());
+                (match (trace_out, spans) with
+                | Some path, Some sp ->
+                    Out_channel.with_open_bin path (fun oc ->
+                        Out_channel.output_string oc
+                          (Rats.Profile.Spans.to_chrome sp))
+                | _ -> ());
                 print_endline
                   (Rats.Batch.jsonl_of_summary report.Rats.Batch.summary);
                 Fmt.epr "batch: %a@." Rats.Batch.pp_summary
@@ -968,6 +1134,9 @@ let parse_cmd =
                     (if stats then
                        Fmt.pr "stats: %a@." Rats.Stats.pp
                          (Rats.Session.stats session));
+                    if stats_json then
+                      print_endline
+                        (Rats.Stats.to_json (Rats.Session.stats session));
                     print_profile eng;
                     match !last with
                     | Ok v ->
@@ -1061,6 +1230,8 @@ let parse_cmd =
             | Ok (eng_used, out) -> (
                 (if stats then
                    Fmt.pr "stats: %a@." Rats.Stats.pp out.Rats.Engine.stats);
+                if stats_json then
+                  print_endline (Rats.Stats.to_json out.Rats.Engine.stats);
                 print_profile eng_used;
                 match out.Rats.Engine.result with
                 | Ok v ->
@@ -1080,7 +1251,8 @@ let parse_cmd =
       $ max_memo_arg $ max_input_arg $ timeout_arg $ input_arg $ stdin_arg
       $ mmap_arg $ batch_arg $ batch_sep_arg $ faults_arg $ doc_timeout_arg
       $ recognize_arg $ stats_arg $ quiet_arg $ trace_arg $ edits_arg
-      $ profile_flag_arg $ trace_ring_arg)
+      $ profile_flag_arg $ trace_ring_arg $ metrics_arg $ trace_out_arg
+      $ progress_arg $ stats_json_arg)
 
 (* --- observability subcommands --------------------------------------------- *)
 

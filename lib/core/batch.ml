@@ -250,6 +250,177 @@ let summarize records total_ms =
     s_cold_fallbacks = 0;
   }
 
+(* ------------------------------------------------------------------ *)
+(* Telemetry instruments. Registered once per run when (and only when)
+   a registry is passed in; the run body guards every record call on
+   the [instruments option], so a run without [?metrics] never enters
+   the metrics module at all — the PR 5 zero-cost-when-off contract at
+   pipeline level. *)
+
+type instruments = {
+  i_docs_ok : Metrics.counter;
+  i_docs_fail : Metrics.counter;
+  i_fail_syntax : Metrics.counter;
+  i_fail_resource : Metrics.counter;
+  i_fail_io : Metrics.counter;
+  i_fail_internal : Metrics.counter;
+  i_rung_full : Metrics.counter;
+  i_rung_recognizer : Metrics.counter;
+  i_retries : Metrics.counter;
+  i_latency_us : Metrics.histogram;
+  i_fuel : Metrics.histogram;
+  i_doc_bytes : Metrics.histogram;
+  i_memo_bytes : Metrics.histogram;
+  i_gc_minor_words : Metrics.gauge;
+  i_gc_major_words : Metrics.gauge;
+  i_gc_heap_words : Metrics.gauge;
+  i_arena_chunk_cap : Metrics.gauge;
+  i_memo_chunks_peak : Metrics.gauge;
+}
+
+(* Sequenced lets, not a record literal: record fields evaluate
+   right-to-left, which would reverse registration — and the exposition
+   order — in the registry, and strand the HELP text away from the
+   first series of each family. *)
+let instruments_of reg =
+  let dc = "Documents processed, by final status." in
+  let i_docs_ok =
+    Metrics.counter reg ~labels:[ ("status", "ok") ] ~help:dc
+      "rml_batch_docs_total"
+  in
+  let i_docs_fail =
+    Metrics.counter reg ~labels:[ ("status", "fail") ] "rml_batch_docs_total"
+  in
+  let i_fail_syntax =
+    Metrics.counter reg ~labels:[ ("class", "syntax") ]
+      ~help:"Failed documents, by failure class." "rml_batch_fail_total"
+  in
+  let i_fail_resource =
+    Metrics.counter reg ~labels:[ ("class", "resource") ] "rml_batch_fail_total"
+  in
+  let i_fail_io =
+    Metrics.counter reg ~labels:[ ("class", "io") ] "rml_batch_fail_total"
+  in
+  let i_fail_internal =
+    Metrics.counter reg ~labels:[ ("class", "internal") ] "rml_batch_fail_total"
+  in
+  let i_rung_full =
+    Metrics.counter reg ~labels:[ ("rung", "full") ]
+      ~help:"Documents answered, by degradation-ladder rung."
+      "rml_batch_rung_total"
+  in
+  let i_rung_recognizer =
+    Metrics.counter reg ~labels:[ ("rung", "recognizer") ]
+      "rml_batch_rung_total"
+  in
+  let i_retries =
+    Metrics.counter reg
+      ~help:"Documents the degradation ladder descended for."
+      "rml_batch_retries_total"
+  in
+  let i_latency_us =
+    Metrics.histogram reg
+      ~help:"Per-document wall time, microseconds (retries included)."
+      "rml_batch_doc_latency_us"
+  in
+  let i_fuel =
+    Metrics.histogram reg
+      ~help:"Fuel charged per document, summed across reruns."
+      "rml_batch_doc_fuel"
+  in
+  let i_doc_bytes =
+    Metrics.histogram reg
+      ~help:"Document size in bytes, as delivered to the parser."
+      "rml_batch_doc_bytes"
+  in
+  let i_memo_bytes =
+    Metrics.histogram reg
+      ~help:"Estimated memo bytes charged per document (chunks x chunk_cost)."
+      "rml_batch_doc_memo_bytes"
+  in
+  let i_gc_minor_words =
+    Metrics.gauge reg ~help:"GC minor words at the last record (live counter)."
+      "rml_gc_minor_words"
+  in
+  let i_gc_major_words =
+    Metrics.gauge reg
+      ~help:"GC major words as of the last minor collection."
+      "rml_gc_major_words"
+  in
+  let i_gc_heap_words =
+    Metrics.gauge reg
+      ~help:"GC major-heap words as of the last minor collection."
+      "rml_gc_heap_words"
+  in
+  let i_arena_chunk_cap =
+    Metrics.gauge reg ~help:"Pooled memo-arena backing chunks (high water)."
+      "rml_arena_chunk_cap"
+  in
+  let i_memo_chunks_peak =
+    Metrics.gauge reg ~help:"Most memo chunks claimed by a single document."
+      "rml_batch_memo_chunks_peak"
+  in
+  {
+    i_docs_ok;
+    i_docs_fail;
+    i_fail_syntax;
+    i_fail_resource;
+    i_fail_io;
+    i_fail_internal;
+    i_rung_full;
+    i_rung_recognizer;
+    i_retries;
+    i_latency_us;
+    i_fuel;
+    i_doc_bytes;
+    i_memo_bytes;
+    i_gc_minor_words;
+    i_gc_major_words;
+    i_gc_heap_words;
+    i_arena_chunk_cap;
+    i_memo_chunks_peak;
+  }
+
+let gauge_max g v = if v > Metrics.gauge_value g then Metrics.set g v
+
+(* Everything here is derived from the already-built record (plus the
+   run-scoped accumulators), so recording adds no clock reads: the
+   JSONL stream is unchanged even under a synthetic test clock. *)
+let record_metrics i ~memo_bytes ~memo_chunks ~arena_cap r =
+  if r.r_ok then Metrics.inc i.i_docs_ok else Metrics.inc i.i_docs_fail;
+  (match r.r_fail with
+  | None -> ()
+  | Some Syntax -> Metrics.inc i.i_fail_syntax
+  | Some (Resource _) -> Metrics.inc i.i_fail_resource
+  | Some Io -> Metrics.inc i.i_fail_io
+  | Some Internal -> Metrics.inc i.i_fail_internal);
+  (match r.r_rung with
+  | Full -> Metrics.inc i.i_rung_full
+  | Recognizer -> Metrics.inc i.i_rung_recognizer);
+  if r.r_retried then Metrics.inc i.i_retries;
+  Metrics.observe i.i_latency_us (int_of_float (r.r_ms *. 1e3));
+  Metrics.observe i.i_fuel r.r_fuel_used;
+  if r.r_bytes >= 0 then Metrics.observe i.i_doc_bytes r.r_bytes;
+  Metrics.observe i.i_memo_bytes memo_bytes;
+  gauge_max i.i_memo_chunks_peak memo_chunks;
+  gauge_max i.i_arena_chunk_cap arena_cap;
+  (* [Gc.minor_words ()] reads the live per-domain counter; the other
+     two come from [quick_stat], which OCaml 5 only refreshes at minor
+     collections — fine for gauges (a run short enough never to have
+     minor-collected has nothing interesting to report there), and it
+     means the record path never forces a collection. *)
+  Metrics.set i.i_gc_minor_words (int_of_float (Gc.minor_words ()));
+  let g = Gc.quick_stat () in
+  Metrics.set i.i_gc_major_words (int_of_float g.Gc.major_words);
+  Metrics.set i.i_gc_heap_words g.Gc.heap_words
+
+let fault_label = function
+  | Faults.Truncate k -> Printf.sprintf "trunc@%d" k
+  | Faults.Io_error k -> Printf.sprintf "io@%d" k
+  | Faults.Fuel_cap k -> Printf.sprintf "fuel@%d" k
+  | Faults.Memo_cap k -> Printf.sprintf "memo@%d" k
+  | Faults.Clock_skew k -> Printf.sprintf "skew@%d" k
+
 let backstopped f =
   try f () with
   | Stack_overflow ->
@@ -272,16 +443,29 @@ let backstopped f =
       }
 
 let run ?(config = Config.optimized) ?limits ?start ?deadline_ns
-    ?(faults = Faults.none) ?now_ns ?(on_record = fun _ -> ()) g src =
+    ?(faults = Faults.none) ?now_ns ?metrics ?spans
+    ?(on_record = fun _ -> ()) g src =
   let base_config =
     match limits with Some l -> Config.with_limits l config | None -> config
   in
   let base_limits = base_config.Config.limits in
   let cap = base_limits.Limits.max_input_bytes in
   let raw_now = match now_ns with Some f -> f | None -> Profile.now_ns in
+  let inst = Option.map instruments_of metrics in
+  (* Spans take their own clock readings; everything is guarded so a
+     run without [?spans] reads the clock exactly as often as before
+     (synthetic-clock tests depend on the call sequence). *)
+  let span_now () = match spans with Some _ -> raw_now () | None -> 0 in
   (* Compile once, up front: a grammar that doesn't build is the run's
      only error — after this point every failure is a record. *)
-  match Engine.prepare ~config:base_config g with
+  let t_compile = span_now () in
+  let prepared = Engine.prepare ~config:base_config g in
+  (match spans with
+  | None -> ()
+  | Some sp ->
+      Profile.Spans.span sp ~name:"compile" ~ts_ns:t_compile
+        ~dur_ns:(raw_now () - t_compile));
+  match prepared with
   | Error ds -> Error ds
   | Ok first_engine ->
       let rec_grammar = recognizer_erase g in
@@ -304,8 +488,15 @@ let run ?(config = Config.optimized) ?limits ?start ?deadline_ns
                           Config.lean_values = false;
                         } ))
             in
+            let t0 = span_now () in
             (match Engine.prepare ~config:cfg g with
             | Ok e ->
+                (match spans with
+                | None -> ()
+                | Some sp ->
+                    Profile.Spans.span sp ~name:"compile-rung"
+                      ~args:[ ("rung", rung_name rung) ]
+                      ~ts_ns:t0 ~dur_ns:(raw_now () - t0));
                 Hashtbl.add cache (rung, lim) e;
                 e
             | Error ds ->
@@ -331,10 +522,34 @@ let run ?(config = Config.optimized) ?limits ?start ?deadline_ns
               | None -> base_limits.Limits.max_memo_bytes);
           }
         in
+        (match spans with
+        | Some sp when dfaults <> [] ->
+            Profile.Spans.instant sp ~name:"fault"
+              ~args:
+                [
+                  ("doc", string_of_int idx);
+                  ("faults", String.concat "," (List.map fault_label dfaults));
+                ]
+              ~ts_ns:t0
+        | _ -> ());
         let degraded = ref 0 and fuel = ref 0 in
-        let note (o : Engine.outcome) =
+        let mbytes = ref 0 and mchunks = ref 0 in
+        let note eng (o : Engine.outcome) =
           degraded := !degraded + o.Engine.stats.Stats.memo_degraded;
-          fuel := !fuel + o.Engine.stats.Stats.fuel_used
+          fuel := !fuel + o.Engine.stats.Stats.fuel_used;
+          match inst with
+          | None -> ()
+          | Some _ ->
+              let chunks = o.Engine.stats.Stats.chunks_allocated in
+              if chunks > 0 then begin
+                let cost =
+                  Limits.chunk_cost
+                    ~value_slots:(Engine.memo_value_slots eng)
+                    (Engine.memo_slots eng)
+                in
+                mbytes := !mbytes + (chunks * cost);
+                mchunks := !mchunks + chunks
+              end
         in
         let mk ?(rung = Full) ?(retried = false) ?(bytes = -1) ?fail ?which
             ?(position = -1) ?(message = "") () =
@@ -386,10 +601,21 @@ let run ?(config = Config.optimized) ?limits ?start ?deadline_ns
                   (* the erased grammar keeps every production name, so
                      the start override applies to both rungs *)
                   let eng = engine_for rung lim in
+                  let ta = span_now () in
                   let o =
                     backstopped (fun () -> Engine.run_input eng ?start input)
                   in
-                  note o;
+                  (match spans with
+                  | None -> ()
+                  | Some sp ->
+                      Profile.Spans.span sp ~cat:"attempt" ~name:"attempt"
+                        ~args:
+                          [
+                            ("doc", string_of_int idx);
+                            ("rung", rung_name rung);
+                          ]
+                        ~ts_ns:ta ~dur_ns:(raw_now () - ta));
+                  note eng o;
                   o
                 in
                 (* the --timeout discipline, monotonic: parse under a
@@ -461,6 +687,27 @@ let run ?(config = Config.optimized) ?limits ?start ?deadline_ns
           | e -> mk ~fail:Internal ~message:(Printexc.to_string e) ()
         in
         records_rev := r :: !records_rev;
+        (* Metrics are derived from the finished record plus the
+           run-scoped accumulators — no clock reads of their own, so a
+           metrics-only run leaves the JSONL stream byte-identical even
+           under a synthetic clock. *)
+        (match inst with
+        | None -> ()
+        | Some i ->
+            record_metrics i ~memo_bytes:!mbytes ~memo_chunks:!mchunks
+              ~arena_cap:(Engine.arena_cap first_engine) r);
+        (match spans with
+        | None -> ()
+        | Some sp ->
+            Profile.Spans.span sp ~cat:"doc" ~name:r.r_name
+              ~args:
+                [
+                  ("doc", string_of_int idx);
+                  ("status", if r.r_ok then "ok" else "fail");
+                  ("rung", rung_name r.r_rung);
+                ]
+              ~ts_ns:t0
+              ~dur_ns:(int_of_float (r.r_ms *. 1e6)));
         on_record r
       in
       let run_docs () =

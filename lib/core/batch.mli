@@ -121,6 +121,8 @@ val run :
   ?deadline_ns:int ->
   ?faults:Faults.t ->
   ?now_ns:(unit -> int) ->
+  ?metrics:Metrics.t ->
+  ?spans:Profile.Spans.t ->
   ?on_record:(record -> unit) ->
   Grammar.t ->
   source ->
@@ -137,6 +139,26 @@ val run :
     the document read path, fuel/memo caps folded into that document's
     limits (so the ordinary govern brackets trip them), clock skew
     added to every deadline reading after the one that armed it.
+
+    [metrics] opts the run into pipeline telemetry: per-document
+    latency (µs), fuel, document-byte and estimated memo-byte
+    histograms, rung / fail-class / retry counters
+    ([rml_batch_docs_total] by status, [rml_batch_fail_total] by
+    class, [rml_batch_rung_total], [rml_batch_retries_total]), and
+    GC + memo-arena occupancy gauges, all registered in the given
+    {!Rats_runtime.Metrics.t}. Recording is derived entirely from the
+    finished record and run-scoped accumulators — it adds {e no} clock
+    reads, so the JSONL stream is unchanged (byte-identical under a
+    synthetic [now_ns]). When absent, the record path is never
+    entered: the PR 5 zero-cost-when-off contract at pipeline level.
+
+    [spans] opts the run into a batch-level chrome trace
+    ({!Rats_runtime.Profile.Spans}): one span per grammar compile
+    (including ladder-rung recompiles), per engine attempt and per
+    document, plus an instant marker per injected-fault plan. Spans
+    take their own clock readings, so under a synthetic [now_ns] they
+    shift subsequent [r_ms] values; with the real monotonic clock
+    behavior is unchanged.
 
     [on_record] fires as each record is produced, before the next
     document is read — the JSONL streaming hook.

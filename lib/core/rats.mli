@@ -48,6 +48,7 @@ module Expected = Rats_runtime.Expected
 module Memo_arena = Rats_runtime.Memo_arena
 module Observe = Rats_runtime.Observe
 module Profile = Rats_runtime.Profile
+module Metrics = Rats_runtime.Metrics
 module Provenance = Rats_peg.Provenance
 module Desugar = Rats_optimize.Desugar
 module Passes = Rats_optimize.Passes

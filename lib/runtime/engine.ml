@@ -1136,6 +1136,14 @@ let memo_slots t = t.nslots
 let memo_value_slots t = t.nvslots
 let bytecode t = t.vm
 
+let arena_cap t =
+  match t.vm with
+  | Some vm -> Vm.arena_cap vm
+  | None -> (
+      match t.pool with
+      | Some sc -> sc.sc_arena.Memo_arena.cap
+      | None -> 0)
+
 let observation t =
   match t.vm with Some vm -> Vm.observation vm | None -> t.obs
 

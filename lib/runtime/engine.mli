@@ -43,6 +43,13 @@ val memo_value_slots : t -> int
     vmap); enters {!Limits.chunk_cost}, so a value-free engine charges
     its memo budget less per position. *)
 
+val arena_cap : t -> int
+(** Chunks with backing rows in this engine's pooled memo arena
+    (either back end) — the allocated high-water footprint, which
+    survives between runs because parking a scratch releases values,
+    not rows. [0] before the first run. The batch runner reports this
+    as an occupancy gauge. *)
+
 val bytecode : t -> Vm.t option
 (** The compiled bytecode program when this engine runs on the
     {!Config.Bytecode} back end; [None] on the closure back end. *)

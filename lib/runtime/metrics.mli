@@ -1,0 +1,116 @@
+(** Pipeline metrics: a registry of counters, gauges and log-bucketed
+    histograms with Prometheus text exposition and JSON export.
+
+    This is the instrumentation substrate for the batch runner and the
+    future [rml serve] daemon. Design constraints, in order:
+
+    {b Allocation-free on the record path.} {!inc}, {!add}, {!set} and
+    {!observe} touch only mutable int fields and preallocated int
+    arrays — no boxing, no float math, no closure. A histogram is one
+    fixed-size [int array] of {!nbuckets} cells; finding a value's
+    bucket is an integer shift loop (no [log], no table). The PR 5
+    zero-cost-when-off contract is preserved one level up: callers
+    guard every record call on an [option] that is [None] unless
+    metrics were requested, so the off path never enters this module.
+
+    {b Mergeable.} Two registries recording the same instrument set —
+    the future per-domain registries of [rml serve] — combine with
+    {!merge}: counters and histogram buckets sum; gauges keep the
+    maximum (a gauge here is a high-water reading, e.g. arena
+    occupancy, so max is the aggregate an operator wants).
+
+    {b Log-scale buckets with bounded relative error.} Values [0..15]
+    get exact identity buckets. Above that, each power-of-two octave is
+    split into 8 sub-buckets, so a bucket's width is at most 1/8 of its
+    lower bound: any quantile estimated from the buckets (midpoint
+    rule, {!quantile}) is within ±6.25% of the true sample — one
+    bucket's relative error. 480 cells cover the whole nonnegative
+    [int] range, microseconds to hours in one array. *)
+
+type t
+(** A registry: an ordered set of named instruments. Registration order
+    is exposition order. *)
+
+type counter
+type gauge
+type histogram
+
+val create : unit -> t
+
+(** {1 Registration}
+
+    Registering the same [(name, labels)] pair again returns the
+    existing instrument, so re-registration is idempotent (merge and
+    multi-phase runs rely on this). Registering a name under two
+    different instrument kinds raises [Invalid_argument]. [labels] are
+    Prometheus-style key/value pairs distinguishing series of one
+    metric family (e.g. [("status", "ok")]). *)
+
+val counter :
+  t -> ?labels:(string * string) list -> ?help:string -> string -> counter
+
+val gauge :
+  t -> ?labels:(string * string) list -> ?help:string -> string -> gauge
+
+val histogram :
+  t -> ?labels:(string * string) list -> ?help:string -> string -> histogram
+
+(** {1 Recording} — allocation-free, safe to call per document. *)
+
+val inc : counter -> unit
+val add : counter -> int -> unit
+(** Counters are monotone: [add] with a negative delta raises
+    [Invalid_argument] (Prometheus counters must never go down). *)
+
+val set : gauge -> int -> unit
+val observe : histogram -> int -> unit
+(** Negative observations clamp to [0]. *)
+
+(** {1 Reading} *)
+
+val counter_value : counter -> int
+val gauge_value : gauge -> int
+val hist_count : histogram -> int
+val hist_sum : histogram -> int
+
+val quantile : histogram -> float -> float
+(** [quantile h q] estimates the [q]-quantile ([0 < q <= 1]) from the
+    buckets: the value of the bucket holding the sample of rank
+    [ceil (q * count)], exact for identity buckets, bucket midpoint
+    above — within one log-bucket's relative error (≤ ±6.25%) of the
+    true sample. [0.] when empty. *)
+
+(** {1 Aggregation} *)
+
+val merge : into:t -> t -> unit
+(** Fold [src] into [into], matching instruments by [(name, labels)]:
+    counters and histogram buckets/sums/counts add; gauges keep the
+    max (high-water semantics). Instruments absent from [into] are
+    registered. Raises [Invalid_argument] on a kind clash. *)
+
+(** {1 Export} *)
+
+val to_prometheus : t -> string
+(** Prometheus text exposition format, version 0.0.4: one
+    [# HELP]/[# TYPE] header per metric family, all series of a family
+    grouped, histograms as cumulative [_bucket{le="..."}] series
+    (non-empty buckets plus the mandatory [+Inf]) with [_sum] and
+    [_count]. *)
+
+val to_json : t -> string
+(** A JSON array, one object per instrument: counters/gauges carry
+    ["value"]; histograms carry ["count"], ["sum"], ["p50"], ["p90"],
+    ["p99"] and a ["buckets"] array of [[le, count]] pairs (non-empty
+    buckets only). *)
+
+(** {1 Bucket scheme} — exposed so tests can pin the geometry. *)
+
+val nbuckets : int
+
+val bucket_of : int -> int
+(** The bucket index a value lands in. Total and monotone:
+    negative values clamp to bucket [0]. *)
+
+val bucket_bounds : int -> int * int
+(** [(lo, hi)]: the bucket holds values [v] with [lo <= v < hi].
+    [hi - lo <= max 1 (lo / 8)] — the ≤12.5%-width guarantee. *)

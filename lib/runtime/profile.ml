@@ -226,6 +226,77 @@ let to_speedscope ?(name = "rats parse") t =
   Buffer.add_string b "\",\"activeProfileIndex\":0}";
   Buffer.contents b
 
+(* --- batch-level spans --------------------------------------------------- *)
+
+module Spans = struct
+  type event = {
+    e_name : string;
+    e_cat : string;
+    e_args : (string * string) list;
+    e_ts : int;  (* absolute now_ns reading *)
+    e_dur : int;  (* -1 = instant marker *)
+  }
+
+  type t = { mutable rev : event list; mutable n : int }
+
+  let create () = { rev = []; n = 0 }
+
+  let span ?(cat = "batch") ?(args = []) t ~name ~ts_ns ~dur_ns =
+    t.rev <-
+      { e_name = name; e_cat = cat; e_args = args; e_ts = ts_ns; e_dur = dur_ns }
+      :: t.rev;
+    t.n <- t.n + 1
+
+  let instant ?(cat = "batch") ?(args = []) t ~name ~ts_ns =
+    t.rev <-
+      { e_name = name; e_cat = cat; e_args = args; e_ts = ts_ns; e_dur = -1 }
+      :: t.rev;
+    t.n <- t.n + 1
+
+  let count t = t.n
+
+  let to_chrome t =
+    let events = List.rev t.rev in
+    let t0 =
+      List.fold_left (fun acc e -> min acc e.e_ts) max_int events
+    in
+    let b = Buffer.create (t.n * 96) in
+    Buffer.add_char b '[';
+    List.iteri
+      (fun i e ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b "{\"name\":\"";
+        json_escape b e.e_name;
+        Buffer.add_string b "\",\"cat\":\"";
+        json_escape b e.e_cat;
+        Buffer.add_string b
+          (Printf.sprintf "\",\"ph\":\"%s\",\"ts\":%.3f"
+             (if e.e_dur < 0 then "i" else "X")
+             (float_of_int (e.e_ts - t0) /. 1e3));
+        if e.e_dur >= 0 then
+          Buffer.add_string b
+            (Printf.sprintf ",\"dur\":%.3f" (float_of_int e.e_dur /. 1e3))
+        else Buffer.add_string b ",\"s\":\"t\"";
+        Buffer.add_string b ",\"pid\":1,\"tid\":1";
+        if e.e_args <> [] then begin
+          Buffer.add_string b ",\"args\":{";
+          List.iteri
+            (fun j (k, v) ->
+              if j > 0 then Buffer.add_char b ',';
+              Buffer.add_char b '"';
+              json_escape b k;
+              Buffer.add_string b "\":\"";
+              json_escape b v;
+              Buffer.add_char b '"')
+            e.e_args;
+          Buffer.add_char b '}'
+        end;
+        Buffer.add_char b '}')
+      events;
+    Buffer.add_char b ']';
+    Buffer.contents b
+end
+
 let to_chrome t =
   let b = Buffer.create (t.ev_n * 48) in
   Buffer.add_char b '[';

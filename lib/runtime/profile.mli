@@ -79,3 +79,49 @@ val to_speedscope : ?name:string -> t -> string
 val to_chrome : t -> string
 (** Chrome [chrome://tracing] / Perfetto JSON array of B/E duration
     events, timestamps in microseconds. *)
+
+(** {1 Batch-level spans}
+
+    A second, coarser trace collector: where {!t} logs one event pair
+    per production invocation, a [Spans.t] logs one complete span per
+    {e pipeline step} — grammar compile, per-document parse, ladder
+    retry — plus instant markers for injected faults, so a whole batch
+    run opens in [chrome://tracing] as one timeline. Spans are recorded
+    with absolute {!now_ns} timestamps and normalized to the earliest
+    event at export. The collector allocates per span (a handful of
+    words), which is fine at document granularity; it is opt-in the
+    same way metrics are — the batch runner never touches it unless
+    one was passed in. *)
+module Spans : sig
+  type t
+
+  val create : unit -> t
+
+  val span :
+    ?cat:string ->
+    ?args:(string * string) list ->
+    t ->
+    name:string ->
+    ts_ns:int ->
+    dur_ns:int ->
+    unit
+  (** A complete ("X") event: [ts_ns] is an absolute {!now_ns} reading,
+      [dur_ns] the span's length. [args] become the event's [args]
+      object (values rendered as JSON strings). *)
+
+  val instant :
+    ?cat:string ->
+    ?args:(string * string) list ->
+    t ->
+    name:string ->
+    ts_ns:int ->
+    unit
+  (** A zero-duration ("i", thread-scoped) marker — fault injections,
+      heartbeats. *)
+
+  val count : t -> int
+
+  val to_chrome : t -> string
+  (** Chrome trace JSON array: "X" events with [dur], "i" instants,
+      timestamps in microseconds relative to the earliest event. *)
+end

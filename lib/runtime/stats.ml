@@ -138,6 +138,19 @@ let fields
     ("memo-relocated", memo_relocated);
   ]
 
+(* Renders [fields] verbatim: the JSON schema is the [fields] schema,
+   and the schema-stability CLI test pins it. *)
+let to_json t =
+  let b = Buffer.create 256 in
+  Buffer.add_char b '{';
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Printf.sprintf "\"%s\":%d" name v))
+    (fields t);
+  Buffer.add_char b '}';
+  Buffer.contents b
+
 let pp ppf t =
   Format.fprintf ppf
     "@[invocations=%d hits=%d misses=%d stores=%d chunks=%d slots=%d \

@@ -51,6 +51,12 @@ val pp : Format.formatter -> t -> unit
 (** Renders every field of {!fields}, zeroes included, so the output
     schema is stable across configurations. *)
 
+val to_json : t -> string
+(** One JSON object rendering exactly {!fields} — same names, same
+    order, zero-valued fields included — so [rml parse --stats-json]
+    and any future machine consumer share one stable schema. No
+    trailing newline. *)
+
 (** {1 Per-pass optimizer instrumentation}
 
     Rows produced by the optimizer driver ({!Rats_optimize.Driver}): one

@@ -753,6 +753,11 @@ let memo_value_slots t = t.nvslots
 let instruction_count (t : t) = Array.length t.code
 let observation (t : t) = t.obs
 
+let arena_cap (t : t) =
+  match t.pool with
+  | Some sc -> sc.sc_arena.Memo_arena.cap
+  | None -> 0
+
 (* --- run-time state ------------------------------------------------------ *)
 
 (* Memo chunks live in a [Memo_arena.t] shared in layout and encoding

@@ -46,6 +46,12 @@ val memo_value_slots : t -> int
 (** Memo slots carrying a value; identical to the closure engine's
     vmap assignment. *)
 
+val arena_cap : t -> int
+(** Chunks with backing rows in the pooled memo arena — the arena's
+    allocated high-water footprint, which survives between runs
+    (parking a scratch releases values, not rows). [0] before the
+    first run. *)
+
 val instruction_count : t -> int
 (** Length of the compiled instruction array. *)
 

@@ -577,10 +577,299 @@ let batch_tests =
         check Alcotest.bool "cap named" true (contains out "16"));
   ]
 
+(* --- telemetry: --metrics / --trace-out / --progress / --stats-json ----------
+
+   The schema tests are the stability contract: the JSONL record,
+   summary and --stats-json key sequences are pinned by name and order,
+   so any field rename or reorder fails here before it breaks a
+   downstream consumer. *)
+
+(* Top-level keys of one JSON object, in order. Quoted values are
+   skipped wholesale so a ':' inside an error message cannot fake a
+   key. *)
+let keys_of_json line =
+  let n = String.length line in
+  let rec scan_string i =
+    (* [i] just past an opening quote; returns the index past the
+       closing quote *)
+    if i >= n then i
+    else if line.[i] = '\\' then scan_string (i + 2)
+    else if line.[i] = '"' then i + 1
+    else scan_string (i + 1)
+  in
+  let rec go acc i =
+    if i >= n then List.rev acc
+    else if line.[i] = '"' then begin
+      let j = scan_string (i + 1) in
+      if j < n && line.[j] = ':' then
+        let key = String.sub line (i + 1) (j - i - 2) in
+        (* skip a quoted value so its innards are never scanned *)
+        if j + 1 < n && line.[j + 1] = '"' then
+          go (key :: acc) (scan_string (j + 2))
+        else go (key :: acc) (j + 1)
+      else go acc j
+    end
+    else go acc (i + 1)
+  in
+  go [] 0
+
+(* Strip every wall-time value: the only fields that change from run to
+   run under the real clock. What remains must be byte-identical. *)
+let strip_times line =
+  let n = String.length line in
+  let b = Buffer.create n in
+  let is_time_key k =
+    k = "ms" || k = "p50_ms" || k = "p99_ms" || k = "total_ms"
+  in
+  let rec go i =
+    if i >= n then ()
+    else if line.[i] = '"' then begin
+      let j = ref (i + 1) in
+      while !j < n && line.[!j] <> '"' do
+        if line.[!j] = '\\' then incr j;
+        incr j
+      done;
+      let key = String.sub line (i + 1) (!j - i - 1) in
+      Buffer.add_string b (String.sub line i (!j - i + 1));
+      if !j + 1 < n && line.[!j + 1] = ':' && is_time_key key then begin
+        Buffer.add_string b ":_";
+        let k = ref (!j + 2) in
+        while
+          !k < n && (line.[!k] = '.' || (line.[!k] >= '0' && line.[!k] <= '9'))
+        do
+          incr k
+        done;
+        go !k
+      end
+      else go (!j + 1)
+    end
+    else begin
+      Buffer.add_char b line.[i];
+      go (i + 1)
+    end
+  in
+  go 0;
+  Buffer.contents b
+
+let json_lines out =
+  List.filter
+    (fun l -> String.length l > 0 && l.[0] = '{')
+    (String.split_on_char '\n' out)
+
+let check_keys name expected line =
+  check (Alcotest.list Alcotest.string) name expected (keys_of_json line)
+
+let with_corpus f =
+  let good = write_temp "1+2*3" in
+  let bad = write_temp "1+" in
+  let manifest = write_temp (Printf.sprintf "%s\n%s\n" good bad) in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove good;
+      Sys.remove bad;
+      Sys.remove manifest)
+    (fun () -> f manifest)
+
+let telemetry_tests =
+  [
+    test "--stats-json emits the pinned 14-field schema" (fun () ->
+        let expr = write_temp "1 + 2 * 3" in
+        let code, out =
+          run (Printf.sprintf "parse -b calc -i %s -q --stats-json" expr)
+        in
+        let codev, outv =
+          run (Printf.sprintf "parse -b calc -i %s -q -e vm --stats-json" expr)
+        in
+        Sys.remove expr;
+        check Alcotest.int "exit" 0 code;
+        check Alcotest.int "vm exit" 0 codev;
+        let schema =
+          [
+            "invocations"; "hits"; "misses"; "stores"; "chunks"; "slots";
+            "backtracks"; "snapshots"; "vm-instructions"; "vm-stack-peak";
+            "fuel-used"; "memo-degraded"; "memo-reused"; "memo-relocated";
+          ]
+        in
+        (match json_lines out with
+        | [ line ] -> check_keys "closure schema" schema line
+        | ls -> Alcotest.failf "expected 1 JSON line, got %d" (List.length ls));
+        match json_lines outv with
+        | [ line ] ->
+            check_keys "vm schema" schema line;
+            check Alcotest.bool "vm counts instructions" true
+              (contains line "\"vm-instructions\":")
+        | ls -> Alcotest.failf "expected 1 JSON line, got %d" (List.length ls));
+    test "--stats-json rides --edits: the final reparse's counters" (fun () ->
+        let expr = write_temp "1 + 2 * (3 - 4)" in
+        let script = write_temp "4 1 42\n" in
+        let code, out =
+          run
+            (Printf.sprintf "parse -b calc -i %s --edits %s -q --stats-json"
+               expr script)
+        in
+        Sys.remove expr;
+        Sys.remove script;
+        check Alcotest.int "exit" 0 code;
+        match json_lines out with
+        | [ line ] ->
+            check Alcotest.bool "memo reuse surfaced" true
+              (contains line "\"memo-reused\":9");
+            check Alcotest.bool "relocations surfaced" true
+              (contains line "\"memo-relocated\":7")
+        | ls -> Alcotest.failf "expected 1 JSON line, got %d" (List.length ls));
+    test "batch JSONL schemas are pinned, field for field" (fun () ->
+        with_corpus (fun manifest ->
+            let code, out =
+              run (Printf.sprintf "parse -b calc --batch %s" manifest)
+            in
+            check Alcotest.int "exit" 3 code;
+            match json_lines out with
+            | [ ok_rec; fail_rec; summary ] ->
+                check_keys "ok record"
+                  [
+                    "doc"; "name"; "bytes"; "status"; "rung"; "retried"; "ms";
+                    "memo_degraded"; "fuel_used";
+                  ]
+                  ok_rec;
+                check_keys "syntax record"
+                  [
+                    "doc"; "name"; "bytes"; "status"; "rung"; "retried";
+                    "kind"; "position"; "message"; "ms"; "memo_degraded";
+                    "fuel_used";
+                  ]
+                  fail_rec;
+                check_keys "summary"
+                  [
+                    "summary"; "docs"; "ok"; "failed"; "degraded"; "rung_full";
+                    "rung_recognizer"; "syntax"; "resource"; "io"; "internal";
+                    "p50_ms"; "p99_ms"; "total_ms"; "memo_degraded";
+                    "cold_fallbacks";
+                  ]
+                  summary
+            | ls -> Alcotest.failf "expected 3 JSON lines, got %d" (List.length ls)));
+    test "--metrics .prom: valid exposition reconciling with the run" (fun () ->
+        with_corpus (fun manifest ->
+            let prom = Filename.temp_file "rml_cli" ".prom" in
+            let code, out =
+              run
+                (Printf.sprintf "parse -b calc --batch %s --metrics %s" manifest
+                   prom)
+            in
+            let text = In_channel.with_open_bin prom In_channel.input_all in
+            Sys.remove prom;
+            check Alcotest.int "exit" 3 code;
+            check Alcotest.bool "HELP first" true
+              (String.length text > 6 && String.sub text 0 6 = "# HELP");
+            check Alcotest.bool "docs ok series" true
+              (contains text "rml_batch_docs_total{status=\"ok\"} 1");
+            check Alcotest.bool "docs fail series" true
+              (contains text "rml_batch_docs_total{status=\"fail\"} 1");
+            check Alcotest.bool "latency count covers every record" true
+              (contains text "rml_batch_doc_latency_us_count 2");
+            check Alcotest.bool "+Inf closes the histogram" true
+              (contains text "rml_batch_doc_latency_us_bucket{le=\"+Inf\"} 2");
+            (* counters reconcile with the JSONL summary on stdout *)
+            check Alcotest.bool "summary agrees" true
+              (contains out "\"docs\":2,\"ok\":1,\"failed\":1")));
+    test "--metrics .json: a JSON instrument dump" (fun () ->
+        with_corpus (fun manifest ->
+            let mjson = Filename.temp_file "rml_cli" ".json" in
+            let code, _ =
+              run
+                (Printf.sprintf "parse -b calc --batch %s --metrics %s" manifest
+                   mjson)
+            in
+            let text = In_channel.with_open_bin mjson In_channel.input_all in
+            Sys.remove mjson;
+            check Alcotest.int "exit" 3 code;
+            check Alcotest.bool "array" true
+              (String.length text > 2 && text.[0] = '[');
+            check Alcotest.bool "instruments" true
+              (contains text "\"name\":\"rml_batch_docs_total\"");
+            check Alcotest.bool "quantiles" true (contains text "\"p99\":")));
+    test "--metrics leaves the JSONL stream byte-identical" (fun () ->
+        with_corpus (fun manifest ->
+            let prom = Filename.temp_file "rml_cli" ".prom" in
+            let code, out =
+              run (Printf.sprintf "parse -b calc --batch %s" manifest)
+            in
+            let code', out' =
+              run
+                (Printf.sprintf "parse -b calc --batch %s --metrics %s" manifest
+                   prom)
+            in
+            Sys.remove prom;
+            check Alcotest.int "bare exit" 3 code;
+            check Alcotest.int "metrics exit" 3 code';
+            (* wall times are the only run-to-run noise; everything else
+               must match byte for byte *)
+            check
+              (Alcotest.list Alcotest.string)
+              "records identical modulo wall times"
+              (List.map strip_times (json_lines out))
+              (List.map strip_times (json_lines out'))));
+    test "--trace-out writes a chrome trace of the batch" (fun () ->
+        with_corpus (fun manifest ->
+            let trace = Filename.temp_file "rml_cli" ".json" in
+            let code, _ =
+              run
+                (Printf.sprintf "parse -b calc --batch %s --trace-out %s"
+                   manifest trace)
+            in
+            let text = In_channel.with_open_bin trace In_channel.input_all in
+            Sys.remove trace;
+            check Alcotest.int "exit" 3 code;
+            check Alcotest.bool "event array" true
+              (String.length text > 2 && text.[0] = '[');
+            check Alcotest.bool "compile span" true
+              (contains text "\"name\":\"compile\"");
+            check Alcotest.bool "attempt span" true
+              (contains text "\"cat\":\"attempt\"");
+            check Alcotest.bool "complete events" true
+              (contains text "\"ph\":\"X\"")));
+    test "--progress heartbeats on stderr" (fun () ->
+        with_corpus (fun manifest ->
+            let code, out =
+              run (Printf.sprintf "parse -b calc --batch %s --progress" manifest)
+            in
+            check Alcotest.int "exit" 3 code;
+            check Alcotest.bool "progress line" true (contains out "progress:");
+            check Alcotest.bool "counts docs" true (contains out "2/2 docs");
+            check Alcotest.bool "quantiles so far" true (contains out "p99");
+            check Alcotest.bool "worst class" true (contains out "worst syntax")));
+    test "telemetry flags are usage-checked" (fun () ->
+        let expr = write_temp "1+2" in
+        let checks =
+          [
+            ("--metrics without --batch",
+             Printf.sprintf "parse -b calc -i %s --metrics /tmp/x.prom" expr);
+            ("--trace-out without --batch",
+             Printf.sprintf "parse -b calc -i %s --trace-out /tmp/x.json" expr);
+            ("--progress without --batch",
+             Printf.sprintf "parse -b calc -i %s --progress" expr);
+            ("--stats-json with --batch",
+             "parse -b calc --batch - --stats-json");
+            ("--metrics with an unknown extension",
+             "parse -b calc --batch - --metrics /tmp/x.txt");
+          ]
+        in
+        List.iter
+          (fun (name, args) ->
+            let code, _ =
+              match args with
+              | a when contains a "--batch -" -> run_with_stdin "1+2\n" a
+              | a -> run a
+            in
+            check Alcotest.int name 2 code)
+          checks;
+        Sys.remove expr);
+  ]
+
 let () =
   Alcotest.run "cli"
     [
       ("rml", tests);
       ("exit-codes", exit_matrix_tests);
       ("batch", batch_tests);
+      ("telemetry", telemetry_tests);
     ]

@@ -1,0 +1,422 @@
+(* The PR 10 telemetry substrate: bucket geometry, quantile error
+   bounds, merge semantics, the export formats, and the batch wiring.
+
+   The unit layer pins the histogram's bucket scheme (identity below
+   16, eighth-octave above, ≤12.5% width) and the registry contracts
+   (idempotent registration, kind clashes, counter monotonicity,
+   merge = sum/sum/max). The integration layer drives the batch runner
+   over a seeded 200-document corpus under a seeded variable-step
+   synthetic clock and cross-checks the histogram's p50/p99 against
+   the batch summary's exact rank-based percentiles — the two views
+   must agree within one log-bucket's relative error. Finally the
+   zero-cost-off contract: a metrics-carrying run emits byte-identical
+   JSONL to a bare run under the same synthetic clock, because
+   recording derives everything from the finished record and never
+   reads the clock. *)
+
+open Rats
+module M = Metrics
+
+(* --- bucket geometry --------------------------------------------------------- *)
+
+let geometry_tests =
+  let identity () =
+    for v = 0 to 15 do
+      Alcotest.(check int) (Printf.sprintf "bucket_of %d" v) v (M.bucket_of v);
+      Alcotest.(check (pair int int))
+        (Printf.sprintf "bounds %d" v)
+        (v, v + 1) (M.bucket_bounds v)
+    done
+  in
+  let total_and_monotone () =
+    Alcotest.(check int) "negative clamps" 0 (M.bucket_of (-5));
+    Alcotest.(check int) "min_int clamps" 0 (M.bucket_of min_int);
+    let last = ref (-1) in
+    (* sweep the whole range multiplicatively, with offsets *)
+    let v = ref 1 in
+    while !v > 0 && !v < max_int / 3 do
+      List.iter
+        (fun d ->
+          let x = !v + d in
+          if x >= 0 then begin
+            let b = M.bucket_of x in
+            Alcotest.(check bool) "in range" true (b >= 0 && b < M.nbuckets);
+            let lo, hi = M.bucket_bounds b in
+            Alcotest.(check bool)
+              (Printf.sprintf "%d within its bucket [%d,%d)" x lo hi)
+              true
+              (lo <= x && (x < hi || hi <= lo));
+            Alcotest.(check bool)
+              (Printf.sprintf "width at %d" x)
+              true
+              (hi <= lo || hi - lo <= max 1 (lo / 8))
+          end)
+        [ 0; 1; -1 ];
+      let b = M.bucket_of !v in
+      Alcotest.(check bool) "monotone" true (b >= !last);
+      last := b;
+      v := !v * 3 / 2 + 1
+    done;
+    Alcotest.(check bool) "max_int lands" true (M.bucket_of max_int < M.nbuckets)
+  in
+  let tiling () =
+    (* buckets tile: each bucket's lo maps back to it, hi opens the next *)
+    let top = M.bucket_of (1 lsl 40) in
+    for b = 0 to top do
+      let lo, hi = M.bucket_bounds b in
+      Alcotest.(check int) (Printf.sprintf "lo of %d" b) b (M.bucket_of lo);
+      if hi > lo then begin
+        Alcotest.(check int)
+          (Printf.sprintf "hi-1 of %d" b)
+          b
+          (M.bucket_of (hi - 1));
+        Alcotest.(check int) (Printf.sprintf "hi of %d" b) (b + 1) (M.bucket_of hi)
+      end
+    done
+  in
+  [
+    Alcotest.test_case "values 0..15 get exact identity buckets" `Quick identity;
+    Alcotest.test_case "bucket_of is total, monotone, width-bounded" `Quick
+      total_and_monotone;
+    Alcotest.test_case "buckets tile the range" `Quick tiling;
+  ]
+
+(* --- registry contracts ------------------------------------------------------ *)
+
+let registry_tests =
+  let counters () =
+    let reg = M.create () in
+    let c = M.counter reg "reqs_total" in
+    M.inc c;
+    M.add c 4;
+    Alcotest.(check int) "value" 5 (M.counter_value c);
+    Alcotest.check_raises "negative add"
+      (Invalid_argument "Metrics.add: counters are monotone") (fun () ->
+        M.add c (-1));
+    (* re-registration is idempotent: same cell *)
+    let c' = M.counter reg "reqs_total" in
+    M.inc c';
+    Alcotest.(check int) "shared cell" 6 (M.counter_value c)
+  in
+  let gauges_and_hists () =
+    let reg = M.create () in
+    let g = M.gauge reg "depth" in
+    M.set g 7;
+    M.set g 3;
+    Alcotest.(check int) "gauge is last-write" 3 (M.gauge_value g);
+    let h = M.histogram reg "lat" in
+    M.observe h 10;
+    M.observe h (-4);
+    Alcotest.(check int) "count" 2 (M.hist_count h);
+    Alcotest.(check int) "negative clamps to 0 in sum" 10 (M.hist_sum h)
+  in
+  let kind_clash () =
+    let reg = M.create () in
+    ignore (M.counter reg "x");
+    Alcotest.(check bool) "clash raises" true
+      (try
+         ignore (M.gauge reg "x");
+         false
+       with Invalid_argument _ -> true)
+  in
+  let labels_distinguish () =
+    let reg = M.create () in
+    let a = M.counter reg ~labels:[ ("k", "a") ] "t" in
+    let b = M.counter reg ~labels:[ ("k", "b") ] "t" in
+    M.inc a;
+    Alcotest.(check int) "series are distinct" 0 (M.counter_value b)
+  in
+  [
+    Alcotest.test_case "counters: inc/add, monotone, idempotent" `Quick counters;
+    Alcotest.test_case "gauges and histograms record" `Quick gauges_and_hists;
+    Alcotest.test_case "one name, two kinds: rejected" `Quick kind_clash;
+    Alcotest.test_case "labels distinguish series" `Quick labels_distinguish;
+  ]
+
+(* --- quantiles --------------------------------------------------------------- *)
+
+let lcg seed =
+  let s = ref seed in
+  fun bound ->
+    s := ((!s * 25214903917) + 11) land max_int;
+    !s mod bound
+
+let quantile_tests =
+  let exact_identity () =
+    let reg = M.create () in
+    let h = M.histogram reg "h" in
+    for v = 1 to 10 do
+      M.observe h v
+    done;
+    Alcotest.(check (float 0.0)) "p50" 5.0 (M.quantile h 0.5);
+    Alcotest.(check (float 0.0)) "p100" 10.0 (M.quantile h 1.0);
+    Alcotest.(check (float 0.0)) "p10" 1.0 (M.quantile h 0.1);
+    Alcotest.(check (float 0.0)) "empty" 0.0
+      (M.quantile (M.histogram reg "h2") 0.5)
+  in
+  let bounded_error () =
+    (* seeded samples across four decades; the estimate must sit within
+       one bucket's relative width of the true rank-based sample *)
+    let rand = lcg 0xfeed in
+    let n = 500 in
+    let samples = Array.init n (fun _ -> 16 + rand 1_000_000_000) in
+    let reg = M.create () in
+    let h = M.histogram reg "h" in
+    Array.iter (M.observe h) samples;
+    let sorted = Array.copy samples in
+    Array.sort compare sorted;
+    List.iter
+      (fun q ->
+        let truth =
+          float_of_int
+            sorted.(max 0 (min (n - 1) (int_of_float (ceil (q *. float_of_int n)) - 1)))
+        in
+        let est = M.quantile h q in
+        Alcotest.(check bool)
+          (Printf.sprintf "q=%.2f est %.0f vs %.0f" q est truth)
+          true
+          (abs_float (est -. truth) <= (0.0625 *. truth) +. 1.0))
+      [ 0.5; 0.9; 0.99; 1.0 ]
+  in
+  [
+    Alcotest.test_case "identity range: quantiles are exact" `Quick
+      exact_identity;
+    Alcotest.test_case "log range: error within one bucket (±6.25%)" `Quick
+      bounded_error;
+  ]
+
+(* --- merge ------------------------------------------------------------------- *)
+
+let merge_tests =
+  let semantics () =
+    let a = M.create () and b = M.create () in
+    let ca = M.counter a "c" and cb = M.counter b "c" in
+    M.add ca 3;
+    M.add cb 4;
+    let ga = M.gauge a "g" and gb = M.gauge b "g" in
+    M.set ga 9;
+    M.set gb 5;
+    let ha = M.histogram a "h" and hb = M.histogram b "h" in
+    M.observe ha 100;
+    M.observe hb 200;
+    (* only in [b]: must appear in [a] after the merge *)
+    M.add (M.counter b "only_b") 7;
+    M.merge ~into:a b;
+    Alcotest.(check int) "counters sum" 7 (M.counter_value ca);
+    Alcotest.(check int) "gauges max" 9 (M.gauge_value ga);
+    Alcotest.(check int) "hist counts sum" 2 (M.hist_count ha);
+    Alcotest.(check int) "hist sums sum" 300 (M.hist_sum ha);
+    Alcotest.(check int) "absent instruments land" 7
+      (M.counter_value (M.counter a "only_b"));
+    (* src is untouched *)
+    Alcotest.(check int) "src counter" 4 (M.counter_value cb)
+  in
+  let clash () =
+    let a = M.create () and b = M.create () in
+    ignore (M.counter a "x");
+    ignore (M.gauge b "x");
+    Alcotest.(check bool) "kind clash raises" true
+      (try
+         M.merge ~into:a b;
+         false
+       with Invalid_argument _ -> true)
+  in
+  [
+    Alcotest.test_case "merge: counters sum, gauges max, buckets sum" `Quick
+      semantics;
+    Alcotest.test_case "merge rejects kind clashes" `Quick clash;
+  ]
+
+(* --- export formats ---------------------------------------------------------- *)
+
+let contains hay needle =
+  let h = String.length hay and n = String.length needle in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let lines s = String.split_on_char '\n' s |> List.filter (fun l -> l <> "")
+
+let export_tests =
+  let fixture () =
+    let reg = M.create () in
+    let ok = M.counter reg ~labels:[ ("status", "ok") ] ~help:"Docs." "docs_total" in
+    let fail = M.counter reg ~labels:[ ("status", "fail") ] "docs_total" in
+    let h = M.histogram reg ~help:"Latency." "lat_us" in
+    M.add ok 3;
+    M.add fail 1;
+    List.iter (M.observe h) [ 3; 3; 40; 2000 ];
+    reg
+  in
+  let prometheus () =
+    let out = M.to_prometheus (fixture ()) in
+    Alcotest.(check bool) "help" true (contains out "# HELP docs_total Docs.");
+    Alcotest.(check bool) "type" true (contains out "# TYPE docs_total counter");
+    Alcotest.(check bool) "ok series" true
+      (contains out "docs_total{status=\"ok\"} 3");
+    Alcotest.(check bool) "fail series" true
+      (contains out "docs_total{status=\"fail\"} 1");
+    Alcotest.(check bool) "hist type" true
+      (contains out "# TYPE lat_us histogram");
+    Alcotest.(check bool) "+Inf closes" true
+      (contains out "lat_us_bucket{le=\"+Inf\"} 4");
+    Alcotest.(check bool) "sum" true (contains out "lat_us_sum 2046");
+    Alcotest.(check bool) "count" true (contains out "lat_us_count 4");
+    (* one header per family, cumulative bucket counts never decrease *)
+    let ls = lines out in
+    Alcotest.(check int) "one HELP for docs_total" 1
+      (List.length (List.filter (fun l -> contains l "HELP docs_total") ls));
+    let buckets =
+      List.filter_map
+        (fun l ->
+          if contains l "lat_us_bucket" then
+            match String.rindex_opt l ' ' with
+            | Some i ->
+                Some
+                  (int_of_string
+                     (String.sub l (i + 1) (String.length l - i - 1)))
+            | None -> None
+          else None)
+        ls
+    in
+    let rec monotone = function
+      | a :: (b :: _ as t) -> a <= b && monotone t
+      | _ -> true
+    in
+    Alcotest.(check bool) "cumulative buckets monotone" true (monotone buckets)
+  in
+  let json () =
+    let out = M.to_json (fixture ()) in
+    Alcotest.(check bool) "array" true
+      (String.length out > 2 && out.[0] = '[' && out.[String.length out - 1] = ']');
+    Alcotest.(check bool) "counter object" true
+      (contains out "\"name\":\"docs_total\"");
+    Alcotest.(check bool) "labels" true (contains out "\"status\":\"ok\"");
+    Alcotest.(check bool) "hist fields" true
+      (contains out "\"p50\"" && contains out "\"p99\""
+      && contains out "\"buckets\"");
+    Alcotest.(check bool) "hist count" true (contains out "\"count\":4")
+  in
+  [
+    Alcotest.test_case "Prometheus text exposition 0.0.4" `Quick prometheus;
+    Alcotest.test_case "JSON export" `Quick json;
+  ]
+
+(* --- batch integration ------------------------------------------------------- *)
+
+(* A seeded variable-step clock: each reading advances 100µs..2ms, so
+   per-document latencies are spread across several histogram octaves
+   and the whole run is a pure function of the seed. *)
+let varied_clock seed =
+  let rand = lcg seed in
+  let t = ref 0 in
+  fun () ->
+    t := !t + 100_000 + rand 1_900_001;
+    !t
+
+let plus_a = Grammar.make_exn [ Production.v "S" (Expr.plus (Expr.chr 'a')) ]
+
+(* 200 docs, deterministic: most parse, every 7th is malformed. *)
+let corpus =
+  List.init 200 (fun i ->
+      ( Printf.sprintf "doc%03d" i,
+        if i mod 7 = 3 then "aab" else String.make (1 + (i mod 50)) 'a' ))
+
+let run_corpus ?metrics ?spans ?on_record seed =
+  match
+    Batch.run ?metrics ?spans ?on_record ~now_ns:(varied_clock seed) plus_a
+      (Batch.Docs corpus)
+  with
+  | Ok rep -> rep
+  | Error _ -> Alcotest.fail "corpus grammar failed to compile"
+
+let batch_tests =
+  (* the histogram and the summary are two views of the same run: the
+     bucketed p50/p99 must agree with the exact rank-based percentiles
+     within one log-bucket's relative error (plus 1µs of truncation) *)
+  let crosscheck () =
+    let reg = M.create () in
+    let rep = run_corpus ~metrics:reg 42 in
+    let s = rep.Batch.summary in
+    Alcotest.(check int) "docs" 200 s.Batch.s_docs;
+    let c l = M.counter_value (M.counter reg ~labels:l "rml_batch_docs_total") in
+    Alcotest.(check int) "ok counter" s.Batch.s_ok (c [ ("status", "ok") ]);
+    Alcotest.(check int) "fail counter" s.Batch.s_failed
+      (c [ ("status", "fail") ]);
+    Alcotest.(check int) "counters cover every record" s.Batch.s_docs
+      (c [ ("status", "ok") ] + c [ ("status", "fail") ]);
+    Alcotest.(check int) "syntax counter" s.Batch.s_syntax
+      (M.counter_value
+         (M.counter reg ~labels:[ ("class", "syntax") ] "rml_batch_fail_total"));
+    let h = M.histogram reg "rml_batch_doc_latency_us" in
+    Alcotest.(check int) "latency count" 200 (M.hist_count h);
+    List.iter
+      (fun (q, p_ms) ->
+        let est = M.quantile h q in
+        let truth = p_ms *. 1000. in
+        Alcotest.(check bool)
+          (Printf.sprintf "q=%.2f est %.0fus vs exact %.0fus" q est truth)
+          true
+          (abs_float (est -. truth) <= (0.0625 *. truth) +. 2.0))
+      [ (0.5, s.Batch.s_p50_ms); (0.99, s.Batch.s_p99_ms) ]
+  in
+  (* zero-cost-off, observed end to end: recording never reads the
+     clock, so a metrics-carrying run's JSONL is byte-identical *)
+  let byte_identity () =
+    let jsonl ?metrics seed =
+      let buf = Buffer.create 4096 in
+      let rep =
+        run_corpus ?metrics
+          ~on_record:(fun r ->
+            Buffer.add_string buf (Batch.jsonl_of_record r);
+            Buffer.add_char buf '\n')
+          seed
+      in
+      Buffer.add_string buf (Batch.jsonl_of_summary rep.Batch.summary);
+      Buffer.contents buf
+    in
+    Alcotest.(check string) "metrics on = metrics off, byte for byte"
+      (jsonl 7) (jsonl ~metrics:(M.create ()) 7)
+  in
+  (* spans take their own clock readings, which shifts wall times under
+     a synthetic clock — but nothing else may move *)
+  let spans_trace () =
+    let strip rep =
+      List.map
+        (fun r ->
+          ( r.Batch.r_index, r.Batch.r_name, r.Batch.r_ok, r.Batch.r_bytes,
+            r.Batch.r_position, r.Batch.r_retried ))
+        rep.Batch.records
+    in
+    let base = run_corpus 11 in
+    let sp = Profile.Spans.create () in
+    let traced = run_corpus ~spans:sp 11 in
+    Alcotest.(check bool) "verdicts unmoved" true (strip base = strip traced);
+    (* one compile span + one attempt + one doc span per document *)
+    Alcotest.(check bool) "span volume" true
+      (Profile.Spans.count sp >= (2 * List.length corpus) + 1);
+    let chrome = Profile.Spans.to_chrome sp in
+    Alcotest.(check bool) "chrome trace" true
+      (String.length chrome > 2
+      && chrome.[0] = '['
+      && contains chrome "\"name\":\"compile\""
+      && contains chrome "\"name\":\"doc003\""
+      && contains chrome "\"ph\":\"X\"")
+  in
+  [
+    Alcotest.test_case "histogram p50/p99 agree with exact percentiles" `Quick
+      crosscheck;
+    Alcotest.test_case "metrics-on JSONL is byte-identical" `Quick byte_identity;
+    Alcotest.test_case "spans shift only wall times; trace is coherent" `Quick
+      spans_trace;
+  ]
+
+let () =
+  Alcotest.run "metrics"
+    [
+      ("geometry", geometry_tests);
+      ("registry", registry_tests);
+      ("quantiles", quantile_tests);
+      ("merge", merge_tests);
+      ("export", export_tests);
+      ("batch", batch_tests);
+    ]
